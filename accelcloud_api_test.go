@@ -1,0 +1,209 @@
+package accelcloud_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"accelcloud"
+)
+
+// The facade must expose everything a downstream user needs for the
+// quickstart flow without touching internal packages.
+func TestFacadeQuickstartFlow(t *testing.T) {
+	sys, err := accelcloud.NewSystem(accelcloud.SystemConfig{
+		Groups: []accelcloud.GroupSpec{
+			{Group: 1, TypeName: "t2.nano", Capacity: 30, Initial: 1},
+			{Group: 2, TypeName: "t2.large", Capacity: 90, Initial: 1},
+		},
+		ProvisionInterval: 15 * time.Minute,
+		Seed:              1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := accelcloud.GenerateInterArrival(
+		accelcloud.NewRNG(1).Stream("wl"), accelcloud.Epoch,
+		accelcloud.InterArrivalConfig{
+			Users:        8,
+			InterArrival: accelcloud.UniformDist{Lo: 5000, Hi: 20000},
+			Duration:     30 * time.Minute,
+			Pool:         accelcloud.DefaultTaskPool(),
+			Sizer:        accelcloud.DefaultSizer(),
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(reqs, 30*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Requests) == 0 || res.MeanResponseMs() <= 0 {
+		t.Fatalf("run produced nothing: %d requests", len(res.Requests))
+	}
+	if len(res.Intervals) == 0 {
+		t.Fatal("no provisioning rounds")
+	}
+}
+
+func TestFacadeBenchmarkAndClassify(t *testing.T) {
+	catalog := accelcloud.DefaultCatalog()
+	cfg := accelcloud.DefaultBenchmarkConfig()
+	cfg.Waves = 4
+	cfg.LoadLevels = []int{1, 50}
+	var ms []accelcloud.Measurement
+	for _, name := range []string{"t2.nano", "t2.large", "m4.10xlarge"} {
+		typ, err := catalog.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := accelcloud.Benchmark(typ, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms = append(ms, m)
+	}
+	g, err := accelcloud.Classify(ms, 0.12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumLevels() != 3 {
+		t.Fatalf("levels = %d, want 3", g.NumLevels())
+	}
+}
+
+func TestFacadeAllocate(t *testing.T) {
+	plan, err := accelcloud.Allocate(&accelcloud.AllocProblem{
+		Specs: []accelcloud.AllocSpec{
+			{TypeName: "t2.nano", Group: 0, CostPerHour: 0.0063, Capacity: 30},
+		},
+		Demands: []float64{45},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Feasible || plan.Counts["t2.nano"] != 2 {
+		t.Fatalf("plan = %+v", plan)
+	}
+}
+
+func TestFacadeTraceAndSlots(t *testing.T) {
+	store := accelcloud.NewTraceStore()
+	for u := 0; u < 5; u++ {
+		if err := store.Append(accelcloud.TraceRecord{
+			Timestamp:    accelcloud.Epoch.Add(time.Duration(u) * time.Minute),
+			UserID:       u,
+			Group:        1,
+			BatteryLevel: 1,
+			RTT:          100 * time.Millisecond,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	slots, err := accelcloud.BuildHourlySlots(store.Snapshot(), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slots) != 2 || slots[0].Counts()[1] != 5 {
+		t.Fatalf("slots = %+v", slots)
+	}
+	var p accelcloud.EditDistanceNN
+	pred, err := p.Predict(slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.TotalUsers() < 0 {
+		t.Fatal("prediction broken")
+	}
+}
+
+func TestFacadeNetworkedPlane(t *testing.T) {
+	pool := accelcloud.DefaultTaskPool()
+	sur, err := accelcloud.NewSurrogate("facade-test", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range pool.Names() {
+		task, err := pool.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sur.Push(task); err != nil {
+			t.Fatal(err)
+		}
+	}
+	backend := httptest.NewServer(sur.Handler())
+	defer backend.Close()
+	fe, err := accelcloud.NewFrontEnd(accelcloud.NewTraceStore(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fe.Register(1, backend.URL); err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(fe.Handler())
+	defer front.Close()
+	ctx := context.Background()
+	if err := accelcloud.WaitHealthy(ctx, front.URL); err != nil {
+		t.Fatal(err)
+	}
+	task, err := pool.ByName("sieve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := task.Generate(accelcloud.NewRNG(1).Stream("x"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := accelcloud.NewRPCClient(front.URL).Offload(ctx, accelcloud.OffloadRequest{
+		UserID: 1, Group: 1, BatteryLevel: 1, State: st,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Result.Task != "sieve" {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestFacadeDevicesAndPolicies(t *testing.T) {
+	profiles := accelcloud.DefaultProfiles()
+	p, err := accelcloud.ProfileByName(profiles, "legacy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := accelcloud.NewDevice(1, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.ShouldOffload(1_000_000, 40*time.Millisecond, 200_000) {
+		t.Fatal("legacy device should offload heavy work")
+	}
+	var pol accelcloud.PromotionPolicy = accelcloud.ThresholdPolicy{Target: time.Second, Patience: 1}
+	if !pol.ShouldPromote(d, 2*time.Second, nil) {
+		t.Fatal("threshold policy should fire")
+	}
+	pol = accelcloud.NeverPolicy{}
+	if pol.ShouldPromote(d, time.Hour, nil) {
+		t.Fatal("never policy fired")
+	}
+	pol = accelcloud.BatteryAwarePolicy{MinLevel: 2}
+	if !pol.ShouldPromote(d, 0, nil) {
+		t.Fatal("battery-aware policy should fire when below min level")
+	}
+	_ = accelcloud.StaticProbability{P: 0.02}
+}
+
+func TestFacadeOperators(t *testing.T) {
+	ops, err := accelcloud.DefaultOperators()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 3 {
+		t.Fatalf("got %d operators", len(ops))
+	}
+	if accelcloud.Tech3G.String() != "3G" || accelcloud.TechLTE.String() != "LTE" {
+		t.Fatal("tech names wrong")
+	}
+}

@@ -1,0 +1,240 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one benchmark per figure; see DESIGN.md §4 for the
+// experiment index and EXPERIMENTS.md for paper-vs-measured numbers),
+// plus micro-benchmarks of the core model operations.
+package accelcloud_test
+
+import (
+	"testing"
+	"time"
+
+	"accelcloud/internal/allocate"
+	"accelcloud/internal/editdist"
+	"accelcloud/internal/experiments"
+	"accelcloud/internal/predict"
+	"accelcloud/internal/sim"
+	"accelcloud/internal/tasks"
+	"accelcloud/internal/trace"
+)
+
+// BenchmarkFig4InstanceCharacterization regenerates Fig 4: response time
+// vs concurrent users for the six instance types, plus the acceleration
+// classification.
+func BenchmarkFig4InstanceCharacterization(b *testing.B) {
+	s := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig4(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Grouping.NumLevels() < 4 {
+			b.Fatalf("unexpected level count %d", r.Grouping.NumLevels())
+		}
+	}
+}
+
+// BenchmarkFig5AccelerationLevels regenerates Fig 5: the static minimax
+// task across acceleration levels 1–3.
+func BenchmarkFig5AccelerationLevels(b *testing.B) {
+	s := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig5(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.L3vsL1 < 1 {
+			b.Fatalf("acceleration factor %v < 1", r.L3vsL1)
+		}
+	}
+}
+
+// BenchmarkFig6NanoMicroAnomaly regenerates Fig 6: the t2.nano vs
+// t2.micro anomaly.
+func BenchmarkFig6NanoMicroAnomaly(b *testing.B) {
+	s := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7ComponentTimes regenerates Fig 7: the Tresponse = T1 +
+// routing + T2 + Tcloud decomposition per acceleration level and the SD
+// curves.
+func BenchmarkFig7ComponentTimes(b *testing.B) {
+	s := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8Routing regenerates Fig 8: the ≈150 ms routing overhead
+// per group and the doubling arrival-rate sweep with its saturation knee.
+func BenchmarkFig8Routing(b *testing.B) {
+	s := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig8(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.SaturationHz == 0 {
+			b.Fatal("no saturation point found")
+		}
+	}
+}
+
+// BenchmarkFig9DynamicAcceleration regenerates Fig 9: the 100-user
+// dynamic-acceleration study with 1/50 promotions.
+func BenchmarkFig9DynamicAcceleration(b *testing.B) {
+	s := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig9(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10PredictionAccuracy regenerates Fig 10a: accuracy vs
+// history size with 10-fold cross validation (paper: ≈87.5%).
+func BenchmarkFig10PredictionAccuracy(b *testing.B) {
+	s := experiments.Quick()
+	f9, err := experiments.Fig9(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig10(s, &f9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.OverallAccuracy < 0.5 {
+			b.Fatalf("accuracy collapsed: %v", r.OverallAccuracy)
+		}
+	}
+}
+
+// BenchmarkFig11NetworkLatency regenerates Fig 11: the per-operator
+// 3G/LTE hourly RTT series.
+func BenchmarkFig11NetworkLatency(b *testing.B) {
+	s := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig11(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationAllocators compares ILP vs greedy vs vertical scaling.
+func BenchmarkAblationAllocators(b *testing.B) {
+	s := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationAllocators(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- micro-benchmarks of the model's hot paths ---------------------------
+
+// BenchmarkAllocator times one ILP allocation round at paper scale
+// (6 types, 3 groups, CC = 20).
+func BenchmarkAllocator(b *testing.B) {
+	p := &allocate.Problem{
+		Specs: []allocate.Spec{
+			{TypeName: "t2.nano", Group: 0, CostPerHour: 0.0063, Capacity: 30},
+			{TypeName: "t2.small", Group: 0, CostPerHour: 0.025, Capacity: 30},
+			{TypeName: "t2.medium", Group: 1, CostPerHour: 0.05, Capacity: 60},
+			{TypeName: "t2.large", Group: 1, CostPerHour: 0.101, Capacity: 90},
+			{TypeName: "m4.4xlarge", Group: 2, CostPerHour: 0.888, Capacity: 400},
+			{TypeName: "m4.10xlarge", Group: 2, CostPerHour: 2.22, Capacity: 800},
+		},
+		Demands: []float64{55, 140, 900},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		plan, err := allocate.Solve(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !plan.Feasible {
+			b.Fatal("infeasible")
+		}
+	}
+}
+
+// BenchmarkPredictor times one edit-distance NN prediction over 24 slots
+// of 100-user workload.
+func BenchmarkPredictor(b *testing.B) {
+	slots := make([]trace.Slot, 24)
+	for i := range slots {
+		slot := trace.Slot{Start: sim.Epoch.Add(time.Duration(i) * time.Hour)}
+		for g := 0; g < 4; g++ {
+			users := make([]int, 10+(i*7+g*13)%40)
+			for u := range users {
+				users[u] = u
+			}
+			slot.Groups = append(slot.Groups, users)
+		}
+		slots[i] = slot
+	}
+	p := predict.EditDistanceNN{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Predict(slots); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSlotDistance times the Δ metric on 100-user slots.
+func BenchmarkSlotDistance(b *testing.B) {
+	x := make([][]int, 4)
+	y := make([][]int, 4)
+	for g := range x {
+		for u := 0; u < 25; u++ {
+			x[g] = append(x[g], u)
+			y[g] = append(y[g], u+g)
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		editdist.SlotDistance(x, y)
+	}
+}
+
+// BenchmarkTaskMinimax times the paper's flagship offloaded task.
+func BenchmarkTaskMinimax(b *testing.B) {
+	rng := sim.NewRNG(1).Stream("bench")
+	st, err := tasks.Minimax{}.Generate(rng, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := (tasks.Minimax{}).Execute(st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTaskPoolRoundTrip times a full generate→serialize→execute
+// round trip of a random pool task (the homogeneous offloading path).
+func BenchmarkTaskPoolRoundTrip(b *testing.B) {
+	pool := tasks.DefaultPool()
+	rng := sim.NewRNG(2).Stream("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		task := pool.Random(rng)
+		st, err := task.Generate(rng, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := pool.Execute(st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+// Command accelsim regenerates the paper's evaluation figures
+// (Fig 4–11) and the ablation studies on the simulated testbed.
+//
+// Usage:
+//
+//	accelsim -fig all            # every figure, quick scale
+//	accelsim -fig 9 -scale full  # one figure at paper scale
+//	accelsim -fig ablations      # the three ablation studies
+//	accelsim -fig 11 -tsv        # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"accelcloud/internal/experiments"
+	"accelcloud/internal/netsim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "accelsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("accelsim", flag.ContinueOnError)
+	fig := fs.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,10,11, ablations or all")
+	scaleName := fs.String("scale", "quick", "experiment scale: quick or full")
+	seed := fs.Int64("seed", 1, "root random seed")
+	tsv := fs.Bool("tsv", false, "emit tab-separated values instead of aligned tables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var scale experiments.Scale
+	switch *scaleName {
+	case "quick":
+		scale = experiments.Quick()
+	case "full":
+		scale = experiments.Full()
+	default:
+		return fmt.Errorf("unknown scale %q (quick|full)", *scaleName)
+	}
+	scale.Seed = *seed
+
+	emit := func(t experiments.Table) error {
+		if *tsv {
+			return t.WriteTSV(out)
+		}
+		_, err := fmt.Fprintln(out, t.String())
+		return err
+	}
+
+	want := map[string]bool{}
+	for _, f := range strings.Split(*fig, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+	all := want["all"]
+
+	if all || want["4"] {
+		r, err := experiments.Fig4(scale)
+		if err != nil {
+			return err
+		}
+		if err := emit(r.Table()); err != nil {
+			return err
+		}
+		for _, l := range r.Grouping.Levels {
+			fmt.Fprintf(out, "# level %d: %v (solo %.1f ms, capacity %d users)\n",
+				l.Index, l.Types, l.SoloMs, l.Capacity)
+		}
+		fmt.Fprintln(out)
+	}
+	if all || want["5"] {
+		r, err := experiments.Fig5(scale)
+		if err != nil {
+			return err
+		}
+		if err := emit(r.Table()); err != nil {
+			return err
+		}
+	}
+	if all || want["6"] {
+		r, err := experiments.Fig6(scale)
+		if err != nil {
+			return err
+		}
+		if err := emit(r.Table()); err != nil {
+			return err
+		}
+	}
+	if all || want["7"] {
+		r, err := experiments.Fig7(scale)
+		if err != nil {
+			return err
+		}
+		if err := emit(r.ComponentsTable()); err != nil {
+			return err
+		}
+		if err := emit(r.SDTable()); err != nil {
+			return err
+		}
+	}
+	if all || want["8"] {
+		r, err := experiments.Fig8(scale)
+		if err != nil {
+			return err
+		}
+		if err := emit(r.RoutingTable()); err != nil {
+			return err
+		}
+		if err := emit(r.SweepTable()); err != nil {
+			return err
+		}
+	}
+	var fig9 *experiments.Fig9Result
+	if all || want["9"] || want["10"] {
+		r, err := experiments.Fig9(scale)
+		if err != nil {
+			return err
+		}
+		fig9 = &r
+	}
+	if all || want["9"] {
+		if err := emit(fig9.SeriesTable(fig9.Stable, "b (stable user)")); err != nil {
+			return err
+		}
+		if err := emit(fig9.SeriesTable(fig9.Promoted, "c (promoted user)")); err != nil {
+			return err
+		}
+		if err := emit(fig9.GroupMeansTable()); err != nil {
+			return err
+		}
+	}
+	if all || want["10"] {
+		r, err := experiments.Fig10(scale, fig9)
+		if err != nil {
+			return err
+		}
+		if err := emit(r.AccuracyTable()); err != nil {
+			return err
+		}
+		if err := emit(r.HeatTable(25)); err != nil {
+			return err
+		}
+		if err := emit(r.PromotionTable()); err != nil {
+			return err
+		}
+	}
+	if all || want["11"] {
+		r, err := experiments.Fig11(scale)
+		if err != nil {
+			return err
+		}
+		if err := emit(r.SummaryTable()); err != nil {
+			return err
+		}
+		for _, op := range []string{"alpha", "beta", "gamma"} {
+			for _, tech := range []netsim.Tech{netsim.Tech3G, netsim.TechLTE} {
+				if err := emit(r.HourlyTable(op, tech)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if all || want["ablations"] {
+		pol, err := experiments.AblationPromotionPolicies(scale)
+		if err != nil {
+			return err
+		}
+		if err := emit(experiments.PoliciesTable(pol)); err != nil {
+			return err
+		}
+		pred, err := experiments.AblationPredictors(scale)
+		if err != nil {
+			return err
+		}
+		if err := emit(experiments.PredictorsTable(pred)); err != nil {
+			return err
+		}
+		alloc, err := experiments.AblationAllocators(scale)
+		if err != nil {
+			return err
+		}
+		if err := emit(experiments.AllocatorsTable(alloc)); err != nil {
+			return err
+		}
+		par, err := experiments.AblationParallelism(scale)
+		if err != nil {
+			return err
+		}
+		if err := emit(experiments.ParallelismTable(par)); err != nil {
+			return err
+		}
+		caas, err := experiments.CaaSPricing(4)
+		if err != nil {
+			return err
+		}
+		if err := emit(experiments.CaaSTable(caas)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

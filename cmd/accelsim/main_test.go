@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunFig5(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Fig 5") || !strings.Contains(s, "accel3_ms") {
+		t.Fatalf("output missing Fig 5 table: %q", s[:min(200, len(s))])
+	}
+}
+
+func TestRunFig11TSV(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "11", "-tsv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "# Fig 11") || !strings.Contains(s, "\t") {
+		t.Fatal("TSV output malformed")
+	}
+}
+
+func TestRunMultipleFigs(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "6,8"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Fig 6") || !strings.Contains(s, "Fig 8a") {
+		t.Fatal("combined figure output missing sections")
+	}
+}
+
+func TestRunUnknownScale(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scale", "galactic"}, &out); err == nil {
+		t.Fatal("unknown scale should fail")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Fatal("bad flag should fail")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

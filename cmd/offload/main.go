@@ -1,0 +1,73 @@
+// Command offload is the mobile-client CLI: it generates one task state
+// from the pool, ships it to a running sdnd front-end, and prints the
+// result with the paper's timing decomposition.
+//
+// Usage:
+//
+//	offload -frontend http://127.0.0.1:9100 -task minimax -size 8 -group 1
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"accelcloud/internal/rpc"
+	"accelcloud/internal/sim"
+	"accelcloud/internal/tasks"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "offload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("offload", flag.ContinueOnError)
+	frontend := fs.String("frontend", "http://127.0.0.1:9100", "sdnd base URL")
+	taskName := fs.String("task", "minimax", "pool task to offload")
+	size := fs.Int("size", 8, "task size parameter")
+	group := fs.Int("group", 1, "requested acceleration group")
+	user := fs.Int("user", 1, "user id")
+	battery := fs.Float64("battery", 1.0, "battery level [0,1]")
+	seed := fs.Int64("seed", 1, "input generation seed")
+	timeout := fs.Duration("timeout", 30*time.Second, "request timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	pool := tasks.DefaultPool()
+	task, err := pool.ByName(*taskName)
+	if err != nil {
+		return err
+	}
+	state, err := task.Generate(sim.NewRNG(*seed).Stream("offload"), *size)
+	if err != nil {
+		return err
+	}
+	client := rpc.NewClient(*frontend)
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	start := time.Now()
+	resp, err := client.Offload(ctx, rpc.OffloadRequest{
+		UserID:       *user,
+		Group:        *group,
+		BatteryLevel: *battery,
+		State:        state,
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("task      : %s (size %d)\n", *taskName, *size)
+	fmt.Printf("server    : %s (group %d)\n", resp.Server, resp.Group)
+	fmt.Printf("result    : %s (%d ops)\n", resp.Result.Data, resp.Result.Ops)
+	fmt.Printf("Tresponse : %.1f ms (client-observed)\n", float64(elapsed)/float64(time.Millisecond))
+	fmt.Printf("  routing : %.1f ms\n", resp.Timings.RoutingMs)
+	fmt.Printf("  T2      : %.1f ms\n", resp.Timings.BackendMs)
+	fmt.Printf("  Tcloud  : %.1f ms\n", resp.Timings.CloudMs)
+	return nil
+}

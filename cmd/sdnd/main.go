@@ -1,0 +1,106 @@
+// Command sdnd runs the SDN-accelerator front-end over HTTP, routing
+// offloading requests to registered surrogate back-ends by acceleration
+// group and logging every request.
+//
+// Usage:
+//
+//	sdnd -listen 127.0.0.1:9100 \
+//	     -backend 1=http://127.0.0.1:9101 \
+//	     -backend 2=http://127.0.0.1:9102 \
+//	     -trace /tmp/requests.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"accelcloud/internal/sdn"
+	"accelcloud/internal/trace"
+)
+
+// backendFlags collects repeated -backend group=url pairs.
+type backendFlags []struct {
+	group int
+	url   string
+}
+
+func (b *backendFlags) String() string { return fmt.Sprintf("%d backends", len(*b)) }
+
+func (b *backendFlags) Set(v string) error {
+	parts := strings.SplitN(v, "=", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("backend %q: want group=url", v)
+	}
+	group, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return fmt.Errorf("backend %q: bad group: %w", v, err)
+	}
+	*b = append(*b, struct {
+		group int
+		url   string
+	}{group, parts[1]})
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sdnd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sdnd", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:9100", "listen address")
+	tracePath := fs.String("trace", "", "write the request log as CSV to this path on shutdown")
+	delay := fs.Duration("overhead", 0, "artificial routing delay (e.g. 150ms to mimic the paper)")
+	var backends backendFlags
+	fs.Var(&backends, "backend", "group=url surrogate registration (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(backends) == 0 {
+		return fmt.Errorf("at least one -backend group=url is required")
+	}
+	store := trace.NewStore()
+	fe, err := sdn.NewFrontEnd(store, *delay)
+	if err != nil {
+		return err
+	}
+	for _, b := range backends {
+		if err := fe.Register(b.group, b.url); err != nil {
+			return err
+		}
+	}
+	srv := &http.Server{Addr: *listen, Handler: fe.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Printf("sdnd: front-end on %s with backends %v\n", *listen, fe.Backends())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case <-sig:
+	}
+	_ = srv.Close()
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = f.Close() }()
+		if err := trace.WriteCSV(f, store.Snapshot()); err != nil {
+			return err
+		}
+		fmt.Printf("sdnd: wrote %d trace records to %s\n", store.Len(), *tracePath)
+	}
+	return nil
+}

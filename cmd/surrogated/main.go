@@ -1,0 +1,45 @@
+// Command surrogated runs a Dalvik-x86-like surrogate server: it loads
+// the default task pool (the pushed "APKs") and executes offloading
+// requests over HTTP.
+//
+// Usage:
+//
+//	surrogated -listen 127.0.0.1:9101 -name surrogate-1 -procs 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"accelcloud/internal/dalvik"
+	"accelcloud/internal/tasks"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "surrogated:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("surrogated", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:9101", "listen address")
+	name := fs.String("name", "surrogate-1", "server name reported in responses")
+	procs := fs.Int("procs", dalvik.DefaultMaxProcs, "max concurrent worker processes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sur, err := dalvik.NewSurrogate(*name, *procs)
+	if err != nil {
+		return err
+	}
+	if err := sur.PushPool(tasks.DefaultPool()); err != nil {
+		return err
+	}
+	fmt.Printf("surrogated: %s serving %d task bundles on %s\n",
+		*name, len(sur.Installed()), *listen)
+	return http.ListenAndServe(*listen, sur.Handler())
+}

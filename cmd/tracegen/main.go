@@ -1,0 +1,108 @@
+// Command tracegen synthesizes the two datasets the paper collects:
+// the 3-month smartphone usage study (§VI-C1) and the NetRadar-like
+// 3G/LTE latency measurements (§VI-C4), as CSV.
+//
+// Usage:
+//
+//	tracegen -kind usage   -out usage.csv
+//	tracegen -kind netradar -out rtt.csv -samples 10000
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"time"
+
+	"accelcloud/internal/netsim"
+	"accelcloud/internal/sim"
+	"accelcloud/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	kind := fs.String("kind", "usage", "dataset kind: usage or netradar")
+	out := fs.String("out", "-", "output path (- for stdout)")
+	seed := fs.Int64("seed", 1, "random seed")
+	participants := fs.Int("participants", 6, "usage: panel size")
+	days := fs.Int("days", 90, "usage: study length")
+	samples := fs.Int("samples", 10000, "netradar: samples per operator/tech")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = f.Close() }()
+		w = f
+	}
+	switch *kind {
+	case "usage":
+		return writeUsage(w, *seed, *participants, *days)
+	case "netradar":
+		return writeNetRadar(w, *seed, *samples)
+	default:
+		return fmt.Errorf("unknown kind %q (usage|netradar)", *kind)
+	}
+}
+
+func writeUsage(w io.Writer, seed int64, participants, days int) error {
+	cfg := workload.DefaultUsageStudy()
+	cfg.Participants = participants
+	cfg.Days = days
+	events, err := workload.SynthesizeUsage(sim.NewRNG(seed).Stream("usage"), sim.Epoch, cfg)
+	if err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"timestamp", "participant"}); err != nil {
+		return err
+	}
+	for _, e := range events {
+		if err := cw.Write([]string{e.At.Format(time.RFC3339Nano), strconv.Itoa(e.Participant)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func writeNetRadar(w io.Writer, seed int64, samples int) error {
+	ops, err := netsim.DefaultOperators()
+	if err != nil {
+		return err
+	}
+	data, err := netsim.GenerateDataset(sim.NewRNG(seed).Stream("netradar"), ops, sim.Epoch, samples)
+	if err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"timestamp", "operator", "tech", "rtt_ms"}); err != nil {
+		return err
+	}
+	for _, s := range data {
+		if err := cw.Write([]string{
+			s.At.Format(time.RFC3339Nano),
+			s.Operator,
+			s.Tech.String(),
+			strconv.FormatFloat(float64(s.RTT)/float64(time.Millisecond), 'f', 3, 64),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

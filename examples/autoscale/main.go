@@ -1,0 +1,134 @@
+// Autoscale: the adaptive model in isolation. A day of diurnal workload
+// history is folded into hourly time slots; for every hour the
+// edit-distance model predicts the next hour's per-group load and the ILP
+// allocator picks the cost-minimal instance mix — printed against a
+// static "peak provisioning" baseline to show the savings
+// (over-provisioning reduction, §III).
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"time"
+
+	"accelcloud"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "autoscale:", err)
+		os.Exit(1)
+	}
+}
+
+// diurnalUsers is a synthetic day: per-hour user counts per group.
+func diurnalUsers(hour, group int) int {
+	base := []float64{40, 15, 6}[group]
+	peak := 1 + 0.9*math.Sin(2*math.Pi*float64(hour-14)/24)
+	return int(base * peak)
+}
+
+func run() error {
+	store := accelcloud.NewTraceStore()
+	// Two days of history: the first day trains the model, the second is
+	// predicted hour by hour.
+	for h := 0; h < 48; h++ {
+		for g := 0; g < 3; g++ {
+			users := diurnalUsers(h%24, g)
+			for u := 0; u < users; u++ {
+				if err := store.Append(accelcloud.TraceRecord{
+					Timestamp:    accelcloud.Epoch.Add(time.Duration(h)*time.Hour + time.Duration(u)*time.Second),
+					UserID:       g*1000 + u,
+					Group:        g,
+					BatteryLevel: 1,
+					RTT:          300 * time.Millisecond,
+				}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	specs := []accelcloud.AllocSpec{
+		{TypeName: "t2.nano", Group: 0, CostPerHour: 0.0063, Capacity: 30},
+		{TypeName: "t2.medium", Group: 1, CostPerHour: 0.05, Capacity: 60},
+		{TypeName: "m4.4xlarge", Group: 2, CostPerHour: 0.888, Capacity: 400},
+	}
+
+	// Static baseline: provision the whole day for the peak.
+	peak := make([]float64, 3)
+	for h := 0; h < 24; h++ {
+		for g := 0; g < 3; g++ {
+			if v := float64(diurnalUsers(h, g)); v > peak[g] {
+				peak[g] = v
+			}
+		}
+	}
+	peakPlan, err := accelcloud.Allocate(&accelcloud.AllocProblem{Specs: specs, Demands: peak})
+	if err != nil {
+		return err
+	}
+
+	records := store.Snapshot()
+	fmt.Println("hour  predicted(g0,g1,g2)   actual(g0,g1,g2)    plan                       $/h")
+	adaptiveCost := 0.0
+	var predictor accelcloud.EditDistanceNN
+	for h := 24; h < 48; h++ {
+		slots, err := buildSlots(records, h)
+		if err != nil {
+			return err
+		}
+		pred, err := predictor.Predict(slots)
+		if err != nil {
+			return err
+		}
+		counts := pred.Counts()
+		demands := make([]float64, 3)
+		for g := 0; g < 3 && g < len(counts); g++ {
+			demands[g] = float64(counts[g])
+		}
+		plan, err := accelcloud.Allocate(&accelcloud.AllocProblem{Specs: specs, Demands: demands})
+		if err != nil {
+			return err
+		}
+		if !plan.Feasible {
+			return fmt.Errorf("hour %d: infeasible", h)
+		}
+		adaptiveCost += plan.Cost
+		actual := []int{diurnalUsers(h%24, 0), diurnalUsers(h%24, 1), diurnalUsers(h%24, 2)}
+		fmt.Printf("%02d    %-20s  %-18s  %-25s  %.4f\n",
+			h%24, fmt.Sprint(counts), fmt.Sprint(actual), planString(plan), plan.Cost)
+	}
+	staticCost := peakPlan.Cost * 24
+	fmt.Printf("\nadaptive day cost : $%.2f\n", adaptiveCost)
+	fmt.Printf("static-peak cost  : $%.2f\n", staticCost)
+	fmt.Printf("savings           : %.1f%%\n", 100*(1-adaptiveCost/staticCost))
+	return nil
+}
+
+// buildSlots folds the first h hours of records into hourly slots.
+func buildSlots(records []accelcloud.TraceRecord, h int) ([]accelcloud.Slot, error) {
+	return accelcloud.BuildHourlySlots(records, h, 3)
+}
+
+// planString renders a plan's counts compactly and deterministically.
+func planString(plan accelcloud.AllocPlan) string {
+	names := make([]string, 0, len(plan.Counts))
+	for name := range plan.Counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	s := ""
+	for i, name := range names {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%dx%s", plan.Counts[name], name)
+	}
+	if s == "" {
+		return "(none)"
+	}
+	return s
+}

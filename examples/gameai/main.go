@@ -1,0 +1,95 @@
+// Game AI offloading: the paper's motivating scenario (§I) — a
+// decision-making routine (minimax) that a flagship phone computes easily
+// but an old device or a wearable cannot. Each device class decides
+// per-task whether to offload (the §II-A rule) and what acceleration that
+// buys, comparing local execution, LTE offloading, and 3G offloading.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"accelcloud"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gameai:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	pool := accelcloud.DefaultTaskPool()
+	task, err := pool.ByName("minimax")
+	if err != nil {
+		return err
+	}
+	catalog := accelcloud.DefaultCatalog()
+	ops, err := accelcloud.DefaultOperators()
+	if err != nil {
+		return err
+	}
+	rng := accelcloud.NewRNG(7)
+	netRng := rng.Stream("net")
+
+	// The cloud side: one t2.large per the Fig 9 group-2 deployment.
+	large, err := catalog.ByName("t2.large")
+	if err != nil {
+		return err
+	}
+	remoteRate := large.SingleTaskRate()
+
+	fmt.Println("minimax game AI: local vs offloaded execution per device class")
+	fmt.Println()
+	for _, size := range []int{6, 8, 9} {
+		work := task.Work(size)
+		fmt.Printf("--- endgame with %d empty cells (≈%.0f work units) ---\n", size, work)
+		for _, profile := range accelcloud.DefaultProfiles() {
+			dev, err := accelcloud.NewDevice(1, profile, 1)
+			if err != nil {
+				return err
+			}
+			local := dev.LocalExecTime(work)
+			// Expected offloading times under LTE and 3G for operator β.
+			var beta accelcloud.NetOperator
+			for _, op := range ops {
+				if op.Name == "beta" {
+					beta = op
+				}
+			}
+			lte := beta.RTT[accelcloud.TechLTE].Sample(netRng, accelcloud.Epoch)
+			threeG := beta.RTT[accelcloud.Tech3G].Sample(netRng, accelcloud.Epoch)
+			exec := time.Duration(work / remoteRate * float64(time.Second))
+			offLTE := lte + exec
+			off3G := threeG + exec
+
+			decision := "stay local"
+			if dev.ShouldOffload(work, lte, remoteRate) {
+				decision = fmt.Sprintf("OFFLOAD (%.1fx faster)",
+					float64(local)/float64(offLTE))
+			}
+			fmt.Printf("%-9s local %8.0f ms | LTE %7.0f ms | 3G %7.0f ms -> %s\n",
+				profile.Name,
+				float64(local)/float64(time.Millisecond),
+				float64(offLTE)/float64(time.Millisecond),
+				float64(off3G)/float64(time.Millisecond),
+				decision)
+		}
+		fmt.Println()
+	}
+
+	// And the actual computation, end to end: generate a position, ship
+	// the state, execute remotely (in-process here), verify the move.
+	st, err := task.Generate(rng.Stream("game"), 8)
+	if err != nil {
+		return err
+	}
+	res, err := pool.Execute(st)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sample offloaded search: %s -> %s (%d nodes)\n", st.Task, res.Data, res.Ops)
+	return nil
+}

@@ -1,0 +1,89 @@
+// Policies: compare the client-side moderator strategies (§VI-C3 and the
+// §VII-3 discussion) on one identical workload — the paper's static 1/50
+// promotion probability, a response-time threshold, a battery-aware rule,
+// the demand-based demotion extension, and no moderation at all — and
+// show the latency/cloud-spend trade-off each buys.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"accelcloud"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "policies:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	dur := 2 * time.Hour
+	reqs, err := accelcloud.GenerateInterArrival(
+		accelcloud.NewRNG(5).Stream("wl"), accelcloud.Epoch,
+		accelcloud.InterArrivalConfig{
+			Users:        30,
+			InterArrival: accelcloud.UniformDist{Lo: 60_000, Hi: 240_000},
+			Duration:     dur,
+			Pool:         accelcloud.DefaultTaskPool(),
+			Sizer:        accelcloud.FixedSizer{Size: 8},
+			FixedTask:    "minimax",
+		})
+	if err != nil {
+		return err
+	}
+
+	variants := []struct {
+		name   string
+		config accelcloud.SystemConfig
+	}{
+		{"static-1/50 (paper)", baseConfig(accelcloud.StaticProbability{P: 1.0 / 50}, false)},
+		{"threshold-2s", baseConfig(accelcloud.ThresholdPolicy{Target: 2 * time.Second, Patience: 3}, false)},
+		{"battery-aware", baseConfig(accelcloud.BatteryAwarePolicy{MinLevel: 0.3, Target: 2 * time.Second}, false)},
+		{"threshold+demotion", baseConfig(accelcloud.ThresholdPolicy{Target: 2 * time.Second, Patience: 3}, true)},
+		{"never (baseline)", baseConfig(accelcloud.NeverPolicy{}, false)},
+	}
+
+	fmt.Println("policy                mean_ms   drops   moves   cloud_usd")
+	for _, v := range variants {
+		sys, err := accelcloud.NewSystem(v.config)
+		if err != nil {
+			return err
+		}
+		res, err := sys.Run(reqs, dur)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-20s  %-8.1f  %-6.2f  %-6d  %.4f\n",
+			v.name, res.MeanResponseMs(), 100*res.DropRate(),
+			len(res.Promotions), res.TotalCostUSD)
+	}
+	fmt.Println("\nmoves counts promotions plus (for the demotion variant) demotions.")
+	return nil
+}
+
+// baseConfig builds the shared Fig 9a deployment with the given policy.
+func baseConfig(policy accelcloud.PromotionPolicy, demote bool) accelcloud.SystemConfig {
+	cfg := accelcloud.SystemConfig{
+		Groups: []accelcloud.GroupSpec{
+			{Group: 1, TypeName: "t2.nano", Capacity: 30, Initial: 1},
+			{Group: 2, TypeName: "t2.large", Capacity: 90, Initial: 1},
+			{Group: 3, TypeName: "m4.4xlarge", Capacity: 400, Initial: 1},
+		},
+		ProvisionInterval: 30 * time.Minute,
+		Policy:            policy,
+		Background: map[int]accelcloud.BackgroundLoad{
+			1: {RatePerSec: 25, Work: 7300},
+			2: {RatePerSec: 25, Work: 17000},
+			3: {RatePerSec: 25, Work: 162000},
+		},
+		Seed: 5,
+	}
+	if demote {
+		cfg.Demotion = accelcloud.FastResponsePolicy{Target: 800 * time.Millisecond, Patience: 4}
+	}
+	return cfg
+}

@@ -1,0 +1,82 @@
+// Quickstart: assemble the paper's Fig 9a deployment (three acceleration
+// groups on t2.nano / t2.large / m4.4xlarge), drive it with a small
+// realistic workload, and print what the adaptive model did.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"accelcloud"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 1. Three acceleration groups, each served by one instance type.
+	//    Capacity is K_s: how many users one instance serves within the
+	//    SLA (found by benchmarking; see examples in the README).
+	sys, err := accelcloud.NewSystem(accelcloud.SystemConfig{
+		Groups: []accelcloud.GroupSpec{
+			{Group: 1, TypeName: "t2.nano", Capacity: 30, Initial: 1},
+			{Group: 2, TypeName: "t2.large", Capacity: 90, Initial: 1},
+			{Group: 3, TypeName: "m4.4xlarge", Capacity: 400, Initial: 1},
+		},
+		ProvisionInterval: 30 * time.Minute,
+		Seed:              42,
+	})
+	if err != nil {
+		return err
+	}
+
+	// 2. A 2-hour workload: 25 devices offloading the static minimax
+	//    task with 1–5 minute think times (≈40 requests per user, the
+	//    paper's per-user volume).
+	const users = 25
+	dur := 2 * time.Hour
+	reqs, err := accelcloud.GenerateInterArrival(
+		accelcloud.NewRNG(42).Stream("workload"), accelcloud.Epoch,
+		accelcloud.InterArrivalConfig{
+			Users:        users,
+			InterArrival: accelcloud.UniformDist{Lo: 60_000, Hi: 300_000},
+			Duration:     dur,
+			Pool:         accelcloud.DefaultTaskPool(),
+			Sizer:        accelcloud.FixedSizer{Size: 8},
+			FixedTask:    "minimax",
+		})
+	if err != nil {
+		return err
+	}
+
+	// 3. Run the full architecture: SDN routing, LTE access network,
+	//    1/50 promotions, prediction + ILP allocation every 30 min.
+	res, err := sys.Run(reqs, dur)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("requests processed : %d (drop rate %.2f%%)\n",
+		len(res.Requests), 100*res.DropRate())
+	fmt.Printf("mean response      : %.1f ms\n", res.MeanResponseMs())
+	fmt.Printf("promotions         : %d\n", len(res.Promotions))
+	fmt.Printf("cloud spend        : $%.4f\n", res.TotalCostUSD)
+	fmt.Println("\nprovisioning rounds:")
+	for i, iv := range res.Intervals {
+		fmt.Printf("  round %d: predicted %v, actual %v, accuracy %.0f%%, %d instances, $%.4f/h\n",
+			i+1, iv.PredictedCounts, iv.ActualCounts, 100*iv.Accuracy,
+			iv.Instances, iv.Plan.Cost)
+	}
+	groups := map[int]int{}
+	for _, g := range res.FinalGroups {
+		groups[g]++
+	}
+	fmt.Printf("\nfinal groups       : %d users in g1, %d in g2, %d in g3\n",
+		groups[1], groups[2], groups[3])
+	return nil
+}

@@ -1,0 +1,308 @@
+// Package allocate implements the paper's dynamic resource allocation
+// model (§IV-C): given the predicted per-group workload W_an, choose how
+// many instances x_s of each type s to run so that total hourly cost
+// Σ x_s·c_s is minimal, capacity covers every group's workload
+// (eq. 2), and the cloud's instance cap CC is respected (eq. 3). The
+// optimization is exact integer programming (internal/ilp), the role the
+// paper gives to R's lpSolveAPI.
+//
+// Greedy and single-type ("vertical scaling", §III) allocators are
+// included for the ablation experiments.
+package allocate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"accelcloud/internal/ilp"
+	"accelcloud/internal/lp"
+)
+
+// DefaultCC is the paper's cloud cap: "Amazon allows a maximum of 20
+// instances for a standard level account".
+const DefaultCC = 20
+
+// Spec describes one allocatable instance type.
+type Spec struct {
+	// TypeName is the instance SKU.
+	TypeName string
+	// Group is the acceleration group the type serves.
+	Group int
+	// CostPerHour is c_s.
+	CostPerHour float64
+	// Capacity is K_s: users (or requests/minute) one instance serves
+	// within the SLA, found via benchmarking (§VI-A).
+	Capacity float64
+}
+
+// Problem is one allocation round.
+type Problem struct {
+	// Specs are the candidate instance types.
+	Specs []Spec
+	// Demands is the predicted workload W_an per group index.
+	Demands []float64
+	// CC caps the total instance count (eq. 3). Zero selects DefaultCC.
+	CC int
+	// Hierarchical, when true, lets instances of a higher acceleration
+	// group absorb lower-group workload (nested capacity constraints)
+	// instead of the strict per-group routing the paper deploys.
+	Hierarchical bool
+}
+
+// Plan is the allocation outcome.
+type Plan struct {
+	// Counts maps type name to the number of instances to run.
+	Counts map[string]int
+	// Cost is the total hourly cost.
+	Cost float64
+	// Feasible reports whether the demands can be covered at all.
+	Feasible bool
+	// GroupCapacity is the provisioned capacity per group.
+	GroupCapacity []float64
+	// Overprovision is provisioned capacity minus demand per group.
+	Overprovision []float64
+}
+
+// TotalInstances reports the plan's instance count.
+func (p Plan) TotalInstances() int {
+	total := 0
+	for _, n := range p.Counts {
+		total += n
+	}
+	return total
+}
+
+func (p *Problem) validate() error {
+	if len(p.Specs) == 0 {
+		return errors.New("allocate: no instance specs")
+	}
+	if len(p.Demands) == 0 {
+		return errors.New("allocate: no demands")
+	}
+	seen := make(map[string]struct{}, len(p.Specs))
+	for _, s := range p.Specs {
+		if s.TypeName == "" {
+			return errors.New("allocate: spec without type name")
+		}
+		if _, dup := seen[s.TypeName]; dup {
+			return fmt.Errorf("allocate: duplicate spec %q", s.TypeName)
+		}
+		seen[s.TypeName] = struct{}{}
+		if s.Group < 0 || s.Group >= len(p.Demands) {
+			return fmt.Errorf("allocate: spec %s group %d outside [0,%d)", s.TypeName, s.Group, len(p.Demands))
+		}
+		if s.CostPerHour < 0 {
+			return fmt.Errorf("allocate: spec %s negative cost", s.TypeName)
+		}
+		if s.Capacity <= 0 {
+			return fmt.Errorf("allocate: spec %s capacity %v <= 0", s.TypeName, s.Capacity)
+		}
+	}
+	for g, d := range p.Demands {
+		if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+			return fmt.Errorf("allocate: demand[%d] = %v", g, d)
+		}
+	}
+	if p.CC < 0 {
+		return fmt.Errorf("allocate: CC %d < 0", p.CC)
+	}
+	return nil
+}
+
+func (p *Problem) cc() int {
+	if p.CC == 0 {
+		return DefaultCC
+	}
+	return p.CC
+}
+
+// Solve finds the cost-minimal plan by integer programming.
+func Solve(p *Problem) (Plan, error) {
+	if err := p.validate(); err != nil {
+		return Plan{}, err
+	}
+	n := len(p.Specs)
+	prob := &ilp.Problem{
+		Objective: make([]float64, n),
+		Upper:     make([]int, n),
+	}
+	cc := p.cc()
+	for j, s := range p.Specs {
+		prob.Objective[j] = s.CostPerHour
+		prob.Upper[j] = cc
+	}
+	// Workload constraints (eq. 2).
+	for g, demand := range p.Demands {
+		if demand <= 0 && !p.Hierarchical {
+			continue
+		}
+		row := make([]float64, n)
+		rhs := demand
+		for j, s := range p.Specs {
+			serves := s.Group == g
+			if p.Hierarchical {
+				serves = s.Group >= g
+			}
+			if serves {
+				row[j] = s.Capacity
+			}
+		}
+		if p.Hierarchical {
+			// Nested form: capacity at level >= g covers demand at
+			// levels >= g.
+			rhs = 0
+			for gg := g; gg < len(p.Demands); gg++ {
+				rhs += p.Demands[gg]
+			}
+			if rhs <= 0 {
+				continue
+			}
+		}
+		prob.Constraints = append(prob.Constraints, lp.Constraint{Coeffs: row, Rel: lp.GE, RHS: rhs})
+	}
+	// Cloud cap (eq. 3).
+	capRow := make([]float64, n)
+	for j := range capRow {
+		capRow[j] = 1
+	}
+	prob.Constraints = append(prob.Constraints, lp.Constraint{Coeffs: capRow, Rel: lp.LE, RHS: float64(cc)})
+
+	sol, err := ilp.Solve(prob)
+	if err != nil {
+		return Plan{}, fmt.Errorf("allocate: %w", err)
+	}
+	if sol.Status != lp.Optimal {
+		return Plan{Feasible: false, Counts: map[string]int{}}, nil
+	}
+	counts := make(map[string]int, n)
+	for j, s := range p.Specs {
+		if sol.X[j] > 0 {
+			counts[s.TypeName] = sol.X[j]
+		}
+	}
+	return p.finishPlan(counts), nil
+}
+
+// finishPlan computes cost/capacity accounting for a counts map.
+func (p *Problem) finishPlan(counts map[string]int) Plan {
+	plan := Plan{
+		Counts:        counts,
+		Feasible:      true,
+		GroupCapacity: make([]float64, len(p.Demands)),
+		Overprovision: make([]float64, len(p.Demands)),
+	}
+	for _, s := range p.Specs {
+		n := counts[s.TypeName]
+		if n == 0 {
+			continue
+		}
+		plan.Cost += float64(n) * s.CostPerHour
+		plan.GroupCapacity[s.Group] += float64(n) * s.Capacity
+	}
+	for g := range p.Demands {
+		plan.Overprovision[g] = plan.GroupCapacity[g] - p.Demands[g]
+	}
+	return plan
+}
+
+// Greedy allocates cheapest-capacity-per-dollar first within each group —
+// the ablation baseline showing what exact optimization buys.
+func Greedy(p *Problem) (Plan, error) {
+	if err := p.validate(); err != nil {
+		return Plan{}, err
+	}
+	if p.Hierarchical {
+		return Plan{}, errors.New("allocate: greedy supports strict grouping only")
+	}
+	counts := make(map[string]int)
+	budget := p.cc()
+	// Serve groups in order of demand density (largest demand first) so
+	// the cap hits the least damaging groups last.
+	order := make([]int, len(p.Demands))
+	for g := range order {
+		order[g] = g
+	}
+	sort.Slice(order, func(i, j int) bool { return p.Demands[order[i]] > p.Demands[order[j]] })
+	for _, g := range order {
+		demand := p.Demands[g]
+		if demand <= 0 {
+			continue
+		}
+		// Candidates serving this group, best capacity-per-cost first.
+		var cands []Spec
+		for _, s := range p.Specs {
+			if s.Group == g {
+				cands = append(cands, s)
+			}
+		}
+		if len(cands) == 0 {
+			return Plan{Feasible: false, Counts: map[string]int{}}, nil
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			ri := cands[i].Capacity / math.Max(cands[i].CostPerHour, 1e-9)
+			rj := cands[j].Capacity / math.Max(cands[j].CostPerHour, 1e-9)
+			if ri != rj {
+				return ri > rj
+			}
+			return cands[i].TypeName < cands[j].TypeName
+		})
+		covered := 0.0
+		for covered < demand {
+			if budget == 0 {
+				return Plan{Feasible: false, Counts: map[string]int{}}, nil
+			}
+			best := cands[0]
+			counts[best.TypeName]++
+			covered += best.Capacity
+			budget--
+		}
+	}
+	return p.finishPlan(counts), nil
+}
+
+// SingleType scales one instance type vertically for the whole workload —
+// the "one server per smartphone / vertical scaling" strawman of §III.
+// Demands from groups the type cannot serve make the plan infeasible
+// unless Hierarchical is set and the type's group is the highest.
+func SingleType(p *Problem, typeName string) (Plan, error) {
+	if err := p.validate(); err != nil {
+		return Plan{}, err
+	}
+	var spec *Spec
+	for i := range p.Specs {
+		if p.Specs[i].TypeName == typeName {
+			spec = &p.Specs[i]
+			break
+		}
+	}
+	if spec == nil {
+		return Plan{}, fmt.Errorf("allocate: unknown type %q", typeName)
+	}
+	total := 0.0
+	for g, d := range p.Demands {
+		if d <= 0 {
+			continue
+		}
+		canServe := g == spec.Group || (p.Hierarchical && spec.Group >= g)
+		if !canServe {
+			return Plan{Feasible: false, Counts: map[string]int{}}, nil
+		}
+		total += d
+	}
+	need := int(math.Ceil(total / spec.Capacity))
+	if need > p.cc() {
+		return Plan{Feasible: false, Counts: map[string]int{}}, nil
+	}
+	counts := map[string]int{}
+	if need > 0 {
+		counts[typeName] = need
+	}
+	plan := p.finishPlan(counts)
+	if p.Hierarchical {
+		// All capacity sits in the spec's group; re-attribute coverage.
+		plan.Overprovision = []float64{plan.GroupCapacity[spec.Group] - total}
+	}
+	return plan, nil
+}

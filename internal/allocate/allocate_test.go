@@ -1,0 +1,330 @@
+package allocate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"accelcloud/internal/sim"
+)
+
+// paperSpecs builds a spec set shaped like the paper's deployment: two
+// types per group with different cost efficiency.
+func paperSpecs() []Spec {
+	return []Spec{
+		{TypeName: "t2.nano", Group: 0, CostPerHour: 0.0063, Capacity: 30},
+		{TypeName: "t2.small", Group: 0, CostPerHour: 0.025, Capacity: 30},
+		{TypeName: "t2.medium", Group: 1, CostPerHour: 0.05, Capacity: 60},
+		{TypeName: "t2.large", Group: 1, CostPerHour: 0.101, Capacity: 90},
+		{TypeName: "m4.10xlarge", Group: 2, CostPerHour: 2.22, Capacity: 800},
+	}
+}
+
+func TestSolveBasic(t *testing.T) {
+	p := &Problem{
+		Specs:   paperSpecs(),
+		Demands: []float64{45, 100, 500},
+	}
+	plan, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Feasible {
+		t.Fatal("plan should be feasible")
+	}
+	// Group 0: 2 nanos (60 >= 45, 0.0126) — small is never cheaper.
+	if plan.Counts["t2.nano"] != 2 || plan.Counts["t2.small"] != 0 {
+		t.Fatalf("group0 counts = %v", plan.Counts)
+	}
+	// Group 1: demand 100. Options: 2×medium (120 cap, $0.10),
+	// 2×large ($0.202), medium+large (150, $0.151). Optimal 2×medium.
+	if plan.Counts["t2.medium"] != 2 {
+		t.Fatalf("group1 counts = %v", plan.Counts)
+	}
+	// Group 2: 1×m4.10xlarge.
+	if plan.Counts["m4.10xlarge"] != 1 {
+		t.Fatalf("group2 counts = %v", plan.Counts)
+	}
+	wantCost := 2*0.0063 + 2*0.05 + 2.22
+	if math.Abs(plan.Cost-wantCost) > 1e-9 {
+		t.Fatalf("cost = %v, want %v", plan.Cost, wantCost)
+	}
+	for g := range p.Demands {
+		if plan.GroupCapacity[g] < p.Demands[g] {
+			t.Fatalf("group %d capacity %v below demand %v", g, plan.GroupCapacity[g], p.Demands[g])
+		}
+		if plan.Overprovision[g] != plan.GroupCapacity[g]-p.Demands[g] {
+			t.Fatal("overprovision accounting wrong")
+		}
+	}
+	if plan.TotalInstances() != 5 {
+		t.Fatalf("total instances = %d, want 5", plan.TotalInstances())
+	}
+}
+
+func TestSolveRespectsCC(t *testing.T) {
+	p := &Problem{
+		Specs:   []Spec{{TypeName: "x", Group: 0, CostPerHour: 1, Capacity: 10}},
+		Demands: []float64{100},
+		CC:      5,
+	}
+	// Needs 10 instances but cap is 5.
+	plan, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Feasible {
+		t.Fatal("plan should be infeasible under CC")
+	}
+	p.CC = 10
+	plan, err = Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Feasible || plan.Counts["x"] != 10 {
+		t.Fatalf("plan = %+v, want 10×x", plan)
+	}
+}
+
+func TestSolveDefaultCC(t *testing.T) {
+	p := &Problem{
+		Specs:   []Spec{{TypeName: "x", Group: 0, CostPerHour: 1, Capacity: 1}},
+		Demands: []float64{21},
+	}
+	// Default CC=20 < 21 required instances.
+	plan, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Feasible {
+		t.Fatal("default CC=20 should make 21 instances infeasible")
+	}
+}
+
+func TestSolveZeroDemand(t *testing.T) {
+	p := &Problem{
+		Specs:   paperSpecs(),
+		Demands: []float64{0, 0, 0},
+	}
+	plan, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Feasible || plan.TotalInstances() != 0 || plan.Cost != 0 {
+		t.Fatalf("zero demand plan = %+v, want empty", plan)
+	}
+}
+
+func TestSolveHierarchical(t *testing.T) {
+	// Group 1's instances can absorb group 0's users in hierarchical
+	// mode; with a huge cheap group-1 type, the optimum uses only it.
+	p := &Problem{
+		Specs: []Spec{
+			{TypeName: "weak", Group: 0, CostPerHour: 1.0, Capacity: 10},
+			{TypeName: "strong", Group: 1, CostPerHour: 1.5, Capacity: 100},
+		},
+		Demands:      []float64{50, 50},
+		Hierarchical: true,
+	}
+	plan, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Feasible {
+		t.Fatal("should be feasible")
+	}
+	// 1×strong (100 cap ≥ 50+50 total, ≥50 for group 1) at cost 1.5
+	// beats 5×weak + 1×strong (6.5).
+	if plan.Counts["strong"] != 1 || plan.Counts["weak"] != 0 {
+		t.Fatalf("hierarchical plan = %v", plan.Counts)
+	}
+	// Strict mode must pay for both groups.
+	p.Hierarchical = false
+	plan, err = Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Counts["weak"] != 5 || plan.Counts["strong"] != 1 {
+		t.Fatalf("strict plan = %v", plan.Counts)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []*Problem{
+		{},
+		{Specs: paperSpecs()},
+		{Specs: []Spec{{TypeName: "", Group: 0, Capacity: 1}}, Demands: []float64{1}},
+		{Specs: []Spec{{TypeName: "x", Group: 5, Capacity: 1}}, Demands: []float64{1}},
+		{Specs: []Spec{{TypeName: "x", Group: 0, Capacity: 0}}, Demands: []float64{1}},
+		{Specs: []Spec{{TypeName: "x", Group: 0, CostPerHour: -1, Capacity: 1}}, Demands: []float64{1}},
+		{Specs: []Spec{{TypeName: "x", Group: 0, Capacity: 1}, {TypeName: "x", Group: 0, Capacity: 2}}, Demands: []float64{1}},
+		{Specs: []Spec{{TypeName: "x", Group: 0, Capacity: 1}}, Demands: []float64{-1}},
+		{Specs: []Spec{{TypeName: "x", Group: 0, Capacity: 1}}, Demands: []float64{1}, CC: -2},
+		{Specs: []Spec{{TypeName: "x", Group: 0, Capacity: 1}}, Demands: []float64{math.NaN()}},
+	}
+	for i, p := range bad {
+		if _, err := Solve(p); err == nil {
+			t.Fatalf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestGreedy(t *testing.T) {
+	p := &Problem{
+		Specs:   paperSpecs(),
+		Demands: []float64{45, 100, 500},
+	}
+	plan, err := Greedy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Feasible {
+		t.Fatal("greedy should find a feasible plan")
+	}
+	for g := range p.Demands {
+		if plan.GroupCapacity[g] < p.Demands[g] {
+			t.Fatalf("greedy under-provisions group %d", g)
+		}
+	}
+	// Optimal is never more expensive than greedy.
+	opt, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Cost > plan.Cost+1e-9 {
+		t.Fatalf("ILP cost %v exceeds greedy %v", opt.Cost, plan.Cost)
+	}
+	if _, err := Greedy(&Problem{Specs: paperSpecs(), Demands: []float64{1}, Hierarchical: true}); err == nil {
+		t.Fatal("greedy hierarchical should fail")
+	}
+}
+
+func TestGreedyInfeasible(t *testing.T) {
+	p := &Problem{
+		Specs:   []Spec{{TypeName: "x", Group: 0, CostPerHour: 1, Capacity: 1}},
+		Demands: []float64{100},
+		CC:      5,
+	}
+	plan, err := Greedy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Feasible {
+		t.Fatal("greedy should report infeasible under CC")
+	}
+	// No candidate for a demanded group.
+	p2 := &Problem{
+		Specs:   []Spec{{TypeName: "x", Group: 0, CostPerHour: 1, Capacity: 1}},
+		Demands: []float64{0, 5},
+	}
+	plan2, err := Greedy(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan2.Feasible {
+		t.Fatal("greedy with no candidates should be infeasible")
+	}
+}
+
+func TestSingleType(t *testing.T) {
+	p := &Problem{
+		Specs:   paperSpecs(),
+		Demands: []float64{45, 0, 0},
+	}
+	plan, err := SingleType(p, "t2.nano")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Feasible || plan.Counts["t2.nano"] != 2 {
+		t.Fatalf("single-type plan = %+v", plan)
+	}
+	// A type that cannot serve a demanded group is infeasible.
+	p.Demands = []float64{45, 10, 0}
+	plan, err = SingleType(p, "t2.nano")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Feasible {
+		t.Fatal("nano cannot serve group 1 in strict mode")
+	}
+	// Hierarchical with the top type can serve everything.
+	p.Hierarchical = true
+	p.Demands = []float64{45, 10, 100}
+	plan, err = SingleType(p, "m4.10xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Feasible || plan.Counts["m4.10xlarge"] != 1 {
+		t.Fatalf("hierarchical single-type plan = %+v", plan)
+	}
+	if _, err := SingleType(p, "ghost"); err == nil {
+		t.Fatal("unknown type should fail")
+	}
+}
+
+func TestSingleTypeRespectsCC(t *testing.T) {
+	p := &Problem{
+		Specs:   []Spec{{TypeName: "x", Group: 0, CostPerHour: 1, Capacity: 1}},
+		Demands: []float64{30},
+	}
+	plan, err := SingleType(p, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Feasible {
+		t.Fatal("30 instances exceed default CC=20")
+	}
+}
+
+// Property: on random strict problems, the ILP plan is feasible and never
+// more expensive than greedy; both respect CC.
+func TestSolveVsGreedyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := sim.NewRNG(seed).Stream("alloc")
+		groups := 1 + r.Intn(3)
+		p := &Problem{CC: 15 + r.Intn(10)}
+		for g := 0; g < groups; g++ {
+			p.Demands = append(p.Demands, float64(r.Intn(150)))
+			// Two specs per group.
+			for v := 0; v < 2; v++ {
+				p.Specs = append(p.Specs, Spec{
+					TypeName:    string(rune('a'+g)) + string(rune('0'+v)),
+					Group:       g,
+					CostPerHour: 0.01 + r.Float64()*2,
+					Capacity:    float64(10 + r.Intn(100)),
+				})
+			}
+		}
+		opt, err := Solve(p)
+		if err != nil {
+			return false
+		}
+		grd, err := Greedy(p)
+		if err != nil {
+			return false
+		}
+		if opt.Feasible != grd.Feasible && grd.Feasible {
+			// Greedy feasible but ILP not — impossible for a correct
+			// solver.
+			return false
+		}
+		if !opt.Feasible {
+			return true
+		}
+		if opt.TotalInstances() > p.CC {
+			return false
+		}
+		for g := range p.Demands {
+			if opt.GroupCapacity[g] < p.Demands[g]-1e-9 {
+				return false
+			}
+		}
+		if grd.Feasible && opt.Cost > grd.Cost+1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,303 @@
+// Package cloud models the EC2-style instance pool of the paper's testbed
+// (§VI: t2.nano … t2.large, m4.10xlarge, plus m4.4xlarge and c4.8xlarge
+// from §VI-B/§VI-C). An instance type carries the compute parameters that
+// drive the queueing simulation (internal/qsim): core count, per-core
+// speed, the t2 CPU-credit burst model, and the hourly price used by the
+// allocator.
+//
+// Substitution note (see DESIGN.md): per-core speeds are calibrated so
+// that the acceleration-level ratios the paper measures (≈1.25×, ≈1.36×,
+// ≈1.73×) reproduce; the credit/contention parameters reproduce the
+// t2.nano-beats-t2.micro anomaly of Fig 6.
+package cloud
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// RefCoreRate is the work-unit throughput of one reference core
+// (SpeedFactor 1.0). Task service time = Work / (SpeedFactor·RefCoreRate)
+// on an uncontended core. The constant is chosen so the pool's default
+// request mix costs ≈10 ms of single-core time, matching the response
+// floors of Fig 4.
+const RefCoreRate = 200_000.0
+
+// InstanceType describes one purchasable server type.
+type InstanceType struct {
+	// Name is the vendor SKU, e.g. "t2.nano".
+	Name string
+	// VCPU is the number of virtual cores.
+	VCPU int
+	// SpeedFactor is the per-core effective speed relative to the
+	// reference core, folding in clock, memory bandwidth and cache
+	// effects. Calibrated against the paper's acceleration ratios.
+	SpeedFactor float64
+	// MemGiB is the instance memory (informational; bounds concurrent
+	// surrogate processes).
+	MemGiB float64
+	// PricePerHour is the on-demand price in USD (eu-west-1, 2017).
+	PricePerHour float64
+
+	// Burstable marks t2-family instances governed by CPU credits.
+	Burstable bool
+	// BaselineUtil is the fraction of total VCPU capacity sustainable
+	// with an empty credit balance (t2 spec).
+	BaselineUtil float64
+	// InitialCredits is the launch credit balance (vCPU-minutes).
+	InitialCredits float64
+	// CreditRatePerHour is the credit accrual rate (vCPU-minutes/hour).
+	CreditRatePerHour float64
+	// MaxCredits caps the credit balance.
+	MaxCredits float64
+
+	// ContentionFactor scales the instance's effective compute downward
+	// to model host-level oversubscription. The free-tier t2.micro pool
+	// is modelled as heavily contended; this is the mechanism behind the
+	// paper's nano/micro anomaly (Fig 6, §VI-A4).
+	ContentionFactor float64
+}
+
+// Validate checks the type parameters.
+func (t InstanceType) Validate() error {
+	if t.Name == "" {
+		return errors.New("cloud: instance type without name")
+	}
+	if t.VCPU <= 0 {
+		return fmt.Errorf("cloud: %s has %d vCPU", t.Name, t.VCPU)
+	}
+	if t.SpeedFactor <= 0 {
+		return fmt.Errorf("cloud: %s has speed factor %v", t.Name, t.SpeedFactor)
+	}
+	if t.PricePerHour < 0 {
+		return fmt.Errorf("cloud: %s has negative price", t.Name)
+	}
+	if t.Burstable {
+		if t.BaselineUtil <= 0 || t.BaselineUtil > 1 {
+			return fmt.Errorf("cloud: %s baseline %v outside (0,1]", t.Name, t.BaselineUtil)
+		}
+		if t.CreditRatePerHour < 0 || t.MaxCredits < 0 || t.InitialCredits < 0 {
+			return fmt.Errorf("cloud: %s has negative credit parameters", t.Name)
+		}
+	}
+	if t.ContentionFactor <= 0 || t.ContentionFactor > 1 {
+		return fmt.Errorf("cloud: %s contention %v outside (0,1]", t.Name, t.ContentionFactor)
+	}
+	return nil
+}
+
+// SingleTaskRate is the maximum work-unit rate a single (serial) request
+// can consume on this type: one core at full speed. The paper's §VII-1
+// "acceleration limit": a task cannot exploit more cores than its code
+// parallelism, and the pool's tasks are serial.
+func (t InstanceType) SingleTaskRate() float64 {
+	return t.SpeedFactor * t.ContentionFactor * RefCoreRate
+}
+
+// TotalRate is the aggregate work-unit rate across all cores.
+func (t InstanceType) TotalRate() float64 {
+	return float64(t.VCPU) * t.SingleTaskRate()
+}
+
+// Catalog is the set of purchasable instance types, keyed by name.
+type Catalog struct {
+	byName map[string]InstanceType
+	order  []string
+}
+
+// NewCatalog validates and indexes the given types.
+func NewCatalog(types ...InstanceType) (*Catalog, error) {
+	c := &Catalog{byName: make(map[string]InstanceType, len(types))}
+	for _, t := range types {
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := c.byName[t.Name]; dup {
+			return nil, fmt.Errorf("cloud: duplicate type %q", t.Name)
+		}
+		c.byName[t.Name] = t
+		c.order = append(c.order, t.Name)
+	}
+	return c, nil
+}
+
+// DefaultCatalog returns the paper's eight instance types with 2017
+// eu-west-1 on-demand pricing and t2 credit parameters.
+func DefaultCatalog() *Catalog {
+	c, err := NewCatalog(
+		InstanceType{
+			Name: "t2.nano", VCPU: 1, SpeedFactor: 1.0, MemGiB: 0.5,
+			PricePerHour: 0.0063, Burstable: true, BaselineUtil: 0.05,
+			InitialCredits: 30, CreditRatePerHour: 3, MaxCredits: 72,
+			ContentionFactor: 1.0,
+		},
+		InstanceType{
+			// Free-tier eligible; modelled as contended (Fig 6 anomaly).
+			Name: "t2.micro", VCPU: 1, SpeedFactor: 1.0, MemGiB: 1,
+			PricePerHour: 0.0126, Burstable: true, BaselineUtil: 0.10,
+			InitialCredits: 30, CreditRatePerHour: 6, MaxCredits: 144,
+			ContentionFactor: 0.55,
+		},
+		InstanceType{
+			Name: "t2.small", VCPU: 1, SpeedFactor: 1.0, MemGiB: 2,
+			PricePerHour: 0.025, Burstable: true, BaselineUtil: 0.20,
+			InitialCredits: 30, CreditRatePerHour: 12, MaxCredits: 288,
+			ContentionFactor: 1.0,
+		},
+		InstanceType{
+			Name: "t2.medium", VCPU: 2, SpeedFactor: 1.25, MemGiB: 4,
+			PricePerHour: 0.05, Burstable: true, BaselineUtil: 0.20,
+			InitialCredits: 60, CreditRatePerHour: 24, MaxCredits: 576,
+			ContentionFactor: 1.0,
+		},
+		InstanceType{
+			Name: "t2.large", VCPU: 2, SpeedFactor: 1.25, MemGiB: 8,
+			PricePerHour: 0.101, Burstable: true, BaselineUtil: 0.30,
+			InitialCredits: 60, CreditRatePerHour: 36, MaxCredits: 864,
+			ContentionFactor: 1.0,
+		},
+		InstanceType{
+			Name: "m4.4xlarge", VCPU: 16, SpeedFactor: 1.6, MemGiB: 64,
+			PricePerHour: 0.888, ContentionFactor: 1.0,
+		},
+		InstanceType{
+			Name: "m4.10xlarge", VCPU: 40, SpeedFactor: 1.73, MemGiB: 160,
+			PricePerHour: 2.22, ContentionFactor: 1.0,
+		},
+		InstanceType{
+			Name: "c4.8xlarge", VCPU: 36, SpeedFactor: 2.0, MemGiB: 60,
+			PricePerHour: 1.811, ContentionFactor: 1.0,
+		},
+	)
+	if err != nil {
+		// The default catalog is a fixed literal; failure is a
+		// programming error surfaced at startup.
+		panic(err)
+	}
+	return c
+}
+
+// ByName fetches a type.
+func (c *Catalog) ByName(name string) (InstanceType, error) {
+	t, ok := c.byName[name]
+	if !ok {
+		return InstanceType{}, fmt.Errorf("cloud: unknown instance type %q", name)
+	}
+	return t, nil
+}
+
+// Names lists the catalog's type names in registration order.
+func (c *Catalog) Names() []string {
+	out := make([]string, len(c.order))
+	copy(out, c.order)
+	return out
+}
+
+// Types lists the catalog's types in registration order.
+func (c *Catalog) Types() []InstanceType {
+	out := make([]InstanceType, 0, len(c.order))
+	for _, n := range c.order {
+		out = append(out, c.byName[n])
+	}
+	return out
+}
+
+// Instance is one launched server with live CPU-credit state.
+type Instance struct {
+	id       string
+	typ      InstanceType
+	credits  float64
+	lastAt   time.Time
+	launched time.Time
+}
+
+// NewInstance launches an instance of the given type at virtual time now.
+func NewInstance(id string, t InstanceType, now time.Time) (*Instance, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if id == "" {
+		return nil, errors.New("cloud: instance without id")
+	}
+	return &Instance{
+		id: id, typ: t, credits: t.InitialCredits, lastAt: now, launched: now,
+	}, nil
+}
+
+// ID reports the instance identifier.
+func (i *Instance) ID() string { return i.id }
+
+// Type reports the instance type.
+func (i *Instance) Type() InstanceType { return i.typ }
+
+// Credits reports the current credit balance (vCPU-minutes).
+func (i *Instance) Credits() float64 { return i.credits }
+
+// Launched reports the launch time.
+func (i *Instance) Launched() time.Time { return i.launched }
+
+// Advance accounts credit accrual and spend for the interval
+// [lastAt, now] during which coresInUse virtual cores were busy.
+// Calling with now before the last update is an error.
+func (i *Instance) Advance(now time.Time, coresInUse float64) error {
+	dt := now.Sub(i.lastAt)
+	if dt < 0 {
+		return fmt.Errorf("cloud: instance %s advanced backwards (%v)", i.id, dt)
+	}
+	i.lastAt = now
+	if !i.typ.Burstable || dt == 0 {
+		return nil
+	}
+	minutes := dt.Minutes()
+	// Accrue, then spend for usage above zero; baseline usage is "free"
+	// in the sense that accrual covers it when utilization stays at the
+	// baseline.
+	i.credits += i.typ.CreditRatePerHour * dt.Hours()
+	i.credits -= coresInUse * minutes
+	if i.credits > i.typ.MaxCredits {
+		i.credits = i.typ.MaxCredits
+	}
+	if i.credits < 0 {
+		i.credits = 0
+	}
+	return nil
+}
+
+// EffectiveCores reports how many virtual cores the instance can use
+// right now: all of them while credits remain, the baseline fraction once
+// the balance is empty.
+func (i *Instance) EffectiveCores() float64 {
+	c := float64(i.typ.VCPU)
+	if i.typ.Burstable && i.credits <= 0 {
+		return c * i.typ.BaselineUtil
+	}
+	return c
+}
+
+// Throttled reports whether the instance is pinned at its baseline.
+func (i *Instance) Throttled() bool {
+	return i.typ.Burstable && i.credits <= 0
+}
+
+// HoursBilled reports the number of whole provisioning hours billed from
+// launch to now (partial hours round up, the EC2 2017 billing rule).
+func (i *Instance) HoursBilled(now time.Time) int {
+	d := now.Sub(i.launched)
+	if d <= 0 {
+		return 1
+	}
+	hours := int(d / time.Hour)
+	if d%time.Hour != 0 {
+		hours++
+	}
+	if hours < 1 {
+		hours = 1
+	}
+	return hours
+}
+
+// Cost reports the billed cost from launch to now.
+func (i *Instance) Cost(now time.Time) float64 {
+	return float64(i.HoursBilled(now)) * i.typ.PricePerHour
+}

@@ -1,0 +1,259 @@
+package cloud
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"accelcloud/internal/sim"
+)
+
+func TestDefaultCatalogTypes(t *testing.T) {
+	c := DefaultCatalog()
+	want := []string{
+		"t2.nano", "t2.micro", "t2.small", "t2.medium", "t2.large",
+		"m4.4xlarge", "m4.10xlarge", "c4.8xlarge",
+	}
+	names := c.Names()
+	if len(names) != len(want) {
+		t.Fatalf("catalog has %d types, want %d", len(names), len(want))
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("Names() = %v, want %v", names, want)
+		}
+	}
+	if len(c.Types()) != len(want) {
+		t.Fatal("Types() length mismatch")
+	}
+}
+
+func TestCatalogByName(t *testing.T) {
+	c := DefaultCatalog()
+	nano, err := c.ByName("t2.nano")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nano.VCPU != 1 || !nano.Burstable {
+		t.Fatalf("t2.nano = %+v", nano)
+	}
+	if _, err := c.ByName("x1.mega"); err == nil {
+		t.Fatal("unknown type should fail")
+	}
+}
+
+func TestCatalogPricesAscendWithCapability(t *testing.T) {
+	c := DefaultCatalog()
+	order := []string{"t2.nano", "t2.micro", "t2.small", "t2.medium", "t2.large", "m4.4xlarge", "m4.10xlarge"}
+	prev := -1.0
+	for _, n := range order {
+		it, err := c.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if it.PricePerHour <= prev {
+			t.Fatalf("%s price %v not above previous %v", n, it.PricePerHour, prev)
+		}
+		prev = it.PricePerHour
+	}
+}
+
+func TestInstanceTypeValidate(t *testing.T) {
+	good := InstanceType{Name: "x", VCPU: 1, SpeedFactor: 1, ContentionFactor: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid type rejected: %v", err)
+	}
+	bad := []InstanceType{
+		{},
+		{Name: "x", VCPU: 0, SpeedFactor: 1, ContentionFactor: 1},
+		{Name: "x", VCPU: 1, SpeedFactor: 0, ContentionFactor: 1},
+		{Name: "x", VCPU: 1, SpeedFactor: 1, PricePerHour: -1, ContentionFactor: 1},
+		{Name: "x", VCPU: 1, SpeedFactor: 1, ContentionFactor: 0},
+		{Name: "x", VCPU: 1, SpeedFactor: 1, ContentionFactor: 1, Burstable: true, BaselineUtil: 0},
+		{Name: "x", VCPU: 1, SpeedFactor: 1, ContentionFactor: 1, Burstable: true, BaselineUtil: 2},
+		{Name: "x", VCPU: 1, SpeedFactor: 1, ContentionFactor: 1, Burstable: true, BaselineUtil: 0.1, MaxCredits: -1},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Fatalf("case %d should fail: %+v", i, b)
+		}
+	}
+}
+
+func TestNewCatalogRejectsDuplicates(t *testing.T) {
+	a := InstanceType{Name: "x", VCPU: 1, SpeedFactor: 1, ContentionFactor: 1}
+	if _, err := NewCatalog(a, a); err == nil {
+		t.Fatal("duplicate names should fail")
+	}
+	if _, err := NewCatalog(InstanceType{}); err == nil {
+		t.Fatal("invalid type should fail")
+	}
+}
+
+func TestRates(t *testing.T) {
+	it := InstanceType{Name: "x", VCPU: 4, SpeedFactor: 1.5, ContentionFactor: 0.5}
+	wantSingle := 1.5 * 0.5 * RefCoreRate
+	if got := it.SingleTaskRate(); math.Abs(got-wantSingle) > 1e-9 {
+		t.Fatalf("SingleTaskRate = %v, want %v", got, wantSingle)
+	}
+	if got := it.TotalRate(); math.Abs(got-4*wantSingle) > 1e-9 {
+		t.Fatalf("TotalRate = %v, want %v", got, 4*wantSingle)
+	}
+}
+
+func TestNewInstanceValidation(t *testing.T) {
+	ct := DefaultCatalog()
+	nano, _ := ct.ByName("t2.nano")
+	if _, err := NewInstance("", nano, sim.Epoch); err == nil {
+		t.Fatal("empty id should fail")
+	}
+	if _, err := NewInstance("i-1", InstanceType{}, sim.Epoch); err == nil {
+		t.Fatal("invalid type should fail")
+	}
+	inst, err := NewInstance("i-1", nano, sim.Epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.ID() != "i-1" || inst.Type().Name != "t2.nano" {
+		t.Fatalf("instance = %v %v", inst.ID(), inst.Type().Name)
+	}
+	if inst.Credits() != nano.InitialCredits {
+		t.Fatalf("credits = %v, want %v", inst.Credits(), nano.InitialCredits)
+	}
+	if !inst.Launched().Equal(sim.Epoch) {
+		t.Fatal("launch time wrong")
+	}
+}
+
+func TestCreditDrainAndThrottle(t *testing.T) {
+	ct := DefaultCatalog()
+	nano, _ := ct.ByName("t2.nano")
+	inst, err := NewInstance("i-1", nano, sim.Epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Throttled() {
+		t.Fatal("fresh instance must not be throttled")
+	}
+	if inst.EffectiveCores() != 1 {
+		t.Fatalf("EffectiveCores = %v, want 1", inst.EffectiveCores())
+	}
+	// Burn the full core for 40 minutes: spend 40 credits, accrue 2
+	// (3/hr × 2/3 hr): 30 + 2 - 40 < 0 -> throttled to 5% of a core.
+	if err := inst.Advance(sim.Epoch.Add(40*time.Minute), 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if !inst.Throttled() {
+		t.Fatalf("want throttled after sustained burn, credits=%v", inst.Credits())
+	}
+	if got := inst.EffectiveCores(); math.Abs(got-0.05) > 1e-9 {
+		t.Fatalf("EffectiveCores = %v, want 0.05", got)
+	}
+	// Idle for 10 hours: accrues 30 credits, un-throttles.
+	if err := inst.Advance(sim.Epoch.Add(40*time.Minute+10*time.Hour), 0); err != nil {
+		t.Fatal(err)
+	}
+	if inst.Throttled() {
+		t.Fatalf("want recovered, credits=%v", inst.Credits())
+	}
+}
+
+func TestCreditCapAndClamp(t *testing.T) {
+	ct := DefaultCatalog()
+	nano, _ := ct.ByName("t2.nano")
+	inst, _ := NewInstance("i-1", nano, sim.Epoch)
+	// A week idle: accrual must cap at MaxCredits.
+	if err := inst.Advance(sim.Epoch.Add(7*24*time.Hour), 0); err != nil {
+		t.Fatal(err)
+	}
+	if inst.Credits() != nano.MaxCredits {
+		t.Fatalf("credits = %v, want cap %v", inst.Credits(), nano.MaxCredits)
+	}
+}
+
+func TestAdvanceBackwardsRejected(t *testing.T) {
+	ct := DefaultCatalog()
+	nano, _ := ct.ByName("t2.nano")
+	inst, _ := NewInstance("i-1", nano, sim.Epoch.Add(time.Hour))
+	if err := inst.Advance(sim.Epoch, 0); err == nil {
+		t.Fatal("advancing backwards should fail")
+	}
+}
+
+func TestNonBurstableNeverThrottles(t *testing.T) {
+	ct := DefaultCatalog()
+	m4, _ := ct.ByName("m4.10xlarge")
+	inst, _ := NewInstance("i-1", m4, sim.Epoch)
+	if err := inst.Advance(sim.Epoch.Add(100*time.Hour), 40); err != nil {
+		t.Fatal(err)
+	}
+	if inst.Throttled() {
+		t.Fatal("m4 must never throttle")
+	}
+	if inst.EffectiveCores() != 40 {
+		t.Fatalf("EffectiveCores = %v, want 40", inst.EffectiveCores())
+	}
+}
+
+func TestBilling(t *testing.T) {
+	ct := DefaultCatalog()
+	large, _ := ct.ByName("t2.large")
+	inst, _ := NewInstance("i-1", large, sim.Epoch)
+	tests := []struct {
+		after time.Duration
+		hours int
+	}{
+		{0, 1},
+		{time.Minute, 1},
+		{time.Hour, 1},
+		{time.Hour + time.Second, 2},
+		{5*time.Hour + 30*time.Minute, 6},
+	}
+	for _, tt := range tests {
+		if got := inst.HoursBilled(sim.Epoch.Add(tt.after)); got != tt.hours {
+			t.Fatalf("HoursBilled(%v) = %d, want %d", tt.after, got, tt.hours)
+		}
+	}
+	if got := inst.Cost(sim.Epoch.Add(90 * time.Minute)); math.Abs(got-2*large.PricePerHour) > 1e-12 {
+		t.Fatalf("Cost = %v, want two hours", got)
+	}
+}
+
+// The anomaly premise of Fig 6: under sustained load, t2.nano delivers
+// more throughput than t2.micro despite having fewer nominal resources.
+func TestNanoBeatsMicroUnderSustainedLoad(t *testing.T) {
+	ct := DefaultCatalog()
+	nano, _ := ct.ByName("t2.nano")
+	micro, _ := ct.ByName("t2.micro")
+	if nano.SingleTaskRate() <= micro.SingleTaskRate() {
+		t.Fatalf("nano single-task rate %v must exceed micro's %v (contention model)",
+			nano.SingleTaskRate(), micro.SingleTaskRate())
+	}
+	// The free-tier anomaly must not extend to the rest of the family.
+	small, _ := ct.ByName("t2.small")
+	if small.SingleTaskRate() != nano.SingleTaskRate() {
+		t.Fatal("nano and small share the uncontended rate")
+	}
+}
+
+// Acceleration ratio calibration (Fig 5): level 2 (t2.medium/large) runs a
+// serial task ≈1.25× faster than level 1 (t2.nano/small); level 3
+// (m4.10xlarge) ≈1.73×; level 3 over level 2 ≈1.38.
+func TestAccelerationRatios(t *testing.T) {
+	ct := DefaultCatalog()
+	nano, _ := ct.ByName("t2.nano")
+	large, _ := ct.ByName("t2.large")
+	m4, _ := ct.ByName("m4.10xlarge")
+	r21 := large.SingleTaskRate() / nano.SingleTaskRate()
+	r31 := m4.SingleTaskRate() / nano.SingleTaskRate()
+	r32 := m4.SingleTaskRate() / large.SingleTaskRate()
+	if math.Abs(r21-1.25) > 0.01 {
+		t.Fatalf("level2/level1 = %v, want ≈1.25", r21)
+	}
+	if math.Abs(r31-1.73) > 0.01 {
+		t.Fatalf("level3/level1 = %v, want ≈1.73", r31)
+	}
+	if math.Abs(r32-1.384) > 0.01 {
+		t.Fatalf("level3/level2 = %v, want ≈1.36–1.39", r32)
+	}
+}

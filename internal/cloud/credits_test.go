@@ -1,0 +1,89 @@
+package cloud
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"accelcloud/internal/sim"
+)
+
+// Property: under any sequence of advances, the credit balance stays in
+// [0, MaxCredits] and EffectiveCores stays in (0, VCPU].
+func TestCreditInvariantsProperty(t *testing.T) {
+	ct := DefaultCatalog()
+	types := []string{"t2.nano", "t2.micro", "t2.small", "t2.medium", "t2.large"}
+	f := func(seed int64, steps []uint8) bool {
+		rng := sim.NewRNG(seed).Stream("credits")
+		name := types[int(uint64(seed)%uint64(len(types)))]
+		typ, err := ct.ByName(name)
+		if err != nil {
+			return false
+		}
+		inst, err := NewInstance("i-q", typ, sim.Epoch)
+		if err != nil {
+			return false
+		}
+		now := sim.Epoch
+		for _, s := range steps {
+			dt := time.Duration(s) * time.Second * 13
+			usage := rng.Float64() * float64(typ.VCPU)
+			now = now.Add(dt)
+			if err := inst.Advance(now, usage); err != nil {
+				return false
+			}
+			if inst.Credits() < 0 || inst.Credits() > typ.MaxCredits {
+				return false
+			}
+			eff := inst.EffectiveCores()
+			if eff <= 0 || eff > float64(typ.VCPU) {
+				return false
+			}
+			if inst.Throttled() != (inst.Credits() <= 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The t2 steady state: sustained usage at exactly the baseline is credit
+// neutral (accrual covers spend).
+func TestBaselineUsageIsSustainable(t *testing.T) {
+	ct := DefaultCatalog()
+	nano, err := ct.ByName("t2.nano")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := NewInstance("i-base", nano, sim.Epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// nano: baseline 5% of one core; accrual 3 credits/h = 0.05
+	// core-hours per hour. Run 100 h at exactly baseline usage.
+	usage := nano.BaselineUtil * float64(nano.VCPU)
+	for h := 1; h <= 100; h++ {
+		if err := inst.Advance(sim.Epoch.Add(time.Duration(h)*time.Hour), usage); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if inst.Throttled() {
+		t.Fatalf("baseline usage throttled the instance (credits %v)", inst.Credits())
+	}
+	// And slightly above baseline eventually throttles.
+	inst2, err := NewInstance("i-over", nano, sim.Epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := 1; h <= 600; h++ {
+		if err := inst2.Advance(sim.Epoch.Add(time.Duration(h)*time.Hour), usage*2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !inst2.Throttled() {
+		t.Fatalf("2x baseline usage should exhaust credits (credits %v)", inst2.Credits())
+	}
+}

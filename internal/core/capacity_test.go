@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"accelcloud/internal/device"
+	"accelcloud/internal/qsim"
+)
+
+// When the cloud cap CC makes the allocation infeasible, the system keeps
+// the previous pool and continues serving (graceful degradation, not an
+// outage).
+func TestInfeasibleAllocationKeepsServing(t *testing.T) {
+	cfg := Config{
+		Groups: []GroupSpec{
+			// Capacity 1 user per instance and CC=2: any interval with
+			// more than 2 active users is unallocatable.
+			{Group: 1, TypeName: "t2.nano", Capacity: 1, Initial: 1},
+		},
+		CC:                2,
+		ProvisionInterval: 10 * time.Minute,
+		Policy:            device.Never{},
+		Seed:              21,
+	}
+	res := smallRun(t, cfg, 20, time.Hour)
+	if len(res.Intervals) == 0 {
+		t.Fatal("no provisioning rounds")
+	}
+	sawInfeasible := false
+	for _, iv := range res.Intervals {
+		if !iv.Plan.Feasible {
+			sawInfeasible = true
+			if iv.Instances == 0 {
+				t.Fatal("infeasible round must keep the existing pool")
+			}
+		}
+	}
+	if !sawInfeasible {
+		t.Fatal("expected at least one infeasible round under CC=2")
+	}
+	// The system still served requests.
+	served := 0
+	for _, r := range res.Requests {
+		if !r.Dropped {
+			served++
+		}
+	}
+	if served == 0 {
+		t.Fatal("system stopped serving under infeasible allocation")
+	}
+}
+
+// Overloaded backends with a tiny queue produce drops that surface in the
+// result (failure injection for the Fig 8c path inside the full system).
+func TestDropsSurfaceInResult(t *testing.T) {
+	cfg := Config{
+		Groups: []GroupSpec{
+			{Group: 1, TypeName: "t2.nano", Capacity: 1000, Initial: 1},
+		},
+		ProvisionInterval: time.Hour, // no reallocation during the run
+		Policy:            device.Never{},
+		Queue:             qsim.Config{MaxConcurrency: 1, QueueCapacity: -1},
+		Background:        map[int]BackgroundLoad{1: {RatePerSec: 50, Work: 50_000}},
+		Seed:              22,
+	}
+	res := smallRun(t, cfg, 10, 30*time.Minute)
+	if res.DropRate() == 0 {
+		t.Fatal("expected drops with a single slot and heavy background")
+	}
+	for _, r := range res.Requests {
+		if r.Dropped && r.ResponseMs != 0 {
+			t.Fatalf("dropped request carries a response time: %+v", r)
+		}
+	}
+}
+
+// The provisioning loop scales a group down again when load leaves (the
+// over-provisioning reduction the model exists for).
+func TestScaleDownAfterLoadDrops(t *testing.T) {
+	cfg := Config{
+		Groups: []GroupSpec{
+			{Group: 1, TypeName: "t2.nano", Capacity: 5, Initial: 6},
+		},
+		ProvisionInterval: 10 * time.Minute,
+		Policy:            device.Never{},
+		Seed:              23,
+	}
+	// Only 5 users -> 1 instance suffices; initial pool of 6 must shrink.
+	res := smallRun(t, cfg, 5, time.Hour)
+	last := res.Intervals[len(res.Intervals)-1]
+	if last.Instances >= 6 {
+		t.Fatalf("pool never shrank: %d instances", last.Instances)
+	}
+	if last.Instances < 1 {
+		t.Fatal("pool must keep serving")
+	}
+}

@@ -1,0 +1,602 @@
+// Package core assembles the paper's complete system (§IV, Fig 2): a
+// dynamic workload of mobile devices offloads tasks through the
+// SDN-accelerator into per-group instance pools; devices promote
+// themselves to higher acceleration groups when response times degrade;
+// and every provisioning interval the adaptive model predicts the next
+// interval's per-group workload from the request log (§IV-B) and
+// re-allocates the cost-minimal instance mix to serve it (§IV-C).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"accelcloud/internal/allocate"
+	"accelcloud/internal/cloud"
+	"accelcloud/internal/device"
+	"accelcloud/internal/netsim"
+	"accelcloud/internal/predict"
+	"accelcloud/internal/qsim"
+	"accelcloud/internal/sdn"
+	"accelcloud/internal/sim"
+	"accelcloud/internal/stats"
+	"accelcloud/internal/trace"
+	"accelcloud/internal/workload"
+)
+
+// GroupSpec binds one acceleration group to the instance type that
+// serves it (the Fig 9a deployment: group 1 → t2.nano, group 2 →
+// t2.large, group 3 → m4.4xlarge).
+type GroupSpec struct {
+	// Group is the acceleration group index.
+	Group int
+	// TypeName is the instance type serving this group.
+	TypeName string
+	// Capacity is K_s: users one instance serves within the SLA.
+	Capacity float64
+	// Initial is the instance count before the first provisioning round.
+	Initial int
+}
+
+// Config parameterizes a system run.
+type Config struct {
+	// Groups is the group → instance-type map; at least one entry.
+	Groups []GroupSpec
+	// Catalog resolves instance types. Nil selects cloud.DefaultCatalog.
+	Catalog *cloud.Catalog
+	// Predictor estimates next-interval workload. Nil selects the
+	// paper's edit-distance model.
+	Predictor predict.Predictor
+	// ProvisionInterval is the allocation period (instances are billed
+	// per interval; the paper uses one hour). Zero selects one hour.
+	ProvisionInterval time.Duration
+	// CC caps the total instance count (0 → allocate.DefaultCC).
+	CC int
+	// Policy is the client-side moderator's promotion rule. Nil selects
+	// the paper's 1/50 static probability.
+	Policy device.PromotionPolicy
+	// Demotion optionally re-assigns over-served devices to cheaper
+	// groups (the abstract's demand-based re-assignment). Nil disables
+	// demotion, matching the paper's evaluation.
+	Demotion device.DemotionPolicy
+	// Profiles are the device hardware classes, assigned round-robin by
+	// user id. Nil selects device.DefaultProfiles.
+	Profiles []device.Profile
+	// AccessNet samples the mobile↔front-end RTT. Empty Name selects
+	// the calibrated operator β on LTE.
+	AccessNet netsim.Operator
+	// AccessTech picks 3G or LTE (default LTE, the paper's assumption).
+	AccessTech netsim.Tech
+	// Overhead is the SDN routing-cost model (zero → sdn default
+	// ≈150 ms).
+	Overhead sdn.OverheadModel
+	// Queue tunes the backend servers.
+	Queue qsim.Config
+	// Background induces a constant Poisson load on every server of a
+	// group, reproducing the paper's §VI-C1 setup ("we induced a load of
+	// 50 concurrent users in each server ... created each 2 seconds").
+	Background map[int]BackgroundLoad
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// BackgroundLoad is a per-server synthetic load: Poisson arrivals at
+// RatePerSec of tasks costing Work units each.
+type BackgroundLoad struct {
+	RatePerSec float64
+	Work       float64
+}
+
+func (c *Config) withDefaults() (Config, error) {
+	out := *c
+	if len(out.Groups) == 0 {
+		return out, errors.New("core: no group specs")
+	}
+	seen := map[int]bool{}
+	for _, g := range out.Groups {
+		if g.Group < 0 {
+			return out, fmt.Errorf("core: negative group %d", g.Group)
+		}
+		if seen[g.Group] {
+			return out, fmt.Errorf("core: duplicate group %d", g.Group)
+		}
+		seen[g.Group] = true
+		if g.TypeName == "" {
+			return out, fmt.Errorf("core: group %d without type", g.Group)
+		}
+		if g.Capacity <= 0 {
+			return out, fmt.Errorf("core: group %d capacity %v", g.Group, g.Capacity)
+		}
+		if g.Initial < 0 {
+			return out, fmt.Errorf("core: group %d initial %d", g.Group, g.Initial)
+		}
+	}
+	if out.Catalog == nil {
+		out.Catalog = cloud.DefaultCatalog()
+	}
+	if out.Predictor == nil {
+		out.Predictor = predict.EditDistanceNN{}
+	}
+	if out.ProvisionInterval == 0 {
+		out.ProvisionInterval = time.Hour
+	}
+	if out.ProvisionInterval < 0 {
+		return out, fmt.Errorf("core: negative interval %v", out.ProvisionInterval)
+	}
+	if out.Policy == nil {
+		out.Policy = device.StaticProbability{P: 1.0 / 50}
+	}
+	if len(out.Profiles) == 0 {
+		out.Profiles = device.DefaultProfiles()
+	}
+	if out.AccessNet.Name == "" {
+		ops, err := netsim.DefaultOperators()
+		if err != nil {
+			return out, err
+		}
+		op, err := netsim.OperatorByName(ops, "beta")
+		if err != nil {
+			return out, err
+		}
+		out.AccessNet = op
+	}
+	if out.AccessTech == 0 {
+		out.AccessTech = netsim.TechLTE
+	}
+	if _, ok := out.AccessNet.RTT[out.AccessTech]; !ok {
+		return out, fmt.Errorf("core: operator %s lacks %v model", out.AccessNet.Name, out.AccessTech)
+	}
+	return out, nil
+}
+
+// RequestLog is one completed (or dropped) request, in completion order.
+type RequestLog struct {
+	// Index is the request's arrival sequence number.
+	Index int
+	// UserID identifies the device.
+	UserID int
+	// Group is the acceleration group that served the request.
+	Group int
+	// ResponseMs is the total perceived response time.
+	ResponseMs float64
+	// Dropped marks rejected requests.
+	Dropped bool
+	// At is the completion time.
+	At time.Time
+}
+
+// PromotionEvent is one moderator-triggered group change.
+type PromotionEvent struct {
+	At     time.Time
+	UserID int
+	From   int
+	To     int
+}
+
+// IntervalLog is one provisioning round.
+type IntervalLog struct {
+	// Start is the beginning of the interval being provisioned.
+	Start time.Time
+	// PredictedCounts is the model's per-group workload estimate.
+	PredictedCounts []int
+	// ActualCounts is the realized per-group workload (filled after the
+	// interval ends).
+	ActualCounts []int
+	// Accuracy grades PredictedCounts against ActualCounts.
+	Accuracy float64
+	// Plan is the allocator's decision.
+	Plan allocate.Plan
+	// Instances is the total running instances after applying the plan.
+	Instances int
+}
+
+// Result is the outcome of a system run.
+type Result struct {
+	Requests   []RequestLog
+	Promotions []PromotionEvent
+	Intervals  []IntervalLog
+	// FinalGroups maps user id to final acceleration group.
+	FinalGroups map[int]int
+	// TotalCostUSD sums interval plan costs (per provisioning interval).
+	TotalCostUSD float64
+	// Trace is the raw request log (the predictor's training data).
+	Trace []trace.Record
+}
+
+// MeanResponseMs reports the mean response of completed requests.
+func (r Result) MeanResponseMs() float64 {
+	sum, n := 0.0, 0
+	for _, req := range r.Requests {
+		if !req.Dropped {
+			sum += req.ResponseMs
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// DropRate reports dropped / total.
+func (r Result) DropRate() float64 {
+	if len(r.Requests) == 0 {
+		return 0
+	}
+	dropped := 0
+	for _, req := range r.Requests {
+		if req.Dropped {
+			dropped++
+		}
+	}
+	return float64(dropped) / float64(len(r.Requests))
+}
+
+// System is the assembled simulation.
+type System struct {
+	cfg      Config
+	maxGroup int
+	groupIdx map[int]int // group -> index into cfg.Groups
+}
+
+// New validates the configuration and builds a system.
+func New(cfg Config) (*System, error) {
+	full, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &System{cfg: full, groupIdx: make(map[int]int, len(full.Groups))}
+	for i, g := range full.Groups {
+		if _, err := full.Catalog.ByName(g.TypeName); err != nil {
+			return nil, err
+		}
+		if g.Group > s.maxGroup {
+			s.maxGroup = g.Group
+		}
+		s.groupIdx[g.Group] = i
+	}
+	return s, nil
+}
+
+// LowestGroup reports the starting group for new users (the paper starts
+// every user at the lowest level, §IV-A).
+func (s *System) LowestGroup() int {
+	lowest := s.cfg.Groups[0].Group
+	for _, g := range s.cfg.Groups[1:] {
+		if g.Group < lowest {
+			lowest = g.Group
+		}
+	}
+	return lowest
+}
+
+// Run replays the request stream through the full architecture for the
+// given duration and returns the collected logs.
+func (s *System) Run(reqs []workload.Request, duration time.Duration) (Result, error) {
+	if duration <= 0 {
+		return Result{}, fmt.Errorf("core: duration %v <= 0", duration)
+	}
+	env := sim.NewEnvironment()
+	rng := sim.NewRNG(s.cfg.Seed)
+	store := trace.NewStore()
+	accel, err := sdn.NewAccelerator(env, sdn.Config{
+		Overhead: s.cfg.Overhead,
+		Log:      store,
+		RNG:      rng.Stream("sdn"),
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Launch initial pools. Every provisioning round relaunches the
+	// pools with fresh instances: the paper allocates instances per
+	// billing hour, so each interval's fleet starts with full burst
+	// credits (t2 launch credits reset per instance).
+	horizon := sim.Epoch.Add(duration)
+	bgRng := rng.Stream("background")
+	type bgHandle struct{ stopped bool }
+	retiredBg := make(map[int][]*bgHandle) // group -> old load chains
+	launched := make(map[int]int)          // group -> live instance count
+	instSeq := 0
+	// startBackground attaches a Poisson load chain to a server; the
+	// chain stops at the horizon or when its handle is retired, so the
+	// simulation drains.
+	startBackground := func(srv *qsim.Server, bg BackgroundLoad, h *bgHandle) {
+		var arrive func()
+		arrive = func() {
+			if h.stopped {
+				return
+			}
+			gap := time.Duration(bgRng.ExpFloat64() / bg.RatePerSec * float64(time.Second))
+			if gap < time.Microsecond {
+				gap = time.Microsecond
+			}
+			next := env.Now().Add(gap)
+			if next.After(horizon) {
+				return
+			}
+			// Scheduling forward cannot fail.
+			_ = env.ScheduleAt(next, func() {
+				if h.stopped {
+					return
+				}
+				// Background work is fire-and-forget; submit errors
+				// cannot occur for positive work.
+				_ = srv.Submit(bg.Work, func(qsim.Outcome) {})
+				arrive()
+			})
+		}
+		arrive()
+	}
+	launch := func(group, count int) error {
+		spec := s.cfg.Groups[s.groupIdx[group]]
+		typ, err := s.cfg.Catalog.ByName(spec.TypeName)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < count; i++ {
+			inst, err := cloud.NewInstance(
+				fmt.Sprintf("%s-g%d-%d", typ.Name, group, instSeq), typ, env.Now())
+			if err != nil {
+				return err
+			}
+			instSeq++
+			srv, err := qsim.NewServer(env, inst, s.cfg.Queue)
+			if err != nil {
+				return err
+			}
+			if err := accel.AddServer(group, srv); err != nil {
+				return err
+			}
+			if bg, ok := s.cfg.Background[group]; ok && bg.RatePerSec > 0 && bg.Work > 0 {
+				h := &bgHandle{}
+				retiredBg[group] = append(retiredBg[group], h)
+				startBackground(srv, bg, h)
+			}
+		}
+		launched[group] += count
+		return nil
+	}
+	// retire stops a group's load chains and deregisters its servers;
+	// in-flight work completes on the old instances.
+	retire := func(group int) {
+		for _, h := range retiredBg[group] {
+			h.stopped = true
+		}
+		retiredBg[group] = retiredBg[group][:0]
+		accel.RemoveServers(group)
+		launched[group] = 0
+	}
+	for _, g := range s.cfg.Groups {
+		if g.Initial > 0 {
+			if err := launch(g.Group, g.Initial); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+
+	res := Result{FinalGroups: make(map[int]int)}
+	devices := make(map[int]*device.Device)
+	netModel := s.cfg.AccessNet.RTT[s.cfg.AccessTech]
+	netRng := rng.Stream("access-net")
+	policyRng := rng.Stream("policy")
+
+	lowest := s.LowestGroup()
+	getDevice := func(uid int) (*device.Device, error) {
+		if d, ok := devices[uid]; ok {
+			return d, nil
+		}
+		profile := s.cfg.Profiles[uid%len(s.cfg.Profiles)]
+		d, err := device.New(uid, profile, lowest)
+		if err != nil {
+			return nil, err
+		}
+		devices[uid] = d
+		return d, nil
+	}
+
+	// Inject requests.
+	for i, req := range reqs {
+		i, req := i, req
+		if req.At.Before(env.Now()) {
+			return Result{}, fmt.Errorf("core: request %d in the past (%v)", i, req.At)
+		}
+		err := env.ScheduleAt(req.At, func() {
+			d, derr := getDevice(req.UserID)
+			if derr != nil {
+				return
+			}
+			group := d.Group()
+			rtt := netModel.Sample(netRng, env.Now())
+			routeErr := accel.Route(sdn.Request{
+				UserID:       req.UserID,
+				Group:        group,
+				Work:         req.Work,
+				BatteryLevel: d.BatteryLevel(),
+				AccessRTT:    rtt,
+			}, func(o sdn.Outcome) {
+				entry := RequestLog{
+					Index:   i,
+					UserID:  req.UserID,
+					Group:   group,
+					Dropped: o.Dropped,
+					At:      env.Now(),
+				}
+				if !o.Dropped {
+					entry.ResponseMs = float64(o.Total) / float64(time.Millisecond)
+					d.DrainRadio(o.Total)
+					if s.cfg.Policy.ShouldPromote(d, o.Total, policyRng) {
+						from := d.Group()
+						if d.Promote(s.maxGroup) {
+							res.Promotions = append(res.Promotions, PromotionEvent{
+								At: env.Now(), UserID: req.UserID, From: from, To: d.Group(),
+							})
+						}
+					} else if s.cfg.Demotion != nil &&
+						s.cfg.Demotion.ShouldDemote(d, o.Total, policyRng) {
+						from := d.Group()
+						if d.Demote(lowest) {
+							res.Promotions = append(res.Promotions, PromotionEvent{
+								At: env.Now(), UserID: req.UserID, From: from, To: d.Group(),
+							})
+						}
+					}
+				}
+				res.Requests = append(res.Requests, entry)
+			})
+			if routeErr != nil {
+				res.Requests = append(res.Requests, RequestLog{
+					Index: i, UserID: req.UserID, Group: group, Dropped: true, At: env.Now(),
+				})
+			}
+		})
+		if err != nil {
+			return Result{}, err
+		}
+	}
+
+	// Provisioning loop: at each interval boundary, predict the next
+	// interval's per-group workload from the log and re-allocate.
+	interval := s.cfg.ProvisionInterval
+	numGroups := s.maxGroup + 1
+	tickErr := error(nil)
+	err = env.Ticker(interval, func(now time.Time) bool {
+		if now.Sub(sim.Epoch) >= duration {
+			return false
+		}
+		elapsed := int(now.Sub(sim.Epoch) / interval)
+		if elapsed < 1 {
+			return true
+		}
+		slots, serr := trace.BuildSlots(store.Snapshot(), sim.Epoch, interval, elapsed, numGroups)
+		if serr != nil {
+			tickErr = serr
+			return false
+		}
+		pred, perr := s.cfg.Predictor.Predict(slots)
+		if perr != nil {
+			tickErr = perr
+			return false
+		}
+		counts := pred.Counts()
+		// Build the allocation problem over configured groups.
+		prob := &allocate.Problem{CC: s.cfg.CC}
+		demandIdx := make([]int, 0, len(s.cfg.Groups))
+		ordered := make([]GroupSpec, len(s.cfg.Groups))
+		copy(ordered, s.cfg.Groups)
+		sort.Slice(ordered, func(i, j int) bool { return ordered[i].Group < ordered[j].Group })
+		for _, g := range ordered {
+			demand := 0.0
+			if g.Group < len(counts) {
+				demand = float64(counts[g.Group])
+			}
+			typ, terr := s.cfg.Catalog.ByName(g.TypeName)
+			if terr != nil {
+				tickErr = terr
+				return false
+			}
+			prob.Specs = append(prob.Specs, allocate.Spec{
+				TypeName:    g.TypeName,
+				Group:       len(prob.Demands),
+				CostPerHour: typ.PricePerHour,
+				Capacity:    g.Capacity,
+			})
+			prob.Demands = append(prob.Demands, demand)
+			demandIdx = append(demandIdx, g.Group)
+		}
+		plan, aerr := allocate.Solve(prob)
+		if aerr != nil {
+			tickErr = aerr
+			return false
+		}
+		log := IntervalLog{
+			Start:           now,
+			PredictedCounts: make([]int, numGroups),
+			Plan:            plan,
+		}
+		for g := 0; g < numGroups && g < len(counts); g++ {
+			log.PredictedCounts[g] = counts[g]
+		}
+		if plan.Feasible {
+			// Apply: relaunch each group's pool at the planned size with
+			// fresh instances (per-interval billing, fresh burst
+			// credits). A floor of one instance keeps stragglers served.
+			for i, g := range demandIdx {
+				want := plan.Counts[ordered[i].TypeName]
+				if want < 1 {
+					want = 1
+				}
+				retire(g)
+				if lerr := launch(g, want); lerr != nil {
+					tickErr = lerr
+					return false
+				}
+			}
+			res.TotalCostUSD += plan.Cost * interval.Hours()
+		}
+		total := 0
+		for _, n := range launched {
+			total += n
+		}
+		log.Instances = total
+		res.Intervals = append(res.Intervals, log)
+		return true
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	if err := env.RunUntil(sim.Epoch.Add(duration)); err != nil {
+		return Result{}, err
+	}
+	if tickErr != nil {
+		return Result{}, fmt.Errorf("core: provisioning: %w", tickErr)
+	}
+	// Drain in-flight requests past the horizon.
+	if err := env.Run(); err != nil {
+		return Result{}, err
+	}
+
+	// Fill actual per-interval counts and accuracy.
+	records := store.Snapshot()
+	if len(res.Intervals) > 0 {
+		n := int(duration/interval) + 1
+		slots, serr := trace.BuildSlots(records, sim.Epoch, interval, n, numGroups)
+		if serr != nil {
+			return Result{}, serr
+		}
+		for i := range res.Intervals {
+			idx := int(res.Intervals[i].Start.Sub(sim.Epoch) / interval)
+			if idx < len(slots) {
+				res.Intervals[i].ActualCounts = slots[idx].Counts()
+				p := make([]float64, numGroups)
+				a := make([]float64, numGroups)
+				for g := 0; g < numGroups; g++ {
+					p[g] = float64(res.Intervals[i].PredictedCounts[g])
+					if g < len(res.Intervals[i].ActualCounts) {
+						a[g] = float64(res.Intervals[i].ActualCounts[g])
+					}
+				}
+				res.Intervals[i].Accuracy = stats.MeanSymmetricAccuracy(p, a)
+			}
+		}
+	}
+	for uid, d := range devices {
+		res.FinalGroups[uid] = d.Group()
+	}
+	res.Trace = records
+	sortRequests(res.Requests)
+	return res, nil
+}
+
+// sortRequests orders the log by completion time, then index.
+func sortRequests(reqs []RequestLog) {
+	sort.Slice(reqs, func(i, j int) bool {
+		if !reqs[i].At.Equal(reqs[j].At) {
+			return reqs[i].At.Before(reqs[j].At)
+		}
+		return reqs[i].Index < reqs[j].Index
+	})
+}

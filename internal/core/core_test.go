@@ -1,0 +1,251 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"accelcloud/internal/device"
+	"accelcloud/internal/sim"
+	"accelcloud/internal/stats"
+	"accelcloud/internal/tasks"
+	"accelcloud/internal/workload"
+)
+
+// paperGroups is the Fig 9a deployment: groups 1–3 served by t2.nano,
+// t2.large and m4.4xlarge.
+func paperGroups() []GroupSpec {
+	return []GroupSpec{
+		{Group: 1, TypeName: "t2.nano", Capacity: 30, Initial: 1},
+		{Group: 2, TypeName: "t2.large", Capacity: 90, Initial: 1},
+		{Group: 3, TypeName: "m4.4xlarge", Capacity: 400, Initial: 1},
+	}
+}
+
+func smallRun(t *testing.T, cfg Config, users int, dur time.Duration) Result {
+	t.Helper()
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(cfg.Seed).Stream("wl")
+	reqs, err := workload.GenerateInterArrival(rng, sim.Epoch, workload.InterArrivalConfig{
+		Users:        users,
+		InterArrival: stats.Uniform{Lo: 2000, Hi: 10000},
+		Duration:     dur,
+		Pool:         tasks.DefaultPool(),
+		Sizer:        workload.FixedSizer{Size: 8},
+		FixedTask:    "minimax",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(reqs, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty config should fail")
+	}
+	bad := []Config{
+		{Groups: []GroupSpec{{Group: -1, TypeName: "t2.nano", Capacity: 1}}},
+		{Groups: []GroupSpec{{Group: 1, TypeName: "", Capacity: 1}}},
+		{Groups: []GroupSpec{{Group: 1, TypeName: "t2.nano", Capacity: 0}}},
+		{Groups: []GroupSpec{{Group: 1, TypeName: "t2.nano", Capacity: 1, Initial: -1}}},
+		{Groups: []GroupSpec{{Group: 1, TypeName: "ghost", Capacity: 1}}},
+		{Groups: []GroupSpec{
+			{Group: 1, TypeName: "t2.nano", Capacity: 1},
+			{Group: 1, TypeName: "t2.large", Capacity: 1},
+		}},
+		{Groups: paperGroups(), ProvisionInterval: -time.Hour},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("case %d should fail", i)
+		}
+	}
+}
+
+func TestLowestGroup(t *testing.T) {
+	sys, err := New(Config{Groups: paperGroups()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.LowestGroup(); got != 1 {
+		t.Fatalf("LowestGroup = %d, want 1", got)
+	}
+}
+
+func TestRunBasic(t *testing.T) {
+	cfg := Config{
+		Groups:            paperGroups(),
+		ProvisionInterval: 10 * time.Minute,
+		Seed:              1,
+	}
+	res := smallRun(t, cfg, 10, time.Hour)
+	if len(res.Requests) == 0 {
+		t.Fatal("no requests processed")
+	}
+	// All users start at the lowest group; every served request belongs
+	// to a configured group.
+	for _, r := range res.Requests {
+		if r.Group < 1 || r.Group > 3 {
+			t.Fatalf("request served by group %d", r.Group)
+		}
+		if !r.Dropped && r.ResponseMs <= 0 {
+			t.Fatalf("request %d has response %v", r.Index, r.ResponseMs)
+		}
+	}
+	// Provisioning ran: 10-minute intervals over 1 h → 5 rounds
+	// (first boundary only observes, last boundary is the horizon).
+	if len(res.Intervals) != 5 {
+		t.Fatalf("got %d intervals, want 5", len(res.Intervals))
+	}
+	for _, iv := range res.Intervals {
+		if len(iv.PredictedCounts) != 4 || len(iv.ActualCounts) != 4 {
+			t.Fatalf("interval counts = %+v", iv)
+		}
+		if iv.Accuracy < 0 || iv.Accuracy > 1 {
+			t.Fatalf("accuracy = %v", iv.Accuracy)
+		}
+	}
+	if res.TotalCostUSD <= 0 {
+		t.Fatal("cost should accrue")
+	}
+	if len(res.FinalGroups) != 10 {
+		t.Fatalf("FinalGroups has %d users", len(res.FinalGroups))
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("trace empty")
+	}
+	if res.MeanResponseMs() <= 0 {
+		t.Fatal("mean response should be positive")
+	}
+	if res.DropRate() < 0 || res.DropRate() > 1 {
+		t.Fatalf("drop rate = %v", res.DropRate())
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	cfg := Config{
+		Groups:            paperGroups(),
+		ProvisionInterval: 15 * time.Minute,
+		Seed:              7,
+	}
+	a := smallRun(t, cfg, 5, 30*time.Minute)
+	b := smallRun(t, cfg, 5, 30*time.Minute)
+	if len(a.Requests) != len(b.Requests) {
+		t.Fatalf("request counts differ: %d vs %d", len(a.Requests), len(b.Requests))
+	}
+	for i := range a.Requests {
+		if a.Requests[i] != b.Requests[i] {
+			t.Fatalf("request %d differs: %+v vs %+v", i, a.Requests[i], b.Requests[i])
+		}
+	}
+	if a.TotalCostUSD != b.TotalCostUSD {
+		t.Fatal("costs differ across identical runs")
+	}
+}
+
+// Promotions with the paper's 1/50 policy: users should climb groups over
+// a long run, and promoted users' requests should land in higher groups.
+func TestPromotionsOccur(t *testing.T) {
+	cfg := Config{
+		Groups:            paperGroups(),
+		ProvisionInterval: 30 * time.Minute,
+		Policy:            device.StaticProbability{P: 1.0 / 10}, // faster for the test
+		Seed:              3,
+	}
+	res := smallRun(t, cfg, 10, 2*time.Hour)
+	if len(res.Promotions) == 0 {
+		t.Fatal("no promotions with p=1/10 over 2h")
+	}
+	for _, p := range res.Promotions {
+		if p.To != p.From+1 {
+			t.Fatalf("promotion %+v must be sequential (§IV-A)", p)
+		}
+		if p.To > 3 {
+			t.Fatalf("promotion past max group: %+v", p)
+		}
+	}
+	climbed := false
+	for _, g := range res.FinalGroups {
+		if g > 1 {
+			climbed = true
+		}
+	}
+	if !climbed {
+		t.Fatal("no user ended above the lowest group")
+	}
+}
+
+func TestNeverPolicyKeepsGroups(t *testing.T) {
+	cfg := Config{
+		Groups:            paperGroups(),
+		ProvisionInterval: 30 * time.Minute,
+		Policy:            device.Never{},
+		Seed:              4,
+	}
+	res := smallRun(t, cfg, 5, time.Hour)
+	if len(res.Promotions) != 0 {
+		t.Fatalf("Never policy produced %d promotions", len(res.Promotions))
+	}
+	for uid, g := range res.FinalGroups {
+		if g != 1 {
+			t.Fatalf("user %d ended in group %d", uid, g)
+		}
+	}
+}
+
+// The adaptive loop must react to load: after the first provisioning
+// round, the under-provisioned lowest group gets more instances.
+func TestAllocatorScalesUp(t *testing.T) {
+	cfg := Config{
+		Groups: []GroupSpec{
+			// Tiny capacity so 30 users need several instances.
+			{Group: 1, TypeName: "t2.nano", Capacity: 10, Initial: 1},
+		},
+		ProvisionInterval: 10 * time.Minute,
+		Policy:            device.Never{},
+		Seed:              5,
+	}
+	res := smallRun(t, cfg, 30, time.Hour)
+	grew := false
+	for _, iv := range res.Intervals {
+		if iv.Instances > 1 {
+			grew = true
+		}
+	}
+	if !grew {
+		t.Fatal("allocator never scaled the pool up")
+	}
+	// Prediction accuracy should be high for a stationary workload.
+	last := res.Intervals[len(res.Intervals)-1]
+	if last.Accuracy < 0.5 {
+		t.Fatalf("late-run accuracy %v too low for stationary load", last.Accuracy)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	sys, err := New(Config{Groups: paperGroups()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(nil, 0); err == nil {
+		t.Fatal("zero duration should fail")
+	}
+	past := []workload.Request{{At: sim.Epoch.Add(-time.Hour), Work: 1}}
+	if _, err := sys.Run(past, time.Hour); err == nil {
+		t.Fatal("requests in the past should fail")
+	}
+}
+
+func TestResultHelpersEmpty(t *testing.T) {
+	var r Result
+	if r.MeanResponseMs() != 0 || r.DropRate() != 0 {
+		t.Fatal("empty result helpers should return 0")
+	}
+}

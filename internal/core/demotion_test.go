@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"accelcloud/internal/device"
+)
+
+// With an eager demotion policy and a fast top group, devices bounce back
+// down after promotion — the demand-based re-assignment of the abstract.
+func TestDemotionReassignsDevices(t *testing.T) {
+	cfg := Config{
+		Groups:            paperGroups(),
+		ProvisionInterval: 30 * time.Minute,
+		// Promote eagerly so devices climb fast...
+		Policy: device.StaticProbability{P: 0.2},
+		// ...and demote whenever responses are comfortably fast.
+		Demotion: device.FastResponse{Target: 2 * time.Second, Patience: 2},
+		Seed:     11,
+	}
+	res := smallRun(t, cfg, 10, 2*time.Hour)
+	demotions := 0
+	for _, ev := range res.Promotions {
+		if ev.To < ev.From {
+			demotions++
+			if ev.To != ev.From-1 {
+				t.Fatalf("demotion %+v must be single-step", ev)
+			}
+		}
+	}
+	if demotions == 0 {
+		t.Fatal("no demotions recorded despite eager policy")
+	}
+	// No device may end below the lowest configured group.
+	for uid, g := range res.FinalGroups {
+		if g < 1 || g > 3 {
+			t.Fatalf("user %d ended in group %d", uid, g)
+		}
+	}
+}
+
+// Without a demotion policy the event log contains promotions only — the
+// paper's original behaviour is preserved.
+func TestNoDemotionByDefault(t *testing.T) {
+	cfg := Config{
+		Groups:            paperGroups(),
+		ProvisionInterval: 30 * time.Minute,
+		Policy:            device.StaticProbability{P: 0.2},
+		Seed:              12,
+	}
+	res := smallRun(t, cfg, 5, time.Hour)
+	for _, ev := range res.Promotions {
+		if ev.To <= ev.From {
+			t.Fatalf("unexpected demotion %+v with no policy", ev)
+		}
+	}
+}

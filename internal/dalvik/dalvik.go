@@ -1,0 +1,205 @@
+// Package dalvik implements the server-side surrogate of the paper's
+// homogeneous offloading model (§V): a runtime that accepts pushed code
+// bundles (the paper pushes APK files into a customized Dalvik-x86) and
+// executes one request per worker slot — the paper spawns one dalvikvm
+// process per in-flight request so problematic requests can be isolated.
+//
+// Substitution note (see DESIGN.md): registered Go tasks stand in for DEX
+// bytecode; the architectural contract — push bundle, execute serialized
+// application state, bounded worker slots, per-request accounting — is
+// preserved, and the surrogate serves the same HTTP protocol the
+// front-end routes to.
+package dalvik
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"accelcloud/internal/rpc"
+	"accelcloud/internal/tasks"
+)
+
+// DefaultMaxProcs bounds concurrent per-request workers (dalvikvm
+// processes in the paper).
+const DefaultMaxProcs = 256
+
+// Stats are the surrogate's lifetime counters.
+type Stats struct {
+	Executed int64 `json:"executed"`
+	Failed   int64 `json:"failed"`
+	Rejected int64 `json:"rejected"`
+}
+
+// Surrogate is one Dalvik-x86-like execution server.
+type Surrogate struct {
+	name     string
+	maxProcs int
+
+	mu       sync.Mutex
+	registry map[string]tasks.Task
+	stats    Stats
+
+	// slots is a counting semaphore for worker processes.
+	slots chan struct{}
+}
+
+// NewSurrogate creates an empty surrogate. maxProcs <= 0 selects
+// DefaultMaxProcs.
+func NewSurrogate(name string, maxProcs int) (*Surrogate, error) {
+	if name == "" {
+		return nil, errors.New("dalvik: surrogate without name")
+	}
+	if maxProcs <= 0 {
+		maxProcs = DefaultMaxProcs
+	}
+	return &Surrogate{
+		name:     name,
+		maxProcs: maxProcs,
+		registry: make(map[string]tasks.Task),
+		slots:    make(chan struct{}, maxProcs),
+	}, nil
+}
+
+// Name reports the surrogate identifier.
+func (s *Surrogate) Name() string { return s.name }
+
+// Push registers one task bundle (an APK in the paper: "the available APK
+// files are pushed into the Dalvik-x86 as the process is waiting for a
+// request").
+func (s *Surrogate) Push(t tasks.Task) error {
+	if t == nil {
+		return errors.New("dalvik: nil task")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	name := t.Name()
+	if _, dup := s.registry[name]; dup {
+		return fmt.Errorf("dalvik: task %q already pushed", name)
+	}
+	s.registry[name] = t
+	return nil
+}
+
+// PushPool registers every task of a pool.
+func (s *Surrogate) PushPool(p *tasks.Pool) error {
+	for _, name := range p.Names() {
+		t, err := p.ByName(name)
+		if err != nil {
+			return err
+		}
+		if err := s.Push(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Installed lists the pushed bundle names, sorted.
+func (s *Surrogate) Installed() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.registry))
+	for name := range s.registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats returns a copy of the counters.
+func (s *Surrogate) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Execute runs one serialized application state on a worker slot,
+// measuring Tcloud. It rejects immediately when all slots are busy
+// (the saturation failure mode of Fig 8c).
+func (s *Surrogate) Execute(st tasks.State) (tasks.Result, time.Duration, error) {
+	select {
+	case s.slots <- struct{}{}:
+	default:
+		s.mu.Lock()
+		s.stats.Rejected++
+		s.mu.Unlock()
+		return tasks.Result{}, 0, fmt.Errorf("dalvik: %s: all %d worker slots busy", s.name, s.maxProcs)
+	}
+	defer func() { <-s.slots }()
+
+	s.mu.Lock()
+	task, ok := s.registry[st.Task]
+	s.mu.Unlock()
+	if !ok {
+		s.mu.Lock()
+		s.stats.Failed++
+		s.mu.Unlock()
+		return tasks.Result{}, 0, fmt.Errorf("dalvik: %s: %w: %q", s.name, tasks.ErrUnknownTask, st.Task)
+	}
+	start := time.Now()
+	res, err := task.Execute(st)
+	elapsed := time.Since(start)
+	s.mu.Lock()
+	if err != nil {
+		s.stats.Failed++
+	} else {
+		s.stats.Executed++
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return tasks.Result{}, elapsed, fmt.Errorf("dalvik: %s: %w", s.name, err)
+	}
+	return res, elapsed, nil
+}
+
+// Handler serves the surrogate protocol:
+//
+//	POST /execute  — run a state
+//	GET  /healthz  — liveness
+//	GET  /stats    — counters + installed bundles
+func (s *Surrogate) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(rpc.PathExecute, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			rpc.WriteJSON(w, http.StatusMethodNotAllowed, rpc.ExecuteResponse{Error: "POST only"})
+			return
+		}
+		var req rpc.ExecuteRequest
+		if err := rpc.ReadJSON(r, &req); err != nil {
+			rpc.WriteJSON(w, http.StatusBadRequest, rpc.ExecuteResponse{Error: err.Error()})
+			return
+		}
+		res, elapsed, err := s.Execute(req.State)
+		if err != nil {
+			rpc.WriteJSON(w, http.StatusOK, rpc.ExecuteResponse{
+				Server: s.name,
+				Error:  err.Error(),
+			})
+			return
+		}
+		rpc.WriteJSON(w, http.StatusOK, rpc.ExecuteResponse{
+			Result:  res,
+			CloudMs: float64(elapsed) / float64(time.Millisecond),
+			Server:  s.name,
+		})
+	})
+	mux.HandleFunc(rpc.PathHealth, func(w http.ResponseWriter, r *http.Request) {
+		rpc.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok", "server": s.name})
+	})
+	mux.HandleFunc(rpc.PathStats, func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		payload := struct {
+			Server    string   `json:"server"`
+			Stats     Stats    `json:"stats"`
+			Installed []string `json:"installed"`
+		}{Server: s.name, Stats: s.stats}
+		s.mu.Unlock()
+		payload.Installed = s.Installed()
+		rpc.WriteJSON(w, http.StatusOK, payload)
+	})
+	return mux
+}

@@ -1,0 +1,167 @@
+package dalvik
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"accelcloud/internal/rpc"
+	"accelcloud/internal/sim"
+	"accelcloud/internal/tasks"
+)
+
+func newLoaded(t *testing.T) *Surrogate {
+	t.Helper()
+	s, err := NewSurrogate("dalvik-x86-test", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PushPool(tasks.DefaultPool()); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSurrogateValidation(t *testing.T) {
+	if _, err := NewSurrogate("", 1); err == nil {
+		t.Fatal("empty name should fail")
+	}
+	s, err := NewSurrogate("x", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap(s.slots) != DefaultMaxProcs {
+		t.Fatalf("default slots = %d, want %d", cap(s.slots), DefaultMaxProcs)
+	}
+	if s.Name() != "x" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestPush(t *testing.T) {
+	s, err := NewSurrogate("x", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Push(tasks.Quicksort{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Push(tasks.Quicksort{}); err == nil {
+		t.Fatal("duplicate push should fail")
+	}
+	if err := s.Push(nil); err == nil {
+		t.Fatal("nil task should fail")
+	}
+	installed := s.Installed()
+	if len(installed) != 1 || installed[0] != "quicksort" {
+		t.Fatalf("installed = %v", installed)
+	}
+}
+
+func TestExecuteRoundTrip(t *testing.T) {
+	s := newLoaded(t)
+	r := sim.NewRNG(1).Stream("gen")
+	st, err := tasks.Quicksort{}.Generate(r, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, elapsed, err := s.Execute(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Task != "quicksort" || res.Ops <= 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if elapsed <= 0 {
+		t.Fatalf("elapsed = %v", elapsed)
+	}
+	stats := s.Stats()
+	if stats.Executed != 1 || stats.Failed != 0 || stats.Rejected != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestExecuteUnknownTask(t *testing.T) {
+	s, err := NewSurrogate("x", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = s.Execute(tasks.State{Task: "ghost"})
+	if !errors.Is(err, tasks.ErrUnknownTask) {
+		t.Fatalf("err = %v, want ErrUnknownTask", err)
+	}
+	if s.Stats().Failed != 1 {
+		t.Fatalf("stats = %+v", s.Stats())
+	}
+}
+
+func TestExecuteConcurrent(t *testing.T) {
+	s := newLoaded(t)
+	r := sim.NewRNG(2).Stream("gen")
+	states := make([]tasks.State, 32)
+	for i := range states {
+		st, err := tasks.Sieve{}.Generate(r, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		states[i] = st
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(states))
+	for i := range states {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = s.Execute(states[i])
+		}(i)
+	}
+	wg.Wait()
+	executed := 0
+	for _, err := range errs {
+		if err == nil {
+			executed++
+		}
+	}
+	st := s.Stats()
+	if int(st.Executed) != executed {
+		t.Fatalf("stats executed %d vs %d successes", st.Executed, executed)
+	}
+	// With 8 slots and 32 fast tasks, most should succeed; rejected ones
+	// must be accounted.
+	if int(st.Executed+st.Rejected+st.Failed) != len(states) {
+		t.Fatalf("accounting broken: %+v for %d requests", st, len(states))
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	s := newLoaded(t)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	client := rpc.NewClient(srv.URL)
+	ctx := context.Background()
+	if err := client.Health(ctx); err != nil {
+		t.Fatalf("health: %v", err)
+	}
+	r := sim.NewRNG(3).Stream("gen")
+	st, err := tasks.NQueens{}.Generate(r, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Execute(ctx, rpc.ExecuteRequest{State: st})
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	if resp.Server != "dalvik-x86-test" || resp.Result.Task != "nqueens" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if resp.CloudMs < 0 {
+		t.Fatalf("cloudMs = %v", resp.CloudMs)
+	}
+	// Unknown task travels back as a remote error.
+	if _, err := client.Execute(ctx, rpc.ExecuteRequest{State: tasks.State{Task: "ghost"}}); err == nil {
+		t.Fatal("unknown task should error")
+	}
+}

@@ -1,0 +1,90 @@
+package device
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDemote(t *testing.T) {
+	d, err := New(1, DefaultProfiles()[0], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Demote(0) || d.Group() != 1 {
+		t.Fatalf("first demote -> group %d", d.Group())
+	}
+	if !d.Demote(0) || d.Group() != 0 {
+		t.Fatalf("second demote -> group %d", d.Group())
+	}
+	if d.Demote(0) {
+		t.Fatal("demotion below minGroup must fail")
+	}
+}
+
+func TestFastResponsePolicy(t *testing.T) {
+	d, err := New(1, DefaultProfiles()[0], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := FastResponse{Target: 500 * time.Millisecond, Patience: 3}
+	fast, slow := 100*time.Millisecond, time.Second
+	seq := []struct {
+		obs  time.Duration
+		want bool
+	}{
+		{fast, false}, {fast, false}, {slow, false}, // reset
+		{fast, false}, {fast, false}, {fast, true}, // 3 consecutive
+		{fast, false}, // counter reset after firing
+	}
+	for i, s := range seq {
+		if got := pol.ShouldDemote(d, s.obs, nil); got != s.want {
+			t.Fatalf("step %d: got %v, want %v", i, got, s.want)
+		}
+	}
+	if pol.Name() != "fast-response" {
+		t.Fatal("name wrong")
+	}
+	// Patience < 1 behaves as 1.
+	eager := FastResponse{Target: 500 * time.Millisecond}
+	if !eager.ShouldDemote(d, fast, nil) {
+		t.Fatal("patience 0 should fire immediately")
+	}
+}
+
+func TestNoDemotion(t *testing.T) {
+	d, err := New(1, DefaultProfiles()[0], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (NoDemotion{}).ShouldDemote(d, time.Nanosecond, nil) {
+		t.Fatal("NoDemotion fired")
+	}
+	if (NoDemotion{}).Name() != "no-demotion" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestPromoteAndDemoteResetCounters(t *testing.T) {
+	d, err := New(1, DefaultProfiles()[0], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demote := FastResponse{Target: time.Second, Patience: 2}
+	if demote.ShouldDemote(d, time.Millisecond, nil) {
+		t.Fatal("should not fire on first fast response")
+	}
+	// A promotion resets the fast counter.
+	d.Promote(3)
+	if demote.ShouldDemote(d, time.Millisecond, nil) {
+		t.Fatal("counter should have been reset by Promote")
+	}
+	// And a demotion resets the slow counter.
+	promote := Threshold{Target: time.Millisecond, Patience: 2}
+	if promote.ShouldPromote(d, time.Second, nil) {
+		t.Fatal("should not fire on first slow response")
+	}
+	d.Demote(0)
+	if promote.ShouldPromote(d, time.Second, nil) {
+		t.Fatal("counter should have been reset by Demote")
+	}
+}

@@ -1,0 +1,340 @@
+// Package device models the mobile side of the architecture: device
+// hardware profiles (the paper's motivation is the spread from flagship
+// phones to wearables, §I), a battery model, the offloading decision rule
+// of §II-A, and the client-side moderator that promotes a device to a
+// higher acceleration group when response times degrade (§IV-A, §VI-C3).
+package device
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"accelcloud/internal/cloud"
+)
+
+// Profile describes one class of mobile hardware.
+type Profile struct {
+	// Name identifies the class, e.g. "flagship".
+	Name string
+	// SpeedFactor is the device CPU speed relative to the reference
+	// cloud core (well below 1 for phones).
+	SpeedFactor float64
+	// BatteryJoules is the usable battery energy when full.
+	BatteryJoules float64
+	// ComputeWatts is the drain while computing locally.
+	ComputeWatts float64
+	// RadioWatts is the drain while the LTE radio is active.
+	RadioWatts float64
+	// IdleWatts is the baseline drain.
+	IdleWatts float64
+}
+
+// Validate checks profile plausibility.
+func (p Profile) Validate() error {
+	if p.Name == "" {
+		return errors.New("device: profile without name")
+	}
+	if p.SpeedFactor <= 0 {
+		return fmt.Errorf("device: %s speed factor %v", p.Name, p.SpeedFactor)
+	}
+	if p.BatteryJoules <= 0 {
+		return fmt.Errorf("device: %s battery %v J", p.Name, p.BatteryJoules)
+	}
+	if p.ComputeWatts < 0 || p.RadioWatts < 0 || p.IdleWatts < 0 {
+		return fmt.Errorf("device: %s negative power", p.Name)
+	}
+	return nil
+}
+
+// DefaultProfiles returns four device classes spanning the paper's
+// "last generation smartphones … older devices and wearables" range.
+// Battery energies correspond to ≈3000/2500/1800/300 mAh at 3.8 V.
+func DefaultProfiles() []Profile {
+	return []Profile{
+		{Name: "flagship", SpeedFactor: 0.40, BatteryJoules: 41000, ComputeWatts: 3.0, RadioWatts: 1.2, IdleWatts: 0.05},
+		{Name: "midrange", SpeedFactor: 0.22, BatteryJoules: 34000, ComputeWatts: 2.2, RadioWatts: 1.2, IdleWatts: 0.05},
+		{Name: "legacy", SpeedFactor: 0.08, BatteryJoules: 25000, ComputeWatts: 1.8, RadioWatts: 1.4, IdleWatts: 0.06},
+		{Name: "wearable", SpeedFactor: 0.03, BatteryJoules: 4100, ComputeWatts: 0.9, RadioWatts: 0.9, IdleWatts: 0.02},
+	}
+}
+
+// ProfileByName finds a profile in a set.
+func ProfileByName(profiles []Profile, name string) (Profile, error) {
+	for _, p := range profiles {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("device: unknown profile %q", name)
+}
+
+// Device is one simulated handset.
+type Device struct {
+	id      int
+	profile Profile
+	group   int
+	energy  float64 // joules remaining
+
+	// moderator state
+	consecutiveSlow int
+	consecutiveFast int
+}
+
+// New creates a fully charged device starting in the given acceleration
+// group (the paper starts every user in the lowest group, §IV-A).
+func New(id int, p Profile, startGroup int) (*Device, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if id < 0 {
+		return nil, fmt.Errorf("device: negative id %d", id)
+	}
+	if startGroup < 0 {
+		return nil, fmt.Errorf("device: negative group %d", startGroup)
+	}
+	return &Device{id: id, profile: p, group: startGroup, energy: p.BatteryJoules}, nil
+}
+
+// ID reports the device id.
+func (d *Device) ID() int { return d.id }
+
+// Profile reports the hardware profile.
+func (d *Device) Profile() Profile { return d.profile }
+
+// Group reports the current acceleration group.
+func (d *Device) Group() int { return d.group }
+
+// Promote moves the device one group higher (never past maxGroup) and
+// resets the moderator state. It reports whether a move happened.
+func (d *Device) Promote(maxGroup int) bool {
+	if d.group >= maxGroup {
+		return false
+	}
+	d.group++
+	d.consecutiveSlow = 0
+	d.consecutiveFast = 0
+	return true
+}
+
+// Demote moves the device one group lower (never below minGroup) and
+// resets the moderator state — the abstract's "a mobile device can be
+// re-assigned to another group based on demand". It reports whether a
+// move happened.
+func (d *Device) Demote(minGroup int) bool {
+	if d.group <= minGroup {
+		return false
+	}
+	d.group--
+	d.consecutiveSlow = 0
+	d.consecutiveFast = 0
+	return true
+}
+
+// SetGroup re-assigns the device (demotions are allowed: "a mobile device
+// can be re-assigned to another group based on demand", abstract).
+func (d *Device) SetGroup(g int) error {
+	if g < 0 {
+		return fmt.Errorf("device: negative group %d", g)
+	}
+	d.group = g
+	return nil
+}
+
+// BatteryLevel reports remaining charge in [0, 1].
+func (d *Device) BatteryLevel() float64 {
+	lvl := d.energy / d.profile.BatteryJoules
+	if lvl < 0 {
+		return 0
+	}
+	if lvl > 1 {
+		return 1
+	}
+	return lvl
+}
+
+// LocalExecTime is how long the device needs to run `work` units locally.
+func (d *Device) LocalExecTime(work float64) time.Duration {
+	rate := d.profile.SpeedFactor * cloud.RefCoreRate
+	return time.Duration(work / rate * float64(time.Second))
+}
+
+// DrainCompute discharges the battery for local computation time.
+func (d *Device) DrainCompute(dur time.Duration) {
+	d.energy -= d.profile.ComputeWatts * dur.Seconds()
+	if d.energy < 0 {
+		d.energy = 0
+	}
+}
+
+// DrainRadio discharges the battery for radio-active time (the connection
+// stays open until the result returns, §VII-3).
+func (d *Device) DrainRadio(dur time.Duration) {
+	d.energy -= d.profile.RadioWatts * dur.Seconds()
+	if d.energy < 0 {
+		d.energy = 0
+	}
+}
+
+// DrainIdle discharges the baseline load.
+func (d *Device) DrainIdle(dur time.Duration) {
+	d.energy -= d.profile.IdleWatts * dur.Seconds()
+	if d.energy < 0 {
+		d.energy = 0
+	}
+}
+
+// Dead reports a fully drained battery.
+func (d *Device) Dead() bool { return d.energy <= 0 }
+
+// ShouldOffload is the classic cyber-foraging rule (§II-A): delegate the
+// task if and only if the expected remote completion (network round trip
+// plus remote execution) beats local execution.
+func (d *Device) ShouldOffload(work float64, rtt time.Duration, remoteRate float64) bool {
+	if remoteRate <= 0 {
+		return false
+	}
+	remote := rtt + time.Duration(work/remoteRate*float64(time.Second))
+	return remote < d.LocalExecTime(work)
+}
+
+// --- moderator -------------------------------------------------------------
+
+// PromotionPolicy is the client-side moderator's promotion rule.
+type PromotionPolicy interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// ShouldPromote inspects one observed response time and decides
+	// whether the device requests a higher acceleration group.
+	ShouldPromote(d *Device, observed time.Duration, r *rand.Rand) bool
+}
+
+// StaticProbability is the paper's evaluation policy: each response
+// promotes the device with fixed probability (1/50 in §VI-C3).
+type StaticProbability struct {
+	P float64
+}
+
+var _ PromotionPolicy = StaticProbability{}
+
+// Name implements PromotionPolicy.
+func (StaticProbability) Name() string { return "static-probability" }
+
+// ShouldPromote implements PromotionPolicy.
+func (s StaticProbability) ShouldPromote(_ *Device, _ time.Duration, r *rand.Rand) bool {
+	return r.Float64() < s.P
+}
+
+// Threshold promotes after Patience consecutive responses slower than
+// Target — the "response time starts to degrade" trigger of §I.
+type Threshold struct {
+	Target   time.Duration
+	Patience int
+}
+
+var _ PromotionPolicy = Threshold{}
+
+// Name implements PromotionPolicy.
+func (Threshold) Name() string { return "threshold" }
+
+// ShouldPromote implements PromotionPolicy.
+func (t Threshold) ShouldPromote(d *Device, observed time.Duration, _ *rand.Rand) bool {
+	patience := t.Patience
+	if patience < 1 {
+		patience = 1
+	}
+	if observed > t.Target {
+		d.consecutiveSlow++
+	} else {
+		d.consecutiveSlow = 0
+	}
+	if d.consecutiveSlow >= patience {
+		d.consecutiveSlow = 0
+		return true
+	}
+	return false
+}
+
+// BatteryAware promotes when battery drops below MinLevel, shortening
+// radio-on time at the cost of cloud spend (§VII-3), in addition to a
+// response-time threshold.
+type BatteryAware struct {
+	MinLevel float64
+	Target   time.Duration
+}
+
+var _ PromotionPolicy = BatteryAware{}
+
+// Name implements PromotionPolicy.
+func (BatteryAware) Name() string { return "battery-aware" }
+
+// ShouldPromote implements PromotionPolicy.
+func (b BatteryAware) ShouldPromote(d *Device, observed time.Duration, _ *rand.Rand) bool {
+	if d.BatteryLevel() < b.MinLevel {
+		return true
+	}
+	return b.Target > 0 && observed > b.Target
+}
+
+// Never keeps devices in their group; the ablation baseline.
+type Never struct{}
+
+var _ PromotionPolicy = Never{}
+
+// Name implements PromotionPolicy.
+func (Never) Name() string { return "never" }
+
+// ShouldPromote implements PromotionPolicy.
+func (Never) ShouldPromote(*Device, time.Duration, *rand.Rand) bool { return false }
+
+// DemotionPolicy decides when a device releases its acceleration level —
+// the cost-saving counterpart of promotion, enabling the "re-assigned
+// based on demand" behaviour of the abstract.
+type DemotionPolicy interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// ShouldDemote inspects one observed response time.
+	ShouldDemote(d *Device, observed time.Duration, r *rand.Rand) bool
+}
+
+// FastResponse demotes after Patience consecutive responses faster than
+// Target: the device is over-served, so a cheaper group suffices.
+type FastResponse struct {
+	Target   time.Duration
+	Patience int
+}
+
+var _ DemotionPolicy = FastResponse{}
+
+// Name implements DemotionPolicy.
+func (FastResponse) Name() string { return "fast-response" }
+
+// ShouldDemote implements DemotionPolicy.
+func (f FastResponse) ShouldDemote(d *Device, observed time.Duration, _ *rand.Rand) bool {
+	patience := f.Patience
+	if patience < 1 {
+		patience = 1
+	}
+	if observed < f.Target {
+		d.consecutiveFast++
+	} else {
+		d.consecutiveFast = 0
+	}
+	if d.consecutiveFast >= patience {
+		d.consecutiveFast = 0
+		return true
+	}
+	return false
+}
+
+// NoDemotion keeps devices at their earned level (the paper's behaviour).
+type NoDemotion struct{}
+
+var _ DemotionPolicy = NoDemotion{}
+
+// Name implements DemotionPolicy.
+func (NoDemotion) Name() string { return "no-demotion" }
+
+// ShouldDemote implements DemotionPolicy.
+func (NoDemotion) ShouldDemote(*Device, time.Duration, *rand.Rand) bool { return false }

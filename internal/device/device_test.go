@@ -1,0 +1,272 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"accelcloud/internal/cloud"
+	"accelcloud/internal/sim"
+)
+
+func flagship(t *testing.T) Profile {
+	t.Helper()
+	p, err := ProfileByName(DefaultProfiles(), "flagship")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestDefaultProfiles(t *testing.T) {
+	ps := DefaultProfiles()
+	if len(ps) != 4 {
+		t.Fatalf("got %d profiles, want 4", len(ps))
+	}
+	for _, p := range ps {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s invalid: %v", p.Name, err)
+		}
+	}
+	// Speed ordering: flagship > midrange > legacy > wearable.
+	for i := 1; i < len(ps); i++ {
+		if ps[i].SpeedFactor >= ps[i-1].SpeedFactor {
+			t.Fatalf("profiles not ordered by speed: %s >= %s", ps[i].Name, ps[i-1].Name)
+		}
+	}
+	if _, err := ProfileByName(ps, "tablet"); err == nil {
+		t.Fatal("unknown profile should fail")
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	bad := []Profile{
+		{},
+		{Name: "x", SpeedFactor: 0, BatteryJoules: 1},
+		{Name: "x", SpeedFactor: 1, BatteryJoules: 0},
+		{Name: "x", SpeedFactor: 1, BatteryJoules: 1, ComputeWatts: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("case %d should fail", i)
+		}
+	}
+}
+
+func TestNewDeviceValidation(t *testing.T) {
+	p := flagship(t)
+	if _, err := New(-1, p, 0); err == nil {
+		t.Fatal("negative id should fail")
+	}
+	if _, err := New(1, Profile{}, 0); err == nil {
+		t.Fatal("invalid profile should fail")
+	}
+	if _, err := New(1, p, -1); err == nil {
+		t.Fatal("negative group should fail")
+	}
+	d, err := New(3, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ID() != 3 || d.Group() != 1 || d.Profile().Name != "flagship" {
+		t.Fatalf("device = %d/%d/%s", d.ID(), d.Group(), d.Profile().Name)
+	}
+	if d.BatteryLevel() != 1 {
+		t.Fatalf("fresh battery = %v", d.BatteryLevel())
+	}
+}
+
+func TestLocalExecTime(t *testing.T) {
+	p := flagship(t) // speed 0.40 -> 80k units/s
+	d, err := New(1, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := d.LocalExecTime(80_000)
+	if got != time.Second {
+		t.Fatalf("LocalExecTime = %v, want 1s", got)
+	}
+	// A wearable runs the same work far slower.
+	w, err := ProfileByName(DefaultProfiles(), "wearable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd, err := New(2, w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wd.LocalExecTime(80_000) <= 10*got {
+		t.Fatal("wearable should be >10x slower than flagship")
+	}
+}
+
+func TestBatteryDrain(t *testing.T) {
+	p := Profile{Name: "x", SpeedFactor: 1, BatteryJoules: 100, ComputeWatts: 10, RadioWatts: 5, IdleWatts: 1}
+	d, err := New(1, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.DrainCompute(5 * time.Second) // 50 J
+	if math.Abs(d.BatteryLevel()-0.5) > 1e-9 {
+		t.Fatalf("battery = %v, want 0.5", d.BatteryLevel())
+	}
+	d.DrainRadio(8 * time.Second) // 40 J
+	if math.Abs(d.BatteryLevel()-0.1) > 1e-9 {
+		t.Fatalf("battery = %v, want 0.1", d.BatteryLevel())
+	}
+	d.DrainIdle(20 * time.Second) // 20 J -> clamps at 0
+	if d.BatteryLevel() != 0 || !d.Dead() {
+		t.Fatalf("battery = %v dead=%v, want 0/true", d.BatteryLevel(), d.Dead())
+	}
+}
+
+func TestShouldOffload(t *testing.T) {
+	legacy, err := ProfileByName(DefaultProfiles(), "legacy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(1, legacy, 0) // 0.08 × 200k = 16k units/s locally
+	if err != nil {
+		t.Fatal(err)
+	}
+	work := 160_000.0 // 10 s locally
+	cloudRate := cloud.RefCoreRate
+	// 10s local vs 40ms RTT + 0.8s remote -> offload.
+	if !d.ShouldOffload(work, 40*time.Millisecond, cloudRate) {
+		t.Fatal("legacy device should offload heavy work over LTE")
+	}
+	// Tiny task: 6.25ms local vs 40ms RTT -> keep local.
+	if d.ShouldOffload(100, 40*time.Millisecond, cloudRate) {
+		t.Fatal("tiny work should stay local")
+	}
+	if d.ShouldOffload(100, time.Millisecond, 0) {
+		t.Fatal("zero remote rate must mean no offload")
+	}
+}
+
+func TestPromote(t *testing.T) {
+	d, err := New(1, flagship(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Promote(2) || d.Group() != 1 {
+		t.Fatalf("first promote -> group %d", d.Group())
+	}
+	if !d.Promote(2) || d.Group() != 2 {
+		t.Fatalf("second promote -> group %d", d.Group())
+	}
+	if d.Promote(2) {
+		t.Fatal("promotion past maxGroup must fail")
+	}
+	if err := d.SetGroup(0); err != nil || d.Group() != 0 {
+		t.Fatal("SetGroup demotion failed")
+	}
+	if err := d.SetGroup(-1); err == nil {
+		t.Fatal("negative SetGroup should fail")
+	}
+}
+
+func TestStaticProbabilityPolicy(t *testing.T) {
+	d, err := New(1, flagship(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := StaticProbability{P: 1.0 / 50}
+	r := sim.NewRNG(1).Stream("policy")
+	hits := 0
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		if pol.ShouldPromote(d, time.Second, r) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.02) > 0.004 {
+		t.Fatalf("promotion rate %v, want ≈1/50", got)
+	}
+	if pol.Name() != "static-probability" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestThresholdPolicy(t *testing.T) {
+	d, err := New(1, flagship(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := Threshold{Target: 500 * time.Millisecond, Patience: 3}
+	fast, slow := 100*time.Millisecond, time.Second
+	seq := []struct {
+		obs  time.Duration
+		want bool
+	}{
+		{slow, false}, {slow, false}, {fast, false}, // reset
+		{slow, false}, {slow, false}, {slow, true}, // 3 consecutive
+		{slow, false}, // counter reset after firing
+	}
+	for i, s := range seq {
+		if got := pol.ShouldPromote(d, s.obs, nil); got != s.want {
+			t.Fatalf("step %d: got %v, want %v", i, got, s.want)
+		}
+	}
+	if pol.Name() != "threshold" {
+		t.Fatal("name wrong")
+	}
+	// Patience < 1 behaves as 1.
+	eager := Threshold{Target: 500 * time.Millisecond}
+	if !eager.ShouldPromote(d, slow, nil) {
+		t.Fatal("patience 0 should fire immediately")
+	}
+}
+
+func TestBatteryAwarePolicy(t *testing.T) {
+	p := Profile{Name: "x", SpeedFactor: 1, BatteryJoules: 100, ComputeWatts: 10, RadioWatts: 5, IdleWatts: 1}
+	d, err := New(1, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := BatteryAware{MinLevel: 0.3, Target: time.Second}
+	if pol.ShouldPromote(d, 100*time.Millisecond, nil) {
+		t.Fatal("full battery + fast response: no promotion")
+	}
+	if !pol.ShouldPromote(d, 2*time.Second, nil) {
+		t.Fatal("slow response should promote")
+	}
+	d.DrainCompute(8 * time.Second) // 80 J -> 20% battery
+	if !pol.ShouldPromote(d, 100*time.Millisecond, nil) {
+		t.Fatal("low battery should promote regardless of response time")
+	}
+	if pol.Name() != "battery-aware" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestNeverPolicy(t *testing.T) {
+	d, err := New(1, flagship(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (Never{}).ShouldPromote(d, time.Hour, nil) {
+		t.Fatal("Never must never promote")
+	}
+	if (Never{}).Name() != "never" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestPromoteResetsThresholdState(t *testing.T) {
+	d, err := New(1, flagship(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := Threshold{Target: time.Millisecond, Patience: 2}
+	if pol.ShouldPromote(d, time.Second, nil) {
+		t.Fatal("first slow response should not fire at patience 2")
+	}
+	d.Promote(3)
+	// The slow counter was reset by the promotion; one more slow
+	// response must not fire.
+	if pol.ShouldPromote(d, time.Second, nil) {
+		t.Fatal("counter should have been reset by Promote")
+	}
+}

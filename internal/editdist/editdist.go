@@ -1,0 +1,139 @@
+// Package editdist implements the edit distances the paper's workload
+// predictor is built on (§IV-B1): the plain Levenshtein distance between
+// sequences, the user-set distance δ between two acceleration groups, the
+// time-slot distance Δ, and the normalized edit distance of Marzal & Vidal
+// (the paper's reference [33]) computed exactly with Dinkelbach's
+// fractional-programming iteration.
+package editdist
+
+// Costs parameterizes the weighted edit distance. The zero value is not
+// useful; use UnitCosts for the classic Levenshtein weights.
+type Costs struct {
+	Insert     float64
+	Delete     float64
+	Substitute float64
+}
+
+// UnitCosts are the classic Levenshtein weights (all operations cost 1).
+func UnitCosts() Costs {
+	return Costs{Insert: 1, Delete: 1, Substitute: 1}
+}
+
+// Levenshtein returns the unit-cost edit distance between a and b.
+func Levenshtein[T comparable](a, b []T) int {
+	d, _ := Weighted(a, b, UnitCosts())
+	return int(d + 0.5)
+}
+
+// Weighted returns the minimal total weight of an edit path from a to b
+// under the given costs, along with the length (number of operations,
+// matches included) of that minimal-weight path. Matches cost zero.
+//
+// The path length is needed by the normalized edit distance; among all
+// minimal-weight paths, the one with the greatest length is reported,
+// which is the convention that makes the Dinkelbach iteration converge to
+// the true normalized distance.
+func Weighted[T comparable](a, b []T, c Costs) (weight float64, pathLen int) {
+	return weightedLambda(a, b, c, 0)
+}
+
+// weightedLambda minimizes weight(P) - lambda*len(P) over edit paths P and
+// returns the weight and length of the minimizing path. With lambda = 0
+// this is the ordinary weighted edit distance (ties broken toward longer
+// paths because matches and all operations contribute -lambda <= 0;
+// at lambda = 0 we break ties explicitly toward longer paths).
+func weightedLambda[T comparable](a, b []T, c Costs, lambda float64) (weight float64, pathLen int) {
+	n, m := len(a), len(b)
+	// score[i][j]: minimal weight - lambda*len; length tracks the path
+	// length of the chosen optimum (longest among equals).
+	type cell struct {
+		score  float64
+		weight float64
+		length int
+	}
+	prev := make([]cell, m+1)
+	curr := make([]cell, m+1)
+	prev[0] = cell{}
+	for j := 1; j <= m; j++ {
+		prev[j] = cell{
+			score:  prev[j-1].score + c.Insert - lambda,
+			weight: prev[j-1].weight + c.Insert,
+			length: prev[j-1].length + 1,
+		}
+	}
+	for i := 1; i <= n; i++ {
+		curr[0] = cell{
+			score:  prev[0].score + c.Delete - lambda,
+			weight: prev[0].weight + c.Delete,
+			length: prev[0].length + 1,
+		}
+		for j := 1; j <= m; j++ {
+			sub := c.Substitute
+			if a[i-1] == b[j-1] {
+				sub = 0
+			}
+			best := cell{
+				score:  prev[j-1].score + sub - lambda,
+				weight: prev[j-1].weight + sub,
+				length: prev[j-1].length + 1,
+			}
+			if cand := (cell{
+				score:  prev[j].score + c.Delete - lambda,
+				weight: prev[j].weight + c.Delete,
+				length: prev[j].length + 1,
+			}); better(cand, best) {
+				best = cand
+			}
+			if cand := (cell{
+				score:  curr[j-1].score + c.Insert - lambda,
+				weight: curr[j-1].weight + c.Insert,
+				length: curr[j-1].length + 1,
+			}); better(cand, best) {
+				best = cand
+			}
+			curr[j] = best
+		}
+		prev, curr = curr, prev
+	}
+	return prev[m].weight, prev[m].length
+}
+
+const scoreEps = 1e-12
+
+// better reports whether x improves on y: strictly lower score, or equal
+// score with a longer path.
+func better(x, y struct {
+	score  float64
+	weight float64
+	length int
+}) bool {
+	if x.score < y.score-scoreEps {
+		return true
+	}
+	if x.score > y.score+scoreEps {
+		return false
+	}
+	return x.length > y.length
+}
+
+// Normalized returns the Marzal–Vidal normalized edit distance between a
+// and b under the given costs: the minimum over edit paths P of
+// weight(P)/len(P), with Normalized(∅, ∅) = 0. It is computed exactly via
+// Dinkelbach's iteration: repeatedly minimize weight(P) - λ·len(P) and
+// update λ until the optimum reaches zero.
+func Normalized[T comparable](a, b []T, c Costs) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	w, l := Weighted(a, b, c)
+	lambda := w / float64(l)
+	for iter := 0; iter < 64; iter++ {
+		w, l = weightedLambda(a, b, c, lambda)
+		next := w / float64(l)
+		if next >= lambda-scoreEps {
+			return lambda
+		}
+		lambda = next
+	}
+	return lambda
+}

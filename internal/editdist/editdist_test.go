@@ -1,0 +1,256 @@
+package editdist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshteinKnownValues(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b string
+		want int
+	}{
+		{"empty-empty", "", "", 0},
+		{"empty-word", "", "abc", 3},
+		{"word-empty", "abc", "", 3},
+		{"identical", "kitten", "kitten", 0},
+		{"kitten-sitting", "kitten", "sitting", 3},
+		{"flaw-lawn", "flaw", "lawn", 2},
+		{"single-sub", "a", "b", 1},
+		{"prefix", "abc", "abcd", 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Levenshtein([]byte(tt.a), []byte(tt.b))
+			if got != tt.want {
+				t.Fatalf("Levenshtein(%q,%q) = %d, want %d", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestLevenshteinInts(t *testing.T) {
+	if got := Levenshtein([]int{1, 2, 3}, []int{1, 3}); got != 1 {
+		t.Fatalf("got %d, want 1", got)
+	}
+	if got := Levenshtein([]int{1, 2}, []int{3, 4}); got != 2 {
+		t.Fatalf("got %d, want 2", got)
+	}
+}
+
+func TestWeightedCustomCosts(t *testing.T) {
+	// Substitution costs 3, insert+delete costs 1+1=2; the cheaper path
+	// for "a"->"b" is delete+insert.
+	c := Costs{Insert: 1, Delete: 1, Substitute: 3}
+	w, l := Weighted([]byte("a"), []byte("b"), c)
+	if w != 2 {
+		t.Fatalf("weight = %v, want 2", w)
+	}
+	if l != 2 {
+		t.Fatalf("pathLen = %d, want 2 (delete+insert)", l)
+	}
+}
+
+func TestWeightedPathLengthPrefersLonger(t *testing.T) {
+	// For identical strings the minimal weight is 0 and the longest
+	// minimal path is all matches: length = len.
+	w, l := Weighted([]byte("hello"), []byte("hello"), UnitCosts())
+	if w != 0 || l != 5 {
+		t.Fatalf("weight,len = %v,%d, want 0,5", w, l)
+	}
+}
+
+func TestNormalizedKnownValues(t *testing.T) {
+	c := UnitCosts()
+	if got := Normalized[byte](nil, nil, c); got != 0 {
+		t.Fatalf("Normalized(∅,∅) = %v, want 0", got)
+	}
+	// Completely different single letters: best path is substitute
+	// (1 op, weight 1 -> 1.0) vs delete+insert (2 ops, weight 2 -> 1.0).
+	if got := Normalized([]byte("a"), []byte("b"), c); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("Normalized(a,b) = %v, want 1", got)
+	}
+	// Identical strings normalize to 0.
+	if got := Normalized([]byte("same"), []byte("same"), c); got != 0 {
+		t.Fatalf("Normalized(same,same) = %v, want 0", got)
+	}
+	// One edit among many matches: path weight 1, length 7 ("kitten" ->
+	// "mitten": substitute + 5 matches = 6 ops) -> 1/6.
+	if got := Normalized([]byte("kitten"), []byte("mitten"), c); math.Abs(got-1.0/6.0) > 1e-9 {
+		t.Fatalf("Normalized(kitten,mitten) = %v, want %v", got, 1.0/6.0)
+	}
+}
+
+// The normalized edit distance can be strictly smaller than
+// plain-distance / max-length; this is Marzal & Vidal's motivating
+// observation. Verify the Dinkelbach solution is never larger than the
+// naive normalization by longest path.
+func TestNormalizedUpperBound(t *testing.T) {
+	c := UnitCosts()
+	pairs := [][2]string{
+		{"abc", "xbz"}, {"aaaa", "aa"}, {"abcdef", "badcfe"}, {"x", "xxxxxxx"},
+	}
+	for _, p := range pairs {
+		a, b := []byte(p[0]), []byte(p[1])
+		w, l := Weighted(a, b, c)
+		naive := w / float64(l)
+		got := Normalized(a, b, c)
+		if got > naive+1e-9 {
+			t.Fatalf("Normalized(%q,%q) = %v > naive %v", p[0], p[1], got, naive)
+		}
+	}
+}
+
+// Property: Levenshtein is a metric on byte strings.
+func TestLevenshteinMetricProperty(t *testing.T) {
+	cap16 := func(s []byte) []byte {
+		if len(s) > 16 {
+			return s[:16]
+		}
+		return s
+	}
+	symmetry := func(a, b []byte) bool {
+		a, b = cap16(a), cap16(b)
+		return Levenshtein(a, b) == Levenshtein(b, a)
+	}
+	if err := quick.Check(symmetry, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatalf("symmetry: %v", err)
+	}
+	identity := func(a []byte) bool {
+		a = cap16(a)
+		return Levenshtein(a, a) == 0
+	}
+	if err := quick.Check(identity, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatalf("identity: %v", err)
+	}
+	triangle := func(a, b, c []byte) bool {
+		a, b, c = cap16(a), cap16(b), cap16(c)
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	if err := quick.Check(triangle, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatalf("triangle: %v", err)
+	}
+	bounds := func(a, b []byte) bool {
+		a, b = cap16(a), cap16(b)
+		d := Levenshtein(a, b)
+		maxLen := len(a)
+		if len(b) > maxLen {
+			maxLen = len(b)
+		}
+		minDiff := len(a) - len(b)
+		if minDiff < 0 {
+			minDiff = -minDiff
+		}
+		return d >= minDiff && d <= maxLen
+	}
+	if err := quick.Check(bounds, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatalf("bounds: %v", err)
+	}
+}
+
+// Property: Normalized lies in [0, max(ins,del,sub)] and is symmetric for
+// symmetric costs.
+func TestNormalizedProperty(t *testing.T) {
+	c := UnitCosts()
+	f := func(a, b []byte) bool {
+		if len(a) > 12 {
+			a = a[:12]
+		}
+		if len(b) > 12 {
+			b = b[:12]
+		}
+		d := Normalized(a, b, c)
+		d2 := Normalized(b, a, c)
+		return d >= 0 && d <= 1+1e-9 && math.Abs(d-d2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupDistance(t *testing.T) {
+	tests := []struct {
+		name string
+		x, y []int
+		want int
+	}{
+		{"identical", []int{1, 2, 3}, []int{1, 2, 3}, 0},
+		{"both-empty", nil, nil, 0},
+		{"one-joined", []int{1, 2}, []int{1, 2, 9}, 1},
+		{"one-left", []int{1, 2, 9}, []int{1, 2}, 1},
+		{"swap", []int{1, 2, 5}, []int{1, 2, 7}, 1},
+		{"disjoint", []int{1, 2}, []int{3, 4}, 2},
+		{"unsorted-equivalent", []int{3, 1, 2}, []int{1, 2, 3}, 0},
+		{"duplicates-collapse", []int{1, 1, 2}, []int{1, 2}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := GroupDistance(tt.x, tt.y); got != tt.want {
+				t.Fatalf("GroupDistance(%v,%v) = %d, want %d", tt.x, tt.y, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestGroupDistanceUnsortedZero(t *testing.T) {
+	// Equal as raw sequences -> short-circuit 0 without canonicalizing.
+	if got := GroupDistance([]int{5, 3}, []int{5, 3}); got != 0 {
+		t.Fatalf("got %d, want 0", got)
+	}
+}
+
+func TestSlotDistance(t *testing.T) {
+	x := [][]int{{1, 2}, {3}, {}}
+	y := [][]int{{1, 2}, {3, 4}, {5}}
+	// group0: 0, group1: 1 (insert 4), group2: 1 (insert 5) => 2
+	if got := SlotDistance(x, y); got != 2 {
+		t.Fatalf("SlotDistance = %d, want 2", got)
+	}
+	if got := SlotDistance(x, x); got != 0 {
+		t.Fatalf("SlotDistance(x,x) = %d, want 0", got)
+	}
+}
+
+func TestSlotDistanceRaggedSlots(t *testing.T) {
+	x := [][]int{{1}}
+	y := [][]int{{1}, {2, 3}}
+	if got := SlotDistance(x, y); got != 2 {
+		t.Fatalf("SlotDistance = %d, want 2 (missing group treated as empty)", got)
+	}
+}
+
+func TestSetDifference(t *testing.T) {
+	if got := SetDifference([]int{1, 2, 3}, []int{2, 3, 4}); got != 2 {
+		t.Fatalf("SetDifference = %d, want 2", got)
+	}
+	if got := SetDifference(nil, nil); got != 0 {
+		t.Fatalf("SetDifference(∅,∅) = %d, want 0", got)
+	}
+	if got := SetDifference([]int{1}, nil); got != 1 {
+		t.Fatalf("SetDifference = %d, want 1", got)
+	}
+}
+
+// Property: for sorted unique sets, GroupDistance is at most the symmetric
+// difference and at least half of it (each substitution fixes two
+// mismatches, insert/delete fix one).
+func TestGroupDistanceVsSetDifferenceProperty(t *testing.T) {
+	f := func(xr, yr []uint8) bool {
+		x := make([]int, 0, len(xr))
+		for _, v := range xr {
+			x = append(x, int(v)%32)
+		}
+		y := make([]int, 0, len(yr))
+		for _, v := range yr {
+			y = append(y, int(v)%32)
+		}
+		d := GroupDistance(x, y)
+		sd := SetDifference(x, y)
+		return d <= sd && 2*d >= sd
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,99 @@
+package editdist
+
+import (
+	"math"
+	"testing"
+)
+
+// bruteNED enumerates every edit path between a and b and returns the
+// exact minimum of weight(P)/len(P) — the definition of the Marzal–Vidal
+// normalized edit distance. Exponential, usable only for tiny strings;
+// it certifies the Dinkelbach implementation.
+func bruteNED(a, b []byte, c Costs) float64 {
+	best := math.Inf(1)
+	var walk func(i, j int, weight float64, length int)
+	walk = func(i, j int, weight float64, length int) {
+		if i == len(a) && j == len(b) {
+			if length == 0 {
+				best = 0
+				return
+			}
+			if r := weight / float64(length); r < best {
+				best = r
+			}
+			return
+		}
+		if i < len(a) && j < len(b) {
+			sub := c.Substitute
+			if a[i] == b[j] {
+				sub = 0
+			}
+			walk(i+1, j+1, weight+sub, length+1)
+		}
+		if i < len(a) {
+			walk(i+1, j, weight+c.Delete, length+1)
+		}
+		if j < len(b) {
+			walk(i, j+1, weight+c.Insert, length+1)
+		}
+	}
+	walk(0, 0, 0, 0)
+	if math.IsInf(best, 1) {
+		return 0
+	}
+	return best
+}
+
+// Dinkelbach must equal the exhaustive optimum on every string pair over
+// a small alphabet up to length 4, for unit and skewed costs.
+func TestNormalizedMatchesBruteForceExhaustive(t *testing.T) {
+	costs := []Costs{
+		UnitCosts(),
+		{Insert: 1, Delete: 2, Substitute: 3},
+		{Insert: 0.5, Delete: 0.5, Substitute: 2},
+	}
+	alphabet := []byte("ab")
+	var strings [][]byte
+	strings = append(strings, []byte{})
+	var grow func(prefix []byte)
+	grow = func(prefix []byte) {
+		if len(prefix) == 4 {
+			return
+		}
+		for _, ch := range alphabet {
+			next := append(append([]byte{}, prefix...), ch)
+			strings = append(strings, next)
+			grow(next)
+		}
+	}
+	grow(nil)
+	for _, c := range costs {
+		for _, a := range strings {
+			for _, b := range strings {
+				want := bruteNED(a, b, c)
+				got := Normalized(a, b, c)
+				if math.Abs(got-want) > 1e-9 {
+					t.Fatalf("NED(%q,%q,%+v) = %v, brute force %v", a, b, c, got, want)
+				}
+			}
+		}
+	}
+}
+
+// The normalized distance is bounded by the plain distance over the
+// shorter possible path and can be strictly below d/max(|a|,|b|)
+// normalizations used in ad-hoc implementations.
+func TestNormalizedTightness(t *testing.T) {
+	c := Costs{Insert: 1, Delete: 1, Substitute: 4}
+	a, b := []byte("aaab"), []byte("b")
+	// Plain weighted distance: delete 3 a's = 3 (vs substitutions 4
+	// each); best path: 3 deletes + 1 match = weight 3, length 4.
+	w, l := Weighted(a, b, c)
+	if w != 3 || l != 4 {
+		t.Fatalf("weighted = %v/%d, want 3/4", w, l)
+	}
+	got := Normalized(a, b, c)
+	if math.Abs(got-0.75) > 1e-9 {
+		t.Fatalf("NED = %v, want 0.75", got)
+	}
+}

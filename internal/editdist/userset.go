@@ -1,0 +1,95 @@
+package editdist
+
+import "sort"
+
+// GroupDistance is δ of §IV-B1: the distance between the user sets of the
+// same acceleration group in two time slots. It is 0 when the sets are
+// identical, and otherwise the edit distance D > 0 between the two user-id
+// sequences in canonical (sorted) order.
+//
+// For sorted unique sequences the Levenshtein distance equals the size of
+// the symmetric difference minus the number of substitutable pairs; using
+// the real sequence edit distance (rather than a plain set difference)
+// matches the paper's use of the RecordLinkage edit distance.
+func GroupDistance(usersX, usersY []int) int {
+	if equalIntSlices(usersX, usersY) {
+		return 0
+	}
+	return Levenshtein(canonical(usersX), canonical(usersY))
+}
+
+// SlotDistance is Δ of §IV-B1: the sum of per-group distances δ across the
+// N acceleration groups of two time slots. Slots with differing group
+// counts are compared over the longer prefix, with missing groups treated
+// as empty.
+func SlotDistance(slotX, slotY [][]int) int {
+	n := len(slotX)
+	if len(slotY) > n {
+		n = len(slotY)
+	}
+	total := 0
+	for g := 0; g < n; g++ {
+		var ux, uy []int
+		if g < len(slotX) {
+			ux = slotX[g]
+		}
+		if g < len(slotY) {
+			uy = slotY[g]
+		}
+		total += GroupDistance(ux, uy)
+	}
+	return total
+}
+
+// SetDifference returns |A Δ B|, the symmetric-difference cardinality of
+// two user-id sets. It is a cheaper alternative distance used in ablation
+// experiments.
+func SetDifference(usersX, usersY []int) int {
+	inX := make(map[int]struct{}, len(usersX))
+	for _, u := range usersX {
+		inX[u] = struct{}{}
+	}
+	inY := make(map[int]struct{}, len(usersY))
+	for _, u := range usersY {
+		inY[u] = struct{}{}
+	}
+	diff := 0
+	for u := range inX {
+		if _, ok := inY[u]; !ok {
+			diff++
+		}
+	}
+	for u := range inY {
+		if _, ok := inX[u]; !ok {
+			diff++
+		}
+	}
+	return diff
+}
+
+// canonical returns a sorted, deduplicated copy of users.
+func canonical(users []int) []int {
+	out := make([]int, len(users))
+	copy(out, users)
+	sort.Ints(out)
+	dst := out[:0]
+	for i, u := range out {
+		if i > 0 && out[i-1] == u {
+			continue
+		}
+		dst = append(dst, u)
+	}
+	return dst
+}
+
+func equalIntSlices(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

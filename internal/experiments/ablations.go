@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"accelcloud/internal/allocate"
+	"accelcloud/internal/core"
+	"accelcloud/internal/device"
+	"accelcloud/internal/predict"
+	"accelcloud/internal/sim"
+	"accelcloud/internal/stats"
+	"accelcloud/internal/tasks"
+	"accelcloud/internal/trace"
+	"accelcloud/internal/workload"
+)
+
+// The ablations quantify the design choices the paper discusses: the
+// client-side promotion policy (§VI-C3, §VII-3), the history-based
+// predictor (§IV-B), and exact ILP allocation versus simpler strategies
+// (§III, §IV-C).
+
+// PolicyOutcome is one promotion-policy run.
+type PolicyOutcome struct {
+	Policy       string
+	MeanMs       float64
+	P95Ms        float64
+	Promotions   int
+	TotalCostUSD float64
+}
+
+// AblationPromotionPolicies runs the Fig 9 experiment under each
+// moderator policy.
+func AblationPromotionPolicies(s Scale) ([]PolicyOutcome, error) {
+	policies := []device.PromotionPolicy{
+		device.StaticProbability{P: 1.0 / 50},
+		device.Threshold{Target: 2 * time.Second, Patience: 3},
+		device.BatteryAware{MinLevel: 0.3, Target: 2 * time.Second},
+		device.Never{},
+	}
+	dist, err := fig9InterArrival(s)
+	if err != nil {
+		return nil, err
+	}
+	dur := time.Duration(s.StudyHours * float64(time.Hour))
+	reqs, err := workload.GenerateInterArrival(
+		sim.NewRNG(s.Seed).Stream("ablation-wl"), sim.Epoch,
+		workload.InterArrivalConfig{
+			Users:        s.StudyUsers,
+			InterArrival: dist,
+			Duration:     dur,
+			Pool:         tasks.DefaultPool(),
+			Sizer:        workload.FixedSizer{Size: 8},
+			FixedTask:    "minimax",
+		})
+	if err != nil {
+		return nil, err
+	}
+	var out []PolicyOutcome
+	for _, pol := range policies {
+		sys, err := core.New(core.Config{
+			Groups:            fig9Groups(),
+			ProvisionInterval: 30 * time.Minute,
+			Background:        fig9Background(),
+			Policy:            pol,
+			Seed:              s.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		run, err := sys.Run(reqs, dur)
+		if err != nil {
+			return nil, fmt.Errorf("ablation %s: %w", pol.Name(), err)
+		}
+		var ms []float64
+		for _, r := range run.Requests {
+			if !r.Dropped {
+				ms = append(ms, r.ResponseMs)
+			}
+		}
+		p95 := 0.0
+		if len(ms) > 0 {
+			if v, err := percentile95(ms); err == nil {
+				p95 = v
+			}
+		}
+		out = append(out, PolicyOutcome{
+			Policy:       pol.Name(),
+			MeanMs:       run.MeanResponseMs(),
+			P95Ms:        p95,
+			Promotions:   len(run.Promotions),
+			TotalCostUSD: run.TotalCostUSD,
+		})
+	}
+	return out, nil
+}
+
+// PoliciesTable renders the promotion-policy ablation.
+func PoliciesTable(rows []PolicyOutcome) Table {
+	t := Table{
+		Title:  "Ablation: promotion policies (Fig 9 workload)",
+		Header: []string{"policy", "mean_ms", "p95_ms", "promotions", "cost_usd"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Policy, f1(r.MeanMs), f1(r.P95Ms), strconv.Itoa(r.Promotions), f2(r.TotalCostUSD),
+		})
+	}
+	return t
+}
+
+// PredictorOutcome is one predictor's cross-validated accuracy.
+type PredictorOutcome struct {
+	Predictor string
+	Accuracy  float64
+}
+
+// AblationPredictors cross-validates each predictor on the 16-hour
+// history of Fig 10a.
+func AblationPredictors(s Scale) ([]PredictorOutcome, error) {
+	records, err := historyRecords(s)
+	if err != nil {
+		return nil, err
+	}
+	slots, err := trace.BuildSlots(records, sim.Epoch, time.Hour, s.HistoryHours, 4)
+	if err != nil {
+		return nil, err
+	}
+	predictors := []predict.Predictor{
+		predict.EditDistanceNN{},
+		predict.LastValue{},
+		predict.MovingAverage{Window: 3},
+	}
+	var out []PredictorOutcome
+	for _, p := range predictors {
+		acc, err := predict.CrossValidate(slots, p, 10, 2)
+		if err != nil {
+			return nil, fmt.Errorf("ablation %s: %w", p.Name(), err)
+		}
+		out = append(out, PredictorOutcome{Predictor: p.Name(), Accuracy: acc})
+	}
+	return out, nil
+}
+
+// PredictorsTable renders the predictor ablation.
+func PredictorsTable(rows []PredictorOutcome) Table {
+	t := Table{
+		Title:  "Ablation: workload predictors (16 h history, 10-fold CV)",
+		Header: []string{"predictor", "accuracy_pct"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r.Predictor, f1(100 * r.Accuracy)})
+	}
+	return t
+}
+
+// AllocatorOutcome is one allocator's cost across a demand sweep.
+type AllocatorOutcome struct {
+	Allocator  string
+	TotalCost  float64
+	Feasible   int
+	Infeasible int
+}
+
+// AblationAllocators sweeps demand mixes through the exact ILP, the
+// greedy heuristic, and single-type vertical scaling.
+func AblationAllocators(s Scale) ([]AllocatorOutcome, error) {
+	specs := []allocate.Spec{
+		{TypeName: "t2.nano", Group: 0, CostPerHour: 0.0063, Capacity: 30},
+		{TypeName: "t2.small", Group: 0, CostPerHour: 0.025, Capacity: 30},
+		{TypeName: "t2.medium", Group: 1, CostPerHour: 0.05, Capacity: 60},
+		{TypeName: "t2.large", Group: 1, CostPerHour: 0.101, Capacity: 90},
+		{TypeName: "m4.4xlarge", Group: 2, CostPerHour: 0.888, Capacity: 400},
+		{TypeName: "m4.10xlarge", Group: 2, CostPerHour: 2.22, Capacity: 800},
+	}
+	rng := sim.NewRNG(s.Seed).Stream("ablation-alloc")
+	outcomes := map[string]*AllocatorOutcome{
+		"ilp":              {Allocator: "ilp"},
+		"greedy":           {Allocator: "greedy"},
+		"m4.10xlarge-only": {Allocator: "m4.10xlarge-only"},
+	}
+	const rounds = 40
+	for i := 0; i < rounds; i++ {
+		p := &allocate.Problem{
+			Specs: specs,
+			Demands: []float64{
+				float64(rng.Intn(200)),
+				float64(rng.Intn(300)),
+				float64(rng.Intn(1200)),
+			},
+		}
+		ilpPlan, err := allocate.Solve(p)
+		if err != nil {
+			return nil, err
+		}
+		record(outcomes["ilp"], ilpPlan)
+		greedyPlan, err := allocate.Greedy(p)
+		if err != nil {
+			return nil, err
+		}
+		record(outcomes["greedy"], greedyPlan)
+		// Vertical scaling: one big type serving everything it can
+		// (hierarchical mode so it is not trivially infeasible).
+		ph := *p
+		ph.Hierarchical = true
+		vPlan, err := allocate.SingleType(&ph, "m4.10xlarge")
+		if err != nil {
+			return nil, err
+		}
+		record(outcomes["m4.10xlarge-only"], vPlan)
+	}
+	return []AllocatorOutcome{*outcomes["ilp"], *outcomes["greedy"], *outcomes["m4.10xlarge-only"]}, nil
+}
+
+func record(o *AllocatorOutcome, p allocate.Plan) {
+	if p.Feasible {
+		o.Feasible++
+		o.TotalCost += p.Cost
+	} else {
+		o.Infeasible++
+	}
+}
+
+// AllocatorsTable renders the allocator ablation.
+func AllocatorsTable(rows []AllocatorOutcome) Table {
+	t := Table{
+		Title:  "Ablation: allocators over random demand mixes",
+		Header: []string{"allocator", "total_cost_usd", "feasible", "infeasible"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Allocator, f2(r.TotalCost), strconv.Itoa(r.Feasible), strconv.Itoa(r.Infeasible),
+		})
+	}
+	return t
+}
+
+// percentile95 is a tiny helper around stats.Percentile.
+func percentile95(xs []float64) (float64, error) {
+	return stats.Percentile(xs, 95)
+}

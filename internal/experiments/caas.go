@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"accelcloud/internal/cloud"
+)
+
+// CaaS pricing (§VII-4): the paper argues that acceleration levels open
+// a monetization path — "a user can acquire from the cloud a service to
+// improve the response time of a game instead of buying a new higher
+// capability device". This experiment computes what each level costs the
+// provider per served user, which bounds a viable subscription price.
+
+// CaaSPrice is the unit economics of one acceleration level.
+type CaaSPrice struct {
+	Level          int
+	TypeName       string
+	PricePerHour   float64
+	CapacityUsers  int
+	UserHourUSD    float64
+	UserMonthUSD   float64
+	ActiveHrPerDay float64
+}
+
+// CaaSPricing derives per-user costs from the Fig 9 deployment's
+// capacities, assuming activeHoursPerDay of daily use.
+func CaaSPricing(activeHoursPerDay float64) ([]CaaSPrice, error) {
+	if activeHoursPerDay <= 0 || activeHoursPerDay > 24 {
+		return nil, fmt.Errorf("caas: active hours %v outside (0,24]", activeHoursPerDay)
+	}
+	catalog := cloud.DefaultCatalog()
+	deployment := []struct {
+		level    int
+		typeName string
+		capacity int
+	}{
+		{1, "t2.nano", 30},
+		{2, "t2.large", 90},
+		{3, "m4.4xlarge", 400},
+		{4, "c4.8xlarge", 900},
+	}
+	var out []CaaSPrice
+	for _, d := range deployment {
+		typ, err := catalog.ByName(d.typeName)
+		if err != nil {
+			return nil, err
+		}
+		perUserHour := typ.PricePerHour / float64(d.capacity)
+		out = append(out, CaaSPrice{
+			Level:          d.level,
+			TypeName:       d.typeName,
+			PricePerHour:   typ.PricePerHour,
+			CapacityUsers:  d.capacity,
+			UserHourUSD:    perUserHour,
+			UserMonthUSD:   perUserHour * activeHoursPerDay * 30,
+			ActiveHrPerDay: activeHoursPerDay,
+		})
+	}
+	return out, nil
+}
+
+// CaaSTable renders the pricing analysis.
+func CaaSTable(rows []CaaSPrice) Table {
+	t := Table{
+		Title:  "CaaS pricing (§VII-4): provider cost per served user by acceleration level",
+		Header: []string{"level", "instance", "$/instance-h", "capacity", "$/user-h", "$/user-month"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", r.Level), r.TypeName,
+			fmt.Sprintf("%.4f", r.PricePerHour),
+			fmt.Sprintf("%d", r.CapacityUsers),
+			fmt.Sprintf("%.6f", r.UserHourUSD),
+			fmt.Sprintf("%.4f", r.UserMonthUSD),
+		})
+	}
+	return t
+}

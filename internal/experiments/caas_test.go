@@ -1,0 +1,41 @@
+package experiments
+
+import "testing"
+
+func TestCaaSPricing(t *testing.T) {
+	rows, err := CaaSPricing(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// The §VII-4 viability claim: even the top level costs a provider
+	// fractions of a dollar per user-month at realistic multi-tenancy —
+	// far below replacing a device.
+	for _, r := range rows {
+		if r.UserHourUSD <= 0 {
+			t.Fatalf("level %d user-hour cost %v", r.Level, r.UserHourUSD)
+		}
+		if r.UserMonthUSD > 2 {
+			t.Fatalf("level %d user-month cost $%.2f implausibly high", r.Level, r.UserMonthUSD)
+		}
+	}
+	// Higher levels cost more per user than level 1 (the upsell).
+	if rows[0].UserHourUSD >= rows[2].UserHourUSD {
+		t.Fatalf("level 1 ($%.6f) should undercut level 3 ($%.6f)",
+			rows[0].UserHourUSD, rows[2].UserHourUSD)
+	}
+	if len(CaaSTable(rows).Rows) != 4 {
+		t.Fatal("table wrong")
+	}
+}
+
+func TestCaaSPricingValidation(t *testing.T) {
+	if _, err := CaaSPricing(0); err == nil {
+		t.Fatal("zero hours should fail")
+	}
+	if _, err := CaaSPricing(25); err == nil {
+		t.Fatal("25 hours should fail")
+	}
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Every experiment must be bit-for-bit reproducible for a given seed:
+// that is the property that makes EXPERIMENTS.md's numbers checkable.
+func TestFig4Deterministic(t *testing.T) {
+	s := Quick()
+	a, err := Fig4(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig4(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Measurements, b.Measurements) {
+		t.Fatal("Fig4 not deterministic")
+	}
+}
+
+func TestFig8Deterministic(t *testing.T) {
+	s := Quick()
+	a, err := Fig8(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig8(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Sweep, b.Sweep) {
+		t.Fatal("Fig8 sweep not deterministic")
+	}
+	if !reflect.DeepEqual(a.RoutingMeanMs, b.RoutingMeanMs) {
+		t.Fatal("Fig8 routing not deterministic")
+	}
+}
+
+func TestFig11Deterministic(t *testing.T) {
+	s := Quick()
+	a, err := Fig11(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig11(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Series, b.Series) {
+		t.Fatal("Fig11 not deterministic")
+	}
+}
+
+// Different seeds must actually change stochastic outputs (no hidden
+// fixed seeding).
+func TestSeedChangesOutput(t *testing.T) {
+	a := Quick()
+	b := Quick()
+	b.Seed = 999
+	ra, err := Fig11(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Fig11(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(ra.Series, rb.Series) {
+		t.Fatal("different seeds produced identical datasets")
+	}
+}

@@ -1,0 +1,125 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VI): one function per figure, each returning a typed
+// result with the same series the paper plots, plus text/CSV emitters
+// used by cmd/accelsim and the root benchmark suite. The per-experiment
+// index lives in DESIGN.md; paper-vs-measured numbers in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Scale selects experiment fidelity: Quick for unit tests and benches,
+// Full for regenerating the figures at paper-equivalent sample sizes.
+type Scale struct {
+	// Name labels the scale in output.
+	Name string
+	// BenchWaves is the number of benchmark waves per load level
+	// (the paper's 3-hour stress ≈ 180 one-minute waves).
+	BenchWaves int
+	// LoadLevels are the concurrent-user probes of Fig 4.
+	LoadLevels []int
+	// SweepStep is the per-rate window of Fig 8b (paper: 5 minutes).
+	SweepStep int // seconds
+	// StudyUsers is the Fig 9/10 workload size (paper: 100).
+	StudyUsers int
+	// StudyHours is the Fig 9 run length (paper: 8 h).
+	StudyHours float64
+	// HistoryHours is the Fig 10a trace length (paper: 16 h).
+	HistoryHours int
+	// NetSamples is the per-operator/tech sample count of Fig 11
+	// (paper: 150k–500k).
+	NetSamples int
+	// Seed roots all randomness.
+	Seed int64
+}
+
+// Quick is the fast profile used by tests and `go test -bench`.
+func Quick() Scale {
+	return Scale{
+		Name:         "quick",
+		BenchWaves:   6,
+		LoadLevels:   []int{1, 10, 20, 40, 60, 80, 100},
+		SweepStep:    20,
+		StudyUsers:   40,
+		StudyHours:   2,
+		HistoryHours: 18,
+		NetSamples:   4000,
+		Seed:         1,
+	}
+}
+
+// Full is the paper-equivalent profile used by cmd/accelsim.
+func Full() Scale {
+	return Scale{
+		Name:         "full",
+		BenchWaves:   30,
+		LoadLevels:   []int{1, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100},
+		SweepStep:    60,
+		StudyUsers:   100,
+		StudyHours:   8,
+		HistoryHours: 16,
+		NetSamples:   60000,
+		Seed:         1,
+	}
+}
+
+// Table is a printable experiment output.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// WriteTSV emits the table as tab-separated values with a title comment.
+func (t Table) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s\n", t.Title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(t.Header, "\t")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// f1, f2 format floats at one/two decimals for table cells.
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }

@@ -1,0 +1,337 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"accelcloud/internal/netsim"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := Table{
+		Title:  "demo",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+	}
+	var buf bytes.Buffer
+	if err := tab.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tsv := buf.String()
+	if !strings.HasPrefix(tsv, "# demo\na\tbb\n1\t2\n333\t4\n") {
+		t.Fatalf("tsv = %q", tsv)
+	}
+	s := tab.String()
+	if !strings.Contains(s, "== demo ==") || !strings.Contains(s, "333  4") {
+		t.Fatalf("string = %q", s)
+	}
+}
+
+// E1: Fig 4 — the classification and the "less steep slope on powerful
+// instances" claim.
+func TestFig4(t *testing.T) {
+	r, err := Fig4(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Measurements) != 6 {
+		t.Fatalf("got %d measurements, want 6", len(r.Measurements))
+	}
+	// t2.micro must land strictly below t2.nano (the Fig 6 anomaly).
+	micro, ok1 := r.Grouping.LevelOf("t2.micro")
+	nano, ok2 := r.Grouping.LevelOf("t2.nano")
+	big, ok3 := r.Grouping.LevelOf("m4.10xlarge")
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatal("types not classified")
+	}
+	if micro >= nano || nano >= big {
+		t.Fatalf("levels: micro %d, nano %d, m4.10xlarge %d", micro, nano, big)
+	}
+	tab := r.Table()
+	if len(tab.Rows) != len(Quick().LoadLevels) {
+		t.Fatalf("table rows = %d", len(tab.Rows))
+	}
+}
+
+// E2: Fig 5 — acceleration factors ≈1.25 / ≈1.73 / ≈1.36.
+func TestFig5(t *testing.T) {
+	r, err := Fig5(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.L2vsL1-1.25) > 0.1 {
+		t.Errorf("L2/L1 = %.3f, paper ≈1.25", r.L2vsL1)
+	}
+	if math.Abs(r.L3vsL1-1.73) > 0.1 {
+		t.Errorf("L3/L1 = %.3f, paper ≈1.73", r.L3vsL1)
+	}
+	if math.Abs(r.L3vsL2-1.36) > 0.1 {
+		t.Errorf("L3/L2 = %.3f, paper ≈1.36", r.L3vsL2)
+	}
+	if len(r.Table().Rows) == 0 {
+		t.Fatal("empty table")
+	}
+}
+
+// E3: Fig 6 — nano beats micro under load.
+func TestFig6(t *testing.T) {
+	r, err := Fig6(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Nano) != len(r.Micro) || len(r.Nano) == 0 {
+		t.Fatal("curves missing")
+	}
+	// At high load the micro's mean response exceeds the nano's.
+	last := len(r.Nano) - 1
+	if r.Micro[last].MeanMs <= r.Nano[last].MeanMs {
+		t.Fatalf("micro %.1f ms should exceed nano %.1f ms at load %d",
+			r.Micro[last].MeanMs, r.Nano[last].MeanMs, r.Nano[last].Users)
+	}
+	if len(r.Table().Rows) != len(r.Nano) {
+		t.Fatal("table size wrong")
+	}
+}
+
+// E4/E5: Fig 7 — component decomposition and SD curves.
+func TestFig7(t *testing.T) {
+	r, err := Fig7(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.PerLevel) != 4 {
+		t.Fatalf("got %d levels", len(r.PerLevel))
+	}
+	for lvl, c := range r.PerLevel {
+		// Consistency: total ≈ T1 + routing + T2 + Tcloud.
+		sum := c.T1Ms + c.RoutingMs + c.T2Ms + c.TcloudMs
+		if math.Abs(sum-c.TotalMs) > 0.05*c.TotalMs+5 {
+			t.Errorf("level %d: components %.1f vs total %.1f", lvl, sum, c.TotalMs)
+		}
+		// Routing ≈ 150 ms everywhere.
+		if math.Abs(c.RoutingMs-150) > 30 {
+			t.Errorf("level %d routing %.1f ms, want ≈150", lvl, c.RoutingMs)
+		}
+	}
+	// Tcloud decreases with acceleration level (the point of Fig 7b).
+	if !(r.PerLevel[1].TcloudMs > r.PerLevel[2].TcloudMs &&
+		r.PerLevel[2].TcloudMs > r.PerLevel[3].TcloudMs &&
+		r.PerLevel[3].TcloudMs >= r.PerLevel[4].TcloudMs) {
+		t.Errorf("Tcloud not decreasing: %v %v %v %v",
+			r.PerLevel[1].TcloudMs, r.PerLevel[2].TcloudMs,
+			r.PerLevel[3].TcloudMs, r.PerLevel[4].TcloudMs)
+	}
+	if len(r.ComponentsTable().Rows) != 4 {
+		t.Fatal("components table wrong")
+	}
+	if len(r.SDTable().Rows) == 0 {
+		t.Fatal("sd table empty")
+	}
+}
+
+// E6/E7/E12: Fig 8 — ≈150 ms routing, saturation knee, drops beyond it.
+func TestFig8(t *testing.T) {
+	r, err := Fig8(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 1; g <= 4; g++ {
+		if math.Abs(r.RoutingMeanMs[g]-150) > 25 {
+			t.Errorf("group %d routing %.1f ms, want ≈150", g, r.RoutingMeanMs[g])
+		}
+		if len(r.RoutingSeries[g]) == 0 {
+			t.Errorf("group %d has no routing series", g)
+		}
+	}
+	if len(r.Sweep) != 11 {
+		t.Fatalf("sweep has %d points", len(r.Sweep))
+	}
+	// The knee: paper saturates at 32 Hz. Accept 16–64 Hz.
+	if r.SaturationHz < 16 || r.SaturationHz > 64 {
+		t.Errorf("saturation at %.0f Hz, paper ≈32 Hz", r.SaturationHz)
+	}
+	// Below the knee: no drops. At 1024 Hz: heavy drops.
+	if r.Sweep[0].FailPct != 0 {
+		t.Errorf("drops at 1 Hz: %+v", r.Sweep[0])
+	}
+	last := r.Sweep[len(r.Sweep)-1]
+	if last.FailPct < 50 {
+		t.Errorf("1024 Hz fail %.1f%%, want heavy failure", last.FailPct)
+	}
+	// Response time at the end is far above the unloaded response.
+	if last.MeanMs < 5*r.Sweep[0].MeanMs {
+		t.Errorf("no collapse: %.1f vs %.1f ms", last.MeanMs, r.Sweep[0].MeanMs)
+	}
+	if len(r.RoutingTable().Rows) != 4 || len(r.SweepTable().Rows) != 11 {
+		t.Fatal("tables wrong")
+	}
+}
+
+// E8: Fig 9 — stable user stays slow, promoted user speeds up.
+func TestFig9(t *testing.T) {
+	r, err := Fig9(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Run.Requests) < 500 {
+		t.Fatalf("only %d requests", len(r.Run.Requests))
+	}
+	// The stable user's requests are all group 1.
+	for _, p := range r.Stable.Points {
+		if p.Group != 1 {
+			t.Fatalf("stable user served by group %d", p.Group)
+		}
+	}
+	// The promoted user visits all three groups.
+	seen := map[int]bool{}
+	for _, p := range r.Promoted.Points {
+		seen[p.Group] = true
+	}
+	if !seen[1] || !seen[3] {
+		t.Fatalf("promoted user groups = %v", seen)
+	}
+	// Response improves with acceleration: group means decrease.
+	if !(r.MeanMsPerGroup[1] > r.MeanMsPerGroup[2] && r.MeanMsPerGroup[2] > r.MeanMsPerGroup[3]) {
+		t.Errorf("group means not decreasing: %v", r.MeanMsPerGroup)
+	}
+	// The promoted user's responses at group 3 are faster on average
+	// than at group 1.
+	var g1, g3 []float64
+	for _, p := range r.Promoted.Points {
+		switch p.Group {
+		case 1:
+			g1 = append(g1, p.ResponseMs)
+		case 3:
+			g3 = append(g3, p.ResponseMs)
+		}
+	}
+	if len(g1) == 0 || len(g3) == 0 {
+		t.Fatal("promoted user series incomplete")
+	}
+	if mean(g3) >= mean(g1) {
+		t.Errorf("promotion did not speed up user: g1 %.1f ms vs g3 %.1f ms", mean(g1), mean(g3))
+	}
+	if len(r.SeriesTable(r.Stable, "b").Rows) == 0 || len(r.GroupMeansTable().Rows) == 0 {
+		t.Fatal("tables empty")
+	}
+}
+
+// E9/E10: Fig 10 — accuracy rises with data and lands near 87.5%.
+func TestFig10(t *testing.T) {
+	f9, err := Fig9(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Fig10(Quick(), &f9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.AccuracyCurve) == 0 {
+		t.Fatal("no accuracy curve")
+	}
+	first, last := r.AccuracyCurve[0], r.AccuracyCurve[len(r.AccuracyCurve)-1]
+	if last.Accuracy < first.Accuracy {
+		t.Errorf("accuracy should improve with data: %v -> %v", first.Accuracy, last.Accuracy)
+	}
+	if math.Abs(r.OverallAccuracy-0.875) > 0.08 {
+		t.Errorf("overall accuracy %.3f, paper ≈0.875", r.OverallAccuracy)
+	}
+	if len(r.Requests) == 0 || len(r.FinalGroups) == 0 || len(r.UserMeanMs) == 0 {
+		t.Fatal("fig10 panels empty")
+	}
+	if len(r.AccuracyTable().Rows) == 0 || len(r.HeatTable(10).Rows) == 0 || len(r.PromotionTable().Rows) == 0 {
+		t.Fatal("tables empty")
+	}
+}
+
+// E11: Fig 11 — the LTE vs 3G aggregates match the paper.
+func TestFig11(t *testing.T) {
+	r, err := Fig11(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 6 {
+		t.Fatalf("got %d series, want 6", len(r.Series))
+	}
+	for key, sum := range r.Summaries {
+		paper := r.PaperMeanMs[key]
+		if paper == 0 {
+			t.Fatalf("no paper value for %s", key)
+		}
+		if rel := math.Abs(sum.Mean-paper) / paper; rel > 0.25 {
+			t.Errorf("%s mean %.1f vs paper %.1f (%.0f%% off)", key, sum.Mean, paper, rel*100)
+		}
+	}
+	if len(r.SummaryTable().Rows) != 6 {
+		t.Fatal("summary table wrong")
+	}
+	if len(r.HourlyTable("alpha", netsim.Tech3G).Rows) != 24 {
+		t.Fatal("hourly table wrong")
+	}
+}
+
+func TestAblationPredictorsRanksNNFirst(t *testing.T) {
+	rows, err := AblationPredictors(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byName := map[string]float64{}
+	for _, r := range rows {
+		byName[r.Predictor] = r.Accuracy
+	}
+	if byName["edit-distance-nn"] < byName["moving-average"]-0.05 {
+		t.Errorf("NN %.3f clearly worse than moving average %.3f",
+			byName["edit-distance-nn"], byName["moving-average"])
+	}
+	if len(PredictorsTable(rows).Rows) != 3 {
+		t.Fatal("table wrong")
+	}
+}
+
+func TestAblationAllocators(t *testing.T) {
+	rows, err := AblationAllocators(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ilp, greedy, single AllocatorOutcome
+	for _, r := range rows {
+		switch r.Allocator {
+		case "ilp":
+			ilp = r
+		case "greedy":
+			greedy = r
+		case "m4.10xlarge-only":
+			single = r
+		}
+	}
+	if ilp.Infeasible != greedy.Infeasible {
+		t.Logf("feasibility differs: ilp %d vs greedy %d", ilp.Infeasible, greedy.Infeasible)
+	}
+	if ilp.TotalCost > greedy.TotalCost+1e-9 && ilp.Feasible == greedy.Feasible {
+		t.Errorf("ILP total cost %.2f exceeds greedy %.2f", ilp.TotalCost, greedy.TotalCost)
+	}
+	// Vertical scaling wastes money or fails: per feasible round it must
+	// not beat the ILP.
+	if single.Feasible > 0 && ilp.Feasible > 0 {
+		if single.TotalCost/float64(single.Feasible) < ilp.TotalCost/float64(ilp.Feasible) {
+			t.Errorf("single-type average cost beats ILP: %.2f vs %.2f",
+				single.TotalCost/float64(single.Feasible), ilp.TotalCost/float64(ilp.Feasible))
+		}
+	}
+	if len(AllocatorsTable(rows).Rows) != 3 {
+		t.Fatal("table wrong")
+	}
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"accelcloud/internal/netsim"
+	"accelcloud/internal/sim"
+	"accelcloud/internal/stats"
+)
+
+// Fig11Result holds the network-latency study: hourly RTT series per
+// operator/technology and the aggregate summaries the paper reports.
+type Fig11Result struct {
+	Series []netsim.HourlySeries
+	// Summaries maps "operator/tech" to the sample aggregates.
+	Summaries map[string]stats.Summary
+	// PaperMeanMs maps the same keys to the paper's reported means.
+	PaperMeanMs map[string]float64
+}
+
+// Fig11 synthesizes the NetRadar-like dataset and aggregates it hourly,
+// per operator and technology.
+func Fig11(s Scale) (Fig11Result, error) {
+	ops, err := netsim.DefaultOperators()
+	if err != nil {
+		return Fig11Result{}, err
+	}
+	samples, err := netsim.GenerateDataset(
+		sim.NewRNG(s.Seed).Stream("fig11"), ops, sim.Epoch, s.NetSamples)
+	if err != nil {
+		return Fig11Result{}, err
+	}
+	out := Fig11Result{
+		Series:      netsim.AggregateHourly(samples),
+		Summaries:   make(map[string]stats.Summary),
+		PaperMeanMs: make(map[string]float64),
+	}
+	for _, op := range ops {
+		for _, tech := range []netsim.Tech{netsim.Tech3G, netsim.TechLTE} {
+			key := fmt.Sprintf("%s/%s", op.Name, tech)
+			sum, err := netsim.SummaryMs(samples, op.Name, tech)
+			if err != nil {
+				return Fig11Result{}, err
+			}
+			out.Summaries[key] = sum
+			out.PaperMeanMs[key] = netsim.PaperMeanMs(op.Name, tech)
+		}
+	}
+	return out, nil
+}
+
+// SummaryTable renders the paper-vs-measured aggregates.
+func (r Fig11Result) SummaryTable() Table {
+	t := Table{
+		Title:  "Fig 11: RTT aggregates per operator and technology",
+		Header: []string{"operator/tech", "mean_ms", "median_ms", "sd_ms", "paper_mean_ms"},
+	}
+	keys := make([]string, 0, len(r.Summaries))
+	for k := range r.Summaries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		s := r.Summaries[k]
+		t.Rows = append(t.Rows, []string{
+			k, f1(s.Mean), f1(s.Median), f1(s.SD), f1(r.PaperMeanMs[k]),
+		})
+	}
+	return t
+}
+
+// HourlyTable renders one hourly mean-RTT series.
+func (r Fig11Result) HourlyTable(operator string, tech netsim.Tech) Table {
+	t := Table{
+		Title:  fmt.Sprintf("Fig 11: hourly mean RTT [ms], %s %s", operator, tech),
+		Header: []string{"hour", "mean_ms", "samples"},
+	}
+	for _, s := range r.Series {
+		if s.Operator != operator || s.Tech != tech {
+			continue
+		}
+		for h := 0; h < 24; h++ {
+			t.Rows = append(t.Rows, []string{
+				strconv.Itoa(h), f1(s.MeanMs[h]), strconv.Itoa(s.Count[h]),
+			})
+		}
+	}
+	return t
+}

@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"accelcloud/internal/cloud"
+	"accelcloud/internal/groups"
+	"accelcloud/internal/tasks"
+	"accelcloud/internal/workload"
+)
+
+// fig4Types are the six instance types of Fig 4, in figure order.
+var fig4Types = []string{
+	"t2.nano", "t2.micro", "t2.small", "t2.medium", "t2.large", "m4.10xlarge",
+}
+
+// Fig4Result holds the instance-characterization curves and the derived
+// acceleration grouping (Fig 4 / §VI-A).
+type Fig4Result struct {
+	Measurements []groups.Measurement
+	Grouping     *groups.Grouping
+}
+
+// benchmarkConfig builds the shared characterization config for a scale.
+func benchmarkConfig(s Scale) groups.BenchmarkConfig {
+	return groups.BenchmarkConfig{
+		LoadLevels:   s.LoadLevels,
+		Waves:        s.BenchWaves,
+		WaveInterval: time.Minute,
+		SLA:          500 * time.Millisecond,
+		Pool:         tasks.DefaultPool(),
+		Sizer:        workload.DefaultSizer(),
+		Seed:         s.Seed,
+	}
+}
+
+// Fig4 stresses every catalog type with concurrent batches (1–100 users)
+// and classifies the types into acceleration levels.
+func Fig4(s Scale) (Fig4Result, error) {
+	cfg := benchmarkConfig(s)
+	catalog := cloud.DefaultCatalog()
+	var out Fig4Result
+	for _, name := range fig4Types {
+		typ, err := catalog.ByName(name)
+		if err != nil {
+			return Fig4Result{}, err
+		}
+		m, err := groups.Benchmark(typ, cfg)
+		if err != nil {
+			return Fig4Result{}, fmt.Errorf("fig4: %s: %w", name, err)
+		}
+		out.Measurements = append(out.Measurements, m)
+	}
+	g, err := groups.Classify(out.Measurements, 0.12)
+	if err != nil {
+		return Fig4Result{}, err
+	}
+	out.Grouping = g
+	return out, nil
+}
+
+// Table renders the Fig 4 curves (mean response time per load level).
+func (r Fig4Result) Table() Table {
+	t := Table{
+		Title:  "Fig 4: response time [ms] vs concurrent users, per instance type",
+		Header: []string{"users"},
+	}
+	for _, m := range r.Measurements {
+		lvl, _ := r.Grouping.LevelOf(m.Type)
+		t.Header = append(t.Header, fmt.Sprintf("%s(L%d)", m.Type, lvl))
+	}
+	if len(r.Measurements) == 0 {
+		return t
+	}
+	for i, p := range r.Measurements[0].Curve {
+		row := []string{strconv.Itoa(p.Users)}
+		for _, m := range r.Measurements {
+			row = append(row, f1(m.Curve[i].MeanMs))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Fig5Result holds the static-minimax acceleration-level comparison
+// (Fig 5): one curve per level and the headline acceleration factors.
+type Fig5Result struct {
+	// Curves maps acceleration level (1..3) to its load curve.
+	Curves map[int][]groups.LoadPoint
+	// L2vsL1, L3vsL1, L3vsL2 are the solo-time acceleration factors the
+	// paper reports as ≈1.25, ≈1.73, ≈1.36.
+	L2vsL1, L3vsL1, L3vsL2 float64
+}
+
+// fig5Levels maps acceleration level to its representative type.
+var fig5Levels = map[int]string{
+	1: "t2.nano",
+	2: "t2.large",
+	3: "m4.10xlarge",
+}
+
+// Fig5 benchmarks one representative type per acceleration level with
+// the static minimax task.
+func Fig5(s Scale) (Fig5Result, error) {
+	cfg := benchmarkConfig(s)
+	cfg.FixedTask = "minimax"
+	cfg.Sizer = workload.FixedSizer{Size: 8}
+	catalog := cloud.DefaultCatalog()
+	out := Fig5Result{Curves: make(map[int][]groups.LoadPoint, len(fig5Levels))}
+	solo := make(map[int]float64, len(fig5Levels))
+	for lvl, name := range fig5Levels {
+		typ, err := catalog.ByName(name)
+		if err != nil {
+			return Fig5Result{}, err
+		}
+		m, err := groups.Benchmark(typ, cfg)
+		if err != nil {
+			return Fig5Result{}, fmt.Errorf("fig5: %s: %w", name, err)
+		}
+		out.Curves[lvl] = m.Curve
+		solo[lvl] = m.SoloMs
+	}
+	out.L2vsL1 = solo[1] / solo[2]
+	out.L3vsL1 = solo[1] / solo[3]
+	out.L3vsL2 = solo[2] / solo[3]
+	return out, nil
+}
+
+// Table renders the Fig 5 curves and factors.
+func (r Fig5Result) Table() Table {
+	t := Table{
+		Title: fmt.Sprintf(
+			"Fig 5: static minimax by acceleration level (L2/L1=%.2f, L3/L1=%.2f, L3/L2=%.2f)",
+			r.L2vsL1, r.L3vsL1, r.L3vsL2),
+		Header: []string{"users", "accel1_ms", "accel2_ms", "accel3_ms"},
+	}
+	if len(r.Curves[1]) == 0 {
+		return t
+	}
+	for i := range r.Curves[1] {
+		row := []string{strconv.Itoa(r.Curves[1][i].Users)}
+		for lvl := 1; lvl <= 3; lvl++ {
+			row = append(row, f1(r.Curves[lvl][i].MeanMs))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Fig6Result holds the t2.nano vs t2.micro anomaly curves (mean and SD).
+type Fig6Result struct {
+	Nano  []groups.LoadPoint
+	Micro []groups.LoadPoint
+}
+
+// Fig6 re-runs the characterization for the two anomalous types.
+func Fig6(s Scale) (Fig6Result, error) {
+	cfg := benchmarkConfig(s)
+	catalog := cloud.DefaultCatalog()
+	var out Fig6Result
+	for _, name := range []string{"t2.nano", "t2.micro"} {
+		typ, err := catalog.ByName(name)
+		if err != nil {
+			return Fig6Result{}, err
+		}
+		m, err := groups.Benchmark(typ, cfg)
+		if err != nil {
+			return Fig6Result{}, fmt.Errorf("fig6: %s: %w", name, err)
+		}
+		if name == "t2.nano" {
+			out.Nano = m.Curve
+		} else {
+			out.Micro = m.Curve
+		}
+	}
+	return out, nil
+}
+
+// Table renders the anomaly comparison.
+func (r Fig6Result) Table() Table {
+	t := Table{
+		Title:  "Fig 6: t2.nano vs t2.micro anomaly (mean and SD, ms)",
+		Header: []string{"users", "nano_mean", "micro_mean", "nano_sd", "micro_sd"},
+	}
+	for i := range r.Nano {
+		t.Rows = append(t.Rows, []string{
+			strconv.Itoa(r.Nano[i].Users),
+			f1(r.Nano[i].MeanMs), f1(r.Micro[i].MeanMs),
+			f1(r.Nano[i].SDMs), f1(r.Micro[i].SDMs),
+		})
+	}
+	return t
+}

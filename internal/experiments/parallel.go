@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"accelcloud/internal/cloud"
+	"accelcloud/internal/qsim"
+	"accelcloud/internal/sim"
+	"accelcloud/internal/tasks"
+)
+
+// ParallelismOutcome compares a serial task against its parallelized
+// variant on one instance type (the §VII-1 extension): the serial task
+// hits the acceleration limit — one core — regardless of instance size,
+// while the parallel variant keeps accelerating.
+type ParallelismOutcome struct {
+	TypeName   string
+	SerialMs   float64
+	ParallelMs float64
+	Speedup    float64
+	CoresUsed  int
+}
+
+// AblationParallelism measures matmul vs parmatmul solo latency on a
+// ladder of instance types.
+func AblationParallelism(s Scale) ([]ParallelismOutcome, error) {
+	catalog := cloud.DefaultCatalog()
+	const size = 96 // 96³ work units; parallelism 12 on parmatmul
+	serialWork := tasks.MatMul{}.Work(size)
+	parTask := tasks.ParMatMul{}
+	parWork := parTask.Work(size)
+	cores := parTask.Parallelism(size)
+
+	var out []ParallelismOutcome
+	for _, name := range []string{"t2.nano", "t2.large", "m4.4xlarge", "m4.10xlarge"} {
+		typ, err := catalog.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		run := func(parallel bool) (time.Duration, error) {
+			env := sim.NewEnvironment()
+			inst, err := cloud.NewInstance("par-"+name, typ, env.Now())
+			if err != nil {
+				return 0, err
+			}
+			srv, err := qsim.NewServer(env, inst, qsim.Config{})
+			if err != nil {
+				return 0, err
+			}
+			var got qsim.Outcome
+			if parallel {
+				err = srv.SubmitParallel(parWork, cores, func(o qsim.Outcome) { got = o })
+			} else {
+				err = srv.Submit(serialWork, func(o qsim.Outcome) { got = o })
+			}
+			if err != nil {
+				return 0, err
+			}
+			if err := env.Run(); err != nil {
+				return 0, err
+			}
+			if got.Dropped {
+				return 0, fmt.Errorf("parallelism ablation: request dropped on %s", name)
+			}
+			return got.Latency, nil
+		}
+		serial, err := run(false)
+		if err != nil {
+			return nil, err
+		}
+		parallel, err := run(true)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ParallelismOutcome{
+			TypeName:   name,
+			SerialMs:   float64(serial) / float64(time.Millisecond),
+			ParallelMs: float64(parallel) / float64(time.Millisecond),
+			Speedup:    float64(serial) / float64(parallel),
+			CoresUsed:  minInt(cores, typ.VCPU),
+		})
+	}
+	return out, nil
+}
+
+// ParallelismTable renders the §VII-1 ablation.
+func ParallelismTable(rows []ParallelismOutcome) Table {
+	t := Table{
+		Title:  "Ablation (§VII-1): serial acceleration limit vs code parallelization (matmul 96³)",
+		Header: []string{"instance", "serial_ms", "parallel_ms", "speedup", "cores_used"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.TypeName, f1(r.SerialMs), f1(r.ParallelMs), f2(r.Speedup),
+			fmt.Sprintf("%d", r.CoresUsed),
+		})
+	}
+	return t
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

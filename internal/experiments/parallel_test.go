@@ -1,0 +1,44 @@
+package experiments
+
+import "testing"
+
+// The §VII-1 claim: a serial task's acceleration saturates at the
+// single-core speed ratio (≈2× across the whole ladder), while the
+// parallelized variant keeps scaling with cores.
+func TestAblationParallelism(t *testing.T) {
+	rows, err := AblationParallelism(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byType := map[string]ParallelismOutcome{}
+	for _, r := range rows {
+		byType[r.TypeName] = r
+	}
+	nano := byType["t2.nano"]
+	big := byType["m4.10xlarge"]
+	// On a 1-core box, parallelization cannot help.
+	if nano.Speedup > 1.05 {
+		t.Errorf("t2.nano speedup %.2f, want ≈1", nano.Speedup)
+	}
+	// On the 40-core box the 12-way parallel task runs ≈12× faster.
+	if big.Speedup < 8 {
+		t.Errorf("m4.10xlarge speedup %.2f, want ≈12", big.Speedup)
+	}
+	// The serial acceleration limit: serial latency improves only by the
+	// single-core speed ratio (2.0/1.0) from nano to m4.10xlarge...
+	serialGain := nano.SerialMs / big.SerialMs
+	if serialGain > 2.5 {
+		t.Errorf("serial gain %.2f exceeds the single-core speed ratio", serialGain)
+	}
+	// ...while the parallel task gains an order of magnitude more.
+	parallelGain := nano.ParallelMs / big.ParallelMs
+	if parallelGain < 5*serialGain {
+		t.Errorf("parallel gain %.2f should dwarf serial gain %.2f", parallelGain, serialGain)
+	}
+	if len(ParallelismTable(rows).Rows) != 4 {
+		t.Fatal("table wrong")
+	}
+}

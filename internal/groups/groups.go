@@ -1,0 +1,322 @@
+// Package groups implements the paper's acceleration-group
+// characterization (§VI-A, §IV-C1): stress each instance type with
+// concurrent batches, measure how response time degrades as users are
+// added (Fig 4), derive the solo acceleration and the capacity under a
+// response-time SLA, and cluster instance types into acceleration levels
+// — servers with indistinguishable acceleration land in the same group,
+// which is how the paper discovers that differently-priced servers can
+// provide the same level (§VI-A2).
+package groups
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"accelcloud/internal/cloud"
+	"accelcloud/internal/qsim"
+	"accelcloud/internal/sim"
+	"accelcloud/internal/stats"
+	"accelcloud/internal/tasks"
+	"accelcloud/internal/workload"
+)
+
+// LoadPoint is one point of a Fig 4 curve.
+type LoadPoint struct {
+	Users  int
+	MeanMs float64
+	SDMs   float64
+	P5Ms   float64
+	P95Ms  float64
+}
+
+// Measurement is the benchmark result for one instance type.
+type Measurement struct {
+	Type string
+	// Curve holds response-time statistics per load level (Fig 4).
+	Curve []LoadPoint
+	// SoloMs is the mean response time with a single user — the
+	// inverse of the type's acceleration.
+	SoloMs float64
+	// Capacity is the largest benchmarked user count whose mean
+	// response time met the SLA (the K_s of §IV-C).
+	Capacity int
+}
+
+// BenchmarkConfig parameterizes the characterization run.
+type BenchmarkConfig struct {
+	// LoadLevels are the concurrent-user counts to probe; the paper uses
+	// 1 and 10..100 step 10.
+	LoadLevels []int
+	// Waves is how many benchmark waves to average per load level (the
+	// paper stresses each server for 3 hours; waves arrive 1 minute
+	// apart).
+	Waves int
+	// WaveInterval is the cool-down between waves.
+	WaveInterval time.Duration
+	// SLA is the response-time bound defining capacity (§IV-C1's
+	// "minimum level of acceleration", e.g. 500 ms).
+	SLA time.Duration
+	// Pool and Sizer define the request mix.
+	Pool  *tasks.Pool
+	Sizer workload.Sizer
+	// FixedTask pins the benchmark to one task (Fig 5's static minimax);
+	// empty means random pool draws.
+	FixedTask string
+	// Seed drives the deterministic workload draws.
+	Seed int64
+}
+
+// DefaultBenchmarkConfig mirrors the paper's §VI-A1 setup, scaled from
+// 3 hours to a statistically equivalent 30 waves.
+func DefaultBenchmarkConfig() BenchmarkConfig {
+	return BenchmarkConfig{
+		LoadLevels:   []int{1, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100},
+		Waves:        30,
+		WaveInterval: time.Minute,
+		SLA:          500 * time.Millisecond,
+		Pool:         tasks.DefaultPool(),
+		Sizer:        workload.DefaultSizer(),
+		Seed:         1,
+	}
+}
+
+func (c BenchmarkConfig) validate() error {
+	if len(c.LoadLevels) == 0 {
+		return errors.New("groups: no load levels")
+	}
+	for _, l := range c.LoadLevels {
+		if l <= 0 {
+			return fmt.Errorf("groups: load level %d <= 0", l)
+		}
+	}
+	if c.Waves <= 0 {
+		return fmt.Errorf("groups: waves %d <= 0", c.Waves)
+	}
+	if c.WaveInterval <= 0 {
+		return fmt.Errorf("groups: wave interval %v <= 0", c.WaveInterval)
+	}
+	if c.SLA <= 0 {
+		return fmt.Errorf("groups: SLA %v <= 0", c.SLA)
+	}
+	if c.Pool == nil || c.Sizer == nil {
+		return errors.New("groups: nil pool or sizer")
+	}
+	return nil
+}
+
+// Benchmark characterizes one instance type: fresh instance, batch waves
+// at each load level, response-time statistics per level.
+func Benchmark(typ cloud.InstanceType, cfg BenchmarkConfig) (Measurement, error) {
+	if err := cfg.validate(); err != nil {
+		return Measurement{}, err
+	}
+	if err := typ.Validate(); err != nil {
+		return Measurement{}, err
+	}
+	m := Measurement{Type: typ.Name}
+	for _, users := range cfg.LoadLevels {
+		env := sim.NewEnvironment()
+		inst, err := cloud.NewInstance("bench-"+typ.Name, typ, env.Now())
+		if err != nil {
+			return Measurement{}, err
+		}
+		srv, err := qsim.NewServer(env, inst, qsim.Config{})
+		if err != nil {
+			return Measurement{}, err
+		}
+		// The stream is keyed by load level but NOT by instance type:
+		// every type faces the identical task sequence at each level, so
+		// response-time ratios across types reflect speed, not draw
+		// luck (a paired benchmark).
+		rng := sim.NewRNG(cfg.Seed).StreamN("bench", users)
+		reqs, err := workload.GenerateConcurrent(rng, env.Now(), workload.ConcurrentConfig{
+			Users: users, Waves: cfg.Waves, WaveInterval: cfg.WaveInterval,
+			Pool: cfg.Pool, Sizer: cfg.Sizer, FixedTask: cfg.FixedTask,
+		})
+		if err != nil {
+			return Measurement{}, err
+		}
+		var ms []float64
+		for _, req := range reqs {
+			work := req.Work
+			if err := env.ScheduleAt(req.At, func() {
+				// Submitting generated work cannot fail validation.
+				_ = srv.Submit(work, func(o qsim.Outcome) {
+					if !o.Dropped {
+						ms = append(ms, float64(o.Latency)/float64(time.Millisecond))
+					}
+				})
+			}); err != nil {
+				return Measurement{}, err
+			}
+		}
+		if err := env.Run(); err != nil {
+			return Measurement{}, err
+		}
+		if len(ms) == 0 {
+			return Measurement{}, fmt.Errorf("groups: no completions for %s at load %d", typ.Name, users)
+		}
+		sum, err := stats.Summarize(ms)
+		if err != nil {
+			return Measurement{}, err
+		}
+		m.Curve = append(m.Curve, LoadPoint{
+			Users: users, MeanMs: sum.Mean, SDMs: sum.SD, P5Ms: sum.P5, P95Ms: sum.P95,
+		})
+	}
+	m.SoloMs = m.Curve[0].MeanMs
+	slaMs := float64(cfg.SLA) / float64(time.Millisecond)
+	for _, p := range m.Curve {
+		if p.MeanMs <= slaMs && p.Users > m.Capacity {
+			m.Capacity = p.Users
+		}
+	}
+	return m, nil
+}
+
+// Level is one acceleration group.
+type Level struct {
+	// Index is the group number; 0 is the slowest (the paper parks the
+	// anomalous t2.micro there).
+	Index int
+	// Types are the member instance type names.
+	Types []string
+	// SoloMs is the group's representative solo response time.
+	SoloMs float64
+	// Capacity is the group's representative per-instance capacity K.
+	Capacity int
+}
+
+// Grouping maps instance types to acceleration levels.
+type Grouping struct {
+	Levels []Level
+	byType map[string]int
+}
+
+// LevelOf reports the acceleration level of an instance type.
+func (g *Grouping) LevelOf(typeName string) (int, bool) {
+	l, ok := g.byType[typeName]
+	return l, ok
+}
+
+// NumLevels reports the number of acceleration levels.
+func (g *Grouping) NumLevels() int { return len(g.Levels) }
+
+// Classify clusters measurements into acceleration levels: sort by solo
+// response time (descending = slowest first), then merge adjacent types
+// whose solo times are within tol of each other (ratio ≤ 1+tol). The
+// paper finds 3 levels among the general-purpose types (plus group 0 for
+// the anomalous micro and level 4 for c4.8xlarge).
+func Classify(measurements []Measurement, tol float64) (*Grouping, error) {
+	if len(measurements) == 0 {
+		return nil, errors.New("groups: nothing to classify")
+	}
+	if tol <= 0 {
+		return nil, fmt.Errorf("groups: tolerance %v <= 0", tol)
+	}
+	ms := make([]Measurement, len(measurements))
+	copy(ms, measurements)
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].SoloMs != ms[j].SoloMs {
+			return ms[i].SoloMs > ms[j].SoloMs // slowest first
+		}
+		return ms[i].Type < ms[j].Type
+	})
+	g := &Grouping{byType: make(map[string]int, len(ms))}
+	for _, m := range ms {
+		if m.SoloMs <= 0 {
+			return nil, fmt.Errorf("groups: %s has solo time %v", m.Type, m.SoloMs)
+		}
+		n := len(g.Levels)
+		if n > 0 {
+			cur := &g.Levels[n-1]
+			// cur.SoloMs >= m.SoloMs by the sort; merge when close.
+			if cur.SoloMs/m.SoloMs <= 1+tol {
+				cur.Types = append(cur.Types, m.Type)
+				if m.Capacity > cur.Capacity {
+					cur.Capacity = m.Capacity
+				}
+				g.byType[m.Type] = cur.Index
+				continue
+			}
+		}
+		g.Levels = append(g.Levels, Level{
+			Index: n, Types: []string{m.Type}, SoloMs: m.SoloMs, Capacity: m.Capacity,
+		})
+		g.byType[m.Type] = n
+	}
+	return g, nil
+}
+
+// Manual builds a grouping from an explicit type→level assignment (the
+// Fig 9 deployment pins groups 1, 2, 3 to t2.nano, t2.large, m4.4xlarge).
+func Manual(assignment map[string]int, capacities map[string]int) (*Grouping, error) {
+	if len(assignment) == 0 {
+		return nil, errors.New("groups: empty assignment")
+	}
+	byLevel := make(map[int][]string)
+	maxLevel := 0
+	for typ, lvl := range assignment {
+		if lvl < 0 {
+			return nil, fmt.Errorf("groups: negative level %d for %s", lvl, typ)
+		}
+		byLevel[lvl] = append(byLevel[lvl], typ)
+		if lvl > maxLevel {
+			maxLevel = lvl
+		}
+	}
+	g := &Grouping{byType: make(map[string]int, len(assignment))}
+	for lvl := 0; lvl <= maxLevel; lvl++ {
+		types := byLevel[lvl]
+		sort.Strings(types)
+		level := Level{Index: lvl, Types: types}
+		for _, typ := range types {
+			g.byType[typ] = lvl
+			if c, ok := capacities[typ]; ok && c > level.Capacity {
+				level.Capacity = c
+			}
+		}
+		g.Levels = append(g.Levels, level)
+	}
+	return g, nil
+}
+
+// AccelerationFactor reports how much faster level b is than level a
+// based on solo response times (Fig 5's 1.25×/1.73× ratios).
+func (g *Grouping) AccelerationFactor(a, b int) (float64, error) {
+	if a < 0 || a >= len(g.Levels) || b < 0 || b >= len(g.Levels) {
+		return 0, fmt.Errorf("groups: levels %d/%d out of range [0,%d)", a, b, len(g.Levels))
+	}
+	sa, sb := g.Levels[a].SoloMs, g.Levels[b].SoloMs
+	if sa <= 0 || sb <= 0 {
+		return 0, errors.New("groups: grouping lacks solo measurements")
+	}
+	return sa / sb, nil
+}
+
+// Slope fits the per-user response-time growth of a measurement curve via
+// least squares on (users, meanMs); the paper observes that "the slope of
+// the mean response time becomes less steep as we use more powerful
+// instances" (§VI-A2).
+func Slope(m Measurement) float64 {
+	n := float64(len(m.Curve))
+	if n < 2 {
+		return 0
+	}
+	var sx, sy, sxx, sxy float64
+	for _, p := range m.Curve {
+		x, y := float64(p.Users), p.MeanMs
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	den := n*sxx - sx*sx
+	if math.Abs(den) < 1e-12 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / den
+}

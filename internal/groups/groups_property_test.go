@@ -1,0 +1,88 @@
+package groups
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Classification must not depend on the order measurements are supplied.
+func TestClassifyOrderInvariantProperty(t *testing.T) {
+	base := []Measurement{
+		{Type: "a", SoloMs: 15.0, Capacity: 20},
+		{Type: "b", SoloMs: 8.3, Capacity: 60},
+		{Type: "c", SoloMs: 8.3, Capacity: 60},
+		{Type: "d", SoloMs: 6.6, Capacity: 90},
+		{Type: "e", SoloMs: 4.8, Capacity: 400},
+	}
+	want, err := Classify(base, 0.12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		shuffled := make([]Measurement, len(base))
+		copy(shuffled, base)
+		r.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		got, err := Classify(shuffled, 0.12)
+		if err != nil {
+			return false
+		}
+		if got.NumLevels() != want.NumLevels() {
+			return false
+		}
+		for _, m := range base {
+			a, okA := want.LevelOf(m.Type)
+			b, okB := got.LevelOf(m.Type)
+			if !okA || !okB || a != b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: levels are ordered — every member of a higher level has a
+// strictly smaller solo time than every member of a lower level.
+func TestClassifyOrderingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(6)
+		ms := make([]Measurement, n)
+		for i := range ms {
+			ms[i] = Measurement{
+				Type:   string(rune('a' + i)),
+				SoloMs: 1 + r.Float64()*50,
+			}
+		}
+		g, err := Classify(ms, 0.10)
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(g.Levels); i++ {
+			// Levels ascend in acceleration: solo times descend.
+			if g.Levels[i].SoloMs >= g.Levels[i-1].SoloMs {
+				return false
+			}
+		}
+		// Every type is assigned exactly once.
+		seen := map[string]bool{}
+		for _, l := range g.Levels {
+			for _, typ := range l.Types {
+				if seen[typ] {
+					return false
+				}
+				seen[typ] = true
+			}
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,284 @@
+package groups
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"accelcloud/internal/cloud"
+	"accelcloud/internal/tasks"
+	"accelcloud/internal/workload"
+)
+
+func benchAll(t *testing.T, cfg BenchmarkConfig) []Measurement {
+	t.Helper()
+	var out []Measurement
+	for _, typ := range cloud.DefaultCatalog().Types() {
+		m, err := Benchmark(typ, cfg)
+		if err != nil {
+			t.Fatalf("benchmark %s: %v", typ.Name, err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// quickCfg keeps unit tests fast: fewer waves and load levels than the
+// full Fig 4 regeneration.
+func quickCfg() BenchmarkConfig {
+	cfg := DefaultBenchmarkConfig()
+	cfg.Waves = 6
+	cfg.LoadLevels = []int{1, 20, 60, 100}
+	return cfg
+}
+
+func TestBenchmarkCurveShape(t *testing.T) {
+	cfg := quickCfg()
+	nano, err := cloud.DefaultCatalog().ByName("t2.nano")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Benchmark(nano, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Curve) != len(cfg.LoadLevels) {
+		t.Fatalf("curve has %d points, want %d", len(m.Curve), len(cfg.LoadLevels))
+	}
+	// Monotone-ish growth: mean at 100 users far above solo.
+	if m.Curve[3].MeanMs < 20*m.Curve[0].MeanMs {
+		t.Fatalf("t2.nano mean at 100 users %v ms should dwarf solo %v ms",
+			m.Curve[3].MeanMs, m.Curve[0].MeanMs)
+	}
+	if m.SoloMs != m.Curve[0].MeanMs {
+		t.Fatal("SoloMs must equal the 1-user mean")
+	}
+	if m.Capacity == 0 {
+		t.Fatal("capacity should be positive")
+	}
+}
+
+func TestBenchmarkDeterminism(t *testing.T) {
+	cfg := quickCfg()
+	typ, err := cloud.DefaultCatalog().ByName("t2.small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Benchmark(typ, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Benchmark(typ, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Curve {
+		if a.Curve[i] != b.Curve[i] {
+			t.Fatalf("benchmark not deterministic at point %d: %+v vs %+v", i, a.Curve[i], b.Curve[i])
+		}
+	}
+}
+
+func TestBenchmarkValidation(t *testing.T) {
+	nano, _ := cloud.DefaultCatalog().ByName("t2.nano")
+	bad := DefaultBenchmarkConfig()
+	bad.LoadLevels = nil
+	if _, err := Benchmark(nano, bad); err == nil {
+		t.Fatal("no load levels should fail")
+	}
+	bad2 := DefaultBenchmarkConfig()
+	bad2.Waves = 0
+	if _, err := Benchmark(nano, bad2); err == nil {
+		t.Fatal("zero waves should fail")
+	}
+	bad3 := DefaultBenchmarkConfig()
+	bad3.SLA = 0
+	if _, err := Benchmark(nano, bad3); err == nil {
+		t.Fatal("zero SLA should fail")
+	}
+	bad4 := DefaultBenchmarkConfig()
+	bad4.Pool = nil
+	if _, err := Benchmark(nano, bad4); err == nil {
+		t.Fatal("nil pool should fail")
+	}
+	bad5 := DefaultBenchmarkConfig()
+	bad5.LoadLevels = []int{0}
+	if _, err := Benchmark(nano, bad5); err == nil {
+		t.Fatal("zero load level should fail")
+	}
+	if _, err := Benchmark(cloud.InstanceType{}, DefaultBenchmarkConfig()); err == nil {
+		t.Fatal("invalid type should fail")
+	}
+}
+
+// The paper's central §VI-A result: the full catalog classifies into
+// 5 levels — group 0 = t2.micro (anomaly), level 1 = {t2.nano, t2.small},
+// level 2 = {t2.medium, t2.large}, level 3 = {m4.4xlarge, m4.10xlarge},
+// level 4 = {c4.8xlarge}.
+func TestClassifyReproducesPaperLevels(t *testing.T) {
+	ms := benchAll(t, quickCfg())
+	g, err := Classify(ms, 0.12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumLevels() != 5 {
+		for _, l := range g.Levels {
+			t.Logf("level %d: %v (solo %.2f ms)", l.Index, l.Types, l.SoloMs)
+		}
+		t.Fatalf("got %d levels, want 5", g.NumLevels())
+	}
+	wantLevels := map[string]int{
+		"t2.micro":    0,
+		"t2.nano":     1,
+		"t2.small":    1,
+		"t2.medium":   2,
+		"t2.large":    2,
+		"m4.4xlarge":  3,
+		"m4.10xlarge": 3,
+		"c4.8xlarge":  4,
+	}
+	for typ, want := range wantLevels {
+		got, ok := g.LevelOf(typ)
+		if !ok {
+			t.Fatalf("%s not classified", typ)
+		}
+		if got != want {
+			for _, l := range g.Levels {
+				t.Logf("level %d: %v (solo %.2f ms)", l.Index, l.Types, l.SoloMs)
+			}
+			t.Fatalf("%s in level %d, want %d", typ, got, want)
+		}
+	}
+}
+
+// Fig 5's acceleration factors from the classified grouping.
+func TestAccelerationFactors(t *testing.T) {
+	ms := benchAll(t, quickCfg())
+	g, err := Classify(ms, 0.12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r21, err := g.AccelerationFactor(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r31, err := g.AccelerationFactor(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r32, err := g.AccelerationFactor(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r21-1.25) > 0.15 {
+		t.Errorf("level2/level1 = %.2f, paper ≈1.25", r21)
+	}
+	if math.Abs(r31-1.73) > 0.25 {
+		t.Errorf("level3/level1 = %.2f, paper ≈1.73", r31)
+	}
+	if math.Abs(r32-1.36) > 0.20 {
+		t.Errorf("level3/level2 = %.2f, paper ≈1.36", r32)
+	}
+	if _, err := g.AccelerationFactor(0, 99); err == nil {
+		t.Fatal("out-of-range level should fail")
+	}
+}
+
+// Fig 4's qualitative claim: slope decreases with instance capability.
+func TestSlopeDecreasesWithCapability(t *testing.T) {
+	cfg := quickCfg()
+	ct := cloud.DefaultCatalog()
+	nano, _ := ct.ByName("t2.nano")
+	large, _ := ct.ByName("t2.large")
+	big, _ := ct.ByName("m4.10xlarge")
+	mNano, err := Benchmark(nano, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mLarge, err := Benchmark(large, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mBig, err := Benchmark(big, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sNano, sLarge, sBig := Slope(mNano), Slope(mLarge), Slope(mBig)
+	if !(sNano > sLarge && sLarge > sBig) {
+		t.Fatalf("slopes %v > %v > %v expected (steeper on weaker instances)", sNano, sLarge, sBig)
+	}
+	if sBig < 0 {
+		t.Fatalf("slope must not be negative, got %v", sBig)
+	}
+}
+
+func TestClassifyValidation(t *testing.T) {
+	if _, err := Classify(nil, 0.1); err == nil {
+		t.Fatal("empty measurements should fail")
+	}
+	if _, err := Classify([]Measurement{{Type: "x", SoloMs: 1}}, 0); err == nil {
+		t.Fatal("zero tolerance should fail")
+	}
+	if _, err := Classify([]Measurement{{Type: "x", SoloMs: 0}}, 0.1); err == nil {
+		t.Fatal("zero solo time should fail")
+	}
+}
+
+func TestManualGrouping(t *testing.T) {
+	g, err := Manual(map[string]int{
+		"t2.nano":    1,
+		"t2.large":   2,
+		"m4.4xlarge": 3,
+	}, map[string]int{"t2.nano": 40, "t2.large": 90, "m4.4xlarge": 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Levels 0..3 exist (0 empty).
+	if g.NumLevels() != 4 {
+		t.Fatalf("got %d levels, want 4", g.NumLevels())
+	}
+	if lvl, ok := g.LevelOf("t2.large"); !ok || lvl != 2 {
+		t.Fatalf("t2.large level = %d/%v", lvl, ok)
+	}
+	if g.Levels[2].Capacity != 90 {
+		t.Fatalf("level 2 capacity = %d, want 90", g.Levels[2].Capacity)
+	}
+	if len(g.Levels[0].Types) != 0 {
+		t.Fatal("level 0 should be empty")
+	}
+	if _, err := Manual(nil, nil); err == nil {
+		t.Fatal("empty assignment should fail")
+	}
+	if _, err := Manual(map[string]int{"x": -1}, nil); err == nil {
+		t.Fatal("negative level should fail")
+	}
+}
+
+func TestSlopeDegenerate(t *testing.T) {
+	if got := Slope(Measurement{}); got != 0 {
+		t.Fatalf("empty slope = %v, want 0", got)
+	}
+	m := Measurement{Curve: []LoadPoint{{Users: 5, MeanMs: 10}, {Users: 5, MeanMs: 20}}}
+	if got := Slope(m); got != 0 {
+		t.Fatalf("degenerate-x slope = %v, want 0", got)
+	}
+}
+
+func TestBenchmarkFixedTask(t *testing.T) {
+	cfg := quickCfg()
+	cfg.FixedTask = "minimax"
+	cfg.Sizer = workload.FixedSizer{Size: 8}
+	cfg.LoadLevels = []int{1, 10}
+	cfg.Pool = tasks.DefaultPool()
+	nano, _ := cloud.DefaultCatalog().ByName("t2.nano")
+	m, err := Benchmark(nano, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// minimax size 8 = 8! = 40320 units at 200k/s ≈ 201.6 ms solo.
+	want := 40320.0 / 200000 * 1000
+	if math.Abs(m.SoloMs-want)/want > 0.05 {
+		t.Fatalf("solo = %v ms, want ≈%v ms", m.SoloMs, want)
+	}
+	_ = time.Second
+}

@@ -1,0 +1,271 @@
+// Package ilp solves small integer linear programs by branch and bound
+// over the LP relaxation from internal/lp. It implements the optimizer the
+// paper's Resource Allocator delegates to lpSolveAPI (§V): minimize
+// instance cost subject to capacity covering the predicted workload and
+// the cloud's instance cap.
+//
+// Problems here are tiny (a handful of instance types, counts bounded by
+// the cloud cap CC ≤ 20), so exact search is cheap. A brute-force
+// reference solver is included and used by the tests to certify
+// optimality of the branch-and-bound answers.
+package ilp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"accelcloud/internal/lp"
+)
+
+// Problem is an integer program over n non-negative integer variables:
+//
+//	minimize   c·x
+//	subject to A x {<=, >=, =} b
+//	           0 <= x_j <= Upper[j], x integer
+type Problem struct {
+	// Objective holds the cost coefficients c (minimization).
+	Objective []float64
+	// Constraints holds the rows of the program.
+	Constraints []lp.Constraint
+	// Upper bounds each variable; a nil slice means unbounded above
+	// (bounded only through the constraints).
+	Upper []int
+}
+
+// Solution is the result of an integer solve.
+type Solution struct {
+	Status    lp.Status
+	X         []int
+	Objective float64
+	// Nodes is the number of branch-and-bound nodes explored.
+	Nodes int
+}
+
+const intTol = 1e-6
+
+// Validate checks structural consistency.
+func (p *Problem) Validate() error {
+	if len(p.Objective) == 0 {
+		return errors.New("ilp: empty objective")
+	}
+	if p.Upper != nil && len(p.Upper) != len(p.Objective) {
+		return fmt.Errorf("ilp: %d upper bounds for %d variables", len(p.Upper), len(p.Objective))
+	}
+	for j, u := range p.Upper {
+		if u < 0 {
+			return fmt.Errorf("ilp: negative upper bound %d for variable %d", u, j)
+		}
+	}
+	base := lp.Problem{Objective: p.Objective, Constraints: p.Constraints}
+	return base.Validate()
+}
+
+// Solve runs branch and bound. It returns the optimal integer solution,
+// lp.Infeasible when no integer point satisfies the constraints, or
+// lp.Unbounded when the relaxation is unbounded (callers should add upper
+// bounds in that case).
+func Solve(p *Problem) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	n := len(p.Objective)
+
+	// Bounds are encoded as extra constraints layered per node.
+	type node struct {
+		lower []float64
+		upper []float64
+	}
+	rootLower := make([]float64, n)
+	rootUpper := make([]float64, n)
+	for j := 0; j < n; j++ {
+		if p.Upper != nil {
+			rootUpper[j] = float64(p.Upper[j])
+		} else {
+			rootUpper[j] = math.Inf(1)
+		}
+	}
+
+	best := Solution{Status: lp.Infeasible, Objective: math.Inf(1)}
+	stack := []node{{lower: rootLower, upper: rootUpper}}
+	nodes := 0
+
+	for len(stack) > 0 {
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nodes++
+		if nodes > 200000 {
+			return Solution{}, errors.New("ilp: node budget exhausted")
+		}
+
+		rel := relaxation(p, nd.lower, nd.upper)
+		sol, err := lp.Solve(rel)
+		if err != nil {
+			return Solution{}, fmt.Errorf("ilp: relaxation: %w", err)
+		}
+		switch sol.Status {
+		case lp.Infeasible:
+			continue
+		case lp.Unbounded:
+			if nodes == 1 {
+				return Solution{Status: lp.Unbounded, Nodes: nodes}, nil
+			}
+			// A bounded-variable subproblem cannot be unbounded unless
+			// the root was; treat as numerical noise and skip.
+			continue
+		}
+		if sol.Objective >= best.Objective-intTol {
+			continue // bound: cannot improve
+		}
+		// Find the most fractional variable.
+		branch := -1
+		worst := intTol
+		for j, v := range sol.X {
+			frac := math.Abs(v - math.Round(v))
+			if frac > worst {
+				worst = frac
+				branch = j
+			}
+		}
+		if branch == -1 {
+			// Integral solution.
+			x := make([]int, n)
+			for j, v := range sol.X {
+				x[j] = int(math.Round(v))
+			}
+			best = Solution{Status: lp.Optimal, X: x, Objective: sol.Objective}
+			continue
+		}
+		v := sol.X[branch]
+		// Down branch: x_branch <= floor(v).
+		down := node{lower: cloneF(nd.lower), upper: cloneF(nd.upper)}
+		down.upper[branch] = math.Min(down.upper[branch], math.Floor(v))
+		// Up branch: x_branch >= ceil(v).
+		up := node{lower: cloneF(nd.lower), upper: cloneF(nd.upper)}
+		up.lower[branch] = math.Max(up.lower[branch], math.Ceil(v))
+		// Explore the up branch first: covering problems usually need
+		// more capacity, so this finds incumbents faster.
+		stack = append(stack, down, up)
+	}
+	best.Nodes = nodes
+	if best.Status == lp.Optimal {
+		return best, nil
+	}
+	return Solution{Status: lp.Infeasible, Nodes: nodes}, nil
+}
+
+// relaxation builds the LP relaxation of p with per-variable bound rows.
+func relaxation(p *Problem, lower, upper []float64) *lp.Problem {
+	n := len(p.Objective)
+	rel := &lp.Problem{Objective: p.Objective}
+	rel.Constraints = append(rel.Constraints, p.Constraints...)
+	for j := 0; j < n; j++ {
+		if lower[j] > 0 {
+			row := make([]float64, n)
+			row[j] = 1
+			rel.Constraints = append(rel.Constraints, lp.Constraint{Coeffs: row, Rel: lp.GE, RHS: lower[j]})
+		}
+		if !math.IsInf(upper[j], 1) {
+			row := make([]float64, n)
+			row[j] = 1
+			rel.Constraints = append(rel.Constraints, lp.Constraint{Coeffs: row, Rel: lp.LE, RHS: upper[j]})
+		}
+	}
+	return rel
+}
+
+func cloneF(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	copy(out, xs)
+	return out
+}
+
+// BruteForce enumerates every integer point within Upper bounds and
+// returns the optimum. It requires finite Upper bounds and is meant as a
+// test oracle for Solve.
+func BruteForce(p *Problem) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	if p.Upper == nil {
+		return Solution{}, errors.New("ilp: BruteForce requires upper bounds")
+	}
+	n := len(p.Objective)
+	space := 1
+	for _, u := range p.Upper {
+		space *= u + 1
+		if space > 50_000_000 {
+			return Solution{}, errors.New("ilp: BruteForce search space too large")
+		}
+	}
+	x := make([]int, n)
+	best := Solution{Status: lp.Infeasible, Objective: math.Inf(1)}
+	var rec func(j int)
+	rec = func(j int) {
+		if j == n {
+			if !feasible(p, x) {
+				return
+			}
+			obj := 0.0
+			for k, c := range p.Objective {
+				obj += c * float64(x[k])
+			}
+			if obj < best.Objective {
+				best = Solution{Status: lp.Optimal, X: append([]int(nil), x...), Objective: obj}
+			}
+			return
+		}
+		for v := 0; v <= p.Upper[j]; v++ {
+			x[j] = v
+			rec(j + 1)
+		}
+		x[j] = 0
+	}
+	rec(0)
+	return best, nil
+}
+
+// feasible reports whether integer point x satisfies every constraint.
+func feasible(p *Problem, x []int) bool {
+	for _, c := range p.Constraints {
+		lhs := 0.0
+		for j, a := range c.Coeffs {
+			lhs += a * float64(x[j])
+		}
+		switch c.Rel {
+		case lp.LE:
+			if lhs > c.RHS+intTol {
+				return false
+			}
+		case lp.GE:
+			if lhs < c.RHS-intTol {
+				return false
+			}
+		case lp.EQ:
+			if math.Abs(lhs-c.RHS) > intTol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Objective computes c·x for an integer point.
+func Objective(c []float64, x []int) float64 {
+	obj := 0.0
+	for j := range x {
+		obj += c[j] * float64(x[j])
+	}
+	return obj
+}
+
+// SortPlanKeys orders a count map's keys for deterministic display.
+func SortPlanKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,321 @@
+// Package lp implements a dense two-phase primal simplex solver for
+// linear programs in the form
+//
+//	minimize    c·x
+//	subject to  A x {<=, >=, =} b
+//	            x >= 0
+//
+// It is the LP backend for the integer allocator (internal/ilp), playing
+// the role the paper delegates to R's lpSolveAPI. Bland's rule guarantees
+// termination; the solver is exact up to floating-point tolerance.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Relation is the sense of one constraint row.
+type Relation int
+
+// Constraint senses.
+const (
+	LE Relation = iota + 1 // A_i·x <= b_i
+	GE                     // A_i·x >= b_i
+	EQ                     // A_i·x == b_i
+)
+
+// String implements fmt.Stringer.
+func (r Relation) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	default:
+		return fmt.Sprintf("Relation(%d)", int(r))
+	}
+}
+
+// Status is the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota + 1
+	Infeasible
+	Unbounded
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Constraint is one row of the program.
+type Constraint struct {
+	Coeffs []float64
+	Rel    Relation
+	RHS    float64
+}
+
+// Problem is a linear program over n non-negative variables.
+type Problem struct {
+	// Objective holds the cost coefficients c (minimization).
+	Objective []float64
+	// Constraints holds the rows of A, their senses and right-hand sides.
+	Constraints []Constraint
+}
+
+// Solution is the result of solving a Problem.
+type Solution struct {
+	Status    Status
+	X         []float64
+	Objective float64
+}
+
+const eps = 1e-9
+
+// Validate checks structural consistency of the problem.
+func (p *Problem) Validate() error {
+	n := len(p.Objective)
+	if n == 0 {
+		return errors.New("lp: empty objective")
+	}
+	for i, c := range p.Constraints {
+		if len(c.Coeffs) != n {
+			return fmt.Errorf("lp: constraint %d has %d coeffs, want %d", i, len(c.Coeffs), n)
+		}
+		switch c.Rel {
+		case LE, GE, EQ:
+		default:
+			return fmt.Errorf("lp: constraint %d has invalid relation %d", i, int(c.Rel))
+		}
+		for j, v := range c.Coeffs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("lp: constraint %d coeff %d is %v", i, j, v)
+			}
+		}
+		if math.IsNaN(c.RHS) || math.IsInf(c.RHS, 0) {
+			return fmt.Errorf("lp: constraint %d rhs is %v", i, c.RHS)
+		}
+	}
+	for j, v := range p.Objective {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("lp: objective coeff %d is %v", j, v)
+		}
+	}
+	return nil
+}
+
+// Solve runs two-phase simplex on the problem.
+func Solve(p *Problem) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	n := len(p.Objective)
+	m := len(p.Constraints)
+
+	// Standardize: ensure b >= 0 by flipping rows, add slack/surplus and
+	// artificial variables.
+	type row struct {
+		a   []float64
+		b   float64
+		rel Relation
+	}
+	rows := make([]row, m)
+	for i, c := range p.Constraints {
+		a := make([]float64, n)
+		copy(a, c.Coeffs)
+		b := c.RHS
+		rel := c.Rel
+		if b < 0 {
+			for j := range a {
+				a[j] = -a[j]
+			}
+			b = -b
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		rows[i] = row{a: a, b: b, rel: rel}
+	}
+
+	// Column layout: [x(0..n-1) | slack/surplus | artificial].
+	numSlack := 0
+	for _, r := range rows {
+		if r.rel != EQ {
+			numSlack++
+		}
+	}
+	numArt := 0
+	for _, r := range rows {
+		if r.rel == GE || r.rel == EQ {
+			numArt++
+		}
+	}
+	total := n + numSlack + numArt
+	tab := make([][]float64, m)
+	basis := make([]int, m)
+	slackAt := n
+	artAt := n + numSlack
+	for i, r := range rows {
+		tab[i] = make([]float64, total+1)
+		copy(tab[i], r.a)
+		tab[i][total] = r.b
+		switch r.rel {
+		case LE:
+			tab[i][slackAt] = 1
+			basis[i] = slackAt
+			slackAt++
+		case GE:
+			tab[i][slackAt] = -1
+			slackAt++
+			tab[i][artAt] = 1
+			basis[i] = artAt
+			artAt++
+		case EQ:
+			tab[i][artAt] = 1
+			basis[i] = artAt
+			artAt++
+		}
+	}
+
+	// Phase 1: minimize the sum of artificial variables.
+	if numArt > 0 {
+		phase1 := make([]float64, total)
+		for j := n + numSlack; j < total; j++ {
+			phase1[j] = 1
+		}
+		obj, status := simplex(tab, basis, phase1, total)
+		if status == Unbounded {
+			// Phase-1 objective is bounded below by 0; unbounded here
+			// means numerical trouble.
+			return Solution{}, errors.New("lp: phase-1 unbounded (numerical failure)")
+		}
+		if obj > eps {
+			return Solution{Status: Infeasible}, nil
+		}
+		// Drive any remaining artificial variables out of the basis. A row
+		// whose artificial cannot be replaced is redundant; its basic
+		// artificial stays at value 0 and phase 2 never pivots on it.
+		for i, bv := range basis {
+			if bv < n+numSlack {
+				continue
+			}
+			for j := 0; j < n+numSlack; j++ {
+				if math.Abs(tab[i][j]) > eps {
+					pivot(tab, basis, i, j, total)
+					break
+				}
+			}
+		}
+	}
+
+	// Phase 2: original objective; artificial columns are forbidden.
+	phase2 := make([]float64, total)
+	copy(phase2, p.Objective)
+	// Block artificial columns from re-entering by making them very
+	// expensive is fragile; instead restrict pivoting width to n+numSlack.
+	obj, status := simplexRestricted(tab, basis, phase2, total, n+numSlack)
+	if status == Unbounded {
+		return Solution{Status: Unbounded}, nil
+	}
+	x := make([]float64, n)
+	for i, bv := range basis {
+		if bv < n {
+			x[bv] = tab[i][total]
+		}
+	}
+	return Solution{Status: Optimal, X: x, Objective: obj}, nil
+}
+
+// simplex minimizes obj over the tableau allowing all columns.
+func simplex(tab [][]float64, basis []int, obj []float64, total int) (float64, Status) {
+	return simplexRestricted(tab, basis, obj, total, total)
+}
+
+// simplexRestricted runs primal simplex but only lets columns < width
+// enter the basis. Bland's rule (lowest eligible index) prevents cycling.
+func simplexRestricted(tab [][]float64, basis []int, obj []float64, total, width int) (float64, Status) {
+	m := len(tab)
+	// Reduced costs: z_j - c_j computed from the current basis.
+	for iter := 0; iter < 10000*(total+m+1); iter++ {
+		// Compute y = c_B B^{-1} implicitly via the tableau: reduced
+		// cost r_j = c_j - sum_i c_{basis[i]} * tab[i][j].
+		entering := -1
+		for j := 0; j < width; j++ {
+			r := obj[j]
+			for i := 0; i < m; i++ {
+				if cb := obj[basis[i]]; cb != 0 {
+					r -= cb * tab[i][j]
+				}
+			}
+			if r < -eps {
+				entering = j // Bland: first eligible index
+				break
+			}
+		}
+		if entering == -1 {
+			// Optimal: objective = sum c_B * b.
+			val := 0.0
+			for i := 0; i < m; i++ {
+				val += obj[basis[i]] * tab[i][total]
+			}
+			return val, Optimal
+		}
+		// Ratio test with Bland tie-break on basis index.
+		leaving := -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if tab[i][entering] > eps {
+				ratio := tab[i][total] / tab[i][entering]
+				if ratio < best-eps || (ratio < best+eps && (leaving == -1 || basis[i] < basis[leaving])) {
+					best = ratio
+					leaving = i
+				}
+			}
+		}
+		if leaving == -1 {
+			return 0, Unbounded
+		}
+		pivot(tab, basis, leaving, entering, total)
+	}
+	return 0, Unbounded // iteration guard tripped; treat as failure
+}
+
+// pivot makes column j basic in row i.
+func pivot(tab [][]float64, basis []int, i, j, total int) {
+	pv := tab[i][j]
+	for k := 0; k <= total; k++ {
+		tab[i][k] /= pv
+	}
+	for r := range tab {
+		if r == i {
+			continue
+		}
+		f := tab[r][j]
+		if f == 0 {
+			continue
+		}
+		for k := 0; k <= total; k++ {
+			tab[r][k] -= f * tab[i][k]
+		}
+	}
+	basis[i] = j
+}

@@ -1,0 +1,249 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSolveSimpleMin(t *testing.T) {
+	// min x+y st x+2y >= 4, 3x+y >= 6 -> optimum at intersection
+	// x=8/5, y=6/5, obj=14/5.
+	p := &Problem{
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 2}, Rel: GE, RHS: 4},
+			{Coeffs: []float64{3, 1}, Rel: GE, RHS: 6},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if !approx(s.Objective, 2.8) {
+		t.Fatalf("objective = %v, want 2.8", s.Objective)
+	}
+	if !approx(s.X[0], 1.6) || !approx(s.X[1], 1.2) {
+		t.Fatalf("x = %v, want [1.6 1.2]", s.X)
+	}
+}
+
+func TestSolveMaximizationViaNegation(t *testing.T) {
+	// max 3x+5y st x<=4, 2y<=12, 3x+2y<=18 (classic) -> obj 36 at (2,6).
+	p := &Problem{
+		Objective: []float64{-3, -5},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 0}, Rel: LE, RHS: 4},
+			{Coeffs: []float64{0, 2}, Rel: LE, RHS: 12},
+			{Coeffs: []float64{3, 2}, Rel: LE, RHS: 18},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !approx(s.Objective, -36) {
+		t.Fatalf("got %v obj %v, want optimal -36", s.Status, s.Objective)
+	}
+	if !approx(s.X[0], 2) || !approx(s.X[1], 6) {
+		t.Fatalf("x = %v, want [2 6]", s.X)
+	}
+}
+
+func TestSolveEquality(t *testing.T) {
+	// min 2x+3y st x+y = 10, x >= 4 -> x can absorb all: x=10,y=0 obj 20?
+	// x>=4 satisfied. Optimal puts everything on the cheaper variable.
+	p := &Problem{
+		Objective: []float64{2, 3},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Rel: EQ, RHS: 10},
+			{Coeffs: []float64{1, 0}, Rel: GE, RHS: 4},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !approx(s.Objective, 20) {
+		t.Fatalf("got %v obj %v, want optimal 20", s.Status, s.Objective)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	p := &Problem{
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Rel: LE, RHS: 1},
+			{Coeffs: []float64{1}, Rel: GE, RHS: 2},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	// min -x st x >= 0 (implicit): unbounded below.
+	p := &Problem{
+		Objective: []float64{-1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Rel: GE, RHS: 1},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestSolveNegativeRHS(t *testing.T) {
+	// x <= -2 with x >= 0 is infeasible; exercised the row-flip path.
+	p := &Problem{
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Rel: LE, RHS: -2},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+	// -x <= -2 means x >= 2: feasible, optimum 2.
+	p2 := &Problem{
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{-1}, Rel: LE, RHS: -2},
+		},
+	}
+	s2, err := Solve(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Status != Optimal || !approx(s2.Objective, 2) {
+		t.Fatalf("got %v obj %v, want optimal 2", s2.Status, s2.Objective)
+	}
+}
+
+func TestSolveDegenerate(t *testing.T) {
+	// Degenerate vertex: multiple constraints meet at the optimum. Bland's
+	// rule must terminate.
+	p := &Problem{
+		Objective: []float64{1, 1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1, 0}, Rel: GE, RHS: 1},
+			{Coeffs: []float64{1, 0, 1}, Rel: GE, RHS: 1},
+			{Coeffs: []float64{0, 1, 1}, Rel: GE, RHS: 1},
+			{Coeffs: []float64{1, 1, 1}, Rel: GE, RHS: 1.5},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !approx(s.Objective, 1.5) {
+		t.Fatalf("got %v obj %v, want optimal 1.5", s.Status, s.Objective)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []*Problem{
+		{},
+		{Objective: []float64{1}, Constraints: []Constraint{{Coeffs: []float64{1, 2}, Rel: LE, RHS: 0}}},
+		{Objective: []float64{1}, Constraints: []Constraint{{Coeffs: []float64{1}, Rel: 0, RHS: 0}}},
+		{Objective: []float64{math.NaN()}},
+		{Objective: []float64{1}, Constraints: []Constraint{{Coeffs: []float64{math.Inf(1)}, Rel: LE, RHS: 0}}},
+		{Objective: []float64{1}, Constraints: []Constraint{{Coeffs: []float64{1}, Rel: LE, RHS: math.NaN()}}},
+	}
+	for i, p := range bad {
+		if _, err := Solve(p); err == nil {
+			t.Fatalf("case %d: want validation error", i)
+		}
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "==" {
+		t.Fatal("Relation strings wrong")
+	}
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Unbounded.String() != "unbounded" {
+		t.Fatal("Status strings wrong")
+	}
+	if Relation(9).String() == "" || Status(9).String() == "" {
+		t.Fatal("unknown values should still render")
+	}
+}
+
+// Property: on random feasible covering problems (min c·x, A x >= b with
+// positive entries), the simplex solution is feasible and no worse than a
+// greedy feasible point.
+func TestSolveRandomCoveringProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(4)
+		m := 1 + r.Intn(4)
+		p := &Problem{Objective: make([]float64, n)}
+		for j := range p.Objective {
+			p.Objective[j] = 0.5 + r.Float64()*4
+		}
+		for i := 0; i < m; i++ {
+			row := Constraint{Coeffs: make([]float64, n), Rel: GE, RHS: 1 + r.Float64()*10}
+			for j := range row.Coeffs {
+				row.Coeffs[j] = 0.1 + r.Float64()*3
+			}
+			p.Constraints = append(p.Constraints, row)
+		}
+		s, err := Solve(p)
+		if err != nil || s.Status != Optimal {
+			return false
+		}
+		// Feasibility.
+		for _, c := range p.Constraints {
+			lhs := 0.0
+			for j, a := range c.Coeffs {
+				lhs += a * s.X[j]
+			}
+			if lhs < c.RHS-1e-6 {
+				return false
+			}
+		}
+		for _, x := range s.X {
+			if x < -1e-9 {
+				return false
+			}
+		}
+		// Compare with a trivially feasible point: x_j = max_i b_i /
+		// a_ij for the single cheapest variable.
+		best := math.Inf(1)
+		for j := 0; j < n; j++ {
+			need := 0.0
+			for _, c := range p.Constraints {
+				if v := c.RHS / c.Coeffs[j]; v > need {
+					need = v
+				}
+			}
+			if cost := need * p.Objective[j]; cost < best {
+				best = cost
+			}
+		}
+		return s.Objective <= best+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

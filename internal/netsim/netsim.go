@@ -1,0 +1,301 @@
+// Package netsim models the cellular network latency the paper measures
+// from the NetRadar dataset (§VI-C4, Fig 11): per-operator 3G and LTE
+// round-trip-time distributions with a diurnal congestion profile.
+//
+// Substitution note (see DESIGN.md): the NetRadar dataset itself is not
+// available, so each (operator, technology) pair is modelled as a
+// log-normal distribution calibrated to the exact mean/median pairs the
+// paper reports, with a heavy-tail mixture component tuned toward the
+// reported standard deviations. Samples are drawn with a time-of-day
+// multiplier, and Fig 11 aggregates them hourly exactly like the paper.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"accelcloud/internal/stats"
+)
+
+// Tech is the radio access technology.
+type Tech int
+
+// Supported technologies.
+const (
+	Tech3G Tech = iota + 1
+	TechLTE
+)
+
+// String implements fmt.Stringer.
+func (t Tech) String() string {
+	switch t {
+	case Tech3G:
+		return "3G"
+	case TechLTE:
+		return "LTE"
+	default:
+		return fmt.Sprintf("Tech(%d)", int(t))
+	}
+}
+
+// RTTModel is the latency model of one (operator, technology) pair.
+type RTTModel struct {
+	// Body is the calibrated log-normal bulk of the distribution.
+	Body stats.LogNormal
+	// TailWeight is the probability of a congestion spike.
+	TailWeight float64
+	// Tail is the spike distribution (heavy right tail).
+	Tail stats.LogNormal
+	// Diurnal scales samples by hour of day (24 entries, mean ≈ 1).
+	Diurnal [24]float64
+}
+
+// Validate checks model consistency.
+func (m RTTModel) Validate() error {
+	if m.TailWeight < 0 || m.TailWeight >= 1 {
+		return fmt.Errorf("netsim: tail weight %v outside [0,1)", m.TailWeight)
+	}
+	for h, f := range m.Diurnal {
+		if f <= 0 {
+			return fmt.Errorf("netsim: diurnal factor %v at hour %d", f, h)
+		}
+	}
+	return nil
+}
+
+// Sample draws one RTT for the given instant.
+func (m RTTModel) Sample(r *rand.Rand, at time.Time) time.Duration {
+	ms := m.Body.Sample(r)
+	if m.TailWeight > 0 && r.Float64() < m.TailWeight {
+		ms = m.Tail.Sample(r)
+	}
+	ms *= m.Diurnal[at.Hour()]
+	if ms < 1 {
+		ms = 1
+	}
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
+// MeanMs reports the analytic mean RTT in milliseconds (ignoring the
+// diurnal profile, whose factors average ≈1).
+func (m RTTModel) MeanMs() float64 {
+	return (1-m.TailWeight)*m.Body.Mean() + m.TailWeight*m.Tail.Mean()
+}
+
+// Operator bundles the two technology models of one carrier.
+type Operator struct {
+	Name string
+	RTT  map[Tech]RTTModel
+}
+
+// Validate checks the operator definition.
+func (o Operator) Validate() error {
+	if o.Name == "" {
+		return errors.New("netsim: operator without name")
+	}
+	if len(o.RTT) == 0 {
+		return fmt.Errorf("netsim: operator %s has no models", o.Name)
+	}
+	for tech, m := range o.RTT {
+		if tech != Tech3G && tech != TechLTE {
+			return fmt.Errorf("netsim: operator %s has invalid tech %d", o.Name, int(tech))
+		}
+		if err := m.Validate(); err != nil {
+			return fmt.Errorf("operator %s %v: %w", o.Name, tech, err)
+		}
+	}
+	return nil
+}
+
+// defaultDiurnal is a mild congestion curve: busiest in the evening
+// (18–22h), quietest at night (03–05h). Factors average ≈ 1 over the day.
+func defaultDiurnal(amplitude float64) [24]float64 {
+	var out [24]float64
+	for h := 0; h < 24; h++ {
+		// Peak at hour 20, trough at hour 4 (cosine over the day).
+		phase := 2 * math.Pi * float64(h-20) / 24
+		out[h] = 1 + amplitude*math.Cos(phase)
+	}
+	return out
+}
+
+// aggregate is one calibration target from the paper (milliseconds).
+type aggregate struct {
+	mean, median, sd float64
+	samples          int
+}
+
+// paperAggregates are the Fig 11 numbers (§VI-C4).
+var paperAggregates = map[string]map[Tech]aggregate{
+	"alpha": {
+		Tech3G:  {mean: 128, median: 51, sd: 362, samples: 205762},
+		TechLTE: {mean: 41, median: 34, sd: 56, samples: 182549},
+	},
+	"beta": {
+		Tech3G:  {mean: 141, median: 60, sd: 376, samples: 448942},
+		TechLTE: {mean: 36, median: 25, sd: 70, samples: 493956},
+	},
+	"gamma": {
+		Tech3G:  {mean: 137, median: 56, sd: 379, samples: 191973},
+		TechLTE: {mean: 42, median: 27, sd: 84, samples: 152605},
+	},
+}
+
+// PaperSampleCount reports the NetRadar sample count the paper lists for
+// an operator/technology pair (0 when unknown).
+func PaperSampleCount(operator string, tech Tech) int {
+	if m, ok := paperAggregates[operator]; ok {
+		return m[tech].samples
+	}
+	return 0
+}
+
+// PaperMeanMs reports the paper's mean RTT for an operator/technology
+// pair (0 when unknown).
+func PaperMeanMs(operator string, tech Tech) float64 {
+	if m, ok := paperAggregates[operator]; ok {
+		return m[tech].mean
+	}
+	return 0
+}
+
+// DefaultOperators returns the three anonymized carriers α, β, γ
+// calibrated to the paper's aggregates.
+func DefaultOperators() ([]Operator, error) {
+	names := []string{"alpha", "beta", "gamma"}
+	out := make([]Operator, 0, len(names))
+	for _, name := range names {
+		op := Operator{Name: name, RTT: make(map[Tech]RTTModel, 2)}
+		for tech, agg := range paperAggregates[name] {
+			m, err := calibrate(agg)
+			if err != nil {
+				return nil, fmt.Errorf("netsim: calibrate %s/%v: %w", name, tech, err)
+			}
+			amp := 0.10
+			if tech == Tech3G {
+				amp = 0.18 // 3G congests harder at busy hours
+			}
+			m.Diurnal = defaultDiurnal(amp)
+			op.RTT[tech] = m
+		}
+		if err := op.Validate(); err != nil {
+			return nil, err
+		}
+		out = append(out, op)
+	}
+	return out, nil
+}
+
+// calibrate fits body+tail to a (mean, median, sd) aggregate: the body is
+// the log-normal implied by (mean, median); a 1% spike component is then
+// sized to close the gap toward the reported SD without moving the mean
+// by more than a few percent.
+func calibrate(agg aggregate) (RTTModel, error) {
+	body, err := stats.LogNormalFromMeanMedian(agg.mean, agg.median)
+	if err != nil {
+		return RTTModel{}, err
+	}
+	// Spikes: rare (1%), centered an order of magnitude above the mean.
+	tail, err := stats.LogNormalFromMeanMedian(agg.mean*8, agg.mean*5)
+	if err != nil {
+		return RTTModel{}, err
+	}
+	return RTTModel{Body: body, TailWeight: 0.01, Tail: tail}, nil
+}
+
+// OperatorByName finds one of the default operators.
+func OperatorByName(ops []Operator, name string) (Operator, error) {
+	for _, o := range ops {
+		if o.Name == name {
+			return o, nil
+		}
+	}
+	return Operator{}, fmt.Errorf("netsim: unknown operator %q", name)
+}
+
+// Sample is one synthetic NetRadar measurement.
+type Sample struct {
+	At       time.Time     `json:"at"`
+	Operator string        `json:"operator"`
+	Tech     Tech          `json:"tech"`
+	RTT      time.Duration `json:"rtt"`
+}
+
+// GenerateDataset draws n samples per (operator, tech) pair spread
+// uniformly over one day starting at start. Output order is deterministic
+// for a given rng.
+func GenerateDataset(r *rand.Rand, ops []Operator, start time.Time, n int) ([]Sample, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("netsim: need n > 0, got %d", n)
+	}
+	var out []Sample
+	for _, op := range ops {
+		if err := op.Validate(); err != nil {
+			return nil, err
+		}
+		for _, tech := range []Tech{Tech3G, TechLTE} {
+			m, ok := op.RTT[tech]
+			if !ok {
+				continue
+			}
+			for i := 0; i < n; i++ {
+				at := start.Add(time.Duration(r.Float64() * 24 * float64(time.Hour)))
+				out = append(out, Sample{At: at, Operator: op.Name, Tech: tech, RTT: m.Sample(r, at)})
+			}
+		}
+	}
+	return out, nil
+}
+
+// HourlySeries is the Fig 11 data for one operator/technology pair: the
+// mean RTT per hour of day.
+type HourlySeries struct {
+	Operator string
+	Tech     Tech
+	MeanMs   [24]float64
+	Count    [24]int
+}
+
+// AggregateHourly folds samples into per-hour mean series, mirroring the
+// paper's hourly plots.
+func AggregateHourly(samples []Sample) []HourlySeries {
+	type key struct {
+		op   string
+		tech Tech
+	}
+	acc := make(map[key]*HourlySeries)
+	var order []key
+	for _, s := range samples {
+		k := key{s.Operator, s.Tech}
+		hs, ok := acc[k]
+		if !ok {
+			hs = &HourlySeries{Operator: s.Operator, Tech: s.Tech}
+			acc[k] = hs
+			order = append(order, k)
+		}
+		h := s.At.Hour()
+		n := float64(hs.Count[h])
+		hs.MeanMs[h] = (hs.MeanMs[h]*n + float64(s.RTT)/float64(time.Millisecond)) / (n + 1)
+		hs.Count[h]++
+	}
+	out := make([]HourlySeries, 0, len(order))
+	for _, k := range order {
+		out = append(out, *acc[k])
+	}
+	return out
+}
+
+// SummaryMs computes mean/median/SD (in milliseconds) of the RTTs in
+// samples matching the operator and tech.
+func SummaryMs(samples []Sample, operator string, tech Tech) (stats.Summary, error) {
+	var ms []float64
+	for _, s := range samples {
+		if s.Operator == operator && s.Tech == tech {
+			ms = append(ms, float64(s.RTT)/float64(time.Millisecond))
+		}
+	}
+	return stats.Summarize(ms)
+}

@@ -1,0 +1,223 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"accelcloud/internal/sim"
+)
+
+func TestDefaultOperators(t *testing.T) {
+	ops, err := DefaultOperators()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 3 {
+		t.Fatalf("got %d operators, want 3", len(ops))
+	}
+	for _, want := range []string{"alpha", "beta", "gamma"} {
+		op, err := OperatorByName(ops, want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := op.RTT[Tech3G]; !ok {
+			t.Fatalf("%s missing 3G model", want)
+		}
+		if _, ok := op.RTT[TechLTE]; !ok {
+			t.Fatalf("%s missing LTE model", want)
+		}
+	}
+	if _, err := OperatorByName(ops, "delta"); err == nil {
+		t.Fatal("unknown operator should fail")
+	}
+}
+
+func TestTechString(t *testing.T) {
+	if Tech3G.String() != "3G" || TechLTE.String() != "LTE" {
+		t.Fatal("Tech strings wrong")
+	}
+	if Tech(9).String() == "" {
+		t.Fatal("unknown tech should still render")
+	}
+}
+
+// The headline claim of Fig 11: LTE RTT ≈ 36–42 ms, 3G ≈ 128–141 ms.
+// Check the empirical aggregates of each calibrated model against the
+// paper's numbers.
+func TestCalibratedAggregatesMatchPaper(t *testing.T) {
+	ops, err := DefaultOperators()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(1)
+	samples, err := GenerateDataset(rng.Stream("netradar"), ops, sim.Epoch, 40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range []string{"alpha", "beta", "gamma"} {
+		for _, tech := range []Tech{Tech3G, TechLTE} {
+			sum, err := SummaryMs(samples, op, tech)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantMean := PaperMeanMs(op, tech)
+			if wantMean == 0 {
+				t.Fatalf("no paper mean for %s/%v", op, tech)
+			}
+			if rel := math.Abs(sum.Mean-wantMean) / wantMean; rel > 0.15 {
+				t.Errorf("%s/%v mean = %.1f ms, paper %.1f ms (%.0f%% off)",
+					op, tech, sum.Mean, wantMean, rel*100)
+			}
+			// The ordering claim: 3G must be slower than LTE.
+			if tech == Tech3G && sum.Mean < 80 {
+				t.Errorf("%s 3G mean %.1f ms implausibly low", op, sum.Mean)
+			}
+			if tech == TechLTE && sum.Mean > 80 {
+				t.Errorf("%s LTE mean %.1f ms implausibly high", op, sum.Mean)
+			}
+		}
+	}
+}
+
+func TestPaperLookups(t *testing.T) {
+	if got := PaperSampleCount("beta", TechLTE); got != 493956 {
+		t.Fatalf("PaperSampleCount = %d, want 493956", got)
+	}
+	if got := PaperSampleCount("nobody", Tech3G); got != 0 {
+		t.Fatalf("unknown operator count = %d, want 0", got)
+	}
+	if got := PaperMeanMs("alpha", Tech3G); got != 128 {
+		t.Fatalf("PaperMeanMs = %v, want 128", got)
+	}
+	if got := PaperMeanMs("nobody", Tech3G); got != 0 {
+		t.Fatalf("unknown operator mean = %v, want 0", got)
+	}
+}
+
+func TestSampleDeterminism(t *testing.T) {
+	ops, err := DefaultOperators()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := GenerateDataset(sim.NewRNG(7).Stream("x"), ops, sim.Epoch, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateDataset(sim.NewRNG(7).Stream("x"), ops, sim.Epoch, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGenerateDatasetValidation(t *testing.T) {
+	ops, _ := DefaultOperators()
+	if _, err := GenerateDataset(sim.NewRNG(1).Stream("x"), ops, sim.Epoch, 0); err == nil {
+		t.Fatal("n=0 should fail")
+	}
+	bad := []Operator{{Name: "", RTT: nil}}
+	if _, err := GenerateDataset(sim.NewRNG(1).Stream("x"), bad, sim.Epoch, 1); err == nil {
+		t.Fatal("invalid operator should fail")
+	}
+}
+
+func TestSamplePositiveAndFloored(t *testing.T) {
+	ops, _ := DefaultOperators()
+	r := sim.NewRNG(3).Stream("rtt")
+	m := ops[0].RTT[TechLTE]
+	for i := 0; i < 5000; i++ {
+		at := sim.Epoch.Add(time.Duration(i) * time.Minute)
+		if got := m.Sample(r, at); got < time.Millisecond {
+			t.Fatalf("RTT %v below 1 ms floor", got)
+		}
+	}
+}
+
+func TestDiurnalShape(t *testing.T) {
+	d := defaultDiurnal(0.18)
+	if d[20] <= d[4] {
+		t.Fatalf("busy hour %v should exceed night %v", d[20], d[4])
+	}
+	sum := 0.0
+	for _, f := range d {
+		sum += f
+	}
+	if math.Abs(sum/24-1) > 0.01 {
+		t.Fatalf("diurnal mean = %v, want ≈1", sum/24)
+	}
+}
+
+func TestAggregateHourly(t *testing.T) {
+	samples := []Sample{
+		{At: sim.Epoch.Add(2 * time.Hour), Operator: "alpha", Tech: Tech3G, RTT: 100 * time.Millisecond},
+		{At: sim.Epoch.Add(2*time.Hour + time.Minute), Operator: "alpha", Tech: Tech3G, RTT: 200 * time.Millisecond},
+		{At: sim.Epoch.Add(5 * time.Hour), Operator: "alpha", Tech: TechLTE, RTT: 40 * time.Millisecond},
+	}
+	series := AggregateHourly(samples)
+	if len(series) != 2 {
+		t.Fatalf("got %d series, want 2", len(series))
+	}
+	if series[0].Tech != Tech3G || series[0].Count[2] != 2 {
+		t.Fatalf("series[0] = %+v", series[0])
+	}
+	if math.Abs(series[0].MeanMs[2]-150) > 1e-9 {
+		t.Fatalf("hour-2 mean = %v, want 150", series[0].MeanMs[2])
+	}
+	if series[1].Count[5] != 1 || math.Abs(series[1].MeanMs[5]-40) > 1e-9 {
+		t.Fatalf("series[1] = %+v", series[1])
+	}
+}
+
+func TestDiurnalCongestionVisibleInHourlySeries(t *testing.T) {
+	ops, _ := DefaultOperators()
+	r := sim.NewRNG(5).Stream("hours")
+	samples, err := GenerateDataset(r, ops[:1], sim.Epoch, 60000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := AggregateHourly(samples)
+	for _, hs := range series {
+		if hs.Tech != Tech3G {
+			continue
+		}
+		if hs.MeanMs[20] <= hs.MeanMs[4] {
+			t.Fatalf("3G busy-hour mean %.1f should exceed night mean %.1f",
+				hs.MeanMs[20], hs.MeanMs[4])
+		}
+	}
+}
+
+func TestRTTModelValidate(t *testing.T) {
+	ops, _ := DefaultOperators()
+	m := ops[0].RTT[Tech3G]
+	if err := m.Validate(); err != nil {
+		t.Fatalf("valid model rejected: %v", err)
+	}
+	bad := m
+	bad.TailWeight = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Fatal("tail weight > 1 should fail")
+	}
+	bad2 := m
+	bad2.Diurnal[3] = 0
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("zero diurnal factor should fail")
+	}
+}
+
+func TestMeanMsAnalytic(t *testing.T) {
+	ops, _ := DefaultOperators()
+	m := ops[1].RTT[TechLTE] // beta LTE: paper mean 36
+	got := m.MeanMs()
+	if math.Abs(got-36)/36 > 0.20 {
+		t.Fatalf("analytic mean %v too far from 36", got)
+	}
+}

@@ -1,0 +1,241 @@
+// Package predict implements the paper's workload prediction model
+// (§IV-B): history time slots form the knowledge base P; the next slot is
+// approximated by the successor of the historical slot at minimum edit
+// distance Δ from the current one. Since predictions always come from
+// history, "dramatically growing loads are only ever matched to the
+// largest load seen in the near history", which makes allocation
+// conservative (§IV-B2).
+//
+// Baseline predictors (last-value, moving average) are included for the
+// ablation experiments.
+package predict
+
+import (
+	"errors"
+	"fmt"
+
+	"accelcloud/internal/editdist"
+	"accelcloud/internal/stats"
+	"accelcloud/internal/trace"
+)
+
+// Predictor estimates the next time slot from history.
+type Predictor interface {
+	// Name identifies the predictor in experiment output.
+	Name() string
+	// Predict returns the expected next slot given consecutive history
+	// (oldest first, the last element being the current slot).
+	Predict(history []trace.Slot) (trace.Slot, error)
+}
+
+// EditDistanceNN is the paper's model.
+type EditDistanceNN struct{}
+
+var _ Predictor = EditDistanceNN{}
+
+// Name implements Predictor.
+func (EditDistanceNN) Name() string { return "edit-distance-nn" }
+
+// Predict implements Predictor: compute p_k = Δ(current, t_k) for every
+// t_k in the knowledge base and return the slot following the minimizer.
+// When the minimizer is the current (last) slot itself, its own value is
+// returned — the conservative bootstrap behaviour.
+func (EditDistanceNN) Predict(history []trace.Slot) (trace.Slot, error) {
+	if len(history) == 0 {
+		return trace.Slot{}, errors.New("predict: empty history")
+	}
+	current := history[len(history)-1]
+	bestK := -1
+	bestD := 0
+	for k := range history {
+		d := editdist.SlotDistance(current.Groups, history[k].Groups)
+		if bestK == -1 || d < bestD {
+			bestK, bestD = k, d
+		}
+	}
+	if bestK+1 < len(history) {
+		return history[bestK+1].Clone(), nil
+	}
+	return history[bestK].Clone(), nil
+}
+
+// LastValue predicts the next slot to equal the current one.
+type LastValue struct{}
+
+var _ Predictor = LastValue{}
+
+// Name implements Predictor.
+func (LastValue) Name() string { return "last-value" }
+
+// Predict implements Predictor.
+func (LastValue) Predict(history []trace.Slot) (trace.Slot, error) {
+	if len(history) == 0 {
+		return trace.Slot{}, errors.New("predict: empty history")
+	}
+	return history[len(history)-1].Clone(), nil
+}
+
+// MovingAverage predicts per-group counts as the mean of the last Window
+// slots. The predicted slot carries synthetic user sets of that size
+// (user identity is irrelevant to the allocator, which consumes counts).
+type MovingAverage struct {
+	Window int
+}
+
+var _ Predictor = MovingAverage{}
+
+// Name implements Predictor.
+func (MovingAverage) Name() string { return "moving-average" }
+
+// Predict implements Predictor.
+func (m MovingAverage) Predict(history []trace.Slot) (trace.Slot, error) {
+	if len(history) == 0 {
+		return trace.Slot{}, errors.New("predict: empty history")
+	}
+	w := m.Window
+	if w <= 0 {
+		w = 3
+	}
+	if w > len(history) {
+		w = len(history)
+	}
+	tail := history[len(history)-w:]
+	numGroups := 0
+	for _, s := range tail {
+		if len(s.Groups) > numGroups {
+			numGroups = len(s.Groups)
+		}
+	}
+	out := trace.Slot{Start: history[len(history)-1].Start, Groups: make([][]int, numGroups)}
+	for g := 0; g < numGroups; g++ {
+		sum := 0
+		for _, s := range tail {
+			if g < len(s.Groups) {
+				sum += len(s.Groups[g])
+			}
+		}
+		count := (sum + w/2) / w // rounded mean
+		users := make([]int, count)
+		for i := range users {
+			users[i] = i
+		}
+		out.Groups[g] = users
+	}
+	return out, nil
+}
+
+// CountsAccuracy grades a prediction against the truth on [0, 1] using
+// the symmetric accuracy of per-group user counts, averaged across
+// groups — "accuracy of the prediction model to estimate the number of
+// users in each acceleration group" (Fig 10a caption).
+func CountsAccuracy(predicted, actual trace.Slot) float64 {
+	n := len(predicted.Groups)
+	if len(actual.Groups) > n {
+		n = len(actual.Groups)
+	}
+	if n == 0 {
+		return 1
+	}
+	p := make([]float64, n)
+	a := make([]float64, n)
+	for g := 0; g < n; g++ {
+		if g < len(predicted.Groups) {
+			p[g] = float64(len(predicted.Groups[g]))
+		}
+		if g < len(actual.Groups) {
+			a[g] = float64(len(actual.Groups[g]))
+		}
+	}
+	return stats.MeanSymmetricAccuracy(p, a)
+}
+
+// Evaluate walks the slot sequence, predicting each slot from its prefix
+// and scoring against the truth. It skips the first minHistory slots to
+// give the model a bootstrap window. Returns per-step accuracies.
+func Evaluate(slots []trace.Slot, p Predictor, minHistory int) ([]float64, error) {
+	if p == nil {
+		return nil, errors.New("predict: nil predictor")
+	}
+	if minHistory < 1 {
+		minHistory = 1
+	}
+	if len(slots) <= minHistory {
+		return nil, fmt.Errorf("predict: need more than %d slots, got %d", minHistory, len(slots))
+	}
+	var out []float64
+	for i := minHistory; i < len(slots); i++ {
+		pred, err := p.Predict(slots[:i])
+		if err != nil {
+			return nil, fmt.Errorf("predict: step %d: %w", i, err)
+		}
+		out = append(out, CountsAccuracy(pred, slots[i]))
+	}
+	return out, nil
+}
+
+// CrossValidate performs k-fold cross validation in the paper's style
+// (§VI-C2): the prediction steps are partitioned into k folds; each
+// fold's accuracy is the mean over its steps; the reported accuracy is
+// the mean over folds.
+func CrossValidate(slots []trace.Slot, p Predictor, folds, minHistory int) (float64, error) {
+	if folds < 2 {
+		return 0, fmt.Errorf("predict: need >=2 folds, got %d", folds)
+	}
+	accs, err := Evaluate(slots, p, minHistory)
+	if err != nil {
+		return 0, err
+	}
+	if len(accs) < folds {
+		return 0, fmt.Errorf("predict: %d evaluation steps for %d folds", len(accs), folds)
+	}
+	foldSums := make([]float64, folds)
+	foldN := make([]int, folds)
+	for i, a := range accs {
+		f := i % folds
+		foldSums[f] += a
+		foldN[f]++
+	}
+	total := 0.0
+	for f := 0; f < folds; f++ {
+		total += foldSums[f] / float64(foldN[f])
+	}
+	return total / float64(folds), nil
+}
+
+// DataSizePoint is one point of Fig 10a: model accuracy given `Size`
+// slots of training data.
+type DataSizePoint struct {
+	Size     int
+	Accuracy float64
+}
+
+// AccuracyVsDataSize reproduces Fig 10a: for each prefix size, evaluate
+// the predictor on the next slots using only that much history.
+func AccuracyVsDataSize(slots []trace.Slot, p Predictor, sizes []int) ([]DataSizePoint, error) {
+	if p == nil {
+		return nil, errors.New("predict: nil predictor")
+	}
+	var out []DataSizePoint
+	for _, size := range sizes {
+		if size < 1 || size >= len(slots) {
+			return nil, fmt.Errorf("predict: size %d outside [1, %d)", size, len(slots))
+		}
+		// Evaluate each step i >= size using only the `size` most recent
+		// slots as the knowledge base.
+		var acc []float64
+		for i := size; i < len(slots); i++ {
+			lo := i - size
+			pred, err := p.Predict(slots[lo:i])
+			if err != nil {
+				return nil, err
+			}
+			acc = append(acc, CountsAccuracy(pred, slots[i]))
+		}
+		m, err := stats.Mean(acc)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, DataSizePoint{Size: size, Accuracy: m})
+	}
+	return out, nil
+}

@@ -1,0 +1,350 @@
+// Package qsim simulates a cloud server executing offloaded tasks under
+// processor sharing, the service discipline of the paper's Dalvik-x86
+// surrogate (one dalvikvm process per in-flight request, §V). It produces
+// the response-time-versus-load curves of Fig 4–6, the saturation and
+// drop behaviour of Fig 8b/8c, and the service times behind Fig 9/10.
+//
+// Model: at any instant the active requests share the instance's
+// effective cores equally, with a single request capped at one core (the
+// pool's tasks are serial; §VII-1). Admission is bounded by a process
+// slot limit; a bounded FIFO queue holds the overflow and further
+// arrivals are dropped — the failure mode of Fig 8c.
+package qsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"accelcloud/internal/cloud"
+	"accelcloud/internal/sim"
+	"accelcloud/internal/stats"
+)
+
+// DefaultMaxConcurrency bounds simultaneous dalvikvm processes per server.
+const DefaultMaxConcurrency = 256
+
+// DefaultQueueCapacity bounds the accept queue of a server.
+const DefaultQueueCapacity = 512
+
+// Outcome describes the fate of one submitted request.
+type Outcome struct {
+	// Dropped is true when the server rejected the request (slots and
+	// queue full).
+	Dropped bool
+	// Waited is the time spent queued before entering service.
+	Waited time.Duration
+	// Service is the time spent in processor sharing.
+	Service time.Duration
+	// Latency = Waited + Service (0 when dropped).
+	Latency time.Duration
+}
+
+// Config tunes a simulated server.
+type Config struct {
+	// MaxConcurrency is the number of requests served simultaneously
+	// (dalvikvm process slots). Zero selects DefaultMaxConcurrency.
+	MaxConcurrency int
+	// QueueCapacity is the waiting-room size. Zero selects
+	// DefaultQueueCapacity; negative means "no queue" (immediate drops
+	// beyond MaxConcurrency).
+	QueueCapacity int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.MaxConcurrency == 0 {
+		c.MaxConcurrency = DefaultMaxConcurrency
+	}
+	if c.MaxConcurrency < 0 {
+		return c, fmt.Errorf("qsim: MaxConcurrency %d < 0", c.MaxConcurrency)
+	}
+	if c.QueueCapacity == 0 {
+		c.QueueCapacity = DefaultQueueCapacity
+	}
+	if c.QueueCapacity < 0 {
+		c.QueueCapacity = 0
+	}
+	return c, nil
+}
+
+type request struct {
+	remaining float64
+	// cores caps how many cores this request can exploit (1 for the
+	// serial pool tasks; >1 for parallelized code, the §VII-1
+	// extension).
+	cores   int
+	arrived time.Time
+	started time.Time
+	done    func(Outcome)
+}
+
+// Stats aggregates a server's lifetime counters.
+type Stats struct {
+	Completed int
+	Dropped   int
+	// Response accumulates completed-request latencies in milliseconds.
+	Response stats.Welford
+}
+
+// SuccessRate reports completed / (completed + dropped), 1 when idle.
+func (s Stats) SuccessRate() float64 {
+	total := s.Completed + s.Dropped
+	if total == 0 {
+		return 1
+	}
+	return float64(s.Completed) / float64(total)
+}
+
+// Server is one simulated instance executing offloaded work.
+type Server struct {
+	env  *sim.Environment
+	inst *cloud.Instance
+	cfg  Config
+
+	active []*request
+	queue  []*request
+
+	lastUpdate time.Time
+	generation uint64 // invalidates stale scheduled wake-ups
+
+	stats Stats
+}
+
+// NewServer wraps a launched instance in a simulation server.
+func NewServer(env *sim.Environment, inst *cloud.Instance, cfg Config) (*Server, error) {
+	if env == nil {
+		return nil, errors.New("qsim: nil environment")
+	}
+	if inst == nil {
+		return nil, errors.New("qsim: nil instance")
+	}
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Server{env: env, inst: inst, cfg: c, lastUpdate: env.Now()}, nil
+}
+
+// Instance exposes the underlying instance.
+func (s *Server) Instance() *cloud.Instance { return s.inst }
+
+// Stats returns a copy of the lifetime counters.
+func (s *Server) Stats() Stats { return s.stats }
+
+// ActiveCount reports requests currently in service.
+func (s *Server) ActiveCount() int { return len(s.active) }
+
+// QueueLen reports requests waiting for a slot.
+func (s *Server) QueueLen() int { return len(s.queue) }
+
+// Utilization reports busy cores / total cores at this instant.
+func (s *Server) Utilization() float64 {
+	if len(s.active) == 0 {
+		return 0
+	}
+	_, used := s.shares()
+	return used / float64(s.inst.Type().VCPU)
+}
+
+// Submit offers a serial request of the given work size. done is invoked
+// exactly once — immediately (same event) on drop, or at completion time.
+func (s *Server) Submit(work float64, done func(Outcome)) error {
+	return s.SubmitParallel(work, 1, done)
+}
+
+// SubmitParallel offers a request whose code can exploit up to `cores`
+// virtual cores (the §VII-1 code-parallelization extension: "this limit
+// can be surpassed by applying techniques of code parallelization").
+// Cores are shared max-min fairly: a parallel request receives up to its
+// cap when the machine has spare cores and degrades gracefully under
+// contention.
+func (s *Server) SubmitParallel(work float64, cores int, done func(Outcome)) error {
+	if work <= 0 || math.IsNaN(work) || math.IsInf(work, 0) {
+		return fmt.Errorf("qsim: invalid work %v", work)
+	}
+	if cores < 1 {
+		return fmt.Errorf("qsim: parallelism %d < 1", cores)
+	}
+	if done == nil {
+		return errors.New("qsim: nil completion callback")
+	}
+	s.progress()
+	req := &request{remaining: work, cores: cores, arrived: s.env.Now(), done: done}
+	switch {
+	case len(s.active) < s.cfg.MaxConcurrency:
+		req.started = s.env.Now()
+		s.active = append(s.active, req)
+	case len(s.queue) < s.cfg.QueueCapacity:
+		s.queue = append(s.queue, req)
+	default:
+		s.stats.Dropped++
+		done(Outcome{Dropped: true})
+		return nil
+	}
+	s.reschedule()
+	return nil
+}
+
+// shares computes the max-min fair core allocation across the active
+// set: every request wants up to its core cap; spare capacity left by
+// small requests is redistributed (water-filling). The returned slice is
+// parallel to s.active; the second result is the total cores in use.
+func (s *Server) shares() ([]float64, float64) {
+	n := len(s.active)
+	if n == 0 {
+		return nil, 0
+	}
+	out := make([]float64, n)
+	capacity := s.inst.EffectiveCores()
+	unsat := make([]int, 0, n)
+	for i := range s.active {
+		unsat = append(unsat, i)
+	}
+	remaining := capacity
+	for len(unsat) > 0 && remaining > 1e-12 {
+		fair := remaining / float64(len(unsat))
+		progressed := false
+		next := unsat[:0]
+		for _, i := range unsat {
+			want := float64(s.active[i].cores)
+			if want <= fair+1e-12 {
+				out[i] = want
+				remaining -= want
+				progressed = true
+				continue
+			}
+			next = append(next, i)
+		}
+		unsat = next
+		if !progressed {
+			// Every remaining request wants more than the fair share:
+			// split evenly and stop.
+			for _, i := range unsat {
+				out[i] = fair
+			}
+			remaining = 0
+			break
+		}
+	}
+	used := 0.0
+	for _, v := range out {
+		used += v
+	}
+	if used > capacity {
+		used = capacity
+	}
+	return out, used
+}
+
+// progress applies elapsed virtual time to the active set and the credit
+// balance. Rates are piecewise constant between events; reschedule caps
+// the interval so that credit depletion points become events too.
+func (s *Server) progress() {
+	now := s.env.Now()
+	dt := now.Sub(s.lastUpdate)
+	if dt <= 0 {
+		return
+	}
+	shares, cores := s.shares()
+	if len(shares) > 0 {
+		single := s.inst.Type().SingleTaskRate()
+		sec := dt.Seconds()
+		for i, r := range s.active {
+			r.remaining -= shares[i] * single * sec
+			if r.remaining < 0 {
+				r.remaining = 0
+			}
+		}
+	}
+	// Advancing forward in virtual time cannot fail.
+	_ = s.inst.Advance(now, cores)
+	s.lastUpdate = now
+	s.completeFinished()
+}
+
+// completeFinished pops every request whose work has reached zero and
+// refills slots from the queue.
+func (s *Server) completeFinished() {
+	now := s.env.Now()
+	remaining := s.active[:0]
+	for _, r := range s.active {
+		if r.remaining <= 1e-9 {
+			s.stats.Completed++
+			out := Outcome{
+				Waited:  r.started.Sub(r.arrived),
+				Service: now.Sub(r.started),
+			}
+			out.Latency = out.Waited + out.Service
+			s.stats.Response.Add(float64(out.Latency) / float64(time.Millisecond))
+			r.done(out)
+			continue
+		}
+		remaining = append(remaining, r)
+	}
+	s.active = remaining
+	for len(s.active) < s.cfg.MaxConcurrency && len(s.queue) > 0 {
+		next := s.queue[0]
+		s.queue = s.queue[1:]
+		next.started = now
+		s.active = append(s.active, next)
+	}
+}
+
+// reschedule plans the next wake-up: the earliest of (a) the first
+// completion at current rates, and (b) the credit-depletion instant, at
+// which the rates change.
+func (s *Server) reschedule() {
+	s.generation++
+	gen := s.generation
+	if len(s.active) == 0 {
+		return
+	}
+	shares, _ := s.shares()
+	single := s.inst.Type().SingleTaskRate()
+	wake := math.Inf(1) // seconds until first completion
+	for i, r := range s.active {
+		rate := shares[i] * single
+		if rate <= 0 {
+			continue
+		}
+		if t := r.remaining / rate; t < wake {
+			wake = t
+		}
+	}
+	if math.IsInf(wake, 1) {
+		return
+	}
+	if d := s.creditHorizon(); d > 0 && d < wake {
+		wake = d
+	}
+	delay := time.Duration(wake * float64(time.Second))
+	if delay < time.Nanosecond {
+		delay = time.Nanosecond
+	}
+	// Scheduling forward from now cannot fail.
+	_ = s.env.Schedule(delay, func() {
+		if s.generation != gen {
+			return // superseded by a later arrival/completion
+		}
+		s.progress()
+		s.reschedule()
+	})
+}
+
+// creditHorizon estimates seconds until the credit balance empties under
+// the current usage, or 0 when it never does.
+func (s *Server) creditHorizon() float64 {
+	t := s.inst.Type()
+	if !t.Burstable || s.inst.Throttled() {
+		return 0
+	}
+	_, cores := s.shares()
+	usagePerSec := cores / 60.0 // vCPU-minutes per second
+	accrualPerSec := t.CreditRatePerHour / 3600.0
+	net := usagePerSec - accrualPerSec
+	if net <= 0 {
+		return 0
+	}
+	return s.inst.Credits() / net
+}

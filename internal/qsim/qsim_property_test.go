@@ -1,0 +1,161 @@
+package qsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"accelcloud/internal/cloud"
+	"accelcloud/internal/sim"
+)
+
+// Work conservation: on a non-burstable single-speed instance, the sum of
+// completed work divided by the total rate lower-bounds the makespan, and
+// an idle-free batch achieves it exactly.
+func TestBatchMakespanMatchesCapacity(t *testing.T) {
+	env := sim.NewEnvironment()
+	typ := cloud.InstanceType{Name: "flat", VCPU: 4, SpeedFactor: 1, ContentionFactor: 1}
+	inst, err := cloud.NewInstance("i-flat", typ, env.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(env, inst, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 equal requests of 100k work on 4 cores at 200k/s:
+	// total work 1.6M, total rate 800k/s -> makespan exactly 2 s.
+	var last time.Duration
+	for i := 0; i < 16; i++ {
+		if err := srv.Submit(100_000, func(o Outcome) {
+			if o.Latency > last {
+				last = o.Latency
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if absDur(last-2*time.Second) > 5*time.Millisecond {
+		t.Fatalf("makespan = %v, want ≈2s (work conservation)", last)
+	}
+}
+
+// Property: random mixes of serial and parallel requests on a flat
+// instance all complete, never negative latency, and the makespan is at
+// least totalWork / totalRate (no machine can beat work conservation).
+func TestMakespanLowerBoundProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%24 + 1
+		env := sim.NewEnvironment()
+		typ := cloud.InstanceType{Name: "flat", VCPU: 8, SpeedFactor: 1, ContentionFactor: 1}
+		inst, err := cloud.NewInstance("i-p", typ, env.Now())
+		if err != nil {
+			return false
+		}
+		srv, err := NewServer(env, inst, Config{})
+		if err != nil {
+			return false
+		}
+		rng := sim.NewRNG(seed).Stream("mix")
+		totalWork := 0.0
+		var makespan time.Duration
+		completed := 0
+		for i := 0; i < n; i++ {
+			work := 1000 + rng.Float64()*200_000
+			cores := 1 + rng.Intn(4)
+			totalWork += work
+			err := srv.SubmitParallel(work, cores, func(o Outcome) {
+				completed++
+				if o.Latency < 0 {
+					completed = -1 << 30
+				}
+				if o.Latency > makespan {
+					makespan = o.Latency
+				}
+			})
+			if err != nil {
+				return false
+			}
+		}
+		if err := env.Run(); err != nil {
+			return false
+		}
+		if completed != n {
+			return false
+		}
+		bound := time.Duration(totalWork / typ.TotalRate() * float64(time.Second))
+		return makespan >= bound-time.Millisecond
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Saturated server with a bounded queue: accounting stays exact and the
+// drop pattern is all-or-nothing per arrival (no lost callbacks), the
+// Fig 8c failure mode.
+func TestSaturationDropAccounting(t *testing.T) {
+	env, inst := mustInstance(t, "t2.small")
+	srv, err := NewServer(env, inst, Config{MaxConcurrency: 2, QueueCapacity: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	results := 0
+	drops := 0
+	for i := 0; i < n; i++ {
+		if err := srv.Submit(50_000, func(o Outcome) {
+			results++
+			if o.Dropped {
+				drops++
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if results != n {
+		t.Fatalf("callbacks %d, want %d", results, n)
+	}
+	// 2 in service + 3 queued admitted at t=0; the rest dropped, then
+	// queue drains and nothing else arrives.
+	if drops != n-5 {
+		t.Fatalf("drops = %d, want %d", drops, n-5)
+	}
+	st := srv.Stats()
+	if st.Completed != 5 || st.Dropped != n-5 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got := st.SuccessRate(); got <= 0 || got >= 1 {
+		t.Fatalf("success rate = %v", got)
+	}
+}
+
+// FIFO queue order: queued requests start in arrival order.
+func TestQueueFIFO(t *testing.T) {
+	env, inst := mustInstance(t, "t2.small")
+	srv, err := NewServer(env, inst, Config{MaxConcurrency: 1, QueueCapacity: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		if err := srv.Submit(10_000, func(Outcome) { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("completion order = %v, want FIFO", order)
+		}
+	}
+}

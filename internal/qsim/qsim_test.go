@@ -1,0 +1,361 @@
+package qsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"accelcloud/internal/cloud"
+	"accelcloud/internal/sim"
+)
+
+func mustInstance(t *testing.T, name string) (*sim.Environment, *cloud.Instance) {
+	t.Helper()
+	env := sim.NewEnvironment()
+	it, err := cloud.DefaultCatalog().ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := cloud.NewInstance("i-test", it, env.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, inst
+}
+
+func TestSingleRequestLatency(t *testing.T) {
+	env, inst := mustInstance(t, "t2.small")
+	srv, err := NewServer(env, inst, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Outcome
+	// 100k work at 200k units/s = 500 ms.
+	if err := srv.Submit(100_000, func(o Outcome) { got = o }); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := 500 * time.Millisecond
+	if got.Dropped || absDur(got.Latency-want) > time.Millisecond {
+		t.Fatalf("latency = %v (dropped=%v), want ≈%v", got.Latency, got.Dropped, want)
+	}
+	if got.Waited != 0 {
+		t.Fatalf("waited = %v, want 0", got.Waited)
+	}
+	st := srv.Stats()
+	if st.Completed != 1 || st.Dropped != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestProcessorSharingTwoEqualRequests(t *testing.T) {
+	env, inst := mustInstance(t, "t2.small")
+	srv, err := NewServer(env, inst, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done []Outcome
+	for i := 0; i < 2; i++ {
+		if err := srv.Submit(100_000, func(o Outcome) { done = append(done, o) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 2 {
+		t.Fatalf("completed %d, want 2", len(done))
+	}
+	// Two equal requests sharing one core both finish at 2× the solo
+	// time: 1000 ms.
+	for _, o := range done {
+		if absDur(o.Latency-time.Second) > 2*time.Millisecond {
+			t.Fatalf("latency = %v, want ≈1s", o.Latency)
+		}
+	}
+}
+
+func TestSerialTaskCapOnManyCores(t *testing.T) {
+	// A single serial request cannot use more than one core: latency on a
+	// 40-core box equals work / (speed × one core).
+	env, inst := mustInstance(t, "m4.10xlarge")
+	srv, err := NewServer(env, inst, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Outcome
+	if err := srv.Submit(200_000, func(o Outcome) { got = o }); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	it := inst.Type()
+	want := time.Duration(200_000 / it.SingleTaskRate() * float64(time.Second))
+	if absDur(got.Latency-want) > time.Millisecond {
+		t.Fatalf("latency = %v, want ≈%v", got.Latency, want)
+	}
+}
+
+func TestManyCoresServeBatchInParallel(t *testing.T) {
+	// 40 equal requests on a 40-core box all run at full speed.
+	env, inst := mustInstance(t, "m4.10xlarge")
+	srv, err := NewServer(env, inst, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var latencies []time.Duration
+	for i := 0; i < 40; i++ {
+		if err := srv.Submit(200_000, func(o Outcome) { latencies = append(latencies, o.Latency) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := time.Duration(200_000 / inst.Type().SingleTaskRate() * float64(time.Second))
+	for _, l := range latencies {
+		if absDur(l-want) > time.Millisecond {
+			t.Fatalf("latency = %v, want ≈%v (no contention)", l, want)
+		}
+	}
+}
+
+func TestBatchResponseGrowsWithLoadOnSmallInstance(t *testing.T) {
+	// The Fig 4 premise: response time grows ~linearly in batch size on a
+	// 1-core box and stays flat on a 40-core box until n > cores.
+	mean := func(name string, n int) float64 {
+		env, inst := mustInstance(t, name)
+		srv, err := NewServer(env, inst, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total time.Duration
+		count := 0
+		for i := 0; i < n; i++ {
+			if err := srv.Submit(2000, func(o Outcome) {
+				total += o.Latency
+				count++
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := env.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if count != n {
+			t.Fatalf("completed %d/%d", count, n)
+		}
+		return float64(total) / float64(count) / float64(time.Millisecond)
+	}
+	nano1, nano100 := mean("t2.nano", 1), mean("t2.nano", 100)
+	if nano100 < 50*nano1 {
+		t.Fatalf("t2.nano: mean at 100 users %v ms should be ≈100× solo %v ms", nano100, nano1)
+	}
+	big1, big100 := mean("m4.10xlarge", 1), mean("m4.10xlarge", 100)
+	if big100 > 4*big1 {
+		t.Fatalf("m4.10xlarge: mean at 100 users %v ms should stay within ≈2.5× solo %v ms", big100, big1)
+	}
+}
+
+func TestQueueingAndDrops(t *testing.T) {
+	env, inst := mustInstance(t, "t2.small")
+	srv, err := NewServer(env, inst, Config{MaxConcurrency: 1, QueueCapacity: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var outcomes []Outcome
+	record := func(o Outcome) { outcomes = append(outcomes, o) }
+	if err := srv.Submit(100_000, record); err != nil {
+		t.Fatal(err)
+	}
+	// No queue: the second concurrent request is dropped immediately.
+	if err := srv.Submit(100_000, record); err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 1 || !outcomes[0].Dropped {
+		t.Fatalf("second request should drop synchronously, outcomes=%v", outcomes)
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st.Completed != 1 || st.Dropped != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got := st.SuccessRate(); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("SuccessRate = %v, want 0.5", got)
+	}
+}
+
+func TestQueuedRequestWaits(t *testing.T) {
+	env, inst := mustInstance(t, "t2.small")
+	srv, err := NewServer(env, inst, Config{MaxConcurrency: 1, QueueCapacity: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first, second Outcome
+	if err := srv.Submit(100_000, func(o Outcome) { first = o }); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Submit(100_000, func(o Outcome) { second = o }); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if first.Waited != 0 {
+		t.Fatalf("first waited %v, want 0", first.Waited)
+	}
+	// Second waits for the first's full 500 ms, then runs alone 500 ms.
+	if absDur(second.Waited-500*time.Millisecond) > 2*time.Millisecond {
+		t.Fatalf("second waited %v, want ≈500ms", second.Waited)
+	}
+	if absDur(second.Latency-time.Second) > 2*time.Millisecond {
+		t.Fatalf("second latency %v, want ≈1s", second.Latency)
+	}
+}
+
+func TestCreditThrottlingSlowsService(t *testing.T) {
+	env := sim.NewEnvironment()
+	typ := cloud.InstanceType{
+		Name: "tiny.burst", VCPU: 1, SpeedFactor: 1, ContentionFactor: 1,
+		Burstable: true, BaselineUtil: 0.1,
+		InitialCredits: 0.5, CreditRatePerHour: 0, MaxCredits: 10,
+	}
+	inst, err := cloud.NewInstance("i-b", typ, env.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(env, inst, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0.5 credits = 30 vCPU-seconds of burst. A 40-second job (8M work at
+	// 200k/s) runs 30 s at full speed, then the remaining 10 s of work at
+	// 10% speed = 100 s. Total ≈ 130 s.
+	var got Outcome
+	if err := srv.Submit(8_000_000, func(o Outcome) { got = o }); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := 130 * time.Second
+	if absDur(got.Latency-want) > 2*time.Second {
+		t.Fatalf("latency = %v, want ≈%v (burst then baseline)", got.Latency, want)
+	}
+	if !inst.Throttled() {
+		t.Fatal("instance should be throttled at completion")
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	env, inst := mustInstance(t, "t2.small")
+	srv, err := NewServer(env, inst, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Submit(0, func(Outcome) {}); err == nil {
+		t.Fatal("zero work should fail")
+	}
+	if err := srv.Submit(math.NaN(), func(Outcome) {}); err == nil {
+		t.Fatal("NaN work should fail")
+	}
+	if err := srv.Submit(1, nil); err == nil {
+		t.Fatal("nil callback should fail")
+	}
+}
+
+func TestNewServerValidation(t *testing.T) {
+	env, inst := mustInstance(t, "t2.small")
+	if _, err := NewServer(nil, inst, Config{}); err == nil {
+		t.Fatal("nil env should fail")
+	}
+	if _, err := NewServer(env, nil, Config{}); err == nil {
+		t.Fatal("nil instance should fail")
+	}
+	if _, err := NewServer(env, inst, Config{MaxConcurrency: -1}); err == nil {
+		t.Fatal("negative MaxConcurrency should fail")
+	}
+}
+
+func TestUtilizationAndCounts(t *testing.T) {
+	env, inst := mustInstance(t, "t2.medium") // 2 cores
+	srv, err := NewServer(env, inst, Config{MaxConcurrency: 2, QueueCapacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Utilization() != 0 {
+		t.Fatal("idle utilization should be 0")
+	}
+	for i := 0; i < 3; i++ {
+		if err := srv.Submit(1000, func(Outcome) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if srv.ActiveCount() != 2 || srv.QueueLen() != 1 {
+		t.Fatalf("active/queue = %d/%d, want 2/1", srv.ActiveCount(), srv.QueueLen())
+	}
+	if got := srv.Utilization(); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("utilization = %v, want 1.0", got)
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if srv.ActiveCount() != 0 || srv.QueueLen() != 0 {
+		t.Fatal("server should drain")
+	}
+}
+
+// Property: every submitted request is accounted exactly once, latencies
+// are non-negative, and equal works submitted together finish together.
+func TestAccountingProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%64 + 1
+		env, it := sim.NewEnvironment(), cloud.DefaultCatalog()
+		typ, err := it.ByName("t2.large")
+		if err != nil {
+			return false
+		}
+		inst, err := cloud.NewInstance("i-p", typ, env.Now())
+		if err != nil {
+			return false
+		}
+		srv, err := NewServer(env, inst, Config{MaxConcurrency: 8, QueueCapacity: 8})
+		if err != nil {
+			return false
+		}
+		rng := sim.NewRNG(seed).Stream("works")
+		results := 0
+		for i := 0; i < n; i++ {
+			err := srv.Submit(100+rng.Float64()*10_000, func(o Outcome) {
+				results++
+				if !o.Dropped && (o.Latency < 0 || o.Waited < 0 || o.Service < 0) {
+					results = -1 << 30
+				}
+			})
+			if err != nil {
+				return false
+			}
+		}
+		if err := env.Run(); err != nil {
+			return false
+		}
+		st := srv.Stats()
+		return results == n && st.Completed+st.Dropped == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func absDur(d time.Duration) time.Duration {
+	if d < 0 {
+		return -d
+	}
+	return d
+}

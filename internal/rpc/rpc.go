@@ -1,0 +1,225 @@
+// Package rpc defines the offloading wire protocol between mobile
+// clients, the SDN-accelerator front-end, and surrogate back-ends: JSON
+// over HTTP, carrying the serialized application state of the homogeneous
+// offloading model (Fig 1a) plus the timing breakdown of Fig 7a
+// (T1 mobile↔front-end, T2 front-end↔back-end, Tcloud execution).
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"accelcloud/internal/tasks"
+)
+
+// Paths of the HTTP endpoints.
+const (
+	// PathOffload is the front-end entry point for mobile clients.
+	PathOffload = "/offload"
+	// PathExecute is the surrogate's execution endpoint.
+	PathExecute = "/execute"
+	// PathHealth reports liveness.
+	PathHealth = "/healthz"
+	// PathStats reports counters.
+	PathStats = "/stats"
+)
+
+// maxBodyBytes bounds request bodies (application states are small; the
+// homogeneous model ships method parameters, not bulk data).
+const maxBodyBytes = 8 << 20
+
+// OffloadRequest is a mobile client's request to the front-end.
+type OffloadRequest struct {
+	// UserID identifies the device.
+	UserID int `json:"userId"`
+	// Group is the acceleration group the device currently requests.
+	Group int `json:"group"`
+	// BatteryLevel is the device battery in [0, 1] (logged per §IV-A).
+	BatteryLevel float64 `json:"batteryLevel"`
+	// State is the serialized application state to execute.
+	State tasks.State `json:"state"`
+}
+
+// Validate checks the request.
+func (r OffloadRequest) Validate() error {
+	if r.UserID < 0 {
+		return fmt.Errorf("rpc: negative user id %d", r.UserID)
+	}
+	if r.Group < 0 {
+		return fmt.Errorf("rpc: negative group %d", r.Group)
+	}
+	if r.BatteryLevel < 0 || r.BatteryLevel > 1 {
+		return fmt.Errorf("rpc: battery %v outside [0,1]", r.BatteryLevel)
+	}
+	if r.State.Task == "" {
+		return errors.New("rpc: state without task name")
+	}
+	return nil
+}
+
+// Timings is the Fig 7a component breakdown, in milliseconds.
+type Timings struct {
+	// RoutingMs is the SDN-accelerator's processing overhead (≈150 ms
+	// in the paper, Fig 8a).
+	RoutingMs float64 `json:"routingMs"`
+	// BackendMs is T2: front-end ↔ back-end communication.
+	BackendMs float64 `json:"backendMs"`
+	// CloudMs is Tcloud: code execution on the surrogate.
+	CloudMs float64 `json:"cloudMs"`
+}
+
+// OffloadResponse is the front-end's reply.
+type OffloadResponse struct {
+	// Result is the execution outcome.
+	Result tasks.Result `json:"result"`
+	// Server identifies the surrogate that executed the request.
+	Server string `json:"server"`
+	// Group is the acceleration group that served the request.
+	Group int `json:"group"`
+	// Timings is the component breakdown.
+	Timings Timings `json:"timings"`
+	// Error carries a failure message ("" on success).
+	Error string `json:"error,omitempty"`
+}
+
+// ExecuteRequest is the front-end → surrogate call.
+type ExecuteRequest struct {
+	State tasks.State `json:"state"`
+}
+
+// ExecuteResponse is the surrogate's reply.
+type ExecuteResponse struct {
+	Result tasks.Result `json:"result"`
+	// CloudMs is the measured execution time on the surrogate.
+	CloudMs float64 `json:"cloudMs"`
+	Server  string  `json:"server"`
+	Error   string  `json:"error,omitempty"`
+}
+
+// WriteJSON writes v with the given status code.
+func WriteJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	// Encoding failures after the header is sent can only be logged by
+	// the caller's middleware; the connection is already committed.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// ReadJSON decodes a bounded request body into v.
+func ReadJSON(r *http.Request, v any) error {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		return fmt.Errorf("rpc: read body: %w", err)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("rpc: decode body: %w", err)
+	}
+	return nil
+}
+
+// Client calls an offloading HTTP endpoint.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient is the underlying transport; nil selects a client with
+	// a 30 s timeout.
+	HTTPClient *http.Client
+}
+
+// NewClient builds a client with the default timeout.
+func NewClient(baseURL string) *Client {
+	return &Client{
+		BaseURL:    baseURL,
+		HTTPClient: &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+// post sends a JSON request and decodes the JSON response.
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	payload, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("rpc: marshal request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(payload))
+	if err != nil {
+		return fmt.Errorf("rpc: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("rpc: %s: %w", path, err)
+	}
+	defer func() {
+		// Draining the body lets the transport reuse the connection.
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("rpc: %s: status %d: %s", path, resp.StatusCode, bytes.TrimSpace(body))
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxBodyBytes)).Decode(out); err != nil {
+		return fmt.Errorf("rpc: decode response: %w", err)
+	}
+	return nil
+}
+
+// Offload sends an offloading request to a front-end.
+func (c *Client) Offload(ctx context.Context, req OffloadRequest) (OffloadResponse, error) {
+	if err := req.Validate(); err != nil {
+		return OffloadResponse{}, err
+	}
+	var resp OffloadResponse
+	if err := c.post(ctx, PathOffload, req, &resp); err != nil {
+		return OffloadResponse{}, err
+	}
+	if resp.Error != "" {
+		return resp, fmt.Errorf("rpc: remote: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// Execute sends a state directly to a surrogate.
+func (c *Client) Execute(ctx context.Context, req ExecuteRequest) (ExecuteResponse, error) {
+	var resp ExecuteResponse
+	if err := c.post(ctx, PathExecute, req, &resp); err != nil {
+		return ExecuteResponse{}, err
+	}
+	if resp.Error != "" {
+		return resp, fmt.Errorf("rpc: remote: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// Health checks a server's liveness endpoint.
+func (c *Client) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+PathHealth, nil)
+	if err != nil {
+		return fmt.Errorf("rpc: build health request: %w", err)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("rpc: health: %w", err)
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("rpc: health: status %d", resp.StatusCode)
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package rpc
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"accelcloud/internal/tasks"
+)
+
+func TestOffloadRequestValidate(t *testing.T) {
+	good := OffloadRequest{UserID: 1, Group: 2, BatteryLevel: 0.5, State: tasks.State{Task: "minimax"}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid request rejected: %v", err)
+	}
+	bad := []OffloadRequest{
+		{UserID: -1, State: tasks.State{Task: "x"}},
+		{Group: -1, State: tasks.State{Task: "x"}},
+		{BatteryLevel: -0.1, State: tasks.State{Task: "x"}},
+		{BatteryLevel: 1.1, State: tasks.State{Task: "x"}},
+		{},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Fatalf("case %d should fail: %+v", i, r)
+		}
+	}
+}
+
+func TestWriteReadJSON(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteJSON(rec, http.StatusTeapot, map[string]int{"x": 7})
+	if rec.Code != http.StatusTeapot {
+		t.Fatalf("code = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var out map[string]int
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil || out["x"] != 7 {
+		t.Fatalf("body = %q err = %v", rec.Body.String(), err)
+	}
+
+	req := httptest.NewRequest(http.MethodPost, "/x", strings.NewReader(`{"a": 1}`))
+	var payload struct {
+		A int `json:"a"`
+	}
+	if err := ReadJSON(req, &payload); err != nil || payload.A != 1 {
+		t.Fatalf("ReadJSON: %v %+v", err, payload)
+	}
+	broken := httptest.NewRequest(http.MethodPost, "/x", strings.NewReader(`{broken`))
+	if err := ReadJSON(broken, &payload); err == nil {
+		t.Fatal("broken body should fail")
+	}
+}
+
+func TestClientErrorPaths(t *testing.T) {
+	// Non-200 status.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+	ctx := context.Background()
+	if _, err := c.Execute(ctx, ExecuteRequest{}); err == nil {
+		t.Fatal("500 should fail")
+	}
+	if err := c.Health(ctx); err == nil {
+		t.Fatal("health on 500 should fail")
+	}
+	// Unreachable.
+	dead := NewClient("http://127.0.0.1:1")
+	dead.HTTPClient = &http.Client{Timeout: 200 * time.Millisecond}
+	if _, err := dead.Execute(ctx, ExecuteRequest{}); err == nil {
+		t.Fatal("unreachable should fail")
+	}
+	if err := dead.Health(ctx); err == nil {
+		t.Fatal("unreachable health should fail")
+	}
+}
+
+func TestClientRemoteErrorSurfaced(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		WriteJSON(w, http.StatusOK, ExecuteResponse{Error: "no such task"})
+	}))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+	if _, err := c.Execute(context.Background(), ExecuteRequest{}); err == nil ||
+		!strings.Contains(err.Error(), "no such task") {
+		t.Fatalf("remote error not surfaced: %v", err)
+	}
+}
+
+func TestClientOffloadValidatesBeforeWire(t *testing.T) {
+	calls := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		WriteJSON(w, http.StatusOK, OffloadResponse{})
+	}))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+	if _, err := c.Offload(context.Background(), OffloadRequest{UserID: -1}); err == nil {
+		t.Fatal("invalid request should fail client-side")
+	}
+	if calls != 0 {
+		t.Fatal("invalid request must not reach the wire")
+	}
+}
+
+func TestClientContextCancellation(t *testing.T) {
+	block := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+	}))
+	defer srv.Close()
+	defer close(block)
+	c := NewClient(srv.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if _, err := c.Execute(ctx, ExecuteRequest{}); err == nil {
+		t.Fatal("cancelled context should fail")
+	}
+}
+
+func TestClientNilHTTPClientDefaults(t *testing.T) {
+	c := &Client{BaseURL: "http://127.0.0.1:1"}
+	if got := c.httpClient(); got == nil || got.Timeout != 30*time.Second {
+		t.Fatalf("default client = %+v", got)
+	}
+}
+
+func TestOffloadResponseRoundTrip(t *testing.T) {
+	in := OffloadResponse{
+		Result:  tasks.Result{Task: "minimax", Data: json.RawMessage(`{"bestMove":4}`), Ops: 99},
+		Server:  "s1",
+		Group:   2,
+		Timings: Timings{RoutingMs: 150.5, BackendMs: 4.2, CloudMs: 212.8},
+	}
+	raw, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out OffloadResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Server != "s1" || out.Group != 2 || out.Timings.RoutingMs != 150.5 ||
+		out.Result.Ops != 99 || string(out.Result.Data) != `{"bestMove":4}` {
+		t.Fatalf("round trip = %+v", out)
+	}
+}

@@ -1,0 +1,204 @@
+package sdn
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"accelcloud/internal/rpc"
+	"accelcloud/internal/trace"
+)
+
+// FrontEnd is the real (HTTP) SDN-accelerator: it terminates client
+// offloading requests, routes them to registered surrogate back-ends by
+// acceleration group, measures the Fig 7a timing components, and logs
+// each request to the trace store the predictor consumes.
+type FrontEnd struct {
+	log *trace.Store
+	// processingDelay artificially reproduces the paper's ≈150 ms
+	// front-end overhead when non-zero (useful for demos; tests keep
+	// it 0).
+	processingDelay time.Duration
+
+	mu       sync.Mutex
+	backends map[int][]*rpc.Client
+	rr       map[int]int
+	routed   int64
+	dropped  int64
+}
+
+// NewFrontEnd builds an empty front-end. log may be nil to disable
+// request logging.
+func NewFrontEnd(log *trace.Store, processingDelay time.Duration) (*FrontEnd, error) {
+	if processingDelay < 0 {
+		return nil, fmt.Errorf("sdn: negative processing delay %v", processingDelay)
+	}
+	return &FrontEnd{
+		log:             log,
+		processingDelay: processingDelay,
+		backends:        make(map[int][]*rpc.Client),
+		rr:              make(map[int]int),
+	}, nil
+}
+
+// Register adds a surrogate base URL under an acceleration group.
+func (f *FrontEnd) Register(group int, baseURL string) error {
+	if group < 0 {
+		return fmt.Errorf("sdn: negative group %d", group)
+	}
+	if baseURL == "" {
+		return errors.New("sdn: empty backend url")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.backends[group] = append(f.backends[group], rpc.NewClient(baseURL))
+	return nil
+}
+
+// Backends reports the registered groups and backend counts.
+func (f *FrontEnd) Backends() map[int]int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[int]int, len(f.backends))
+	for g, bs := range f.backends {
+		out[g] = len(bs)
+	}
+	return out
+}
+
+// pick selects the next backend of a group round-robin.
+func (f *FrontEnd) pick(group int) (*rpc.Client, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	bs := f.backends[group]
+	if len(bs) == 0 {
+		return nil, fmt.Errorf("sdn: no backend for group %d", group)
+	}
+	c := bs[f.rr[group]%len(bs)]
+	f.rr[group]++
+	return c, nil
+}
+
+// Handler serves the front-end protocol:
+//
+//	POST /offload  — route a client request to its acceleration group
+//	GET  /healthz  — liveness
+//	GET  /stats    — counters and backend registry
+func (f *FrontEnd) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(rpc.PathOffload, f.handleOffload)
+	mux.HandleFunc(rpc.PathHealth, func(w http.ResponseWriter, r *http.Request) {
+		rpc.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc(rpc.PathStats, func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		groups := make([]int, 0, len(f.backends))
+		for g := range f.backends {
+			groups = append(groups, g)
+		}
+		sort.Ints(groups)
+		payload := struct {
+			Routed   int64       `json:"routed"`
+			Dropped  int64       `json:"dropped"`
+			Groups   []int       `json:"groups"`
+			Backends map[int]int `json:"backends"`
+		}{Routed: f.routed, Dropped: f.dropped, Groups: groups, Backends: map[int]int{}}
+		for g, bs := range f.backends {
+			payload.Backends[g] = len(bs)
+		}
+		f.mu.Unlock()
+		rpc.WriteJSON(w, http.StatusOK, payload)
+	})
+	return mux
+}
+
+func (f *FrontEnd) handleOffload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		rpc.WriteJSON(w, http.StatusMethodNotAllowed, rpc.OffloadResponse{Error: "POST only"})
+		return
+	}
+	var req rpc.OffloadRequest
+	if err := rpc.ReadJSON(r, &req); err != nil {
+		rpc.WriteJSON(w, http.StatusBadRequest, rpc.OffloadResponse{Error: err.Error()})
+		return
+	}
+	if err := req.Validate(); err != nil {
+		rpc.WriteJSON(w, http.StatusBadRequest, rpc.OffloadResponse{Error: err.Error()})
+		return
+	}
+	routeStart := time.Now()
+	if f.processingDelay > 0 {
+		time.Sleep(f.processingDelay)
+	}
+	backend, err := f.pick(req.Group)
+	if err != nil {
+		f.mu.Lock()
+		f.dropped++
+		f.mu.Unlock()
+		rpc.WriteJSON(w, http.StatusServiceUnavailable, rpc.OffloadResponse{Error: err.Error()})
+		return
+	}
+	routingMs := float64(time.Since(routeStart)) / float64(time.Millisecond)
+
+	backendStart := time.Now()
+	resp, err := backend.Execute(r.Context(), rpc.ExecuteRequest{State: req.State})
+	backendTotalMs := float64(time.Since(backendStart)) / float64(time.Millisecond)
+	if err != nil {
+		f.mu.Lock()
+		f.dropped++
+		f.mu.Unlock()
+		rpc.WriteJSON(w, http.StatusBadGateway, rpc.OffloadResponse{Error: err.Error()})
+		return
+	}
+	// T2 is the backend round trip minus the execution itself.
+	t2Ms := backendTotalMs - resp.CloudMs
+	if t2Ms < 0 {
+		t2Ms = 0
+	}
+	f.mu.Lock()
+	f.routed++
+	f.mu.Unlock()
+	if f.log != nil {
+		total := time.Since(routeStart)
+		battery := req.BatteryLevel
+		// Log failures must not fail the request path.
+		_ = f.log.Append(trace.Record{
+			Timestamp:    time.Now(),
+			UserID:       req.UserID,
+			Group:        req.Group,
+			BatteryLevel: battery,
+			RTT:          total,
+		})
+	}
+	rpc.WriteJSON(w, http.StatusOK, rpc.OffloadResponse{
+		Result: resp.Result,
+		Server: resp.Server,
+		Group:  req.Group,
+		Timings: rpc.Timings{
+			RoutingMs: routingMs,
+			BackendMs: t2Ms,
+			CloudMs:   resp.CloudMs,
+		},
+	})
+}
+
+// WaitHealthy polls a server's health endpoint until it responds or the
+// context expires — a convenience for cluster bring-up in examples and
+// tests.
+func WaitHealthy(ctx context.Context, baseURL string) error {
+	client := rpc.NewClient(baseURL)
+	for {
+		if err := client.Health(ctx); err == nil {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("sdn: %s never became healthy: %w", baseURL, ctx.Err())
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}

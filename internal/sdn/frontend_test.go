@@ -1,0 +1,202 @@
+package sdn
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"accelcloud/internal/dalvik"
+	"accelcloud/internal/rpc"
+	"accelcloud/internal/sim"
+	"accelcloud/internal/tasks"
+	"accelcloud/internal/trace"
+)
+
+// newCluster spins up two surrogate groups behind a front-end, all over
+// real sockets.
+func newCluster(t *testing.T, log *trace.Store) (*httptest.Server, *FrontEnd) {
+	t.Helper()
+	fe, err := NewFrontEnd(log, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for group := 1; group <= 2; group++ {
+		sur, err := dalvik.NewSurrogate("surrogate-g"+string(rune('0'+group)), 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sur.PushPool(tasks.DefaultPool()); err != nil {
+			t.Fatal(err)
+		}
+		backend := httptest.NewServer(sur.Handler())
+		t.Cleanup(backend.Close)
+		if err := fe.Register(group, backend.URL); err != nil {
+			t.Fatal(err)
+		}
+	}
+	front := httptest.NewServer(fe.Handler())
+	t.Cleanup(front.Close)
+	return front, fe
+}
+
+func TestFrontEndEndToEnd(t *testing.T) {
+	log := trace.NewStore()
+	front, fe := newCluster(t, log)
+	client := rpc.NewClient(front.URL)
+	ctx := context.Background()
+
+	if err := WaitHealthy(ctx, front.URL); err != nil {
+		t.Fatal(err)
+	}
+	r := sim.NewRNG(1).Stream("gen")
+	st, err := tasks.Minimax{}.Generate(r, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Offload(ctx, rpc.OffloadRequest{
+		UserID: 3, Group: 1, BatteryLevel: 0.9, State: st,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Group != 1 || resp.Result.Task != "minimax" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if resp.Server == "" {
+		t.Fatal("server not reported")
+	}
+	if resp.Timings.CloudMs < 0 || resp.Timings.BackendMs < 0 || resp.Timings.RoutingMs < 0 {
+		t.Fatalf("timings = %+v", resp.Timings)
+	}
+	if log.Len() != 1 {
+		t.Fatalf("log has %d records", log.Len())
+	}
+	rec := log.Snapshot()[0]
+	if rec.UserID != 3 || rec.Group != 1 {
+		t.Fatalf("record = %+v", rec)
+	}
+	if got := fe.Backends(); got[1] != 1 || got[2] != 1 {
+		t.Fatalf("backends = %v", got)
+	}
+}
+
+func TestFrontEndUnknownGroup(t *testing.T) {
+	front, _ := newCluster(t, nil)
+	client := rpc.NewClient(front.URL)
+	r := sim.NewRNG(2).Stream("gen")
+	st, err := tasks.Sieve{}.Generate(r, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = client.Offload(context.Background(), rpc.OffloadRequest{
+		UserID: 1, Group: 9, BatteryLevel: 1, State: st,
+	})
+	if err == nil {
+		t.Fatal("unknown group should fail")
+	}
+}
+
+func TestFrontEndValidatesRequests(t *testing.T) {
+	front, _ := newCluster(t, nil)
+	client := rpc.NewClient(front.URL)
+	// Client-side validation rejects before the wire.
+	if _, err := client.Offload(context.Background(), rpc.OffloadRequest{
+		UserID: -1, Group: 1, State: tasks.State{Task: "sieve"},
+	}); err == nil {
+		t.Fatal("negative user should fail")
+	}
+	if _, err := client.Offload(context.Background(), rpc.OffloadRequest{
+		UserID: 1, Group: 1, BatteryLevel: 2, State: tasks.State{Task: "sieve"},
+	}); err == nil {
+		t.Fatal("battery > 1 should fail")
+	}
+	if _, err := client.Offload(context.Background(), rpc.OffloadRequest{
+		UserID: 1, Group: 1, State: tasks.State{},
+	}); err == nil {
+		t.Fatal("empty state should fail")
+	}
+}
+
+func TestFrontEndRoundRobin(t *testing.T) {
+	fe, err := NewFrontEnd(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	hits := map[string]int{}
+	for _, name := range []string{"a", "b"} {
+		name := name
+		sur, err := dalvik.NewSurrogate(name, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sur.PushPool(tasks.DefaultPool()); err != nil {
+			t.Fatal(err)
+		}
+		base := sur.Handler()
+		counting := httptest.NewServer(wrapCount(base, func() {
+			mu.Lock()
+			hits[name]++
+			mu.Unlock()
+		}))
+		t.Cleanup(counting.Close)
+		if err := fe.Register(0, counting.URL); err != nil {
+			t.Fatal(err)
+		}
+	}
+	front := httptest.NewServer(fe.Handler())
+	t.Cleanup(front.Close)
+	client := rpc.NewClient(front.URL)
+	r := sim.NewRNG(3).Stream("gen")
+	for i := 0; i < 6; i++ {
+		st, err := tasks.Fibonacci{}.Generate(r, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := client.Offload(context.Background(), rpc.OffloadRequest{
+			UserID: i, Group: 0, BatteryLevel: 1, State: st,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if hits["a"] != 3 || hits["b"] != 3 {
+		t.Fatalf("round robin skewed: %v", hits)
+	}
+}
+
+func TestNewFrontEndValidation(t *testing.T) {
+	if _, err := NewFrontEnd(nil, -time.Second); err == nil {
+		t.Fatal("negative delay should fail")
+	}
+	fe, err := NewFrontEnd(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fe.Register(-1, "http://x"); err == nil {
+		t.Fatal("negative group should fail")
+	}
+	if err := fe.Register(0, ""); err == nil {
+		t.Fatal("empty url should fail")
+	}
+}
+
+func TestWaitHealthyTimeout(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := WaitHealthy(ctx, "http://127.0.0.1:1"); err == nil {
+		t.Fatal("unreachable server should time out")
+	}
+}
+
+// wrapCount invokes fn on every request before delegating to next.
+func wrapCount(next http.Handler, fn func()) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fn()
+		next.ServeHTTP(w, r)
+	})
+}

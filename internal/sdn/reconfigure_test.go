@@ -1,0 +1,90 @@
+package sdn
+
+import (
+	"testing"
+	"time"
+
+	"accelcloud/internal/sim"
+)
+
+// In-flight requests complete even after their group's servers are
+// deregistered (the provisioning loop's relaunch must never lose work).
+func TestInFlightSurvivesRemoveServers(t *testing.T) {
+	env := sim.NewEnvironment()
+	a := newAccel(t, env, nil)
+	addBackend(t, env, a, 0, "t2.small")
+
+	var got Outcome
+	completed := false
+	if err := a.Route(Request{UserID: 1, Group: 0, Work: 200_000}, func(o Outcome) {
+		got = o
+		completed = true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Let the request reach the backend, then rip the group out.
+	if err := env.RunFor(300 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	a.RemoveServers(0)
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !completed || got.Dropped {
+		t.Fatalf("in-flight request lost: completed=%v outcome=%+v", completed, got)
+	}
+}
+
+// New requests after a pool swap land on the new servers only.
+func TestRequestsAfterSwapUseNewServers(t *testing.T) {
+	env := sim.NewEnvironment()
+	a := newAccel(t, env, nil)
+	old := addBackend(t, env, a, 0, "t2.small")
+	a.RemoveServers(0)
+	fresh := addBackend(t, env, a, 0, "t2.small")
+
+	done := 0
+	for i := 0; i < 3; i++ {
+		if err := a.Route(Request{UserID: i, Group: 0, Work: 1000}, func(Outcome) { done++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != 3 {
+		t.Fatalf("completed %d/3", done)
+	}
+	if old.Stats().Completed != 0 {
+		t.Fatal("retired server received new work")
+	}
+	if fresh.Stats().Completed != 3 {
+		t.Fatalf("fresh server completed %d/3", fresh.Stats().Completed)
+	}
+}
+
+// Routing overhead statistics accumulate even for dropped requests (the
+// front-end does the routing work before discovering the empty group).
+func TestRoutingStatsOnDrops(t *testing.T) {
+	env := sim.NewEnvironment()
+	a := newAccel(t, env, nil)
+	dropped := 0
+	for i := 0; i < 5; i++ {
+		if err := a.Route(Request{UserID: i, Group: 7, Work: 10}, func(o Outcome) {
+			if o.Dropped {
+				dropped++
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 5 {
+		t.Fatalf("dropped %d/5", dropped)
+	}
+	if w := a.RoutingStats()[7]; w == nil || w.N() != 5 {
+		t.Fatal("routing stats missing for dropped group")
+	}
+}

@@ -1,0 +1,331 @@
+// Package sdn implements the paper's cloud-based SDN-accelerator (§IV,
+// §V): the front-end that receives offloading requests (Request Handler),
+// routes each to an instance of the acceleration group the device asks
+// for (Code Offloader), and logs every request for the workload predictor.
+// The component adds ≈150 ms of processing overhead to each request
+// (Fig 8a) — "a fair price to pay for tuning code execution on demand".
+//
+// Two planes are provided: a deterministic simulation plane used by the
+// experiments (Accelerator) and a real HTTP front-end (FrontEnd) that
+// reverse-proxies to dalvik surrogates.
+package sdn
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"accelcloud/internal/cloud"
+	"accelcloud/internal/qsim"
+	"accelcloud/internal/sim"
+	"accelcloud/internal/stats"
+	"accelcloud/internal/trace"
+)
+
+// OverheadModel generates the front-end's per-request routing time: a
+// base cost with log-normal jitter, matching the ≈150 ms plateau of
+// Fig 8a.
+type OverheadModel struct {
+	// Base is the deterministic floor of the routing time.
+	Base time.Duration
+	// Jitter is additional log-normal noise in milliseconds.
+	Jitter stats.LogNormal
+}
+
+// DefaultOverhead reproduces the paper's measurement: ≈150 ms with tens
+// of milliseconds of spread.
+func DefaultOverhead() OverheadModel {
+	// exp(μ)=25 ms median jitter, mild tail.
+	return OverheadModel{
+		Base:   125 * time.Millisecond,
+		Jitter: stats.LogNormal{Mu: 3.2, Sigma: 0.35},
+	}
+}
+
+// Sample draws one routing time.
+func (m OverheadModel) Sample(r *rand.Rand) time.Duration {
+	d := m.Base
+	if m.Jitter.Sigma > 0 || m.Jitter.Mu != 0 {
+		d += time.Duration(m.Jitter.Sample(r) * float64(time.Millisecond))
+	}
+	return d
+}
+
+// MeanMs reports the analytic mean routing time in milliseconds.
+func (m OverheadModel) MeanMs() float64 {
+	return float64(m.Base)/float64(time.Millisecond) + m.Jitter.Mean()
+}
+
+// Request is one offloading request entering the simulation-plane
+// accelerator.
+type Request struct {
+	// UserID identifies the device.
+	UserID int
+	// Group is the requested acceleration group.
+	Group int
+	// Work is the task cost in work units.
+	Work float64
+	// BatteryLevel is logged with the trace record.
+	BatteryLevel float64
+	// AccessRTT is T1: the mobile↔front-end round trip (LTE in the
+	// paper's deployment).
+	AccessRTT time.Duration
+}
+
+// Outcome describes a routed request's fate.
+type Outcome struct {
+	// Dropped is true when no backend could accept the request.
+	Dropped bool
+	// Server is the serving instance id ("" when dropped).
+	Server string
+	// Group is the group that served the request.
+	Group int
+	// T1 is the mobile↔front-end communication time.
+	T1 time.Duration
+	// Routing is the SDN overhead.
+	Routing time.Duration
+	// T2 is the front-end↔back-end communication time.
+	T2 time.Duration
+	// Tcloud is queueing + execution on the instance.
+	Tcloud time.Duration
+	// Total is the response time perceived by the device.
+	Total time.Duration
+}
+
+// Accelerator is the simulation-plane SDN front-end.
+type Accelerator struct {
+	env      *sim.Environment
+	overhead OverheadModel
+	// internalRTT is T2: cloud-internal communication, "less likely to
+	// change drastically" (§VI-B2).
+	internalRTT stats.Dist
+	log         *trace.Store
+	rng         *rand.Rand
+
+	groups map[int][]*qsim.Server
+	rr     map[int]int
+
+	routed  int
+	dropped int
+	// routingMs records per-group routing overhead samples (Fig 8a).
+	routingMs map[int]*stats.Welford
+}
+
+// Config parameterizes the simulation-plane accelerator.
+type Config struct {
+	// Overhead is the routing-cost model; zero value selects
+	// DefaultOverhead.
+	Overhead OverheadModel
+	// InternalRTT is the T2 distribution in milliseconds; nil selects a
+	// tight 4±1 ms normal (same-datacenter traffic).
+	InternalRTT stats.Dist
+	// Log receives one record per routed request; nil disables logging.
+	Log *trace.Store
+	// RNG drives overhead and T2 sampling; nil selects a fixed seed.
+	RNG *rand.Rand
+}
+
+// NewAccelerator builds an empty front-end on the environment.
+func NewAccelerator(env *sim.Environment, cfg Config) (*Accelerator, error) {
+	if env == nil {
+		return nil, errors.New("sdn: nil environment")
+	}
+	ov := cfg.Overhead
+	if ov.Base == 0 && ov.Jitter.Mu == 0 && ov.Jitter.Sigma == 0 {
+		ov = DefaultOverhead()
+	}
+	internal := cfg.InternalRTT
+	if internal == nil {
+		internal = stats.Normal{Mu: 4, Sigma: 1}
+	}
+	rng := cfg.RNG
+	if rng == nil {
+		rng = sim.NewRNG(1).Stream("sdn")
+	}
+	return &Accelerator{
+		env:         env,
+		overhead:    ov,
+		internalRTT: internal,
+		log:         cfg.Log,
+		rng:         rng,
+		groups:      make(map[int][]*qsim.Server),
+		rr:          make(map[int]int),
+		routingMs:   make(map[int]*stats.Welford),
+	}, nil
+}
+
+// AddServer registers a backend instance under an acceleration group.
+func (a *Accelerator) AddServer(group int, srv *qsim.Server) error {
+	if group < 0 {
+		return fmt.Errorf("sdn: negative group %d", group)
+	}
+	if srv == nil {
+		return errors.New("sdn: nil server")
+	}
+	a.groups[group] = append(a.groups[group], srv)
+	return nil
+}
+
+// RemoveServers drops all backends of a group (used when the allocator
+// scales a group down; in-flight requests on the old servers complete).
+func (a *Accelerator) RemoveServers(group int) {
+	delete(a.groups, group)
+	delete(a.rr, group)
+}
+
+// Servers lists the backends of a group.
+func (a *Accelerator) Servers(group int) []*qsim.Server {
+	out := make([]*qsim.Server, len(a.groups[group]))
+	copy(out, a.groups[group])
+	return out
+}
+
+// Groups lists the group indices that currently have backends.
+func (a *Accelerator) Groups() []int {
+	var out []int
+	for g := range a.groups {
+		out = append(out, g)
+	}
+	return out
+}
+
+// Stats reports routed/dropped counters.
+func (a *Accelerator) Stats() (routed, dropped int) {
+	return a.routed, a.dropped
+}
+
+// RoutingStats reports the per-group routing-overhead accumulator
+// (Fig 8a series). The returned map must not be mutated.
+func (a *Accelerator) RoutingStats() map[int]*stats.Welford {
+	return a.routingMs
+}
+
+// pick selects the least-loaded backend of a group, breaking ties
+// round-robin — the Code Offloader's routing decision.
+func (a *Accelerator) pick(group int) (*qsim.Server, error) {
+	servers := a.groups[group]
+	if len(servers) == 0 {
+		return nil, fmt.Errorf("sdn: no backend for group %d", group)
+	}
+	start := a.rr[group] % len(servers)
+	a.rr[group] = (a.rr[group] + 1) % len(servers)
+	best := servers[start]
+	bestLoad := best.ActiveCount() + best.QueueLen()
+	for i := 1; i < len(servers); i++ {
+		s := servers[(start+i)%len(servers)]
+		if load := s.ActiveCount() + s.QueueLen(); load < bestLoad {
+			best, bestLoad = s, load
+		}
+	}
+	return best, nil
+}
+
+// Route processes one request: after T1/2 uplink and the routing
+// overhead, the task is submitted to a backend of the requested group;
+// the completion callback fires after the result travels back. done is
+// invoked exactly once.
+func (a *Accelerator) Route(req Request, done func(Outcome)) error {
+	if done == nil {
+		return errors.New("sdn: nil completion callback")
+	}
+	if req.Work <= 0 {
+		return fmt.Errorf("sdn: invalid work %v", req.Work)
+	}
+	if req.AccessRTT < 0 {
+		return fmt.Errorf("sdn: negative access RTT %v", req.AccessRTT)
+	}
+	routing := a.overhead.Sample(a.rng)
+	t2ms := a.internalRTT.Sample(a.rng)
+	if t2ms < 0.1 {
+		t2ms = 0.1
+	}
+	t2 := time.Duration(t2ms * float64(time.Millisecond))
+	uplink := req.AccessRTT/2 + routing + t2/2
+	downlink := t2/2 + req.AccessRTT/2
+
+	if w := a.routingMs[req.Group]; w == nil {
+		a.routingMs[req.Group] = &stats.Welford{}
+	}
+	a.routingMs[req.Group].Add(float64(routing) / float64(time.Millisecond))
+
+	arrivedAt := a.env.Now()
+	return a.env.Schedule(uplink, func() {
+		srv, err := a.pick(req.Group)
+		if err != nil {
+			a.dropped++
+			done(Outcome{Dropped: true, Group: req.Group, T1: req.AccessRTT, Routing: routing, T2: t2})
+			return
+		}
+		a.routed++
+		submitErr := srv.Submit(req.Work, func(o qsim.Outcome) {
+			if o.Dropped {
+				a.dropped++
+				a.routed--
+				done(Outcome{Dropped: true, Group: req.Group, Server: srv.Instance().ID(),
+					T1: req.AccessRTT, Routing: routing, T2: t2})
+				return
+			}
+			// Result travels back to the device.
+			finish := func() {
+				total := a.env.Now().Sub(arrivedAt)
+				out := Outcome{
+					Server:  srv.Instance().ID(),
+					Group:   req.Group,
+					T1:      req.AccessRTT,
+					Routing: routing,
+					T2:      t2,
+					Tcloud:  o.Latency,
+					Total:   total,
+				}
+				if a.log != nil {
+					// Validated fields; appending cannot fail for
+					// well-formed requests, and malformed ones were
+					// rejected in Route.
+					_ = a.log.Append(trace.Record{
+						Timestamp:    a.env.Now(),
+						UserID:       req.UserID,
+						Group:        req.Group,
+						BatteryLevel: req.BatteryLevel,
+						RTT:          total,
+					})
+				}
+				done(out)
+			}
+			if err := a.env.Schedule(downlink, finish); err != nil {
+				// Scheduling forward cannot fail; guard for safety.
+				finish()
+			}
+		})
+		if submitErr != nil {
+			a.routed--
+			a.dropped++
+			done(Outcome{Dropped: true, Group: req.Group, T1: req.AccessRTT, Routing: routing, T2: t2})
+		}
+	})
+}
+
+// BuildPool launches `count` instances of one type into a group,
+// returning the servers (a helper for experiments that assemble
+// back-ends by hand).
+func BuildPool(env *sim.Environment, a *Accelerator, group int, typ cloud.InstanceType, count int, cfg qsim.Config) ([]*qsim.Server, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("sdn: count %d <= 0", count)
+	}
+	out := make([]*qsim.Server, 0, count)
+	for i := 0; i < count; i++ {
+		inst, err := cloud.NewInstance(fmt.Sprintf("%s-g%d-%d", typ.Name, group, i), typ, env.Now())
+		if err != nil {
+			return nil, err
+		}
+		srv, err := qsim.NewServer(env, inst, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := a.AddServer(group, srv); err != nil {
+			return nil, err
+		}
+		out = append(out, srv)
+	}
+	return out, nil
+}

@@ -1,0 +1,231 @@
+package sdn
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"accelcloud/internal/cloud"
+	"accelcloud/internal/qsim"
+	"accelcloud/internal/sim"
+	"accelcloud/internal/stats"
+	"accelcloud/internal/trace"
+)
+
+func newAccel(t *testing.T, env *sim.Environment, log *trace.Store) *Accelerator {
+	t.Helper()
+	a, err := NewAccelerator(env, Config{
+		Overhead:    OverheadModel{Base: 150 * time.Millisecond},
+		InternalRTT: stats.Degenerate{Value: 4},
+		Log:         log,
+		RNG:         sim.NewRNG(1).Stream("test"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func addBackend(t *testing.T, env *sim.Environment, a *Accelerator, group int, typeName string) *qsim.Server {
+	t.Helper()
+	typ, err := cloud.DefaultCatalog().ByName(typeName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers, err := BuildPool(env, a, group, typ, 1, qsim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return servers[0]
+}
+
+func TestRouteHappyPath(t *testing.T) {
+	env := sim.NewEnvironment()
+	log := trace.NewStore()
+	a := newAccel(t, env, log)
+	addBackend(t, env, a, 1, "t2.small")
+
+	var got Outcome
+	err := a.Route(Request{
+		UserID: 7, Group: 1, Work: 100_000, BatteryLevel: 0.8,
+		AccessRTT: 40 * time.Millisecond,
+	}, func(o Outcome) { got = o })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Dropped {
+		t.Fatal("request should succeed")
+	}
+	// Components: T1 = 40 ms, routing = 150 ms, T2 = 4 ms, Tcloud =
+	// 500 ms; total = 694 ms.
+	want := 694 * time.Millisecond
+	if d := got.Total - want; d > time.Millisecond || d < -time.Millisecond {
+		t.Fatalf("total = %v, want ≈%v", got.Total, want)
+	}
+	if got.T1 != 40*time.Millisecond || got.Routing != 150*time.Millisecond {
+		t.Fatalf("components = %+v", got)
+	}
+	if got.Tcloud < 499*time.Millisecond || got.Tcloud > 501*time.Millisecond {
+		t.Fatalf("Tcloud = %v, want ≈500ms", got.Tcloud)
+	}
+	if got.Server == "" || got.Group != 1 {
+		t.Fatalf("server/group = %q/%d", got.Server, got.Group)
+	}
+	// Trace record logged with the total response time.
+	if log.Len() != 1 {
+		t.Fatalf("log has %d records", log.Len())
+	}
+	rec := log.Snapshot()[0]
+	if rec.UserID != 7 || rec.Group != 1 || rec.BatteryLevel != 0.8 {
+		t.Fatalf("record = %+v", rec)
+	}
+	if d := rec.RTT - want; d > time.Millisecond || d < -time.Millisecond {
+		t.Fatalf("record RTT = %v", rec.RTT)
+	}
+	routed, dropped := a.Stats()
+	if routed != 1 || dropped != 0 {
+		t.Fatalf("stats = %d/%d", routed, dropped)
+	}
+}
+
+func TestRouteNoBackend(t *testing.T) {
+	env := sim.NewEnvironment()
+	a := newAccel(t, env, nil)
+	var got Outcome
+	if err := a.Route(Request{UserID: 1, Group: 3, Work: 100}, func(o Outcome) { got = o }); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Dropped {
+		t.Fatal("request to empty group must drop")
+	}
+	routed, dropped := a.Stats()
+	if routed != 0 || dropped != 1 {
+		t.Fatalf("stats = %d/%d", routed, dropped)
+	}
+}
+
+func TestRouteValidation(t *testing.T) {
+	env := sim.NewEnvironment()
+	a := newAccel(t, env, nil)
+	if err := a.Route(Request{Work: 0}, func(Outcome) {}); err == nil {
+		t.Fatal("zero work should fail")
+	}
+	if err := a.Route(Request{Work: 1}, nil); err == nil {
+		t.Fatal("nil callback should fail")
+	}
+	if err := a.Route(Request{Work: 1, AccessRTT: -time.Second}, func(Outcome) {}); err == nil {
+		t.Fatal("negative RTT should fail")
+	}
+	if err := a.AddServer(-1, nil); err == nil {
+		t.Fatal("negative group should fail")
+	}
+	if err := a.AddServer(0, nil); err == nil {
+		t.Fatal("nil server should fail")
+	}
+	if _, err := NewAccelerator(nil, Config{}); err == nil {
+		t.Fatal("nil env should fail")
+	}
+}
+
+func TestLeastLoadedRouting(t *testing.T) {
+	env := sim.NewEnvironment()
+	a := newAccel(t, env, nil)
+	s1 := addBackend(t, env, a, 0, "t2.small")
+	s2 := addBackend(t, env, a, 0, "t2.small")
+
+	// Two long requests: they must land on different servers.
+	for i := 0; i < 2; i++ {
+		if err := a.Route(Request{UserID: i, Group: 0, Work: 200_000}, func(Outcome) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s1.Stats().Completed != 1 || s2.Stats().Completed != 1 {
+		t.Fatalf("load not spread: %d/%d", s1.Stats().Completed, s2.Stats().Completed)
+	}
+}
+
+// Fig 8a: the routing overhead is ≈150 ms for every acceleration group.
+func TestRoutingOverheadMatchesPaper(t *testing.T) {
+	env := sim.NewEnvironment()
+	a, err := NewAccelerator(env, Config{RNG: sim.NewRNG(2).Stream("ov")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 1; g <= 4; g++ {
+		addBackend(t, env, a, g, "t2.small")
+	}
+	done := 0
+	for i := 0; i < 400; i++ {
+		g := 1 + i%4
+		if err := a.Route(Request{UserID: i, Group: g, Work: 1000}, func(Outcome) { done++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != 400 {
+		t.Fatalf("completed %d/400", done)
+	}
+	for g := 1; g <= 4; g++ {
+		w := a.RoutingStats()[g]
+		if w == nil || w.N() != 100 {
+			t.Fatalf("group %d missing routing samples", g)
+		}
+		if math.Abs(w.Mean()-150) > 20 {
+			t.Fatalf("group %d routing mean %.1f ms, want ≈150 ms", g, w.Mean())
+		}
+	}
+}
+
+func TestDefaultOverheadMean(t *testing.T) {
+	m := DefaultOverhead()
+	if math.Abs(m.MeanMs()-152)/152 > 0.1 {
+		t.Fatalf("default overhead mean %.1f ms, want ≈150 ms", m.MeanMs())
+	}
+	r := sim.NewRNG(3).Stream("ov")
+	var w stats.Welford
+	for i := 0; i < 5000; i++ {
+		w.Add(float64(m.Sample(r)) / float64(time.Millisecond))
+	}
+	if math.Abs(w.Mean()-150) > 15 {
+		t.Fatalf("sampled overhead mean %.1f ms, want ≈150 ms", w.Mean())
+	}
+}
+
+func TestRemoveServers(t *testing.T) {
+	env := sim.NewEnvironment()
+	a := newAccel(t, env, nil)
+	addBackend(t, env, a, 0, "t2.small")
+	if len(a.Servers(0)) != 1 {
+		t.Fatal("server not registered")
+	}
+	if len(a.Groups()) != 1 {
+		t.Fatal("groups wrong")
+	}
+	a.RemoveServers(0)
+	if len(a.Servers(0)) != 0 {
+		t.Fatal("servers not removed")
+	}
+}
+
+func TestBuildPoolValidation(t *testing.T) {
+	env := sim.NewEnvironment()
+	a := newAccel(t, env, nil)
+	typ, _ := cloud.DefaultCatalog().ByName("t2.small")
+	if _, err := BuildPool(env, a, 0, typ, 0, qsim.Config{}); err == nil {
+		t.Fatal("count 0 should fail")
+	}
+	if _, err := BuildPool(env, a, 0, cloud.InstanceType{}, 1, qsim.Config{}); err == nil {
+		t.Fatal("invalid type should fail")
+	}
+}

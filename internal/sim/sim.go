@@ -1,0 +1,173 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All experiments in this repository run on virtual time: events are
+// scheduled on an Environment, executed in timestamp order, and ties are
+// broken by scheduling order so that runs are reproducible bit-for-bit for
+// a given seed. The kernel deliberately has no dependency on the wall
+// clock.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Epoch is the virtual time origin used by all simulations. Using a fixed
+// UTC instant keeps trace timestamps stable across runs and machines.
+var Epoch = time.Date(2017, time.January, 1, 0, 0, 0, 0, time.UTC)
+
+// ErrStopped is returned by Run when the simulation was halted via Stop
+// before the horizon was reached.
+var ErrStopped = errors.New("sim: stopped")
+
+// Event is a unit of scheduled work. Fn runs at virtual time At.
+type event struct {
+	at  time.Time
+	seq uint64
+	fn  func()
+}
+
+// eventQueue is a min-heap ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Environment is a single-threaded discrete-event simulation. The zero
+// value is not usable; construct with NewEnvironment.
+type Environment struct {
+	now     time.Time
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	// executed counts events processed; useful for progress accounting
+	// and loop-detection in tests.
+	executed uint64
+}
+
+// NewEnvironment returns a simulation environment starting at Epoch.
+func NewEnvironment() *Environment {
+	return &Environment{now: Epoch}
+}
+
+// NewEnvironmentAt returns a simulation environment starting at the given
+// virtual instant.
+func NewEnvironmentAt(start time.Time) *Environment {
+	return &Environment{now: start}
+}
+
+// Now reports the current virtual time.
+func (e *Environment) Now() time.Time { return e.now }
+
+// Executed reports how many events have run so far.
+func (e *Environment) Executed() uint64 { return e.executed }
+
+// Pending reports how many events are scheduled but not yet run.
+func (e *Environment) Pending() int { return len(e.queue) }
+
+// ScheduleAt registers fn to run at virtual time at. Scheduling in the
+// past is an error: simulations must not rewrite history.
+func (e *Environment) ScheduleAt(at time.Time, fn func()) error {
+	if fn == nil {
+		return errors.New("sim: nil event function")
+	}
+	if at.Before(e.now) {
+		return fmt.Errorf("sim: schedule at %v before now %v", at, e.now)
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+	return nil
+}
+
+// Schedule registers fn to run after delay d (non-negative).
+func (e *Environment) Schedule(d time.Duration, fn func()) error {
+	if d < 0 {
+		return fmt.Errorf("sim: negative delay %v", d)
+	}
+	return e.ScheduleAt(e.now.Add(d), fn)
+}
+
+// Stop halts the simulation after the currently executing event returns.
+func (e *Environment) Stop() { e.stopped = true }
+
+// Run executes events in order until the queue drains. It returns
+// ErrStopped if Stop was called.
+func (e *Environment) Run() error {
+	return e.run(func(*event) bool { return true })
+}
+
+// RunUntil executes events in order until the queue drains or the next
+// event is after the horizon. Virtual time is left at the later of the
+// last executed event and horizon (when the horizon cut execution short).
+func (e *Environment) RunUntil(horizon time.Time) error {
+	err := e.run(func(ev *event) bool { return !ev.at.After(horizon) })
+	if err != nil {
+		return err
+	}
+	if e.now.Before(horizon) {
+		e.now = horizon
+	}
+	return nil
+}
+
+// RunFor advances the simulation by d of virtual time.
+func (e *Environment) RunFor(d time.Duration) error {
+	return e.RunUntil(e.now.Add(d))
+}
+
+func (e *Environment) run(admit func(*event) bool) error {
+	e.stopped = false
+	for len(e.queue) > 0 {
+		if e.stopped {
+			return ErrStopped
+		}
+		next := e.queue[0]
+		if !admit(next) {
+			return nil
+		}
+		heap.Pop(&e.queue)
+		e.now = next.at
+		e.executed++
+		next.fn()
+	}
+	return nil
+}
+
+// Ticker invokes fn every period until the environment stops scheduling it
+// (fn returning false cancels the ticker). The first tick fires one period
+// from now.
+func (e *Environment) Ticker(period time.Duration, fn func(now time.Time) bool) error {
+	if period <= 0 {
+		return fmt.Errorf("sim: non-positive ticker period %v", period)
+	}
+	var tick func()
+	tick = func() {
+		if !fn(e.now) {
+			return
+		}
+		// Re-arm. Scheduling forward from now can never fail.
+		_ = e.Schedule(period, tick)
+	}
+	return e.Schedule(period, tick)
+}

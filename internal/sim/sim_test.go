@@ -1,0 +1,294 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEnvironmentStartsAtEpoch(t *testing.T) {
+	env := NewEnvironment()
+	if !env.Now().Equal(Epoch) {
+		t.Fatalf("Now() = %v, want %v", env.Now(), Epoch)
+	}
+}
+
+func TestNewEnvironmentAt(t *testing.T) {
+	start := Epoch.Add(42 * time.Hour)
+	env := NewEnvironmentAt(start)
+	if !env.Now().Equal(start) {
+		t.Fatalf("Now() = %v, want %v", env.Now(), start)
+	}
+}
+
+func TestScheduleRunsInTimestampOrder(t *testing.T) {
+	env := NewEnvironment()
+	var order []int
+	for i, d := range []time.Duration{30 * time.Second, 10 * time.Second, 20 * time.Second} {
+		i := i
+		if err := env.Schedule(d, func() { order = append(order, i) }); err != nil {
+			t.Fatalf("Schedule: %v", err)
+		}
+	}
+	if err := env.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int{1, 2, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTiesBreakBySchedulingOrder(t *testing.T) {
+	env := NewEnvironment()
+	var order []int
+	at := env.Now().Add(time.Second)
+	for i := 0; i < 10; i++ {
+		i := i
+		if err := env.ScheduleAt(at, func() { order = append(order, i) }); err != nil {
+			t.Fatalf("ScheduleAt: %v", err)
+		}
+	}
+	if err := env.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("tie-break order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestSchedulePastRejected(t *testing.T) {
+	env := NewEnvironment()
+	if err := env.ScheduleAt(Epoch.Add(-time.Second), func() {}); err == nil {
+		t.Fatal("scheduling in the past should fail")
+	}
+	if err := env.Schedule(-time.Second, func() {}); err == nil {
+		t.Fatal("negative delay should fail")
+	}
+}
+
+func TestScheduleNilFnRejected(t *testing.T) {
+	env := NewEnvironment()
+	if err := env.Schedule(time.Second, nil); err == nil {
+		t.Fatal("nil fn should fail")
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	env := NewEnvironment()
+	var hits []time.Duration
+	err := env.Schedule(time.Second, func() {
+		hits = append(hits, env.Now().Sub(Epoch))
+		if err := env.Schedule(2*time.Second, func() {
+			hits = append(hits, env.Now().Sub(Epoch))
+		}); err != nil {
+			t.Errorf("nested Schedule: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if err := env.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(hits) != 2 || hits[0] != time.Second || hits[1] != 3*time.Second {
+		t.Fatalf("hits = %v, want [1s 3s]", hits)
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	env := NewEnvironment()
+	var ran []time.Duration
+	for _, d := range []time.Duration{time.Second, 5 * time.Second, 10 * time.Second} {
+		d := d
+		if err := env.Schedule(d, func() { ran = append(ran, d) }); err != nil {
+			t.Fatalf("Schedule: %v", err)
+		}
+	}
+	if err := env.RunUntil(Epoch.Add(6 * time.Second)); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if len(ran) != 2 {
+		t.Fatalf("ran %d events before horizon, want 2", len(ran))
+	}
+	if got := env.Now(); !got.Equal(Epoch.Add(6 * time.Second)) {
+		t.Fatalf("Now() = %v, want horizon", got)
+	}
+	if env.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", env.Pending())
+	}
+	// Resume past the horizon.
+	if err := env.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(ran) != 3 {
+		t.Fatalf("ran %d events total, want 3", len(ran))
+	}
+}
+
+func TestRunForAdvancesTime(t *testing.T) {
+	env := NewEnvironment()
+	if err := env.RunFor(time.Hour); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if got := env.Now(); !got.Equal(Epoch.Add(time.Hour)) {
+		t.Fatalf("Now() = %v, want Epoch+1h", got)
+	}
+}
+
+func TestStop(t *testing.T) {
+	env := NewEnvironment()
+	var count int
+	for i := 0; i < 5; i++ {
+		if err := env.Schedule(time.Duration(i+1)*time.Second, func() {
+			count++
+			if count == 2 {
+				env.Stop()
+			}
+		}); err != nil {
+			t.Fatalf("Schedule: %v", err)
+		}
+	}
+	if err := env.Run(); err != ErrStopped {
+		t.Fatalf("Run = %v, want ErrStopped", err)
+	}
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+	// Run resumes after a stop.
+	if err := env.Run(); err != nil {
+		t.Fatalf("resume Run: %v", err)
+	}
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	env := NewEnvironment()
+	var ticks []time.Duration
+	err := env.Ticker(time.Minute, func(now time.Time) bool {
+		ticks = append(ticks, now.Sub(Epoch))
+		return len(ticks) < 3
+	})
+	if err != nil {
+		t.Fatalf("Ticker: %v", err)
+	}
+	if err := env.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []time.Duration{time.Minute, 2 * time.Minute, 3 * time.Minute}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestTickerRejectsNonPositivePeriod(t *testing.T) {
+	env := NewEnvironment()
+	if err := env.Ticker(0, func(time.Time) bool { return false }); err == nil {
+		t.Fatal("zero period should fail")
+	}
+}
+
+func TestExecutedCount(t *testing.T) {
+	env := NewEnvironment()
+	for i := 0; i < 7; i++ {
+		if err := env.Schedule(time.Duration(i)*time.Second, func() {}); err != nil {
+			t.Fatalf("Schedule: %v", err)
+		}
+	}
+	if err := env.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if env.Executed() != 7 {
+		t.Fatalf("Executed() = %d, want 7", env.Executed())
+	}
+}
+
+// Property: for any set of non-negative delays, events run in
+// non-decreasing timestamp order.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		env := NewEnvironment()
+		var seen []time.Time
+		for _, d := range delays {
+			if err := env.Schedule(time.Duration(d)*time.Millisecond, func() {
+				seen = append(seen, env.Now())
+			}); err != nil {
+				return false
+			}
+		}
+		if err := env.Run(); err != nil {
+			return false
+		}
+		for i := 1; i < len(seen); i++ {
+			if seen[i].Before(seen[i-1]) {
+				return false
+			}
+		}
+		return len(seen) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(7).Stream("devices")
+	b := NewRNG(7).Stream("devices")
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same (seed, name) should yield identical streams")
+		}
+	}
+}
+
+func TestRNGStreamsIndependent(t *testing.T) {
+	g := NewRNG(7)
+	a := g.Stream("a")
+	b := g.Stream("b")
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Int63() == b.Int63() {
+			same++
+		}
+	}
+	if same == 64 {
+		t.Fatal("distinct stream names should not produce identical streams")
+	}
+}
+
+func TestRNGStreamN(t *testing.T) {
+	g := NewRNG(11)
+	if g.Seed() != 11 {
+		t.Fatalf("Seed() = %d, want 11", g.Seed())
+	}
+	a := g.StreamN("dev", 1)
+	b := g.StreamN("dev", 2)
+	a2 := g.StreamN("dev", 1)
+	if a.Int63() != a2.Int63() {
+		t.Fatal("StreamN must be stable for equal indices")
+	}
+	// Advance a to match a2's consumed count before comparing streams.
+	diff := false
+	for i := 0; i < 64; i++ {
+		if a.Int63() != b.Int63() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("StreamN with different indices should differ")
+	}
+	_ = rand.Int // keep math/rand import honest in minimal builds
+}

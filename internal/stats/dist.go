@@ -1,0 +1,192 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dist is a sampleable univariate distribution.
+type Dist interface {
+	// Sample draws one value using r.
+	Sample(r *rand.Rand) float64
+	// Mean reports the distribution mean.
+	Mean() float64
+}
+
+// Uniform is the continuous uniform distribution on [Lo, Hi).
+type Uniform struct {
+	Lo, Hi float64
+}
+
+var _ Dist = Uniform{}
+
+// Sample draws from the uniform distribution.
+func (u Uniform) Sample(r *rand.Rand) float64 {
+	return u.Lo + r.Float64()*(u.Hi-u.Lo)
+}
+
+// Mean reports (Lo+Hi)/2.
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+// Exponential is the exponential distribution with the given rate
+// (events per unit time). Used for Poisson inter-arrival processes.
+type Exponential struct {
+	Rate float64
+}
+
+var _ Dist = Exponential{}
+
+// Sample draws from the exponential distribution.
+func (e Exponential) Sample(r *rand.Rand) float64 {
+	return r.ExpFloat64() / e.Rate
+}
+
+// Mean reports 1/Rate.
+func (e Exponential) Mean() float64 { return 1 / e.Rate }
+
+// Normal is the Gaussian distribution.
+type Normal struct {
+	Mu, Sigma float64
+}
+
+var _ Dist = Normal{}
+
+// Sample draws from the normal distribution.
+func (n Normal) Sample(r *rand.Rand) float64 {
+	return n.Mu + n.Sigma*r.NormFloat64()
+}
+
+// Mean reports Mu.
+func (n Normal) Mean() float64 { return n.Mu }
+
+// LogNormal is the log-normal distribution: exp(Normal(Mu, Sigma)).
+// It is the workhorse for network RTT modelling: heavy right tail, strictly
+// positive support, and it is fully determined by (median, mean) pairs —
+// exactly the aggregates the paper reports for the NetRadar dataset.
+type LogNormal struct {
+	Mu, Sigma float64
+}
+
+var _ Dist = LogNormal{}
+
+// Sample draws from the log-normal distribution.
+func (l LogNormal) Sample(r *rand.Rand) float64 {
+	return math.Exp(l.Mu + l.Sigma*r.NormFloat64())
+}
+
+// Mean reports exp(Mu + Sigma^2/2).
+func (l LogNormal) Mean() float64 { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
+
+// Median reports exp(Mu).
+func (l LogNormal) Median() float64 { return math.Exp(l.Mu) }
+
+// SD reports the standard deviation of the log-normal distribution.
+func (l LogNormal) SD() float64 {
+	s2 := l.Sigma * l.Sigma
+	return l.Mean() * math.Sqrt(math.Exp(s2)-1)
+}
+
+// LogNormalFromMeanMedian calibrates a log-normal distribution so that its
+// mean and median match the given targets. Requires mean > median > 0
+// (always true for right-skewed latency data).
+func LogNormalFromMeanMedian(mean, median float64) (LogNormal, error) {
+	if median <= 0 || mean <= median {
+		return LogNormal{}, fmt.Errorf("stats: need mean %v > median %v > 0", mean, median)
+	}
+	mu := math.Log(median)
+	sigma := math.Sqrt(2 * math.Log(mean/median))
+	return LogNormal{Mu: mu, Sigma: sigma}, nil
+}
+
+// Degenerate always yields Value. Useful to make stochastic components
+// deterministic in tests.
+type Degenerate struct {
+	Value float64
+}
+
+var _ Dist = Degenerate{}
+
+// Sample returns Value.
+func (d Degenerate) Sample(*rand.Rand) float64 { return d.Value }
+
+// Mean returns Value.
+func (d Degenerate) Mean() float64 { return d.Value }
+
+// Shifted adds Offset to samples from Base, clamping at Floor. It widens a
+// base distribution's tail behaviour without re-deriving parameters (used
+// for RTT spikes).
+type Shifted struct {
+	Base   Dist
+	Offset float64
+	Floor  float64
+}
+
+var _ Dist = Shifted{}
+
+// Sample draws Base and shifts it.
+func (s Shifted) Sample(r *rand.Rand) float64 {
+	v := s.Base.Sample(r) + s.Offset
+	if v < s.Floor {
+		return s.Floor
+	}
+	return v
+}
+
+// Mean reports the shifted mean (ignores the floor clamp).
+func (s Shifted) Mean() float64 { return s.Base.Mean() + s.Offset }
+
+// Mixture samples component i with probability Weights[i].
+type Mixture struct {
+	Components []Dist
+	Weights    []float64
+}
+
+var _ Dist = Mixture{}
+
+// NewMixture validates and constructs a mixture distribution.
+func NewMixture(components []Dist, weights []float64) (Mixture, error) {
+	if len(components) == 0 || len(components) != len(weights) {
+		return Mixture{}, fmt.Errorf("stats: mixture needs matching components/weights, got %d/%d",
+			len(components), len(weights))
+	}
+	sum := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			return Mixture{}, fmt.Errorf("stats: negative mixture weight %v", w)
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		return Mixture{}, fmt.Errorf("stats: mixture weights sum to %v", sum)
+	}
+	norm := make([]float64, len(weights))
+	for i, w := range weights {
+		norm[i] = w / sum
+	}
+	cs := make([]Dist, len(components))
+	copy(cs, components)
+	return Mixture{Components: cs, Weights: norm}, nil
+}
+
+// Sample draws from the mixture.
+func (m Mixture) Sample(r *rand.Rand) float64 {
+	u := r.Float64()
+	acc := 0.0
+	for i, w := range m.Weights {
+		acc += w
+		if u < acc {
+			return m.Components[i].Sample(r)
+		}
+	}
+	return m.Components[len(m.Components)-1].Sample(r)
+}
+
+// Mean reports the weighted mean of the components.
+func (m Mixture) Mean() float64 {
+	mean := 0.0
+	for i, c := range m.Components {
+		mean += m.Weights[i] * c.Mean()
+	}
+	return mean
+}

@@ -1,0 +1,201 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func sampleN(d Dist, n int, seed int64) []float64 {
+	r := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = d.Sample(r)
+	}
+	return xs
+}
+
+func TestUniform(t *testing.T) {
+	u := Uniform{Lo: 2, Hi: 6}
+	if u.Mean() != 4 {
+		t.Fatalf("Mean = %v, want 4", u.Mean())
+	}
+	xs := sampleN(u, 10000, 1)
+	for _, x := range xs {
+		if x < 2 || x >= 6 {
+			t.Fatalf("sample %v out of [2,6)", x)
+		}
+	}
+	m, _ := Mean(xs)
+	if math.Abs(m-4) > 0.1 {
+		t.Fatalf("empirical mean %v too far from 4", m)
+	}
+}
+
+func TestExponential(t *testing.T) {
+	e := Exponential{Rate: 4}
+	if e.Mean() != 0.25 {
+		t.Fatalf("Mean = %v, want 0.25", e.Mean())
+	}
+	xs := sampleN(e, 20000, 2)
+	m, _ := Mean(xs)
+	if math.Abs(m-0.25) > 0.01 {
+		t.Fatalf("empirical mean %v too far from 0.25", m)
+	}
+	for _, x := range xs {
+		if x < 0 {
+			t.Fatalf("negative exponential sample %v", x)
+		}
+	}
+}
+
+func TestNormal(t *testing.T) {
+	n := Normal{Mu: 7, Sigma: 2}
+	if n.Mean() != 7 {
+		t.Fatalf("Mean = %v", n.Mean())
+	}
+	xs := sampleN(n, 20000, 3)
+	m, _ := Mean(xs)
+	sd, _ := StdDev(xs)
+	if math.Abs(m-7) > 0.1 || math.Abs(sd-2) > 0.1 {
+		t.Fatalf("empirical mean/sd = %v/%v, want 7/2", m, sd)
+	}
+}
+
+func TestLogNormalCalibration(t *testing.T) {
+	// Calibrate to the paper's operator beta LTE aggregates: mean 36 ms,
+	// median 25 ms.
+	l, err := LogNormalFromMeanMedian(36, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l.Mean()-36) > 1e-9 {
+		t.Fatalf("analytic mean = %v, want 36", l.Mean())
+	}
+	if math.Abs(l.Median()-25) > 1e-9 {
+		t.Fatalf("analytic median = %v, want 25", l.Median())
+	}
+	xs := sampleN(l, 60000, 4)
+	m, _ := Mean(xs)
+	md, _ := Median(xs)
+	if math.Abs(m-36)/36 > 0.05 {
+		t.Fatalf("empirical mean %v too far from 36", m)
+	}
+	if math.Abs(md-25)/25 > 0.05 {
+		t.Fatalf("empirical median %v too far from 25", md)
+	}
+	if l.SD() <= 0 {
+		t.Fatal("SD should be positive")
+	}
+}
+
+func TestLogNormalCalibrationErrors(t *testing.T) {
+	if _, err := LogNormalFromMeanMedian(10, 10); err == nil {
+		t.Fatal("mean == median should fail")
+	}
+	if _, err := LogNormalFromMeanMedian(5, -1); err == nil {
+		t.Fatal("negative median should fail")
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	d := Degenerate{Value: 3.14}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 10; i++ {
+		if d.Sample(r) != 3.14 {
+			t.Fatal("Degenerate must always return Value")
+		}
+	}
+	if d.Mean() != 3.14 {
+		t.Fatal("Degenerate mean must be Value")
+	}
+}
+
+func TestShifted(t *testing.T) {
+	s := Shifted{Base: Normal{Mu: 0, Sigma: 1}, Offset: 100, Floor: 99}
+	xs := sampleN(s, 5000, 5)
+	for _, x := range xs {
+		if x < 99 {
+			t.Fatalf("sample %v below floor", x)
+		}
+	}
+	if math.Abs(s.Mean()-100) > 1e-12 {
+		t.Fatalf("Mean = %v, want 100", s.Mean())
+	}
+}
+
+func TestMixture(t *testing.T) {
+	m, err := NewMixture(
+		[]Dist{Degenerate{Value: 1}, Degenerate{Value: 11}},
+		[]float64{3, 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Mean()-3.5) > 1e-12 {
+		t.Fatalf("Mean = %v, want 3.5 (weights normalized)", m.Mean())
+	}
+	xs := sampleN(m, 40000, 6)
+	ones := 0
+	for _, x := range xs {
+		switch x {
+		case 1:
+			ones++
+		case 11:
+		default:
+			t.Fatalf("unexpected sample %v", x)
+		}
+	}
+	frac := float64(ones) / float64(len(xs))
+	if math.Abs(frac-0.75) > 0.02 {
+		t.Fatalf("component-1 fraction %v, want ~0.75", frac)
+	}
+}
+
+func TestMixtureValidation(t *testing.T) {
+	if _, err := NewMixture(nil, nil); err == nil {
+		t.Fatal("empty mixture should fail")
+	}
+	if _, err := NewMixture([]Dist{Degenerate{}}, []float64{-1}); err == nil {
+		t.Fatal("negative weight should fail")
+	}
+	if _, err := NewMixture([]Dist{Degenerate{}}, []float64{0}); err == nil {
+		t.Fatal("zero-sum weights should fail")
+	}
+	if _, err := NewMixture([]Dist{Degenerate{}}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	if got := SymmetricAccuracy(10, 10); got != 1 {
+		t.Fatalf("exact match accuracy = %v", got)
+	}
+	if got := SymmetricAccuracy(0, 0); got != 1 {
+		t.Fatalf("both-zero accuracy = %v", got)
+	}
+	if got := SymmetricAccuracy(5, 10); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("accuracy(5,10) = %v, want 0.5", got)
+	}
+	if got := SymmetricAccuracy(10, 5); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("accuracy must be symmetric, got %v", got)
+	}
+	if got := SymmetricAccuracy(-10, 10); got != 0 {
+		t.Fatalf("opposite signs should clamp to 0, got %v", got)
+	}
+	if got := MeanSymmetricAccuracy([]float64{5, 10}, []float64{10, 10}); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("mean accuracy = %v, want 0.75", got)
+	}
+	if got := MeanSymmetricAccuracy(nil, nil); got != 0 {
+		t.Fatalf("empty mean accuracy = %v, want 0", got)
+	}
+	if got := MAPE([]float64{110}, []float64{100}); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("MAPE = %v, want 0.1", got)
+	}
+	if got := MAPE([]float64{1}, []float64{0}); got != 0 {
+		t.Fatalf("MAPE with zero actual should skip, got %v", got)
+	}
+	if got := RMSE([]float64{3, 4}, []float64{0, 0}); math.Abs(got-math.Sqrt(12.5)) > 1e-12 {
+		t.Fatalf("RMSE = %v", got)
+	}
+}

@@ -1,0 +1,68 @@
+package stats
+
+import "math"
+
+// SymmetricAccuracy scores a prediction against an actual value on [0, 1]:
+// 1 for an exact match, decaying with the relative error normalized by the
+// larger magnitude. Both-zero counts as a perfect prediction. This is the
+// metric used to grade per-group workload predictions (Fig 10a).
+func SymmetricAccuracy(predicted, actual float64) float64 {
+	if predicted == actual {
+		return 1
+	}
+	denom := math.Max(math.Abs(predicted), math.Abs(actual))
+	if denom == 0 {
+		return 1
+	}
+	acc := 1 - math.Abs(predicted-actual)/denom
+	if acc < 0 {
+		return 0
+	}
+	return acc
+}
+
+// MeanSymmetricAccuracy averages SymmetricAccuracy over paired slices.
+// Returns 0 for mismatched or empty inputs.
+func MeanSymmetricAccuracy(predicted, actual []float64) float64 {
+	if len(predicted) == 0 || len(predicted) != len(actual) {
+		return 0
+	}
+	sum := 0.0
+	for i := range predicted {
+		sum += SymmetricAccuracy(predicted[i], actual[i])
+	}
+	return sum / float64(len(predicted))
+}
+
+// MAPE returns the mean absolute percentage error of predictions against
+// actuals, skipping zero actuals. Returns 0 when nothing is comparable.
+func MAPE(predicted, actual []float64) float64 {
+	if len(predicted) != len(actual) {
+		return 0
+	}
+	sum, n := 0.0, 0
+	for i := range predicted {
+		if actual[i] == 0 {
+			continue
+		}
+		sum += math.Abs(predicted[i]-actual[i]) / math.Abs(actual[i])
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// RMSE returns the root mean squared error of predictions against actuals.
+func RMSE(predicted, actual []float64) float64 {
+	if len(predicted) == 0 || len(predicted) != len(actual) {
+		return 0
+	}
+	sum := 0.0
+	for i := range predicted {
+		d := predicted[i] - actual[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(predicted)))
+}

@@ -1,0 +1,273 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"single", []float64{3}, 3},
+		{"pair", []float64{1, 3}, 2},
+		{"negatives", []float64{-2, 2, -4, 4}, 0},
+		{"fractions", []float64{0.5, 1.5, 2.5}, 1.5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Mean(tt.xs)
+			if err != nil {
+				t.Fatalf("Mean: %v", err)
+			}
+			if !almostEqual(got, tt.want, 1e-12) {
+				t.Fatalf("Mean = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if _, err := Mean(nil); err != ErrEmpty {
+		t.Fatalf("Mean(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestVarianceAndSD(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	v, err := Variance(xs)
+	if err != nil {
+		t.Fatalf("Variance: %v", err)
+	}
+	// Sum of squared deviations is 32, n-1 = 7.
+	if !almostEqual(v, 32.0/7.0, 1e-12) {
+		t.Fatalf("Variance = %v, want %v", v, 32.0/7.0)
+	}
+	sd, err := StdDev(xs)
+	if err != nil {
+		t.Fatalf("StdDev: %v", err)
+	}
+	if !almostEqual(sd, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Fatalf("StdDev = %v", sd)
+	}
+}
+
+func TestVarianceTooFew(t *testing.T) {
+	if _, err := Variance([]float64{1}); err == nil {
+		t.Fatal("Variance of 1 sample should fail")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 15}, {100, 50}, {50, 35}, {25, 20}, {75, 40}, {62.5, 37.5},
+	}
+	for _, tt := range tests {
+		got, err := Percentile(xs, tt.p)
+		if err != nil {
+			t.Fatalf("Percentile(%v): %v", tt.p, err)
+		}
+		if !almostEqual(got, tt.want, 1e-12) {
+			t.Fatalf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestPercentileErrors(t *testing.T) {
+	if _, err := Percentile(nil, 50); err != ErrEmpty {
+		t.Fatal("empty percentile should return ErrEmpty")
+	}
+	if _, err := Percentile([]float64{1}, -1); err == nil {
+		t.Fatal("p<0 should fail")
+	}
+	if _, err := Percentile([]float64{1}, 101); err == nil {
+		t.Fatal("p>100 should fail")
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestMedianSingleton(t *testing.T) {
+	got, err := Median([]float64{42})
+	if err != nil || got != 42 {
+		t.Fatalf("Median([42]) = %v, %v", got, err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi, err := MinMax([]float64{3, -1, 7, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != -1 || hi != 7 {
+		t.Fatalf("MinMax = %v,%v, want -1,7", lo, hi)
+	}
+	if _, _, err := MinMax(nil); err != ErrEmpty {
+		t.Fatal("MinMax(nil) should return ErrEmpty")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	s, err := Summarize(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 10 || !almostEqual(s.Mean, 5.5, 1e-12) || !almostEqual(s.Median, 5.5, 1e-12) {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if s.Min != 1 || s.Max != 10 {
+		t.Fatalf("Summary min/max = %v/%v", s.Min, s.Max)
+	}
+	if _, err := Summarize(nil); err != ErrEmpty {
+		t.Fatal("Summarize(nil) should return ErrEmpty")
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	xs := make([]float64, 500)
+	var w Welford
+	for i := range xs {
+		xs[i] = r.NormFloat64()*3 + 10
+		w.Add(xs[i])
+	}
+	m, _ := Mean(xs)
+	v, _ := Variance(xs)
+	if !almostEqual(w.Mean(), m, 1e-9) {
+		t.Fatalf("Welford mean %v != batch %v", w.Mean(), m)
+	}
+	if !almostEqual(w.Variance(), v, 1e-9) {
+		t.Fatalf("Welford var %v != batch %v", w.Variance(), v)
+	}
+	lo, hi, _ := MinMax(xs)
+	if w.Min() != lo || w.Max() != hi {
+		t.Fatalf("Welford min/max %v/%v != %v/%v", w.Min(), w.Max(), lo, hi)
+	}
+	if w.N() != 500 {
+		t.Fatalf("Welford N = %d", w.N())
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.SD() != 0 {
+		t.Fatal("empty Welford should report zeros")
+	}
+	w.Add(5)
+	if w.Mean() != 5 || w.Variance() != 0 {
+		t.Fatalf("single-sample Welford mean/var = %v/%v", w.Mean(), w.Variance())
+	}
+}
+
+func TestWelfordMerge(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	var all, a, b Welford
+	for i := 0; i < 400; i++ {
+		x := r.ExpFloat64()
+		all.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(b)
+	if !almostEqual(a.Mean(), all.Mean(), 1e-9) || !almostEqual(a.Variance(), all.Variance(), 1e-9) {
+		t.Fatalf("merged (%v,%v) != combined (%v,%v)", a.Mean(), a.Variance(), all.Mean(), all.Variance())
+	}
+	var empty Welford
+	empty.Merge(a)
+	if empty.N() != a.N() {
+		t.Fatal("merging into empty should copy")
+	}
+	before := a.N()
+	a.Merge(Welford{})
+	if a.N() != before {
+		t.Fatal("merging empty should be a no-op")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.9, 10, 11} {
+		h.Add(x)
+	}
+	// -1,0,1.9 -> bin0 ; 2 -> bin1 ; 9.9,10,11 -> bin4
+	want := []int{3, 1, 0, 0, 3}
+	for i, c := range want {
+		if h.Counts[i] != c {
+			t.Fatalf("Counts = %v, want %v", h.Counts, want)
+		}
+	}
+	if h.Total() != 7 {
+		t.Fatalf("Total = %d, want 7", h.Total())
+	}
+	if !almostEqual(h.BinCenter(0), 1, 1e-12) || !almostEqual(h.BinCenter(4), 9, 1e-12) {
+		t.Fatalf("BinCenter wrong: %v %v", h.BinCenter(0), h.BinCenter(4))
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Fatal("0 bins should fail")
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Fatal("empty range should fail")
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			xs = append(xs, x)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		p1 := float64(a) / 255 * 100
+		p2 := float64(b) / 255 * 100
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		v1, err1 := Percentile(xs, p1)
+		v2, err2 := Percentile(xs, p2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		lo, hi, _ := MinMax(xs)
+		return v1 <= v2 && v1 >= lo && v2 <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

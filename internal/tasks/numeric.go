@@ -1,0 +1,386 @@
+package tasks
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+)
+
+// Fibonacci computes F(n) mod 2^64 with the fast-doubling method. It is
+// the lightest task in the pool (Work ≈ log n big-step iterations scaled
+// to stay comparable with the rest of the pool).
+type Fibonacci struct{}
+
+var _ Task = Fibonacci{}
+
+type fibState struct {
+	N int `json:"n"`
+}
+
+type fibResult struct {
+	ValueMod64 uint64 `json:"valueMod64"`
+}
+
+// Name implements Task.
+func (Fibonacci) Name() string { return "fibonacci" }
+
+// Generate implements Task. Size maps directly to n (clamped ≥ 0).
+func (Fibonacci) Generate(_ *rand.Rand, size int) (State, error) {
+	n := size
+	if n < 0 {
+		n = 0
+	}
+	return marshalState("fibonacci", size, fibState{N: n})
+}
+
+// Execute implements Task.
+func (Fibonacci) Execute(st State) (Result, error) {
+	var in fibState
+	if err := unmarshalState(st, "fibonacci", &in); err != nil {
+		return Result{}, err
+	}
+	if in.N < 0 {
+		return Result{}, fmt.Errorf("tasks: fibonacci n=%d < 0", in.N)
+	}
+	var ops int64
+	var fib func(n uint64) (uint64, uint64)
+	fib = func(n uint64) (uint64, uint64) {
+		ops++
+		if n == 0 {
+			return 0, 1
+		}
+		a, b := fib(n / 2)
+		c := a * (2*b - a)
+		d := a*a + b*b
+		if n%2 == 0 {
+			return c, d
+		}
+		return d, c + d
+	}
+	v, _ := fib(uint64(in.N))
+	return marshalResult("fibonacci", ops, fibResult{ValueMod64: v})
+}
+
+// Work implements Task.
+func (Fibonacci) Work(size int) float64 {
+	if size < 2 {
+		return 1
+	}
+	return math.Log2(float64(size)) + 1
+}
+
+// MatMul multiplies two dense n×n float64 matrices. Work ≈ n³.
+type MatMul struct{}
+
+var _ Task = MatMul{}
+
+type matmulState struct {
+	N int       `json:"n"`
+	A []float64 `json:"a"`
+	B []float64 `json:"b"`
+}
+
+type matmulResult struct {
+	Trace float64 `json:"trace"`
+	Norm  float64 `json:"norm"`
+}
+
+// Name implements Task.
+func (MatMul) Name() string { return "matmul" }
+
+// Generate implements Task. Size is the matrix dimension (clamped ≥ 1).
+func (MatMul) Generate(r *rand.Rand, size int) (State, error) {
+	n := size
+	if n < 1 {
+		n = 1
+	}
+	a := make([]float64, n*n)
+	b := make([]float64, n*n)
+	for i := range a {
+		a[i] = r.Float64()*2 - 1
+		b[i] = r.Float64()*2 - 1
+	}
+	return marshalState("matmul", size, matmulState{N: n, A: a, B: b})
+}
+
+// Execute implements Task.
+func (MatMul) Execute(st State) (Result, error) {
+	var in matmulState
+	if err := unmarshalState(st, "matmul", &in); err != nil {
+		return Result{}, err
+	}
+	n := in.N
+	if n < 1 || len(in.A) != n*n || len(in.B) != n*n {
+		return Result{}, fmt.Errorf("tasks: matmul n=%d with %d/%d elements", n, len(in.A), len(in.B))
+	}
+	c := make([]float64, n*n)
+	var ops int64
+	for i := 0; i < n; i++ {
+		for kk := 0; kk < n; kk++ {
+			aik := in.A[i*n+kk]
+			for j := 0; j < n; j++ {
+				c[i*n+j] += aik * in.B[kk*n+j]
+				ops++
+			}
+		}
+	}
+	var trace, norm float64
+	for i := 0; i < n; i++ {
+		trace += c[i*n+i]
+	}
+	for _, v := range c {
+		norm += v * v
+	}
+	return marshalResult("matmul", ops, matmulResult{Trace: trace, Norm: math.Sqrt(norm)})
+}
+
+// Work implements Task.
+func (MatMul) Work(size int) float64 {
+	n := size
+	if n < 1 {
+		n = 1
+	}
+	return float64(n) * float64(n) * float64(n)
+}
+
+// Knapsack solves 0/1 knapsack by dynamic programming over items ×
+// capacity. Work ≈ n·W.
+type Knapsack struct{}
+
+var _ Task = Knapsack{}
+
+type knapsackState struct {
+	Capacity int   `json:"capacity"`
+	Weights  []int `json:"weights"`
+	Values   []int `json:"values"`
+}
+
+type knapsackResult struct {
+	Best int `json:"best"`
+}
+
+// Name implements Task.
+func (Knapsack) Name() string { return "knapsack" }
+
+// Generate implements Task. Size is the item count; capacity scales as
+// 10× the item count so Work grows quadratically with size.
+func (Knapsack) Generate(r *rand.Rand, size int) (State, error) {
+	n := size
+	if n < 1 {
+		n = 1
+	}
+	ws := make([]int, n)
+	vs := make([]int, n)
+	for i := range ws {
+		ws[i] = 1 + r.Intn(20)
+		vs[i] = 1 + r.Intn(100)
+	}
+	return marshalState("knapsack", size, knapsackState{
+		Capacity: 10 * n, Weights: ws, Values: vs,
+	})
+}
+
+// Execute implements Task.
+func (Knapsack) Execute(st State) (Result, error) {
+	var in knapsackState
+	if err := unmarshalState(st, "knapsack", &in); err != nil {
+		return Result{}, err
+	}
+	if len(in.Weights) != len(in.Values) {
+		return Result{}, fmt.Errorf("tasks: knapsack %d weights vs %d values", len(in.Weights), len(in.Values))
+	}
+	if in.Capacity < 0 {
+		return Result{}, fmt.Errorf("tasks: knapsack capacity %d < 0", in.Capacity)
+	}
+	dp := make([]int, in.Capacity+1)
+	var ops int64
+	for i, w := range in.Weights {
+		v := in.Values[i]
+		if w < 0 {
+			return Result{}, fmt.Errorf("tasks: knapsack weight %d < 0", w)
+		}
+		for c := in.Capacity; c >= w; c-- {
+			ops++
+			if cand := dp[c-w] + v; cand > dp[c] {
+				dp[c] = cand
+			}
+		}
+	}
+	return marshalResult("knapsack", ops, knapsackResult{Best: dp[in.Capacity]})
+}
+
+// Work implements Task.
+func (Knapsack) Work(size int) float64 {
+	n := size
+	if n < 1 {
+		n = 1
+	}
+	return float64(n) * float64(10*n)
+}
+
+// Sieve counts primes below the limit with the sieve of Eratosthenes.
+type Sieve struct{}
+
+var _ Task = Sieve{}
+
+type sieveState struct {
+	Limit int `json:"limit"`
+}
+
+type sieveResult struct {
+	Primes int `json:"primes"`
+}
+
+// Name implements Task.
+func (Sieve) Name() string { return "sieve" }
+
+// Generate implements Task. Size scales the sieve limit by 1000 so the
+// pool's size knob produces comparable service demands across tasks.
+func (Sieve) Generate(_ *rand.Rand, size int) (State, error) {
+	n := size
+	if n < 1 {
+		n = 1
+	}
+	return marshalState("sieve", size, sieveState{Limit: 1000 * n})
+}
+
+// Execute implements Task.
+func (Sieve) Execute(st State) (Result, error) {
+	var in sieveState
+	if err := unmarshalState(st, "sieve", &in); err != nil {
+		return Result{}, err
+	}
+	if in.Limit < 0 {
+		return Result{}, fmt.Errorf("tasks: sieve limit %d < 0", in.Limit)
+	}
+	if in.Limit < 2 {
+		return marshalResult("sieve", 1, sieveResult{Primes: 0})
+	}
+	composite := make([]bool, in.Limit)
+	var ops int64
+	for p := 2; p*p < in.Limit; p++ {
+		if composite[p] {
+			continue
+		}
+		for q := p * p; q < in.Limit; q += p {
+			composite[q] = true
+			ops++
+		}
+	}
+	count := 0
+	for p := 2; p < in.Limit; p++ {
+		if !composite[p] {
+			count++
+		}
+	}
+	return marshalResult("sieve", ops, sieveResult{Primes: count})
+}
+
+// Work implements Task.
+func (Sieve) Work(size int) float64 {
+	n := 1000 * size
+	if n < 2 {
+		return 1
+	}
+	return float64(n) * math.Log(math.Log(float64(n))+1)
+}
+
+// FFT runs an in-place radix-2 Cooley–Tukey transform over random complex
+// samples. Work ≈ n·log2 n with n rounded up to a power of two.
+type FFT struct{}
+
+var _ Task = FFT{}
+
+type fftState struct {
+	Re []float64 `json:"re"`
+	Im []float64 `json:"im"`
+}
+
+type fftResult struct {
+	Energy float64 `json:"energy"`
+	PeakDC float64 `json:"peakDC"`
+}
+
+// Name implements Task.
+func (FFT) Name() string { return "fft" }
+
+// Generate implements Task. Size is rounded up to the next power of two
+// (minimum 8 samples).
+func (FFT) Generate(r *rand.Rand, size int) (State, error) {
+	n := nextPow2(size)
+	if n < 8 {
+		n = 8
+	}
+	re := make([]float64, n)
+	im := make([]float64, n)
+	for i := range re {
+		re[i] = r.NormFloat64()
+	}
+	return marshalState("fft", size, fftState{Re: re, Im: im})
+}
+
+// Execute implements Task.
+func (FFT) Execute(st State) (Result, error) {
+	var in fftState
+	if err := unmarshalState(st, "fft", &in); err != nil {
+		return Result{}, err
+	}
+	n := len(in.Re)
+	if n == 0 || n&(n-1) != 0 || len(in.Im) != n {
+		return Result{}, fmt.Errorf("tasks: fft needs power-of-two matched re/im, got %d/%d", n, len(in.Im))
+	}
+	xs := make([]complex128, n)
+	for i := range xs {
+		xs[i] = complex(in.Re[i], in.Im[i])
+	}
+	var ops int64
+	// Bit-reversal permutation.
+	for i, j := 0, 0; i < n; i++ {
+		if i < j {
+			xs[i], xs[j] = xs[j], xs[i]
+		}
+		m := n >> 1
+		for m >= 1 && j&m != 0 {
+			j ^= m
+			m >>= 1
+		}
+		j |= m
+	}
+	for span := 2; span <= n; span <<= 1 {
+		w := cmplx.Exp(complex(0, -2*math.Pi/float64(span)))
+		for start := 0; start < n; start += span {
+			wk := complex(1, 0)
+			for o := 0; o < span/2; o++ {
+				a := xs[start+o]
+				b := xs[start+o+span/2] * wk
+				xs[start+o] = a + b
+				xs[start+o+span/2] = a - b
+				wk *= w
+				ops++
+			}
+		}
+	}
+	var energy float64
+	for _, x := range xs {
+		energy += real(x)*real(x) + imag(x)*imag(x)
+	}
+	return marshalResult("fft", ops, fftResult{Energy: energy, PeakDC: cmplx.Abs(xs[0])})
+}
+
+// Work implements Task.
+func (FFT) Work(size int) float64 {
+	n := nextPow2(size)
+	if n < 8 {
+		n = 8
+	}
+	return nLogN(n) / 2
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

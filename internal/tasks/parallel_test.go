@@ -1,0 +1,98 @@
+package tasks
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestParMatMulMatchesSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	// Generate a matmul state and run it through both implementations.
+	st, err := MatMul{}.Generate(r, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := MatMul{}.Execute(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pst := st
+	pst.Task = "parmatmul"
+	parallel, err := ParMatMul{}.Execute(pst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr, pr matmulResult
+	if err := json.Unmarshal(serial.Data, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(parallel.Data, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sr.Trace-pr.Trace) > 1e-9*math.Abs(sr.Trace)+1e-9 {
+		t.Fatalf("traces differ: %v vs %v", sr.Trace, pr.Trace)
+	}
+	if math.Abs(sr.Norm-pr.Norm) > 1e-9*sr.Norm+1e-9 {
+		t.Fatalf("norms differ: %v vs %v", sr.Norm, pr.Norm)
+	}
+	if serial.Ops != parallel.Ops {
+		t.Fatalf("op counts differ: %d vs %d", serial.Ops, parallel.Ops)
+	}
+}
+
+func TestParMatMulParallelismDeclaration(t *testing.T) {
+	p := ParMatMul{}
+	if got := p.Parallelism(4); got != 1 {
+		t.Fatalf("Parallelism(4) = %d, want 1", got)
+	}
+	if got := p.Parallelism(64); got != 8 {
+		t.Fatalf("Parallelism(64) = %d, want 8", got)
+	}
+	if got := p.Parallelism(1000); got != 16 {
+		t.Fatalf("Parallelism(1000) = %d, want cap 16", got)
+	}
+}
+
+func TestParallelismOf(t *testing.T) {
+	if got := ParallelismOf(MatMul{}, 64); got != 1 {
+		t.Fatalf("serial task parallelism = %d, want 1", got)
+	}
+	if got := ParallelismOf(ParMatMul{}, 64); got != 8 {
+		t.Fatalf("parallel task parallelism = %d, want 8", got)
+	}
+}
+
+func TestExtendedPool(t *testing.T) {
+	p := ExtendedPool()
+	if p.Len() != 11 {
+		t.Fatalf("extended pool has %d tasks, want 11", p.Len())
+	}
+	task, err := p.ByName("parmatmul")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(5))
+	st, err := task.Generate(r, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Execute(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != int64(16*16*16) {
+		t.Fatalf("ops = %d, want %d", res.Ops, 16*16*16)
+	}
+}
+
+func TestParMatMulValidation(t *testing.T) {
+	data, _ := json.Marshal(matmulState{N: 3, A: []float64{1}, B: []float64{1}})
+	if _, err := (ParMatMul{}).Execute(State{Task: "parmatmul", Data: data}); err == nil {
+		t.Fatal("bad element counts should fail")
+	}
+	if _, err := (ParMatMul{}).Execute(State{Task: "matmul"}); err == nil {
+		t.Fatal("wrong task routing should fail")
+	}
+}

@@ -1,0 +1,497 @@
+package tasks
+
+import (
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultPoolHasTenTasks(t *testing.T) {
+	p := DefaultPool()
+	if p.Len() != 10 {
+		t.Fatalf("pool size = %d, want 10 (the paper's pool)", p.Len())
+	}
+	want := []string{
+		"quicksort", "bubblesort", "mergesort", "minimax", "nqueens",
+		"fibonacci", "matmul", "knapsack", "sieve", "fft",
+	}
+	names := p.Names()
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("Names() = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestNewPoolRejectsDuplicatesAndNil(t *testing.T) {
+	if _, err := NewPool(Quicksort{}, Quicksort{}); err == nil {
+		t.Fatal("duplicate task names should fail")
+	}
+	if _, err := NewPool(nil); err == nil {
+		t.Fatal("nil task should fail")
+	}
+}
+
+func TestPoolByNameUnknown(t *testing.T) {
+	p := DefaultPool()
+	if _, err := p.ByName("does-not-exist"); !errors.Is(err, ErrUnknownTask) {
+		t.Fatalf("err = %v, want ErrUnknownTask", err)
+	}
+	if _, err := p.Execute(State{Task: "nope"}); !errors.Is(err, ErrUnknownTask) {
+		t.Fatalf("Execute err = %v, want ErrUnknownTask", err)
+	}
+	if _, err := p.Work("nope", 5); !errors.Is(err, ErrUnknownTask) {
+		t.Fatalf("Work err = %v, want ErrUnknownTask", err)
+	}
+}
+
+func TestPoolRandomCoversAllTasks(t *testing.T) {
+	p := DefaultPool()
+	r := rand.New(rand.NewSource(1))
+	seen := map[string]bool{}
+	for i := 0; i < 2000; i++ {
+		seen[p.Random(r).Name()] = true
+	}
+	if len(seen) != p.Len() {
+		t.Fatalf("Random covered %d/%d tasks", len(seen), p.Len())
+	}
+}
+
+// Generate→serialize→deserialize→Execute for every task in the pool: this
+// is the homogeneous offloading round trip of Fig 1a.
+func TestRoundTripAllTasks(t *testing.T) {
+	p := DefaultPool()
+	r := rand.New(rand.NewSource(42))
+	for _, name := range p.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			task, err := p.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := task.Generate(r, 24)
+			if err != nil {
+				t.Fatalf("Generate: %v", err)
+			}
+			if st.Task != name {
+				t.Fatalf("state task = %q, want %q", st.Task, name)
+			}
+			// Wire round trip.
+			wire, err := json.Marshal(st)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			var back State
+			if err := json.Unmarshal(wire, &back); err != nil {
+				t.Fatalf("unmarshal: %v", err)
+			}
+			res, err := p.Execute(back)
+			if err != nil {
+				t.Fatalf("Execute: %v", err)
+			}
+			if res.Task != name {
+				t.Fatalf("result task = %q, want %q", res.Task, name)
+			}
+			if res.Ops <= 0 {
+				t.Fatalf("Ops = %d, want > 0", res.Ops)
+			}
+			if task.Work(24) <= 0 {
+				t.Fatal("Work must be positive")
+			}
+		})
+	}
+}
+
+// Executing the same state twice yields identical results (tasks must be
+// deterministic given their state).
+func TestExecutionDeterminism(t *testing.T) {
+	p := DefaultPool()
+	r := rand.New(rand.NewSource(7))
+	for _, name := range p.Names() {
+		task, _ := p.ByName(name)
+		st, err := task.Generate(r, 16)
+		if err != nil {
+			t.Fatalf("%s Generate: %v", name, err)
+		}
+		a, err := task.Execute(st)
+		if err != nil {
+			t.Fatalf("%s Execute: %v", name, err)
+		}
+		b, err := task.Execute(st)
+		if err != nil {
+			t.Fatalf("%s re-Execute: %v", name, err)
+		}
+		if string(a.Data) != string(b.Data) || a.Ops != b.Ops {
+			t.Fatalf("%s not deterministic: %s/%d vs %s/%d", name, a.Data, a.Ops, b.Data, b.Ops)
+		}
+	}
+}
+
+func TestWrongTaskRouting(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	st, err := Quicksort{}.Generate(r, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (Bubblesort{}).Execute(st); err == nil {
+		t.Fatal("executing quicksort state on bubblesort should fail")
+	}
+}
+
+func TestSortsAgree(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	values := randomInts(r, 200)
+	var results []sortResult
+	for _, task := range []Task{Quicksort{}, Bubblesort{}, Mergesort{}} {
+		data, err := json.Marshal(sortState{Values: append([]int(nil), values...)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := task.Execute(State{Task: task.Name(), Size: len(values), Data: data})
+		if err != nil {
+			t.Fatalf("%s: %v", task.Name(), err)
+		}
+		var sr sortResult
+		if err := json.Unmarshal(res.Data, &sr); err != nil {
+			t.Fatal(err)
+		}
+		if !sr.Sorted {
+			t.Fatalf("%s reported unsorted output", task.Name())
+		}
+		results = append(results, sr)
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].Checksum != results[0].Checksum ||
+			results[i].First != results[0].First || results[i].Last != results[0].Last {
+			t.Fatalf("sorts disagree: %+v", results)
+		}
+	}
+	// Cross-check the digest against the stdlib sort.
+	want := append([]int(nil), values...)
+	sort.Ints(want)
+	if results[0].First != want[0] || results[0].Last != want[len(want)-1] {
+		t.Fatalf("digest first/last = %d/%d, want %d/%d",
+			results[0].First, results[0].Last, want[0], want[len(want)-1])
+	}
+	if results[0].Checksum != checksumInts(want) {
+		t.Fatal("checksum does not match stdlib sort")
+	}
+}
+
+// Property: sorting any random slice round-trips through state marshaling
+// and reports sorted=true with matching stdlib checksum.
+func TestQuicksortProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		values := make([]int, len(raw))
+		for i, v := range raw {
+			values[i] = int(v)
+		}
+		data, err := json.Marshal(sortState{Values: values})
+		if err != nil {
+			return false
+		}
+		res, err := Quicksort{}.Execute(State{Task: "quicksort", Size: len(values), Data: data})
+		if err != nil {
+			return false
+		}
+		var sr sortResult
+		if err := json.Unmarshal(res.Data, &sr); err != nil {
+			return false
+		}
+		want := append([]int(nil), values...)
+		sort.Ints(want)
+		return sr.Sorted && sr.Checksum == checksumInts(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNQueensKnownCounts(t *testing.T) {
+	for n, want := range nqueensSolutions {
+		if n > 10 {
+			continue // keep the unit test fast; 11/12 covered by Work tests
+		}
+		data, err := json.Marshal(nqueensState{N: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := NQueens{}.Execute(State{Task: "nqueens", Size: n, Data: data})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		var nr nqueensResult
+		if err := json.Unmarshal(res.Data, &nr); err != nil {
+			t.Fatal(err)
+		}
+		if nr.Solutions != want {
+			t.Fatalf("nqueens(%d) = %d, want %d", n, nr.Solutions, want)
+		}
+	}
+}
+
+func TestNQueensValidation(t *testing.T) {
+	data, _ := json.Marshal(nqueensState{N: 20})
+	if _, err := (NQueens{}).Execute(State{Task: "nqueens", Data: data}); err == nil {
+		t.Fatal("n=20 should be rejected")
+	}
+}
+
+func TestMinimaxSolvesTicTacToe(t *testing.T) {
+	// X (player 1) to move, can win immediately at cell 2.
+	// Board: X X .
+	//        O O .
+	//        . . .
+	board := []int{1, 1, 0, 2, 2, 0, 0, 0, 0}
+	data, err := json.Marshal(minimaxState{Board: board, M: 3, K: 3, Turn: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Minimax{}.Execute(State{Task: "minimax", Size: 5, Data: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mr minimaxResult
+	if err := json.Unmarshal(res.Data, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.BestMove != 2 || mr.Score != 1 {
+		t.Fatalf("minimax best=%d score=%d, want best=2 score=1", mr.BestMove, mr.Score)
+	}
+}
+
+func TestMinimaxEmptyBoardIsDraw(t *testing.T) {
+	data, err := json.Marshal(minimaxState{Board: make([]int, 9), M: 3, K: 3, Turn: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Minimax{}.Execute(State{Task: "minimax", Size: 9, Data: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mr minimaxResult
+	if err := json.Unmarshal(res.Data, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.Score != 0 {
+		t.Fatalf("perfect tic-tac-toe is a draw, got score %d", mr.Score)
+	}
+}
+
+func TestMinimaxValidation(t *testing.T) {
+	data, _ := json.Marshal(minimaxState{Board: []int{0}, M: 3, K: 3, Turn: 1})
+	if _, err := (Minimax{}).Execute(State{Task: "minimax", Data: data}); err == nil {
+		t.Fatal("bad board length should be rejected")
+	}
+	data, _ = json.Marshal(minimaxState{Board: make([]int, 9), M: 3, K: 3, Turn: 7})
+	if _, err := (Minimax{}).Execute(State{Task: "minimax", Data: data}); err == nil {
+		t.Fatal("bad turn should be rejected")
+	}
+}
+
+func TestMinimaxGenerateLegalPositions(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for size := 2; size <= 12; size++ {
+		st, err := Minimax{}.Generate(r, size)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		var ms minimaxState
+		if err := json.Unmarshal(st.Data, &ms); err != nil {
+			t.Fatal(err)
+		}
+		xs, os, empty := 0, 0, 0
+		for _, c := range ms.Board {
+			switch c {
+			case 0:
+				empty++
+			case 1:
+				xs++
+			case 2:
+				os++
+			}
+		}
+		if empty < 2 {
+			t.Fatalf("size %d: %d empties, want >= 2", size, empty)
+		}
+		if d := xs - os; d < -1 || d > 1 {
+			t.Fatalf("size %d: illegal X/O balance %d/%d", size, xs, os)
+		}
+		if _, err := (Minimax{}).Execute(st); err != nil {
+			t.Fatalf("size %d execute: %v", size, err)
+		}
+	}
+}
+
+func TestFibonacciKnownValues(t *testing.T) {
+	want := map[int]uint64{0: 0, 1: 1, 2: 1, 10: 55, 50: 12586269025, 90: 2880067194370816120}
+	for n, v := range want {
+		data, err := json.Marshal(fibState{N: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Fibonacci{}.Execute(State{Task: "fibonacci", Size: n, Data: data})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fr fibResult
+		if err := json.Unmarshal(res.Data, &fr); err != nil {
+			t.Fatal(err)
+		}
+		if fr.ValueMod64 != v {
+			t.Fatalf("fib(%d) = %d, want %d", n, fr.ValueMod64, v)
+		}
+	}
+}
+
+func TestKnapsackKnownValue(t *testing.T) {
+	data, err := json.Marshal(knapsackState{
+		Capacity: 10,
+		Weights:  []int{5, 4, 6, 3},
+		Values:   []int{10, 40, 30, 50},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Knapsack{}.Execute(State{Task: "knapsack", Size: 4, Data: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kr knapsackResult
+	if err := json.Unmarshal(res.Data, &kr); err != nil {
+		t.Fatal(err)
+	}
+	if kr.Best != 90 {
+		t.Fatalf("knapsack best = %d, want 90", kr.Best)
+	}
+}
+
+func TestKnapsackValidation(t *testing.T) {
+	data, _ := json.Marshal(knapsackState{Capacity: -1})
+	if _, err := (Knapsack{}).Execute(State{Task: "knapsack", Data: data}); err == nil {
+		t.Fatal("negative capacity should fail")
+	}
+	data, _ = json.Marshal(knapsackState{Capacity: 5, Weights: []int{1}, Values: []int{1, 2}})
+	if _, err := (Knapsack{}).Execute(State{Task: "knapsack", Data: data}); err == nil {
+		t.Fatal("mismatched weights/values should fail")
+	}
+}
+
+func TestSieveKnownCounts(t *testing.T) {
+	counts := map[int]int{10: 4, 100: 25, 1000: 168, 10000: 1229}
+	for limit, want := range counts {
+		data, err := json.Marshal(sieveState{Limit: limit})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Sieve{}.Execute(State{Task: "sieve", Size: limit / 1000, Data: data})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sr sieveResult
+		if err := json.Unmarshal(res.Data, &sr); err != nil {
+			t.Fatal(err)
+		}
+		if sr.Primes != want {
+			t.Fatalf("π(%d) = %d, want %d", limit, sr.Primes, want)
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	st, err := FFT{}.Generate(r, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fs fftState
+	if err := json.Unmarshal(st.Data, &fs); err != nil {
+		t.Fatal(err)
+	}
+	var timeEnergy float64
+	for i := range fs.Re {
+		timeEnergy += fs.Re[i]*fs.Re[i] + fs.Im[i]*fs.Im[i]
+	}
+	res, err := FFT{}.Execute(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fr fftResult
+	if err := json.Unmarshal(res.Data, &fr); err != nil {
+		t.Fatal(err)
+	}
+	// Parseval: freq-domain energy = n × time-domain energy for an
+	// unnormalized transform.
+	want := float64(len(fs.Re)) * timeEnergy
+	if diff := fr.Energy - want; diff > 1e-6*want || diff < -1e-6*want {
+		t.Fatalf("Parseval violated: freq %v vs n·time %v", fr.Energy, want)
+	}
+}
+
+func TestFFTValidation(t *testing.T) {
+	data, _ := json.Marshal(fftState{Re: []float64{1, 2, 3}, Im: []float64{0, 0, 0}})
+	if _, err := (FFT{}).Execute(State{Task: "fft", Data: data}); err == nil {
+		t.Fatal("non-power-of-two length should fail")
+	}
+}
+
+// The analytic Work model must track measured operation counts to within a
+// constant factor across one decade of sizes, for every task. This pins
+// the simulation's service-time model to the real computations.
+func TestWorkModelTracksMeasuredOps(t *testing.T) {
+	p := DefaultPool()
+	r := rand.New(rand.NewSource(11))
+	for _, name := range p.Names() {
+		task, _ := p.ByName(name)
+		type pt struct{ ratio float64 }
+		var ratios []pt
+		for _, size := range []int{8, 16, 32} {
+			st, err := task.Generate(r, size)
+			if err != nil {
+				t.Fatalf("%s Generate(%d): %v", name, size, err)
+			}
+			res, err := task.Execute(st)
+			if err != nil {
+				t.Fatalf("%s Execute(%d): %v", name, size, err)
+			}
+			w := task.Work(size)
+			if w <= 0 || res.Ops <= 0 {
+				t.Fatalf("%s size %d: work %v ops %d", name, size, w, res.Ops)
+			}
+			ratios = append(ratios, pt{ratio: float64(res.Ops) / w})
+		}
+		// Ratios across sizes should stay within a 16x band: the model
+		// captures the growth rate even if constants differ.
+		minR, maxR := ratios[0].ratio, ratios[0].ratio
+		for _, p := range ratios[1:] {
+			if p.ratio < minR {
+				minR = p.ratio
+			}
+			if p.ratio > maxR {
+				maxR = p.ratio
+			}
+		}
+		if maxR/minR > 16 {
+			t.Fatalf("%s: ops/Work ratio drifts %vx across sizes (min %v max %v)",
+				name, maxR/minR, minR, maxR)
+		}
+	}
+}
+
+func TestGenerateNegativeSizeRejectedWhereApplicable(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, task := range []Task{Quicksort{}, Bubblesort{}, Mergesort{}, Minimax{}} {
+		if _, err := task.Generate(r, -1); err == nil {
+			t.Fatalf("%s should reject negative size", task.Name())
+		}
+	}
+	// Clamping tasks accept any size.
+	for _, task := range []Task{NQueens{}, Fibonacci{}, MatMul{}, Knapsack{}, Sieve{}, FFT{}} {
+		if _, err := task.Generate(r, -1); err != nil {
+			t.Fatalf("%s should clamp negative size, got %v", task.Name(), err)
+		}
+	}
+}

@@ -1,0 +1,300 @@
+// Package trace implements the SDN-accelerator's request log (§IV-A): one
+// record per processed request with the schema
+//
+//	<timestamp, user-id, acceleration-group, battery-level, round-trip-time>
+//
+// plus the time-slot construction the workload predictor consumes. The
+// paper stores these in MySQL; here an in-memory store with CSV and
+// JSON-lines codecs plays that role (see DESIGN.md substitutions).
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Record is one logged offloading request.
+type Record struct {
+	// Timestamp is when the request was processed by the front-end.
+	Timestamp time.Time `json:"timestamp"`
+	// UserID identifies the requesting device.
+	UserID int `json:"userId"`
+	// Group is the acceleration group that served the request.
+	Group int `json:"group"`
+	// BatteryLevel is the device battery in [0, 1] at request time.
+	BatteryLevel float64 `json:"batteryLevel"`
+	// RTT is the response time observed for the request.
+	RTT time.Duration `json:"rtt"`
+}
+
+// Validate checks record plausibility.
+func (r Record) Validate() error {
+	if r.Timestamp.IsZero() {
+		return errors.New("trace: record without timestamp")
+	}
+	if r.UserID < 0 {
+		return fmt.Errorf("trace: negative user id %d", r.UserID)
+	}
+	if r.Group < 0 {
+		return fmt.Errorf("trace: negative group %d", r.Group)
+	}
+	if r.BatteryLevel < 0 || r.BatteryLevel > 1 {
+		return fmt.Errorf("trace: battery %v outside [0,1]", r.BatteryLevel)
+	}
+	if r.RTT < 0 {
+		return fmt.Errorf("trace: negative rtt %v", r.RTT)
+	}
+	return nil
+}
+
+// Store is an append-only request log, safe for concurrent use (the
+// networked front-end appends from request goroutines).
+type Store struct {
+	mu      sync.Mutex
+	records []Record
+}
+
+// NewStore returns an empty log.
+func NewStore() *Store { return &Store{} }
+
+// Append adds one record after validation.
+func (s *Store) Append(r Record) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.records = append(s.records, r)
+	return nil
+}
+
+// Len reports the number of stored records.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.records)
+}
+
+// Snapshot returns a copy of all records in append order.
+func (s *Store) Snapshot() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Record, len(s.records))
+	copy(out, s.records)
+	return out
+}
+
+// Since returns a copy of the records with Timestamp >= from.
+func (s *Store) Since(from time.Time) []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Record
+	for _, r := range s.records {
+		if !r.Timestamp.Before(from) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// csvHeader is the column layout of the CSV codec.
+var csvHeader = []string{"timestamp", "user_id", "acceleration_group", "battery_level", "rtt_ms"}
+
+// WriteCSV encodes records with a header row. Timestamps are RFC 3339
+// with nanoseconds; RTT is fractional milliseconds.
+func WriteCSV(w io.Writer, records []Record) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for i, r := range records {
+		row := []string{
+			r.Timestamp.Format(time.RFC3339Nano),
+			strconv.Itoa(r.UserID),
+			strconv.Itoa(r.Group),
+			strconv.FormatFloat(r.BatteryLevel, 'f', -1, 64),
+			strconv.FormatFloat(float64(r.RTT)/float64(time.Millisecond), 'f', -1, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: write record %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV decodes records written by WriteCSV.
+func ReadCSV(r io.Reader) ([]Record, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, errors.New("trace: empty csv")
+	}
+	if len(rows[0]) != len(csvHeader) || rows[0][0] != csvHeader[0] {
+		return nil, fmt.Errorf("trace: unexpected header %v", rows[0])
+	}
+	out := make([]Record, 0, len(rows)-1)
+	for i, row := range rows[1:] {
+		if len(row) != len(csvHeader) {
+			return nil, fmt.Errorf("trace: row %d has %d columns", i+1, len(row))
+		}
+		ts, err := time.Parse(time.RFC3339Nano, row[0])
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d timestamp: %w", i+1, err)
+		}
+		uid, err := strconv.Atoi(row[1])
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d user id: %w", i+1, err)
+		}
+		group, err := strconv.Atoi(row[2])
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d group: %w", i+1, err)
+		}
+		battery, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d battery: %w", i+1, err)
+		}
+		rttMs, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d rtt: %w", i+1, err)
+		}
+		rec := Record{
+			Timestamp:    ts,
+			UserID:       uid,
+			Group:        group,
+			BatteryLevel: battery,
+			RTT:          time.Duration(rttMs * float64(time.Millisecond)),
+		}
+		if err := rec.Validate(); err != nil {
+			return nil, fmt.Errorf("trace: row %d: %w", i+1, err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// WriteJSONL encodes records as JSON lines.
+func WriteJSONL(w io.Writer, records []Record) error {
+	enc := json.NewEncoder(w)
+	for i, r := range records {
+		if err := enc.Encode(r); err != nil {
+			return fmt.Errorf("trace: encode record %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ReadJSONL decodes records written by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]Record, error) {
+	dec := json.NewDecoder(r)
+	var out []Record
+	for i := 0; ; i++ {
+		var rec Record
+		if err := dec.Decode(&rec); err != nil {
+			if errors.Is(err, io.EOF) {
+				return out, nil
+			}
+			return nil, fmt.Errorf("trace: decode record %d: %w", i, err)
+		}
+		if err := rec.Validate(); err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		out = append(out, rec)
+	}
+}
+
+// Slot is one time slot t_i of §IV-A: per acceleration group, the set of
+// users that offloaded during the interval, in canonical (sorted, unique)
+// order.
+type Slot struct {
+	Start  time.Time
+	Groups [][]int
+}
+
+// Counts reports the per-group user counts W_an.
+func (s Slot) Counts() []int {
+	out := make([]int, len(s.Groups))
+	for g, users := range s.Groups {
+		out[g] = len(users)
+	}
+	return out
+}
+
+// TotalUsers reports the slot's total workload W.
+func (s Slot) TotalUsers() int {
+	total := 0
+	for _, users := range s.Groups {
+		total += len(users)
+	}
+	return total
+}
+
+// Clone deep-copies the slot.
+func (s Slot) Clone() Slot {
+	out := Slot{Start: s.Start, Groups: make([][]int, len(s.Groups))}
+	for g, users := range s.Groups {
+		out.Groups[g] = append([]int(nil), users...)
+	}
+	return out
+}
+
+// BuildSlots folds records into consecutive slots of the given length
+// covering [start, start+n·slotLen). Records outside the span or with
+// groups >= numGroups are skipped. The model supports any slot length
+// "defined in (fractions of) hours" (§IV-A); here any positive duration.
+func BuildSlots(records []Record, start time.Time, slotLen time.Duration, n, numGroups int) ([]Slot, error) {
+	if slotLen <= 0 {
+		return nil, fmt.Errorf("trace: slot length %v <= 0", slotLen)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("trace: slot count %d <= 0", n)
+	}
+	if numGroups <= 0 {
+		return nil, fmt.Errorf("trace: group count %d <= 0", numGroups)
+	}
+	// Collect user sets per (slot, group).
+	sets := make([]map[int]struct{}, n*numGroups)
+	for _, r := range records {
+		offset := r.Timestamp.Sub(start)
+		if offset < 0 {
+			continue
+		}
+		idx := int(offset / slotLen)
+		if idx >= n {
+			continue
+		}
+		if r.Group >= numGroups {
+			continue
+		}
+		cell := idx*numGroups + r.Group
+		if sets[cell] == nil {
+			sets[cell] = make(map[int]struct{})
+		}
+		sets[cell][r.UserID] = struct{}{}
+	}
+	out := make([]Slot, n)
+	for i := 0; i < n; i++ {
+		slot := Slot{Start: start.Add(time.Duration(i) * slotLen), Groups: make([][]int, numGroups)}
+		for g := 0; g < numGroups; g++ {
+			set := sets[i*numGroups+g]
+			users := make([]int, 0, len(set))
+			for u := range set {
+				users = append(users, u)
+			}
+			sort.Ints(users)
+			slot.Groups[g] = users
+		}
+		out[i] = slot
+	}
+	return out, nil
+}

@@ -1,0 +1,311 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"accelcloud/internal/sim"
+)
+
+func validRecord(i int) Record {
+	return Record{
+		Timestamp:    sim.Epoch.Add(time.Duration(i) * time.Second),
+		UserID:       i % 7,
+		Group:        i % 3,
+		BatteryLevel: 0.5,
+		RTT:          time.Duration(50+i) * time.Millisecond,
+	}
+}
+
+func TestRecordValidate(t *testing.T) {
+	good := validRecord(1)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid record rejected: %v", err)
+	}
+	bad := []Record{
+		{},
+		{Timestamp: sim.Epoch, UserID: -1},
+		{Timestamp: sim.Epoch, Group: -2},
+		{Timestamp: sim.Epoch, BatteryLevel: 1.5},
+		{Timestamp: sim.Epoch, BatteryLevel: -0.1},
+		{Timestamp: sim.Epoch, RTT: -time.Second},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Fatalf("case %d should fail: %+v", i, r)
+		}
+	}
+}
+
+func TestStoreAppendAndSnapshot(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 10; i++ {
+		if err := s.Append(validRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", s.Len())
+	}
+	snap := s.Snapshot()
+	if len(snap) != 10 {
+		t.Fatalf("snapshot has %d records", len(snap))
+	}
+	// Snapshot is a copy: mutating it must not affect the store.
+	snap[0].UserID = 999
+	if s.Snapshot()[0].UserID == 999 {
+		t.Fatal("Snapshot leaked internal state")
+	}
+	if err := s.Append(Record{}); err == nil {
+		t.Fatal("invalid record should be rejected")
+	}
+}
+
+func TestStoreSince(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 10; i++ {
+		if err := s.Append(validRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.Since(sim.Epoch.Add(5 * time.Second))
+	if len(got) != 5 {
+		t.Fatalf("Since returned %d records, want 5", len(got))
+	}
+	for _, r := range got {
+		if r.Timestamp.Before(sim.Epoch.Add(5 * time.Second)) {
+			t.Fatalf("record %v before cutoff", r.Timestamp)
+		}
+	}
+}
+
+func TestStoreConcurrentAppend(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = s.Append(validRecord(w*100 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 800 {
+		t.Fatalf("Len = %d, want 800", s.Len())
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	records := make([]Record, 25)
+	for i := range records {
+		records[i] = validRecord(i)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(records) {
+		t.Fatalf("round trip length %d, want %d", len(back), len(records))
+	}
+	for i := range records {
+		if !back[i].Timestamp.Equal(records[i].Timestamp) ||
+			back[i].UserID != records[i].UserID ||
+			back[i].Group != records[i].Group ||
+			back[i].BatteryLevel != records[i].BatteryLevel ||
+			back[i].RTT != records[i].RTT {
+			t.Fatalf("record %d: %+v != %+v", i, back[i], records[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"bogus,header\n1,2\n",
+		"timestamp,user_id,acceleration_group,battery_level,rtt_ms\nnot-a-time,1,1,0.5,10\n",
+		"timestamp,user_id,acceleration_group,battery_level,rtt_ms\n2017-01-01T00:00:00Z,x,1,0.5,10\n",
+		"timestamp,user_id,acceleration_group,battery_level,rtt_ms\n2017-01-01T00:00:00Z,1,x,0.5,10\n",
+		"timestamp,user_id,acceleration_group,battery_level,rtt_ms\n2017-01-01T00:00:00Z,1,1,x,10\n",
+		"timestamp,user_id,acceleration_group,battery_level,rtt_ms\n2017-01-01T00:00:00Z,1,1,0.5,x\n",
+		"timestamp,user_id,acceleration_group,battery_level,rtt_ms\n2017-01-01T00:00:00Z,1,1,7.5,10\n",
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d should fail", i)
+		}
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	records := make([]Record, 10)
+	for i := range records {
+		records[i] = validRecord(i)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(records) {
+		t.Fatalf("round trip length %d", len(back))
+	}
+	for i := range records {
+		if !back[i].Timestamp.Equal(records[i].Timestamp) || back[i].RTT != records[i].RTT {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestReadJSONLErrors(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{broken")); err == nil {
+		t.Fatal("broken json should fail")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"timestamp":"2017-01-01T00:00:00Z","userId":-5,"group":0,"batteryLevel":0.5,"rtt":0}` + "\n")); err == nil {
+		t.Fatal("invalid record should fail")
+	}
+	got, err := ReadJSONL(strings.NewReader(""))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty input: %v, %d records", err, len(got))
+	}
+}
+
+func TestBuildSlots(t *testing.T) {
+	slotLen := time.Hour
+	var records []Record
+	add := func(hour int, user, group int) {
+		records = append(records, Record{
+			Timestamp: sim.Epoch.Add(time.Duration(hour)*time.Hour + time.Minute),
+			UserID:    user, Group: group, BatteryLevel: 1, RTT: time.Millisecond,
+		})
+	}
+	add(0, 1, 0)
+	add(0, 2, 0)
+	add(0, 2, 0) // duplicate user in same slot+group collapses
+	add(0, 3, 1)
+	add(1, 1, 1)
+	add(1, 4, 2)
+	add(5, 9, 0) // beyond n slots -> skipped
+	add(1, 5, 9) // group >= numGroups -> skipped
+
+	slots, err := BuildSlots(records, sim.Epoch, slotLen, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slots) != 3 {
+		t.Fatalf("got %d slots", len(slots))
+	}
+	if got := slots[0].Counts(); got[0] != 2 || got[1] != 1 || got[2] != 0 {
+		t.Fatalf("slot0 counts = %v", got)
+	}
+	if users := slots[0].Groups[0]; len(users) != 2 || users[0] != 1 || users[1] != 2 {
+		t.Fatalf("slot0 group0 users = %v", users)
+	}
+	if got := slots[1].Counts(); got[0] != 0 || got[1] != 1 || got[2] != 1 {
+		t.Fatalf("slot1 counts = %v", got)
+	}
+	if slots[2].TotalUsers() != 0 {
+		t.Fatalf("slot2 should be empty, got %d", slots[2].TotalUsers())
+	}
+	if !slots[1].Start.Equal(sim.Epoch.Add(time.Hour)) {
+		t.Fatalf("slot1 start = %v", slots[1].Start)
+	}
+}
+
+func TestBuildSlotsValidation(t *testing.T) {
+	if _, err := BuildSlots(nil, sim.Epoch, 0, 1, 1); err == nil {
+		t.Fatal("zero slot length should fail")
+	}
+	if _, err := BuildSlots(nil, sim.Epoch, time.Hour, 0, 1); err == nil {
+		t.Fatal("zero slots should fail")
+	}
+	if _, err := BuildSlots(nil, sim.Epoch, time.Hour, 1, 0); err == nil {
+		t.Fatal("zero groups should fail")
+	}
+}
+
+func TestBuildSlotsRecordsBeforeStartSkipped(t *testing.T) {
+	records := []Record{{
+		Timestamp: sim.Epoch.Add(-time.Minute), UserID: 1, Group: 0,
+		BatteryLevel: 1, RTT: time.Millisecond,
+	}}
+	slots, err := BuildSlots(records, sim.Epoch, time.Hour, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slots[0].TotalUsers() != 0 {
+		t.Fatal("record before start must be skipped")
+	}
+}
+
+func TestSlotClone(t *testing.T) {
+	s := Slot{Start: sim.Epoch, Groups: [][]int{{1, 2}, {3}}}
+	c := s.Clone()
+	c.Groups[0][0] = 99
+	if s.Groups[0][0] == 99 {
+		t.Fatal("Clone must deep-copy")
+	}
+}
+
+// Property: CSV round trip preserves every record for arbitrary valid
+// contents.
+func TestCSVRoundTripProperty(t *testing.T) {
+	f := func(users []uint8, groups []uint8) bool {
+		n := len(users)
+		if len(groups) < n {
+			n = len(groups)
+		}
+		if n > 40 {
+			n = 40
+		}
+		records := make([]Record, n)
+		for i := 0; i < n; i++ {
+			records[i] = Record{
+				Timestamp:    sim.Epoch.Add(time.Duration(i) * 13 * time.Second),
+				UserID:       int(users[i]),
+				Group:        int(groups[i]) % 5,
+				BatteryLevel: float64(users[i]) / 255,
+				RTT:          time.Duration(groups[i]) * time.Millisecond,
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, records); err != nil {
+			return false
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			return false
+		}
+		if len(back) != n {
+			return false
+		}
+		for i := range records {
+			if !back[i].Timestamp.Equal(records[i].Timestamp) ||
+				back[i] != (Record{
+					Timestamp:    back[i].Timestamp,
+					UserID:       records[i].UserID,
+					Group:        records[i].Group,
+					BatteryLevel: records[i].BatteryLevel,
+					RTT:          records[i].RTT,
+				}) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

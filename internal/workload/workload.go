@@ -1,0 +1,272 @@
+// Package workload generates the offloading request streams of the
+// paper's simulator (§V): a concurrent mode used to benchmark cloud
+// instances, an inter-arrival mode producing realistic time-varying load,
+// and a usage-study synthesizer standing in for the 3-month smartphone
+// trace collection (§VI-C1) — it reproduces the reported 100–5000 ms
+// in-session inter-arrival range with diurnal structure and inactive
+// nights.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"accelcloud/internal/stats"
+	"accelcloud/internal/tasks"
+)
+
+// Request is one offloading event to inject into the system.
+type Request struct {
+	// At is the (virtual) arrival time.
+	At time.Time
+	// UserID identifies the requesting device.
+	UserID int
+	// TaskName is the pool task to execute.
+	TaskName string
+	// Size is the task size parameter.
+	Size int
+	// Work is the task's work-unit cost at that size.
+	Work float64
+}
+
+// Sizer draws a task size for a given pool task so that the heterogeneous
+// pool produces comparable service demands (the simulator picks "the
+// processing required for each task ... randomly", §VI-A1).
+type Sizer interface {
+	// Draw picks a size for the named task.
+	Draw(r *rand.Rand, taskName string) int
+}
+
+// RangeSizer draws uniformly from a per-task inclusive range, falling
+// back to Default for unknown tasks.
+type RangeSizer struct {
+	Ranges  map[string][2]int
+	Default [2]int
+}
+
+var _ Sizer = RangeSizer{}
+
+// Draw implements Sizer.
+func (s RangeSizer) Draw(r *rand.Rand, taskName string) int {
+	lo, hi := s.Default[0], s.Default[1]
+	if rg, ok := s.Ranges[taskName]; ok {
+		lo, hi = rg[0], rg[1]
+	}
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	if hi == lo {
+		return lo
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// DefaultSizer balances the ten pool tasks so each request costs roughly
+// 500–6000 work units (≈2.5–30 ms on a reference core), matching the
+// response-time floors of Fig 4.
+func DefaultSizer() RangeSizer {
+	return RangeSizer{
+		Ranges: map[string][2]int{
+			"quicksort":  {40, 120},
+			"bubblesort": {40, 100},
+			"mergesort":  {60, 160},
+			"minimax":    {4, 7},
+			"nqueens":    {6, 8},
+			"fibonacci":  {1000, 100000},
+			"matmul":     {8, 16},
+			"knapsack":   {8, 20},
+			"sieve":      {1, 3},
+			"fft":        {64, 512},
+		},
+		Default: [2]int{8, 32},
+	}
+}
+
+// FixedSizer always draws the same size; used for static-load experiments
+// such as Fig 5 and Fig 9 (one minimax task with static input).
+type FixedSizer struct {
+	Size int
+}
+
+var _ Sizer = FixedSizer{}
+
+// Draw implements Sizer.
+func (s FixedSizer) Draw(*rand.Rand, string) int { return s.Size }
+
+// draw materializes one (task, size, work) triple.
+func draw(r *rand.Rand, pool *tasks.Pool, sizer Sizer, fixedTask string) (Request, error) {
+	var t tasks.Task
+	if fixedTask != "" {
+		var err error
+		t, err = pool.ByName(fixedTask)
+		if err != nil {
+			return Request{}, err
+		}
+	} else {
+		t = pool.Random(r)
+	}
+	size := sizer.Draw(r, t.Name())
+	return Request{TaskName: t.Name(), Size: size, Work: t.Work(size)}, nil
+}
+
+// ConcurrentConfig parameterizes the benchmark mode: Users simultaneous
+// requests per wave, one wave every WaveInterval (the paper's 1-minute
+// cool-down), for Waves waves.
+type ConcurrentConfig struct {
+	Users        int
+	Waves        int
+	WaveInterval time.Duration
+	Pool         *tasks.Pool
+	Sizer        Sizer
+	// FixedTask pins every request to one task (empty = random pool
+	// draw).
+	FixedTask string
+}
+
+// GenerateConcurrent builds the wave workload sorted by arrival time.
+func GenerateConcurrent(r *rand.Rand, start time.Time, cfg ConcurrentConfig) ([]Request, error) {
+	if cfg.Users <= 0 {
+		return nil, fmt.Errorf("workload: users %d <= 0", cfg.Users)
+	}
+	if cfg.Waves <= 0 {
+		return nil, fmt.Errorf("workload: waves %d <= 0", cfg.Waves)
+	}
+	if cfg.WaveInterval <= 0 {
+		return nil, fmt.Errorf("workload: wave interval %v <= 0", cfg.WaveInterval)
+	}
+	if cfg.Pool == nil {
+		return nil, errors.New("workload: nil pool")
+	}
+	if cfg.Sizer == nil {
+		return nil, errors.New("workload: nil sizer")
+	}
+	out := make([]Request, 0, cfg.Users*cfg.Waves)
+	for w := 0; w < cfg.Waves; w++ {
+		at := start.Add(time.Duration(w) * cfg.WaveInterval)
+		for u := 0; u < cfg.Users; u++ {
+			req, err := draw(r, cfg.Pool, cfg.Sizer, cfg.FixedTask)
+			if err != nil {
+				return nil, err
+			}
+			req.At = at
+			req.UserID = u
+			out = append(out, req)
+		}
+	}
+	return out, nil
+}
+
+// InterArrivalConfig parameterizes the realistic mode: Users devices,
+// each issuing requests separated by draws from InterArrival (in
+// milliseconds), for Duration.
+type InterArrivalConfig struct {
+	Users        int
+	InterArrival stats.Dist // milliseconds between a user's requests
+	Duration     time.Duration
+	Pool         *tasks.Pool
+	Sizer        Sizer
+	FixedTask    string
+}
+
+// GenerateInterArrival builds the request stream sorted by arrival time.
+func GenerateInterArrival(r *rand.Rand, start time.Time, cfg InterArrivalConfig) ([]Request, error) {
+	if cfg.Users <= 0 {
+		return nil, fmt.Errorf("workload: users %d <= 0", cfg.Users)
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("workload: duration %v <= 0", cfg.Duration)
+	}
+	if cfg.InterArrival == nil {
+		return nil, errors.New("workload: nil inter-arrival distribution")
+	}
+	if cfg.Pool == nil {
+		return nil, errors.New("workload: nil pool")
+	}
+	if cfg.Sizer == nil {
+		return nil, errors.New("workload: nil sizer")
+	}
+	var out []Request
+	for u := 0; u < cfg.Users; u++ {
+		at := start
+		for {
+			gapMs := cfg.InterArrival.Sample(r)
+			if gapMs < 1 {
+				gapMs = 1
+			}
+			at = at.Add(time.Duration(gapMs * float64(time.Millisecond)))
+			if at.Sub(start) >= cfg.Duration {
+				break
+			}
+			req, err := draw(r, cfg.Pool, cfg.Sizer, cfg.FixedTask)
+			if err != nil {
+				return nil, err
+			}
+			req.At = at
+			req.UserID = u
+			out = append(out, req)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].At.Equal(out[j].At) {
+			return out[i].At.Before(out[j].At)
+		}
+		return out[i].UserID < out[j].UserID
+	})
+	return out, nil
+}
+
+// ArrivalRateConfig parameterizes the Fig 8 stress mode: a deterministic
+// arrival process whose rate doubles every Step, from StartHz for Steps
+// steps (1, 2, 4, …, 1024 Hz in the paper).
+type ArrivalRateConfig struct {
+	StartHz   float64
+	Steps     int
+	Step      time.Duration
+	Pool      *tasks.Pool
+	Sizer     Sizer
+	FixedTask string
+}
+
+// GenerateArrivalSweep builds the doubling-rate stream. Every request has
+// a unique synthetic user id.
+func GenerateArrivalSweep(r *rand.Rand, start time.Time, cfg ArrivalRateConfig) ([]Request, error) {
+	if cfg.StartHz <= 0 {
+		return nil, fmt.Errorf("workload: start rate %v <= 0", cfg.StartHz)
+	}
+	if cfg.Steps <= 0 {
+		return nil, fmt.Errorf("workload: steps %d <= 0", cfg.Steps)
+	}
+	if cfg.Step <= 0 {
+		return nil, fmt.Errorf("workload: step %v <= 0", cfg.Step)
+	}
+	if cfg.Pool == nil {
+		return nil, errors.New("workload: nil pool")
+	}
+	if cfg.Sizer == nil {
+		return nil, errors.New("workload: nil sizer")
+	}
+	var out []Request
+	uid := 0
+	for s := 0; s < cfg.Steps; s++ {
+		rate := cfg.StartHz * float64(int(1)<<uint(s))
+		interval := time.Duration(float64(time.Second) / rate)
+		if interval <= 0 {
+			interval = time.Nanosecond
+		}
+		windowStart := start.Add(time.Duration(s) * cfg.Step)
+		for at := windowStart; at.Before(windowStart.Add(cfg.Step)); at = at.Add(interval) {
+			req, err := draw(r, cfg.Pool, cfg.Sizer, cfg.FixedTask)
+			if err != nil {
+				return nil, err
+			}
+			req.At = at
+			req.UserID = uid
+			uid++
+			out = append(out, req)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,357 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"accelcloud/internal/sim"
+	"accelcloud/internal/stats"
+	"accelcloud/internal/tasks"
+)
+
+func TestRangeSizer(t *testing.T) {
+	s := RangeSizer{
+		Ranges:  map[string][2]int{"a": {5, 9}, "flipped": {9, 5}, "point": {4, 4}},
+		Default: [2]int{1, 3},
+	}
+	r := sim.NewRNG(1).Stream("sizer")
+	for i := 0; i < 200; i++ {
+		if got := s.Draw(r, "a"); got < 5 || got > 9 {
+			t.Fatalf("Draw(a) = %d out of [5,9]", got)
+		}
+		if got := s.Draw(r, "flipped"); got < 5 || got > 9 {
+			t.Fatalf("Draw(flipped) = %d out of [5,9]", got)
+		}
+		if got := s.Draw(r, "point"); got != 4 {
+			t.Fatalf("Draw(point) = %d, want 4", got)
+		}
+		if got := s.Draw(r, "unknown"); got < 1 || got > 3 {
+			t.Fatalf("Draw(unknown) = %d out of default [1,3]", got)
+		}
+	}
+}
+
+func TestFixedSizer(t *testing.T) {
+	if got := (FixedSizer{Size: 9}).Draw(nil, "anything"); got != 9 {
+		t.Fatalf("FixedSizer = %d, want 9", got)
+	}
+}
+
+// DefaultSizer must keep every pool task's work in a band that makes the
+// ten tasks comparable (the Fig 4 mix).
+func TestDefaultSizerWorkBand(t *testing.T) {
+	pool := tasks.DefaultPool()
+	sizer := DefaultSizer()
+	r := sim.NewRNG(2).Stream("band")
+	for _, name := range pool.Names() {
+		task, err := pool.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var minW, maxW float64 = math.Inf(1), 0
+		for i := 0; i < 300; i++ {
+			w := task.Work(sizer.Draw(r, name))
+			if w < minW {
+				minW = w
+			}
+			if w > maxW {
+				maxW = w
+			}
+		}
+		if minW < 3 || maxW > 30_000 {
+			t.Errorf("%s work band [%v, %v] outside [3, 30000]", name, minW, maxW)
+		}
+	}
+}
+
+func TestGenerateConcurrent(t *testing.T) {
+	pool := tasks.DefaultPool()
+	r := sim.NewRNG(3).Stream("conc")
+	reqs, err := GenerateConcurrent(r, sim.Epoch, ConcurrentConfig{
+		Users: 10, Waves: 3, WaveInterval: time.Minute,
+		Pool: pool, Sizer: DefaultSizer(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 30 {
+		t.Fatalf("got %d requests, want 30", len(reqs))
+	}
+	// Wave structure: 10 at t=0, 10 at t=1min, 10 at t=2min.
+	for i, req := range reqs {
+		wantAt := sim.Epoch.Add(time.Duration(i/10) * time.Minute)
+		if !req.At.Equal(wantAt) {
+			t.Fatalf("req %d at %v, want %v", i, req.At, wantAt)
+		}
+		if req.UserID != i%10 {
+			t.Fatalf("req %d user %d, want %d", i, req.UserID, i%10)
+		}
+		if req.Work <= 0 || req.TaskName == "" {
+			t.Fatalf("req %d invalid: %+v", i, req)
+		}
+	}
+}
+
+func TestGenerateConcurrentFixedTask(t *testing.T) {
+	pool := tasks.DefaultPool()
+	r := sim.NewRNG(4).Stream("fix")
+	reqs, err := GenerateConcurrent(r, sim.Epoch, ConcurrentConfig{
+		Users: 5, Waves: 2, WaveInterval: time.Minute,
+		Pool: pool, Sizer: FixedSizer{Size: 8}, FixedTask: "minimax",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range reqs {
+		if req.TaskName != "minimax" || req.Size != 8 {
+			t.Fatalf("req = %+v, want minimax size 8", req)
+		}
+	}
+}
+
+func TestGenerateConcurrentValidation(t *testing.T) {
+	pool := tasks.DefaultPool()
+	r := sim.NewRNG(1).Stream("v")
+	base := ConcurrentConfig{Users: 1, Waves: 1, WaveInterval: time.Minute, Pool: pool, Sizer: DefaultSizer()}
+	cases := []func(*ConcurrentConfig){
+		func(c *ConcurrentConfig) { c.Users = 0 },
+		func(c *ConcurrentConfig) { c.Waves = 0 },
+		func(c *ConcurrentConfig) { c.WaveInterval = 0 },
+		func(c *ConcurrentConfig) { c.Pool = nil },
+		func(c *ConcurrentConfig) { c.Sizer = nil },
+		func(c *ConcurrentConfig) { c.FixedTask = "ghost" },
+	}
+	for i, mutate := range cases {
+		cfg := base
+		mutate(&cfg)
+		if _, err := GenerateConcurrent(r, sim.Epoch, cfg); err == nil {
+			t.Fatalf("case %d should fail", i)
+		}
+	}
+}
+
+func TestGenerateInterArrival(t *testing.T) {
+	pool := tasks.DefaultPool()
+	r := sim.NewRNG(5).Stream("ia")
+	dur := time.Minute
+	reqs, err := GenerateInterArrival(r, sim.Epoch, InterArrivalConfig{
+		Users:        4,
+		InterArrival: stats.Uniform{Lo: 100, Hi: 5000},
+		Duration:     dur,
+		Pool:         pool,
+		Sizer:        DefaultSizer(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) == 0 {
+		t.Fatal("no requests generated")
+	}
+	// Sorted, within [start, start+duration), all four users present.
+	users := map[int]bool{}
+	for i, req := range reqs {
+		if i > 0 && req.At.Before(reqs[i-1].At) {
+			t.Fatal("requests not sorted")
+		}
+		if req.At.Before(sim.Epoch) || req.At.Sub(sim.Epoch) >= dur {
+			t.Fatalf("request at %v outside window", req.At)
+		}
+		users[req.UserID] = true
+	}
+	if len(users) != 4 {
+		t.Fatalf("saw %d users, want 4", len(users))
+	}
+	// Expected volume: ~60s / 2.55s mean gap ≈ 23 per user.
+	perUser := float64(len(reqs)) / 4
+	if perUser < 10 || perUser > 50 {
+		t.Fatalf("requests per user = %v, want ≈23", perUser)
+	}
+}
+
+func TestGenerateInterArrivalValidation(t *testing.T) {
+	pool := tasks.DefaultPool()
+	r := sim.NewRNG(1).Stream("v2")
+	base := InterArrivalConfig{
+		Users: 1, InterArrival: stats.Degenerate{Value: 500},
+		Duration: time.Second, Pool: pool, Sizer: DefaultSizer(),
+	}
+	cases := []func(*InterArrivalConfig){
+		func(c *InterArrivalConfig) { c.Users = 0 },
+		func(c *InterArrivalConfig) { c.InterArrival = nil },
+		func(c *InterArrivalConfig) { c.Duration = 0 },
+		func(c *InterArrivalConfig) { c.Pool = nil },
+		func(c *InterArrivalConfig) { c.Sizer = nil },
+	}
+	for i, mutate := range cases {
+		cfg := base
+		mutate(&cfg)
+		if _, err := GenerateInterArrival(r, sim.Epoch, cfg); err == nil {
+			t.Fatalf("case %d should fail", i)
+		}
+	}
+}
+
+func TestGenerateInterArrivalClampsTinyGaps(t *testing.T) {
+	pool := tasks.DefaultPool()
+	r := sim.NewRNG(6).Stream("tiny")
+	reqs, err := GenerateInterArrival(r, sim.Epoch, InterArrivalConfig{
+		Users:        1,
+		InterArrival: stats.Degenerate{Value: 0}, // clamped to 1 ms
+		Duration:     50 * time.Millisecond,
+		Pool:         pool,
+		Sizer:        DefaultSizer(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 49 {
+		t.Fatalf("got %d requests, want 49 (1 ms steps up to <50 ms)", len(reqs))
+	}
+}
+
+func TestGenerateArrivalSweep(t *testing.T) {
+	pool := tasks.DefaultPool()
+	r := sim.NewRNG(7).Stream("sweep")
+	reqs, err := GenerateArrivalSweep(r, sim.Epoch, ArrivalRateConfig{
+		StartHz: 1, Steps: 3, Step: 10 * time.Second,
+		Pool: pool, Sizer: DefaultSizer(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step windows: 10 @1Hz, 20 @2Hz, 40 @4Hz = 70 requests.
+	if len(reqs) != 70 {
+		t.Fatalf("got %d requests, want 70", len(reqs))
+	}
+	// Rates double per window.
+	counts := [3]int{}
+	for _, req := range reqs {
+		w := int(req.At.Sub(sim.Epoch) / (10 * time.Second))
+		counts[w]++
+	}
+	if counts[0] != 10 || counts[1] != 20 || counts[2] != 40 {
+		t.Fatalf("per-window counts = %v, want [10 20 40]", counts)
+	}
+	// Unique user ids.
+	seen := map[int]bool{}
+	for _, req := range reqs {
+		if seen[req.UserID] {
+			t.Fatal("duplicate user id in sweep")
+		}
+		seen[req.UserID] = true
+	}
+}
+
+func TestGenerateArrivalSweepValidation(t *testing.T) {
+	pool := tasks.DefaultPool()
+	r := sim.NewRNG(1).Stream("v3")
+	base := ArrivalRateConfig{StartHz: 1, Steps: 1, Step: time.Second, Pool: pool, Sizer: DefaultSizer()}
+	cases := []func(*ArrivalRateConfig){
+		func(c *ArrivalRateConfig) { c.StartHz = 0 },
+		func(c *ArrivalRateConfig) { c.Steps = 0 },
+		func(c *ArrivalRateConfig) { c.Step = 0 },
+		func(c *ArrivalRateConfig) { c.Pool = nil },
+		func(c *ArrivalRateConfig) { c.Sizer = nil },
+	}
+	for i, mutate := range cases {
+		cfg := base
+		mutate(&cfg)
+		if _, err := GenerateArrivalSweep(r, sim.Epoch, cfg); err == nil {
+			t.Fatalf("case %d should fail", i)
+		}
+	}
+}
+
+func TestSynthesizeUsage(t *testing.T) {
+	r := sim.NewRNG(8).Stream("usage")
+	cfg := UsageStudyConfig{Participants: 3, Days: 7, SessionsPerDay: 30, EventsPerSession: 6}
+	events, err := SynthesizeUsage(r, sim.Epoch, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 1000 {
+		t.Fatalf("only %d events; expected thousands", len(events))
+	}
+	// Sorted and night-free (no events between 00:00 and 05:59).
+	for i, e := range events {
+		if i > 0 && e.At.Before(events[i-1].At) {
+			t.Fatal("events not sorted")
+		}
+	}
+	nightStarts := 0
+	for _, e := range events {
+		if e.At.Hour() < 6 {
+			nightStarts++
+		}
+	}
+	// Sessions never *start* at night; only spillover from 23h sessions
+	// can cross midnight, which is a tiny fraction.
+	if frac := float64(nightStarts) / float64(len(events)); frac > 0.02 {
+		t.Fatalf("night fraction %v too high", frac)
+	}
+}
+
+func TestSynthesizeUsageValidation(t *testing.T) {
+	r := sim.NewRNG(1).Stream("uv")
+	bad := []UsageStudyConfig{
+		{},
+		{Participants: 1, Days: 0, SessionsPerDay: 1, EventsPerSession: 1},
+		{Participants: 1, Days: 1, SessionsPerDay: 0, EventsPerSession: 1},
+		{Participants: 1, Days: 1, SessionsPerDay: 1, EventsPerSession: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := SynthesizeUsage(r, sim.Epoch, cfg); err == nil {
+			t.Fatalf("case %d should fail", i)
+		}
+	}
+}
+
+// The paper's headline from the study: combined in-session inter-arrivals
+// land in 100–5000 ms.
+func TestExtractInterArrivalsRange(t *testing.T) {
+	r := sim.NewRNG(9).Stream("extract")
+	events, err := SynthesizeUsage(r, sim.Epoch, DefaultUsageStudy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gaps := ExtractInterArrivals(events, 5*time.Second)
+	if len(gaps) < 10_000 {
+		t.Fatalf("only %d gaps; expected many", len(gaps))
+	}
+	for _, g := range gaps {
+		if g <= 0 || g > 5*time.Second {
+			t.Fatalf("gap %v outside (0, 5s]", g)
+		}
+	}
+	// Most in-session gaps respect the 100 ms lower edge.
+	below := 0
+	for _, g := range gaps {
+		if g < 100*time.Millisecond {
+			below++
+		}
+	}
+	if frac := float64(below) / float64(len(gaps)); frac > 0.05 {
+		t.Fatalf("%v of gaps below 100 ms", frac)
+	}
+}
+
+func TestEmpiricalMs(t *testing.T) {
+	if _, err := NewEmpiricalMs(nil); err == nil {
+		t.Fatal("empty samples should fail")
+	}
+	dist, err := NewEmpiricalMs([]time.Duration{100 * time.Millisecond, 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dist.Mean()-200) > 1e-9 {
+		t.Fatalf("Mean = %v, want 200", dist.Mean())
+	}
+	r := sim.NewRNG(10).Stream("emp")
+	for i := 0; i < 100; i++ {
+		v := dist.Sample(r)
+		if v != 100 && v != 300 {
+			t.Fatalf("sample %v not in {100, 300}", v)
+		}
+	}
+}
