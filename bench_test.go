@@ -5,6 +5,7 @@
 package accelcloud_test
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
@@ -123,6 +124,62 @@ func BenchmarkFig11NetworkLatency(b *testing.B) {
 	s := experiments.Quick()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig11(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- parallel engine variants (serial-vs-parallel wall clock; outputs
+// are bit-identical by construction, see determinism_test.go) ------------
+
+// BenchmarkFig4ParallelEngine is Fig 4 with types and load levels sharded
+// across all cores.
+func BenchmarkFig4ParallelEngine(b *testing.B) {
+	s := experiments.Quick()
+	s.Workers = runtime.NumCPU()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11ShardedEngine is Fig 11 with per-chunk sample substreams
+// drawn on all cores.
+func BenchmarkFig11ShardedEngine(b *testing.B) {
+	s := experiments.Quick()
+	s.Workers = runtime.NumCPU()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig11(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunnerSerial regenerates the whole evaluation on one worker.
+func BenchmarkRunnerSerial(b *testing.B) {
+	r := experiments.Runner{Scale: experiments.Quick(), Workers: 1}
+	for i := 0; i < b.N; i++ {
+		reports, err := r.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.FirstError(reports); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunnerParallel regenerates the whole evaluation across all
+// cores — the headline speedup of the parallel experiment engine.
+func BenchmarkRunnerParallel(b *testing.B) {
+	r := experiments.Runner{Scale: experiments.Quick(), Workers: runtime.NumCPU()}
+	for i := 0; i < b.N; i++ {
+		reports, err := r.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.FirstError(reports); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -3,10 +3,16 @@
 //
 // Usage:
 //
-//	accelsim -fig all            # every figure, quick scale
-//	accelsim -fig 9 -scale full  # one figure at paper scale
-//	accelsim -fig ablations      # the three ablation studies
-//	accelsim -fig 11 -tsv        # machine-readable output
+//	accelsim -fig all                 # every figure, quick scale
+//	accelsim -fig 9 -scale full       # one figure at paper scale
+//	accelsim -fig ablations           # the ablation studies + CaaS pricing
+//	accelsim -fig 11 -tsv             # machine-readable output
+//	accelsim -parallel 0 -timing      # all cores, per-experiment timing
+//
+// Output is bit-identical at every -parallel value (including 1): the
+// engine assigns each experiment — and each shard of their inner loops —
+// a deterministic RNG substream that depends only on the seed and the
+// shard's identity, never on scheduling.
 package main
 
 import (
@@ -17,7 +23,7 @@ import (
 	"strings"
 
 	"accelcloud/internal/experiments"
-	"accelcloud/internal/netsim"
+	"accelcloud/internal/sim"
 )
 
 func main() {
@@ -27,12 +33,32 @@ func main() {
 	}
 }
 
+// figAliases maps the CLI's short figure names to registry experiments.
+// Numeric aliases are derived from the registry so a new figN experiment
+// is reachable without touching this file; "ablations" keeps its
+// historical meaning of "every §VII study", including CaaS pricing.
+var figAliases = func() map[string][]string {
+	aliases := map[string][]string{
+		"all": nil, // resolved to the full registry
+	}
+	for _, name := range experiments.ExperimentNames() {
+		aliases[name] = []string{name}
+		if n := strings.TrimPrefix(name, "fig"); n != name {
+			aliases[n] = []string{name}
+		}
+	}
+	aliases["ablations"] = []string{"ablations", "caas"}
+	return aliases
+}()
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("accelsim", flag.ContinueOnError)
-	fig := fs.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,10,11, ablations or all")
+	fig := fs.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,10,11, ablations, caas or all")
 	scaleName := fs.String("scale", "quick", "experiment scale: quick or full")
 	seed := fs.Int64("seed", 1, "root random seed")
 	tsv := fs.Bool("tsv", false, "emit tab-separated values instead of aligned tables")
+	parallel := fs.Int("parallel", 1, "worker count for the experiment engine (0 = all cores, 1 = serial)")
+	timing := fs.Bool("timing", false, "append a per-experiment wall-clock report")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -47,6 +73,27 @@ func run(args []string, out io.Writer) error {
 	}
 	scale.Seed = *seed
 
+	var names []string
+	for _, f := range strings.Split(*fig, ",") {
+		f = strings.TrimSpace(f)
+		expanded, ok := figAliases[f]
+		if !ok {
+			return fmt.Errorf("unknown figure %q (4..11, ablations, caas, all)", f)
+		}
+		if f == "all" {
+			names = experiments.ExperimentNames()
+			break
+		}
+		names = append(names, expanded...)
+	}
+
+	workers := sim.Workers(*parallel)
+	runner := experiments.Runner{Scale: scale, Workers: workers}
+	reports, err := runner.Run(names...)
+	if err != nil {
+		return err
+	}
+
 	emit := func(t experiments.Table) error {
 		if *tsv {
 			return t.WriteTSV(out)
@@ -54,153 +101,28 @@ func run(args []string, out io.Writer) error {
 		_, err := fmt.Fprintln(out, t.String())
 		return err
 	}
-
-	want := map[string]bool{}
-	for _, f := range strings.Split(*fig, ",") {
-		want[strings.TrimSpace(f)] = true
-	}
-	all := want["all"]
-
-	if all || want["4"] {
-		r, err := experiments.Fig4(scale)
-		if err != nil {
-			return err
+	for _, rep := range reports {
+		if rep.Err != nil {
+			return fmt.Errorf("%s: %w", rep.Name, rep.Err)
 		}
-		if err := emit(r.Table()); err != nil {
-			return err
+		for _, t := range rep.Artifact.Tables {
+			if err := emit(t); err != nil {
+				return err
+			}
 		}
-		for _, l := range r.Grouping.Levels {
-			fmt.Fprintf(out, "# level %d: %v (solo %.1f ms, capacity %d users)\n",
-				l.Index, l.Types, l.SoloMs, l.Capacity)
+		for _, note := range rep.Artifact.Notes {
+			if _, err := fmt.Fprintln(out, note); err != nil {
+				return err
+			}
 		}
-		fmt.Fprintln(out)
-	}
-	if all || want["5"] {
-		r, err := experiments.Fig5(scale)
-		if err != nil {
-			return err
-		}
-		if err := emit(r.Table()); err != nil {
-			return err
-		}
-	}
-	if all || want["6"] {
-		r, err := experiments.Fig6(scale)
-		if err != nil {
-			return err
-		}
-		if err := emit(r.Table()); err != nil {
-			return err
-		}
-	}
-	if all || want["7"] {
-		r, err := experiments.Fig7(scale)
-		if err != nil {
-			return err
-		}
-		if err := emit(r.ComponentsTable()); err != nil {
-			return err
-		}
-		if err := emit(r.SDTable()); err != nil {
-			return err
-		}
-	}
-	if all || want["8"] {
-		r, err := experiments.Fig8(scale)
-		if err != nil {
-			return err
-		}
-		if err := emit(r.RoutingTable()); err != nil {
-			return err
-		}
-		if err := emit(r.SweepTable()); err != nil {
-			return err
-		}
-	}
-	var fig9 *experiments.Fig9Result
-	if all || want["9"] || want["10"] {
-		r, err := experiments.Fig9(scale)
-		if err != nil {
-			return err
-		}
-		fig9 = &r
-	}
-	if all || want["9"] {
-		if err := emit(fig9.SeriesTable(fig9.Stable, "b (stable user)")); err != nil {
-			return err
-		}
-		if err := emit(fig9.SeriesTable(fig9.Promoted, "c (promoted user)")); err != nil {
-			return err
-		}
-		if err := emit(fig9.GroupMeansTable()); err != nil {
-			return err
-		}
-	}
-	if all || want["10"] {
-		r, err := experiments.Fig10(scale, fig9)
-		if err != nil {
-			return err
-		}
-		if err := emit(r.AccuracyTable()); err != nil {
-			return err
-		}
-		if err := emit(r.HeatTable(25)); err != nil {
-			return err
-		}
-		if err := emit(r.PromotionTable()); err != nil {
-			return err
-		}
-	}
-	if all || want["11"] {
-		r, err := experiments.Fig11(scale)
-		if err != nil {
-			return err
-		}
-		if err := emit(r.SummaryTable()); err != nil {
-			return err
-		}
-		for _, op := range []string{"alpha", "beta", "gamma"} {
-			for _, tech := range []netsim.Tech{netsim.Tech3G, netsim.TechLTE} {
-				if err := emit(r.HourlyTable(op, tech)); err != nil {
-					return err
-				}
+		if len(rep.Artifact.Notes) > 0 {
+			if _, err := fmt.Fprintln(out); err != nil {
+				return err
 			}
 		}
 	}
-	if all || want["ablations"] {
-		pol, err := experiments.AblationPromotionPolicies(scale)
-		if err != nil {
-			return err
-		}
-		if err := emit(experiments.PoliciesTable(pol)); err != nil {
-			return err
-		}
-		pred, err := experiments.AblationPredictors(scale)
-		if err != nil {
-			return err
-		}
-		if err := emit(experiments.PredictorsTable(pred)); err != nil {
-			return err
-		}
-		alloc, err := experiments.AblationAllocators(scale)
-		if err != nil {
-			return err
-		}
-		if err := emit(experiments.AllocatorsTable(alloc)); err != nil {
-			return err
-		}
-		par, err := experiments.AblationParallelism(scale)
-		if err != nil {
-			return err
-		}
-		if err := emit(experiments.ParallelismTable(par)); err != nil {
-			return err
-		}
-		caas, err := experiments.CaaSPricing(4)
-		if err != nil {
-			return err
-		}
-		if err := emit(experiments.CaaSTable(caas)); err != nil {
+	if *timing {
+		if err := emit(experiments.TimingTable(reports, workers)); err != nil {
 			return err
 		}
 	}

@@ -59,3 +59,47 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+// -parallel must not change the rendered output, only the wall clock.
+func TestRunParallelOutputMatchesSerial(t *testing.T) {
+	var serial, parallel bytes.Buffer
+	if err := run([]string{"-fig", "11,caas"}, &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-fig", "11,caas", "-parallel", "4"}, &parallel); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Fatal("-parallel 4 output differs from serial output")
+	}
+}
+
+func TestRunTimingReport(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "caas", "-parallel", "2", "-timing"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Runner timing (2 worker(s))") || !strings.Contains(s, "sum-elapsed") {
+		t.Fatalf("timing report missing: %q", s)
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "99"}, &out); err == nil {
+		t.Fatal("unknown figure should fail")
+	}
+}
+
+// The historical alias: -fig ablations includes the CaaS pricing table.
+func TestRunAblationsIncludesCaaS(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "ablations"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Ablation") || !strings.Contains(s, "CaaS pricing") {
+		t.Fatal("ablations output incomplete")
+	}
+}

@@ -1,0 +1,3 @@
+module accelcloud
+
+go 1.24

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"reflect"
+	"runtime"
 	"testing"
 )
 
@@ -52,6 +53,98 @@ func TestFig11Deterministic(t *testing.T) {
 	}
 	if !reflect.DeepEqual(a.Series, b.Series) {
 		t.Fatal("Fig11 not deterministic")
+	}
+}
+
+// artifacts strips the wall-clock fields out of a report list, leaving
+// only the deterministic payload.
+func artifacts(t *testing.T, reports []Report) []Artifact {
+	t.Helper()
+	out := make([]Artifact, len(reports))
+	for i, rep := range reports {
+		if rep.Err != nil {
+			t.Fatalf("%s: %v", rep.Name, rep.Err)
+		}
+		out[i] = rep.Artifact
+	}
+	return out
+}
+
+// The acceptance bar of the parallel engine: a Runner with N > 1 workers
+// must produce bit-identical figure results to serial execution. Every
+// experiment and every inner shard owns an RNG substream derived from
+// its identity alone, so worker count and scheduling cannot leak into
+// the output.
+func TestRunnerParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick-profile suite several times")
+	}
+	serialRunner := Runner{Scale: Quick(), Workers: 1}
+	serial, err := serialRunner.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := artifacts(t, serial)
+	counts := []int{4, runtime.NumCPU()}
+	for _, workers := range counts {
+		par, err := Runner{Scale: Quick(), Workers: workers}.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := artifacts(t, par)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d reports, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Errorf("workers=%d: experiment %s output differs from serial",
+					workers, par[i].Name)
+			}
+		}
+	}
+}
+
+// The sharded inner loops must also be worker-invariant one figure at a
+// time (faster to localize a regression than the full-runner test).
+func TestInnerShardingWorkerInvariance(t *testing.T) {
+	serial := Quick() // Workers 0 → serial
+	parallel := Quick()
+	parallel.Workers = 4
+
+	a4, err := Fig4(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b4, err := Fig4(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a4, b4) {
+		t.Error("Fig4 differs between serial and 4-worker inner sharding")
+	}
+
+	a11, err := Fig11(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b11, err := Fig11(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a11, b11) {
+		t.Error("Fig11 differs between serial and 4-worker inner sharding")
+	}
+
+	ha, err := historyRecords(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := historyRecords(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ha, hb) {
+		t.Error("fig10 history differs between serial and 4-worker generation")
 	}
 }
 

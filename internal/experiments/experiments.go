@@ -34,6 +34,12 @@ type Scale struct {
 	NetSamples int
 	// Seed roots all randomness.
 	Seed int64
+	// Workers bounds the goroutines each experiment's sharded inner
+	// loops may use (Fig 4's load levels, Fig 11's sample chunks, the
+	// Fig 10 per-user history). Every shard owns a substream derived
+	// from its identity alone, so results are bit-identical at any
+	// value; <= 1 runs serially.
+	Workers int
 }
 
 // Quick is the fast profile used by tests and `go test -bench`.
@@ -123,3 +129,21 @@ func (t Table) String() string {
 // f1, f2 format floats at one/two decimals for table cells.
 func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
 func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// splitWorkers divides a worker budget between an outer fan-out of the
+// given width and the loops nested inside it, so nesting never
+// multiplies goroutines: each inner loop gets total/min(total, outer),
+// at least 1. Worker counts never affect output, only scheduling.
+func splitWorkers(total, outer int) int {
+	if outer > total {
+		outer = total
+	}
+	if outer < 1 {
+		outer = 1
+	}
+	inner := total / outer
+	if inner < 1 {
+		inner = 1
+	}
+	return inner
+}

@@ -27,8 +27,11 @@ func Fig11(s Scale) (Fig11Result, error) {
 	if err != nil {
 		return Fig11Result{}, err
 	}
-	samples, err := netsim.GenerateDataset(
-		sim.NewRNG(s.Seed).Stream("fig11"), ops, sim.Epoch, s.NetSamples)
+	// The paper draws 150k–500k samples per pair; the sharded generator
+	// splits each pair into fixed-size chunks with their own substreams,
+	// so the dataset is identical at any worker count.
+	samples, err := netsim.GenerateDatasetSharded(
+		sim.NewRNG(s.Seed).Sub("fig11"), ops, sim.Epoch, s.NetSamples, s.Workers)
 	if err != nil {
 		return Fig11Result{}, err
 	}

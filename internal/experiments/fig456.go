@@ -7,6 +7,7 @@ import (
 
 	"accelcloud/internal/cloud"
 	"accelcloud/internal/groups"
+	"accelcloud/internal/sim"
 	"accelcloud/internal/tasks"
 	"accelcloud/internal/workload"
 )
@@ -33,6 +34,7 @@ func benchmarkConfig(s Scale) groups.BenchmarkConfig {
 		Pool:         tasks.DefaultPool(),
 		Sizer:        workload.DefaultSizer(),
 		Seed:         s.Seed,
+		Parallelism:  s.Workers,
 	}
 }
 
@@ -42,16 +44,27 @@ func Fig4(s Scale) (Fig4Result, error) {
 	cfg := benchmarkConfig(s)
 	catalog := cloud.DefaultCatalog()
 	var out Fig4Result
-	for _, name := range fig4Types {
+	// Each type's characterization is a self-contained simulation, so the
+	// six types shard across the worker budget; every type also shards
+	// its load levels internally on the remainder of the budget. Results
+	// land in figure order regardless of completion order.
+	cfg.Parallelism = splitWorkers(s.Workers, len(fig4Types))
+	out.Measurements = make([]groups.Measurement, len(fig4Types))
+	err := sim.FanOutErr(len(fig4Types), s.Workers, func(i int) error {
+		name := fig4Types[i]
 		typ, err := catalog.ByName(name)
 		if err != nil {
-			return Fig4Result{}, err
+			return err
 		}
 		m, err := groups.Benchmark(typ, cfg)
 		if err != nil {
-			return Fig4Result{}, fmt.Errorf("fig4: %s: %w", name, err)
+			return fmt.Errorf("fig4: %s: %w", name, err)
 		}
-		out.Measurements = append(out.Measurements, m)
+		out.Measurements[i] = m
+		return nil
+	})
+	if err != nil {
+		return Fig4Result{}, err
 	}
 	g, err := groups.Classify(out.Measurements, 0.12)
 	if err != nil {

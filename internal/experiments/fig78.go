@@ -74,20 +74,27 @@ func Fig7(s Scale) (Fig7Result, error) {
 		levels = append(levels, lvl)
 	}
 	sort.Ints(levels)
-	for _, lvl := range levels {
+	// Levels are independent deployments (own env, accelerator, pool and
+	// RNG streams keyed by level), so they shard across the worker
+	// budget; results are collected per level index and folded into the
+	// maps afterwards, keeping the output identical at any worker count.
+	perLevel := make([]Components, len(levels))
+	sdCurves := make([][]groups.LoadPoint, len(levels))
+	err = sim.FanOutErr(len(levels), s.Workers, func(li int) error {
+		lvl := levels[li]
 		dep := fig7Deployment[lvl]
 		env := sim.NewEnvironment()
 		rng := sim.NewRNG(s.Seed)
 		accel, err := sdn.NewAccelerator(env, sdn.Config{RNG: rng.StreamN("fig7", lvl)})
 		if err != nil {
-			return Fig7Result{}, err
+			return err
 		}
 		typ, err := catalog.ByName(dep.TypeName)
 		if err != nil {
-			return Fig7Result{}, err
+			return err
 		}
 		if _, err := sdn.BuildPool(env, accel, lvl, typ, dep.Count, qsim.Config{}); err != nil {
-			return Fig7Result{}, err
+			return err
 		}
 		netRng := rng.StreamN("fig7-net", lvl)
 		var t1, routing, t2, tcloud, total stats.Welford
@@ -107,29 +114,39 @@ func Fig7(s Scale) (Fig7Result, error) {
 				total.Add(ms(o.Total))
 			})
 			if err != nil {
-				return Fig7Result{}, err
+				return err
 			}
 		}
 		if err := env.Run(); err != nil {
-			return Fig7Result{}, err
+			return err
 		}
 		if total.N() != 30 {
-			return Fig7Result{}, fmt.Errorf("fig7: level %d completed %d/30", lvl, total.N())
+			return fmt.Errorf("fig7: level %d completed %d/30", lvl, total.N())
 		}
-		out.PerLevel[lvl] = Components{
+		perLevel[li] = Components{
 			T1Ms:      t1.Mean(),
 			RoutingMs: routing.Mean(),
 			T2Ms:      t2.Mean(),
 			TcloudMs:  tcloud.Mean(),
 			TotalMs:   total.Mean(),
 		}
-		// Fig 7c: SD-vs-load of the representative type.
+		// Fig 7c: SD-vs-load of the representative type, on the worker
+		// budget left over by the level fan-out.
 		cfg := benchmarkConfig(s)
+		cfg.Parallelism = splitWorkers(s.Workers, len(levels))
 		m, err := groups.Benchmark(typ, cfg)
 		if err != nil {
-			return Fig7Result{}, err
+			return err
 		}
-		out.SDCurves[lvl] = m.Curve
+		sdCurves[li] = m.Curve
+		return nil
+	})
+	if err != nil {
+		return Fig7Result{}, err
+	}
+	for li, lvl := range levels {
+		out.PerLevel[lvl] = perLevel[li]
+		out.SDCurves[lvl] = sdCurves[li]
 	}
 	return out, nil
 }

@@ -1,0 +1,291 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"accelcloud/internal/netsim"
+	"accelcloud/internal/sim"
+)
+
+// Runner executes figure/table reproductions concurrently over a bounded
+// worker pool. Experiments are independent simulations (the one shared
+// input, the Fig 9 run that Fig 10's panels reuse, is computed once and
+// memoized per Run call), and each experiment's own inner loops shard
+// further via Scale.Workers — so a Run's artifacts are bit-identical at
+// any worker count, including the serial Workers == 1.
+type Runner struct {
+	// Scale is the experiment fidelity profile.
+	Scale Scale
+	// Workers bounds concurrently-running experiments AND, unless the
+	// Scale already pins one, each experiment's inner shard width.
+	// <= 1 runs everything serially.
+	Workers int
+}
+
+// Artifact is the renderable output of one experiment: its tables in
+// figure order plus free-form annotation lines (e.g. the Fig 4 level
+// classification).
+type Artifact struct {
+	Tables []Table
+	Notes  []string
+}
+
+// Report is the outcome of one experiment in a Run.
+type Report struct {
+	Name     string
+	Artifact Artifact
+	// Elapsed is the experiment's wall-clock time (NOT part of the
+	// deterministic output; use Artifact for comparisons).
+	Elapsed time.Duration
+	Err     error
+}
+
+// spec is one registry entry.
+type spec struct {
+	name string
+	run  func() (Artifact, error)
+}
+
+// ExperimentNames lists every registered experiment in report order.
+func ExperimentNames() []string {
+	names := make([]string, 0, len(experimentOrder))
+	return append(names, experimentOrder...)
+}
+
+var experimentOrder = []string{
+	"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+	"ablations", "caas",
+}
+
+// buildSpecs assembles the per-run registry. The closure set shares one
+// memoized Fig 9 run so fig9 and fig10 never duplicate the study (and,
+// more importantly, always agree on it).
+func buildSpecs(s Scale) map[string]spec {
+	var (
+		f9once sync.Once
+		f9     Fig9Result
+		f9err  error
+	)
+	fig9 := func() (*Fig9Result, error) {
+		f9once.Do(func() { f9, f9err = Fig9(s) })
+		if f9err != nil {
+			return nil, f9err
+		}
+		return &f9, nil
+	}
+	specs := []spec{
+		{"fig4", func() (Artifact, error) {
+			r, err := Fig4(s)
+			if err != nil {
+				return Artifact{}, err
+			}
+			a := Artifact{Tables: []Table{r.Table()}}
+			for _, l := range r.Grouping.Levels {
+				a.Notes = append(a.Notes, fmt.Sprintf(
+					"# level %d: %v (solo %.1f ms, capacity %d users)",
+					l.Index, l.Types, l.SoloMs, l.Capacity))
+			}
+			return a, nil
+		}},
+		{"fig5", func() (Artifact, error) {
+			r, err := Fig5(s)
+			if err != nil {
+				return Artifact{}, err
+			}
+			return Artifact{Tables: []Table{r.Table()}}, nil
+		}},
+		{"fig6", func() (Artifact, error) {
+			r, err := Fig6(s)
+			if err != nil {
+				return Artifact{}, err
+			}
+			return Artifact{Tables: []Table{r.Table()}}, nil
+		}},
+		{"fig7", func() (Artifact, error) {
+			r, err := Fig7(s)
+			if err != nil {
+				return Artifact{}, err
+			}
+			return Artifact{Tables: []Table{r.ComponentsTable(), r.SDTable()}}, nil
+		}},
+		{"fig8", func() (Artifact, error) {
+			r, err := Fig8(s)
+			if err != nil {
+				return Artifact{}, err
+			}
+			return Artifact{Tables: []Table{r.RoutingTable(), r.SweepTable()}}, nil
+		}},
+		{"fig9", func() (Artifact, error) {
+			r, err := fig9()
+			if err != nil {
+				return Artifact{}, err
+			}
+			return Artifact{Tables: []Table{
+				r.SeriesTable(r.Stable, "b (stable user)"),
+				r.SeriesTable(r.Promoted, "c (promoted user)"),
+				r.GroupMeansTable(),
+			}}, nil
+		}},
+		{"fig10", func() (Artifact, error) {
+			f9r, err := fig9()
+			if err != nil {
+				return Artifact{}, err
+			}
+			r, err := Fig10(s, f9r)
+			if err != nil {
+				return Artifact{}, err
+			}
+			return Artifact{Tables: []Table{
+				r.AccuracyTable(), r.HeatTable(25), r.PromotionTable(),
+			}}, nil
+		}},
+		{"fig11", func() (Artifact, error) {
+			r, err := Fig11(s)
+			if err != nil {
+				return Artifact{}, err
+			}
+			tables := []Table{r.SummaryTable()}
+			for _, op := range []string{"alpha", "beta", "gamma"} {
+				for _, tech := range []netsim.Tech{netsim.Tech3G, netsim.TechLTE} {
+					tables = append(tables, r.HourlyTable(op, tech))
+				}
+			}
+			return Artifact{Tables: tables}, nil
+		}},
+		{"ablations", func() (Artifact, error) {
+			pol, err := AblationPromotionPolicies(s)
+			if err != nil {
+				return Artifact{}, err
+			}
+			pred, err := AblationPredictors(s)
+			if err != nil {
+				return Artifact{}, err
+			}
+			alloc, err := AblationAllocators(s)
+			if err != nil {
+				return Artifact{}, err
+			}
+			par, err := AblationParallelism(s)
+			if err != nil {
+				return Artifact{}, err
+			}
+			return Artifact{Tables: []Table{
+				PoliciesTable(pol), PredictorsTable(pred),
+				AllocatorsTable(alloc), ParallelismTable(par),
+			}}, nil
+		}},
+		{"caas", func() (Artifact, error) {
+			caas, err := CaaSPricing(4)
+			if err != nil {
+				return Artifact{}, err
+			}
+			return Artifact{Tables: []Table{CaaSTable(caas)}}, nil
+		}},
+	}
+	byName := make(map[string]spec, len(specs))
+	for _, sp := range specs {
+		byName[sp.name] = sp
+	}
+	return byName
+}
+
+// Run executes the named experiments (all of them when names is empty)
+// and returns one report per experiment in registry order, regardless of
+// completion order. An unknown name fails up front; an experiment
+// failure lands in its Report.Err and does not stop the others.
+func (r Runner) Run(names ...string) ([]Report, error) {
+	if len(names) == 0 {
+		names = ExperimentNames()
+	}
+	selected0 := make([]string, 0, len(names))
+	seen := make(map[string]bool, len(names))
+	for _, want := range experimentOrder {
+		for _, n := range names {
+			if n == want && !seen[n] {
+				seen[n] = true
+				selected0 = append(selected0, want)
+			}
+		}
+	}
+	for _, n := range names {
+		if !seen[n] {
+			return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", n, ExperimentNames())
+		}
+	}
+	scale := r.Scale
+	if scale.Workers == 0 {
+		// Split the worker budget between the experiment pool and the
+		// inner shards so nesting does not multiply goroutines: with W
+		// workers over E concurrent experiments, each experiment's inner
+		// loops get W/min(W,E) (at least 1). Workers never affects
+		// output, only scheduling, so any split is safe.
+		concurrent := len(selected0)
+		if r.Workers < concurrent {
+			concurrent = r.Workers
+		}
+		if concurrent < 1 {
+			concurrent = 1
+		}
+		scale.Workers = r.Workers / concurrent
+		if scale.Workers < 1 {
+			scale.Workers = 1
+		}
+	}
+	byName := buildSpecs(scale)
+	selected := make([]spec, 0, len(selected0))
+	for _, n := range selected0 {
+		selected = append(selected, byName[n])
+	}
+	reports := make([]Report, len(selected))
+	sim.FanOut(len(selected), r.Workers, func(i int) {
+		start := time.Now()
+		art, err := selected[i].run()
+		reports[i] = Report{
+			Name:     selected[i].name,
+			Artifact: art,
+			Elapsed:  time.Since(start),
+			Err:      err,
+		}
+	})
+	return reports, nil
+}
+
+// FirstError returns the error of the first (registry-order) failed
+// report, or nil.
+func FirstError(reports []Report) error {
+	for _, rep := range reports {
+		if rep.Err != nil {
+			return fmt.Errorf("%s: %w", rep.Name, rep.Err)
+		}
+	}
+	return nil
+}
+
+// TimingTable renders the per-experiment wall-clock report of a Run.
+func TimingTable(reports []Report, workers int) Table {
+	if workers < 1 {
+		workers = 1
+	}
+	t := Table{
+		Title:  fmt.Sprintf("Runner timing (%d worker(s))", workers),
+		Header: []string{"experiment", "elapsed", "status"},
+	}
+	var total time.Duration
+	for _, rep := range reports {
+		status := "ok"
+		if rep.Err != nil {
+			status = "error: " + rep.Err.Error()
+		}
+		t.Rows = append(t.Rows, []string{
+			rep.Name, rep.Elapsed.Round(time.Millisecond).String(), status,
+		})
+		total += rep.Elapsed
+	}
+	// Sum of per-experiment wall-clock elapsed — NOT CPU time: under a
+	// parallel run experiments time-share cores, and the memoized Fig 9
+	// cost lands in whichever of fig9/fig10 reached it first.
+	t.Rows = append(t.Rows, []string{"sum-elapsed", total.Round(time.Millisecond).String(), ""})
+	return t
+}

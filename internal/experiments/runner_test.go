@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunnerReportsInRegistryOrder(t *testing.T) {
+	// Ask for a subset out of order plus a duplicate: reports come back
+	// deduplicated, in registry order.
+	reports, err := Runner{Scale: Quick(), Workers: 2}.Run("fig11", "caas", "fig11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("got %d reports, want 2", len(reports))
+	}
+	if reports[0].Name != "fig11" || reports[1].Name != "caas" {
+		t.Fatalf("report order: %s, %s", reports[0].Name, reports[1].Name)
+	}
+	if err := FirstError(reports); err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range reports {
+		if len(rep.Artifact.Tables) == 0 {
+			t.Fatalf("%s produced no tables", rep.Name)
+		}
+		if rep.Elapsed <= 0 {
+			t.Fatalf("%s has no elapsed time", rep.Name)
+		}
+	}
+}
+
+func TestRunnerUnknownExperiment(t *testing.T) {
+	if _, err := (Runner{Scale: Quick()}).Run("fig99"); err == nil {
+		t.Fatal("unknown experiment should fail")
+	}
+}
+
+func TestExperimentNamesCoversRegistry(t *testing.T) {
+	names := ExperimentNames()
+	if len(names) != 10 {
+		t.Fatalf("registry has %d entries: %v", len(names), names)
+	}
+	// The slice is a copy: mutating it must not corrupt the registry.
+	names[0] = "mutated"
+	if ExperimentNames()[0] != "fig4" {
+		t.Fatal("ExperimentNames leaked internal state")
+	}
+}
+
+func TestTimingTable(t *testing.T) {
+	reports, err := Runner{Scale: Quick(), Workers: 2}.Run("caas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := TimingTable(reports, 2)
+	if !strings.Contains(tab.Title, "2 worker") {
+		t.Fatalf("title = %q", tab.Title)
+	}
+	if len(tab.Rows) != 2 { // caas + sum-elapsed
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "caas" || tab.Rows[0][2] != "ok" {
+		t.Fatalf("row = %v", tab.Rows[0])
+	}
+	if tab.Rows[1][0] != "sum-elapsed" {
+		t.Fatalf("last row = %v", tab.Rows[1])
+	}
+}

@@ -67,6 +67,10 @@ type BenchmarkConfig struct {
 	FixedTask string
 	// Seed drives the deterministic workload draws.
 	Seed int64
+	// Parallelism bounds how many load levels run concurrently. Every
+	// level owns its own simulation environment and workload stream, so
+	// the measurement is bit-identical at any value; <= 1 runs serially.
+	Parallelism int
 }
 
 // DefaultBenchmarkConfig mirrors the paper's §VI-A1 setup, scaled from
@@ -117,15 +121,21 @@ func Benchmark(typ cloud.InstanceType, cfg BenchmarkConfig) (Measurement, error)
 		return Measurement{}, err
 	}
 	m := Measurement{Type: typ.Name}
-	for _, users := range cfg.LoadLevels {
+	// Load levels are mutually independent — each owns a fresh
+	// environment, instance and workload stream — so they shard across a
+	// bounded pool. The curve slot a level writes depends only on its
+	// index, keeping the measurement bit-identical at any parallelism.
+	m.Curve = make([]LoadPoint, len(cfg.LoadLevels))
+	err := sim.FanOutErr(len(cfg.LoadLevels), cfg.Parallelism, func(li int) error {
+		users := cfg.LoadLevels[li]
 		env := sim.NewEnvironment()
 		inst, err := cloud.NewInstance("bench-"+typ.Name, typ, env.Now())
 		if err != nil {
-			return Measurement{}, err
+			return err
 		}
 		srv, err := qsim.NewServer(env, inst, qsim.Config{})
 		if err != nil {
-			return Measurement{}, err
+			return err
 		}
 		// The stream is keyed by load level but NOT by instance type:
 		// every type faces the identical task sequence at each level, so
@@ -137,7 +147,7 @@ func Benchmark(typ cloud.InstanceType, cfg BenchmarkConfig) (Measurement, error)
 			Pool: cfg.Pool, Sizer: cfg.Sizer, FixedTask: cfg.FixedTask,
 		})
 		if err != nil {
-			return Measurement{}, err
+			return err
 		}
 		var ms []float64
 		for _, req := range reqs {
@@ -150,22 +160,26 @@ func Benchmark(typ cloud.InstanceType, cfg BenchmarkConfig) (Measurement, error)
 					}
 				})
 			}); err != nil {
-				return Measurement{}, err
+				return err
 			}
 		}
 		if err := env.Run(); err != nil {
-			return Measurement{}, err
+			return err
 		}
 		if len(ms) == 0 {
-			return Measurement{}, fmt.Errorf("groups: no completions for %s at load %d", typ.Name, users)
+			return fmt.Errorf("groups: no completions for %s at load %d", typ.Name, users)
 		}
 		sum, err := stats.Summarize(ms)
 		if err != nil {
-			return Measurement{}, err
+			return err
 		}
-		m.Curve = append(m.Curve, LoadPoint{
+		m.Curve[li] = LoadPoint{
 			Users: users, MeanMs: sum.Mean, SDMs: sum.SD, P5Ms: sum.P5, P95Ms: sum.P95,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return Measurement{}, err
 	}
 	m.SoloMs = m.Curve[0].MeanMs
 	slaMs := float64(cfg.SLA) / float64(time.Millisecond)

@@ -2,6 +2,8 @@ package groups
 
 import (
 	"math"
+	"reflect"
+	"runtime"
 	"testing"
 	"time"
 
@@ -281,4 +283,29 @@ func TestBenchmarkFixedTask(t *testing.T) {
 		t.Fatalf("solo = %v ms, want ≈%v ms", m.SoloMs, want)
 	}
 	_ = time.Second
+}
+
+// A parallel Benchmark must reproduce the serial measurement exactly:
+// every load level owns its own environment and RNG stream, so worker
+// count cannot leak into the curve.
+func TestBenchmarkParallelMatchesSerial(t *testing.T) {
+	cfg := quickCfg()
+	nano, err := cloud.DefaultCatalog().ByName("t2.nano")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := Benchmark(nano, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, runtime.NumCPU()} {
+		cfg.Parallelism = workers
+		par, err := Benchmark(nano, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, par) {
+			t.Fatalf("parallelism=%d measurement differs from serial", workers)
+		}
+	}
 }

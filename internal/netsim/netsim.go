@@ -17,6 +17,7 @@ import (
 	"math/rand"
 	"time"
 
+	"accelcloud/internal/sim"
 	"accelcloud/internal/stats"
 )
 
@@ -247,6 +248,75 @@ func GenerateDataset(r *rand.Rand, ops []Operator, start time.Time, n int) ([]Sa
 			}
 		}
 	}
+	return out, nil
+}
+
+// ShardSize is the per-goroutine sample chunk of GenerateDatasetSharded.
+// It is the unit of RNG derivation, so it is part of the output contract:
+// changing it changes the draws (but never their distribution).
+const ShardSize = 8192
+
+// GenerateDatasetSharded draws the same dataset shape as GenerateDataset
+// — n samples per (operator, tech) pair over one day — but every
+// ShardSize-sample chunk owns a substream derived from (pair, chunk
+// index), and chunks fill disjoint regions of the preallocated output on
+// up to workers goroutines. Output is bit-identical for a given g at ANY
+// worker count, including 1; this is the Fig 11 hot loop (150k–500k
+// samples per pair at paper scale).
+func GenerateDatasetSharded(g *sim.RNG, ops []Operator, start time.Time, n, workers int) ([]Sample, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("netsim: need n > 0, got %d", n)
+	}
+	// One shard = one (pair, chunk) unit of work.
+	type shard struct {
+		m        RTTModel
+		operator string
+		tech     Tech
+		rng      *rand.Rand
+		out      []Sample // disjoint sub-slice of the result
+	}
+	var shards []shard
+	total := 0
+	for _, op := range ops {
+		if err := op.Validate(); err != nil {
+			return nil, err
+		}
+		for _, tech := range []Tech{Tech3G, TechLTE} {
+			if _, ok := op.RTT[tech]; ok {
+				total += n
+			}
+		}
+	}
+	out := make([]Sample, total)
+	base := 0
+	for _, op := range ops {
+		for _, tech := range []Tech{Tech3G, TechLTE} {
+			m, ok := op.RTT[tech]
+			if !ok {
+				continue
+			}
+			pair := g.Sub(op.Name + "/" + tech.String())
+			for lo, idx := 0, 0; lo < n; lo, idx = lo+ShardSize, idx+1 {
+				hi := lo + ShardSize
+				if hi > n {
+					hi = n
+				}
+				shards = append(shards, shard{
+					m: m, operator: op.Name, tech: tech,
+					rng: pair.SubN("chunk", idx).Stream("samples"),
+					out: out[base+lo : base+hi],
+				})
+			}
+			base += n
+		}
+	}
+	sim.FanOut(len(shards), workers, func(i int) {
+		sh := shards[i]
+		for k := range sh.out {
+			at := start.Add(time.Duration(sh.rng.Float64() * 24 * float64(time.Hour)))
+			sh.out[k] = Sample{At: at, Operator: sh.operator, Tech: sh.tech, RTT: sh.m.Sample(sh.rng, at)}
+		}
+	})
 	return out, nil
 }
 

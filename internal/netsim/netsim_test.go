@@ -221,3 +221,73 @@ func TestMeanMsAnalytic(t *testing.T) {
 		t.Fatalf("analytic mean %v too far from 36", got)
 	}
 }
+
+// The sharded generator must be bit-identical at every worker count: the
+// substream a chunk draws from depends only on (pair, chunk index), never
+// on scheduling.
+func TestGenerateDatasetShardedWorkerInvariance(t *testing.T) {
+	ops, err := DefaultOperators()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Span several chunks per pair so the shard boundary logic is hit.
+	n := ShardSize*2 + 137
+	serial, err := GenerateDatasetSharded(sim.NewRNG(11), ops, sim.Epoch, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != 6*n {
+		t.Fatalf("got %d samples, want %d", len(serial), 6*n)
+	}
+	for _, workers := range []int{2, 4, 16} {
+		par, err := GenerateDatasetSharded(sim.NewRNG(11), ops, sim.Epoch, n, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(par) != len(serial) {
+			t.Fatalf("workers=%d: %d samples, want %d", workers, len(par), len(serial))
+		}
+		for i := range par {
+			if par[i] != serial[i] {
+				t.Fatalf("workers=%d: sample %d differs: %+v vs %+v", workers, i, par[i], serial[i])
+			}
+		}
+	}
+}
+
+// Sharded draws come from different substreams than the legacy serial
+// generator, but the distribution is the same model: aggregates must
+// still match the paper within the usual tolerance.
+func TestGenerateDatasetShardedAggregates(t *testing.T) {
+	ops, err := DefaultOperators()
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := GenerateDatasetSharded(sim.NewRNG(1), ops, sim.Epoch, 40000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range []string{"alpha", "beta", "gamma"} {
+		for _, tech := range []Tech{Tech3G, TechLTE} {
+			sum, err := SummaryMs(samples, op, tech)
+			if err != nil {
+				t.Fatal(err)
+			}
+			paper := PaperMeanMs(op, tech)
+			if rel := math.Abs(sum.Mean-paper) / paper; rel > 0.25 {
+				t.Errorf("%s/%v sharded mean %.1f vs paper %.1f", op, tech, sum.Mean, paper)
+			}
+		}
+	}
+}
+
+func TestGenerateDatasetShardedValidation(t *testing.T) {
+	ops, _ := DefaultOperators()
+	if _, err := GenerateDatasetSharded(sim.NewRNG(1), ops, sim.Epoch, 0, 4); err == nil {
+		t.Fatal("n=0 should fail")
+	}
+	bad := []Operator{{}}
+	if _, err := GenerateDatasetSharded(sim.NewRNG(1), bad, sim.Epoch, 10, 4); err == nil {
+		t.Fatal("invalid operator should fail")
+	}
+}

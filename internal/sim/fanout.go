@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file holds the bounded worker pool shared by every sharded loop in
+// the repository (netsim sample generation, the groups load-level
+// benchmark, the experiment runner). The contract mirrors the intra-task
+// pool of internal/tasks: indices are units of work, each index writes
+// only to its own output slot, and therefore the observable result is
+// independent of worker count and scheduling order.
+
+// Workers normalizes a worker-count knob: n < 1 means "use every core",
+// anything else is taken literally.
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.NumCPU()
+	}
+	return n
+}
+
+// FanOut runs fn(i) for every i in [0, n) on at most workers goroutines.
+// fn must confine its writes to per-index state; under that contract the
+// result is deterministic for any workers value. workers <= 1 (or n <= 1)
+// degrades to a plain serial loop with no goroutine overhead.
+func FanOut(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// FanOutErr is FanOut for fallible work: it runs fn(i) for every i in
+// [0, n) and returns the error of the LOWEST failing index — not the
+// first to fail in wall-clock order — so the reported error is as
+// deterministic as the work itself. All indices are attempted even after
+// a failure; shards are independent, so there is nothing to unwind.
+func FanOutErr(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	FanOut(n, workers, func(i int) {
+		errs[i] = fn(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"encoding/binary"
 	"hash/fnv"
 	"math/rand"
 )
@@ -46,4 +47,34 @@ func (g *RNG) StreamN(name string, n int) *rand.Rand {
 	_, _ = h.Write(buf[:])
 	derived := g.seed ^ int64(h.Sum64())
 	return rand.New(rand.NewSource(derived))
+}
+
+// Sub derives a child stream factory. Unlike Stream, which XORs the name
+// hash into the root seed (and is kept as-is for compatibility), Sub
+// hashes the parent seed INTO the digest, so the derivation is
+// hierarchical and order-sensitive: g.Sub("a").Stream("b") and
+// g.Sub("b").Stream("a") are unrelated streams. Substreams let a shard of
+// work own an RNG that depends only on the shard's identity — never on
+// which goroutine runs it or in what order — which is what keeps parallel
+// experiment output bit-identical to serial output.
+func (g *RNG) Sub(name string) *RNG {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(g.seed))
+	_, _ = h.Write(buf[:])
+	_, _ = h.Write([]byte(name))
+	return &RNG{seed: int64(h.Sum64())}
+}
+
+// SubN derives an indexed child factory, for per-shard substreams (e.g.
+// one per worker shard of a sample-generation loop).
+func (g *RNG) SubN(name string, n int) *RNG {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(g.seed))
+	_, _ = h.Write(buf[:])
+	_, _ = h.Write([]byte(name))
+	binary.LittleEndian.PutUint64(buf[:], uint64(n))
+	_, _ = h.Write(buf[:])
+	return &RNG{seed: int64(h.Sum64())}
 }
