@@ -42,6 +42,7 @@ import (
 	"accelcloud/internal/dalvik"
 	"accelcloud/internal/device"
 	"accelcloud/internal/groups"
+	"accelcloud/internal/loadgen"
 	"accelcloud/internal/netsim"
 	"accelcloud/internal/predict"
 	"accelcloud/internal/qsim"
@@ -305,4 +306,42 @@ type (
 // reproduces the paper's ≈150 ms routing overhead. See sdn.NewFrontEnd.
 func NewFrontEnd(log *TraceStore, processingDelay time.Duration) (*FrontEnd, error) {
 	return sdn.NewFrontEnd(log, processingDelay)
+}
+
+// Load generation and SLO reporting (service-layer benchmarking).
+type (
+	// LoadgenConfig parameterizes one load-generation run.
+	LoadgenConfig = loadgen.Config
+	// LoadgenReport is the machine-readable run outcome.
+	LoadgenReport = loadgen.Report
+	// LoadgenSLO is a service-level objective checked into the report.
+	LoadgenSLO = loadgen.SLO
+	// LoadgenCluster is the hermetic in-process service stack.
+	LoadgenCluster = loadgen.Cluster
+	// LogHist is the log-bucketed latency histogram behind the
+	// p50/p90/p99/p999 SLO summaries.
+	LogHist = stats.LogHist
+)
+
+// Loadgen replay disciplines.
+const (
+	LoadgenConcurrent   = loadgen.ModeConcurrent
+	LoadgenInterArrival = loadgen.ModeInterArrival
+	LoadgenSweep        = loadgen.ModeSweep
+)
+
+// NewLatencyHist returns the standard latency histogram (10 µs – 10 min,
+// ≤5% relative error per bucket).
+func NewLatencyHist() *LogHist { return stats.NewLatencyHist() }
+
+// RunLoadgen replays a deterministic multi-user schedule against a
+// front-end and returns the SLO report.
+func RunLoadgen(ctx context.Context, baseURL string, cfg LoadgenConfig) (*LoadgenReport, error) {
+	return loadgen.Run(ctx, baseURL, cfg)
+}
+
+// StartLoadgenCluster boots an in-process front-end + surrogates stack
+// for hermetic load tests; callers must Close it.
+func StartLoadgenCluster(cfg loadgen.ClusterConfig) (*LoadgenCluster, error) {
+	return loadgen.StartCluster(cfg)
 }

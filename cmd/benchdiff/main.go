@@ -1,0 +1,105 @@
+// Command benchdiff compares a fresh loadgen report against a committed
+// baseline and exits non-zero when performance regressed beyond the
+// tolerance — the comparison behind the bench-regression CI gate.
+//
+// A regression is: current p99 latency above baseline × (1 + tolerance),
+// current throughput below baseline × (1 − tolerance), or error rate
+// more than -max-error-rate-delta above baseline (absolute). Improvements
+// never fail, and a report whose schedule digest differs from the
+// baseline's is flagged (different schedules are not comparable) unless
+// -ignore-schedule is set.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_baseline.json -current BENCH_loadgen.json -tolerance 0.20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"accelcloud/internal/loadgen"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+// pct renders a relative change as a signed percentage.
+func pct(baseline, current float64) string {
+	if baseline == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(current-baseline)/baseline)
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(out)
+	basePath := fs.String("baseline", "BENCH_baseline.json", "committed baseline report")
+	curPath := fs.String("current", "BENCH_loadgen.json", "freshly measured report")
+	tolerance := fs.Float64("tolerance", 0.20, "allowed relative regression on p99/throughput (0.20 = 20%)")
+	errDelta := fs.Float64("max-error-rate-delta", 0.01, "allowed absolute error-rate increase over baseline")
+	ignoreSchedule := fs.Bool("ignore-schedule", false, "compare even when schedule digests differ")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tolerance < 0 {
+		return fmt.Errorf("tolerance %v < 0", *tolerance)
+	}
+	if *errDelta < 0 {
+		return fmt.Errorf("max-error-rate-delta %v < 0", *errDelta)
+	}
+	base, err := loadgen.ReadReportFile(*basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := loadgen.ReadReportFile(*curPath)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "benchdiff: baseline %s vs current %s (tolerance %.0f%%)\n",
+		*basePath, *curPath, 100**tolerance)
+	fmt.Fprintf(out, "  %-16s %12s %12s %10s\n", "metric", "baseline", "current", "change")
+	fmt.Fprintf(out, "  %-16s %12.2f %12.2f %10s\n", "p99 ms", base.Latency.P99Ms, cur.Latency.P99Ms, pct(base.Latency.P99Ms, cur.Latency.P99Ms))
+	fmt.Fprintf(out, "  %-16s %12.2f %12.2f %10s\n", "p50 ms", base.Latency.P50Ms, cur.Latency.P50Ms, pct(base.Latency.P50Ms, cur.Latency.P50Ms))
+	fmt.Fprintf(out, "  %-16s %12.2f %12.2f %10s\n", "throughput rps", base.ThroughputRps, cur.ThroughputRps, pct(base.ThroughputRps, cur.ThroughputRps))
+	fmt.Fprintf(out, "  %-16s %12.3f %12.3f %10s\n", "error rate", base.ErrorRate, cur.ErrorRate, pct(base.ErrorRate, cur.ErrorRate))
+
+	if base.ScheduleDigest != cur.ScheduleDigest {
+		msg := fmt.Sprintf("schedule digests differ (%s vs %s): runs replay different request sequences",
+			base.ScheduleDigest, cur.ScheduleDigest)
+		if !*ignoreSchedule {
+			return fmt.Errorf("%s (use -ignore-schedule to compare anyway)", msg)
+		}
+		fmt.Fprintf(out, "  warning: %s\n", msg)
+	}
+
+	var failures []string
+	if base.Latency.P99Ms > 0 && cur.Latency.P99Ms > base.Latency.P99Ms*(1+*tolerance) {
+		failures = append(failures, fmt.Sprintf("p99 latency regressed %s (%.2f -> %.2f ms)",
+			pct(base.Latency.P99Ms, cur.Latency.P99Ms), base.Latency.P99Ms, cur.Latency.P99Ms))
+	}
+	if base.ThroughputRps > 0 && cur.ThroughputRps < base.ThroughputRps*(1-*tolerance) {
+		failures = append(failures, fmt.Sprintf("throughput regressed %s (%.2f -> %.2f rps)",
+			pct(base.ThroughputRps, cur.ThroughputRps), base.ThroughputRps, cur.ThroughputRps))
+	}
+	if cur.ErrorRate > base.ErrorRate+*errDelta {
+		failures = append(failures, fmt.Sprintf("error rate rose %.3f -> %.3f (allowed delta %.3f)",
+			base.ErrorRate, cur.ErrorRate, *errDelta))
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(out, "  REGRESSION: %s\n", f)
+		}
+		return fmt.Errorf("%d regression(s) beyond %.0f%% tolerance", len(failures), 100**tolerance)
+	}
+	fmt.Fprintln(out, "  OK: within tolerance")
+	return nil
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"accelcloud/internal/loadgen"
+)
+
+// writeReport writes a minimal report file for comparison tests.
+func writeReport(t *testing.T, dir, name string, p99, rps, errRate float64, digest string) string {
+	t.Helper()
+	rep := &loadgen.Report{
+		Schema:         loadgen.Schema,
+		Mode:           "concurrent",
+		Users:          4,
+		Latency:        loadgen.LatencySummary{N: 100, P99Ms: p99, P50Ms: p99 / 2},
+		ThroughputRps:  rps,
+		ErrorRate:      errRate,
+		ScheduleDigest: digest,
+	}
+	path := filepath.Join(dir, name)
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBenchdiffWithinTolerance(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", 100, 50, 0, "fnv1a:aa")
+	cur := writeReport(t, dir, "cur.json", 110, 46, 0, "fnv1a:aa") // +10% / −8%
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur, "-tolerance", "0.20"}, &out); err != nil {
+		t.Fatalf("within tolerance should pass: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "OK: within tolerance") {
+		t.Fatalf("missing verdict: %q", out.String())
+	}
+}
+
+func TestBenchdiffLatencyRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", 100, 50, 0, "fnv1a:aa")
+	cur := writeReport(t, dir, "cur.json", 130, 50, 0, "fnv1a:aa") // +30% p99
+	var out bytes.Buffer
+	err := run([]string{"-baseline", base, "-current", cur, "-tolerance", "0.20"}, &out)
+	if err == nil {
+		t.Fatal("30% p99 regression must fail at 20% tolerance")
+	}
+	if !strings.Contains(out.String(), "REGRESSION: p99 latency") {
+		t.Fatalf("missing regression line: %q", out.String())
+	}
+}
+
+func TestBenchdiffThroughputRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", 100, 50, 0, "fnv1a:aa")
+	cur := writeReport(t, dir, "cur.json", 100, 30, 0, "fnv1a:aa") // −40% throughput
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur}, &out); err == nil {
+		t.Fatal("throughput collapse must fail")
+	}
+}
+
+func TestBenchdiffImprovementPasses(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", 100, 50, 0.01, "fnv1a:aa")
+	cur := writeReport(t, dir, "cur.json", 40, 200, 0, "fnv1a:aa")
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur}, &out); err != nil {
+		t.Fatalf("improvement must never fail: %v", err)
+	}
+}
+
+func TestBenchdiffErrorRateDelta(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", 100, 50, 0, "fnv1a:aa")
+	cur := writeReport(t, dir, "cur.json", 100, 50, 0.19, "fnv1a:aa")
+	var out bytes.Buffer
+	// 0% -> 19% errors must fail even though p99/throughput are flat.
+	if err := run([]string{"-baseline", base, "-current", cur}, &out); err == nil {
+		t.Fatal("error-rate jump must fail the gate")
+	}
+	if !strings.Contains(out.String(), "error rate rose") {
+		t.Fatalf("missing error-rate regression line: %q", out.String())
+	}
+	// A generous explicit delta allows it.
+	if err := run([]string{"-baseline", base, "-current", cur, "-max-error-rate-delta", "0.25"}, &out); err != nil {
+		t.Fatalf("explicit delta should pass: %v", err)
+	}
+	if err := run([]string{"-baseline", base, "-current", cur, "-max-error-rate-delta", "-1"}, &out); err == nil {
+		t.Fatal("negative delta must be rejected")
+	}
+}
+
+func TestBenchdiffScheduleMismatch(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", 100, 50, 0, "fnv1a:aa")
+	cur := writeReport(t, dir, "cur.json", 100, 50, 0, "fnv1a:bb")
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur}, &out); err == nil {
+		t.Fatal("digest mismatch must fail without -ignore-schedule")
+	}
+	if err := run([]string{"-baseline", base, "-current", cur, "-ignore-schedule"}, &out); err != nil {
+		t.Fatalf("-ignore-schedule should allow the comparison: %v", err)
+	}
+}
+
+func TestBenchdiffBadInputs(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", 100, 50, 0, "fnv1a:aa")
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", filepath.Join(dir, "missing.json")}, &out); err == nil {
+		t.Fatal("missing current report must fail")
+	}
+	if err := run([]string{"-baseline", base, "-current", base, "-tolerance", "-1"}, &out); err == nil {
+		t.Fatal("negative tolerance must fail")
+	}
+}

@@ -1,0 +1,156 @@
+// Command loadgen replays deterministic multi-user request schedules
+// against an sdnd front-end and reports latency percentiles, throughput,
+// and error rate (the BENCH_loadgen.json schema consumed by
+// cmd/benchdiff and the bench-regression CI gate).
+//
+// Usage:
+//
+//	loadgen -frontend http://127.0.0.1:9100 -mode concurrent \
+//	        -users 16 -rate 5 -duration 10s -seed 1 -out BENCH_loadgen.json
+//
+//	# Hermetic: boot an in-process front-end + surrogates, no ports:
+//	loadgen -frontend self -users 4 -duration 2s
+//
+// Two runs with the same -seed replay identical request schedules
+// (same per-request user/task/size/group sequence); -print-schedule
+// dumps the schedule for diffing.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"accelcloud/internal/loadgen"
+	"accelcloud/internal/sdn"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// parseGroups parses a comma-separated group list.
+func parseGroups(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		g, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad group %q: %w", part, err)
+		}
+		out = append(out, g)
+	}
+	return out, nil
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(out)
+	frontend := fs.String("frontend", "self", `sdnd base URL, or "self" for an in-process hermetic cluster`)
+	users := fs.Int("users", 8, "simulated users (sweep mode synthesizes one id per request and ignores this)")
+	duration := fs.Duration("duration", 5*time.Second, "nominal run length")
+	rate := fs.Float64("rate", 1, "per-user request rate in Hz (sweep: starting aggregate rate)")
+	mode := fs.String("mode", "concurrent", "replay discipline: concurrent|interarrival|sweep")
+	seed := fs.Int64("seed", 1, "root seed; same seed = same schedule")
+	outPath := fs.String("out", "", "write the JSON report to this path")
+	task := fs.String("task", "", "pin every request to one pool task (empty = random)")
+	groupsFlag := fs.String("groups", "1", "comma-separated acceleration groups, spread across users")
+	inflight := fs.Int("inflight", 0, "max concurrent in-flight requests (0 = mode default)")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request timeout")
+	sweepSteps := fs.Int("sweep-steps", 3, "rate doublings in sweep mode")
+	printSchedule := fs.Bool("print-schedule", false, "dump the deterministic schedule instead of running")
+	maxErrorRate := fs.Float64("max-error-rate", 1, "exit non-zero when the error rate exceeds this")
+	sloP99 := fs.Float64("slo-p99", 0, "SLO: p99 latency bound in ms (0 = unchecked)")
+	sloTput := fs.Float64("slo-throughput", 0, "SLO: minimum throughput in rps (0 = unchecked)")
+	selfGroups := fs.Int("self-groups", 2, `groups in the "self" hermetic cluster`)
+	selfBackends := fs.Int("self-backends", 2, `surrogates per group in the "self" cluster`)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := loadgen.ParseMode(*mode)
+	if err != nil {
+		return err
+	}
+	groups, err := parseGroups(*groupsFlag)
+	if err != nil {
+		return err
+	}
+	cfg := loadgen.Config{
+		Mode:        m,
+		Users:       *users,
+		Duration:    *duration,
+		RateHz:      *rate,
+		Seed:        *seed,
+		Groups:      groups,
+		MaxInFlight: *inflight,
+		Timeout:     *timeout,
+		FixedTask:   *task,
+		SweepSteps:  *sweepSteps,
+	}
+	if *sloP99 > 0 || *sloTput > 0 {
+		cfg.SLO = &loadgen.SLO{P99Ms: *sloP99, MinThroughputRps: *sloTput, MaxErrorRate: *maxErrorRate}
+	}
+
+	if *printSchedule {
+		plan, err := loadgen.BuildPlan(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, plan.Describe())
+		return nil
+	}
+
+	baseURL := *frontend
+	if baseURL == "self" {
+		cluster, err := loadgen.StartCluster(loadgen.ClusterConfig{
+			Groups:             *selfGroups,
+			SurrogatesPerGroup: *selfBackends,
+		})
+		if err != nil {
+			return err
+		}
+		defer cluster.Close()
+		baseURL = cluster.URL()
+		fmt.Fprintf(out, "loadgen: hermetic cluster: %d groups x %d surrogates at %s\n",
+			*selfGroups, *selfBackends, baseURL)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := sdn.WaitHealthy(ctx, baseURL); err != nil {
+		return err
+	}
+	report, err := loadgen.Run(ctx, baseURL, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, report.Summary())
+	if *outPath != "" {
+		if err := report.WriteFile(*outPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "loadgen: wrote %s\n", *outPath)
+	}
+	if report.Completed == 0 {
+		return fmt.Errorf("no request completed (%d errors)", report.Errors)
+	}
+	if report.ErrorRate > *maxErrorRate {
+		return fmt.Errorf("error rate %.3f exceeds -max-error-rate %.3f", report.ErrorRate, *maxErrorRate)
+	}
+	if report.SLO != nil && !report.SLO.Pass {
+		return fmt.Errorf("SLO failed: %s", strings.Join(report.SLO.Violations, "; "))
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"accelcloud/internal/loadgen"
+)
+
+func TestPrintScheduleDeterministic(t *testing.T) {
+	args := []string{"-print-schedule", "-users", "3", "-duration", "2s",
+		"-rate", "4", "-seed", "7", "-mode", "interarrival", "-groups", "1,2"}
+	var a, b bytes.Buffer
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same -seed produced different schedules")
+	}
+	if !strings.Contains(a.String(), "digest=fnv1a:") {
+		t.Fatalf("schedule header missing digest: %q", a.String()[:80])
+	}
+	lines := strings.Count(a.String(), "\n")
+	if lines < 3 {
+		t.Fatalf("schedule too short: %d lines", lines)
+	}
+	// A different seed rerolls the schedule.
+	var c bytes.Buffer
+	args[9] = "8" // -seed value
+	if err := run(args, &c); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == c.String() {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestRunHermeticWritesReport(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "report.json")
+	var out bytes.Buffer
+	err := run([]string{"-frontend", "self", "-users", "2", "-duration", "1s",
+		"-rate", "2", "-seed", "3", "-groups", "1,2", "-out", outPath,
+		"-max-error-rate", "0"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "hermetic cluster") || !strings.Contains(s, "p99=") {
+		t.Fatalf("summary incomplete: %q", s)
+	}
+	rep, err := loadgen.ReadReportFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 4 || rep.Errors != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-mode", "bogus"}, &out); err == nil {
+		t.Fatal("bogus mode accepted")
+	}
+	if err := run([]string{"-groups", "1,x"}, &out); err == nil {
+		t.Fatal("bad group list accepted")
+	}
+	if err := run([]string{"-users", "0", "-print-schedule"}, &out); err == nil {
+		t.Fatal("zero users accepted")
+	}
+}
+
+func TestRunFailsOnUnroutableGroup(t *testing.T) {
+	// All traffic aimed at a group the hermetic cluster does not serve:
+	// the run must exit non-zero under -max-error-rate 0.
+	var out bytes.Buffer
+	err := run([]string{"-frontend", "self", "-users", "1", "-duration", "1s",
+		"-rate", "1", "-groups", "9", "-self-groups", "1"}, &out)
+	if err == nil {
+		t.Fatal("run with 100% errors should fail")
+	}
+}

@@ -33,23 +33,47 @@ func diurnalUsers(hour, group int) int {
 func run() error {
 	store := accelcloud.NewTraceStore()
 	// Two days of history: the first day trains the model, the second is
-	// predicted hour by hour.
+	// predicted hour by hour. Response times are drawn per acceleration
+	// group (higher groups respond faster) and folded into log-bucketed
+	// histograms — the same SLO digest the load generator reports.
+	rng := accelcloud.NewRNG(1).Stream("autoscale-rtt")
+	groupBaseMs := []float64{700, 350, 150}
+	hists := make([]*accelcloud.LogHist, 3)
+	for g := range hists {
+		hists[g] = accelcloud.NewLatencyHist()
+	}
 	for h := 0; h < 48; h++ {
 		for g := 0; g < 3; g++ {
 			users := diurnalUsers(h%24, g)
 			for u := 0; u < users; u++ {
+				rttMs := groupBaseMs[g] * (0.6 + 0.8*rng.Float64())
+				hists[g].Add(rttMs)
 				if err := store.Append(accelcloud.TraceRecord{
 					Timestamp:    accelcloud.Epoch.Add(time.Duration(h)*time.Hour + time.Duration(u)*time.Second),
 					UserID:       g*1000 + u,
 					Group:        g,
 					BatteryLevel: 1,
-					RTT:          300 * time.Millisecond,
+					RTT:          time.Duration(rttMs * float64(time.Millisecond)),
 				}); err != nil {
 					return err
 				}
 			}
 		}
 	}
+	fmt.Println("request-log latency per group (log-bucketed digest):")
+	for g, h := range hists {
+		p50, err := h.Quantile(0.50)
+		if err != nil {
+			return err
+		}
+		p99, err := h.Quantile(0.99)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  group %d: n=%-5d p50=%.0f ms  p99=%.0f ms  max=%.0f ms\n",
+			g, h.Total(), p50, p99, h.Max())
+	}
+	fmt.Println()
 
 	specs := []accelcloud.AllocSpec{
 		{TypeName: "t2.nano", Group: 0, CostPerHour: 0.0063, Capacity: 30},

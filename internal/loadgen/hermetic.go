@@ -1,0 +1,96 @@
+package loadgen
+
+import (
+	"fmt"
+	"net/http/httptest"
+
+	"accelcloud/internal/dalvik"
+	"accelcloud/internal/sdn"
+	"accelcloud/internal/tasks"
+	"accelcloud/internal/trace"
+)
+
+// Cluster is a hermetic in-process service stack: a real sdn.FrontEnd
+// routing over loopback httptest sockets to real dalvik.Surrogate
+// back-ends, with the full rpc protocol in between. Nothing binds a
+// fixed port, so the full stack can be load-tested inside `go test` and
+// CI without coordination.
+type Cluster struct {
+	front      *httptest.Server
+	frontEnd   *sdn.FrontEnd
+	backends   []*httptest.Server
+	surrogates []*dalvik.Surrogate
+	log        *trace.Store
+}
+
+// ClusterConfig sizes the hermetic stack.
+type ClusterConfig struct {
+	// Groups is the number of acceleration groups, numbered 1..Groups.
+	// 0 selects 1.
+	Groups int
+	// SurrogatesPerGroup is the back-end count per group. 0 selects 1.
+	SurrogatesPerGroup int
+	// MaxProcs bounds each surrogate's worker slots. 0 selects
+	// dalvik.DefaultMaxProcs.
+	MaxProcs int
+}
+
+// StartCluster boots the stack. Callers must Close it.
+func StartCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Groups <= 0 {
+		cfg.Groups = 1
+	}
+	if cfg.SurrogatesPerGroup <= 0 {
+		cfg.SurrogatesPerGroup = 1
+	}
+	log := trace.NewStore()
+	fe, err := sdn.NewFrontEnd(log, 0)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{frontEnd: fe, log: log}
+	for g := 1; g <= cfg.Groups; g++ {
+		for i := 0; i < cfg.SurrogatesPerGroup; i++ {
+			sur, err := dalvik.NewSurrogate(fmt.Sprintf("surrogate-g%d-%d", g, i), cfg.MaxProcs)
+			if err != nil {
+				c.Close()
+				return nil, err
+			}
+			if err := sur.PushPool(tasks.DefaultPool()); err != nil {
+				c.Close()
+				return nil, err
+			}
+			backend := httptest.NewServer(sur.Handler())
+			c.backends = append(c.backends, backend)
+			c.surrogates = append(c.surrogates, sur)
+			if err := fe.Register(g, backend.URL); err != nil {
+				c.Close()
+				return nil, err
+			}
+		}
+	}
+	c.front = httptest.NewServer(fe.Handler())
+	return c, nil
+}
+
+// URL is the front-end base URL to aim the load generator at.
+func (c *Cluster) URL() string { return c.front.URL }
+
+// FrontEnd exposes the front-end for counter assertions.
+func (c *Cluster) FrontEnd() *sdn.FrontEnd { return c.frontEnd }
+
+// Surrogates exposes the back-ends for counter assertions.
+func (c *Cluster) Surrogates() []*dalvik.Surrogate { return c.surrogates }
+
+// TraceLen reports how many requests the front-end logged.
+func (c *Cluster) TraceLen() int { return c.log.Len() }
+
+// Close shuts the stack down, front-end first.
+func (c *Cluster) Close() {
+	if c.front != nil {
+		c.front.Close()
+	}
+	for _, b := range c.backends {
+		b.Close()
+	}
+}

@@ -1,0 +1,389 @@
+// Package loadgen drives the real service layer (sdn.FrontEnd routing to
+// dalvik surrogates over the rpc protocol) with the multi-client load the
+// paper's evaluation assumes but cmd/offload never produced: N simulated
+// users replaying internal/workload request schedules, closed- or
+// open-loop, with per-request latency folded into log-bucketed histograms
+// and an SLO report (p50/p90/p99/p999, throughput, error rate, per-group
+// breakdown) emitted as JSON for the CI regression gate.
+//
+// Determinism contract: the *schedule* — which user issues which task at
+// which size against which group, and (open loop) at which offset — is a
+// pure function of the Config, because every user draws from its own
+// sim.RNG substream. Two runs with the same seed replay identical request
+// sequences; only the measured latencies differ. ScheduleDigest hashes
+// the sequence so reports can prove it.
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strings"
+	"time"
+
+	"accelcloud/internal/sim"
+	"accelcloud/internal/stats"
+	"accelcloud/internal/tasks"
+	"accelcloud/internal/workload"
+)
+
+// Mode selects the replay discipline.
+type Mode string
+
+const (
+	// ModeConcurrent is the closed loop: each user keeps exactly one
+	// request in flight, issuing the next the moment the previous
+	// response lands (ThinkAir-style parallel offloading benchmark).
+	ModeConcurrent Mode = "concurrent"
+	// ModeInterArrival is the open loop: requests fire at pre-drawn
+	// exponential arrival times regardless of completions (realistic
+	// time-varying load).
+	ModeInterArrival Mode = "interarrival"
+	// ModeSweep is the open-loop doubling-rate stress sweep of Fig 8:
+	// the arrival rate doubles every step until the back-end saturates.
+	ModeSweep Mode = "sweep"
+)
+
+// ParseMode validates a mode string.
+func ParseMode(s string) (Mode, error) {
+	switch Mode(s) {
+	case ModeConcurrent, ModeInterArrival, ModeSweep:
+		return Mode(s), nil
+	}
+	return "", fmt.Errorf("loadgen: unknown mode %q (want concurrent|interarrival|sweep)", s)
+}
+
+// Config parameterizes one load-generation run.
+type Config struct {
+	// Mode is the replay discipline; empty selects ModeConcurrent.
+	Mode Mode
+	// Users is the number of simulated devices.
+	Users int
+	// Duration is the nominal run length. Closed loop converts it to a
+	// fixed per-user request count (RateHz × Duration) so the schedule
+	// stays deterministic; open loop replays arrivals inside it.
+	Duration time.Duration
+	// RateHz is the per-user request rate (closed loop and
+	// interarrival) or the sweep's starting aggregate rate. 0 selects 1.
+	RateHz float64
+	// Seed roots every substream of the run.
+	Seed int64
+	// Groups are the acceleration groups users are spread across
+	// round-robin by user id; nil selects group 1.
+	Groups []int
+	// MaxInFlight bounds concurrent outstanding requests. 0 selects
+	// Users for the closed loop and 256 for open loops.
+	MaxInFlight int
+	// Timeout bounds each request; 0 selects 10 s.
+	Timeout time.Duration
+	// Pool is the task pool; nil selects tasks.DefaultPool().
+	Pool *tasks.Pool
+	// Sizer draws task sizes; nil selects workload.DefaultSizer().
+	Sizer workload.Sizer
+	// FixedTask pins every request to one task (empty = random draw).
+	FixedTask string
+	// SweepSteps is the number of rate doublings in ModeSweep; 0
+	// selects 3.
+	SweepSteps int
+	// SLO, when non-nil, is evaluated into the report.
+	SLO *SLO
+}
+
+// normalized returns a copy with defaults applied, or an error for
+// invalid settings.
+func (c Config) normalized() (Config, error) {
+	if c.Mode == "" {
+		c.Mode = ModeConcurrent
+	}
+	if _, err := ParseMode(string(c.Mode)); err != nil {
+		return c, err
+	}
+	if c.Users <= 0 {
+		return c, fmt.Errorf("loadgen: users %d <= 0", c.Users)
+	}
+	if c.Duration <= 0 {
+		return c, fmt.Errorf("loadgen: duration %v <= 0", c.Duration)
+	}
+	if c.RateHz < 0 {
+		return c, fmt.Errorf("loadgen: rate %v < 0", c.RateHz)
+	}
+	if c.RateHz == 0 {
+		c.RateHz = 1
+	}
+	// The open-loop generator floors inter-arrival gaps at 1 ms, so
+	// per-user rates above 1 kHz would be silently biased downward —
+	// reject them instead (the sweep reaches high aggregate rates by
+	// doubling, not per-user).
+	if c.Mode == ModeInterArrival && c.RateHz > 1000 {
+		return c, fmt.Errorf("loadgen: interarrival rate %v Hz exceeds the 1 kHz per-user ceiling (1 ms gap floor)", c.RateHz)
+	}
+	if len(c.Groups) == 0 {
+		c.Groups = []int{1}
+	}
+	for _, g := range c.Groups {
+		if g < 0 {
+			return c, fmt.Errorf("loadgen: negative group %d", g)
+		}
+	}
+	if c.MaxInFlight < 0 {
+		return c, fmt.Errorf("loadgen: max in flight %d < 0", c.MaxInFlight)
+	}
+	if c.MaxInFlight == 0 {
+		if c.Mode == ModeConcurrent {
+			c.MaxInFlight = c.Users
+		} else {
+			c.MaxInFlight = 256
+		}
+	}
+	if c.Timeout < 0 {
+		return c, fmt.Errorf("loadgen: timeout %v < 0", c.Timeout)
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 10 * time.Second
+	}
+	if c.Pool == nil {
+		c.Pool = tasks.DefaultPool()
+	}
+	if c.Sizer == nil {
+		c.Sizer = workload.DefaultSizer()
+	}
+	if c.SweepSteps <= 0 {
+		c.SweepSteps = 3
+	}
+	return c, nil
+}
+
+// planned is one fully materialized request: schedule metadata plus the
+// generated application state ready to ship.
+type planned struct {
+	// Offset is the arrival offset from run start (open loop only; the
+	// closed loop issues back-to-back).
+	Offset time.Duration
+	// User is the issuing device.
+	User int
+	// Group is the acceleration group the request asks for.
+	Group int
+	// Battery is the logged battery level, drawn per user.
+	Battery float64
+	// TaskName and Size identify the drawn work.
+	TaskName string
+	Size     int
+	// State is the serialized application state.
+	State tasks.State
+}
+
+// Plan is a deterministic request schedule ready for replay.
+type Plan struct {
+	// Mode echoes the generating config.
+	Mode Mode
+	// Seed echoes the root seed.
+	Seed int64
+	// PerUser holds each user's serial sequence (closed loop).
+	PerUser [][]planned
+	// Timeline holds the merged arrival-ordered sequence (open loops).
+	Timeline []planned
+}
+
+// Requests counts the planned requests.
+func (p *Plan) Requests() int {
+	if len(p.Timeline) > 0 {
+		return len(p.Timeline)
+	}
+	n := 0
+	for _, seq := range p.PerUser {
+		n += len(seq)
+	}
+	return n
+}
+
+// each visits every planned request in canonical order: user-major for
+// the closed loop, arrival order for open loops.
+func (p *Plan) each(fn func(planned)) {
+	if len(p.Timeline) > 0 {
+		for _, pr := range p.Timeline {
+			fn(pr)
+		}
+		return
+	}
+	for _, seq := range p.PerUser {
+		for _, pr := range seq {
+			fn(pr)
+		}
+	}
+}
+
+// Digest hashes the schedule — user, group, task, size, battery, and
+// (open loop) arrival offset of every request in canonical order — so
+// two runs can prove they replayed the same sequence.
+func (p *Plan) Digest() string {
+	h := fnv.New64a()
+	buf := make([]byte, 8)
+	writeInt := func(v int64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(uint64(v) >> (8 * i))
+		}
+		_, _ = h.Write(buf)
+	}
+	writeInt(p.Seed)
+	_, _ = h.Write([]byte(p.Mode))
+	p.each(func(pr planned) {
+		writeInt(int64(pr.Offset))
+		writeInt(int64(pr.User))
+		writeInt(int64(pr.Group))
+		writeInt(int64(pr.Battery * 1e6))
+		_, _ = h.Write([]byte(pr.TaskName))
+		writeInt(int64(pr.Size))
+	})
+	return fmt.Sprintf("fnv1a:%016x", h.Sum64())
+}
+
+// Describe renders the schedule as one line per request in canonical
+// order — the artifact two same-seed runs can be diffed on.
+func (p *Plan) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# loadgen schedule mode=%s seed=%d requests=%d digest=%s\n",
+		p.Mode, p.Seed, p.Requests(), p.Digest())
+	b.WriteString("# offset_ms\tuser\tgroup\ttask\tsize\n")
+	p.each(func(pr planned) {
+		fmt.Fprintf(&b, "%.3f\t%d\t%d\t%s\t%d\n",
+			float64(pr.Offset)/float64(time.Millisecond), pr.User, pr.Group, pr.TaskName, pr.Size)
+	})
+	return b.String()
+}
+
+// group maps a user to its acceleration group.
+func group(groups []int, user int) int {
+	return groups[user%len(groups)]
+}
+
+// battery draws a user's logged battery level from its own substream.
+func battery(root *sim.RNG, user int) float64 {
+	r := root.SubN("battery", user).Stream("draw")
+	return 0.2 + 0.8*r.Float64()
+}
+
+// materialize attaches group, battery, and the generated task state to a
+// workload request. State generation draws from the per-user state
+// substream so it is as order-independent as the schedule itself.
+func materialize(req workload.Request, groups []int, batteryLevel float64, stateRNG *rand.Rand, pool *tasks.Pool, offset time.Duration) (planned, error) {
+	task, err := pool.ByName(req.TaskName)
+	if err != nil {
+		return planned{}, err
+	}
+	st, err := task.Generate(stateRNG, req.Size)
+	if err != nil {
+		return planned{}, fmt.Errorf("loadgen: generate %s(%d): %w", req.TaskName, req.Size, err)
+	}
+	return planned{
+		Offset:   offset,
+		User:     req.UserID,
+		Group:    group(groups, req.UserID),
+		Battery:  batteryLevel,
+		TaskName: req.TaskName,
+		Size:     req.Size,
+		State:    st,
+	}, nil
+}
+
+// BuildPlan materializes the deterministic schedule for a config.
+func BuildPlan(cfg Config) (*Plan, error) {
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	root := sim.NewRNG(cfg.Seed).Sub("loadgen")
+	plan := &Plan{Mode: cfg.Mode, Seed: cfg.Seed}
+	switch cfg.Mode {
+	case ModeConcurrent:
+		perUser := int(cfg.RateHz*cfg.Duration.Seconds() + 0.5)
+		if perUser < 1 {
+			perUser = 1
+		}
+		seqs, err := workload.GenerateClosedLoop(root, workload.ClosedLoopConfig{
+			Users:     cfg.Users,
+			PerUser:   perUser,
+			Pool:      cfg.Pool,
+			Sizer:     cfg.Sizer,
+			FixedTask: cfg.FixedTask,
+		})
+		if err != nil {
+			return nil, err
+		}
+		plan.PerUser = make([][]planned, len(seqs))
+		for u, seq := range seqs {
+			bat := battery(root, u)
+			stateRNG := root.SubN("state", u).Stream("gen")
+			out := make([]planned, 0, len(seq))
+			for _, req := range seq {
+				pr, err := materialize(req, cfg.Groups, bat, stateRNG, cfg.Pool, 0)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, pr)
+			}
+			plan.PerUser[u] = out
+		}
+	case ModeInterArrival:
+		reqs, err := workload.GenerateUserStreams(root, sim.Epoch, workload.InterArrivalConfig{
+			Users:        cfg.Users,
+			InterArrival: stats.Exponential{Rate: cfg.RateHz / 1000}, // per-ms rate
+			Duration:     cfg.Duration,
+			Pool:         cfg.Pool,
+			Sizer:        cfg.Sizer,
+			FixedTask:    cfg.FixedTask,
+		})
+		if err != nil {
+			return nil, err
+		}
+		plan.Timeline, err = materializeTimeline(reqs, cfg, root)
+		if err != nil {
+			return nil, err
+		}
+	case ModeSweep:
+		reqs, err := workload.GenerateArrivalSweep(root.Sub("sweep").Stream("draws"), sim.Epoch, workload.ArrivalRateConfig{
+			StartHz:   cfg.RateHz,
+			Steps:     cfg.SweepSteps,
+			Step:      cfg.Duration / time.Duration(cfg.SweepSteps),
+			Pool:      cfg.Pool,
+			Sizer:     cfg.Sizer,
+			FixedTask: cfg.FixedTask,
+		})
+		if err != nil {
+			return nil, err
+		}
+		plan.Timeline, err = materializeTimeline(reqs, cfg, root)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if plan.Requests() == 0 {
+		return nil, errors.New("loadgen: empty schedule (duration too short for the rate)")
+	}
+	return plan, nil
+}
+
+// materializeTimeline converts a sorted workload stream into planned
+// requests with arrival offsets relative to run start.
+func materializeTimeline(reqs []workload.Request, cfg Config, root *sim.RNG) ([]planned, error) {
+	out := make([]planned, 0, len(reqs))
+	// State substreams are per user; consecutive requests of one user
+	// advance that user's stream in arrival order, which is fixed by the
+	// sorted schedule.
+	stateRNGs := map[int]*rand.Rand{}
+	batteries := map[int]float64{}
+	for _, req := range reqs {
+		sr, ok := stateRNGs[req.UserID]
+		if !ok {
+			sr = root.SubN("state", req.UserID).Stream("gen")
+			stateRNGs[req.UserID] = sr
+			batteries[req.UserID] = battery(root, req.UserID)
+		}
+		pr, err := materialize(req, cfg.Groups, batteries[req.UserID], sr, cfg.Pool, req.At.Sub(sim.Epoch))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pr)
+	}
+	return out, nil
+}

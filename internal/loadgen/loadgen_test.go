@@ -1,0 +1,297 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBuildPlanDeterministic(t *testing.T) {
+	for _, mode := range []Mode{ModeConcurrent, ModeInterArrival, ModeSweep} {
+		cfg := Config{
+			Mode:     mode,
+			Users:    6,
+			Duration: 2 * time.Second,
+			RateHz:   5,
+			Seed:     99,
+			Groups:   []int{1, 2},
+		}
+		a, err := BuildPlan(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		b, err := BuildPlan(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if a.Requests() == 0 {
+			t.Fatalf("%s: empty plan", mode)
+		}
+		if a.Digest() != b.Digest() {
+			t.Fatalf("%s: same config, different digests %s vs %s", mode, a.Digest(), b.Digest())
+		}
+		// Beyond the digest: the full (user, group, task, size) sequence
+		// must match element-wise, states included.
+		var sa, sb []planned
+		a.each(func(pr planned) { sa = append(sa, pr) })
+		b.each(func(pr planned) { sb = append(sb, pr) })
+		if len(sa) != len(sb) {
+			t.Fatalf("%s: lengths differ", mode)
+		}
+		for i := range sa {
+			if sa[i].User != sb[i].User || sa[i].Group != sb[i].Group ||
+				sa[i].TaskName != sb[i].TaskName || sa[i].Size != sb[i].Size ||
+				sa[i].Offset != sb[i].Offset || sa[i].Battery != sb[i].Battery ||
+				!bytes.Equal(sa[i].State.Data, sb[i].State.Data) {
+				t.Fatalf("%s: request %d differs: %+v vs %+v", mode, i, sa[i], sb[i])
+			}
+		}
+		cfg.Seed = 100
+		c, err := BuildPlan(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Digest() == a.Digest() {
+			t.Fatalf("%s: different seeds share a digest", mode)
+		}
+	}
+}
+
+func TestBuildPlanGroupsSpread(t *testing.T) {
+	plan, err := BuildPlan(Config{
+		Users:    4,
+		Duration: time.Second,
+		RateHz:   3,
+		Seed:     1,
+		Groups:   []int{1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	plan.each(func(pr planned) {
+		seen[pr.Group] = true
+		if pr.Group != 1+pr.User%2 {
+			t.Fatalf("user %d routed to group %d", pr.User, pr.Group)
+		}
+		if pr.Battery < 0.2 || pr.Battery > 1 {
+			t.Fatalf("battery %v outside [0.2,1]", pr.Battery)
+		}
+	})
+	if !seen[1] || !seen[2] {
+		t.Fatalf("groups not covered: %v", seen)
+	}
+}
+
+func TestBuildPlanValidation(t *testing.T) {
+	bad := []Config{
+		{Users: 0, Duration: time.Second},
+		{Users: 1, Duration: 0},
+		{Users: 1, Duration: time.Second, RateHz: -1},
+		{Users: 1, Duration: time.Second, Groups: []int{-1}},
+		{Users: 1, Duration: time.Second, Mode: "bogus"},
+		{Users: 1, Duration: time.Second, FixedTask: "nope"},
+		{Users: 1, Duration: time.Second, MaxInFlight: -1},
+		{Users: 1, Duration: time.Second, Timeout: -time.Second},
+		// Per-user rates above the 1 ms gap floor's 1 kHz ceiling would
+		// silently bias the open-loop schedule; they must be rejected.
+		{Users: 1, Duration: time.Second, Mode: ModeInterArrival, RateHz: 2000},
+	}
+	for i, cfg := range bad {
+		if _, err := BuildPlan(cfg); err == nil {
+			t.Fatalf("case %d should fail: %+v", i, cfg)
+		}
+	}
+}
+
+// hermeticRun boots a cluster and replays cfg against it.
+func hermeticRun(t *testing.T, ccfg ClusterConfig, cfg Config) *Report {
+	t.Helper()
+	cluster, err := StartCluster(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Close)
+	rep, err := Run(context.Background(), cluster.URL(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestRunClosedLoopHermetic(t *testing.T) {
+	rep := hermeticRun(t,
+		ClusterConfig{Groups: 2, SurrogatesPerGroup: 2},
+		Config{
+			Mode:     ModeConcurrent,
+			Users:    4,
+			Duration: time.Second,
+			RateHz:   5, // 5 requests per user
+			Seed:     7,
+			Groups:   []int{1, 2},
+			SLO:      &SLO{P99Ms: 60_000, MaxErrorRate: 0},
+		})
+	if rep.Requests != 20 {
+		t.Fatalf("requests = %d, want 4 users x 5", rep.Requests)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d", rep.Errors)
+	}
+	if rep.Completed != rep.Requests || rep.ThroughputRps <= 0 {
+		t.Fatalf("completed=%d throughput=%v", rep.Completed, rep.ThroughputRps)
+	}
+	l := rep.Latency
+	if l.N != 20 || l.P50Ms <= 0 || l.P99Ms < l.P50Ms || l.P999Ms < l.P99Ms || l.MaxMs < l.P999Ms {
+		t.Fatalf("latency summary inconsistent: %+v", l)
+	}
+	// Per-group breakdown partitions the run.
+	n, e := 0, 0
+	for _, g := range rep.Groups {
+		n += g.Requests
+		e += g.Errors
+	}
+	if n != rep.Requests || e != rep.Errors {
+		t.Fatalf("group breakdown %d/%d does not partition %d/%d", n, e, rep.Requests, rep.Errors)
+	}
+	if len(rep.Groups) != 2 {
+		t.Fatalf("groups = %v", rep.Groups)
+	}
+	if rep.SLO == nil || !rep.SLO.Pass {
+		t.Fatalf("SLO should pass: %+v", rep.SLO)
+	}
+	if rep.ScheduleDigest == "" || !strings.HasPrefix(rep.ScheduleDigest, "fnv1a:") {
+		t.Fatalf("digest = %q", rep.ScheduleDigest)
+	}
+}
+
+func TestRunOpenLoopHermetic(t *testing.T) {
+	rep := hermeticRun(t,
+		ClusterConfig{Groups: 1, SurrogatesPerGroup: 1},
+		Config{
+			Mode:     ModeInterArrival,
+			Users:    3,
+			Duration: 800 * time.Millisecond,
+			RateHz:   20,
+			Seed:     3,
+		})
+	if rep.Requests == 0 || rep.Errors != 0 {
+		t.Fatalf("requests=%d errors=%d", rep.Requests, rep.Errors)
+	}
+	if rep.Latency.P50Ms <= 0 {
+		t.Fatalf("latency = %+v", rep.Latency)
+	}
+}
+
+func TestRunSweepHermetic(t *testing.T) {
+	rep := hermeticRun(t,
+		ClusterConfig{Groups: 1, SurrogatesPerGroup: 1},
+		Config{
+			Mode:       ModeSweep,
+			Users:      1, // sweep synthesizes its own user ids
+			Duration:   600 * time.Millisecond,
+			RateHz:     8,
+			Seed:       5,
+			SweepSteps: 2,
+		})
+	if rep.Requests == 0 {
+		t.Fatal("sweep produced no requests")
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d", rep.Errors)
+	}
+}
+
+func TestRunUnknownGroupCountsErrors(t *testing.T) {
+	// Group 9 has no backend: every request must fail, none may crash
+	// the run, and the error rate must reach 1.
+	rep := hermeticRun(t,
+		ClusterConfig{Groups: 1, SurrogatesPerGroup: 1},
+		Config{
+			Mode:     ModeConcurrent,
+			Users:    2,
+			Duration: time.Second,
+			RateHz:   2,
+			Seed:     1,
+			Groups:   []int{9},
+			SLO:      &SLO{MaxErrorRate: 0},
+		})
+	if rep.Errors != rep.Requests || rep.ErrorRate != 1 {
+		t.Fatalf("errors=%d/%d rate=%v", rep.Errors, rep.Requests, rep.ErrorRate)
+	}
+	if rep.SLO == nil || rep.SLO.Pass {
+		t.Fatalf("SLO should fail: %+v", rep.SLO)
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	cluster, err := StartCluster(ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Close)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the first request
+	rep, err := Run(ctx, cluster.URL(), Config{
+		Mode:     ModeInterArrival,
+		Users:    2,
+		Duration: 2 * time.Second,
+		RateHz:   50,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 0 || rep.Errors != rep.Requests {
+		t.Fatalf("cancelled run completed %d of %d", rep.Completed, rep.Requests)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	rep := hermeticRun(t,
+		ClusterConfig{},
+		Config{Users: 2, Duration: time.Second, RateHz: 2, Seed: 11})
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ScheduleDigest != rep.ScheduleDigest || back.Requests != rep.Requests ||
+		back.Latency.P99Ms != rep.Latency.P99Ms {
+		t.Fatalf("round trip lost data: %+v vs %+v", back, rep)
+	}
+	// A wrong schema is refused.
+	bad := strings.Replace(buf.String(), Schema, "accelcloud/other/v9", 1)
+	var buf2 bytes.Buffer
+	if err := rep.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReport(strings.NewReader(bad)); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+	// The human summary carries the headline numbers.
+	s := rep.Summary()
+	if !strings.Contains(s, "p99=") || !strings.Contains(s, "throughput=") {
+		t.Fatalf("summary missing fields: %q", s)
+	}
+}
+
+func TestSLOEvaluation(t *testing.T) {
+	rep := &Report{
+		Latency:       LatencySummary{P99Ms: 120},
+		ErrorRate:     0.05,
+		ThroughputRps: 40,
+	}
+	res := evaluateSLO(rep, SLO{P99Ms: 100, MaxErrorRate: 0.01, MinThroughputRps: 50})
+	if res.Pass || len(res.Violations) != 3 {
+		t.Fatalf("expected 3 violations: %+v", res)
+	}
+	res = evaluateSLO(rep, SLO{P99Ms: 200, MaxErrorRate: 0.1, MinThroughputRps: 10})
+	if !res.Pass || len(res.Violations) != 0 {
+		t.Fatalf("expected pass: %+v", res)
+	}
+}

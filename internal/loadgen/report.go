@@ -1,0 +1,253 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+
+	"accelcloud/internal/stats"
+)
+
+// Schema identifies the report wire format; bump on breaking changes so
+// cmd/benchdiff can refuse to compare incompatible reports.
+const Schema = "accelcloud/loadgen-report/v1"
+
+// SLO is a service-level objective evaluated against a report.
+type SLO struct {
+	// P99Ms bounds the 99th-percentile latency (0 = unchecked).
+	P99Ms float64 `json:"p99Ms,omitempty"`
+	// MaxErrorRate bounds the error fraction in [0,1] (0 = errors
+	// forbidden when any other bound is set; leave the whole SLO nil to
+	// skip checking).
+	MaxErrorRate float64 `json:"maxErrorRate"`
+	// MinThroughputRps bounds completed requests per second (0 =
+	// unchecked).
+	MinThroughputRps float64 `json:"minThroughputRps,omitempty"`
+}
+
+// SLOResult reports an SLO evaluation.
+type SLOResult struct {
+	Pass       bool     `json:"pass"`
+	Violations []string `json:"violations,omitempty"`
+}
+
+// LatencySummary is the percentile digest of a latency population.
+type LatencySummary struct {
+	N      int     `json:"n"`
+	MeanMs float64 `json:"meanMs"`
+	P50Ms  float64 `json:"p50Ms"`
+	P90Ms  float64 `json:"p90Ms"`
+	P99Ms  float64 `json:"p99Ms"`
+	P999Ms float64 `json:"p999Ms"`
+	MinMs  float64 `json:"minMs"`
+	MaxMs  float64 `json:"maxMs"`
+}
+
+// GroupReport is the per-acceleration-group breakdown.
+type GroupReport struct {
+	Requests int            `json:"requests"`
+	Errors   int            `json:"errors"`
+	Latency  LatencySummary `json:"latency"`
+}
+
+// Report is the machine-readable outcome of one load-generation run
+// (the BENCH_loadgen.json schema).
+type Report struct {
+	Schema         string                 `json:"schema"`
+	Mode           string                 `json:"mode"`
+	Users          int                    `json:"users"`
+	Seed           int64                  `json:"seed"`
+	RateHz         float64                `json:"rateHz"`
+	DurationMs     float64                `json:"durationMs"`
+	WallClockMs    float64                `json:"wallClockMs"`
+	Requests       int                    `json:"requests"`
+	Completed      int                    `json:"completed"`
+	Errors         int                    `json:"errors"`
+	ErrorRate      float64                `json:"errorRate"`
+	ThroughputRps  float64                `json:"throughputRps"`
+	Latency        LatencySummary         `json:"latency"`
+	Groups         map[string]GroupReport `json:"groups"`
+	ScheduleDigest string                 `json:"scheduleDigest"`
+	SLO            *SLOResult             `json:"slo,omitempty"`
+}
+
+// summarize folds a histogram into the percentile digest. Quantile
+// errors are impossible for non-empty histograms with in-range q.
+func summarize(h *stats.LogHist) LatencySummary {
+	if h.Total() == 0 {
+		return LatencySummary{}
+	}
+	q := func(p float64) float64 {
+		v, _ := h.Quantile(p)
+		return v
+	}
+	return LatencySummary{
+		N:      h.Total(),
+		MeanMs: h.Mean(),
+		P50Ms:  q(0.50),
+		P90Ms:  q(0.90),
+		P99Ms:  q(0.99),
+		P999Ms: q(0.999),
+		MinMs:  h.Min(),
+		MaxMs:  h.Max(),
+	}
+}
+
+// buildReport aggregates records into the report.
+func buildReport(cfg Config, plan *Plan, recs []record, wall time.Duration) *Report {
+	overall := stats.NewLatencyHist()
+	perGroup := map[int]*stats.LogHist{}
+	groupReqs := map[int]int{}
+	groupErrs := map[int]int{}
+	errs := 0
+	for _, r := range recs {
+		groupReqs[r.group]++
+		if r.err != nil {
+			errs++
+			groupErrs[r.group]++
+		}
+		if r.err == errSkipped {
+			// Never-issued requests have no latency to record.
+			continue
+		}
+		overall.Add(r.latencyMs)
+		gh := perGroup[r.group]
+		if gh == nil {
+			gh = stats.NewLatencyHist()
+			perGroup[r.group] = gh
+		}
+		gh.Add(r.latencyMs)
+	}
+	completed := len(recs) - errs
+	rep := &Report{
+		Schema:         Schema,
+		Mode:           string(cfg.Mode),
+		Users:          cfg.Users,
+		Seed:           cfg.Seed,
+		RateHz:         cfg.RateHz,
+		DurationMs:     float64(cfg.Duration) / float64(time.Millisecond),
+		WallClockMs:    float64(wall) / float64(time.Millisecond),
+		Requests:       len(recs),
+		Completed:      completed,
+		Errors:         errs,
+		Latency:        summarize(overall),
+		Groups:         map[string]GroupReport{},
+		ScheduleDigest: plan.Digest(),
+	}
+	if len(recs) > 0 {
+		rep.ErrorRate = float64(errs) / float64(len(recs))
+	}
+	if wall > 0 {
+		rep.ThroughputRps = float64(completed) / wall.Seconds()
+	}
+	groups := make([]int, 0, len(groupReqs))
+	for g := range groupReqs {
+		groups = append(groups, g)
+	}
+	sort.Ints(groups)
+	for _, g := range groups {
+		gr := GroupReport{Requests: groupReqs[g], Errors: groupErrs[g]}
+		if h := perGroup[g]; h != nil {
+			gr.Latency = summarize(h)
+		}
+		rep.Groups[strconv.Itoa(g)] = gr
+	}
+	if cfg.SLO != nil {
+		rep.SLO = evaluateSLO(rep, *cfg.SLO)
+	}
+	return rep
+}
+
+// evaluateSLO checks a report against an SLO.
+func evaluateSLO(rep *Report, slo SLO) *SLOResult {
+	res := &SLOResult{Pass: true}
+	fail := func(format string, args ...any) {
+		res.Pass = false
+		res.Violations = append(res.Violations, fmt.Sprintf(format, args...))
+	}
+	if slo.P99Ms > 0 && rep.Latency.P99Ms > slo.P99Ms {
+		fail("p99 %.1f ms > SLO %.1f ms", rep.Latency.P99Ms, slo.P99Ms)
+	}
+	if rep.ErrorRate > slo.MaxErrorRate {
+		fail("error rate %.3f > SLO %.3f", rep.ErrorRate, slo.MaxErrorRate)
+	}
+	if slo.MinThroughputRps > 0 && rep.ThroughputRps < slo.MinThroughputRps {
+		fail("throughput %.1f rps < SLO %.1f rps", rep.ThroughputRps, slo.MinThroughputRps)
+	}
+	return res
+}
+
+// WriteJSON writes the report, indented, to w.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the report to path.
+func (r *Report) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("loadgen: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+	return r.WriteJSON(f)
+}
+
+// ReadReport parses a report and verifies its schema.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(rd).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("loadgen: decode report: %w", err)
+	}
+	if rep.Schema != Schema {
+		return nil, fmt.Errorf("loadgen: schema %q, want %q", rep.Schema, Schema)
+	}
+	return &rep, nil
+}
+
+// ReadReportFile parses a report file.
+func ReadReportFile(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+	return ReadReport(f)
+}
+
+// Summary renders the human-readable digest the CLI prints.
+func (r *Report) Summary() string {
+	out := fmt.Sprintf(
+		"mode=%s users=%d seed=%d schedule=%s\n"+
+			"requests=%d completed=%d errors=%d (%.1f%%) wall=%.1fs throughput=%.1f rps\n"+
+			"latency ms: p50=%.1f p90=%.1f p99=%.1f p999=%.1f mean=%.1f max=%.1f\n",
+		r.Mode, r.Users, r.Seed, r.ScheduleDigest,
+		r.Requests, r.Completed, r.Errors, 100*r.ErrorRate, r.WallClockMs/1000, r.ThroughputRps,
+		r.Latency.P50Ms, r.Latency.P90Ms, r.Latency.P99Ms, r.Latency.P999Ms, r.Latency.MeanMs, r.Latency.MaxMs)
+	keys := make([]string, 0, len(r.Groups))
+	for k := range r.Groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		g := r.Groups[k]
+		out += fmt.Sprintf("  group %s: n=%d errors=%d p50=%.1f p99=%.1f mean=%.1f\n",
+			k, g.Requests, g.Errors, g.Latency.P50Ms, g.Latency.P99Ms, g.Latency.MeanMs)
+	}
+	if r.SLO != nil {
+		if r.SLO.Pass {
+			out += "SLO: PASS\n"
+		} else {
+			out += "SLO: FAIL\n"
+			for _, v := range r.SLO.Violations {
+				out += "  " + v + "\n"
+			}
+		}
+	}
+	return out
+}

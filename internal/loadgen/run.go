@@ -1,0 +1,138 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"accelcloud/internal/rpc"
+	"accelcloud/internal/sim"
+)
+
+// record is one executed request's outcome. Records live in
+// per-request slots so the replay goroutines never share state.
+type record struct {
+	group     int
+	latencyMs float64
+	err       error
+}
+
+// doOne issues one planned request and measures the client-perceived
+// latency, errors included (an error's latency still counts toward the
+// histogram: a timed-out request was a slow request).
+func doOne(ctx context.Context, client *rpc.Client, pr planned, timeout time.Duration) record {
+	rctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	start := time.Now()
+	_, err := client.Offload(rctx, rpc.OffloadRequest{
+		UserID:       pr.User,
+		Group:        pr.Group,
+		BatteryLevel: pr.Battery,
+		State:        pr.State,
+	})
+	return record{
+		group:     pr.Group,
+		latencyMs: float64(time.Since(start)) / float64(time.Millisecond),
+		err:       err,
+	}
+}
+
+// Run builds the deterministic plan for cfg and replays it against the
+// front-end at baseURL, returning the SLO report. The context cancels
+// the run early; already-issued requests finish, unissued ones are
+// recorded as errors.
+func Run(ctx context.Context, baseURL string, cfg Config) (*Report, error) {
+	ncfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	// Build from the normalized copy so the plan and the replay share one
+	// set of effective defaults.
+	plan, err := BuildPlan(ncfg)
+	if err != nil {
+		return nil, err
+	}
+	client := rpc.NewClient(baseURL)
+	start := time.Now()
+	var recs []record
+	switch ncfg.Mode {
+	case ModeConcurrent:
+		recs = runClosedLoop(ctx, client, plan, ncfg)
+	default:
+		recs = runOpenLoop(ctx, client, plan, ncfg)
+	}
+	wall := time.Since(start)
+	report := buildReport(ncfg, plan, recs, wall)
+	return report, nil
+}
+
+// errSkipped marks requests the run never issued (cancellation).
+var errSkipped = errors.New("loadgen: request skipped (run cancelled)")
+
+// runClosedLoop replays each user's sequence serially, all users
+// concurrent up to MaxInFlight, via the shared FanOut pool. Each user
+// writes only its own record slots, so the replay is race-free by
+// construction.
+func runClosedLoop(ctx context.Context, client *rpc.Client, plan *Plan, cfg Config) []record {
+	perUser := make([][]record, len(plan.PerUser))
+	sim.FanOut(len(plan.PerUser), cfg.MaxInFlight, func(u int) {
+		seq := plan.PerUser[u]
+		out := make([]record, len(seq))
+		for j, pr := range seq {
+			if ctx.Err() != nil {
+				out[j] = record{group: pr.Group, err: errSkipped}
+				continue
+			}
+			out[j] = doOne(ctx, client, pr, cfg.Timeout)
+		}
+		perUser[u] = out
+	})
+	var recs []record
+	for _, rs := range perUser {
+		recs = append(recs, rs...)
+	}
+	return recs
+}
+
+// runOpenLoop fires timeline requests at their planned offsets,
+// regardless of completions, bounded by a MaxInFlight semaphore so a
+// saturated back-end degrades into queueing instead of unbounded
+// goroutine growth.
+func runOpenLoop(ctx context.Context, client *rpc.Client, plan *Plan, cfg Config) []record {
+	recs := make([]record, len(plan.Timeline))
+	sem := make(chan struct{}, cfg.MaxInFlight)
+	var wg sync.WaitGroup
+	start := time.Now()
+loop:
+	for i, pr := range plan.Timeline {
+		if wait := pr.Offset - time.Since(start); wait > 0 {
+			select {
+			case <-ctx.Done():
+			case <-time.After(wait):
+			}
+		}
+		if ctx.Err() != nil {
+			for j := i; j < len(plan.Timeline); j++ {
+				recs[j] = record{group: plan.Timeline[j].Group, err: errSkipped}
+			}
+			break loop
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			for j := i; j < len(plan.Timeline); j++ {
+				recs[j] = record{group: plan.Timeline[j].Group, err: errSkipped}
+			}
+			break loop
+		}
+		wg.Add(1)
+		go func(i int, pr planned) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			recs[i] = doOne(ctx, client, pr, cfg.Timeout)
+		}(i, pr)
+	}
+	wg.Wait()
+	return recs
+}

@@ -12,6 +12,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"net"
 	"net/http"
 	"time"
 
@@ -54,7 +56,7 @@ func (r OffloadRequest) Validate() error {
 	if r.Group < 0 {
 		return fmt.Errorf("rpc: negative group %d", r.Group)
 	}
-	if r.BatteryLevel < 0 || r.BatteryLevel > 1 {
+	if math.IsNaN(r.BatteryLevel) || r.BatteryLevel < 0 || r.BatteryLevel > 1 {
 		return fmt.Errorf("rpc: battery %v outside [0,1]", r.BatteryLevel)
 	}
 	if r.State.Task == "" {
@@ -123,28 +125,47 @@ func ReadJSON(r *http.Request, v any) error {
 	return nil
 }
 
+// defaultHTTPClient is shared by every Client whose HTTPClient field is
+// nil. A single pooled transport matters under load-generator
+// concurrency: the previous per-call `&http.Client{}` allocation gave
+// each request a fresh connection pool, so nothing was ever reused and
+// every request paid a TCP handshake. Keep-alive limits are sized for
+// hundreds of concurrent simulated users against a handful of hosts.
+var defaultHTTPClient = &http.Client{
+	Timeout: 30 * time.Second,
+	Transport: &http.Transport{
+		Proxy: http.ProxyFromEnvironment,
+		DialContext: (&net.Dialer{
+			Timeout:   5 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		MaxIdleConns:          1024,
+		MaxIdleConnsPerHost:   256,
+		IdleConnTimeout:       90 * time.Second,
+		TLSHandshakeTimeout:   5 * time.Second,
+		ExpectContinueTimeout: time.Second,
+	},
+}
+
 // Client calls an offloading HTTP endpoint.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
-	// HTTPClient is the underlying transport; nil selects a client with
-	// a 30 s timeout.
+	// HTTPClient is the underlying transport; nil selects the shared
+	// pooled client with a 30 s timeout.
 	HTTPClient *http.Client
 }
 
-// NewClient builds a client with the default timeout.
+// NewClient builds a client on the shared pooled transport.
 func NewClient(baseURL string) *Client {
-	return &Client{
-		BaseURL:    baseURL,
-		HTTPClient: &http.Client{Timeout: 30 * time.Second},
-	}
+	return &Client{BaseURL: baseURL}
 }
 
 func (c *Client) httpClient() *http.Client {
 	if c.HTTPClient != nil {
 		return c.HTTPClient
 	}
-	return &http.Client{Timeout: 30 * time.Second}
+	return defaultHTTPClient
 }
 
 // post sends a JSON request and decodes the JSON response.

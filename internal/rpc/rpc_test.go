@@ -3,9 +3,11 @@ package rpc
 import (
 	"context"
 	"encoding/json"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -22,11 +24,27 @@ func TestOffloadRequestValidate(t *testing.T) {
 		{Group: -1, State: tasks.State{Task: "x"}},
 		{BatteryLevel: -0.1, State: tasks.State{Task: "x"}},
 		{BatteryLevel: 1.1, State: tasks.State{Task: "x"}},
+		{BatteryLevel: math.NaN(), State: tasks.State{Task: "x"}},
+		{BatteryLevel: math.Inf(1), State: tasks.State{Task: "x"}},
+		{BatteryLevel: math.Inf(-1), State: tasks.State{Task: "x"}},
+		{UserID: math.MinInt, State: tasks.State{Task: "x"}},
 		{},
 	}
 	for i, r := range bad {
 		if err := r.Validate(); err == nil {
 			t.Fatalf("case %d should fail: %+v", i, r)
+		}
+	}
+	// Boundary values are legal: exhausted and full batteries, user 0,
+	// group 0, and very large ids.
+	good2 := []OffloadRequest{
+		{BatteryLevel: 0, State: tasks.State{Task: "x"}},
+		{BatteryLevel: 1, State: tasks.State{Task: "x"}},
+		{UserID: math.MaxInt, Group: math.MaxInt, BatteryLevel: 0.5, State: tasks.State{Task: "x"}},
+	}
+	for i, r := range good2 {
+		if err := r.Validate(); err != nil {
+			t.Fatalf("boundary case %d rejected: %+v: %v", i, r, err)
 		}
 	}
 }
@@ -130,6 +148,53 @@ func TestClientNilHTTPClientDefaults(t *testing.T) {
 	c := &Client{BaseURL: "http://127.0.0.1:1"}
 	if got := c.httpClient(); got == nil || got.Timeout != 30*time.Second {
 		t.Fatalf("default client = %+v", got)
+	}
+}
+
+func TestClientsShareOnePooledTransport(t *testing.T) {
+	// Every nil-HTTPClient rpc.Client must resolve to the same pooled
+	// http.Client, and repeated httpClient() calls must not allocate —
+	// the connection-churn bug this guards against was one fresh pool per
+	// request.
+	a, b := NewClient("http://a"), NewClient("http://b")
+	if a.httpClient() != b.httpClient() {
+		t.Fatal("distinct clients do not share the pooled transport")
+	}
+	if a.httpClient() != a.httpClient() {
+		t.Fatal("httpClient() allocates per call")
+	}
+	// An explicit override still wins.
+	own := &http.Client{Timeout: time.Second}
+	c := &Client{BaseURL: "http://c", HTTPClient: own}
+	if c.httpClient() != own {
+		t.Fatal("explicit HTTPClient ignored")
+	}
+}
+
+func TestClientConcurrentOffloads(t *testing.T) {
+	// The shared transport must be race-free and reuse connections under
+	// concurrent callers (run with -race in CI).
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		WriteJSON(w, http.StatusOK, OffloadResponse{Server: "s", Group: 1})
+	}))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+	var wg sync.WaitGroup
+	errs := make([]error, 32)
+	for i := 0; i < len(errs); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.Offload(context.Background(), OffloadRequest{
+				UserID: i, Group: 1, BatteryLevel: 1, State: tasks.State{Task: "x"},
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent offload %d: %v", i, err)
+		}
 	}
 }
 

@@ -2,9 +2,11 @@ package sdn
 
 import (
 	"context"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -188,8 +190,63 @@ func TestNewFrontEndValidation(t *testing.T) {
 func TestWaitHealthyTimeout(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
 	defer cancel()
-	if err := WaitHealthy(ctx, "http://127.0.0.1:1"); err == nil {
+	start := time.Now()
+	err := WaitHealthy(ctx, "http://127.0.0.1:1")
+	if err == nil {
 		t.Fatal("unreachable server should time out")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error should wrap the context deadline: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout not honored: waited %v", elapsed)
+	}
+}
+
+func TestWaitHealthyCancel(t *testing.T) {
+	// A server that never reports healthy: WaitHealthy must return as
+	// soon as the caller cancels, wrapping context.Canceled.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "warming up", http.StatusServiceUnavailable)
+	}))
+	t.Cleanup(srv.Close)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- WaitHealthy(ctx, srv.URL) }()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cancelled wait should fail")
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("error should wrap context.Canceled: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitHealthy did not observe cancellation")
+	}
+}
+
+func TestWaitHealthyRecovers(t *testing.T) {
+	// The server is unhealthy for the first polls and then comes up;
+	// WaitHealthy must return nil once it does.
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 3 {
+			http.Error(w, "booting", http.StatusServiceUnavailable)
+			return
+		}
+		rpc.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	}))
+	t.Cleanup(srv.Close)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := WaitHealthy(ctx, srv.URL); err != nil {
+		t.Fatalf("server recovered but WaitHealthy failed: %v", err)
+	}
+	if n := calls.Load(); n < 4 {
+		t.Fatalf("expected at least 4 polls, saw %d", n)
 	}
 }
 

@@ -1,0 +1,183 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// LogHist is a log-bucketed histogram for positive samples (latencies in
+// milliseconds, throughputs, …): bucket i spans [Lo·Growth^i,
+// Lo·Growth^(i+1)), so quantile estimates carry a bounded relative error
+// of at most Growth−1 regardless of the sample's dynamic range. Unlike
+// the fixed-width Histogram it resolves sub-millisecond task latencies
+// and multi-second tail latencies in the same accumulator, which is what
+// the load generator's p50/p90/p99/p999 SLO report needs. The zero value
+// is not usable; construct with NewLogHist or NewLatencyHist.
+type LogHist struct {
+	lo        float64
+	growth    float64
+	logGrowth float64
+	counts    []int
+
+	total int
+	sum   float64
+	minV  float64
+	maxV  float64
+}
+
+// NewLogHist builds a histogram whose buckets grow geometrically by
+// `growth` from lo until they cover hi. Samples below lo land in the
+// first bucket, samples at or above hi in the last; nothing is dropped.
+func NewLogHist(lo, hi, growth float64) (*LogHist, error) {
+	if !(lo > 0) || math.IsInf(lo, 0) {
+		return nil, fmt.Errorf("stats: loghist lo %v must be positive and finite", lo)
+	}
+	if !(hi > lo) || math.IsInf(hi, 0) {
+		return nil, fmt.Errorf("stats: loghist range [%v,%v) is empty", lo, hi)
+	}
+	if !(growth > 1) || math.IsInf(growth, 0) {
+		return nil, fmt.Errorf("stats: loghist growth %v must be > 1", growth)
+	}
+	n := int(math.Ceil(math.Log(hi/lo) / math.Log(growth)))
+	if n < 1 {
+		n = 1
+	}
+	return &LogHist{
+		lo:        lo,
+		growth:    growth,
+		logGrowth: math.Log(growth),
+		counts:    make([]int, n),
+	}, nil
+}
+
+// NewLatencyHist returns the repository's standard latency histogram:
+// 10 µs to 10 min in milliseconds at ≤5% relative error per bucket.
+func NewLatencyHist() *LogHist {
+	h, err := NewLogHist(0.01, 600_000, 1.05)
+	if err != nil {
+		// Fixed literals; a failure is a programming error.
+		panic(err)
+	}
+	return h
+}
+
+// bucket maps a sample to its bucket index, clamping into range.
+func (h *LogHist) bucket(x float64) int {
+	if x < h.lo {
+		return 0
+	}
+	i := int(math.Log(x/h.lo) / h.logGrowth)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	return i
+}
+
+// Add records one sample. Non-positive and NaN samples are clamped into
+// the first bucket so error paths that record 0 latency still count.
+func (h *LogHist) Add(x float64) {
+	if math.IsNaN(x) {
+		x = 0
+	}
+	h.counts[h.bucket(x)]++
+	h.total++
+	h.sum += x
+	if h.total == 1 {
+		h.minV, h.maxV = x, x
+		return
+	}
+	if x < h.minV {
+		h.minV = x
+	}
+	if x > h.maxV {
+		h.maxV = x
+	}
+}
+
+// Total reports the number of recorded samples.
+func (h *LogHist) Total() int { return h.total }
+
+// Mean reports the exact running mean (0 when empty).
+func (h *LogHist) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Min reports the smallest recorded sample (0 when empty).
+func (h *LogHist) Min() float64 { return h.minV }
+
+// Max reports the largest recorded sample (0 when empty).
+func (h *LogHist) Max() float64 { return h.maxV }
+
+// Quantile estimates the q-th quantile (q in [0,1]) as the geometric
+// midpoint of the bucket holding the q-th ranked sample, clamped to the
+// exact observed min/max so the tails never overshoot the data.
+func (h *LogHist) Quantile(q float64) (float64, error) {
+	if h.total == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %v out of [0,1]", q)
+	}
+	// The extremes are tracked exactly; don't pay bucket error there.
+	if q == 0 {
+		return h.minV, nil
+	}
+	if q == 1 {
+		return h.maxV, nil
+	}
+	rank := int(math.Ceil(q * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	seen := 0
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			lower := h.lo * math.Pow(h.growth, float64(i))
+			upper := lower * h.growth
+			v := math.Sqrt(lower * upper)
+			if v < h.minV {
+				v = h.minV
+			}
+			if v > h.maxV {
+				v = h.maxV
+			}
+			return v, nil
+		}
+	}
+	return h.maxV, nil
+}
+
+// Merge folds another histogram into h. The two must share a bucket
+// layout (same lo, growth, and bucket count).
+func (h *LogHist) Merge(o *LogHist) error {
+	if o == nil || o.total == 0 {
+		return nil
+	}
+	if h.lo != o.lo || h.growth != o.growth || len(h.counts) != len(o.counts) {
+		return fmt.Errorf("stats: loghist layouts differ (lo %v/%v growth %v/%v bins %d/%d)",
+			h.lo, o.lo, h.growth, o.growth, len(h.counts), len(o.counts))
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	if h.total == 0 {
+		h.minV, h.maxV = o.minV, o.maxV
+	} else {
+		if o.minV < h.minV {
+			h.minV = o.minV
+		}
+		if o.maxV > h.maxV {
+			h.maxV = o.maxV
+		}
+	}
+	h.total += o.total
+	h.sum += o.sum
+	return nil
+}

@@ -1,0 +1,140 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestLogHistConstruction(t *testing.T) {
+	bad := []struct{ lo, hi, growth float64 }{
+		{0, 10, 1.1},
+		{-1, 10, 1.1},
+		{1, 1, 1.1},
+		{10, 1, 1.1},
+		{1, 10, 1},
+		{1, 10, 0.5},
+		{1, math.Inf(1), 1.1},
+	}
+	for i, c := range bad {
+		if _, err := NewLogHist(c.lo, c.hi, c.growth); err == nil {
+			t.Fatalf("case %d should fail: %+v", i, c)
+		}
+	}
+	h, err := NewLogHist(0.1, 1000, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Total() != 0 || h.Mean() != 0 {
+		t.Fatal("fresh histogram not empty")
+	}
+	if _, err := h.Quantile(0.5); err == nil {
+		t.Fatal("quantile of empty histogram should fail")
+	}
+}
+
+func TestLogHistQuantileRelativeError(t *testing.T) {
+	h := NewLatencyHist()
+	r := rand.New(rand.NewSource(7))
+	xs := make([]float64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Heavy-tailed latencies spanning four decades.
+		x := math.Exp(r.NormFloat64()*1.5 + 2) // median e^2 ≈ 7.4 ms
+		xs = append(xs, x)
+		h.Add(x)
+	}
+	sort.Float64s(xs)
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		got, err := h.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rank := int(math.Ceil(q*float64(len(xs)))) - 1
+		exact := xs[rank]
+		if rel := math.Abs(got-exact) / exact; rel > 0.06 {
+			t.Fatalf("q%.3f: got %.3f exact %.3f rel err %.3f > bucket bound", q, got, exact, rel)
+		}
+	}
+	if h.Max() != xs[len(xs)-1] || h.Min() != xs[0] {
+		t.Fatalf("min/max not exact: %v/%v vs %v/%v", h.Min(), h.Max(), xs[0], xs[len(xs)-1])
+	}
+	p100, err := h.Quantile(1)
+	if err != nil || p100 != h.Max() {
+		t.Fatalf("p100 = %v want exact max %v (err %v)", p100, h.Max(), err)
+	}
+	if _, err := h.Quantile(1.1); err == nil {
+		t.Fatal("quantile > 1 should fail")
+	}
+}
+
+func TestLogHistClampsOutOfRange(t *testing.T) {
+	h, err := NewLogHist(1, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Add(0)          // below lo
+	h.Add(-5)         // negative
+	h.Add(math.NaN()) // NaN → clamped to 0
+	h.Add(1e9)        // far above hi
+	if h.Total() != 4 {
+		t.Fatalf("total = %d, clamped samples must not be dropped", h.Total())
+	}
+	q, err := h.Quantile(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q > h.Max() {
+		t.Fatalf("q99 %v exceeds observed max %v", q, h.Max())
+	}
+}
+
+func TestLogHistMerge(t *testing.T) {
+	a := NewLatencyHist()
+	b := NewLatencyHist()
+	whole := NewLatencyHist()
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		x := math.Exp(r.NormFloat64() + 3)
+		whole.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() != whole.Total() || math.Abs(a.Mean()-whole.Mean()) > 1e-9*whole.Mean() ||
+		a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Fatalf("merge mismatch: %d/%v vs %d/%v", a.Total(), a.Mean(), whole.Total(), whole.Mean())
+	}
+	qa, _ := a.Quantile(0.99)
+	qw, _ := whole.Quantile(0.99)
+	if qa != qw {
+		t.Fatalf("merged q99 %v != whole q99 %v", qa, qw)
+	}
+	// Merging into an empty histogram adopts the source's extremes.
+	empty := NewLatencyHist()
+	if err := empty.Merge(whole); err != nil {
+		t.Fatal(err)
+	}
+	if empty.Min() != whole.Min() || empty.Max() != whole.Max() {
+		t.Fatal("merge into empty lost extremes")
+	}
+	// Layout mismatch is rejected.
+	other, err := NewLogHist(1, 10, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other.Add(2)
+	if err := a.Merge(other); err == nil {
+		t.Fatal("layout mismatch should fail")
+	}
+	// Merging nil or empty is a no-op.
+	before := a.Total()
+	if err := a.Merge(nil); err != nil || a.Total() != before {
+		t.Fatal("nil merge must be a no-op")
+	}
+}

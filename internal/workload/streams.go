@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"accelcloud/internal/sim"
+	"accelcloud/internal/tasks"
+)
+
+// This file holds the substream-driven generators used by the load
+// generator (internal/loadgen). The single-rand generators in
+// workload.go stay as-is for the simulation experiments; the variants
+// here derive one sim.RNG substream per user, so a user's schedule
+// depends only on (root seed, user id) — never on how many other users
+// exist or in which order schedules are materialized. That is the
+// property that makes two loadgen runs with the same -seed replay
+// identical request sequences at any concurrency.
+
+// ClosedLoopConfig parameterizes per-user closed-loop sequences: Users
+// devices, each issuing PerUser requests back-to-back (a request departs
+// when the previous response arrives — the ThinkAir-style multi-client
+// benchmark mode).
+type ClosedLoopConfig struct {
+	Users   int
+	PerUser int
+	Pool    *tasks.Pool
+	Sizer   Sizer
+	// FixedTask pins every request to one task (empty = random pool draw).
+	FixedTask string
+}
+
+// GenerateClosedLoop builds one request sequence per user. User u draws
+// exclusively from root.SubN("user", u), so sequences are invariant to
+// Users and to generation order; growing the fleet appends new users
+// without perturbing existing schedules.
+func GenerateClosedLoop(root *sim.RNG, cfg ClosedLoopConfig) ([][]Request, error) {
+	if root == nil {
+		return nil, errors.New("workload: nil rng root")
+	}
+	if cfg.Users <= 0 {
+		return nil, fmt.Errorf("workload: users %d <= 0", cfg.Users)
+	}
+	if cfg.PerUser <= 0 {
+		return nil, fmt.Errorf("workload: per-user requests %d <= 0", cfg.PerUser)
+	}
+	if cfg.Pool == nil {
+		return nil, errors.New("workload: nil pool")
+	}
+	if cfg.Sizer == nil {
+		return nil, errors.New("workload: nil sizer")
+	}
+	out := make([][]Request, cfg.Users)
+	for u := 0; u < cfg.Users; u++ {
+		r := root.SubN("user", u).Stream("draws")
+		seq := make([]Request, 0, cfg.PerUser)
+		for j := 0; j < cfg.PerUser; j++ {
+			req, err := draw(r, cfg.Pool, cfg.Sizer, cfg.FixedTask)
+			if err != nil {
+				return nil, err
+			}
+			req.UserID = u
+			seq = append(seq, req)
+		}
+		out[u] = seq
+	}
+	return out, nil
+}
+
+// GenerateUserStreams is the open-loop analogue of GenerateInterArrival
+// with per-user substreams: each user's arrival process and task draws
+// come from root.SubN("user", u), and the merged stream is sorted by
+// arrival time with (time, user) tie-breaking, so the result is a pure
+// function of (root, start, cfg) with per-user independence.
+func GenerateUserStreams(root *sim.RNG, start time.Time, cfg InterArrivalConfig) ([]Request, error) {
+	if root == nil {
+		return nil, errors.New("workload: nil rng root")
+	}
+	if cfg.Users <= 0 {
+		return nil, fmt.Errorf("workload: users %d <= 0", cfg.Users)
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("workload: duration %v <= 0", cfg.Duration)
+	}
+	if cfg.InterArrival == nil {
+		return nil, errors.New("workload: nil inter-arrival distribution")
+	}
+	if cfg.Pool == nil {
+		return nil, errors.New("workload: nil pool")
+	}
+	if cfg.Sizer == nil {
+		return nil, errors.New("workload: nil sizer")
+	}
+	var out []Request
+	for u := 0; u < cfg.Users; u++ {
+		r := root.SubN("user", u).Stream("arrivals")
+		at := start
+		for {
+			gapMs := cfg.InterArrival.Sample(r)
+			if gapMs < 1 {
+				gapMs = 1
+			}
+			at = at.Add(time.Duration(gapMs * float64(time.Millisecond)))
+			if at.Sub(start) >= cfg.Duration {
+				break
+			}
+			req, err := draw(r, cfg.Pool, cfg.Sizer, cfg.FixedTask)
+			if err != nil {
+				return nil, err
+			}
+			req.At = at
+			req.UserID = u
+			out = append(out, req)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].At.Equal(out[j].At) {
+			return out[i].At.Before(out[j].At)
+		}
+		return out[i].UserID < out[j].UserID
+	})
+	return out, nil
+}

@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"accelcloud/internal/sim"
+	"accelcloud/internal/stats"
+	"accelcloud/internal/tasks"
+)
+
+func TestGenerateClosedLoopDeterministic(t *testing.T) {
+	cfg := ClosedLoopConfig{
+		Users:   4,
+		PerUser: 20,
+		Pool:    tasks.DefaultPool(),
+		Sizer:   DefaultSizer(),
+	}
+	a, err := GenerateClosedLoop(sim.NewRNG(42), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateClosedLoop(sim.NewRNG(42), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != cfg.Users {
+		t.Fatalf("users = %d", len(a))
+	}
+	for u := range a {
+		if len(a[u]) != cfg.PerUser {
+			t.Fatalf("user %d has %d requests", u, len(a[u]))
+		}
+		for j := range a[u] {
+			if a[u][j] != b[u][j] {
+				t.Fatalf("user %d req %d differs: %+v vs %+v", u, j, a[u][j], b[u][j])
+			}
+			if a[u][j].UserID != u {
+				t.Fatalf("user %d req %d mislabeled as %d", u, j, a[u][j].UserID)
+			}
+		}
+	}
+	// A different seed must reroll the draws.
+	c, err := GenerateClosedLoop(sim.NewRNG(43), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for u := range a {
+		for j := range a[u] {
+			if a[u][j] != c[u][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("seed 42 and 43 produced identical schedules")
+	}
+}
+
+func TestGenerateClosedLoopUserIndependence(t *testing.T) {
+	small := ClosedLoopConfig{Users: 3, PerUser: 10, Pool: tasks.DefaultPool(), Sizer: DefaultSizer()}
+	big := small
+	big.Users = 8
+	a, err := GenerateClosedLoop(sim.NewRNG(1), small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateClosedLoop(sim.NewRNG(1), big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Growing the fleet must not perturb existing users' schedules.
+	for u := 0; u < small.Users; u++ {
+		for j := range a[u] {
+			if a[u][j] != b[u][j] {
+				t.Fatalf("user %d schedule changed when fleet grew: %+v vs %+v", u, a[u][j], b[u][j])
+			}
+		}
+	}
+}
+
+func TestGenerateClosedLoopValidation(t *testing.T) {
+	pool := tasks.DefaultPool()
+	cases := []ClosedLoopConfig{
+		{Users: 0, PerUser: 1, Pool: pool, Sizer: DefaultSizer()},
+		{Users: 1, PerUser: 0, Pool: pool, Sizer: DefaultSizer()},
+		{Users: 1, PerUser: 1, Sizer: DefaultSizer()},
+		{Users: 1, PerUser: 1, Pool: pool},
+	}
+	for i, cfg := range cases {
+		if _, err := GenerateClosedLoop(sim.NewRNG(1), cfg); err == nil {
+			t.Fatalf("case %d should fail: %+v", i, cfg)
+		}
+	}
+	if _, err := GenerateClosedLoop(nil, ClosedLoopConfig{Users: 1, PerUser: 1, Pool: pool, Sizer: DefaultSizer()}); err == nil {
+		t.Fatal("nil root should fail")
+	}
+	if _, err := GenerateClosedLoop(sim.NewRNG(1), ClosedLoopConfig{
+		Users: 1, PerUser: 1, Pool: pool, Sizer: DefaultSizer(), FixedTask: "nope",
+	}); err == nil {
+		t.Fatal("unknown fixed task should fail")
+	}
+}
+
+func TestGenerateUserStreamsDeterministicAndSorted(t *testing.T) {
+	cfg := InterArrivalConfig{
+		Users:        5,
+		InterArrival: stats.Exponential{Rate: 1.0 / 200},
+		Duration:     5 * time.Second,
+		Pool:         tasks.DefaultPool(),
+		Sizer:        DefaultSizer(),
+	}
+	start := sim.Epoch
+	a, err := GenerateUserStreams(sim.NewRNG(9), start, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateUserStreams(sim.NewRNG(9), start, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs", i)
+		}
+		if i > 0 && a[i].At.Before(a[i-1].At) {
+			t.Fatalf("stream not sorted at %d", i)
+		}
+		if d := a[i].At.Sub(start); d <= 0 || d >= cfg.Duration {
+			t.Fatalf("arrival %v outside (0, duration)", d)
+		}
+	}
+}
+
+func TestGenerateUserStreamsUserIndependence(t *testing.T) {
+	base := InterArrivalConfig{
+		Users:        2,
+		InterArrival: stats.Exponential{Rate: 1.0 / 300},
+		Duration:     3 * time.Second,
+		Pool:         tasks.DefaultPool(),
+		Sizer:        DefaultSizer(),
+	}
+	grown := base
+	grown.Users = 6
+	a, err := GenerateUserStreams(sim.NewRNG(5), sim.Epoch, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateUserStreams(sim.NewRNG(5), sim.Epoch, grown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Project the grown stream onto the original users: it must equal the
+	// small run exactly.
+	var proj []Request
+	for _, r := range b {
+		if r.UserID < base.Users {
+			proj = append(proj, r)
+		}
+	}
+	if len(proj) != len(a) {
+		t.Fatalf("projection has %d requests, small run %d", len(proj), len(a))
+	}
+	for i := range a {
+		if a[i] != proj[i] {
+			t.Fatalf("request %d changed when fleet grew", i)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# End-to-end smoke: boot two surrogated back-ends and an sdnd front-end
+# on localhost, run one offload request through the full stack, then a
+# short closed-loop loadgen run. Exits non-zero on any failure. Used by
+# the e2e-smoke CI job; safe to run locally (ports 9100-9102).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN="$(mktemp -d)"
+cleanup() {
+  # shellcheck disable=SC2046
+  kill $(jobs -p) 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -rf "$BIN"
+}
+trap cleanup EXIT
+
+go build -o "$BIN" ./cmd/...
+
+"$BIN/surrogated" -listen 127.0.0.1:9101 -name surrogate-1 &
+"$BIN/surrogated" -listen 127.0.0.1:9102 -name surrogate-2 &
+"$BIN/sdnd" -listen 127.0.0.1:9100 \
+  -backend 1=http://127.0.0.1:9101 \
+  -backend 2=http://127.0.0.1:9102 &
+
+# Wait for the stack to come up: the first offload that succeeds proves
+# front-end routing and surrogate execution end to end.
+ok=""
+for _ in $(seq 1 50); do
+  if "$BIN/offload" -frontend http://127.0.0.1:9100 -task sieve -size 1 \
+      -group 1 -timeout 2s >/dev/null 2>&1; then
+    ok=1
+    break
+  fi
+  sleep 0.2
+done
+if [ -z "$ok" ]; then
+  echo "e2e: stack never became healthy" >&2
+  exit 1
+fi
+
+echo "== one offload request through the full stack =="
+"$BIN/offload" -frontend http://127.0.0.1:9100 -task minimax -size 6 -group 2
+
+echo "== 2-second closed-loop load-generation run =="
+"$BIN/loadgen" -frontend http://127.0.0.1:9100 -mode concurrent \
+  -users 4 -rate 5 -duration 2s -seed 1 -groups 1,2 \
+  -max-error-rate 0 -out "$BIN/e2e_loadgen.json"
+
+echo "e2e smoke OK"
