@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"accelcloud/internal/allocate"
+	"accelcloud/internal/autoscale"
 	"accelcloud/internal/cloud"
 	"accelcloud/internal/core"
 	"accelcloud/internal/dalvik"
@@ -345,3 +346,50 @@ func RunLoadgen(ctx context.Context, baseURL string, cfg LoadgenConfig) (*Loadge
 func StartLoadgenCluster(cfg loadgen.ClusterConfig) (*LoadgenCluster, error) {
 	return loadgen.StartCluster(cfg)
 }
+
+// Autoscaling control loop (DESIGN.md §5): the live
+// predict→allocate→provision cycle reconciling the SDN front-end's
+// per-group surrogate pools against predicted demand.
+type (
+	// Autoscaler is the slot-driven reconciler.
+	Autoscaler = autoscale.Controller
+	// AutoscaleConfig parameterizes an Autoscaler.
+	AutoscaleConfig = autoscale.Config
+	// AutoscaleGroupSpec binds a managed group to its economics.
+	AutoscaleGroupSpec = autoscale.GroupSpec
+	// AutoscaleDecision is one slot's control-cycle outcome.
+	AutoscaleDecision = autoscale.Decision
+	// AutoscaleSweepConfig parameterizes the hermetic end-to-end run.
+	AutoscaleSweepConfig = autoscale.SweepConfig
+	// AutoscaleReport is the BENCH_autoscale.json schema.
+	AutoscaleReport = autoscale.Report
+	// AutoscaleProvisioner boots surrogates for the warm pool.
+	AutoscaleProvisioner = autoscale.Provisioner
+	// HermeticProvisioner boots in-process surrogates on loopback
+	// sockets.
+	HermeticProvisioner = autoscale.HermeticProvisioner
+	// TraceSink receives request records (Store, Window, or a Tee).
+	TraceSink = trace.Sink
+	// TraceWindow is the live sliding-window request log feeding the
+	// predictor.
+	TraceWindow = trace.Window
+)
+
+// NewAutoscaler builds the reconciler; call Prime before traffic.
+func NewAutoscaler(cfg AutoscaleConfig) (*Autoscaler, error) { return autoscale.New(cfg) }
+
+// RunAutoscaleSweep executes the hermetic doubling-rate scenario: a
+// live stack scales per-group pools up through the ramp and back down
+// through the drain slots, bit-reproducibly per seed.
+func RunAutoscaleSweep(ctx context.Context, cfg AutoscaleSweepConfig) (*AutoscaleReport, error) {
+	return autoscale.RunSweep(ctx, cfg)
+}
+
+// NewTraceWindow builds the sliding-window request log for live control
+// loops.
+func NewTraceWindow(start time.Time, slotLen time.Duration, numGroups, maxSlots int) (*TraceWindow, error) {
+	return trace.NewWindow(start, slotLen, numGroups, maxSlots)
+}
+
+// TeeTrace fans one request-log stream into several sinks.
+func TeeTrace(sinks ...TraceSink) TraceSink { return trace.Tee(sinks...) }

@@ -1,0 +1,257 @@
+// Command autoscaled runs the autoscaling control loop (DESIGN.md §5)
+// that closes the paper's predict→allocate→provision cycle against the
+// running SDN front-end.
+//
+// Hermetic mode (default) replays a deterministic doubling-rate sweep
+// through a live in-process stack — real front-end, real surrogates,
+// real sockets — reconciling per-group pools after every slot, and
+// writes the BENCH_autoscale.json report cmd/benchdiff gates on:
+//
+//	autoscaled -seed 1 -start-rate 16 -steps 4 -slot 500ms \
+//	           -group 1=t2.nano:4 -group 2=t2.large:8 \
+//	           -slo-p99 2000 -out BENCH_autoscale.json
+//
+// Two runs with the same -seed produce bit-identical schedule and
+// decision digests; only the measured latencies differ.
+//
+// Serve mode exposes the front-end over HTTP and reconciles on the wall
+// clock — aim cmd/loadgen at it to watch the pools follow the load:
+//
+//	autoscaled -mode serve -listen 127.0.0.1:9103 -slot 5s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"accelcloud/internal/autoscale"
+	"accelcloud/internal/cloud"
+	"accelcloud/internal/loadgen"
+	"accelcloud/internal/sdn"
+	"accelcloud/internal/sim"
+	"accelcloud/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "autoscaled:", err)
+		os.Exit(1)
+	}
+}
+
+// groupFlags collects repeated -group g=type:capacity specs.
+type groupFlags []autoscale.GroupSpec
+
+func (g *groupFlags) String() string { return fmt.Sprintf("%d groups", len(*g)) }
+
+func (g *groupFlags) Set(v string) error {
+	eq := strings.SplitN(v, "=", 2)
+	if len(eq) != 2 {
+		return fmt.Errorf("group %q: want g=type:capacity", v)
+	}
+	id, err := strconv.Atoi(strings.TrimSpace(eq[0]))
+	if err != nil {
+		return fmt.Errorf("group %q: bad index: %w", v, err)
+	}
+	tc := strings.SplitN(eq[1], ":", 2)
+	if len(tc) != 2 {
+		return fmt.Errorf("group %q: want g=type:capacity", v)
+	}
+	capacity, err := strconv.ParseFloat(tc[1], 64)
+	if err != nil {
+		return fmt.Errorf("group %q: bad capacity: %w", v, err)
+	}
+	typ, err := cloud.DefaultCatalog().ByName(strings.TrimSpace(tc[0]))
+	if err != nil {
+		return fmt.Errorf("group %q: %w", v, err)
+	}
+	*g = append(*g, autoscale.GroupSpec{
+		Group:       id,
+		TypeName:    typ.Name,
+		CostPerHour: typ.PricePerHour,
+		Capacity:    capacity,
+	})
+	return nil
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("autoscaled", flag.ContinueOnError)
+	fs.SetOutput(out)
+	mode := fs.String("mode", "hermetic", "hermetic (deterministic sweep) or serve (live HTTP front-end)")
+	seed := fs.Int64("seed", 1, "root seed; same seed = same schedule and decisions")
+	startRate := fs.Float64("start-rate", 16, "sweep: aggregate arrival rate of the first slot (doubles per slot)")
+	steps := fs.Int("steps", 4, "sweep: number of rate doublings")
+	slot := fs.Duration("slot", 500*time.Millisecond, "provisioning slot length")
+	drainSlots := fs.Int("drain-slots", 4, "sweep: empty slots appended so pools scale back down")
+	task := fs.String("task", "sieve", "pin every request to one pool task (empty = random)")
+	inflight := fs.Int("inflight", 0, "max concurrent in-flight requests per slot (0 = 64)")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request timeout")
+	cc := fs.Int("cc", 0, "cloud instance cap (0 = the paper's 20)")
+	warm := fs.Int("warm", 2, "warm pool size (pre-booted spare surrogates)")
+	margin := fs.Int("margin", 1, "scale-down hysteresis: surplus instances required before draining")
+	cooldown := fs.Int("cooldown", 1, "quiet slots required after a scale action before draining")
+	history := fs.Int("history", 0, "predictor knowledge-base bound in slots (0 = default)")
+	sloP99 := fs.Float64("slo-p99", 0, "SLO: p99 latency bound in ms (0 = unchecked)")
+	maxErrorRate := fs.Float64("max-error-rate", 0, "SLO: allowed error fraction")
+	outPath := fs.String("out", "", "write the JSON report to this path (hermetic mode)")
+	listen := fs.String("listen", "127.0.0.1:9103", "serve mode: front-end listen address")
+	var groups groupFlags
+	fs.Var(&groups, "group", "g=type:capacity managed group (repeatable; default 1=t2.nano:4, 2=t2.large:8)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(groups) == 0 {
+		groups = groupFlags{
+			{Group: 1, TypeName: "t2.nano", CostPerHour: 0.0063, Capacity: 4},
+			{Group: 2, TypeName: "t2.large", CostPerHour: 0.101, Capacity: 8},
+		}
+	}
+	var slo *loadgen.SLO
+	if *sloP99 > 0 {
+		slo = &loadgen.SLO{P99Ms: *sloP99, MaxErrorRate: *maxErrorRate}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	switch *mode {
+	case "hermetic":
+		rep, err := autoscale.RunSweep(ctx, autoscale.SweepConfig{
+			Seed:            *seed,
+			StartHz:         *startRate,
+			Steps:           *steps,
+			SlotLen:         *slot,
+			DrainSlots:      *drainSlots,
+			Groups:          groups,
+			FixedTask:       *task,
+			MaxInFlight:     *inflight,
+			Timeout:         *timeout,
+			SLO:             slo,
+			MaxHistory:      *history,
+			CC:              *cc,
+			WarmPool:        *warm,
+			ScaleDownMargin: *margin,
+			CooldownSlots:   *cooldown,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, rep.Summary())
+		if *outPath != "" {
+			if err := rep.WriteFile(*outPath); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "autoscaled: wrote %s\n", *outPath)
+		}
+		if rep.SLO != nil && !rep.SLO.Pass {
+			return fmt.Errorf("SLO failed: %s", strings.Join(rep.SLO.Violations, "; "))
+		}
+		return nil
+	case "serve":
+		return serve(ctx, out, groups, *listen, *slot, serveKnobs{
+			cc: *cc, warm: *warm, margin: *margin, cooldown: *cooldown, history: *history, seed: *seed,
+		})
+	}
+	return fmt.Errorf("unknown mode %q (want hermetic|serve)", *mode)
+}
+
+type serveKnobs struct {
+	cc, warm, margin, cooldown, history int
+	seed                                int64
+}
+
+// serve runs the live control loop: the front-end logs every request
+// into both the durable store and the sliding window, and a wall-clock
+// ticker steps the reconciler at each slot boundary.
+func serve(ctx context.Context, out io.Writer, groups []autoscale.GroupSpec, listen string, slot time.Duration, k serveKnobs) error {
+	numGroups := 0
+	for _, g := range groups {
+		if g.Group+1 > numGroups {
+			numGroups = g.Group + 1
+		}
+	}
+	start := time.Now()
+	// The bounded sliding window is the daemon's only request log: a
+	// durable unbounded store would grow without limit on a
+	// long-running front-end.
+	window, err := trace.NewWindow(start, slot, numGroups, 1024)
+	if err != nil {
+		return err
+	}
+	fe, err := sdn.NewFrontEnd(window, 0)
+	if err != nil {
+		return err
+	}
+	ctrl, err := autoscale.New(autoscale.Config{
+		FrontEnd:        fe,
+		Provisioner:     &autoscale.HermeticProvisioner{},
+		Groups:          groups,
+		SlotLen:         slot,
+		MaxHistory:      k.history,
+		CC:              k.cc,
+		WarmPool:        k.warm,
+		ScaleDownMargin: k.margin,
+		CooldownSlots:   k.cooldown,
+		RNG:             sim.NewRNG(k.seed),
+	})
+	if err != nil {
+		return err
+	}
+	defer ctrl.Shutdown()
+	if err := ctrl.Prime(ctx); err != nil {
+		return err
+	}
+	srv := &http.Server{Addr: listen, Handler: fe.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	defer func() { _ = srv.Close() }()
+	fmt.Fprintf(out, "autoscaled: front-end on %s, slot %v, pools %v, warm %d\n",
+		listen, slot, poolString(ctrl.PoolSizes()), ctrl.WarmSize())
+
+	ticker := time.NewTicker(slot)
+	defer ticker.Stop()
+	for {
+		select {
+		case err := <-errCh:
+			return err
+		case <-ctx.Done():
+			fmt.Fprintf(out, "autoscaled: %d slots reconciled, decision digest %s\n",
+				len(ctrl.Decisions()), ctrl.Digest())
+			return nil
+		case now := <-ticker.C:
+			for _, s := range window.Advance(now) {
+				dec, err := ctrl.Step(ctx, s)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(out, "slot %d: observed=%v predicted=%v desired=%v applied=%v warm=%d draining=%d $%.6f\n",
+					dec.Slot, dec.Observed, dec.Predicted, dec.Desired, dec.Applied,
+					dec.Warm, dec.Draining, dec.CostUSD)
+			}
+		}
+	}
+}
+
+// poolString renders pool sizes deterministically.
+func poolString(pools map[int]int) string {
+	keys := make([]int, 0, len(pools))
+	for g := range pools {
+		keys = append(keys, g)
+	}
+	sort.Ints(keys)
+	parts := make([]string, 0, len(keys))
+	for _, g := range keys {
+		parts = append(parts, fmt.Sprintf("g%d=%d", g, pools[g]))
+	}
+	return strings.Join(parts, " ")
+}

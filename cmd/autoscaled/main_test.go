@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"accelcloud/internal/autoscale"
+)
+
+// quickArgs is a small fast hermetic configuration.
+func quickArgs(extra ...string) []string {
+	args := []string{
+		"-start-rate", "8", "-steps", "2", "-slot", "200ms", "-drain-slots", "2",
+		"-group", "1=t2.nano:2",
+	}
+	return append(args, extra...)
+}
+
+func TestRunHermeticWritesReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_autoscale.json")
+	var out bytes.Buffer
+	if err := run(quickArgs("-seed", "3", "-out", path, "-slo-p99", "60000"), &out); err != nil {
+		t.Fatalf("run failed: %v\n%s", err, out.String())
+	}
+	rep, err := autoscale.ReadReportFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 || rep.DecisionDigest == "" {
+		t.Fatalf("report = %+v", rep)
+	}
+	if !strings.Contains(out.String(), "decisions=fnv1a:") {
+		t.Fatalf("summary missing decision digest:\n%s", out.String())
+	}
+}
+
+func TestRunSameSeedSameDigests(t *testing.T) {
+	dir := t.TempDir()
+	digests := make([]string, 2)
+	for i := range digests {
+		path := filepath.Join(dir, "rep.json")
+		var out bytes.Buffer
+		if err := run(quickArgs("-seed", "11", "-out", path), &out); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := autoscale.ReadReportFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		digests[i] = rep.ScheduleDigest + "/" + rep.DecisionDigest
+	}
+	if digests[0] != digests[1] {
+		t.Fatalf("same-seed digests differ: %s vs %s", digests[0], digests[1])
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-mode", "nope"}, &out); err == nil {
+		t.Fatal("unknown mode should fail")
+	}
+	if err := run([]string{"-group", "1=t2.nano"}, &out); err == nil {
+		t.Fatal("malformed group should fail")
+	}
+	if err := run([]string{"-group", "1=nosuchtype:4"}, &out); err == nil {
+		t.Fatal("unknown instance type should fail")
+	}
+}

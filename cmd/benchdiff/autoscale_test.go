@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"accelcloud/internal/autoscale"
+	"accelcloud/internal/loadgen"
+)
+
+// writeAutoscaleReport writes a minimal autoscale report file.
+func writeAutoscaleReport(t *testing.T, dir, name string, p99, cost, errRate float64, schedule, decisions string) string {
+	t.Helper()
+	rep := &autoscale.Report{
+		Schema:            autoscale.ReportSchema,
+		Seed:              1,
+		Latency:           loadgen.LatencySummary{N: 100, P99Ms: p99, P50Ms: p99 / 2},
+		AdaptiveCostUSD:   cost,
+		StaticPeakCostUSD: cost * 2,
+		SavingsPct:        50,
+		ErrorRate:         errRate,
+		ScheduleDigest:    schedule,
+		DecisionDigest:    decisions,
+	}
+	path := filepath.Join(dir, name)
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBenchdiffAutoscaleWithinTolerance(t *testing.T) {
+	dir := t.TempDir()
+	base := writeAutoscaleReport(t, dir, "base.json", 100, 0.001, 0, "fnv1a:aa", "fnv1a:dd")
+	cur := writeAutoscaleReport(t, dir, "cur.json", 110, 0.001, 0, "fnv1a:aa", "fnv1a:dd")
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur, "-tolerance", "0.20"}, &out); err != nil {
+		t.Fatalf("within tolerance should pass: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "autoscale baseline") {
+		t.Fatalf("autoscale path not taken: %q", out.String())
+	}
+}
+
+func TestBenchdiffAutoscaleCostRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeAutoscaleReport(t, dir, "base.json", 100, 0.001, 0, "fnv1a:aa", "fnv1a:dd")
+	cur := writeAutoscaleReport(t, dir, "cur.json", 100, 0.002, 0, "fnv1a:aa", "fnv1a:dd")
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur}, &out); err == nil {
+		t.Fatal("2x cost must fail the gate")
+	}
+	if !strings.Contains(out.String(), "REGRESSION: adaptive cost") {
+		t.Fatalf("missing cost regression line: %q", out.String())
+	}
+}
+
+func TestBenchdiffAutoscaleDecisionDrift(t *testing.T) {
+	dir := t.TempDir()
+	base := writeAutoscaleReport(t, dir, "base.json", 100, 0.001, 0, "fnv1a:aa", "fnv1a:dd")
+	cur := writeAutoscaleReport(t, dir, "cur.json", 100, 0.001, 0, "fnv1a:aa", "fnv1a:ee")
+	var out bytes.Buffer
+	// Same schedule, different decisions: deterministic control cycle
+	// diverged — must fail even with identical metrics.
+	if err := run([]string{"-baseline", base, "-current", cur}, &out); err == nil {
+		t.Fatal("decision digest drift must fail the gate")
+	}
+	if !strings.Contains(out.String(), "decision digest changed") {
+		t.Fatalf("missing digest drift line: %q", out.String())
+	}
+}
+
+func TestBenchdiffAutoscaleScheduleMismatch(t *testing.T) {
+	dir := t.TempDir()
+	base := writeAutoscaleReport(t, dir, "base.json", 100, 0.001, 0, "fnv1a:aa", "fnv1a:dd")
+	cur := writeAutoscaleReport(t, dir, "cur.json", 100, 0.001, 0, "fnv1a:bb", "fnv1a:ee")
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur}, &out); err == nil {
+		t.Fatal("schedule mismatch must fail without -ignore-schedule")
+	}
+	// With -ignore-schedule the decision-digest check is waived too
+	// (different schedules legitimately produce different decisions).
+	if err := run([]string{"-baseline", base, "-current", cur, "-ignore-schedule"}, &out); err != nil {
+		t.Fatalf("-ignore-schedule should allow the comparison: %v", err)
+	}
+}
+
+func TestBenchdiffSchemaMismatch(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", 100, 50, 0, "fnv1a:aa")
+	cur := writeAutoscaleReport(t, dir, "cur.json", 100, 0.001, 0, "fnv1a:aa", "fnv1a:dd")
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur}, &out); err == nil {
+		t.Fatal("mixing report kinds must fail")
+	}
+}

@@ -1,25 +1,36 @@
-// Command benchdiff compares a fresh loadgen report against a committed
-// baseline and exits non-zero when performance regressed beyond the
-// tolerance — the comparison behind the bench-regression CI gate.
+// Command benchdiff compares a fresh benchmark report against a
+// committed baseline and exits non-zero when performance regressed
+// beyond the tolerance — the comparison behind the bench-regression and
+// autoscale CI gates. The report kind is auto-detected from the schema
+// field: loadgen reports (BENCH_loadgen.json) gate on p99 latency,
+// throughput, and error rate; autoscale reports (BENCH_autoscale.json)
+// gate on p99 latency, total adaptive cost, and error rate, and
+// additionally require the decision digest to match the baseline — the
+// control cycle is deterministic, so any divergence is a behaviour
+// change, not noise.
 //
 // A regression is: current p99 latency above baseline × (1 + tolerance),
-// current throughput below baseline × (1 − tolerance), or error rate
-// more than -max-error-rate-delta above baseline (absolute). Improvements
-// never fail, and a report whose schedule digest differs from the
-// baseline's is flagged (different schedules are not comparable) unless
-// -ignore-schedule is set.
+// current throughput below baseline × (1 − tolerance) (loadgen),
+// current cost above baseline × (1 + tolerance) (autoscale), or error
+// rate more than -max-error-rate-delta above baseline (absolute).
+// Improvements never fail, and a report whose schedule digest differs
+// from the baseline's is flagged (different schedules are not
+// comparable) unless -ignore-schedule is set.
 //
 // Usage:
 //
 //	benchdiff -baseline BENCH_baseline.json -current BENCH_loadgen.json -tolerance 0.20
+//	benchdiff -baseline BENCH_autoscale_baseline.json -current BENCH_autoscale.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	"accelcloud/internal/autoscale"
 	"accelcloud/internal/loadgen"
 )
 
@@ -54,6 +65,20 @@ func run(args []string, out io.Writer) error {
 	}
 	if *errDelta < 0 {
 		return fmt.Errorf("max-error-rate-delta %v < 0", *errDelta)
+	}
+	baseSchema, err := peekSchema(*basePath)
+	if err != nil {
+		return err
+	}
+	curSchema, err := peekSchema(*curPath)
+	if err != nil {
+		return err
+	}
+	if baseSchema != curSchema {
+		return fmt.Errorf("schema mismatch: baseline %q vs current %q", baseSchema, curSchema)
+	}
+	if baseSchema == autoscale.ReportSchema {
+		return diffAutoscale(out, *basePath, *curPath, *tolerance, *errDelta, *ignoreSchedule)
 	}
 	base, err := loadgen.ReadReportFile(*basePath)
 	if err != nil {
@@ -99,6 +124,78 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "  REGRESSION: %s\n", f)
 		}
 		return fmt.Errorf("%d regression(s) beyond %.0f%% tolerance", len(failures), 100**tolerance)
+	}
+	fmt.Fprintln(out, "  OK: within tolerance")
+	return nil
+}
+
+// peekSchema reads only the schema discriminator of a report file.
+func peekSchema(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer func() { _ = f.Close() }()
+	var head struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.NewDecoder(f).Decode(&head); err != nil {
+		return "", fmt.Errorf("peek %s: %w", path, err)
+	}
+	return head.Schema, nil
+}
+
+// diffAutoscale gates an autoscale report on its p99 and cost columns.
+func diffAutoscale(out io.Writer, basePath, curPath string, tolerance, errDelta float64, ignoreSchedule bool) error {
+	base, err := autoscale.ReadReportFile(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := autoscale.ReadReportFile(curPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "benchdiff: autoscale baseline %s vs current %s (tolerance %.0f%%)\n",
+		basePath, curPath, 100*tolerance)
+	fmt.Fprintf(out, "  %-18s %12s %12s %10s\n", "metric", "baseline", "current", "change")
+	fmt.Fprintf(out, "  %-18s %12.2f %12.2f %10s\n", "p99 ms", base.Latency.P99Ms, cur.Latency.P99Ms, pct(base.Latency.P99Ms, cur.Latency.P99Ms))
+	fmt.Fprintf(out, "  %-18s %12.6f %12.6f %10s\n", "adaptive cost $", base.AdaptiveCostUSD, cur.AdaptiveCostUSD, pct(base.AdaptiveCostUSD, cur.AdaptiveCostUSD))
+	fmt.Fprintf(out, "  %-18s %12.1f %12.1f %10s\n", "savings %", base.SavingsPct, cur.SavingsPct, pct(base.SavingsPct, cur.SavingsPct))
+	fmt.Fprintf(out, "  %-18s %12.3f %12.3f %10s\n", "error rate", base.ErrorRate, cur.ErrorRate, pct(base.ErrorRate, cur.ErrorRate))
+
+	if base.ScheduleDigest != cur.ScheduleDigest {
+		msg := fmt.Sprintf("schedule digests differ (%s vs %s): runs replay different request sequences",
+			base.ScheduleDigest, cur.ScheduleDigest)
+		if !ignoreSchedule {
+			return fmt.Errorf("%s (use -ignore-schedule to compare anyway)", msg)
+		}
+		fmt.Fprintf(out, "  warning: %s\n", msg)
+	}
+	var failures []string
+	// Same schedule ⇒ the control cycle is deterministic; a digest
+	// change means the reconciler decided differently, which is a
+	// behaviour change to review, not measurement noise.
+	if base.ScheduleDigest == cur.ScheduleDigest && base.DecisionDigest != cur.DecisionDigest {
+		failures = append(failures, fmt.Sprintf("decision digest changed (%s -> %s): the control cycle behaves differently",
+			base.DecisionDigest, cur.DecisionDigest))
+	}
+	if base.Latency.P99Ms > 0 && cur.Latency.P99Ms > base.Latency.P99Ms*(1+tolerance) {
+		failures = append(failures, fmt.Sprintf("p99 latency regressed %s (%.2f -> %.2f ms)",
+			pct(base.Latency.P99Ms, cur.Latency.P99Ms), base.Latency.P99Ms, cur.Latency.P99Ms))
+	}
+	if base.AdaptiveCostUSD > 0 && cur.AdaptiveCostUSD > base.AdaptiveCostUSD*(1+tolerance) {
+		failures = append(failures, fmt.Sprintf("adaptive cost regressed %s ($%.6f -> $%.6f)",
+			pct(base.AdaptiveCostUSD, cur.AdaptiveCostUSD), base.AdaptiveCostUSD, cur.AdaptiveCostUSD))
+	}
+	if cur.ErrorRate > base.ErrorRate+errDelta {
+		failures = append(failures, fmt.Sprintf("error rate rose %.3f -> %.3f (allowed delta %.3f)",
+			base.ErrorRate, cur.ErrorRate, errDelta))
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(out, "  REGRESSION: %s\n", f)
+		}
+		return fmt.Errorf("%d regression(s) beyond %.0f%% tolerance", len(failures), 100*tolerance)
 	}
 	fmt.Fprintln(out, "  OK: within tolerance")
 	return nil

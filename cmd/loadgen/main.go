@@ -70,6 +70,7 @@ func run(args []string, out io.Writer) error {
 	inflight := fs.Int("inflight", 0, "max concurrent in-flight requests (0 = mode default)")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request timeout")
 	sweepSteps := fs.Int("sweep-steps", 3, "rate doublings in sweep mode")
+	slotLen := fs.Duration("slot", 0, "bucket open-loop records into per-slot report sections of this length (0 = off)")
 	printSchedule := fs.Bool("print-schedule", false, "dump the deterministic schedule instead of running")
 	maxErrorRate := fs.Float64("max-error-rate", 1, "exit non-zero when the error rate exceeds this")
 	sloP99 := fs.Float64("slo-p99", 0, "SLO: p99 latency bound in ms (0 = unchecked)")
@@ -98,6 +99,7 @@ func run(args []string, out io.Writer) error {
 		Timeout:     *timeout,
 		FixedTask:   *task,
 		SweepSteps:  *sweepSteps,
+		SlotLen:     *slotLen,
 	}
 	if *sloP99 > 0 || *sloTput > 0 {
 		cfg.SLO = &loadgen.SLO{P99Ms: *sloP99, MinThroughputRps: *sloTput, MaxErrorRate: *maxErrorRate}
@@ -112,9 +114,14 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 
+	// Install the signal context before the hermetic warmup so an
+	// interrupt during surrogate boot cancels the bring-up too.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	baseURL := *frontend
 	if baseURL == "self" {
-		cluster, err := loadgen.StartCluster(loadgen.ClusterConfig{
+		cluster, err := loadgen.StartClusterContext(ctx, loadgen.ClusterConfig{
 			Groups:             *selfGroups,
 			SurrogatesPerGroup: *selfBackends,
 		})
@@ -127,8 +134,6 @@ func run(args []string, out io.Writer) error {
 			*selfGroups, *selfBackends, baseURL)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	if err := sdn.WaitHealthy(ctx, baseURL); err != nil {
 		return err
 	}

@@ -1,16 +1,22 @@
-// Autoscale: the adaptive model in isolation. A day of diurnal workload
-// history is folded into hourly time slots; for every hour the
-// edit-distance model predicts the next hour's per-group load and the ILP
-// allocator picks the cost-minimal instance mix — printed against a
-// static "peak provisioning" baseline to show the savings
-// (over-provisioning reduction, §III).
+// Autoscale: the paper's control cycle (§IV) running live. Earlier
+// revisions of this example only exercised the model offline — predict
+// from a synthetic trace, solve the allocation, print the plan. Now it
+// drives the real thing: a doubling-rate load sweep is replayed over
+// real sockets through a live SDN front-end while the reconciler closes
+// the predict→allocate→provision cycle after every slot — scaling
+// surrogate pools up from a warm pool through the ramp and draining
+// them back down afterwards — and the run prints the measured
+// cost-vs-SLO outcome against the static peak-provisioning baseline
+// (§III).
+//
+// The run is deterministic per seed: re-running prints the same
+// schedule digest and the same decision digest (only latencies differ).
 package main
 
 import (
+	"context"
 	"fmt"
-	"math"
 	"os"
-	"sort"
 	"time"
 
 	"accelcloud"
@@ -23,136 +29,49 @@ func main() {
 	}
 }
 
-// diurnalUsers is a synthetic day: per-hour user counts per group.
-func diurnalUsers(hour, group int) int {
-	base := []float64{40, 15, 6}[group]
-	peak := 1 + 0.9*math.Sin(2*math.Pi*float64(hour-14)/24)
-	return int(base * peak)
-}
-
 func run() error {
-	store := accelcloud.NewTraceStore()
-	// Two days of history: the first day trains the model, the second is
-	// predicted hour by hour. Response times are drawn per acceleration
-	// group (higher groups respond faster) and folded into log-bucketed
-	// histograms — the same SLO digest the load generator reports.
-	rng := accelcloud.NewRNG(1).Stream("autoscale-rtt")
-	groupBaseMs := []float64{700, 350, 150}
-	hists := make([]*accelcloud.LogHist, 3)
-	for g := range hists {
-		hists[g] = accelcloud.NewLatencyHist()
+	// Two acceleration groups in the Fig 9 spirit: a cheap low-tier
+	// type and a faster, pricier one. Capacity is the per-slot demand
+	// one instance absorbs within the SLA.
+	groups := []accelcloud.AutoscaleGroupSpec{
+		{Group: 1, TypeName: "t2.nano", CostPerHour: 0.0063, Capacity: 4},
+		{Group: 2, TypeName: "t2.large", CostPerHour: 0.101, Capacity: 8},
 	}
-	for h := 0; h < 48; h++ {
-		for g := 0; g < 3; g++ {
-			users := diurnalUsers(h%24, g)
-			for u := 0; u < users; u++ {
-				rttMs := groupBaseMs[g] * (0.6 + 0.8*rng.Float64())
-				hists[g].Add(rttMs)
-				if err := store.Append(accelcloud.TraceRecord{
-					Timestamp:    accelcloud.Epoch.Add(time.Duration(h)*time.Hour + time.Duration(u)*time.Second),
-					UserID:       g*1000 + u,
-					Group:        g,
-					BatteryLevel: 1,
-					RTT:          time.Duration(rttMs * float64(time.Millisecond)),
-				}); err != nil {
-					return err
-				}
-			}
-		}
-	}
-	fmt.Println("request-log latency per group (log-bucketed digest):")
-	for g, h := range hists {
-		p50, err := h.Quantile(0.50)
-		if err != nil {
-			return err
-		}
-		p99, err := h.Quantile(0.99)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("  group %d: n=%-5d p50=%.0f ms  p99=%.0f ms  max=%.0f ms\n",
-			g, h.Total(), p50, p99, h.Max())
-	}
+
+	fmt.Println("running the live control loop: 16→128 Hz doubling sweep,")
+	fmt.Println("500 ms slots, 4 drain slots, warm pool of 2 ...")
 	fmt.Println()
-
-	specs := []accelcloud.AllocSpec{
-		{TypeName: "t2.nano", Group: 0, CostPerHour: 0.0063, Capacity: 30},
-		{TypeName: "t2.medium", Group: 1, CostPerHour: 0.05, Capacity: 60},
-		{TypeName: "m4.4xlarge", Group: 2, CostPerHour: 0.888, Capacity: 400},
-	}
-
-	// Static baseline: provision the whole day for the peak.
-	peak := make([]float64, 3)
-	for h := 0; h < 24; h++ {
-		for g := 0; g < 3; g++ {
-			if v := float64(diurnalUsers(h, g)); v > peak[g] {
-				peak[g] = v
-			}
-		}
-	}
-	peakPlan, err := accelcloud.Allocate(&accelcloud.AllocProblem{Specs: specs, Demands: peak})
+	rep, err := accelcloud.RunAutoscaleSweep(context.Background(), accelcloud.AutoscaleSweepConfig{
+		Seed:       1,
+		StartHz:    16,
+		Steps:      4,
+		SlotLen:    500 * time.Millisecond,
+		DrainSlots: 4,
+		Groups:     groups,
+		FixedTask:  "sieve",
+		WarmPool:   2,
+		SLO:        &accelcloud.LoadgenSLO{P99Ms: 2000, MaxErrorRate: 0},
+	})
 	if err != nil {
 		return err
 	}
+	fmt.Print(rep.Summary())
 
-	records := store.Snapshot()
-	fmt.Println("hour  predicted(g0,g1,g2)   actual(g0,g1,g2)    plan                       $/h")
-	adaptiveCost := 0.0
-	var predictor accelcloud.EditDistanceNN
-	for h := 24; h < 48; h++ {
-		slots, err := buildSlots(records, h)
-		if err != nil {
-			return err
+	fmt.Println()
+	fmt.Println("the arc per group (pool size follows predicted demand):")
+	for _, s := range rep.Slots {
+		bar := ""
+		total := 0
+		for _, n := range s.Decision.Applied {
+			total += n
 		}
-		pred, err := predictor.Predict(slots)
-		if err != nil {
-			return err
+		for i := 0; i < total; i++ {
+			bar += "█"
 		}
-		counts := pred.Counts()
-		demands := make([]float64, 3)
-		for g := 0; g < 3 && g < len(counts); g++ {
-			demands[g] = float64(counts[g])
-		}
-		plan, err := accelcloud.Allocate(&accelcloud.AllocProblem{Specs: specs, Demands: demands})
-		if err != nil {
-			return err
-		}
-		if !plan.Feasible {
-			return fmt.Errorf("hour %d: infeasible", h)
-		}
-		adaptiveCost += plan.Cost
-		actual := []int{diurnalUsers(h%24, 0), diurnalUsers(h%24, 1), diurnalUsers(h%24, 2)}
-		fmt.Printf("%02d    %-20s  %-18s  %-25s  %.4f\n",
-			h%24, fmt.Sprint(counts), fmt.Sprint(actual), planString(plan), plan.Cost)
+		fmt.Printf("  slot %d: %-12s %s\n", s.Slot, fmt.Sprint(s.Decision.Applied), bar)
 	}
-	staticCost := peakPlan.Cost * 24
-	fmt.Printf("\nadaptive day cost : $%.2f\n", adaptiveCost)
-	fmt.Printf("static-peak cost  : $%.2f\n", staticCost)
-	fmt.Printf("savings           : %.1f%%\n", 100*(1-adaptiveCost/staticCost))
+	fmt.Println()
+	fmt.Printf("peak pools %v drained back to %v; adaptive $%.6f vs static-peak $%.6f (%.1f%% saved)\n",
+		rep.PeakPool, rep.FinalPool, rep.AdaptiveCostUSD, rep.StaticPeakCostUSD, rep.SavingsPct)
 	return nil
-}
-
-// buildSlots folds the first h hours of records into hourly slots.
-func buildSlots(records []accelcloud.TraceRecord, h int) ([]accelcloud.Slot, error) {
-	return accelcloud.BuildHourlySlots(records, h, 3)
-}
-
-// planString renders a plan's counts compactly and deterministically.
-func planString(plan accelcloud.AllocPlan) string {
-	names := make([]string, 0, len(plan.Counts))
-	for name := range plan.Counts {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	s := ""
-	for i, name := range names {
-		if i > 0 {
-			s += " "
-		}
-		s += fmt.Sprintf("%dx%s", plan.Counts[name], name)
-	}
-	if s == "" {
-		return "(none)"
-	}
-	return s
 }

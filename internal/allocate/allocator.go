@@ -1,0 +1,84 @@
+package allocate
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Allocator is the incremental, reusable-across-slots entry point for
+// control loops: the instance specs and cloud cap are validated once at
+// construction, and each time slot re-solves only for fresh demands.
+// The autoscaling reconciler (internal/autoscale, DESIGN.md §5) calls
+// Allocate once per slot; one-shot callers keep using Solve.
+//
+// An Allocator is not safe for concurrent use; the control loop is the
+// single caller by design.
+type Allocator struct {
+	specs     []Spec
+	numGroups int
+	cc        int
+	// prob is reused across calls; only Demands changes.
+	prob Problem
+}
+
+// NewAllocator validates the specs against a fixed group count and
+// returns a reusable solver. cc of 0 selects DefaultCC.
+func NewAllocator(specs []Spec, numGroups, cc int) (*Allocator, error) {
+	if numGroups <= 0 {
+		return nil, fmt.Errorf("allocate: group count %d <= 0", numGroups)
+	}
+	a := &Allocator{
+		specs:     append([]Spec(nil), specs...),
+		numGroups: numGroups,
+		cc:        cc,
+	}
+	a.prob = Problem{
+		Specs:   a.specs,
+		Demands: make([]float64, numGroups),
+		CC:      cc,
+	}
+	// Validate once with zero demands; per-call validation then only
+	// concerns the demand vector itself.
+	if err := a.prob.validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// NumGroups reports the demand-vector length Allocate expects.
+func (a *Allocator) NumGroups() int { return a.numGroups }
+
+// Allocate solves the cost-minimal covering problem for one slot's
+// predicted demands. The demand slice must have exactly NumGroups
+// entries; it is copied, so callers may reuse their buffer.
+func (a *Allocator) Allocate(demands []float64) (Plan, error) {
+	if len(demands) != a.numGroups {
+		return Plan{}, fmt.Errorf("allocate: %d demands for %d groups", len(demands), a.numGroups)
+	}
+	copy(a.prob.Demands, demands)
+	return Solve(&a.prob)
+}
+
+// PeakPlan solves for the element-wise maximum demand across slots —
+// the static "provision for the peak" baseline the paper's adaptive
+// model is measured against (§III).
+func PeakPlan(a *Allocator, slots [][]float64) (Plan, error) {
+	if a == nil {
+		return Plan{}, errors.New("allocate: nil allocator")
+	}
+	if len(slots) == 0 {
+		return Plan{}, errors.New("allocate: no slots for peak plan")
+	}
+	peak := make([]float64, a.numGroups)
+	for _, d := range slots {
+		if len(d) != a.numGroups {
+			return Plan{}, fmt.Errorf("allocate: %d demands for %d groups", len(d), a.numGroups)
+		}
+		for g, v := range d {
+			if v > peak[g] {
+				peak[g] = v
+			}
+		}
+	}
+	return a.Allocate(peak)
+}

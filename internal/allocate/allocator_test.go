@@ -1,0 +1,103 @@
+package allocate
+
+import (
+	"testing"
+)
+
+func testSpecs() []Spec {
+	return []Spec{
+		{TypeName: "t2.nano", Group: 0, CostPerHour: 0.0063, Capacity: 30},
+		{TypeName: "t2.large", Group: 1, CostPerHour: 0.1, Capacity: 90},
+	}
+}
+
+func TestNewAllocatorValidation(t *testing.T) {
+	if _, err := NewAllocator(testSpecs(), 0, 0); err == nil {
+		t.Fatal("zero groups should fail")
+	}
+	if _, err := NewAllocator(nil, 2, 0); err == nil {
+		t.Fatal("no specs should fail")
+	}
+	bad := testSpecs()
+	bad[1].Group = 5 // outside [0, numGroups)
+	if _, err := NewAllocator(bad, 2, 0); err == nil {
+		t.Fatal("spec group outside range should fail")
+	}
+}
+
+func TestAllocatorMatchesSolve(t *testing.T) {
+	a, err := NewAllocator(testSpecs(), 2, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demandSets := [][]float64{
+		{10, 40}, {60, 0}, {0, 0}, {25, 180}, {95, 95},
+	}
+	for _, demands := range demandSets {
+		got, err := a.Allocate(demands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Solve(&Problem{Specs: testSpecs(), Demands: demands, CC: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cost != want.Cost || got.Feasible != want.Feasible || got.TotalInstances() != want.TotalInstances() {
+			t.Fatalf("demands %v: allocator %+v != solve %+v", demands, got, want)
+		}
+	}
+}
+
+func TestAllocatorRejectsWrongDemandLength(t *testing.T) {
+	a, err := NewAllocator(testSpecs(), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Allocate([]float64{1}); err == nil {
+		t.Fatal("short demand vector should fail")
+	}
+}
+
+func TestAllocatorDemandBufferIsCopied(t *testing.T) {
+	a, err := NewAllocator(testSpecs(), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demands := []float64{30, 0}
+	if _, err := a.Allocate(demands); err != nil {
+		t.Fatal(err)
+	}
+	demands[0] = 1e9 // caller reuses its buffer; must not corrupt the allocator
+	plan, err := a.Allocate([]float64{30, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Feasible || plan.Counts["t2.nano"] != 1 {
+		t.Fatalf("plan = %+v", plan)
+	}
+}
+
+func TestPeakPlan(t *testing.T) {
+	a, err := NewAllocator(testSpecs(), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots := [][]float64{{10, 30}, {55, 10}, {20, 170}}
+	plan, err := PeakPlan(a, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peak demand is (55, 170): 2× nano + 2× large.
+	if plan.Counts["t2.nano"] != 2 || plan.Counts["t2.large"] != 2 {
+		t.Fatalf("peak plan = %+v", plan.Counts)
+	}
+	if _, err := PeakPlan(a, nil); err == nil {
+		t.Fatal("no slots should fail")
+	}
+	if _, err := PeakPlan(nil, slots); err == nil {
+		t.Fatal("nil allocator should fail")
+	}
+	if _, err := PeakPlan(a, [][]float64{{1}}); err == nil {
+		t.Fatal("ragged demands should fail")
+	}
+}

@@ -1,0 +1,360 @@
+package autoscale
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"accelcloud/internal/loadgen"
+	"accelcloud/internal/sdn"
+	"accelcloud/internal/sim"
+	"accelcloud/internal/trace"
+)
+
+func testGroups() []GroupSpec {
+	// Small per-instance capacities so the doubling ramp forces real
+	// scale-ups: slot demand per group reaches 32 ⇒ desired pools of 8
+	// (g1) and 4 (g2) at the knee.
+	return []GroupSpec{
+		{Group: 1, TypeName: "t2.nano", CostPerHour: 0.0063, Capacity: 4},
+		{Group: 2, TypeName: "t2.large", CostPerHour: 0.1, Capacity: 8},
+	}
+}
+
+func testSweepConfig(seed int64) SweepConfig {
+	return SweepConfig{
+		Seed:       seed,
+		StartHz:    16,
+		Steps:      4,
+		SlotLen:    500 * time.Millisecond,
+		DrainSlots: 4,
+		Groups:     testGroups(),
+		FixedTask:  "sieve",
+		Timeout:    5 * time.Second,
+		SLO:        &loadgen.SLO{P99Ms: 2000, MaxErrorRate: 0},
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	fe, err := sdn.NewFrontEnd(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov := &HermeticProvisioner{}
+	base := Config{FrontEnd: fe, Provisioner: prov, Groups: testGroups(), SlotLen: time.Second}
+	for name, mutate := range map[string]func(*Config){
+		"nil front-end":   func(c *Config) { c.FrontEnd = nil },
+		"nil provisioner": func(c *Config) { c.Provisioner = nil },
+		"no groups":       func(c *Config) { c.Groups = nil },
+		"zero slot":       func(c *Config) { c.SlotLen = 0 },
+		"negative warm":   func(c *Config) { c.WarmPool = -1 },
+		"negative group":  func(c *Config) { c.Groups = []GroupSpec{{Group: -1, TypeName: "x", Capacity: 1}} },
+		"duplicate group": func(c *Config) { c.Groups = append(testGroups(), testGroups()[0]) },
+		"no type name":    func(c *Config) { c.Groups = []GroupSpec{{Group: 1, Capacity: 1}} },
+		"zero capacity":   func(c *Config) { c.Groups = []GroupSpec{{Group: 1, TypeName: "x"}} },
+	} {
+		cfg := base
+		mutate(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("%s should fail", name)
+		}
+	}
+	if _, err := New(base); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// slotWith builds a slot with the given per-group counts at an index.
+func slotWith(idx int, counts map[int]int) trace.Slot {
+	maxG := 0
+	for g := range counts {
+		if g > maxG {
+			maxG = g
+		}
+	}
+	s := trace.Slot{Start: sim.Epoch.Add(time.Duration(idx) * time.Second), Groups: make([][]int, maxG+1)}
+	for g, n := range counts {
+		users := make([]int, n)
+		for i := range users {
+			users[i] = idx*10000 + i
+		}
+		s.Groups[g] = users
+	}
+	return s
+}
+
+// TestControllerScalesUpAndDown drives the reconciler directly with a
+// synthetic demand ramp and verifies pool growth, hysteresis-gated
+// drain, and warm-pool reuse against the live front-end registry.
+func TestControllerScalesUpAndDown(t *testing.T) {
+	fe, err := sdn.NewFrontEnd(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := New(Config{
+		FrontEnd:    fe,
+		Provisioner: &HermeticProvisioner{},
+		Groups:      testGroups(),
+		SlotLen:     time.Second,
+		WarmPool:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Shutdown()
+	ctx := context.Background()
+	if err := ctrl.Prime(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctrl.PoolSizes(); got[1] != 1 || got[2] != 1 {
+		t.Fatalf("primed pools = %v", got)
+	}
+	if ctrl.WarmSize() != 2 {
+		t.Fatalf("warm = %d", ctrl.WarmSize())
+	}
+
+	// Ramp: group 1 demand 5 → 40 → 40 → 0 → 0 → 0.
+	demands := []int{5, 40, 40, 0, 0, 0}
+	var peak int
+	for i, d := range demands {
+		dec, err := ctrl.Step(ctx, slotWith(i, map[int]int{1: d, 2: 0}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Applied[0] > peak {
+			peak = dec.Applied[0]
+		}
+		// The front-end's active registry always matches the decision.
+		if fe.ActiveCount(1) != dec.Applied[0] {
+			t.Fatalf("slot %d: front-end %d active, decision says %d", i, fe.ActiveCount(1), dec.Applied[0])
+		}
+	}
+	// Edit-distance NN predicts the observed 40 once it repeats: pool
+	// must have reached ceil(40/10) = 4.
+	if peak < 4 {
+		t.Fatalf("peak pool = %d, want >= 4", peak)
+	}
+	decs := ctrl.Decisions()
+	final := decs[len(decs)-1]
+	if final.Applied[0] != 1 {
+		t.Fatalf("final pool = %d, want scale-down to 1 (decisions: %+v)", final.Applied[0], decs)
+	}
+	// Warm pool is bounded even after absorbing drained instances.
+	if ctrl.WarmSize() > 2 {
+		t.Fatalf("warm pool grew to %d", ctrl.WarmSize())
+	}
+}
+
+// TestControllerCooldownBlocksImmediateDrain verifies the flap guard: a
+// scale-up in slot t forbids a scale-down in slot t+1 when
+// CooldownSlots is 2.
+func TestControllerCooldownBlocksImmediateDrain(t *testing.T) {
+	fe, err := sdn.NewFrontEnd(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := New(Config{
+		FrontEnd:      fe,
+		Provisioner:   &HermeticProvisioner{},
+		Groups:        []GroupSpec{{Group: 1, TypeName: "t2.nano", CostPerHour: 0.0063, Capacity: 10}},
+		SlotLen:       time.Second,
+		CooldownSlots: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Shutdown()
+	ctx := context.Background()
+	if err := ctrl.Prime(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Spike then silence: 30, 30, 0, 0, 0, 0.
+	applied := []int{}
+	for i, d := range []int{30, 30, 0, 0, 0, 0} {
+		dec, err := ctrl.Step(ctx, slotWith(i, map[int]int{1: d}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		applied = append(applied, dec.Applied[0])
+	}
+	// The pool must hold its size for at least CooldownSlots slots after
+	// the last scale-up before draining.
+	up := 0
+	for i, n := range applied {
+		if n > 1 {
+			up = i
+		}
+	}
+	if up < 2 {
+		t.Fatalf("pool dropped too early: applied = %v", applied)
+	}
+	if applied[len(applied)-1] != 1 {
+		t.Fatalf("pool never drained: applied = %v", applied)
+	}
+}
+
+// countingProvisioner counts boots to prove warm-pool and reclaim
+// reuse.
+type countingProvisioner struct {
+	inner HermeticProvisioner
+	boots int
+}
+
+func (p *countingProvisioner) Boot(ctx context.Context, id string) (Backend, error) {
+	p.boots++
+	return p.inner.Boot(ctx, id)
+}
+
+// TestFlapReusesDrainedInstances: a prediction flap — drain in slot t,
+// scale back up in slot t+1 — must reuse the just-drained instances
+// (via the end-of-cycle warm trim) instead of booting fresh ones.
+func TestFlapReusesDrainedInstances(t *testing.T) {
+	fe, err := sdn.NewFrontEnd(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov := &countingProvisioner{}
+	ctrl, err := New(Config{
+		FrontEnd:    fe,
+		Provisioner: prov,
+		Groups:      []GroupSpec{{Group: 1, TypeName: "t2.nano", CostPerHour: 0.0063, Capacity: 10}},
+		SlotLen:     time.Second,
+		WarmPool:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Shutdown()
+	ctx := context.Background()
+	if err := ctrl.Prime(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Ramp to 4 instances, flap to zero, then straight back up.
+	for i, d := range []int{40, 40, 0, 40} {
+		if _, err := ctrl.Step(ctx, slotWith(i, map[int]int{1: d})); err != nil {
+			t.Fatal(err)
+		}
+		if i == 2 {
+			// The drain happened: remember the boot count.
+			if ctrl.DrainingSize() == 0 {
+				t.Fatal("slot 2 should have drained instances")
+			}
+			prov.boots = 0
+		}
+	}
+	if prov.boots != 0 {
+		t.Fatalf("flap booted %d fresh instances instead of reusing drained ones", prov.boots)
+	}
+	if got := ctrl.PoolSizes()[1]; got != 4 {
+		t.Fatalf("pool after flap = %d, want 4", got)
+	}
+	if ctrl.WarmSize() > 1 {
+		t.Fatalf("warm pool over cap: %d", ctrl.WarmSize())
+	}
+}
+
+// TestRunSweepEndToEnd is the acceptance scenario: a doubling-rate
+// sweep through the live stack scales pools up and back down, meets the
+// SLO, and two same-seed runs agree bit-for-bit on schedule and
+// decision digests.
+func TestRunSweepEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hermetic sweep replays real traffic")
+	}
+	ctx := context.Background()
+	rep1, err := RunSweep(ctx, testSweepConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.Requests == 0 {
+		t.Fatal("sweep produced no requests")
+	}
+	if rep1.Errors != 0 {
+		t.Fatalf("errors = %d", rep1.Errors)
+	}
+	if rep1.SLO == nil || !rep1.SLO.Pass {
+		t.Fatalf("SLO = %+v", rep1.SLO)
+	}
+	// Pools grew beyond the floor and drained back to it.
+	grew := false
+	for _, n := range rep1.PeakPool {
+		if n > 1 {
+			grew = true
+		}
+	}
+	if !grew {
+		t.Fatalf("pools never grew: peak = %v", rep1.PeakPool)
+	}
+	for g, n := range rep1.FinalPool {
+		if n != 1 {
+			t.Fatalf("group %s final pool = %d, want drained to 1\n%s", g, n, rep1.Summary())
+		}
+	}
+	// Adaptive provisioning beats the static peak baseline.
+	if rep1.AdaptiveCostUSD <= 0 || rep1.StaticPeakCostUSD <= rep1.AdaptiveCostUSD {
+		t.Fatalf("costs: adaptive %.6f static %.6f", rep1.AdaptiveCostUSD, rep1.StaticPeakCostUSD)
+	}
+	if len(rep1.Slots) != rep1.Steps+rep1.DrainSlots {
+		t.Fatalf("slot sections = %d", len(rep1.Slots))
+	}
+
+	// Bit-reproducibility: same seed ⇒ same schedule and decisions.
+	rep2, err := RunSweep(ctx, testSweepConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.ScheduleDigest != rep2.ScheduleDigest {
+		t.Fatalf("schedule digests differ: %s vs %s", rep1.ScheduleDigest, rep2.ScheduleDigest)
+	}
+	if rep1.DecisionDigest != rep2.DecisionDigest {
+		t.Fatalf("decision digests differ: %s vs %s", rep1.DecisionDigest, rep2.DecisionDigest)
+	}
+	// A different seed replays a different schedule.
+	rep3, err := RunSweep(ctx, testSweepConfig(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep3.ScheduleDigest == rep1.ScheduleDigest {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestRunSweepValidation(t *testing.T) {
+	ctx := context.Background()
+	if _, err := RunSweep(ctx, SweepConfig{}); err == nil {
+		t.Fatal("no groups should fail")
+	}
+	bad := testSweepConfig(1)
+	bad.Steps = -1
+	if _, err := RunSweep(ctx, bad); err == nil {
+		t.Fatal("negative steps should fail")
+	}
+}
+
+func TestReportRoundTripAndSummary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hermetic sweep replays real traffic")
+	}
+	cfg := testSweepConfig(7)
+	cfg.Steps = 2
+	cfg.DrainSlots = 2
+	cfg.SlotLen = 250 * time.Millisecond
+	rep, err := RunSweep(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/BENCH_autoscale.json"
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReportFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DecisionDigest != rep.DecisionDigest || got.ScheduleDigest != rep.ScheduleDigest {
+		t.Fatal("round trip lost digests")
+	}
+	if got.Summary() == "" {
+		t.Fatal("empty summary")
+	}
+}

@@ -1,0 +1,56 @@
+package autoscale
+
+import (
+	"context"
+	"net/http/httptest"
+
+	"accelcloud/internal/dalvik"
+	"accelcloud/internal/tasks"
+)
+
+// hermeticBackend is a dalvik surrogate on a loopback httptest socket.
+type hermeticBackend struct {
+	srv *httptest.Server
+	sur *dalvik.Surrogate
+}
+
+func (b *hermeticBackend) URL() string { return b.srv.URL }
+
+func (b *hermeticBackend) Close() error {
+	b.srv.Close()
+	return nil
+}
+
+// HermeticProvisioner boots real dalvik surrogates on loopback sockets
+// — the in-process stand-in for launching cloud instances, mirroring
+// loadgen's hermetic cluster. Every surrogate carries the full task
+// pool, so any warm spare can serve any acceleration group.
+type HermeticProvisioner struct {
+	// Pool is the task registry pushed into each surrogate; nil selects
+	// tasks.DefaultPool().
+	Pool *tasks.Pool
+	// MaxProcs bounds each surrogate's worker slots
+	// (0 = dalvik.DefaultMaxProcs).
+	MaxProcs int
+}
+
+var _ Provisioner = (*HermeticProvisioner)(nil)
+
+// Boot implements Provisioner.
+func (p *HermeticProvisioner) Boot(ctx context.Context, id string) (Backend, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sur, err := dalvik.NewSurrogate(id, p.MaxProcs)
+	if err != nil {
+		return nil, err
+	}
+	pool := p.Pool
+	if pool == nil {
+		pool = tasks.DefaultPool()
+	}
+	if err := sur.PushPool(pool); err != nil {
+		return nil, err
+	}
+	return &hermeticBackend{srv: httptest.NewServer(sur.Handler()), sur: sur}, nil
+}

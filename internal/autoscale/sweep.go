@@ -1,0 +1,444 @@
+package autoscale
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"time"
+
+	"accelcloud/internal/loadgen"
+	"accelcloud/internal/rpc"
+	"accelcloud/internal/sdn"
+	"accelcloud/internal/sim"
+	"accelcloud/internal/stats"
+	"accelcloud/internal/trace"
+)
+
+// ReportSchema identifies the BENCH_autoscale.json wire format.
+const ReportSchema = "accelcloud/autoscale-report/v1"
+
+// SweepConfig parameterizes one hermetic end-to-end autoscale run: a
+// doubling-rate loadgen sweep (the Fig 8 stress shape) replayed slot by
+// slot through a full live stack — front-end, surrogates, and the
+// reconciler closing the predict→allocate→provision cycle after every
+// slot.
+type SweepConfig struct {
+	// Seed roots the schedule and every controller substream; two runs
+	// with the same seed produce identical schedule and decision
+	// digests.
+	Seed int64
+	// StartHz is the aggregate arrival rate of the first slot; it
+	// doubles each slot (0 selects 4).
+	StartHz float64
+	// Steps is the number of rate doublings (0 selects 4).
+	Steps int
+	// SlotLen is the provisioning slot length; the sweep holds each
+	// rate for exactly one slot (0 selects 1s).
+	SlotLen time.Duration
+	// DrainSlots appends empty slots after the ramp so the run
+	// demonstrates scale-down as well as scale-up (0 selects 3).
+	DrainSlots int
+	// Groups are the managed acceleration groups; requests are spread
+	// across them. At least one is required.
+	Groups []GroupSpec
+	// FixedTask pins every request to one pool task (empty = random).
+	FixedTask string
+	// MaxInFlight bounds concurrent outstanding requests per slot
+	// (0 selects 64).
+	MaxInFlight int
+	// Timeout bounds each request (0 selects 10s).
+	Timeout time.Duration
+	// SLO, when non-nil, is evaluated into the report over the whole
+	// run's latency population.
+	SLO *loadgen.SLO
+	// Controller knobs, forwarded to Config.
+	MaxHistory      int
+	CC              int
+	WarmPool        int
+	ScaleDownMargin int
+	CooldownSlots   int
+	// Provisioner overrides the hermetic in-process provisioner (tests
+	// and the live daemon inject their own).
+	Provisioner Provisioner
+}
+
+// SlotReport merges one slot's measured traffic with its control-cycle
+// decision — the per-slot section that makes cost-vs-SLO tradeoffs
+// measurable.
+type SlotReport struct {
+	Slot     int                    `json:"slot"`
+	RateHz   float64                `json:"rateHz"`
+	Requests int                    `json:"requests"`
+	Errors   int                    `json:"errors"`
+	Latency  loadgen.LatencySummary `json:"latency"`
+	Decision Decision               `json:"decision"`
+}
+
+// Report is the machine-readable outcome of one autoscale sweep (the
+// BENCH_autoscale.json schema consumed by cmd/benchdiff).
+type Report struct {
+	Schema      string  `json:"schema"`
+	Seed        int64   `json:"seed"`
+	StartHz     float64 `json:"startHz"`
+	Steps       int     `json:"steps"`
+	DrainSlots  int     `json:"drainSlots"`
+	SlotLenMs   float64 `json:"slotLenMs"`
+	WallClockMs float64 `json:"wallClockMs"`
+
+	Requests  int     `json:"requests"`
+	Completed int     `json:"completed"`
+	Errors    int     `json:"errors"`
+	ErrorRate float64 `json:"errorRate"`
+
+	Latency loadgen.LatencySummary `json:"latency"`
+
+	// AdaptiveCostUSD is the reconciler's total bill; StaticPeakCostUSD
+	// holds the peak desired pool for the whole run (the §III
+	// over-provisioning baseline); SavingsPct compares them.
+	AdaptiveCostUSD   float64 `json:"adaptiveCostUSD"`
+	StaticPeakCostUSD float64 `json:"staticPeakCostUSD"`
+	SavingsPct        float64 `json:"savingsPct"`
+
+	// PeakPool and FinalPool summarize the scale-up-and-back-down arc
+	// per managed group (keys are group indices as strings).
+	PeakPool  map[string]int `json:"peakPool"`
+	FinalPool map[string]int `json:"finalPool"`
+
+	ScheduleDigest string `json:"scheduleDigest"`
+	DecisionDigest string `json:"decisionDigest"`
+
+	Slots []SlotReport       `json:"slots"`
+	SLO   *loadgen.SLOResult `json:"slo,omitempty"`
+}
+
+func (c SweepConfig) withDefaults() (SweepConfig, error) {
+	if c.StartHz == 0 {
+		c.StartHz = 4
+	}
+	if c.StartHz < 0 {
+		return c, fmt.Errorf("autoscale: start rate %v < 0", c.StartHz)
+	}
+	if c.Steps == 0 {
+		c.Steps = 4
+	}
+	if c.Steps < 0 {
+		return c, fmt.Errorf("autoscale: steps %d < 0", c.Steps)
+	}
+	if c.SlotLen == 0 {
+		c.SlotLen = time.Second
+	}
+	if c.SlotLen < 0 {
+		return c, fmt.Errorf("autoscale: slot length %v < 0", c.SlotLen)
+	}
+	if c.DrainSlots == 0 {
+		c.DrainSlots = 3
+	}
+	if c.DrainSlots < 0 {
+		return c, fmt.Errorf("autoscale: drain slots %d < 0", c.DrainSlots)
+	}
+	if len(c.Groups) == 0 {
+		return c, errors.New("autoscale: no group specs")
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 64
+	}
+	if c.MaxInFlight < 0 {
+		return c, fmt.Errorf("autoscale: max in flight %d < 0", c.MaxInFlight)
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 10 * time.Second
+	}
+	if c.Timeout < 0 {
+		return c, fmt.Errorf("autoscale: timeout %v < 0", c.Timeout)
+	}
+	if c.Provisioner == nil {
+		c.Provisioner = &HermeticProvisioner{}
+	}
+	return c, nil
+}
+
+// RunSweep executes the hermetic end-to-end autoscale scenario: it
+// boots a live front-end, primes the controller's pools, replays the
+// deterministic doubling-rate schedule slot by slot over real sockets,
+// and steps the control cycle at every slot boundary.
+//
+// The run is sim-clock-driven: slot boundaries are positions in the
+// deterministic schedule's virtual timeline (each slot's requests
+// complete before the cycle runs), so the control path sees identical
+// per-slot demand on every same-seed run and the decision digest is
+// bit-reproducible. Only the measured latencies differ between runs.
+func RunSweep(ctx context.Context, cfg SweepConfig) (*Report, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	groupIDs := make([]int, 0, len(cfg.Groups))
+	for _, g := range cfg.Groups {
+		groupIDs = append(groupIDs, g.Group)
+	}
+	sort.Ints(groupIDs)
+	lcfg := loadgen.Config{
+		Mode:       loadgen.ModeSweep,
+		Users:      1, // the sweep synthesizes one user id per request
+		Duration:   time.Duration(cfg.Steps) * cfg.SlotLen,
+		RateHz:     cfg.StartHz,
+		Seed:       cfg.Seed,
+		Groups:     groupIDs,
+		SweepSteps: cfg.Steps,
+		FixedTask:  cfg.FixedTask,
+		SlotLen:    cfg.SlotLen,
+	}
+	plan, err := loadgen.BuildPlan(lcfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// The live stack: front-end over a real loopback socket. The
+	// control loop reads the virtual-time window fed at issue time, so
+	// the front-end itself needs no wall-clock log here.
+	fe, err := sdn.NewFrontEnd(nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	front := httptest.NewServer(fe.Handler())
+	defer front.Close()
+
+	ctrl, err := New(Config{
+		FrontEnd:        fe,
+		Provisioner:     cfg.Provisioner,
+		Groups:          cfg.Groups,
+		SlotLen:         cfg.SlotLen,
+		MaxHistory:      cfg.MaxHistory,
+		CC:              cfg.CC,
+		WarmPool:        cfg.WarmPool,
+		ScaleDownMargin: cfg.ScaleDownMargin,
+		CooldownSlots:   cfg.CooldownSlots,
+		RNG:             sim.NewRNG(cfg.Seed),
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer ctrl.Shutdown()
+	if err := ctrl.Prime(ctx); err != nil {
+		return nil, err
+	}
+
+	totalSlots := cfg.Steps + cfg.DrainSlots
+	window, err := trace.NewWindow(sim.Epoch, cfg.SlotLen, ctrl.NumGroups(), totalSlots+1)
+	if err != nil {
+		return nil, err
+	}
+
+	// Bucket the deterministic schedule by slot index (indices into the
+	// timeline; the request structs stay owned by the plan).
+	buckets := make([][]int, totalSlots)
+	for i, pr := range plan.Timeline {
+		idx := int(pr.Offset / cfg.SlotLen)
+		if idx >= totalSlots {
+			idx = totalSlots - 1
+		}
+		buckets[idx] = append(buckets[idx], i)
+		// Feed the live window at the request's virtual arrival time.
+		window.Observe(sim.Epoch.Add(pr.Offset), pr.User, pr.Group)
+	}
+
+	client := rpc.NewClient(front.URL)
+	overall := stats.NewLatencyHist()
+	slotReports := make([]SlotReport, 0, totalSlots)
+	totalReqs, totalErrs := 0, 0
+	wallStart := time.Now()
+	for s := 0; s < totalSlots; s++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("autoscale: sweep interrupted: %w", err)
+		}
+		idxs := buckets[s]
+		lat := make([]float64, len(idxs))
+		errs := make([]error, len(idxs))
+		sim.FanOut(len(idxs), cfg.MaxInFlight, func(k int) {
+			pr := plan.Timeline[idxs[k]]
+			rctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
+			defer cancel()
+			start := time.Now()
+			_, err := client.Offload(rctx, rpc.OffloadRequest{
+				UserID:       pr.User,
+				Group:        pr.Group,
+				BatteryLevel: pr.Battery,
+				State:        pr.State,
+			})
+			lat[k] = float64(time.Since(start)) / float64(time.Millisecond)
+			errs[k] = err
+		})
+		slotHist := stats.NewLatencyHist()
+		slotErrs := 0
+		for k := range idxs {
+			overall.Add(lat[k])
+			slotHist.Add(lat[k])
+			if errs[k] != nil {
+				slotErrs++
+			}
+		}
+		totalReqs += len(idxs)
+		totalErrs += slotErrs
+
+		// Slot complete: advance the virtual clock and run the control
+		// cycle for every newly closed slot.
+		var dec Decision
+		for _, slot := range window.Advance(sim.Epoch.Add(time.Duration(s+1) * cfg.SlotLen)) {
+			dec, err = ctrl.Step(ctx, slot)
+			if err != nil {
+				return nil, err
+			}
+		}
+		rate := 0.0
+		if s < cfg.Steps {
+			rate = cfg.StartHz * float64(int(1)<<uint(s))
+		}
+		slotReports = append(slotReports, SlotReport{
+			Slot:     s,
+			RateHz:   rate,
+			Requests: len(idxs),
+			Errors:   slotErrs,
+			Latency:  loadgen.Summarize(slotHist),
+			Decision: dec,
+		})
+	}
+	wall := time.Since(wallStart)
+
+	rep := &Report{
+		Schema:         ReportSchema,
+		Seed:           cfg.Seed,
+		StartHz:        cfg.StartHz,
+		Steps:          cfg.Steps,
+		DrainSlots:     cfg.DrainSlots,
+		SlotLenMs:      float64(cfg.SlotLen) / float64(time.Millisecond),
+		WallClockMs:    float64(wall) / float64(time.Millisecond),
+		Requests:       totalReqs,
+		Completed:      totalReqs - totalErrs,
+		Errors:         totalErrs,
+		Latency:        loadgen.Summarize(overall),
+		PeakPool:       map[string]int{},
+		FinalPool:      map[string]int{},
+		ScheduleDigest: plan.Digest(),
+		DecisionDigest: ctrl.Digest(),
+		Slots:          slotReports,
+	}
+	if totalReqs > 0 {
+		rep.ErrorRate = float64(totalErrs) / float64(totalReqs)
+	}
+
+	// Cost accounting: adaptive bill vs holding the peak desired pool
+	// for the whole run (§III static over-provisioning).
+	decisions := ctrl.Decisions()
+	sorted := make([]GroupSpec, len(cfg.Groups))
+	copy(sorted, cfg.Groups)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Group < sorted[j].Group })
+	peakDesired := make([]int, len(sorted))
+	for _, d := range decisions {
+		rep.AdaptiveCostUSD += d.CostUSD
+		for i, n := range d.Desired {
+			if n > peakDesired[i] {
+				peakDesired[i] = n
+			}
+		}
+	}
+	hours := cfg.SlotLen.Hours()
+	for i, g := range sorted {
+		rep.StaticPeakCostUSD += float64(peakDesired[i]) * g.CostPerHour * hours * float64(len(decisions))
+		key := fmt.Sprintf("%d", g.Group)
+		for _, d := range decisions {
+			if d.Applied[i] > rep.PeakPool[key] {
+				rep.PeakPool[key] = d.Applied[i]
+			}
+		}
+		if len(decisions) > 0 {
+			rep.FinalPool[key] = decisions[len(decisions)-1].Applied[i]
+		}
+	}
+	if rep.StaticPeakCostUSD > 0 {
+		rep.SavingsPct = 100 * (1 - rep.AdaptiveCostUSD/rep.StaticPeakCostUSD)
+	}
+	if cfg.SLO != nil {
+		throughput := 0.0
+		if wall > 0 {
+			throughput = float64(rep.Completed) / wall.Seconds()
+		}
+		rep.SLO = cfg.SLO.Check(rep.Latency, rep.ErrorRate, throughput)
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the report, indented, to w.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the report to path.
+func (r *Report) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("autoscale: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+	return r.WriteJSON(f)
+}
+
+// ReadReport parses a report and verifies its schema.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(rd).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("autoscale: decode report: %w", err)
+	}
+	if rep.Schema != ReportSchema {
+		return nil, fmt.Errorf("autoscale: schema %q, want %q", rep.Schema, ReportSchema)
+	}
+	return &rep, nil
+}
+
+// ReadReportFile parses a report file.
+func ReadReportFile(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("autoscale: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+	return ReadReport(f)
+}
+
+// Summary renders the human-readable digest the CLI prints: one line
+// per slot showing the control cycle at work, then the cost verdict.
+func (r *Report) Summary() string {
+	out := fmt.Sprintf("autoscale sweep seed=%d start=%.0fHz steps=%d drain=%d slot=%.0fms\n",
+		r.Seed, r.StartHz, r.Steps, r.DrainSlots, r.SlotLenMs)
+	out += fmt.Sprintf("schedule=%s decisions=%s\n", r.ScheduleDigest, r.DecisionDigest)
+	out += "slot  rate_hz  reqs  errs  p99_ms  observed    predicted   desired  applied  warm  drain  $slot\n"
+	for _, s := range r.Slots {
+		d := s.Decision
+		out += fmt.Sprintf("%-4d  %-7.0f  %-4d  %-4d  %-6.1f  %-10s  %-10s  %-7s  %-7s  %-4d  %-5d  %.6f\n",
+			s.Slot, s.RateHz, s.Requests, s.Errors, s.Latency.P99Ms,
+			fmt.Sprint(d.Observed), fmt.Sprint(d.Predicted),
+			fmt.Sprint(d.Desired), fmt.Sprint(d.Applied), d.Warm, d.Draining, d.CostUSD)
+	}
+	out += fmt.Sprintf("requests=%d completed=%d errors=%d (%.1f%%) p50=%.1f p99=%.1f max=%.1f ms\n",
+		r.Requests, r.Completed, r.Errors, 100*r.ErrorRate,
+		r.Latency.P50Ms, r.Latency.P99Ms, r.Latency.MaxMs)
+	out += fmt.Sprintf("adaptive cost $%.6f vs static-peak $%.6f (savings %.1f%%)\n",
+		r.AdaptiveCostUSD, r.StaticPeakCostUSD, r.SavingsPct)
+	if r.SLO != nil {
+		if r.SLO.Pass {
+			out += "SLO: PASS\n"
+		} else {
+			out += "SLO: FAIL\n"
+			for _, v := range r.SLO.Violations {
+				out += "  " + v + "\n"
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,45 @@
+package loadgen_test
+
+import (
+	"fmt"
+	"time"
+
+	"accelcloud/internal/loadgen"
+)
+
+// ExampleBuildPlan materializes a deterministic request schedule: same
+// seed, same plan — the digest proves two runs replay the identical
+// sequence before a single request goes over the wire.
+func ExampleBuildPlan() {
+	cfg := loadgen.Config{
+		Mode:     loadgen.ModeConcurrent,
+		Users:    2,
+		Duration: 2 * time.Second,
+		RateHz:   1, // 2 requests per user
+		Seed:     42,
+		Groups:   []int{1, 2},
+	}
+	a, err := loadgen.BuildPlan(cfg)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	b, err := loadgen.BuildPlan(cfg)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("requests:", a.Requests())
+	fmt.Println("same digest:", a.Digest() == b.Digest())
+	cfg.Seed = 43
+	c, err := loadgen.BuildPlan(cfg)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("new seed, new schedule:", c.Digest() != a.Digest())
+	// Output:
+	// requests: 4
+	// same digest: true
+	// new seed, new schedule: true
+}

@@ -1,6 +1,7 @@
 package loadgen
 
 import (
+	"context"
 	"fmt"
 	"net/http/httptest"
 
@@ -37,6 +38,14 @@ type ClusterConfig struct {
 
 // StartCluster boots the stack. Callers must Close it.
 func StartCluster(cfg ClusterConfig) (*Cluster, error) {
+	return StartClusterContext(context.Background(), cfg)
+}
+
+// StartClusterContext boots the stack, honoring cancellation between
+// surrogate boots so an interrupt during warmup returns promptly
+// instead of finishing the whole bring-up. Callers must Close the
+// cluster on success.
+func StartClusterContext(ctx context.Context, cfg ClusterConfig) (*Cluster, error) {
 	if cfg.Groups <= 0 {
 		cfg.Groups = 1
 	}
@@ -51,6 +60,10 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	c := &Cluster{frontEnd: fe, log: log}
 	for g := 1; g <= cfg.Groups; g++ {
 		for i := 0; i < cfg.SurrogatesPerGroup; i++ {
+			if err := ctx.Err(); err != nil {
+				c.Close()
+				return nil, fmt.Errorf("loadgen: cluster boot interrupted: %w", err)
+			}
 			sur, err := dalvik.NewSurrogate(fmt.Sprintf("surrogate-g%d-%d", g, i), cfg.MaxProcs)
 			if err != nil {
 				c.Close()

@@ -1,0 +1,36 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestStartClusterContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	c, err := StartClusterContext(ctx, ClusterConfig{Groups: 4, SurrogatesPerGroup: 8})
+	if err == nil {
+		c.Close()
+		t.Fatal("cancelled boot should fail")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error should wrap context.Canceled: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancelled boot took %v", elapsed)
+	}
+}
+
+func TestStartClusterContextLive(t *testing.T) {
+	c, err := StartClusterContext(context.Background(), ClusterConfig{Groups: 1, SurrogatesPerGroup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.URL() == "" {
+		t.Fatal("cluster without URL")
+	}
+}

@@ -86,6 +86,11 @@ type Config struct {
 	// SweepSteps is the number of rate doublings in ModeSweep; 0
 	// selects 3.
 	SweepSteps int
+	// SlotLen, when positive, buckets open-loop records into
+	// per-time-slot report sections (Report.Slots) — the granularity of
+	// the autoscaling control loop. Ignored by the closed loop, whose
+	// schedule has no arrival offsets.
+	SlotLen time.Duration
 	// SLO, when non-nil, is evaluated into the report.
 	SLO *SLO
 }
@@ -150,6 +155,9 @@ func (c Config) normalized() (Config, error) {
 	}
 	if c.SweepSteps <= 0 {
 		c.SweepSteps = 3
+	}
+	if c.SlotLen < 0 {
+		return c, fmt.Errorf("loadgen: slot length %v < 0", c.SlotLen)
 	}
 	return c, nil
 }

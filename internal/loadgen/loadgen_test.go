@@ -286,11 +286,11 @@ func TestSLOEvaluation(t *testing.T) {
 		ErrorRate:     0.05,
 		ThroughputRps: 40,
 	}
-	res := evaluateSLO(rep, SLO{P99Ms: 100, MaxErrorRate: 0.01, MinThroughputRps: 50})
+	res := SLO{P99Ms: 100, MaxErrorRate: 0.01, MinThroughputRps: 50}.Check(rep.Latency, rep.ErrorRate, rep.ThroughputRps)
 	if res.Pass || len(res.Violations) != 3 {
 		t.Fatalf("expected 3 violations: %+v", res)
 	}
-	res = evaluateSLO(rep, SLO{P99Ms: 200, MaxErrorRate: 0.1, MinThroughputRps: 10})
+	res = SLO{P99Ms: 200, MaxErrorRate: 0.1, MinThroughputRps: 10}.Check(rep.Latency, rep.ErrorRate, rep.ThroughputRps)
 	if !res.Pass || len(res.Violations) != 0 {
 		t.Fatalf("expected pass: %+v", res)
 	}

@@ -35,6 +35,26 @@ type SLOResult struct {
 	Violations []string `json:"violations,omitempty"`
 }
 
+// Check evaluates the SLO against raw metrics — the reusable entry
+// point for reports other than Report (e.g. the autoscale report).
+func (s SLO) Check(latency LatencySummary, errorRate, throughputRps float64) *SLOResult {
+	res := &SLOResult{Pass: true}
+	fail := func(format string, args ...any) {
+		res.Pass = false
+		res.Violations = append(res.Violations, fmt.Sprintf(format, args...))
+	}
+	if s.P99Ms > 0 && latency.P99Ms > s.P99Ms {
+		fail("p99 %.1f ms > SLO %.1f ms", latency.P99Ms, s.P99Ms)
+	}
+	if errorRate > s.MaxErrorRate {
+		fail("error rate %.3f > SLO %.3f", errorRate, s.MaxErrorRate)
+	}
+	if s.MinThroughputRps > 0 && throughputRps < s.MinThroughputRps {
+		fail("throughput %.1f rps < SLO %.1f rps", throughputRps, s.MinThroughputRps)
+	}
+	return res
+}
+
 // LatencySummary is the percentile digest of a latency population.
 type LatencySummary struct {
 	N      int     `json:"n"`
@@ -54,6 +74,21 @@ type GroupReport struct {
 	Latency  LatencySummary `json:"latency"`
 }
 
+// SlotSection is the per-time-slot breakdown of an open-loop run —
+// the granularity at which cost-vs-SLO tradeoffs of the autoscaling
+// control loop are measured (one section per provisioning slot).
+type SlotSection struct {
+	// Slot is the slot index from run start.
+	Slot int `json:"slot"`
+	// StartMs is the slot's planned start offset.
+	StartMs float64 `json:"startMs"`
+	// Requests/Errors count the requests planned into the slot.
+	Requests int `json:"requests"`
+	Errors   int `json:"errors"`
+	// Latency summarizes the slot's issued requests.
+	Latency LatencySummary `json:"latency"`
+}
+
 // Report is the machine-readable outcome of one load-generation run
 // (the BENCH_loadgen.json schema).
 type Report struct {
@@ -71,13 +106,15 @@ type Report struct {
 	ThroughputRps  float64                `json:"throughputRps"`
 	Latency        LatencySummary         `json:"latency"`
 	Groups         map[string]GroupReport `json:"groups"`
+	Slots          []SlotSection          `json:"slots,omitempty"`
 	ScheduleDigest string                 `json:"scheduleDigest"`
 	SLO            *SLOResult             `json:"slo,omitempty"`
 }
 
-// summarize folds a histogram into the percentile digest. Quantile
-// errors are impossible for non-empty histograms with in-range q.
-func summarize(h *stats.LogHist) LatencySummary {
+// Summarize folds a latency histogram into the percentile digest (the
+// LatencySummary every report section carries). Quantile errors are
+// impossible for non-empty histograms with in-range q.
+func Summarize(h *stats.LogHist) LatencySummary {
 	if h.Total() == 0 {
 		return LatencySummary{}
 	}
@@ -122,6 +159,7 @@ func buildReport(cfg Config, plan *Plan, recs []record, wall time.Duration) *Rep
 		}
 		gh.Add(r.latencyMs)
 	}
+	slots := buildSlotSections(cfg, recs)
 	completed := len(recs) - errs
 	rep := &Report{
 		Schema:         Schema,
@@ -134,8 +172,9 @@ func buildReport(cfg Config, plan *Plan, recs []record, wall time.Duration) *Rep
 		Requests:       len(recs),
 		Completed:      completed,
 		Errors:         errs,
-		Latency:        summarize(overall),
+		Latency:        Summarize(overall),
 		Groups:         map[string]GroupReport{},
+		Slots:          slots,
 		ScheduleDigest: plan.Digest(),
 	}
 	if len(recs) > 0 {
@@ -152,33 +191,63 @@ func buildReport(cfg Config, plan *Plan, recs []record, wall time.Duration) *Rep
 	for _, g := range groups {
 		gr := GroupReport{Requests: groupReqs[g], Errors: groupErrs[g]}
 		if h := perGroup[g]; h != nil {
-			gr.Latency = summarize(h)
+			gr.Latency = Summarize(h)
 		}
 		rep.Groups[strconv.Itoa(g)] = gr
 	}
 	if cfg.SLO != nil {
-		rep.SLO = evaluateSLO(rep, *cfg.SLO)
+		rep.SLO = cfg.SLO.Check(rep.Latency, rep.ErrorRate, rep.ThroughputRps)
 	}
 	return rep
 }
 
-// evaluateSLO checks a report against an SLO.
-func evaluateSLO(rep *Report, slo SLO) *SLOResult {
-	res := &SLOResult{Pass: true}
-	fail := func(format string, args ...any) {
-		res.Pass = false
-		res.Violations = append(res.Violations, fmt.Sprintf(format, args...))
+// buildSlotSections buckets open-loop records into SlotLen-sized slots
+// by planned arrival offset. Closed-loop runs have no meaningful
+// offsets, so slot sections apply to timeline modes only.
+func buildSlotSections(cfg Config, recs []record) []SlotSection {
+	if cfg.SlotLen <= 0 || cfg.Mode == ModeConcurrent {
+		return nil
 	}
-	if slo.P99Ms > 0 && rep.Latency.P99Ms > slo.P99Ms {
-		fail("p99 %.1f ms > SLO %.1f ms", rep.Latency.P99Ms, slo.P99Ms)
+	perSlot := map[int]*SlotSection{}
+	hists := map[int]*stats.LogHist{}
+	maxSlot := -1
+	for _, r := range recs {
+		idx := int(r.offset / cfg.SlotLen)
+		sec := perSlot[idx]
+		if sec == nil {
+			sec = &SlotSection{
+				Slot:    idx,
+				StartMs: float64(time.Duration(idx)*cfg.SlotLen) / float64(time.Millisecond),
+			}
+			perSlot[idx] = sec
+			hists[idx] = stats.NewLatencyHist()
+		}
+		sec.Requests++
+		if r.err != nil {
+			sec.Errors++
+		}
+		if r.err != errSkipped {
+			hists[idx].Add(r.latencyMs)
+		}
+		if idx > maxSlot {
+			maxSlot = idx
+		}
 	}
-	if rep.ErrorRate > slo.MaxErrorRate {
-		fail("error rate %.3f > SLO %.3f", rep.ErrorRate, slo.MaxErrorRate)
+	out := make([]SlotSection, 0, len(perSlot))
+	for idx := 0; idx <= maxSlot; idx++ {
+		sec := perSlot[idx]
+		if sec == nil {
+			// Idle slot: report it empty so gaps stay visible.
+			sec = &SlotSection{
+				Slot:    idx,
+				StartMs: float64(time.Duration(idx)*cfg.SlotLen) / float64(time.Millisecond),
+			}
+		} else {
+			sec.Latency = Summarize(hists[idx])
+		}
+		out = append(out, *sec)
 	}
-	if slo.MinThroughputRps > 0 && rep.ThroughputRps < slo.MinThroughputRps {
-		fail("throughput %.1f rps < SLO %.1f rps", rep.ThroughputRps, slo.MinThroughputRps)
-	}
-	return res
+	return out
 }
 
 // WriteJSON writes the report, indented, to w.

@@ -13,7 +13,10 @@ import (
 // record is one executed request's outcome. Records live in
 // per-request slots so the replay goroutines never share state.
 type record struct {
-	group     int
+	group int
+	// offset is the planned arrival offset (open loop), used to bucket
+	// records into per-slot report sections.
+	offset    time.Duration
 	latencyMs float64
 	err       error
 }
@@ -33,6 +36,7 @@ func doOne(ctx context.Context, client *rpc.Client, pr planned, timeout time.Dur
 	})
 	return record{
 		group:     pr.Group,
+		offset:    pr.Offset,
 		latencyMs: float64(time.Since(start)) / float64(time.Millisecond),
 		err:       err,
 	}
@@ -114,7 +118,7 @@ loop:
 		}
 		if ctx.Err() != nil {
 			for j := i; j < len(plan.Timeline); j++ {
-				recs[j] = record{group: plan.Timeline[j].Group, err: errSkipped}
+				recs[j] = record{group: plan.Timeline[j].Group, offset: plan.Timeline[j].Offset, err: errSkipped}
 			}
 			break loop
 		}
@@ -122,7 +126,7 @@ loop:
 		case sem <- struct{}{}:
 		case <-ctx.Done():
 			for j := i; j < len(plan.Timeline); j++ {
-				recs[j] = record{group: plan.Timeline[j].Group, err: errSkipped}
+				recs[j] = record{group: plan.Timeline[j].Group, offset: plan.Timeline[j].Offset, err: errSkipped}
 			}
 			break loop
 		}

@@ -1,0 +1,66 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+)
+
+func TestOpenLoopSlotSections(t *testing.T) {
+	slotLen := 200 * time.Millisecond
+	rep := hermeticRun(t,
+		ClusterConfig{Groups: 1, SurrogatesPerGroup: 1},
+		Config{
+			Mode:     ModeInterArrival,
+			Users:    3,
+			Duration: 800 * time.Millisecond,
+			RateHz:   20,
+			Seed:     3,
+			SlotLen:  slotLen,
+		})
+	if len(rep.Slots) == 0 {
+		t.Fatal("open-loop run with SlotLen produced no slot sections")
+	}
+	total, errs := 0, 0
+	for i, sec := range rep.Slots {
+		if sec.Slot != i {
+			t.Fatalf("slot %d has index %d", i, sec.Slot)
+		}
+		wantStart := float64(time.Duration(i)*slotLen) / float64(time.Millisecond)
+		if sec.StartMs != wantStart {
+			t.Fatalf("slot %d start %.1f, want %.1f", i, sec.StartMs, wantStart)
+		}
+		if sec.Requests > 0 && sec.Latency.N == 0 {
+			t.Fatalf("slot %d has %d requests but empty latency summary", i, sec.Requests)
+		}
+		total += sec.Requests
+		errs += sec.Errors
+	}
+	if total != rep.Requests || errs != rep.Errors {
+		t.Fatalf("slot sections %d/%d do not partition run %d/%d", total, errs, rep.Requests, rep.Errors)
+	}
+}
+
+func TestClosedLoopHasNoSlotSections(t *testing.T) {
+	rep := hermeticRun(t,
+		ClusterConfig{Groups: 1, SurrogatesPerGroup: 1},
+		Config{
+			Mode:     ModeConcurrent,
+			Users:    2,
+			Duration: time.Second,
+			RateHz:   2,
+			Seed:     1,
+			SlotLen:  100 * time.Millisecond,
+		})
+	if len(rep.Slots) != 0 {
+		t.Fatalf("closed loop emitted %d slot sections", len(rep.Slots))
+	}
+}
+
+func TestNegativeSlotLenRejected(t *testing.T) {
+	_, err := BuildPlan(Config{
+		Mode: ModeConcurrent, Users: 1, Duration: time.Second, SlotLen: -time.Second,
+	})
+	if err == nil {
+		t.Fatal("negative slot length should fail")
+	}
+}

@@ -1,0 +1,66 @@
+package predict
+
+import (
+	"errors"
+	"fmt"
+
+	"accelcloud/internal/trace"
+)
+
+// DefaultMaxHistory bounds a Session's knowledge base: with hourly
+// slots this is about two weeks — past the point where the Fig 10a
+// accuracy curve has flattened.
+const DefaultMaxHistory = 336
+
+// Session is the incremental, reusable-across-slots entry point control
+// loops use: it owns a bounded sliding knowledge base and serves one
+// prediction per observed slot without the caller rebuilding history
+// slices. Each Observe appends the just-completed slot; Predict
+// estimates the slot that comes next. The autoscaling reconciler
+// (internal/autoscale, DESIGN.md §5) calls Observe/Predict once per
+// slot boundary.
+//
+// A Session is not safe for concurrent use; the control loop is the
+// single caller by design.
+type Session struct {
+	p       Predictor
+	max     int
+	history []trace.Slot
+}
+
+// NewSession builds a session around a predictor. maxHistory bounds the
+// retained knowledge base (0 selects DefaultMaxHistory); the oldest
+// slots are evicted first, keeping prediction cost constant over an
+// unbounded run.
+func NewSession(p Predictor, maxHistory int) (*Session, error) {
+	if p == nil {
+		return nil, errors.New("predict: nil predictor")
+	}
+	if maxHistory < 0 {
+		return nil, fmt.Errorf("predict: negative history bound %d", maxHistory)
+	}
+	if maxHistory == 0 {
+		maxHistory = DefaultMaxHistory
+	}
+	return &Session{p: p, max: maxHistory, history: make([]trace.Slot, 0, maxHistory)}, nil
+}
+
+// Observe appends a completed slot to the knowledge base, evicting the
+// oldest slot when the bound is reached.
+func (s *Session) Observe(slot trace.Slot) {
+	if len(s.history) == s.max {
+		copy(s.history, s.history[1:])
+		s.history[len(s.history)-1] = slot.Clone()
+		return
+	}
+	s.history = append(s.history, slot.Clone())
+}
+
+// Len reports the current knowledge-base size.
+func (s *Session) Len() int { return len(s.history) }
+
+// Predict estimates the next slot from the retained history. It fails
+// only before the first Observe.
+func (s *Session) Predict() (trace.Slot, error) {
+	return s.p.Predict(s.history)
+}

@@ -1,0 +1,97 @@
+package predict
+
+import (
+	"testing"
+
+	"accelcloud/internal/trace"
+)
+
+// slotOf is shared with predict_test.go.
+
+func TestNewSessionValidation(t *testing.T) {
+	if _, err := NewSession(nil, 4); err == nil {
+		t.Fatal("nil predictor should fail")
+	}
+	if _, err := NewSession(EditDistanceNN{}, -1); err == nil {
+		t.Fatal("negative bound should fail")
+	}
+	s, err := NewSession(EditDistanceNN{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Predict(); err == nil {
+		t.Fatal("empty session should fail to predict")
+	}
+}
+
+func TestSessionMatchesBatchPredict(t *testing.T) {
+	slots := []trace.Slot{
+		slotOf(0, 3, 1), slotOf(1, 5, 2), slotOf(2, 8, 3),
+		slotOf(3, 5, 2), slotOf(4, 3, 1),
+	}
+	s, err := NewSession(EditDistanceNN{}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, slot := range slots {
+		s.Observe(slot)
+		got, err := s.Predict()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := EditDistanceNN{}.Predict(slots[:i+1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		gc, wc := got.Counts(), want.Counts()
+		for g := range gc {
+			if gc[g] != wc[g] {
+				t.Fatalf("step %d group %d: session %d != batch %d", i, g, gc[g], wc[g])
+			}
+		}
+	}
+	if s.Len() != len(slots) {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestSessionEvictsOldestSlots(t *testing.T) {
+	s, err := NewSession(LastValue{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		s.Observe(slotOf(i, i))
+	}
+	if s.Len() != 3 {
+		t.Fatalf("len = %d, want 3", s.Len())
+	}
+	got, err := s.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Counts()[0] != 9 {
+		t.Fatalf("last value = %d, want 9", got.Counts()[0])
+	}
+	// The retained window is the newest three slots.
+	if s.history[0].Counts()[0] != 7 {
+		t.Fatalf("oldest retained = %d, want 7", s.history[0].Counts()[0])
+	}
+}
+
+func TestSessionObserveClones(t *testing.T) {
+	s, err := NewSession(LastValue{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot := slotOf(0, 2)
+	s.Observe(slot)
+	slot.Groups[0][0] = 99
+	got, err := s.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Groups[0][0] == 99 {
+		t.Fatal("session aliased the caller's slot")
+	}
+}

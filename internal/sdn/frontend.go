@@ -13,39 +13,102 @@ import (
 	"accelcloud/internal/trace"
 )
 
+// BackendState is the lifecycle state of one registered surrogate.
+type BackendState string
+
+const (
+	// BackendActive backends receive new requests.
+	BackendActive BackendState = "active"
+	// BackendDraining backends finish their in-flight requests but are
+	// never picked for new ones — the scale-down path of the
+	// autoscaling control loop (DESIGN.md §5).
+	BackendDraining BackendState = "draining"
+)
+
+// ErrBackendBusy is returned by Remove while a backend still has
+// in-flight requests; drain first and retry once Inflight reports 0.
+var ErrBackendBusy = errors.New("sdn: backend has in-flight requests")
+
+// ErrUnknownBackend is returned when a (group, url) pair is not
+// registered.
+var ErrUnknownBackend = errors.New("sdn: unknown backend")
+
+// backend is one registered surrogate endpoint with live routing state.
+type backend struct {
+	url      string
+	client   *rpc.Client
+	state    BackendState
+	inflight int
+}
+
+// BackendInfo is a point-in-time snapshot of one backend, exposed by
+// Pool and the /stats endpoint.
+type BackendInfo struct {
+	URL      string       `json:"url"`
+	State    BackendState `json:"state"`
+	Inflight int          `json:"inflight"`
+}
+
 // FrontEnd is the real (HTTP) SDN-accelerator: it terminates client
 // offloading requests, routes them to registered surrogate back-ends by
 // acceleration group, measures the Fig 7a timing components, and logs
-// each request to the trace store the predictor consumes.
+// each request to the trace sink the predictor consumes.
+//
+// Per-group pools are mutable while serving: Register adds capacity,
+// Drain fences a backend off from new work while its in-flight requests
+// complete, and Remove retires it once idle. The autoscaling control
+// loop (internal/autoscale, DESIGN.md §5) drives these against the
+// predicted workload.
 type FrontEnd struct {
-	log *trace.Store
+	log trace.Sink
 	// processingDelay artificially reproduces the paper's ≈150 ms
 	// front-end overhead when non-zero (useful for demos; tests keep
 	// it 0).
 	processingDelay time.Duration
 
 	mu       sync.Mutex
-	backends map[int][]*rpc.Client
+	backends map[int][]*backend
 	rr       map[int]int
 	routed   int64
 	dropped  int64
 }
 
 // NewFrontEnd builds an empty front-end. log may be nil to disable
-// request logging.
-func NewFrontEnd(log *trace.Store, processingDelay time.Duration) (*FrontEnd, error) {
+// request logging; a trace.Store, trace.Window, or trace.Tee all fit.
+func NewFrontEnd(log trace.Sink, processingDelay time.Duration) (*FrontEnd, error) {
 	if processingDelay < 0 {
 		return nil, fmt.Errorf("sdn: negative processing delay %v", processingDelay)
+	}
+	// A typed-nil *trace.Store (the historical signature) must behave
+	// like "logging disabled", not panic on first append.
+	if s, ok := log.(*trace.Store); ok && s == nil {
+		log = nil
+	}
+	if w, ok := log.(*trace.Window); ok && w == nil {
+		log = nil
 	}
 	return &FrontEnd{
 		log:             log,
 		processingDelay: processingDelay,
-		backends:        make(map[int][]*rpc.Client),
+		backends:        make(map[int][]*backend),
 		rr:              make(map[int]int),
 	}, nil
 }
 
-// Register adds a surrogate base URL under an acceleration group.
+// find locates a backend by (group, url). Callers hold f.mu.
+func (f *FrontEnd) find(group int, url string) *backend {
+	for _, b := range f.backends[group] {
+		if b.url == url {
+			return b
+		}
+	}
+	return nil
+}
+
+// Register adds a surrogate base URL under an acceleration group. A URL
+// currently draining in the same group is re-activated in place (the
+// un-drain path: a scale-up arriving before the drain completed), so
+// flapping never loses a warm backend.
 func (f *FrontEnd) Register(group int, baseURL string) error {
 	if group < 0 {
 		return fmt.Errorf("sdn: negative group %d", group)
@@ -55,11 +118,71 @@ func (f *FrontEnd) Register(group int, baseURL string) error {
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.backends[group] = append(f.backends[group], rpc.NewClient(baseURL))
+	if b := f.find(group, baseURL); b != nil {
+		if b.state == BackendDraining {
+			b.state = BackendActive
+			return nil
+		}
+		return fmt.Errorf("sdn: backend %s already registered in group %d", baseURL, group)
+	}
+	f.backends[group] = append(f.backends[group], &backend{
+		url:    baseURL,
+		client: rpc.NewClient(baseURL),
+		state:  BackendActive,
+	})
 	return nil
 }
 
-// Backends reports the registered groups and backend counts.
+// Drain fences a backend off from new requests; in-flight requests
+// complete normally. Draining an already-draining backend is a no-op.
+func (f *FrontEnd) Drain(group int, baseURL string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	b := f.find(group, baseURL)
+	if b == nil {
+		return fmt.Errorf("%w: group %d url %s", ErrUnknownBackend, group, baseURL)
+	}
+	b.state = BackendDraining
+	return nil
+}
+
+// Inflight reports a backend's current in-flight request count.
+func (f *FrontEnd) Inflight(group int, baseURL string) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	b := f.find(group, baseURL)
+	if b == nil {
+		return 0, fmt.Errorf("%w: group %d url %s", ErrUnknownBackend, group, baseURL)
+	}
+	return b.inflight, nil
+}
+
+// Remove deregisters an idle backend. It fails with ErrBackendBusy while
+// requests are still in flight — drain first, then retry; the
+// front-end never abandons accepted work.
+func (f *FrontEnd) Remove(group int, baseURL string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	bs := f.backends[group]
+	for i, b := range bs {
+		if b.url != baseURL {
+			continue
+		}
+		if b.inflight > 0 {
+			return fmt.Errorf("%w: %s in group %d (%d in flight)", ErrBackendBusy, baseURL, group, b.inflight)
+		}
+		f.backends[group] = append(bs[:i:i], bs[i+1:]...)
+		if len(f.backends[group]) == 0 {
+			delete(f.backends, group)
+			delete(f.rr, group)
+		}
+		return nil
+	}
+	return fmt.Errorf("%w: group %d url %s", ErrUnknownBackend, group, baseURL)
+}
+
+// Backends reports the registered groups and backend counts (active and
+// draining alike — they are all still serving or finishing work).
 func (f *FrontEnd) Backends() map[int]int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -70,24 +193,81 @@ func (f *FrontEnd) Backends() map[int]int {
 	return out
 }
 
-// pick selects the next backend of a group round-robin.
-func (f *FrontEnd) pick(group int) (*rpc.Client, error) {
+// Pool snapshots one group's backends in registration order.
+func (f *FrontEnd) Pool(group int) []BackendInfo {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]BackendInfo, 0, len(f.backends[group]))
+	for _, b := range f.backends[group] {
+		out = append(out, BackendInfo{URL: b.url, State: b.state, Inflight: b.inflight})
+	}
+	return out
+}
+
+// ActiveCount reports how many of a group's backends accept new work.
+func (f *FrontEnd) ActiveCount(group int) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, b := range f.backends[group] {
+		if b.state == BackendActive {
+			n++
+		}
+	}
+	return n
+}
+
+// pick selects the next active backend of a group round-robin and
+// reserves an in-flight slot on it. Draining backends are never picked.
+// Allocation-free: this sits on the request hot path.
+func (f *FrontEnd) pick(group int) (*backend, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	bs := f.backends[group]
-	if len(bs) == 0 {
-		return nil, fmt.Errorf("sdn: no backend for group %d", group)
+	nActive := 0
+	for _, b := range bs {
+		if b.state == BackendActive {
+			nActive++
+		}
 	}
-	c := bs[f.rr[group]%len(bs)]
+	if nActive == 0 {
+		return nil, fmt.Errorf("sdn: no active backend for group %d", group)
+	}
+	k := f.rr[group] % nActive
 	f.rr[group]++
-	return c, nil
+	for _, b := range bs {
+		if b.state != BackendActive {
+			continue
+		}
+		if k == 0 {
+			b.inflight++
+			return b, nil
+		}
+		k--
+	}
+	// Unreachable: nActive > 0 guarantees the loop returns.
+	return nil, fmt.Errorf("sdn: no active backend for group %d", group)
+}
+
+// release returns a picked backend's in-flight slot and folds the
+// request's fate into the counters — one critical section, since this
+// sits on the request hot path.
+func (f *FrontEnd) release(b *backend, ok bool) {
+	f.mu.Lock()
+	b.inflight--
+	if ok {
+		f.routed++
+	} else {
+		f.dropped++
+	}
+	f.mu.Unlock()
 }
 
 // Handler serves the front-end protocol:
 //
 //	POST /offload  — route a client request to its acceleration group
 //	GET  /healthz  — liveness
-//	GET  /stats    — counters and backend registry
+//	GET  /stats    — counters, backend registry, and per-backend states
 func (f *FrontEnd) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc(rpc.PathOffload, f.handleOffload)
@@ -102,13 +282,20 @@ func (f *FrontEnd) Handler() http.Handler {
 		}
 		sort.Ints(groups)
 		payload := struct {
-			Routed   int64       `json:"routed"`
-			Dropped  int64       `json:"dropped"`
-			Groups   []int       `json:"groups"`
-			Backends map[int]int `json:"backends"`
-		}{Routed: f.routed, Dropped: f.dropped, Groups: groups, Backends: map[int]int{}}
+			Routed   int64                 `json:"routed"`
+			Dropped  int64                 `json:"dropped"`
+			Groups   []int                 `json:"groups"`
+			Backends map[int]int           `json:"backends"`
+			Pools    map[int][]BackendInfo `json:"pools"`
+		}{Routed: f.routed, Dropped: f.dropped, Groups: groups,
+			Backends: map[int]int{}, Pools: map[int][]BackendInfo{}}
 		for g, bs := range f.backends {
 			payload.Backends[g] = len(bs)
+			infos := make([]BackendInfo, 0, len(bs))
+			for _, b := range bs {
+				infos = append(infos, BackendInfo{URL: b.url, State: b.state, Inflight: b.inflight})
+			}
+			payload.Pools[g] = infos
 		}
 		f.mu.Unlock()
 		rpc.WriteJSON(w, http.StatusOK, payload)
@@ -134,7 +321,7 @@ func (f *FrontEnd) handleOffload(w http.ResponseWriter, r *http.Request) {
 	if f.processingDelay > 0 {
 		time.Sleep(f.processingDelay)
 	}
-	backend, err := f.pick(req.Group)
+	picked, err := f.pick(req.Group)
 	if err != nil {
 		f.mu.Lock()
 		f.dropped++
@@ -145,12 +332,10 @@ func (f *FrontEnd) handleOffload(w http.ResponseWriter, r *http.Request) {
 	routingMs := float64(time.Since(routeStart)) / float64(time.Millisecond)
 
 	backendStart := time.Now()
-	resp, err := backend.Execute(r.Context(), rpc.ExecuteRequest{State: req.State})
+	resp, err := picked.client.Execute(r.Context(), rpc.ExecuteRequest{State: req.State})
 	backendTotalMs := float64(time.Since(backendStart)) / float64(time.Millisecond)
+	f.release(picked, err == nil)
 	if err != nil {
-		f.mu.Lock()
-		f.dropped++
-		f.mu.Unlock()
 		rpc.WriteJSON(w, http.StatusBadGateway, rpc.OffloadResponse{Error: err.Error()})
 		return
 	}
@@ -159,9 +344,6 @@ func (f *FrontEnd) handleOffload(w http.ResponseWriter, r *http.Request) {
 	if t2Ms < 0 {
 		t2Ms = 0
 	}
-	f.mu.Lock()
-	f.routed++
-	f.mu.Unlock()
 	if f.log != nil {
 		total := time.Since(routeStart)
 		battery := req.BatteryLevel

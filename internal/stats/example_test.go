@@ -1,0 +1,42 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"accelcloud/internal/stats"
+)
+
+// ExampleLogHist folds a bimodal latency population — fast cache hits
+// and slow tail requests — into one log-bucketed accumulator and reads
+// the SLO percentiles back with bounded relative error.
+func ExampleLogHist() {
+	h := stats.NewLatencyHist() // 10 µs – 10 min, ≤5% error per bucket
+	for i := 0; i < 990; i++ {
+		h.Add(1.0 + float64(i%10)*0.1) // fast path: 1.0–1.9 ms
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(250) // tail: 250 ms
+	}
+	p50, _ := h.Quantile(0.50)
+	p99, _ := h.Quantile(0.99)
+	fmt.Printf("n=%d p50=%.1f ms p99=%.1f ms max=%.0f ms\n", h.Total(), p50, p99, h.Max())
+	// Output:
+	// n=1000 p50=1.5 ms p99=1.9 ms max=250 ms
+}
+
+// ExampleLogHist_merge shows per-worker histograms folding into one
+// digest — how parallel load-generation shards combine their results.
+func ExampleLogHist_merge() {
+	a, b := stats.NewLatencyHist(), stats.NewLatencyHist()
+	for i := 0; i < 100; i++ {
+		a.Add(2)
+		b.Add(8)
+	}
+	if err := a.Merge(b); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("n=%d mean=%.0f ms min=%.0f max=%.0f\n", a.Total(), a.Mean(), a.Min(), a.Max())
+	// Output:
+	// n=200 mean=5 ms min=2 max=8
+}

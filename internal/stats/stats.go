@@ -1,7 +1,9 @@
 // Package stats implements the descriptive statistics, online moment
-// accumulators, and parametric distributions used throughout the
-// reproduction. Everything is stdlib-only and deterministic when driven by
-// a seeded rand.Rand.
+// accumulators, parametric distributions, and histograms used
+// throughout the reproduction — including LogHist, the log-bucketed
+// latency histogram behind every p50/p90/p99/p999 SLO summary the load
+// generator and the autoscaling control loop report. Everything is
+// stdlib-only and deterministic when driven by a seeded rand.Rand.
 package stats
 
 import (

@@ -1,0 +1,201 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Sink receives request records. Store is the canonical durable sink;
+// Window is the live sliding-window sink the autoscaling control loop
+// reads; Tee fans one record out to several sinks (e.g. durable log +
+// live window behind one front-end).
+type Sink interface {
+	Append(Record) error
+}
+
+// tee writes every record to each member sink in order.
+type tee struct {
+	sinks []Sink
+}
+
+// Tee combines sinks into one. Nil members are skipped; the first
+// append error is returned but later sinks still receive the record.
+func Tee(sinks ...Sink) Sink {
+	out := make([]Sink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	return &tee{sinks: out}
+}
+
+// Append implements Sink.
+func (t *tee) Append(r Record) error {
+	var firstErr error
+	for _, s := range t.sinks {
+		if err := s.Append(r); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Window folds a live request stream into consecutive fixed-length time
+// slots incrementally — the sliding-window request log of the
+// autoscaling control loop (DESIGN.md §5). Unlike BuildSlots, which
+// re-scans the whole record set every call, a Window maintains per-slot
+// user sets as records arrive and retains at most MaxSlots completed
+// slots, so a long-running front-end can feed the predictor at O(1)
+// amortized cost per request.
+//
+// A Window is safe for concurrent use: the networked front-end appends
+// from request goroutines while the control loop calls Advance.
+type Window struct {
+	mu        sync.Mutex
+	start     time.Time
+	slotLen   time.Duration
+	numGroups int
+	maxSlots  int
+
+	// open holds user sets for slots not yet closed, keyed by slot
+	// index then group.
+	open map[int][]map[int]struct{}
+	// closed holds completed slots, oldest first, pruned to maxSlots.
+	closed []Slot
+	// nextClose is the index of the first slot not yet closed.
+	nextClose int
+}
+
+// NewWindow builds an empty sliding window starting at start.
+func NewWindow(start time.Time, slotLen time.Duration, numGroups, maxSlots int) (*Window, error) {
+	if start.IsZero() {
+		return nil, errors.New("trace: window without start time")
+	}
+	if slotLen <= 0 {
+		return nil, fmt.Errorf("trace: window slot length %v <= 0", slotLen)
+	}
+	if numGroups <= 0 {
+		return nil, fmt.Errorf("trace: window group count %d <= 0", numGroups)
+	}
+	if maxSlots <= 0 {
+		return nil, fmt.Errorf("trace: window retention %d <= 0 slots", maxSlots)
+	}
+	return &Window{
+		start:     start,
+		slotLen:   slotLen,
+		numGroups: numGroups,
+		maxSlots:  maxSlots,
+		open:      make(map[int][]map[int]struct{}),
+	}, nil
+}
+
+// SlotLen reports the configured slot length.
+func (w *Window) SlotLen() time.Duration { return w.slotLen }
+
+// Observe records that a user hit a group at the given time. Records
+// before the window start, in already-closed slots, or for groups
+// outside [0, numGroups) are ignored, mirroring BuildSlots.
+func (w *Window) Observe(at time.Time, userID, group int) {
+	if group < 0 || group >= w.numGroups || userID < 0 {
+		return
+	}
+	offset := at.Sub(w.start)
+	if offset < 0 {
+		return
+	}
+	idx := int(offset / w.slotLen)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if idx < w.nextClose {
+		return // slot already closed; history is immutable
+	}
+	groups := w.open[idx]
+	if groups == nil {
+		groups = make([]map[int]struct{}, w.numGroups)
+		w.open[idx] = groups
+	}
+	if groups[group] == nil {
+		groups[group] = make(map[int]struct{})
+	}
+	groups[group][userID] = struct{}{}
+}
+
+// Append implements Sink, feeding the window from a front-end's request
+// log stream.
+func (w *Window) Append(r Record) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	w.Observe(r.Timestamp, r.UserID, r.Group)
+	return nil
+}
+
+// Advance closes every slot that ends at or before now and returns the
+// newly completed slots, oldest first. Slots with no observations are
+// emitted empty, so idle periods reach the predictor as zero-demand
+// history instead of silently vanishing.
+func (w *Window) Advance(now time.Time) []Slot {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	elapsed := now.Sub(w.start)
+	if elapsed < w.slotLen {
+		return nil
+	}
+	// Slot i spans [start+i·len, start+(i+1)·len); it is closed once
+	// now >= its end.
+	complete := int(elapsed / w.slotLen)
+	var out []Slot
+	for idx := w.nextClose; idx < complete; idx++ {
+		slot := Slot{
+			Start:  w.start.Add(time.Duration(idx) * w.slotLen),
+			Groups: make([][]int, w.numGroups),
+		}
+		sets := w.open[idx]
+		for g := 0; g < w.numGroups; g++ {
+			var users []int
+			if sets != nil {
+				users = make([]int, 0, len(sets[g]))
+				for u := range sets[g] {
+					users = append(users, u)
+				}
+				sort.Ints(users)
+			}
+			if users == nil {
+				users = []int{}
+			}
+			slot.Groups[g] = users
+		}
+		delete(w.open, idx)
+		out = append(out, slot)
+	}
+	w.nextClose = complete
+	w.closed = append(w.closed, out...)
+	if over := len(w.closed) - w.maxSlots; over > 0 {
+		w.closed = append([]Slot(nil), w.closed[over:]...)
+	}
+	return out
+}
+
+// History returns the retained completed slots, oldest first — the
+// predictor's knowledge base. The result is a copy safe to hold across
+// further appends.
+func (w *Window) History() []Slot {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]Slot, len(w.closed))
+	for i, s := range w.closed {
+		out[i] = s.Clone()
+	}
+	return out
+}
+
+// Len reports the number of retained completed slots.
+func (w *Window) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.closed)
+}

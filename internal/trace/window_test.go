@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWindowValidation(t *testing.T) {
+	base := time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC)
+	if _, err := NewWindow(time.Time{}, time.Second, 2, 4); err == nil {
+		t.Fatal("zero start should fail")
+	}
+	if _, err := NewWindow(base, 0, 2, 4); err == nil {
+		t.Fatal("zero slot length should fail")
+	}
+	if _, err := NewWindow(base, time.Second, 0, 4); err == nil {
+		t.Fatal("zero groups should fail")
+	}
+	if _, err := NewWindow(base, time.Second, 2, 0); err == nil {
+		t.Fatal("zero retention should fail")
+	}
+}
+
+func TestWindowFoldsLikeBuildSlots(t *testing.T) {
+	base := time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC)
+	w, err := NewWindow(base, time.Minute, 3, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var records []Record
+	add := func(minOffset float64, user, group int) {
+		at := base.Add(time.Duration(minOffset * float64(time.Minute)))
+		records = append(records, Record{Timestamp: at, UserID: user, Group: group, BatteryLevel: 1, RTT: time.Millisecond})
+		w.Observe(at, user, group)
+	}
+	add(0.1, 1, 0)
+	add(0.2, 2, 1)
+	add(0.3, 1, 0) // duplicate user in slot: sets dedupe
+	add(1.5, 3, 2)
+	add(1.6, 4, 1)
+	add(2.5, 5, 0)
+
+	got := w.Advance(base.Add(3 * time.Minute))
+	want, err := BuildSlots(records, base, time.Minute, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("advance returned %d slots, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if !got[i].Start.Equal(want[i].Start) {
+			t.Fatalf("slot %d start %v != %v", i, got[i].Start, want[i].Start)
+		}
+		gc, wc := got[i].Counts(), want[i].Counts()
+		for g := range gc {
+			if gc[g] != wc[g] {
+				t.Fatalf("slot %d group %d: %d users, want %d", i, g, gc[g], wc[g])
+			}
+		}
+	}
+}
+
+func TestWindowEmitsEmptySlots(t *testing.T) {
+	base := time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC)
+	w, err := NewWindow(base, time.Second, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Observe(base.Add(100*time.Millisecond), 1, 0)
+	// Three seconds elapse with traffic only in the first.
+	slots := w.Advance(base.Add(3 * time.Second))
+	if len(slots) != 3 {
+		t.Fatalf("got %d slots, want 3", len(slots))
+	}
+	if slots[0].TotalUsers() != 1 || slots[1].TotalUsers() != 0 || slots[2].TotalUsers() != 0 {
+		t.Fatalf("user counts = %d %d %d", slots[0].TotalUsers(), slots[1].TotalUsers(), slots[2].TotalUsers())
+	}
+}
+
+func TestWindowIgnoresClosedAndOutOfRange(t *testing.T) {
+	base := time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC)
+	w, err := NewWindow(base, time.Second, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Advance(base.Add(2 * time.Second))
+	// Late arrival into a closed slot, pre-start, bad group: all ignored.
+	w.Observe(base.Add(500*time.Millisecond), 1, 0)
+	w.Observe(base.Add(-time.Second), 2, 0)
+	w.Observe(base.Add(2500*time.Millisecond), 3, 9)
+	slots := w.Advance(base.Add(3 * time.Second))
+	if len(slots) != 1 || slots[0].TotalUsers() != 0 {
+		t.Fatalf("slots = %+v", slots)
+	}
+	if w.Len() != 3 {
+		t.Fatalf("retained %d slots, want 3", w.Len())
+	}
+}
+
+func TestWindowRetentionBound(t *testing.T) {
+	base := time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC)
+	w, err := NewWindow(base, time.Second, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		w.Observe(base.Add(time.Duration(i)*time.Second+time.Millisecond), i, 0)
+	}
+	w.Advance(base.Add(10 * time.Second))
+	hist := w.History()
+	if len(hist) != 4 {
+		t.Fatalf("retained %d slots, want 4", len(hist))
+	}
+	// Oldest retained slot is index 6 (users 6..9 remain).
+	if hist[0].Groups[0][0] != 6 {
+		t.Fatalf("oldest retained slot holds user %d, want 6", hist[0].Groups[0][0])
+	}
+}
+
+func TestWindowAsSink(t *testing.T) {
+	base := time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC)
+	w, err := NewWindow(base, time.Second, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewStore()
+	sink := Tee(store, w, nil)
+	rec := Record{Timestamp: base.Add(time.Millisecond), UserID: 7, Group: 1, BatteryLevel: 0.5, RTT: time.Millisecond}
+	if err := sink.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Append(Record{}); err == nil {
+		t.Fatal("invalid record should fail through the tee")
+	}
+	if store.Len() != 1 {
+		t.Fatalf("store has %d records", store.Len())
+	}
+	slots := w.Advance(base.Add(time.Second))
+	if len(slots) != 1 || len(slots[0].Groups[1]) != 1 || slots[0].Groups[1][0] != 7 {
+		t.Fatalf("slots = %+v", slots)
+	}
+}
+
+func TestWindowConcurrentObserve(t *testing.T) {
+	base := time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC)
+	w, err := NewWindow(base, time.Second, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := 0; u < 200; u++ {
+				w.Observe(base.Add(time.Duration(u)*time.Millisecond), u, g)
+			}
+		}()
+	}
+	wg.Wait()
+	slots := w.Advance(base.Add(time.Second))
+	if len(slots) != 1 {
+		t.Fatalf("got %d slots", len(slots))
+	}
+	for g, users := range slots[0].Groups {
+		if len(users) != 200 {
+			t.Fatalf("group %d has %d users, want 200", g, len(users))
+		}
+	}
+}
