@@ -47,6 +47,7 @@ import (
 	"accelcloud/internal/netsim"
 	"accelcloud/internal/predict"
 	"accelcloud/internal/qsim"
+	"accelcloud/internal/router"
 	"accelcloud/internal/rpc"
 	"accelcloud/internal/sdn"
 	"accelcloud/internal/sim"
@@ -307,6 +308,34 @@ type (
 // reproduces the paper's ≈150 ms routing overhead. See sdn.NewFrontEnd.
 func NewFrontEnd(log *TraceStore, processingDelay time.Duration) (*FrontEnd, error) {
 	return sdn.NewFrontEnd(log, processingDelay)
+}
+
+// Lock-free routing data plane (DESIGN.md §6).
+type (
+	// RouterPolicy is a pluggable backend pick policy.
+	RouterPolicy = router.Policy
+	// RouterBenchReport is the BENCH_router.json micro-benchmark
+	// outcome.
+	RouterBenchReport = router.BenchReport
+	// TraceAsync is the bounded batching sink that keeps trace
+	// persistence off the request hot path.
+	TraceAsync = trace.Async
+)
+
+// ParseRouterPolicy resolves "rr", "least-inflight", or "p2c" (empty
+// selects round-robin).
+func ParseRouterPolicy(name string) (RouterPolicy, error) { return router.ParsePolicy(name) }
+
+// NewFrontEndWithPolicy builds an HTTP front-end with an explicit pick
+// policy. See sdn.NewFrontEndWithPolicy.
+func NewFrontEndWithPolicy(log trace.Sink, processingDelay time.Duration, policy RouterPolicy) (*FrontEnd, error) {
+	return sdn.NewFrontEndWithPolicy(log, processingDelay, policy)
+}
+
+// NewTraceAsync wraps a trace sink in the async batching pipeline
+// (buffer/flushEvery 0 select the defaults). See trace.NewAsync.
+func NewTraceAsync(down trace.Sink, buffer int, flushEvery time.Duration) (*TraceAsync, error) {
+	return trace.NewAsync(down, buffer, flushEvery)
 }
 
 // Load generation and SLO reporting (service-layer benchmarking).

@@ -37,6 +37,7 @@ import (
 	"accelcloud/internal/autoscale"
 	"accelcloud/internal/cloud"
 	"accelcloud/internal/loadgen"
+	"accelcloud/internal/router"
 	"accelcloud/internal/sdn"
 	"accelcloud/internal/sim"
 	"accelcloud/internal/trace"
@@ -88,6 +89,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("autoscaled", flag.ContinueOnError)
 	fs.SetOutput(out)
 	mode := fs.String("mode", "hermetic", "hermetic (deterministic sweep) or serve (live HTTP front-end)")
+	policy := fs.String("policy", "rr", "front-end pick policy: rr|least-inflight|p2c")
 	seed := fs.Int64("seed", 1, "root seed; same seed = same schedule and decisions")
 	startRate := fs.Float64("start-rate", 16, "sweep: aggregate arrival rate of the first slot (doubles per slot)")
 	steps := fs.Int("steps", 4, "sweep: number of rate doublings")
@@ -128,6 +130,7 @@ func run(args []string, out io.Writer) error {
 	case "hermetic":
 		rep, err := autoscale.RunSweep(ctx, autoscale.SweepConfig{
 			Seed:            *seed,
+			Policy:          *policy,
 			StartHz:         *startRate,
 			Steps:           *steps,
 			SlotLen:         *slot,
@@ -159,7 +162,8 @@ func run(args []string, out io.Writer) error {
 		return nil
 	case "serve":
 		return serve(ctx, out, groups, *listen, *slot, serveKnobs{
-			cc: *cc, warm: *warm, margin: *margin, cooldown: *cooldown, history: *history, seed: *seed,
+			cc: *cc, warm: *warm, margin: *margin, cooldown: *cooldown, history: *history,
+			seed: *seed, policy: *policy,
 		})
 	}
 	return fmt.Errorf("unknown mode %q (want hermetic|serve)", *mode)
@@ -168,11 +172,13 @@ func run(args []string, out io.Writer) error {
 type serveKnobs struct {
 	cc, warm, margin, cooldown, history int
 	seed                                int64
+	policy                              string
 }
 
 // serve runs the live control loop: the front-end logs every request
-// into both the durable store and the sliding window, and a wall-clock
-// ticker steps the reconciler at each slot boundary.
+// through an async batching sink into the sliding window (the request
+// hot path never blocks on trace persistence), and a wall-clock ticker
+// flushes the sink and steps the reconciler at each slot boundary.
 func serve(ctx context.Context, out io.Writer, groups []autoscale.GroupSpec, listen string, slot time.Duration, k serveKnobs) error {
 	numGroups := 0
 	for _, g := range groups {
@@ -188,7 +194,16 @@ func serve(ctx context.Context, out io.Writer, groups []autoscale.GroupSpec, lis
 	if err != nil {
 		return err
 	}
-	fe, err := sdn.NewFrontEnd(window, 0)
+	async, err := trace.NewAsync(window, 0, slot/10)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = async.Close() }()
+	pol, err := router.ParsePolicy(k.policy)
+	if err != nil {
+		return err
+	}
+	fe, err := sdn.NewFrontEndWithPolicy(async, 0, pol)
 	if err != nil {
 		return err
 	}
@@ -215,8 +230,8 @@ func serve(ctx context.Context, out io.Writer, groups []autoscale.GroupSpec, lis
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	defer func() { _ = srv.Close() }()
-	fmt.Fprintf(out, "autoscaled: front-end on %s, slot %v, pools %v, warm %d\n",
-		listen, slot, poolString(ctrl.PoolSizes()), ctrl.WarmSize())
+	fmt.Fprintf(out, "autoscaled: front-end on %s, policy %s, slot %v, pools %v, warm %d\n",
+		listen, pol.Name(), slot, poolString(ctrl.PoolSizes()), ctrl.WarmSize())
 
 	ticker := time.NewTicker(slot)
 	defer ticker.Stop()
@@ -229,6 +244,9 @@ func serve(ctx context.Context, out io.Writer, groups []autoscale.GroupSpec, lis
 				len(ctrl.Decisions()), ctrl.Digest())
 			return nil
 		case now := <-ticker.C:
+			// Drain the async sink so the slot about to close contains
+			// every record appended before the boundary.
+			async.Flush()
 			for _, s := range window.Advance(now) {
 				dec, err := ctrl.Step(ctx, s)
 				if err != nil {

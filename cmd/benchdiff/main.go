@@ -7,7 +7,10 @@
 // gate on p99 latency, total adaptive cost, and error rate, and
 // additionally require the decision digest to match the baseline — the
 // control cycle is deterministic, so any divergence is a behaviour
-// change, not noise.
+// change, not noise; router reports (BENCH_router.json) gate on the
+// rr-vs-mutex speedup (a throughput ratio, so largely machine-portable)
+// plus — within one machine class (same NumCPU and GOMAXPROCS) —
+// per-policy p99 pick latency.
 //
 // A regression is: current p99 latency above baseline × (1 + tolerance),
 // current throughput below baseline × (1 − tolerance) (loadgen),
@@ -32,6 +35,7 @@ import (
 
 	"accelcloud/internal/autoscale"
 	"accelcloud/internal/loadgen"
+	"accelcloud/internal/router"
 )
 
 func main() {
@@ -80,6 +84,9 @@ func run(args []string, out io.Writer) error {
 	if baseSchema == autoscale.ReportSchema {
 		return diffAutoscale(out, *basePath, *curPath, *tolerance, *errDelta, *ignoreSchedule)
 	}
+	if baseSchema == router.ReportSchema {
+		return diffRouter(out, *basePath, *curPath, *tolerance)
+	}
 	base, err := loadgen.ReadReportFile(*basePath)
 	if err != nil {
 		return err
@@ -124,6 +131,97 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "  REGRESSION: %s\n", f)
 		}
 		return fmt.Errorf("%d regression(s) beyond %.0f%% tolerance", len(failures), 100**tolerance)
+	}
+	fmt.Fprintln(out, "  OK: within tolerance")
+	return nil
+}
+
+// diffRouter gates a router micro-benchmark report. Raw ops/sec moves
+// with the host CPU, so the gated columns are the rr-vs-mutex speedup
+// (a ratio of two numbers measured on the same host in the same run)
+// and per-policy p99 pick latency; throughput is printed for context
+// only.
+func diffRouter(out io.Writer, basePath, curPath string, tolerance float64) error {
+	base, err := router.ReadBenchReportFile(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := router.ReadBenchReportFile(curPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "benchdiff: router baseline %s vs current %s (tolerance %.0f%%)\n",
+		basePath, curPath, 100*tolerance)
+	fmt.Fprintf(out, "  %-26s %14s %14s %10s\n", "metric", "baseline", "current", "change")
+	// Absolute pick latencies only compare within one configuration:
+	// same machine class (core count, GOMAXPROCS) and same benchmark
+	// shape (pool size — least-inflight's pick is O(backends)). Across
+	// configurations only the speedup ratio — two measurements from
+	// the same host in the same run — stays meaningful.
+	sameClass := base.NumCPU == cur.NumCPU && base.GoMaxProcs == cur.GoMaxProcs &&
+		base.Backends == cur.Backends
+	basePolicies := map[string]router.PolicyResult{}
+	for _, p := range base.Policies {
+		basePolicies[p.Policy] = p
+	}
+	var failures []string
+	// Every baseline policy must be present in the current report —
+	// otherwise a narrowed -policies run would pass the gate without
+	// gating anything.
+	curPolicies := map[string]bool{}
+	for _, c := range cur.Policies {
+		curPolicies[c.Policy] = true
+	}
+	for _, b := range base.Policies {
+		if !curPolicies[b.Policy] {
+			failures = append(failures, fmt.Sprintf("policy %s is in the baseline but missing from the current report", b.Policy))
+		}
+	}
+	for _, c := range cur.Policies {
+		b, ok := basePolicies[c.Policy]
+		if !ok {
+			fmt.Fprintf(out, "  %-26s %14s %14.0f %10s\n",
+				c.Policy+" ops/sec", "n/a", c.ThroughputOpsPerSec, "new")
+			continue
+		}
+		fmt.Fprintf(out, "  %-26s %14.0f %14.0f %10s\n",
+			c.Policy+" ops/sec", b.ThroughputOpsPerSec, c.ThroughputOpsPerSec,
+			pct(b.ThroughputOpsPerSec, c.ThroughputOpsPerSec))
+		fmt.Fprintf(out, "  %-26s %14.3f %14.3f %10s\n",
+			c.Policy+" p99 us", b.PickP99Us, c.PickP99Us, pct(b.PickP99Us, c.PickP99Us))
+		switch {
+		case b.Goroutines != c.Goroutines:
+			// A silently skipped gate must announce itself.
+			fmt.Fprintf(out, "  warning: %s measured at %d goroutines vs baseline %d: skipping its p99 gate\n",
+				c.Policy, c.Goroutines, b.Goroutines)
+		case sameClass && b.PickP99Us > 0 && c.PickP99Us > b.PickP99Us*(1+tolerance):
+			failures = append(failures, fmt.Sprintf("%s p99 pick latency regressed %s (%.3f -> %.3f us)",
+				c.Policy, pct(b.PickP99Us, c.PickP99Us), b.PickP99Us, c.PickP99Us))
+		}
+	}
+	if !sameClass {
+		fmt.Fprintf(out, "  warning: machine class or configuration differs (baseline %d CPU / GOMAXPROCS %d / %d backends, current %d / %d / %d): gating the speedup ratio only\n",
+			base.NumCPU, base.GoMaxProcs, base.Backends, cur.NumCPU, cur.GoMaxProcs, cur.Backends)
+	}
+	switch {
+	case base.SpeedupVsMutex > 0 && cur.SpeedupVsMutex > 0:
+		fmt.Fprintf(out, "  %-26s %14.2f %14.2f %10s\n",
+			"speedup rr vs mutex", base.SpeedupVsMutex, cur.SpeedupVsMutex,
+			pct(base.SpeedupVsMutex, cur.SpeedupVsMutex))
+		if cur.SpeedupVsMutex < base.SpeedupVsMutex*(1-tolerance) {
+			failures = append(failures, fmt.Sprintf("rr-vs-mutex speedup regressed %s (%.2fx -> %.2fx)",
+				pct(base.SpeedupVsMutex, cur.SpeedupVsMutex), base.SpeedupVsMutex, cur.SpeedupVsMutex))
+		}
+	case base.SpeedupVsMutex > 0:
+		// The gate's headline column cannot silently vanish (e.g. a
+		// -no-mutex-baseline run).
+		failures = append(failures, "baseline has an rr-vs-mutex speedup but the current report is missing the mutex baseline measurement")
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(out, "  REGRESSION: %s\n", f)
+		}
+		return fmt.Errorf("%d regression(s) beyond %.0f%% tolerance", len(failures), 100*tolerance)
 	}
 	fmt.Fprintln(out, "  OK: within tolerance")
 	return nil

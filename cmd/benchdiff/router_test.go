@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"accelcloud/internal/router"
+)
+
+func writeRouterReport(t *testing.T, dir, name string, rep *router.BenchReport) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func routerReport(speedup, rrP99 float64) *router.BenchReport {
+	mutex := router.PolicyResult{
+		Policy: "mutex-rr", Goroutines: 8, Ops: 1 << 20,
+		ThroughputOpsPerSec: 1e7, PickP50Us: 0.1, PickP99Us: 0.3,
+	}
+	return &router.BenchReport{
+		Schema:     router.ReportSchema,
+		GoMaxProcs: 8,
+		NumCPU:     8,
+		Backends:   8,
+		Policies: []router.PolicyResult{
+			{Policy: "rr", Goroutines: 8, Ops: 1 << 20,
+				ThroughputOpsPerSec: speedup * 1e7, PickP50Us: 0.05, PickP99Us: rrP99},
+			{Policy: "least-inflight", Goroutines: 8, Ops: 1 << 20,
+				ThroughputOpsPerSec: 2e7, PickP50Us: 0.08, PickP99Us: 0.2},
+		},
+		MutexBaseline:  &mutex,
+		SpeedupVsMutex: speedup,
+	}
+}
+
+func TestDiffRouterWithinTolerance(t *testing.T) {
+	dir := t.TempDir()
+	base := writeRouterReport(t, dir, "base.json", routerReport(3.0, 0.15))
+	cur := writeRouterReport(t, dir, "cur.json", routerReport(2.8, 0.17))
+	var buf bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur, "-tolerance", "0.3"}, &buf); err != nil {
+		t.Fatalf("within tolerance failed: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "speedup rr vs mutex") {
+		t.Fatalf("missing speedup row:\n%s", buf.String())
+	}
+}
+
+func TestDiffRouterSpeedupRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeRouterReport(t, dir, "base.json", routerReport(3.0, 0.15))
+	cur := writeRouterReport(t, dir, "cur.json", routerReport(1.2, 0.15))
+	var buf bytes.Buffer
+	err := run([]string{"-baseline", base, "-current", cur, "-tolerance", "0.3"}, &buf)
+	if err == nil {
+		t.Fatalf("speedup collapse passed the gate:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "speedup regressed") {
+		t.Fatalf("wrong failure:\n%s", buf.String())
+	}
+}
+
+func TestDiffRouterP99Regression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeRouterReport(t, dir, "base.json", routerReport(3.0, 0.15))
+	cur := writeRouterReport(t, dir, "cur.json", routerReport(3.0, 0.60))
+	var buf bytes.Buffer
+	err := run([]string{"-baseline", base, "-current", cur, "-tolerance", "0.3"}, &buf)
+	if err == nil {
+		t.Fatalf("p99 regression passed the gate:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "p99 pick latency regressed") {
+		t.Fatalf("wrong failure:\n%s", buf.String())
+	}
+}
+
+func TestDiffRouterRefusesNarrowedReport(t *testing.T) {
+	dir := t.TempDir()
+	base := writeRouterReport(t, dir, "base.json", routerReport(3.0, 0.15))
+	// Current report measured only rr with no mutex baseline — the gate
+	// must fail rather than pass vacuously.
+	narrow := routerReport(3.0, 0.15)
+	narrow.Policies = narrow.Policies[:1]
+	narrow.MutexBaseline = nil
+	narrow.SpeedupVsMutex = 0
+	cur := writeRouterReport(t, dir, "cur.json", narrow)
+	var buf bytes.Buffer
+	err := run([]string{"-baseline", base, "-current", cur, "-tolerance", "0.3"}, &buf)
+	if err == nil {
+		t.Fatalf("narrowed report passed the gate:\n%s", buf.String())
+	}
+	for _, want := range []string{"missing from the current report", "missing the mutex baseline"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("missing failure %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestDiffRouterSkipsP99AcrossMachineClasses(t *testing.T) {
+	dir := t.TempDir()
+	base := writeRouterReport(t, dir, "base.json", routerReport(3.0, 0.15))
+	// Same speedup, wildly worse p99, but measured on a different
+	// machine class: the absolute-latency gate must not fire, the
+	// warning must.
+	other := routerReport(3.0, 5.0)
+	other.NumCPU = 1
+	cur := writeRouterReport(t, dir, "cur.json", other)
+	var buf bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur, "-tolerance", "0.3"}, &buf); err != nil {
+		t.Fatalf("cross-class p99 failed the gate: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "machine class or configuration differs") {
+		t.Fatalf("missing machine-class warning:\n%s", buf.String())
+	}
+}
+
+func TestDiffRouterSchemaMismatch(t *testing.T) {
+	dir := t.TempDir()
+	base := writeRouterReport(t, dir, "base.json", routerReport(3.0, 0.15))
+	other := filepath.Join(dir, "loadgen.json")
+	if err := os.WriteFile(other, []byte(`{"schema":"accelcloud/loadgen-report/v1"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", other}, &buf); err == nil {
+		t.Fatal("schema mismatch should fail")
+	}
+}

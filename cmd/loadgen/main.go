@@ -77,6 +77,7 @@ func run(args []string, out io.Writer) error {
 	sloTput := fs.Float64("slo-throughput", 0, "SLO: minimum throughput in rps (0 = unchecked)")
 	selfGroups := fs.Int("self-groups", 2, `groups in the "self" hermetic cluster`)
 	selfBackends := fs.Int("self-backends", 2, `surrogates per group in the "self" cluster`)
+	selfPolicy := fs.String("self-policy", "rr", `pick policy of the "self" cluster front-end: rr|least-inflight|p2c`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -124,14 +125,15 @@ func run(args []string, out io.Writer) error {
 		cluster, err := loadgen.StartClusterContext(ctx, loadgen.ClusterConfig{
 			Groups:             *selfGroups,
 			SurrogatesPerGroup: *selfBackends,
+			Policy:             *selfPolicy,
 		})
 		if err != nil {
 			return err
 		}
 		defer cluster.Close()
 		baseURL = cluster.URL()
-		fmt.Fprintf(out, "loadgen: hermetic cluster: %d groups x %d surrogates at %s\n",
-			*selfGroups, *selfBackends, baseURL)
+		fmt.Fprintf(out, "loadgen: hermetic cluster: %d groups x %d surrogates, policy %s, at %s\n",
+			*selfGroups, *selfBackends, *selfPolicy, baseURL)
 	}
 
 	if err := sdn.WaitHealthy(ctx, baseURL); err != nil {

@@ -1,0 +1,69 @@
+// Command routerbench measures the lock-free routing data plane in
+// isolation: a tight pick/release loop (no sockets, no surrogate
+// execution — the pure routing decision) per policy, plus the
+// pre-refactor global-mutex baseline, and writes the BENCH_router.json
+// report cmd/benchdiff gates on.
+//
+// Usage:
+//
+//	routerbench -backends 8 -goroutines 8 -ops 1048576 -out BENCH_router.json
+//
+// The headline column is the rr-vs-mutex speedup: both sides scale
+// with the host, so their ratio is far more machine-portable than raw
+// ops/sec — that is what the CI gate compares.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"accelcloud/internal/router"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "routerbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("routerbench", flag.ContinueOnError)
+	fs.SetOutput(out)
+	policies := fs.String("policies", "", "comma-separated policies to measure (empty = all: rr,least-inflight,p2c)")
+	backends := fs.Int("backends", 8, "backends in the benched group")
+	goroutines := fs.Int("goroutines", 0, "concurrent pickers (0 = GOMAXPROCS)")
+	ops := fs.Int("ops", 1<<20, "pick/release operations per policy")
+	noMutex := fs.Bool("no-mutex-baseline", false, "skip the global-mutex baseline measurement")
+	outPath := fs.String("out", "", "write the JSON report to this path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var names []string
+	if *policies != "" {
+		for _, p := range strings.Split(*policies, ",") {
+			names = append(names, strings.TrimSpace(p))
+		}
+	}
+	rep, err := router.RunBench(router.BenchConfig{
+		Policies:      names,
+		Backends:      *backends,
+		Goroutines:    *goroutines,
+		Ops:           *ops,
+		MutexBaseline: !*noMutex,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, rep.Summary())
+	if *outPath != "" {
+		if err := rep.WriteFile(*outPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "routerbench: wrote %s\n", *outPath)
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"accelcloud/internal/router"
+)
+
+func TestRunWritesReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_router.json")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-backends", "4", "-goroutines", "2", "-ops", "4096", "-out", out,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"router bench", "rr", "least-inflight", "p2c", "mutex-rr", "speedup"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+	rep, err := router.ReadBenchReportFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Policies) != 3 || rep.MutexBaseline == nil || rep.SpeedupVsMutex <= 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestRunPolicySubsetAndErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-policies", "rr", "-ops", "1024", "-goroutines", "1", "-no-mutex-baseline"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "mutex-rr") {
+		t.Fatalf("baseline measured despite -no-mutex-baseline:\n%s", buf.String())
+	}
+	if err := run([]string{"-policies", "bogus"}, &buf); err == nil {
+		t.Fatal("unknown policy should fail")
+	}
+}

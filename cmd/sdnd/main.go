@@ -7,10 +7,16 @@
 //	sdnd -listen 127.0.0.1:9100 \
 //	     -backend 1=http://127.0.0.1:9101 \
 //	     -backend 2=http://127.0.0.1:9102 \
+//	     -policy p2c \
 //	     -trace /tmp/requests.csv
+//
+// -policy selects the routing pick policy (rr, least-inflight, p2c);
+// request logging runs through an async batching sink so the routing
+// hot path never blocks on trace persistence.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
@@ -19,7 +25,9 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
+	"accelcloud/internal/router"
 	"accelcloud/internal/sdn"
 	"accelcloud/internal/trace"
 )
@@ -60,6 +68,7 @@ func run(args []string) error {
 	listen := fs.String("listen", "127.0.0.1:9100", "listen address")
 	tracePath := fs.String("trace", "", "write the request log as CSV to this path on shutdown")
 	delay := fs.Duration("overhead", 0, "artificial routing delay (e.g. 150ms to mimic the paper)")
+	policyName := fs.String("policy", "rr", "pick policy: rr|least-inflight|p2c")
 	var backends backendFlags
 	fs.Var(&backends, "backend", "group=url surrogate registration (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -68,8 +77,18 @@ func run(args []string) error {
 	if len(backends) == 0 {
 		return fmt.Errorf("at least one -backend group=url is required")
 	}
+	policy, err := router.ParsePolicy(*policyName)
+	if err != nil {
+		return err
+	}
 	store := trace.NewStore()
-	fe, err := sdn.NewFrontEnd(store, *delay)
+	// The durable log hangs off an async batching sink, so appends on
+	// the request path are a channel send, not a mutex'd slice append.
+	async, err := trace.NewAsync(store, 0, 0)
+	if err != nil {
+		return err
+	}
+	fe, err := sdn.NewFrontEndWithPolicy(async, *delay, policy)
 	if err != nil {
 		return err
 	}
@@ -81,7 +100,7 @@ func run(args []string) error {
 	srv := &http.Server{Addr: *listen, Handler: fe.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Printf("sdnd: front-end on %s with backends %v\n", *listen, fe.Backends())
+	fmt.Printf("sdnd: front-end on %s policy %s with backends %v\n", *listen, policy.Name(), fe.Backends())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -90,7 +109,15 @@ func run(args []string) error {
 		return err
 	case <-sig:
 	}
-	_ = srv.Close()
+	// Drain in-flight handlers before closing the trace sink, so their
+	// records land in the store instead of counting as shed.
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	_ = srv.Shutdown(shutCtx)
+	cancel()
+	_ = async.Close()
+	if dropped := async.Dropped(); dropped > 0 {
+		fmt.Printf("sdnd: warning: %d trace records shed under load\n", dropped)
+	}
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {

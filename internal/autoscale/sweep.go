@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"accelcloud/internal/loadgen"
+	"accelcloud/internal/router"
 	"accelcloud/internal/rpc"
 	"accelcloud/internal/sdn"
 	"accelcloud/internal/sim"
@@ -46,6 +47,11 @@ type SweepConfig struct {
 	// Groups are the managed acceleration groups; requests are spread
 	// across them. At least one is required.
 	Groups []GroupSpec
+	// Policy names the front-end's pick policy (router.ParsePolicy
+	// names; empty selects round-robin). The decision digest is
+	// policy-independent — the control loop observes the schedule, not
+	// the routing — so policies are A/B-comparable at identical demand.
+	Policy string
 	// FixedTask pins every request to one pool task (empty = random).
 	FixedTask string
 	// MaxInFlight bounds concurrent outstanding requests per slot
@@ -84,6 +90,7 @@ type SlotReport struct {
 type Report struct {
 	Schema      string  `json:"schema"`
 	Seed        int64   `json:"seed"`
+	Policy      string  `json:"policy,omitempty"`
 	StartHz     float64 `json:"startHz"`
 	Steps       int     `json:"steps"`
 	DrainSlots  int     `json:"drainSlots"`
@@ -177,6 +184,10 @@ func RunSweep(ctx context.Context, cfg SweepConfig) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	policy, err := router.ParsePolicy(cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
 	groupIDs := make([]int, 0, len(cfg.Groups))
 	for _, g := range cfg.Groups {
 		groupIDs = append(groupIDs, g.Group)
@@ -201,7 +212,7 @@ func RunSweep(ctx context.Context, cfg SweepConfig) (*Report, error) {
 	// The live stack: front-end over a real loopback socket. The
 	// control loop reads the virtual-time window fed at issue time, so
 	// the front-end itself needs no wall-clock log here.
-	fe, err := sdn.NewFrontEnd(nil, 0)
+	fe, err := sdn.NewFrontEndWithPolicy(nil, 0, policy)
 	if err != nil {
 		return nil, err
 	}
@@ -312,6 +323,7 @@ func RunSweep(ctx context.Context, cfg SweepConfig) (*Report, error) {
 	rep := &Report{
 		Schema:         ReportSchema,
 		Seed:           cfg.Seed,
+		Policy:         policy.Name(),
 		StartHz:        cfg.StartHz,
 		Steps:          cfg.Steps,
 		DrainSlots:     cfg.DrainSlots,
@@ -414,8 +426,8 @@ func ReadReportFile(path string) (*Report, error) {
 // Summary renders the human-readable digest the CLI prints: one line
 // per slot showing the control cycle at work, then the cost verdict.
 func (r *Report) Summary() string {
-	out := fmt.Sprintf("autoscale sweep seed=%d start=%.0fHz steps=%d drain=%d slot=%.0fms\n",
-		r.Seed, r.StartHz, r.Steps, r.DrainSlots, r.SlotLenMs)
+	out := fmt.Sprintf("autoscale sweep seed=%d policy=%s start=%.0fHz steps=%d drain=%d slot=%.0fms\n",
+		r.Seed, r.Policy, r.StartHz, r.Steps, r.DrainSlots, r.SlotLenMs)
 	out += fmt.Sprintf("schedule=%s decisions=%s\n", r.ScheduleDigest, r.DecisionDigest)
 	out += "slot  rate_hz  reqs  errs  p99_ms  observed    predicted   desired  applied  warm  drain  $slot\n"
 	for _, s := range r.Slots {

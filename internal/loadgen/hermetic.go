@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 
 	"accelcloud/internal/dalvik"
+	"accelcloud/internal/router"
 	"accelcloud/internal/sdn"
 	"accelcloud/internal/tasks"
 	"accelcloud/internal/trace"
@@ -34,6 +35,10 @@ type ClusterConfig struct {
 	// MaxProcs bounds each surrogate's worker slots. 0 selects
 	// dalvik.DefaultMaxProcs.
 	MaxProcs int
+	// Policy names the front-end pick policy (router.ParsePolicy
+	// names; empty selects round-robin) — the knob behind loadgen
+	// policy A/B runs.
+	Policy string
 }
 
 // StartCluster boots the stack. Callers must Close it.
@@ -52,8 +57,12 @@ func StartClusterContext(ctx context.Context, cfg ClusterConfig) (*Cluster, erro
 	if cfg.SurrogatesPerGroup <= 0 {
 		cfg.SurrogatesPerGroup = 1
 	}
+	policy, err := router.ParsePolicy(cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
 	log := trace.NewStore()
-	fe, err := sdn.NewFrontEnd(log, 0)
+	fe, err := sdn.NewFrontEndWithPolicy(log, 0, policy)
 	if err != nil {
 		return nil, err
 	}

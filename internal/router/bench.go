@@ -1,0 +1,328 @@
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"accelcloud/internal/stats"
+)
+
+// ReportSchema identifies the BENCH_router.json wire format consumed by
+// cmd/benchdiff.
+const ReportSchema = "accelcloud/router-report/v1"
+
+// BenchConfig parameterizes one routing micro-benchmark: a tight
+// pick/release loop (no network, no backend execution — the pure
+// routing decision) run from Goroutines workers against one group of
+// Backends.
+type BenchConfig struct {
+	// Policies names the policies to measure (empty = all).
+	Policies []string
+	// Backends is the pool size of the benched group (0 selects 8).
+	Backends int
+	// Goroutines is the concurrent picker count (0 selects
+	// GOMAXPROCS).
+	Goroutines int
+	// Ops is the total pick/release operations per policy (0 selects
+	// 1 << 20).
+	Ops int
+	// MutexBaseline also measures the pre-refactor global-mutex router
+	// for the speedup column (default on via RunBench).
+	MutexBaseline bool
+}
+
+// PolicyResult is one measured configuration.
+type PolicyResult struct {
+	// Policy is the pick policy name ("mutex-rr" for the baseline).
+	Policy string `json:"policy"`
+	// Goroutines is the concurrency the numbers were measured at.
+	Goroutines int `json:"goroutines"`
+	// Ops is the total pick/release operations performed.
+	Ops int `json:"ops"`
+	// ThroughputOpsPerSec is Ops over wall-clock time.
+	ThroughputOpsPerSec float64 `json:"throughputOpsPerSec"`
+	// PickP50Us / PickP99Us are sampled per-pick latencies in
+	// microseconds (every sampleEvery-th op, so the timer itself does
+	// not dominate the measured cost).
+	PickP50Us float64 `json:"pickP50Us"`
+	PickP99Us float64 `json:"pickP99Us"`
+}
+
+// BenchReport is the machine-readable outcome (BENCH_router.json).
+type BenchReport struct {
+	Schema     string `json:"schema"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"numCPU"`
+	Backends   int    `json:"backends"`
+
+	Policies []PolicyResult `json:"policies"`
+	// MutexBaseline is the pre-refactor single-mutex round-robin
+	// router measured under the identical load.
+	MutexBaseline *PolicyResult `json:"mutexBaseline,omitempty"`
+	// SpeedupVsMutex is lock-free round-robin throughput over the
+	// mutex baseline's — the machine-portable headline number (both
+	// sides scale with the host, their ratio far less so).
+	SpeedupVsMutex float64 `json:"speedupVsMutex,omitempty"`
+}
+
+// sampleEvery controls pick-latency sampling: timing every operation
+// would put two clock reads inside a ~100 ns critical path and measure
+// the clock instead of the router.
+const sampleEvery = 64
+
+func (c BenchConfig) withDefaults() (BenchConfig, error) {
+	if len(c.Policies) == 0 {
+		c.Policies = PolicyNames()
+	}
+	if c.Backends == 0 {
+		c.Backends = 8
+	}
+	if c.Backends < 0 {
+		return c, fmt.Errorf("router: backends %d < 0", c.Backends)
+	}
+	if c.Goroutines == 0 {
+		c.Goroutines = runtime.GOMAXPROCS(0)
+	}
+	if c.Goroutines < 0 {
+		return c, fmt.Errorf("router: goroutines %d < 0", c.Goroutines)
+	}
+	if c.Ops == 0 {
+		c.Ops = 1 << 20
+	}
+	if c.Ops < 0 {
+		return c, fmt.Errorf("router: ops %d < 0", c.Ops)
+	}
+	return c, nil
+}
+
+// picker abstracts the routers under measurement so the lock-free
+// implementations and the mutex baseline run the identical loop.
+type picker interface {
+	pickRelease() error
+}
+
+type routerPicker struct{ r *Router }
+
+func (p routerPicker) pickRelease() error {
+	pk, err := p.r.Pick(0)
+	if err != nil {
+		return err
+	}
+	p.r.Release(pk, true)
+	return nil
+}
+
+// mutexRouter replicates the pre-refactor sdn.FrontEnd data plane: one
+// global mutex serializing pick, release, and the counters. Kept as the
+// benchmark baseline the lock-free router is gated against.
+type mutexRouter struct {
+	mu       sync.Mutex
+	inflight []int
+	rr       int
+	routed   int64
+}
+
+func newMutexRouter(backends int) *mutexRouter {
+	return &mutexRouter{inflight: make([]int, backends)}
+}
+
+func (m *mutexRouter) pickRelease() error {
+	m.mu.Lock()
+	k := m.rr % len(m.inflight)
+	m.rr++
+	m.inflight[k]++
+	m.mu.Unlock()
+
+	m.mu.Lock()
+	m.inflight[k]--
+	m.routed++
+	m.mu.Unlock()
+	return nil
+}
+
+// benchOne drives Ops pick/release operations through p from
+// cfg.Goroutines workers and folds sampled pick latencies into the
+// result.
+func benchOne(name string, p picker, cfg BenchConfig) (PolicyResult, error) {
+	perWorker := cfg.Ops / cfg.Goroutines
+	if perWorker < 1 {
+		perWorker = 1
+	}
+	hists := make([]*stats.LogHist, cfg.Goroutines)
+	errs := make([]error, cfg.Goroutines)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Goroutines; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// 10 ns .. 10 ms in µs at ≤5% relative error per bucket.
+			h, err := stats.NewLogHist(0.01, 10_000, 1.05)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			for i := 0; i < perWorker; i++ {
+				if i%sampleEvery == 0 {
+					t0 := time.Now()
+					if err := p.pickRelease(); err != nil {
+						errs[w] = err
+						return
+					}
+					h.Add(float64(time.Since(t0)) / float64(time.Microsecond))
+					continue
+				}
+				if err := p.pickRelease(); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+			hists[w] = h
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return PolicyResult{}, fmt.Errorf("router: bench %s: %w", name, err)
+		}
+	}
+	merged, err := stats.NewLogHist(0.01, 10_000, 1.05)
+	if err != nil {
+		return PolicyResult{}, err
+	}
+	for _, h := range hists {
+		if err := merged.Merge(h); err != nil {
+			return PolicyResult{}, err
+		}
+	}
+	q := func(p float64) float64 {
+		v, _ := merged.Quantile(p)
+		return v
+	}
+	ops := perWorker * cfg.Goroutines
+	res := PolicyResult{
+		Policy:     name,
+		Goroutines: cfg.Goroutines,
+		Ops:        ops,
+		PickP50Us:  q(0.50),
+		PickP99Us:  q(0.99),
+	}
+	if wall > 0 {
+		res.ThroughputOpsPerSec = float64(ops) / wall.Seconds()
+	}
+	return res, nil
+}
+
+// RunBench measures pick/release throughput and sampled pick latency
+// for each configured policy, plus the global-mutex baseline, and
+// returns the BENCH_router.json report.
+func RunBench(cfg BenchConfig) (*BenchReport, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	rep := &BenchReport{
+		Schema:     ReportSchema,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Backends:   cfg.Backends,
+	}
+	var rrThroughput float64
+	for _, name := range cfg.Policies {
+		policy, err := ParsePolicy(name)
+		if err != nil {
+			return nil, err
+		}
+		r := New(policy)
+		for i := 0; i < cfg.Backends; i++ {
+			if err := r.Register(0, fmt.Sprintf("http://bench-%d", i)); err != nil {
+				return nil, err
+			}
+		}
+		res, err := benchOne(policy.Name(), routerPicker{r}, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if policy.Name() == PolicyRoundRobin {
+			rrThroughput = res.ThroughputOpsPerSec
+		}
+		rep.Policies = append(rep.Policies, res)
+	}
+	if cfg.MutexBaseline {
+		res, err := benchOne("mutex-rr", newMutexRouter(cfg.Backends), cfg)
+		if err != nil {
+			return nil, err
+		}
+		rep.MutexBaseline = &res
+		if res.ThroughputOpsPerSec > 0 && rrThroughput > 0 {
+			rep.SpeedupVsMutex = rrThroughput / res.ThroughputOpsPerSec
+		}
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the report, indented, to w.
+func (r *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the report to path.
+func (r *BenchReport) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("router: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+	return r.WriteJSON(f)
+}
+
+// ReadBenchReport parses a report and verifies its schema.
+func ReadBenchReport(rd io.Reader) (*BenchReport, error) {
+	var rep BenchReport
+	if err := json.NewDecoder(rd).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("router: decode report: %w", err)
+	}
+	if rep.Schema != ReportSchema {
+		return nil, fmt.Errorf("router: schema %q, want %q", rep.Schema, ReportSchema)
+	}
+	return &rep, nil
+}
+
+// ReadBenchReportFile parses a report file.
+func ReadBenchReportFile(path string) (*BenchReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("router: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+	return ReadBenchReport(f)
+}
+
+// Summary renders the human-readable table the CLI prints.
+func (r *BenchReport) Summary() string {
+	out := fmt.Sprintf("router bench gomaxprocs=%d numcpu=%d backends=%d\n",
+		r.GoMaxProcs, r.NumCPU, r.Backends)
+	out += fmt.Sprintf("%-16s %10s %14s %10s %10s\n",
+		"policy", "goroutines", "ops/sec", "p50_us", "p99_us")
+	row := func(p PolicyResult) string {
+		return fmt.Sprintf("%-16s %10d %14.0f %10.3f %10.3f\n",
+			p.Policy, p.Goroutines, p.ThroughputOpsPerSec, p.PickP50Us, p.PickP99Us)
+	}
+	for _, p := range r.Policies {
+		out += row(p)
+	}
+	if r.MutexBaseline != nil {
+		out += row(*r.MutexBaseline)
+		out += fmt.Sprintf("speedup rr vs mutex-rr: %.2fx\n", r.SpeedupVsMutex)
+	}
+	return out
+}

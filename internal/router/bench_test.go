@@ -1,0 +1,103 @@
+package router
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// BenchmarkPick measures the routing decision alone (pick + release,
+// no network) under parallel load for each policy — the numbers the
+// ≥2x-vs-mutex claim rests on at 8+ cores. Run with -cpu 1,8 to see
+// the scaling.
+func BenchmarkPick(b *testing.B) {
+	for _, name := range PolicyNames() {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			policy, err := ParsePolicy(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := New(policy)
+			for i := 0; i < 8; i++ {
+				if err := r.Register(0, fmt.Sprintf("http://bench-%d", i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					p, err := r.Pick(0)
+					if err != nil {
+						// FailNow must not run off the benchmark
+						// goroutine; Error + return is the contract.
+						b.Error(err)
+						return
+					}
+					r.Release(p, true)
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkPickMutexBaseline is the pre-refactor global-mutex data
+// plane under the identical load, for the A/B comparison.
+func BenchmarkPickMutexBaseline(b *testing.B) {
+	m := newMutexRouter(8)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := m.pickRelease(); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+func TestRunBenchReportRoundTrip(t *testing.T) {
+	rep, err := RunBench(BenchConfig{
+		Backends:      4,
+		Goroutines:    2,
+		Ops:           4096,
+		MutexBaseline: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Policies) != len(PolicyNames()) {
+		t.Fatalf("measured %d policies", len(rep.Policies))
+	}
+	for _, p := range rep.Policies {
+		if p.ThroughputOpsPerSec <= 0 {
+			t.Fatalf("policy %s throughput %v", p.Policy, p.ThroughputOpsPerSec)
+		}
+		if p.PickP99Us < p.PickP50Us {
+			t.Fatalf("policy %s p99 %v < p50 %v", p.Policy, p.PickP99Us, p.PickP50Us)
+		}
+	}
+	if rep.MutexBaseline == nil || rep.SpeedupVsMutex <= 0 {
+		t.Fatalf("mutex baseline missing: %+v", rep)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBenchReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != ReportSchema || len(back.Policies) != len(rep.Policies) {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if back.Summary() == "" {
+		t.Fatal("empty summary")
+	}
+	if _, err := RunBench(BenchConfig{Policies: []string{"bogus"}}); err == nil {
+		t.Fatal("unknown policy should fail")
+	}
+	if _, err := RunBench(BenchConfig{Ops: -1}); err == nil {
+		t.Fatal("negative ops should fail")
+	}
+}

@@ -1,0 +1,110 @@
+package router
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+)
+
+// Policy chooses among a group's active backends. Implementations must
+// be safe for concurrent use and lock-free: pick runs on the request
+// hot path against an immutable pool (len(pool.active) >= 1) and may
+// only touch the pool's atomic cursor, the entries' atomic in-flight
+// counters, and scalable randomness (math/rand/v2's per-thread
+// generators).
+type Policy interface {
+	// Name is the stable identifier ParsePolicy accepts and reports
+	// serialize.
+	Name() string
+	pick(p *pool) *entry
+}
+
+// Policy names accepted by ParsePolicy.
+const (
+	PolicyRoundRobin    = "rr"
+	PolicyLeastInflight = "least-inflight"
+	PolicyPowerOfTwo    = "p2c"
+)
+
+// PolicyNames lists the accepted policy names.
+func PolicyNames() []string {
+	return []string{PolicyRoundRobin, PolicyLeastInflight, PolicyPowerOfTwo}
+}
+
+// ParsePolicy resolves a policy name ("rr", "least-inflight", "p2c").
+// The empty string selects round-robin.
+func ParsePolicy(name string) (Policy, error) {
+	switch name {
+	case "", PolicyRoundRobin, "round-robin":
+		return RoundRobin{}, nil
+	case PolicyLeastInflight:
+		return LeastInflight{}, nil
+	case PolicyPowerOfTwo, "power-of-two", "power-of-two-choices":
+		return PowerOfTwo{}, nil
+	}
+	return nil, fmt.Errorf("router: unknown policy %q (want %s)",
+		name, strings.Join(PolicyNames(), "|"))
+}
+
+// RoundRobin rotates through the active backends with one atomic
+// counter per group — the cheapest policy and the seed repository's
+// historical behaviour; the cursor survives pool republishes so the
+// rotation never restarts on a scale event.
+type RoundRobin struct{}
+
+// Name implements Policy.
+func (RoundRobin) Name() string { return PolicyRoundRobin }
+
+func (RoundRobin) pick(p *pool) *entry {
+	i := p.rr.Add(1) - 1
+	return p.active[i%uint64(len(p.active))]
+}
+
+// LeastInflight picks the active backend with the fewest in-flight
+// requests, scanning from a rotating start so ties spread instead of
+// herding onto the first backend. O(n) per pick — best for small pools
+// with heterogeneous request costs.
+type LeastInflight struct{}
+
+// Name implements Policy.
+func (LeastInflight) Name() string { return PolicyLeastInflight }
+
+func (LeastInflight) pick(p *pool) *entry {
+	n := uint64(len(p.active))
+	start := (p.rr.Add(1) - 1) % n
+	best := p.active[start]
+	bestLoad := best.inflight.Load()
+	for i := uint64(1); i < n; i++ {
+		e := p.active[(start+i)%n]
+		if load := e.inflight.Load(); load < bestLoad {
+			best, bestLoad = e, load
+		}
+	}
+	return best
+}
+
+// PowerOfTwo samples two distinct random active backends and picks the
+// less loaded — near-least-inflight balance at O(1) cost, immune to the
+// thundering-herd correlation of deterministic scans (Mitzenmacher's
+// power of two choices).
+type PowerOfTwo struct{}
+
+// Name implements Policy.
+func (PowerOfTwo) Name() string { return PolicyPowerOfTwo }
+
+func (PowerOfTwo) pick(p *pool) *entry {
+	n := len(p.active)
+	if n == 1 {
+		return p.active[0]
+	}
+	i := rand.IntN(n)
+	j := rand.IntN(n - 1)
+	if j >= i {
+		j++
+	}
+	a, b := p.active[i], p.active[j]
+	if b.inflight.Load() < a.inflight.Load() {
+		return b
+	}
+	return a
+}

@@ -1,0 +1,222 @@
+package router
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolMutationUnderLoad hammers Pick/Release from many goroutines
+// while the control plane concurrently Registers, Drains, and Removes
+// backends. Invariants proved under -race:
+//
+//   - a published snapshot never routes to a drained or removed
+//     backend: once Drain/Remove returns, no later Pick resolves to it
+//     (checked with per-backend fence counters),
+//   - in-flight counts never go negative and return to zero,
+//   - every pick lands on a backend that was registered at the time.
+func TestPoolMutationUnderLoad(t *testing.T) {
+	for _, name := range PolicyNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			policy, err := ParsePolicy(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hammerPoolMutation(t, policy)
+		})
+	}
+}
+
+func hammerPoolMutation(t *testing.T, policy Policy) {
+	r := New(policy)
+	const group = 7
+	url := func(id int) string { return fmt.Sprintf("http://backend-%d", id) }
+
+	// Each churned backend gets a fresh identity (never re-registered),
+	// so fenced[id] flipping to 1 the moment its Drain returns is
+	// permanent: any pick that *started* after the flip and still
+	// resolved to id is a violation.
+	const (
+		maxRounds = 30
+		churners  = 4
+		maxIDs    = 2 + maxRounds*churners
+	)
+	rounds := maxRounds
+	if testing.Short() {
+		rounds = 8
+	}
+	var fenced [maxIDs]atomic.Int32
+	var picksAfterFence atomic.Int64
+
+	// Two stable backends (ids 0, 1) guarantee the pool is never empty.
+	for i := 0; i < 2; i++ {
+		if err := r.Register(group, url(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	const pickers = 8
+	var picks atomic.Int64
+	for w := 0; w < pickers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Sample every fence flag BEFORE picking: if a backend
+				// was already fenced when the pick started and the pick
+				// still resolved to it, the snapshot protocol is broken.
+				// (Sampling after the pick would also flag the benign
+				// race of a fence landing mid-pick.)
+				var preFenced [maxIDs]int32
+				for i := range preFenced {
+					preFenced[i] = fenced[i].Load()
+				}
+				p, err := r.Pick(group)
+				if err != nil {
+					// Transient no-active windows are impossible here
+					// (two stable backends), so any error is a bug.
+					t.Errorf("pick: %v", err)
+					return
+				}
+				var idx int
+				if _, err := fmt.Sscanf(p.URL(), "http://backend-%d", &idx); err != nil {
+					t.Errorf("picked unknown backend %q", p.URL())
+					return
+				}
+				if preFenced[idx] == 1 {
+					picksAfterFence.Add(1)
+				}
+				if n, err := r.Inflight(group, p.URL()); err == nil && n < 1 {
+					t.Errorf("in-flight count %d < 1 while holding a reservation", n)
+				}
+				r.Release(p, true)
+				picks.Add(1)
+			}
+		}()
+	}
+
+	// The control plane churns fresh backends: register, let traffic
+	// flow, drain (fence), then remove once idle.
+	churn := func(id int) {
+		u := url(id)
+		if err := r.Register(group, u); err != nil {
+			t.Errorf("register %s: %v", u, err)
+			return
+		}
+		time.Sleep(time.Millisecond)
+		if err := r.Drain(group, u); err != nil {
+			t.Errorf("drain %s: %v", u, err)
+			return
+		}
+		fenced[id].Store(1)
+		// Wait for in-flight work to finish, then remove. Remove may
+		// transiently report busy while reservations drain; that retry
+		// loop is exactly the reconciler's reap path.
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if err := r.Remove(group, u); err == nil {
+				return
+			}
+			if time.Now().After(deadline) {
+				n, _ := r.Inflight(group, u)
+				t.Errorf("remove %s never succeeded (%d in flight)", u, n)
+				return
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	for round := 0; round < rounds; round++ {
+		var cwg sync.WaitGroup
+		for c := 0; c < churners; c++ {
+			id := 2 + round*churners + c
+			cwg.Add(1)
+			go func() {
+				defer cwg.Done()
+				churn(id)
+			}()
+		}
+		cwg.Wait()
+	}
+	close(stop)
+	wg.Wait()
+
+	if n := picksAfterFence.Load(); n != 0 {
+		t.Fatalf("%d picks resolved to a backend after its Drain/Remove returned", n)
+	}
+	if picks.Load() == 0 {
+		t.Fatal("no picks completed")
+	}
+	// All reservations released: every in-flight count is back to zero
+	// and only the two stable backends remain.
+	for _, info := range r.Pool(group) {
+		if info.Inflight != 0 {
+			t.Fatalf("backend %s left with %d in flight", info.URL, info.Inflight)
+		}
+	}
+	if got := r.Backends()[group]; got != 2 {
+		t.Fatalf("final pool size = %d, want 2", got)
+	}
+}
+
+// TestConcurrentRegisterDrainSameURL drives the un-drain flap path
+// (Register on a draining backend) concurrently with picks; the
+// invariant is purely that nothing panics, counts stay non-negative,
+// and the backend ends active.
+func TestConcurrentRegisterDrainSameURL(t *testing.T) {
+	r := New(LeastInflight{})
+	if err := r.Register(0, "http://stable"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(0, "http://flappy"); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p, err := r.Pick(0)
+				if err != nil {
+					t.Errorf("pick: %v", err)
+					return
+				}
+				r.Release(p, true)
+			}
+		}()
+	}
+	for i := 0; i < 500; i++ {
+		if err := r.Drain(0, "http://flappy"); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Register(0, "http://flappy"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	for _, info := range r.Pool(0) {
+		if info.Inflight != 0 {
+			t.Fatalf("backend %s left with %d in flight", info.URL, info.Inflight)
+		}
+		if info.State != StateActive {
+			t.Fatalf("backend %s ended %s", info.URL, info.State)
+		}
+	}
+}

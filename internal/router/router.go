@@ -1,0 +1,418 @@
+// Package router is the lock-free sharded data plane of the SDN
+// accelerator: per-group surrogate pools published as immutable
+// copy-on-write snapshots behind an atomic pointer (RCU-style), with
+// per-backend atomic in-flight counters and pluggable pick policies
+// (round-robin, least-inflight, power-of-two-choices).
+//
+// The request hot path — Pick, Release, the drop counters, and Stats —
+// acquires no mutexes. Control-plane mutations (Register, Drain,
+// Remove, driven by the autoscaling reconciler) build a new snapshot
+// under a small control mutex and publish it with one atomic store, so
+// readers never block writers and writers never block readers.
+//
+// Correctness of the publish protocol: Pick reserves an in-flight slot
+// and then re-validates that the snapshot it picked from is still
+// current; if a mutation was published in between, the reservation is
+// rolled back and the pick retried against the new snapshot. Remove
+// publishes first and re-checks the in-flight counter afterwards,
+// rolling the snapshot back when a concurrent reservation slipped in.
+// Together these guarantee that once Drain or Remove returns, no
+// subsequent Pick ever resolves to that backend — the invariant the
+// connection-draining scale-down of the autoscaling control loop
+// (DESIGN.md §5) depends on.
+package router
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"accelcloud/internal/rpc"
+)
+
+// State is the lifecycle state of one registered backend.
+type State string
+
+const (
+	// StateActive backends receive new requests.
+	StateActive State = "active"
+	// StateDraining backends finish their in-flight requests but are
+	// never picked for new ones.
+	StateDraining State = "draining"
+)
+
+// ErrBackendBusy is returned by Remove while a backend still has
+// in-flight requests; drain first and retry once Inflight reports 0.
+var ErrBackendBusy = errors.New("router: backend has in-flight requests")
+
+// ErrUnknownBackend is returned when a (group, url) pair is not
+// registered.
+var ErrUnknownBackend = errors.New("router: unknown backend")
+
+// ErrNoActiveBackend is returned by Pick when a group has no backend
+// accepting new work.
+var ErrNoActiveBackend = errors.New("router: no active backend")
+
+// BackendInfo is a point-in-time view of one backend, exposed by Pool
+// and the front-end's /stats endpoint.
+type BackendInfo struct {
+	URL      string `json:"url"`
+	State    State  `json:"state"`
+	Inflight int    `json:"inflight"`
+}
+
+// entry is one registered backend. Everything but the in-flight counter
+// is immutable; the counter is shared by every snapshot that references
+// the entry, so reservations survive republishes.
+type entry struct {
+	url      string
+	client   *rpc.Client
+	inflight atomic.Int64
+}
+
+// slot pairs an entry with its lifecycle state in one snapshot. The
+// state lives in the snapshot (not the entry) so publishing a drain is
+// one pointer store, never an in-place mutation readers could observe
+// half-done.
+type slot struct {
+	e     *entry
+	state State
+}
+
+// pool is one group's immutable backend set within a snapshot.
+type pool struct {
+	// slots holds every backend in registration order.
+	slots []slot
+	// active holds the pickable subset, pre-filtered at publish time so
+	// the hot path never scans states.
+	active []*entry
+	// rr is the group's pick cursor. It is carried from snapshot to
+	// snapshot so round-robin keeps rotating across republishes.
+	rr *atomic.Uint64
+}
+
+// MaxGroup bounds acceleration-group indices. The routing table is a
+// dense slice indexed by group — one bounds check and one load on the
+// hot path instead of a map hash — so indices must stay small; the
+// paper's accelerator has a handful of acceleration levels.
+const MaxGroup = 4096
+
+// snapshot is one immutable routing table: groups[g] is group g's pool
+// (nil when unregistered). Never written after publish, so lock-free
+// readers index it freely.
+type snapshot struct {
+	groups []*pool
+}
+
+// pool returns group g's pool, nil when absent.
+func (s *snapshot) pool(g int) *pool {
+	if g < 0 || g >= len(s.groups) {
+		return nil
+	}
+	return s.groups[g]
+}
+
+// Router routes requests to per-group backend pools.
+type Router struct {
+	policy Policy
+	snap   atomic.Pointer[snapshot]
+
+	routed  atomic.Int64
+	dropped atomic.Int64
+
+	// mu serializes control-plane mutations only; the request path
+	// never takes it.
+	mu sync.Mutex
+}
+
+// New builds an empty router. A nil policy selects round-robin.
+func New(policy Policy) *Router {
+	if policy == nil {
+		policy = RoundRobin{}
+	}
+	r := &Router{policy: policy}
+	r.snap.Store(&snapshot{})
+	return r
+}
+
+// Policy reports the configured pick policy.
+func (r *Router) Policy() Policy { return r.policy }
+
+// findSlot locates a backend inside a snapshot.
+func (s *snapshot) findSlot(group int, url string) (p *pool, idx int) {
+	p = s.pool(group)
+	if p == nil {
+		return nil, -1
+	}
+	for i := range p.slots {
+		if p.slots[i].e.url == url {
+			return p, i
+		}
+	}
+	return p, -1
+}
+
+// rebuild returns a copy of the snapshot with one group's slots
+// replaced. A nil or empty slots slice deletes the group. The caller
+// holds r.mu. rr is reused from the previous pool when present so the
+// round-robin cursor survives republishes.
+func (s *snapshot) rebuild(group int, slots []slot) *snapshot {
+	width := len(s.groups)
+	if len(slots) > 0 && group+1 > width {
+		width = group + 1
+	}
+	next := &snapshot{groups: make([]*pool, width)}
+	copy(next.groups, s.groups)
+	if len(slots) == 0 {
+		if group < len(next.groups) {
+			next.groups[group] = nil
+		}
+		// Trim trailing holes so the table never outlives its widest
+		// registered group.
+		for len(next.groups) > 0 && next.groups[len(next.groups)-1] == nil {
+			next.groups = next.groups[:len(next.groups)-1]
+		}
+		return next
+	}
+	p := &pool{slots: slots}
+	if prev := s.pool(group); prev != nil {
+		p.rr = prev.rr
+	} else {
+		p.rr = &atomic.Uint64{}
+	}
+	for _, sl := range slots {
+		if sl.state == StateActive {
+			p.active = append(p.active, sl.e)
+		}
+	}
+	next.groups[group] = p
+	return next
+}
+
+// Register adds a surrogate base URL under an acceleration group. A URL
+// currently draining in the same group is re-activated in place (the
+// un-drain path: a scale-up arriving before the drain completed), so
+// flapping never loses a warm backend.
+func (r *Router) Register(group int, baseURL string) error {
+	if group < 0 {
+		return fmt.Errorf("router: negative group %d", group)
+	}
+	if group > MaxGroup {
+		return fmt.Errorf("router: group %d exceeds MaxGroup %d", group, MaxGroup)
+	}
+	if baseURL == "" {
+		return errors.New("router: empty backend url")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.snap.Load()
+	p, idx := s.findSlot(group, baseURL)
+	var slots []slot
+	switch {
+	case idx >= 0 && p.slots[idx].state == StateDraining:
+		slots = append([]slot(nil), p.slots...)
+		slots[idx].state = StateActive
+	case idx >= 0:
+		return fmt.Errorf("router: backend %s already registered in group %d", baseURL, group)
+	default:
+		if p != nil {
+			slots = append(slots, p.slots...)
+		}
+		slots = append(slots, slot{
+			e:     &entry{url: baseURL, client: rpc.NewClient(baseURL)},
+			state: StateActive,
+		})
+	}
+	r.snap.Store(s.rebuild(group, slots))
+	return nil
+}
+
+// Drain fences a backend off from new requests; in-flight requests
+// complete normally. Draining an already-draining backend is a no-op.
+// Once Drain returns, no subsequent Pick resolves to the backend.
+func (r *Router) Drain(group int, baseURL string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.snap.Load()
+	p, idx := s.findSlot(group, baseURL)
+	if idx < 0 {
+		return fmt.Errorf("%w: group %d url %s", ErrUnknownBackend, group, baseURL)
+	}
+	if p.slots[idx].state == StateDraining {
+		return nil
+	}
+	slots := append([]slot(nil), p.slots...)
+	slots[idx].state = StateDraining
+	r.snap.Store(s.rebuild(group, slots))
+	return nil
+}
+
+// Remove deregisters an idle backend. It fails with ErrBackendBusy
+// while requests are still in flight — drain first, then retry; the
+// router never abandons accepted work. The busy check is re-run after
+// the snapshot without the backend is published, and rolled back if a
+// concurrent Pick reserved a slot in the window — so a successful
+// Remove guarantees no request is, or ever will be, routed to the
+// backend.
+func (r *Router) Remove(group int, baseURL string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.snap.Load()
+	p, idx := s.findSlot(group, baseURL)
+	if idx < 0 {
+		return fmt.Errorf("%w: group %d url %s", ErrUnknownBackend, group, baseURL)
+	}
+	e := p.slots[idx].e
+	if n := e.inflight.Load(); n > 0 {
+		return fmt.Errorf("%w: %s in group %d (%d in flight)", ErrBackendBusy, baseURL, group, n)
+	}
+	slots := append([]slot(nil), p.slots[:idx]...)
+	slots = append(slots, p.slots[idx+1:]...)
+	r.snap.Store(s.rebuild(group, slots))
+	if n := e.inflight.Load(); n > 0 {
+		// A Pick reserved on the old snapshot between the check and the
+		// publish. Roll the old table back; the reservation stands and
+		// the backend stays registered.
+		r.snap.Store(s)
+		return fmt.Errorf("%w: %s in group %d (%d in flight)", ErrBackendBusy, baseURL, group, n)
+	}
+	return nil
+}
+
+// Picked is a reserved routing decision: the chosen backend with one
+// in-flight slot held. Pass it to Release exactly once.
+type Picked struct {
+	e *entry
+}
+
+// URL reports the picked backend's base URL.
+func (p Picked) URL() string { return p.e.url }
+
+// Client reports the picked backend's RPC client.
+func (p Picked) Client() *rpc.Client { return p.e.client }
+
+// Pick selects a backend for the group under the configured policy and
+// reserves an in-flight slot on it. Lock-free: one snapshot load, the
+// policy's choice, and an atomic reservation, re-validated against the
+// group's current pool so a Pick never resolves to a backend drained
+// or removed before the call. Validation is per-pool, not whole-table:
+// every mutation of a group allocates a fresh pool object while
+// untouched groups keep theirs, so control-plane churn in one group
+// never rolls back concurrent picks in another.
+func (r *Router) Pick(group int) (Picked, error) {
+	for {
+		p := r.snap.Load().pool(group)
+		if p == nil || len(p.active) == 0 {
+			return Picked{}, fmt.Errorf("%w for group %d", ErrNoActiveBackend, group)
+		}
+		e := r.policy.pick(p)
+		e.inflight.Add(1)
+		if r.snap.Load().pool(group) == p {
+			return Picked{e: e}, nil
+		}
+		// This group was republished between the pick and the
+		// reservation; the entry may just have been drained or removed.
+		// Roll back and retry against the new pool.
+		e.inflight.Add(-1)
+	}
+}
+
+// Release returns a picked backend's in-flight slot and folds the
+// request's fate into the routed/dropped counters — all atomics, no
+// critical section.
+func (r *Router) Release(p Picked, ok bool) {
+	p.e.inflight.Add(-1)
+	if ok {
+		r.routed.Add(1)
+	} else {
+		r.dropped.Add(1)
+	}
+}
+
+// CountDrop records a request dropped before any backend was picked
+// (e.g. no active backend for the group).
+func (r *Router) CountDrop() { r.dropped.Add(1) }
+
+// Counters reports the routed/dropped totals.
+func (r *Router) Counters() (routed, dropped int64) {
+	return r.routed.Load(), r.dropped.Load()
+}
+
+// Inflight reports a backend's current in-flight request count.
+func (r *Router) Inflight(group int, baseURL string) (int, error) {
+	s := r.snap.Load()
+	p, idx := s.findSlot(group, baseURL)
+	if idx < 0 {
+		return 0, fmt.Errorf("%w: group %d url %s", ErrUnknownBackend, group, baseURL)
+	}
+	return int(p.slots[idx].e.inflight.Load()), nil
+}
+
+// Backends reports the registered groups and backend counts (active
+// and draining alike — they are all still serving or finishing work).
+func (r *Router) Backends() map[int]int {
+	s := r.snap.Load()
+	out := make(map[int]int, len(s.groups))
+	for g, p := range s.groups {
+		if p != nil {
+			out[g] = len(p.slots)
+		}
+	}
+	return out
+}
+
+// Pool snapshots one group's backends in registration order.
+func (r *Router) Pool(group int) []BackendInfo {
+	p := r.snap.Load().pool(group)
+	if p == nil {
+		return []BackendInfo{}
+	}
+	return poolInfos(p)
+}
+
+func poolInfos(p *pool) []BackendInfo {
+	out := make([]BackendInfo, 0, len(p.slots))
+	for _, sl := range p.slots {
+		out = append(out, BackendInfo{
+			URL:      sl.e.url,
+			State:    sl.state,
+			Inflight: int(sl.e.inflight.Load()),
+		})
+	}
+	return out
+}
+
+// ActiveCount reports how many of a group's backends accept new work.
+func (r *Router) ActiveCount(group int) int {
+	p := r.snap.Load().pool(group)
+	if p == nil {
+		return 0
+	}
+	return len(p.active)
+}
+
+// Stats is a consistent point-in-time view of the whole routing table,
+// rendered without entering any critical section.
+type Stats struct {
+	Routed  int64
+	Dropped int64
+	Pools   map[int][]BackendInfo
+}
+
+// Stats snapshots counters and every pool from one atomic snapshot
+// load — the /stats endpoint encodes this outside any lock.
+func (r *Router) Stats() Stats {
+	s := r.snap.Load()
+	st := Stats{
+		Routed:  r.routed.Load(),
+		Dropped: r.dropped.Load(),
+		Pools:   make(map[int][]BackendInfo, len(s.groups)),
+	}
+	for g, p := range s.groups {
+		if p != nil {
+			st.Pools[g] = poolInfos(p)
+		}
+	}
+	return st
+}

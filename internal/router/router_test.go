@@ -1,0 +1,270 @@
+package router
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestRegisterValidation(t *testing.T) {
+	r := New(nil)
+	if err := r.Register(-1, "http://x"); err == nil {
+		t.Fatal("negative group should fail")
+	}
+	if err := r.Register(0, ""); err == nil {
+		t.Fatal("empty url should fail")
+	}
+	if err := r.Register(0, "http://x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(0, "http://x"); err == nil {
+		t.Fatal("duplicate registration should fail")
+	}
+}
+
+func TestLifecycle(t *testing.T) {
+	r := New(nil)
+	const g = 1
+	if err := r.Register(g, "http://a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.ActiveCount(g); got != 1 {
+		t.Fatalf("active = %d", got)
+	}
+	if err := r.Drain(g, "http://a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.ActiveCount(g); got != 0 {
+		t.Fatalf("active = %d after drain", got)
+	}
+	if _, err := r.Pick(g); !errors.Is(err, ErrNoActiveBackend) {
+		t.Fatalf("pick from drained pool: %v", err)
+	}
+	// Draining again is a no-op.
+	if err := r.Drain(g, "http://a"); err != nil {
+		t.Fatal(err)
+	}
+	// Re-register un-drains in place.
+	if err := r.Register(g, "http://a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.ActiveCount(g); got != 1 {
+		t.Fatalf("active = %d after un-drain", got)
+	}
+	if err := r.Drain(2, "http://a"); !errors.Is(err, ErrUnknownBackend) {
+		t.Fatalf("drain of unknown backend: %v", err)
+	}
+	if err := r.Remove(g, "http://a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Remove(g, "http://a"); !errors.Is(err, ErrUnknownBackend) {
+		t.Fatalf("second remove: %v", err)
+	}
+	if len(r.Pool(g)) != 0 {
+		t.Fatal("pool not empty after remove")
+	}
+	if len(r.Backends()) != 0 {
+		t.Fatal("backends not empty after remove")
+	}
+}
+
+func TestRemoveRefusesInflight(t *testing.T) {
+	r := New(nil)
+	if err := r.Register(1, "http://a"); err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Pick(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.URL() != "http://a" {
+		t.Fatalf("picked %s", p.URL())
+	}
+	if err := r.Remove(1, "http://a"); !errors.Is(err, ErrBackendBusy) {
+		t.Fatalf("remove with in-flight work: %v", err)
+	}
+	r.Release(p, true)
+	if n, err := r.Inflight(1, "http://a"); err != nil || n != 0 {
+		t.Fatalf("inflight = %d, %v", n, err)
+	}
+	if err := r.Remove(1, "http://a"); err != nil {
+		t.Fatal(err)
+	}
+	routed, dropped := r.Counters()
+	if routed != 1 || dropped != 0 {
+		t.Fatalf("counters = %d routed, %d dropped", routed, dropped)
+	}
+}
+
+func TestRoundRobinRotation(t *testing.T) {
+	r := New(RoundRobin{})
+	urls := []string{"http://a", "http://b", "http://c"}
+	for _, u := range urls {
+		if err := r.Register(0, u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits := map[string]int{}
+	for i := 0; i < 9; i++ {
+		p, err := r.Pick(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hits[p.URL()]++
+		r.Release(p, true)
+	}
+	for _, u := range urls {
+		if hits[u] != 3 {
+			t.Fatalf("round robin skewed: %v", hits)
+		}
+	}
+	// The cursor survives a republish: drain c, the rotation over {a,b}
+	// continues without restarting.
+	if err := r.Drain(0, "http://c"); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 2; i++ {
+		p, err := r.Pick(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.URL() == "http://c" {
+			t.Fatal("drained backend picked")
+		}
+		seen[p.URL()] = true
+		r.Release(p, true)
+	}
+	if len(seen) != 2 {
+		t.Fatalf("rotation collapsed after drain: %v", seen)
+	}
+}
+
+func TestLeastInflightPrefersIdle(t *testing.T) {
+	r := New(LeastInflight{})
+	if err := r.Register(0, "http://a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(0, "http://b"); err != nil {
+		t.Fatal(err)
+	}
+	// Hold one reservation on a; every new pick must go to the idle b.
+	held := holdOn(t, r, "http://a")
+	for i := 0; i < 5; i++ {
+		p, err := r.Pick(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.URL() != "http://b" {
+			t.Fatalf("least-inflight picked loaded backend (pick %d)", i)
+		}
+		r.Release(p, true)
+	}
+	r.Release(held, true)
+}
+
+// holdOn picks until the reservation lands on url and keeps it held.
+// With two backends every policy reaches any idle backend within a few
+// picks, so the loop terminates.
+func holdOn(t *testing.T, r *Router, url string) Picked {
+	t.Helper()
+	for i := 0; i < 1000; i++ {
+		p, err := r.Pick(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.URL() == url {
+			return p
+		}
+		r.Release(p, true)
+	}
+	t.Fatalf("policy never picked %s", url)
+	return Picked{}
+}
+
+func TestPowerOfTwoAvoidsOverload(t *testing.T) {
+	r := New(PowerOfTwo{})
+	if err := r.Register(0, "http://a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(0, "http://b"); err != nil {
+		t.Fatal(err)
+	}
+	// Hold one reservation on a; with only two backends P2C always
+	// compares both, so every pick must land on the idle b.
+	held := holdOn(t, r, "http://a")
+	for i := 0; i < 20; i++ {
+		p, err := r.Pick(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.URL() == "http://a" {
+			t.Fatalf("p2c picked the loaded backend on pick %d", i)
+		}
+		r.Release(p, true)
+	}
+	r.Release(held, true)
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, name := range append(PolicyNames(), "", "round-robin", "power-of-two-choices") {
+		if _, err := ParsePolicy(name); err != nil {
+			t.Fatalf("ParsePolicy(%q): %v", name, err)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Fatal("unknown policy should fail")
+	}
+	p, err := ParsePolicy("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != PolicyRoundRobin {
+		t.Fatalf("empty policy resolved to %s", p.Name())
+	}
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	r := New(nil)
+	if err := r.Register(1, "http://a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(2, "http://b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Drain(2, "http://b"); err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Pick(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.CountDrop()
+	st := r.Stats()
+	if st.Dropped != 1 || st.Routed != 0 {
+		t.Fatalf("stats counters = %+v", st)
+	}
+	if got := fmt.Sprint(st.Pools[1]); got != "[{http://a active 1}]" {
+		t.Fatalf("pool 1 = %s", got)
+	}
+	if got := fmt.Sprint(st.Pools[2]); got != "[{http://b draining 0}]" {
+		t.Fatalf("pool 2 = %s", got)
+	}
+	r.Release(p, true)
+	if routed, _ := r.Counters(); routed != 1 {
+		t.Fatalf("routed = %d", routed)
+	}
+}
+
+func TestPickUnknownGroup(t *testing.T) {
+	r := New(nil)
+	if _, err := r.Pick(9); !errors.Is(err, ErrNoActiveBackend) {
+		t.Fatalf("pick from unknown group: %v", err)
+	}
+	if _, err := r.Inflight(9, "http://x"); !errors.Is(err, ErrUnknownBackend) {
+		t.Fatalf("inflight of unknown backend: %v", err)
+	}
+	if r.ActiveCount(9) != 0 {
+		t.Fatal("unknown group should report 0 active")
+	}
+}

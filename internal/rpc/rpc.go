@@ -15,6 +15,9 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"accelcloud/internal/tasks"
@@ -104,13 +107,44 @@ type ExecuteResponse struct {
 	Error   string  `json:"error,omitempty"`
 }
 
-// WriteJSON writes v with the given status code.
+// encodeBufPool recycles encode buffers across requests. The front-end
+// marshals twice per proxied request (the surrogate hop and the client
+// response); at load-generator concurrency the per-call allocations
+// were a measurable share of the routing layer's GC pressure.
+var encodeBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledBufBytes caps what is returned to the pool so one huge
+// application state doesn't pin its buffer forever.
+const maxPooledBufBytes = 1 << 20
+
+func getEncodeBuf() *bytes.Buffer { return encodeBufPool.Get().(*bytes.Buffer) }
+
+func putEncodeBuf(b *bytes.Buffer) {
+	if b.Cap() > maxPooledBufBytes {
+		return
+	}
+	b.Reset()
+	encodeBufPool.Put(b)
+}
+
+// WriteJSON writes v with the given status code. The body is staged in
+// a pooled buffer so the response carries a Content-Length and the
+// encoder's scratch space is reused across requests.
 func WriteJSON(w http.ResponseWriter, code int, v any) {
+	buf := getEncodeBuf()
+	defer putEncodeBuf(buf)
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		// Unencodable payloads are a programming error; the empty-body
+		// status line is the only thing left to send.
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 	w.WriteHeader(code)
-	// Encoding failures after the header is sent can only be logged by
+	// Write failures after the header is sent can only be logged by
 	// the caller's middleware; the connection is already committed.
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(buf.Bytes())
 }
 
 // ReadJSON decodes a bounded request body into v.
@@ -168,16 +202,63 @@ func (c *Client) httpClient() *http.Client {
 	return defaultHTTPClient
 }
 
-// post sends a JSON request and decodes the JSON response.
+// pooledPayload is a marshaled request body backed by a pooled encode
+// buffer, released to the pool only when its last reader is closed.
+// Reference counting matters because the transport may read (and will
+// close) a request body in a separate goroutine even after Do returns,
+// and GetBody can mint additional readers for transparent retries of
+// POSTs on stale keep-alive connections — all of them share the one
+// buffer, and whichever finishes last recycles it.
+type pooledPayload struct {
+	buf  *bytes.Buffer
+	refs atomic.Int32
+}
+
+func (p *pooledPayload) release() {
+	if p.refs.Add(-1) == 0 {
+		putEncodeBuf(p.buf)
+	}
+}
+
+// newReader mints one counted reader over the payload bytes.
+func (p *pooledPayload) newReader() io.ReadCloser {
+	p.refs.Add(1)
+	return &payloadReader{Reader: bytes.NewReader(p.buf.Bytes()), payload: p}
+}
+
+type payloadReader struct {
+	*bytes.Reader
+	payload *pooledPayload
+	once    sync.Once
+}
+
+func (r *payloadReader) Close() error {
+	r.once.Do(func() { r.payload.release() })
+	return nil
+}
+
+// post sends a JSON request and decodes the JSON response. The request
+// body is marshaled into a pooled buffer that is recycled once the
+// transport releases it — on the front-end's proxy hop this runs once
+// per offloaded request.
 func (c *Client) post(ctx context.Context, path string, in, out any) error {
-	payload, err := json.Marshal(in)
-	if err != nil {
+	buf := getEncodeBuf()
+	payload := &pooledPayload{buf: buf}
+	payload.refs.Store(1) // post's own reference, released on return
+	defer payload.release()
+	if err := json.NewEncoder(buf).Encode(in); err != nil {
 		return fmt.Errorf("rpc: marshal request: %w", err)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(payload))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(buf.Bytes()))
 	if err != nil {
 		return fmt.Errorf("rpc: build request: %w", err)
 	}
+	// Replace the plain reader with counted ones: the transport closes
+	// every body it is handed (initial and GetBody replays alike), so
+	// the buffer returns to the pool exactly once, after its last use.
+	// ContentLength was already set from the reader above.
+	req.Body = payload.newReader()
+	req.GetBody = func() (io.ReadCloser, error) { return payload.newReader(), nil }
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.httpClient().Do(req)
 	if err != nil {

@@ -2,63 +2,52 @@ package sdn
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"net/http"
 	"sort"
-	"sync"
 	"time"
 
+	"accelcloud/internal/router"
 	"accelcloud/internal/rpc"
 	"accelcloud/internal/trace"
 )
 
 // BackendState is the lifecycle state of one registered surrogate.
-type BackendState string
+type BackendState = router.State
 
 const (
 	// BackendActive backends receive new requests.
-	BackendActive BackendState = "active"
+	BackendActive = router.StateActive
 	// BackendDraining backends finish their in-flight requests but are
 	// never picked for new ones — the scale-down path of the
 	// autoscaling control loop (DESIGN.md §5).
-	BackendDraining BackendState = "draining"
+	BackendDraining = router.StateDraining
 )
 
 // ErrBackendBusy is returned by Remove while a backend still has
 // in-flight requests; drain first and retry once Inflight reports 0.
-var ErrBackendBusy = errors.New("sdn: backend has in-flight requests")
+var ErrBackendBusy = router.ErrBackendBusy
 
 // ErrUnknownBackend is returned when a (group, url) pair is not
 // registered.
-var ErrUnknownBackend = errors.New("sdn: unknown backend")
-
-// backend is one registered surrogate endpoint with live routing state.
-type backend struct {
-	url      string
-	client   *rpc.Client
-	state    BackendState
-	inflight int
-}
+var ErrUnknownBackend = router.ErrUnknownBackend
 
 // BackendInfo is a point-in-time snapshot of one backend, exposed by
 // Pool and the /stats endpoint.
-type BackendInfo struct {
-	URL      string       `json:"url"`
-	State    BackendState `json:"state"`
-	Inflight int          `json:"inflight"`
-}
+type BackendInfo = router.BackendInfo
 
 // FrontEnd is the real (HTTP) SDN-accelerator: it terminates client
 // offloading requests, routes them to registered surrogate back-ends by
 // acceleration group, measures the Fig 7a timing components, and logs
 // each request to the trace sink the predictor consumes.
 //
-// Per-group pools are mutable while serving: Register adds capacity,
-// Drain fences a backend off from new work while its in-flight requests
-// complete, and Remove retires it once idle. The autoscaling control
-// loop (internal/autoscale, DESIGN.md §5) drives these against the
-// predicted workload.
+// The data plane is the lock-free internal/router: per-group pools are
+// published as immutable RCU snapshots, so the request hot path (pick,
+// release, drop accounting, /stats) acquires no mutexes while the
+// control plane (Register, Drain, Remove — driven by the autoscaling
+// loop, DESIGN.md §5–§6) republishes snapshots under its own small
+// mutex. The pick policy (round-robin, least-inflight, or
+// power-of-two-choices) is fixed at construction.
 type FrontEnd struct {
 	log trace.Sink
 	// processingDelay artificially reproduces the paper's ≈150 ms
@@ -66,16 +55,20 @@ type FrontEnd struct {
 	// it 0).
 	processingDelay time.Duration
 
-	mu       sync.Mutex
-	backends map[int][]*backend
-	rr       map[int]int
-	routed   int64
-	dropped  int64
+	rt *router.Router
 }
 
-// NewFrontEnd builds an empty front-end. log may be nil to disable
-// request logging; a trace.Store, trace.Window, or trace.Tee all fit.
+// NewFrontEnd builds an empty front-end routing round-robin. log may be
+// nil to disable request logging; a trace.Store, trace.Window,
+// trace.Async, or trace.Tee all fit.
 func NewFrontEnd(log trace.Sink, processingDelay time.Duration) (*FrontEnd, error) {
+	return NewFrontEndWithPolicy(log, processingDelay, nil)
+}
+
+// NewFrontEndWithPolicy builds an empty front-end with an explicit pick
+// policy (router.ParsePolicy resolves the -policy flag names); nil
+// selects round-robin.
+func NewFrontEndWithPolicy(log trace.Sink, processingDelay time.Duration, policy router.Policy) (*FrontEnd, error) {
 	if processingDelay < 0 {
 		return nil, fmt.Errorf("sdn: negative processing delay %v", processingDelay)
 	}
@@ -90,178 +83,48 @@ func NewFrontEnd(log trace.Sink, processingDelay time.Duration) (*FrontEnd, erro
 	return &FrontEnd{
 		log:             log,
 		processingDelay: processingDelay,
-		backends:        make(map[int][]*backend),
-		rr:              make(map[int]int),
+		rt:              router.New(policy),
 	}, nil
 }
 
-// find locates a backend by (group, url). Callers hold f.mu.
-func (f *FrontEnd) find(group int, url string) *backend {
-	for _, b := range f.backends[group] {
-		if b.url == url {
-			return b
-		}
-	}
-	return nil
-}
+// Policy reports the front-end's pick policy.
+func (f *FrontEnd) Policy() router.Policy { return f.rt.Policy() }
 
 // Register adds a surrogate base URL under an acceleration group. A URL
 // currently draining in the same group is re-activated in place (the
 // un-drain path: a scale-up arriving before the drain completed), so
 // flapping never loses a warm backend.
 func (f *FrontEnd) Register(group int, baseURL string) error {
-	if group < 0 {
-		return fmt.Errorf("sdn: negative group %d", group)
-	}
-	if baseURL == "" {
-		return errors.New("sdn: empty backend url")
-	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if b := f.find(group, baseURL); b != nil {
-		if b.state == BackendDraining {
-			b.state = BackendActive
-			return nil
-		}
-		return fmt.Errorf("sdn: backend %s already registered in group %d", baseURL, group)
-	}
-	f.backends[group] = append(f.backends[group], &backend{
-		url:    baseURL,
-		client: rpc.NewClient(baseURL),
-		state:  BackendActive,
-	})
-	return nil
+	return f.rt.Register(group, baseURL)
 }
 
 // Drain fences a backend off from new requests; in-flight requests
 // complete normally. Draining an already-draining backend is a no-op.
 func (f *FrontEnd) Drain(group int, baseURL string) error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	b := f.find(group, baseURL)
-	if b == nil {
-		return fmt.Errorf("%w: group %d url %s", ErrUnknownBackend, group, baseURL)
-	}
-	b.state = BackendDraining
-	return nil
+	return f.rt.Drain(group, baseURL)
 }
 
 // Inflight reports a backend's current in-flight request count.
 func (f *FrontEnd) Inflight(group int, baseURL string) (int, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	b := f.find(group, baseURL)
-	if b == nil {
-		return 0, fmt.Errorf("%w: group %d url %s", ErrUnknownBackend, group, baseURL)
-	}
-	return b.inflight, nil
+	return f.rt.Inflight(group, baseURL)
 }
 
 // Remove deregisters an idle backend. It fails with ErrBackendBusy while
 // requests are still in flight — drain first, then retry; the
 // front-end never abandons accepted work.
 func (f *FrontEnd) Remove(group int, baseURL string) error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	bs := f.backends[group]
-	for i, b := range bs {
-		if b.url != baseURL {
-			continue
-		}
-		if b.inflight > 0 {
-			return fmt.Errorf("%w: %s in group %d (%d in flight)", ErrBackendBusy, baseURL, group, b.inflight)
-		}
-		f.backends[group] = append(bs[:i:i], bs[i+1:]...)
-		if len(f.backends[group]) == 0 {
-			delete(f.backends, group)
-			delete(f.rr, group)
-		}
-		return nil
-	}
-	return fmt.Errorf("%w: group %d url %s", ErrUnknownBackend, group, baseURL)
+	return f.rt.Remove(group, baseURL)
 }
 
 // Backends reports the registered groups and backend counts (active and
 // draining alike — they are all still serving or finishing work).
-func (f *FrontEnd) Backends() map[int]int {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	out := make(map[int]int, len(f.backends))
-	for g, bs := range f.backends {
-		out[g] = len(bs)
-	}
-	return out
-}
+func (f *FrontEnd) Backends() map[int]int { return f.rt.Backends() }
 
 // Pool snapshots one group's backends in registration order.
-func (f *FrontEnd) Pool(group int) []BackendInfo {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	out := make([]BackendInfo, 0, len(f.backends[group]))
-	for _, b := range f.backends[group] {
-		out = append(out, BackendInfo{URL: b.url, State: b.state, Inflight: b.inflight})
-	}
-	return out
-}
+func (f *FrontEnd) Pool(group int) []BackendInfo { return f.rt.Pool(group) }
 
 // ActiveCount reports how many of a group's backends accept new work.
-func (f *FrontEnd) ActiveCount(group int) int {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	n := 0
-	for _, b := range f.backends[group] {
-		if b.state == BackendActive {
-			n++
-		}
-	}
-	return n
-}
-
-// pick selects the next active backend of a group round-robin and
-// reserves an in-flight slot on it. Draining backends are never picked.
-// Allocation-free: this sits on the request hot path.
-func (f *FrontEnd) pick(group int) (*backend, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	bs := f.backends[group]
-	nActive := 0
-	for _, b := range bs {
-		if b.state == BackendActive {
-			nActive++
-		}
-	}
-	if nActive == 0 {
-		return nil, fmt.Errorf("sdn: no active backend for group %d", group)
-	}
-	k := f.rr[group] % nActive
-	f.rr[group]++
-	for _, b := range bs {
-		if b.state != BackendActive {
-			continue
-		}
-		if k == 0 {
-			b.inflight++
-			return b, nil
-		}
-		k--
-	}
-	// Unreachable: nActive > 0 guarantees the loop returns.
-	return nil, fmt.Errorf("sdn: no active backend for group %d", group)
-}
-
-// release returns a picked backend's in-flight slot and folds the
-// request's fate into the counters — one critical section, since this
-// sits on the request hot path.
-func (f *FrontEnd) release(b *backend, ok bool) {
-	f.mu.Lock()
-	b.inflight--
-	if ok {
-		f.routed++
-	} else {
-		f.dropped++
-	}
-	f.mu.Unlock()
-}
+func (f *FrontEnd) ActiveCount(group int) int { return f.rt.ActiveCount(group) }
 
 // Handler serves the front-end protocol:
 //
@@ -275,29 +138,27 @@ func (f *FrontEnd) Handler() http.Handler {
 		rpc.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc(rpc.PathStats, func(w http.ResponseWriter, r *http.Request) {
-		f.mu.Lock()
-		groups := make([]int, 0, len(f.backends))
-		for g := range f.backends {
+		// One atomic snapshot load; encoding happens outside any
+		// critical section — a slow client can no longer stall the
+		// routing plane.
+		st := f.rt.Stats()
+		groups := make([]int, 0, len(st.Pools))
+		for g := range st.Pools {
 			groups = append(groups, g)
 		}
 		sort.Ints(groups)
 		payload := struct {
 			Routed   int64                 `json:"routed"`
 			Dropped  int64                 `json:"dropped"`
+			Policy   string                `json:"policy"`
 			Groups   []int                 `json:"groups"`
 			Backends map[int]int           `json:"backends"`
 			Pools    map[int][]BackendInfo `json:"pools"`
-		}{Routed: f.routed, Dropped: f.dropped, Groups: groups,
-			Backends: map[int]int{}, Pools: map[int][]BackendInfo{}}
-		for g, bs := range f.backends {
-			payload.Backends[g] = len(bs)
-			infos := make([]BackendInfo, 0, len(bs))
-			for _, b := range bs {
-				infos = append(infos, BackendInfo{URL: b.url, State: b.state, Inflight: b.inflight})
-			}
-			payload.Pools[g] = infos
+		}{Routed: st.Routed, Dropped: st.Dropped, Policy: f.rt.Policy().Name(),
+			Groups: groups, Backends: map[int]int{}, Pools: st.Pools}
+		for g, infos := range st.Pools {
+			payload.Backends[g] = len(infos)
 		}
-		f.mu.Unlock()
 		rpc.WriteJSON(w, http.StatusOK, payload)
 	})
 	return mux
@@ -321,20 +182,18 @@ func (f *FrontEnd) handleOffload(w http.ResponseWriter, r *http.Request) {
 	if f.processingDelay > 0 {
 		time.Sleep(f.processingDelay)
 	}
-	picked, err := f.pick(req.Group)
+	picked, err := f.rt.Pick(req.Group)
 	if err != nil {
-		f.mu.Lock()
-		f.dropped++
-		f.mu.Unlock()
+		f.rt.CountDrop()
 		rpc.WriteJSON(w, http.StatusServiceUnavailable, rpc.OffloadResponse{Error: err.Error()})
 		return
 	}
 	routingMs := float64(time.Since(routeStart)) / float64(time.Millisecond)
 
 	backendStart := time.Now()
-	resp, err := picked.client.Execute(r.Context(), rpc.ExecuteRequest{State: req.State})
+	resp, err := picked.Client().Execute(r.Context(), rpc.ExecuteRequest{State: req.State})
 	backendTotalMs := float64(time.Since(backendStart)) / float64(time.Millisecond)
-	f.release(picked, err == nil)
+	f.rt.Release(picked, err == nil)
 	if err != nil {
 		rpc.WriteJSON(w, http.StatusBadGateway, rpc.OffloadResponse{Error: err.Error()})
 		return
@@ -345,15 +204,15 @@ func (f *FrontEnd) handleOffload(w http.ResponseWriter, r *http.Request) {
 		t2Ms = 0
 	}
 	if f.log != nil {
-		total := time.Since(routeStart)
-		battery := req.BatteryLevel
+		// One clock read serves both the record timestamp and the RTT.
+		now := time.Now()
 		// Log failures must not fail the request path.
 		_ = f.log.Append(trace.Record{
-			Timestamp:    time.Now(),
+			Timestamp:    now,
 			UserID:       req.UserID,
 			Group:        req.Group,
-			BatteryLevel: battery,
-			RTT:          total,
+			BatteryLevel: req.BatteryLevel,
+			RTT:          now.Sub(routeStart),
 		})
 	}
 	rpc.WriteJSON(w, http.StatusOK, rpc.OffloadResponse{

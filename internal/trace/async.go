@@ -1,0 +1,186 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrAsyncClosed is returned by Append after Close.
+var ErrAsyncClosed = errors.New("trace: async sink closed")
+
+// DefaultAsyncBuffer is the record capacity NewAsync uses for buffer 0.
+const DefaultAsyncBuffer = 8192
+
+// DefaultAsyncFlushEvery is the flush period NewAsync uses for 0.
+const DefaultAsyncFlushEvery = 100 * time.Millisecond
+
+// Async decouples the request hot path from trace persistence: Append
+// validates the record and enqueues it without ever blocking — a
+// bounded channel absorbs bursts, a single worker goroutine drains it
+// in batches into the downstream sink on a flush ticker, and when the
+// buffer is full the record is dropped and counted instead of stalling
+// the request. Tee Async into a Store and a Window to keep the durable
+// log and the autoscaler's live slot window fed off one front-end
+// without a synchronous append on every request.
+//
+// Shed-on-overload is deliberate: a trace record is telemetry, and a
+// full buffer means persistence is slower than the request rate —
+// blocking would propagate that slowness to every client. Dropped()
+// reports how many records were shed, SinkErrors() how many downstream
+// appends failed. The downstream sink must be safe for concurrent use
+// (Store, Window, and Tee of them are): appends that race Close sweep
+// the queue themselves, overlapping the worker's final drain.
+type Async struct {
+	down       Sink
+	ch         chan Record
+	flushReq   chan chan struct{}
+	quit       chan struct{}
+	done       chan struct{}
+	closeOnce  sync.Once
+	closed     atomic.Bool
+	dropped    atomic.Int64
+	sinkErrors atomic.Int64
+}
+
+// NewAsync wraps a downstream sink. buffer is the queue capacity
+// (0 selects DefaultAsyncBuffer); flushEvery is the worker's drain
+// period (0 selects DefaultAsyncFlushEvery). Close flushes the queue
+// and stops the worker.
+func NewAsync(down Sink, buffer int, flushEvery time.Duration) (*Async, error) {
+	if down == nil {
+		return nil, errors.New("trace: async without downstream sink")
+	}
+	if buffer < 0 {
+		return nil, fmt.Errorf("trace: async buffer %d < 0", buffer)
+	}
+	if buffer == 0 {
+		buffer = DefaultAsyncBuffer
+	}
+	if flushEvery < 0 {
+		return nil, fmt.Errorf("trace: async flush period %v < 0", flushEvery)
+	}
+	if flushEvery == 0 {
+		flushEvery = DefaultAsyncFlushEvery
+	}
+	a := &Async{
+		down:     down,
+		ch:       make(chan Record, buffer),
+		flushReq: make(chan chan struct{}),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go a.worker(flushEvery)
+	return a, nil
+}
+
+// Append implements Sink. It never blocks: a full queue sheds the
+// record (counted in Dropped) and an already-closed sink returns
+// ErrAsyncClosed.
+func (a *Async) Append(r Record) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	if a.closed.Load() {
+		a.dropped.Add(1)
+		return ErrAsyncClosed
+	}
+	select {
+	case a.ch <- r:
+		if a.closed.Load() {
+			// Close raced this append: its final drain may already
+			// have run with the worker gone, which would strand the
+			// record in the channel forever. Sweep it downstream
+			// ourselves — the sinks Async composes with (Store,
+			// Window, Tee of them) are safe for concurrent use, so
+			// overlapping with the worker's own drain is fine.
+			a.drain()
+		}
+		return nil
+	default:
+		a.dropped.Add(1)
+		return nil
+	}
+}
+
+// worker drains the queue into the downstream sink: on every tick, on
+// every Flush request, and once more on Close.
+func (a *Async) worker(flushEvery time.Duration) {
+	defer close(a.done)
+	ticker := time.NewTicker(flushEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case rec := <-a.ch:
+			a.push(rec)
+			a.drain()
+		case <-ticker.C:
+			a.drain()
+		case ack := <-a.flushReq:
+			a.drain()
+			close(ack)
+		case <-a.quit:
+			a.drain()
+			return
+		}
+	}
+}
+
+// drain moves every queued record downstream without blocking on the
+// producer side.
+func (a *Async) drain() {
+	for {
+		select {
+		case rec := <-a.ch:
+			a.push(rec)
+		default:
+			return
+		}
+	}
+}
+
+// push appends one record downstream, counting failures — a log error
+// must never surface on the request path, but it must not vanish
+// either.
+func (a *Async) push(rec Record) {
+	if err := a.down.Append(rec); err != nil {
+		a.sinkErrors.Add(1)
+	}
+}
+
+// Flush synchronously drains everything queued so far into the
+// downstream sink — call before reading the downstream (e.g. before
+// advancing a Window at a slot boundary). Flush after Close is a
+// no-op: Close already flushed.
+func (a *Async) Flush() {
+	ack := make(chan struct{})
+	select {
+	case a.flushReq <- ack:
+		<-ack
+	case <-a.done:
+	}
+}
+
+// Close flushes queued records and stops the worker. Appends racing
+// Close may be shed (counted in Dropped when they observe the closed
+// flag). Close is idempotent.
+func (a *Async) Close() error {
+	a.closeOnce.Do(func() {
+		a.closed.Store(true)
+		close(a.quit)
+		<-a.done
+		// Records enqueued between the worker's final drain and the
+		// closed-flag store would otherwise linger unseen.
+		a.drain()
+	})
+	return nil
+}
+
+// Dropped reports how many records were shed by a full buffer or a
+// closed sink.
+func (a *Async) Dropped() int64 { return a.dropped.Load() }
+
+// SinkErrors reports how many downstream appends failed.
+func (a *Async) SinkErrors() int64 { return a.sinkErrors.Load() }

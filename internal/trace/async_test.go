@@ -1,0 +1,223 @@
+package trace
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func asyncRecord(user int) Record {
+	return Record{
+		Timestamp:    time.Date(2017, 6, 5, 12, 0, 0, 0, time.UTC).Add(time.Duration(user) * time.Second),
+		UserID:       user,
+		Group:        1,
+		BatteryLevel: 0.5,
+		RTT:          10 * time.Millisecond,
+	}
+}
+
+func TestAsyncValidation(t *testing.T) {
+	if _, err := NewAsync(nil, 0, 0); err == nil {
+		t.Fatal("nil downstream should fail")
+	}
+	if _, err := NewAsync(NewStore(), -1, 0); err == nil {
+		t.Fatal("negative buffer should fail")
+	}
+	if _, err := NewAsync(NewStore(), 0, -time.Second); err == nil {
+		t.Fatal("negative flush period should fail")
+	}
+	a, err := NewAsync(NewStore(), 4, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+	if err := a.Append(Record{}); err == nil {
+		t.Fatal("invalid record should fail validation")
+	}
+}
+
+func TestAsyncDeliversToDownstream(t *testing.T) {
+	store := NewStore()
+	a, err := NewAsync(store, 64, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := a.Append(asyncRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The ticker flushes without any explicit call.
+	deadline := time.Now().Add(5 * time.Second)
+	for store.Len() < 10 {
+		if time.Now().After(deadline) {
+			t.Fatalf("ticker never flushed: %d/10 delivered", store.Len())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Dropped() != 0 || a.SinkErrors() != 0 {
+		t.Fatalf("dropped=%d sinkErrors=%d", a.Dropped(), a.SinkErrors())
+	}
+	// Records survive in append order per producer.
+	recs := store.Snapshot()
+	if len(recs) != 10 || recs[0].UserID != 0 || recs[9].UserID != 9 {
+		t.Fatalf("records = %d, first=%d last=%d", len(recs), recs[0].UserID, recs[len(recs)-1].UserID)
+	}
+}
+
+func TestAsyncFlushIsSynchronous(t *testing.T) {
+	store := NewStore()
+	// A flush period far beyond the test ensures delivery comes from
+	// Flush, not the ticker.
+	a, err := NewAsync(store, 64, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+	for i := 0; i < 5; i++ {
+		if err := a.Append(asyncRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Flush()
+	if store.Len() != 5 {
+		t.Fatalf("flush delivered %d/5", store.Len())
+	}
+}
+
+func TestAsyncCloseFlushesAndRejects(t *testing.T) {
+	store := NewStore()
+	a, err := NewAsync(store, 64, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		if err := a.Append(asyncRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 7 {
+		t.Fatalf("close delivered %d/7", store.Len())
+	}
+	if err := a.Append(asyncRecord(99)); !errors.Is(err, ErrAsyncClosed) {
+		t.Fatalf("append after close: %v", err)
+	}
+	if a.Dropped() != 1 {
+		t.Fatalf("dropped = %d after post-close append", a.Dropped())
+	}
+	// Idempotent.
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flush after close must not deadlock.
+	a.Flush()
+}
+
+// blockedSink blocks Append until released, simulating a slow durable
+// store.
+type blockedSink struct {
+	release chan struct{}
+	got     chan Record
+}
+
+func (b *blockedSink) Append(r Record) error {
+	<-b.release
+	select {
+	case b.got <- r:
+	default:
+	}
+	return nil
+}
+
+func TestAsyncShedsWhenFull(t *testing.T) {
+	slow := &blockedSink{release: make(chan struct{}), got: make(chan Record, 1024)}
+	a, err := NewAsync(slow, 4, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The worker picks up at most one record and blocks in the slow
+	// sink; 4 more fill the buffer; everything beyond is shed without
+	// blocking this goroutine.
+	start := time.Now()
+	for i := 0; i < 32; i++ {
+		if err := a.Append(asyncRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("appends blocked for %v on a full buffer", elapsed)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for a.Dropped() < 32-4-1 {
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if d := a.Dropped(); d < 32-4-1 {
+		t.Fatalf("dropped = %d, want >= %d", d, 32-4-1)
+	}
+	close(slow.release)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got, dropped := int64(len(slow.got)), a.Dropped(); got+dropped != 32 {
+		t.Fatalf("delivered %d + dropped %d != 32", got, dropped)
+	}
+}
+
+// failSink always errors.
+type failSink struct{}
+
+func (failSink) Append(Record) error { return errors.New("boom") }
+
+func TestAsyncCountsSinkErrors(t *testing.T) {
+	a, err := NewAsync(failSink{}, 16, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := a.Append(asyncRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Flush()
+	if a.SinkErrors() != 3 {
+		t.Fatalf("sink errors = %d", a.SinkErrors())
+	}
+	_ = a.Close()
+}
+
+func TestAsyncConcurrentAppends(t *testing.T) {
+	store := NewStore()
+	a, err := NewAsync(store, 1024, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	const producers, each = 8, 200
+	for p := 0; p < producers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				_ = a.Append(asyncRecord(p*each + i))
+			}
+		}()
+	}
+	wg.Wait()
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := int64(store.Len()) + a.Dropped(); got != producers*each {
+		t.Fatalf("delivered+dropped = %d, want %d", got, producers*each)
+	}
+}

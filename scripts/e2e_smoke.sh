@@ -19,7 +19,7 @@ go build -o "$BIN" ./cmd/...
 
 "$BIN/surrogated" -listen 127.0.0.1:9101 -name surrogate-1 &
 "$BIN/surrogated" -listen 127.0.0.1:9102 -name surrogate-2 &
-"$BIN/sdnd" -listen 127.0.0.1:9100 \
+"$BIN/sdnd" -listen 127.0.0.1:9100 -policy p2c \
   -backend 1=http://127.0.0.1:9101 \
   -backend 2=http://127.0.0.1:9102 &
 
