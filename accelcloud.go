@@ -42,7 +42,9 @@ import (
 	"accelcloud/internal/core"
 	"accelcloud/internal/dalvik"
 	"accelcloud/internal/device"
+	"accelcloud/internal/faults"
 	"accelcloud/internal/groups"
+	"accelcloud/internal/health"
 	"accelcloud/internal/loadgen"
 	"accelcloud/internal/netsim"
 	"accelcloud/internal/predict"
@@ -418,6 +420,52 @@ func RunAutoscaleSweep(ctx context.Context, cfg AutoscaleSweepConfig) (*Autoscal
 // loops.
 func NewTraceWindow(start time.Time, slotLen time.Duration, numGroups, maxSlots int) (*TraceWindow, error) {
 	return trace.NewWindow(start, slotLen, numGroups, maxSlots)
+}
+
+// Fault tolerance (DESIGN.md §7): the failure detector ejecting sick
+// backends from rotation, and the deterministic chaos engine proving
+// the stack survives crashes, hangs, error bursts, and slow networks.
+type (
+	// HealthManager is the active-probe + passive-outlier failure
+	// detector feeding the router's Eject/Reinstate levers.
+	HealthManager = health.Manager
+	// HealthConfig parameterizes a HealthManager.
+	HealthConfig = health.Config
+	// BackendHealth is one backend's health snapshot.
+	BackendHealth = health.BackendHealth
+	// FaultSchedule is a deterministic seeded chaos timeline.
+	FaultSchedule = faults.Schedule
+	// FaultScheduleConfig parameterizes fault-schedule generation.
+	FaultScheduleConfig = faults.ScheduleConfig
+	// FaultEvent is one scheduled failure.
+	FaultEvent = faults.Event
+	// ChaosConfig parameterizes one hermetic chaos run.
+	ChaosConfig = faults.Config
+	// ChaosReport is the BENCH_chaos.json schema.
+	ChaosReport = faults.Report
+	// RetryPolicy is the rpc client's bounded retry budget with seeded
+	// exponential-backoff jitter.
+	RetryPolicy = rpc.RetryPolicy
+	// HedgePolicy races a delayed second request against stragglers.
+	HedgePolicy = rpc.HedgePolicy
+)
+
+// NewHealthManager builds the failure detector over a front-end (or
+// any router control plane); run it with Run and feed it passively via
+// FrontEnd.SetObserver.
+func NewHealthManager(cfg HealthConfig) (*HealthManager, error) { return health.NewManager(cfg) }
+
+// GenerateFaultSchedule draws the deterministic chaos timeline for a
+// seed — same inputs, bit-identical schedule and digest.
+func GenerateFaultSchedule(rng *RNG, cfg FaultScheduleConfig) (*FaultSchedule, error) {
+	return faults.Generate(rng, cfg)
+}
+
+// RunChaos executes a seeded fault schedule under live load through
+// the full resilient stack and reports availability, detection and
+// repair latency, and hedge win rate.
+func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
+	return faults.Run(ctx, cfg)
 }
 
 // TeeTrace fans one request-log stream into several sinks.

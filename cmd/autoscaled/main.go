@@ -29,13 +29,11 @@ import (
 	"os"
 	"os/signal"
 	"sort"
-	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"accelcloud/internal/autoscale"
-	"accelcloud/internal/cloud"
 	"accelcloud/internal/loadgen"
 	"accelcloud/internal/router"
 	"accelcloud/internal/sdn"
@@ -50,38 +48,17 @@ func main() {
 	}
 }
 
-// groupFlags collects repeated -group g=type:capacity specs.
+// groupFlags collects repeated -group g=type:capacity[:min] specs.
 type groupFlags []autoscale.GroupSpec
 
 func (g *groupFlags) String() string { return fmt.Sprintf("%d groups", len(*g)) }
 
 func (g *groupFlags) Set(v string) error {
-	eq := strings.SplitN(v, "=", 2)
-	if len(eq) != 2 {
-		return fmt.Errorf("group %q: want g=type:capacity", v)
-	}
-	id, err := strconv.Atoi(strings.TrimSpace(eq[0]))
+	spec, err := autoscale.ParseGroupSpec(v, 0)
 	if err != nil {
-		return fmt.Errorf("group %q: bad index: %w", v, err)
+		return err
 	}
-	tc := strings.SplitN(eq[1], ":", 2)
-	if len(tc) != 2 {
-		return fmt.Errorf("group %q: want g=type:capacity", v)
-	}
-	capacity, err := strconv.ParseFloat(tc[1], 64)
-	if err != nil {
-		return fmt.Errorf("group %q: bad capacity: %w", v, err)
-	}
-	typ, err := cloud.DefaultCatalog().ByName(strings.TrimSpace(tc[0]))
-	if err != nil {
-		return fmt.Errorf("group %q: %w", v, err)
-	}
-	*g = append(*g, autoscale.GroupSpec{
-		Group:       id,
-		TypeName:    typ.Name,
-		CostPerHour: typ.PricePerHour,
-		Capacity:    capacity,
-	})
+	*g = append(*g, spec)
 	return nil
 }
 

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"accelcloud/internal/faults"
+	"accelcloud/internal/loadgen"
+)
+
+// chaosReport is the mutable kernel of a synthetic chaos report.
+type chaosReport struct {
+	availability  float64
+	faultP99      float64
+	probesToEject int
+	schedule      string
+	faultDigest   string
+	decisions     string
+}
+
+func writeChaosReport(t *testing.T, dir, name string, r chaosReport) string {
+	t.Helper()
+	rep := &faults.Report{
+		Schema:           faults.ReportSchema,
+		Seed:             1,
+		Availability:     r.availability,
+		ErrorRate:        1 - r.availability,
+		Requests:         200,
+		Completed:        int(200 * r.availability),
+		Latency:          loadgen.LatencySummary{N: 200, P99Ms: r.faultP99 / 2},
+		FaultLatency:     loadgen.LatencySummary{N: 80, P99Ms: r.faultP99},
+		MaxProbesToEject: r.probesToEject,
+		Repairs:          3,
+		ScheduleDigest:   r.schedule,
+		FaultDigest:      r.faultDigest,
+		DecisionDigest:   r.decisions,
+	}
+	path := filepath.Join(dir, name)
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func goodChaos() chaosReport {
+	return chaosReport{
+		availability:  1.0,
+		faultP99:      400,
+		probesToEject: 2,
+		schedule:      "fnv1a:aa",
+		faultDigest:   "fnv1a:ff",
+		decisions:     "fnv1a:dd",
+	}
+}
+
+func TestBenchdiffChaosWithinTolerance(t *testing.T) {
+	dir := t.TempDir()
+	base := writeChaosReport(t, dir, "base.json", goodChaos())
+	curR := goodChaos()
+	curR.faultP99 = 450
+	cur := writeChaosReport(t, dir, "cur.json", curR)
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur, "-tolerance", "0.5"}, &out); err != nil {
+		t.Fatalf("within tolerance should pass: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "chaos baseline") {
+		t.Fatalf("chaos path not taken: %q", out.String())
+	}
+}
+
+func TestBenchdiffChaosAvailabilityFloor(t *testing.T) {
+	dir := t.TempDir()
+	// Even with a matching (bad) baseline, sub-99% availability fails.
+	bad := goodChaos()
+	bad.availability = 0.97
+	base := writeChaosReport(t, dir, "base.json", bad)
+	cur := writeChaosReport(t, dir, "cur.json", bad)
+	var out bytes.Buffer
+	err := run([]string{"-baseline", base, "-current", cur}, &out)
+	if err == nil || !strings.Contains(out.String(), "floor") {
+		t.Fatalf("availability floor not enforced: err=%v\n%s", err, out.String())
+	}
+}
+
+func TestBenchdiffChaosDecisionDigestMismatch(t *testing.T) {
+	dir := t.TempDir()
+	base := writeChaosReport(t, dir, "base.json", goodChaos())
+	curR := goodChaos()
+	curR.decisions = "fnv1a:ee"
+	cur := writeChaosReport(t, dir, "cur.json", curR)
+	var out bytes.Buffer
+	err := run([]string{"-baseline", base, "-current", cur}, &out)
+	if err == nil || !strings.Contains(out.String(), "decision digest changed") {
+		t.Fatalf("decision digest gate not enforced: err=%v\n%s", err, out.String())
+	}
+}
+
+func TestBenchdiffChaosFaultDigestMismatch(t *testing.T) {
+	dir := t.TempDir()
+	base := writeChaosReport(t, dir, "base.json", goodChaos())
+	curR := goodChaos()
+	curR.faultDigest = "fnv1a:99"
+	cur := writeChaosReport(t, dir, "cur.json", curR)
+	var out bytes.Buffer
+	err := run([]string{"-baseline", base, "-current", cur}, &out)
+	if err == nil || !strings.Contains(out.String(), "fault digest changed") {
+		t.Fatalf("fault digest gate not enforced: err=%v\n%s", err, out.String())
+	}
+}
+
+func TestBenchdiffChaosSlowDetection(t *testing.T) {
+	dir := t.TempDir()
+	base := writeChaosReport(t, dir, "base.json", goodChaos())
+	curR := goodChaos()
+	curR.probesToEject = 4
+	cur := writeChaosReport(t, dir, "cur.json", curR)
+	var out bytes.Buffer
+	err := run([]string{"-baseline", base, "-current", cur}, &out)
+	if err == nil || !strings.Contains(out.String(), "detection slowed") {
+		t.Fatalf("probe-budget gate not enforced: err=%v\n%s", err, out.String())
+	}
+}
+
+func TestBenchdiffChaosFaultP99Regression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeChaosReport(t, dir, "base.json", goodChaos())
+	curR := goodChaos()
+	curR.faultP99 = 900
+	cur := writeChaosReport(t, dir, "cur.json", curR)
+	var out bytes.Buffer
+	err := run([]string{"-baseline", base, "-current", cur, "-tolerance", "0.5"}, &out)
+	if err == nil || !strings.Contains(out.String(), "p99 during fault regressed") {
+		t.Fatalf("fault p99 gate not enforced: err=%v\n%s", err, out.String())
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"os"
 
 	"accelcloud/internal/autoscale"
+	"accelcloud/internal/faults"
 	"accelcloud/internal/loadgen"
 	"accelcloud/internal/router"
 )
@@ -83,6 +84,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if baseSchema == autoscale.ReportSchema {
 		return diffAutoscale(out, *basePath, *curPath, *tolerance, *errDelta, *ignoreSchedule)
+	}
+	if baseSchema == faults.ReportSchema {
+		return diffChaos(out, *basePath, *curPath, *tolerance, *errDelta, *ignoreSchedule)
 	}
 	if baseSchema == router.ReportSchema {
 		return diffRouter(out, *basePath, *curPath, *tolerance)
@@ -216,6 +220,84 @@ func diffRouter(out io.Writer, basePath, curPath string, tolerance float64) erro
 		// The gate's headline column cannot silently vanish (e.g. a
 		// -no-mutex-baseline run).
 		failures = append(failures, "baseline has an rr-vs-mutex speedup but the current report is missing the mutex baseline measurement")
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(out, "  REGRESSION: %s\n", f)
+		}
+		return fmt.Errorf("%d regression(s) beyond %.0f%% tolerance", len(failures), 100*tolerance)
+	}
+	fmt.Fprintln(out, "  OK: within tolerance")
+	return nil
+}
+
+// minAvailability is the hard floor every chaos report must clear
+// regardless of the baseline — the acceptance bar of the
+// fault-tolerance subsystem.
+const minAvailability = 0.99
+
+// diffChaos gates a chaos report. The fault timeline and the repair
+// decision log are deterministic per seed, so their digests must match
+// the baseline exactly; availability is gated both against the
+// baseline (absolute delta) and against the hard 99% floor; detection
+// must stay within the baseline's failed-probe budget (ejection before
+// the 3rd failed probe in the committed baseline); p99-during-fault is
+// the machine-dependent latency column and gets the relative
+// tolerance. Time-to-eject, time-to-repair, and hedge win rate are
+// printed for context — they move with host speed.
+func diffChaos(out io.Writer, basePath, curPath string, tolerance, errDelta float64, ignoreSchedule bool) error {
+	base, err := faults.ReadReportFile(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := faults.ReadReportFile(curPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "benchdiff: chaos baseline %s vs current %s (tolerance %.0f%%)\n",
+		basePath, curPath, 100*tolerance)
+	fmt.Fprintf(out, "  %-22s %12s %12s %10s\n", "metric", "baseline", "current", "change")
+	fmt.Fprintf(out, "  %-22s %12.4f %12.4f %10s\n", "availability", base.Availability, cur.Availability, pct(base.Availability, cur.Availability))
+	fmt.Fprintf(out, "  %-22s %12.2f %12.2f %10s\n", "p99 ms", base.Latency.P99Ms, cur.Latency.P99Ms, pct(base.Latency.P99Ms, cur.Latency.P99Ms))
+	fmt.Fprintf(out, "  %-22s %12.2f %12.2f %10s\n", "p99 during fault ms", base.FaultLatency.P99Ms, cur.FaultLatency.P99Ms, pct(base.FaultLatency.P99Ms, cur.FaultLatency.P99Ms))
+	fmt.Fprintf(out, "  %-22s %12d %12d\n", "max probes to eject", base.MaxProbesToEject, cur.MaxProbesToEject)
+	fmt.Fprintf(out, "  %-22s %12.0f %12.0f %10s\n", "mean eject ms", base.MeanTimeToEject, cur.MeanTimeToEject, pct(base.MeanTimeToEject, cur.MeanTimeToEject))
+	fmt.Fprintf(out, "  %-22s %12.0f %12.0f %10s\n", "mean repair ms", base.MeanTimeToRepair, cur.MeanTimeToRepair, pct(base.MeanTimeToRepair, cur.MeanTimeToRepair))
+	fmt.Fprintf(out, "  %-22s %12d %12d\n", "repairs", base.Repairs, cur.Repairs)
+	fmt.Fprintf(out, "  %-22s %12.2f %12.2f\n", "hedge win rate", base.HedgeWinRate, cur.HedgeWinRate)
+
+	if base.ScheduleDigest != cur.ScheduleDigest {
+		msg := fmt.Sprintf("schedule digests differ (%s vs %s): runs replay different request sequences",
+			base.ScheduleDigest, cur.ScheduleDigest)
+		if !ignoreSchedule {
+			return fmt.Errorf("%s (use -ignore-schedule to compare anyway)", msg)
+		}
+		fmt.Fprintf(out, "  warning: %s\n", msg)
+	}
+	var failures []string
+	sameSchedule := base.ScheduleDigest == cur.ScheduleDigest
+	if sameSchedule && base.FaultDigest != cur.FaultDigest {
+		failures = append(failures, fmt.Sprintf("fault digest changed (%s -> %s): the chaos timeline is not reproducing",
+			base.FaultDigest, cur.FaultDigest))
+	}
+	if sameSchedule && base.FaultDigest == cur.FaultDigest && base.DecisionDigest != cur.DecisionDigest {
+		failures = append(failures, fmt.Sprintf("decision digest changed (%s -> %s): detection or repair behaves differently",
+			base.DecisionDigest, cur.DecisionDigest))
+	}
+	if cur.Availability < minAvailability {
+		failures = append(failures, fmt.Sprintf("availability %.4f below the %.2f floor", cur.Availability, minAvailability))
+	}
+	if cur.Availability < base.Availability-errDelta {
+		failures = append(failures, fmt.Sprintf("availability fell %.4f -> %.4f (allowed delta %.3f)",
+			base.Availability, cur.Availability, errDelta))
+	}
+	if base.MaxProbesToEject > 0 && cur.MaxProbesToEject > base.MaxProbesToEject {
+		failures = append(failures, fmt.Sprintf("detection slowed: %d failed probes to eject vs baseline %d",
+			cur.MaxProbesToEject, base.MaxProbesToEject))
+	}
+	if base.FaultLatency.P99Ms > 0 && cur.FaultLatency.P99Ms > base.FaultLatency.P99Ms*(1+tolerance) {
+		failures = append(failures, fmt.Sprintf("p99 during fault regressed %s (%.2f -> %.2f ms)",
+			pct(base.FaultLatency.P99Ms, cur.FaultLatency.P99Ms), base.FaultLatency.P99Ms, cur.FaultLatency.P99Ms))
 	}
 	if len(failures) > 0 {
 		for _, f := range failures {

@@ -1,0 +1,146 @@
+// Command chaosbench runs a seeded fault schedule under live load
+// through the full resilient stack — front-end, chaos-wrapped
+// surrogates, failure detector, self-healing reconciler — and emits
+// the BENCH_chaos.json report cmd/benchdiff gates on: availability,
+// p99-during-fault, time-to-eject, time-to-repair, and hedge win rate.
+//
+//	chaosbench -seed 1 -rate 48 -slots 8 -slot 500ms \
+//	           -crashes 2 -hangs 1 -latency-spikes 1 -error-bursts 1 -slownets 1 \
+//	           -min-availability 0.99 -out BENCH_chaos.json
+//
+// Two runs with the same -seed inject bit-identical fault timelines
+// (fault digest) and produce bit-identical repair decisions (decision
+// digest) at any concurrency; only measured latencies differ.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"accelcloud/internal/autoscale"
+	"accelcloud/internal/faults"
+	"accelcloud/internal/loadgen"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "chaosbench:", err)
+		os.Exit(1)
+	}
+}
+
+// groupFlags collects repeated -group g=type:capacity[:min] specs,
+// flooring min at 2: resilience needs somewhere to shift traffic.
+type groupFlags []autoscale.GroupSpec
+
+func (g *groupFlags) String() string { return fmt.Sprintf("%d groups", len(*g)) }
+
+func (g *groupFlags) Set(v string) error {
+	spec, err := autoscale.ParseGroupSpec(v, 2)
+	if err != nil {
+		return err
+	}
+	*g = append(*g, spec)
+	return nil
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("chaosbench", flag.ContinueOnError)
+	fs.SetOutput(out)
+	seed := fs.Int64("seed", 1, "root seed; same seed = same fault timeline and repair decisions")
+	rate := fs.Float64("rate", 48, "aggregate arrival rate in Hz")
+	users := fs.Int("users", 8, "simulated devices the rate is spread over")
+	slots := fs.Int("slots", 8, "run length in provisioning slots")
+	slot := fs.Duration("slot", 500*time.Millisecond, "provisioning slot length")
+	policy := fs.String("policy", "rr", "front-end pick policy: rr|least-inflight|p2c")
+	task := fs.String("task", "sieve", "pin every request to one pool task (empty = random)")
+	crashes := fs.Int("crashes", 2, "scheduled surrogate crashes (listener hard-kill)")
+	hangs := fs.Int("hangs", 1, "scheduled surrogate hangs (accept, never answer)")
+	latencySpikes := fs.Int("latency-spikes", 1, "scheduled latency-spike faults")
+	errorBursts := fs.Int("error-bursts", 1, "scheduled error-burst faults")
+	slownets := fs.Int("slownets", 1, "scheduled slow-network faults (netsim RTT inflation)")
+	inflight := fs.Int("inflight", 0, "max concurrent in-flight requests (0 = 64)")
+	reqTimeout := fs.Duration("timeout", 2*time.Second, "client budget per request, retries and hedges included")
+	backendTimeout := fs.Duration("backend-timeout", 500*time.Millisecond, "front-end -> surrogate hop deadline")
+	retries := fs.Int("retries", 3, "client attempt budget (1 disables retries)")
+	hedge := fs.Duration("hedge", 250*time.Millisecond, "hedged second request delay (<0 disables)")
+	probeInterval := fs.Duration("probe-interval", 25*time.Millisecond, "failure-detector heartbeat period")
+	probeTimeout := fs.Duration("probe-timeout", 250*time.Millisecond, "heartbeat deadline")
+	probeFail := fs.Int("probe-fail", 2, "consecutive failed probes before ejection")
+	passiveErrors := fs.Int("passive-errors", 4, "consecutive data-path errors before passive ejection")
+	latencyLimit := fs.Float64("latency-limit", 0, "passive ejection latency quantile limit in ms (0 = off)")
+	warm := fs.Int("warm", 2, "warm pool size repairs draw from")
+	minAvailability := fs.Float64("min-availability", 0, "fail the run below this availability (0 = unchecked)")
+	sloP99 := fs.Float64("slo-p99", 0, "SLO: p99 latency bound in ms (0 = unchecked)")
+	maxErrorRate := fs.Float64("max-error-rate", 0, "SLO: allowed error fraction")
+	outPath := fs.String("out", "", "write the JSON report to this path")
+	var groups groupFlags
+	fs.Var(&groups, "group", "g=type:capacity[:min] managed group (repeatable; default 1=t2.nano:8:2, 2=t2.large:8:2)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(groups) == 0 {
+		groups = groupFlags{
+			{Group: 1, TypeName: "t2.nano", CostPerHour: 0.0063, Capacity: 8, Min: 2},
+			{Group: 2, TypeName: "t2.large", CostPerHour: 0.101, Capacity: 8, Min: 2},
+		}
+	}
+	var slo *loadgen.SLO
+	if *sloP99 > 0 {
+		slo = &loadgen.SLO{P99Ms: *sloP99, MaxErrorRate: *maxErrorRate}
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rep, err := faults.Run(ctx, faults.Config{
+		Seed:           *seed,
+		RateHz:         *rate,
+		Users:          *users,
+		Slots:          *slots,
+		SlotLen:        *slot,
+		Groups:         groups,
+		Policy:         *policy,
+		FixedTask:      *task,
+		Crashes:        *crashes,
+		Hangs:          *hangs,
+		LatencySpikes:  *latencySpikes,
+		ErrorBursts:    *errorBursts,
+		SlowNets:       *slownets,
+		MaxInFlight:    *inflight,
+		RequestTimeout: *reqTimeout,
+		BackendTimeout: *backendTimeout,
+		RetryAttempts:  *retries,
+		HedgeDelay:     *hedge,
+		ProbeInterval:  *probeInterval,
+		ProbeTimeout:   *probeTimeout,
+		FailThreshold:  *probeFail,
+		PassiveErrors:  *passiveErrors,
+		LatencyLimitMs: *latencyLimit,
+		WarmPool:       *warm,
+		SLO:            slo,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, rep.Summary())
+	if *outPath != "" {
+		if err := rep.WriteFile(*outPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "chaosbench: wrote %s\n", *outPath)
+	}
+	if *minAvailability > 0 && rep.Availability < *minAvailability {
+		return fmt.Errorf("availability %.4f below required %.4f", rep.Availability, *minAvailability)
+	}
+	if rep.SLO != nil && !rep.SLO.Pass {
+		return fmt.Errorf("SLO failed: %s", strings.Join(rep.SLO.Violations, "; "))
+	}
+	return nil
+}

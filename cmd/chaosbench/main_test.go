@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"accelcloud/internal/faults"
+)
+
+func TestRunFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-slots", "1"}, &out); err == nil {
+		t.Fatal("1 slot should fail")
+	}
+	if err := run([]string{"-group", "nonsense"}, &out); err == nil {
+		t.Fatal("malformed group should fail")
+	}
+	if err := run([]string{"-group", "1=no-such-type:4"}, &out); err == nil {
+		t.Fatal("unknown instance type should fail")
+	}
+	if err := run([]string{"-policy", "bogus"}, &out); err == nil {
+		t.Fatal("unknown policy should fail")
+	}
+}
+
+// TestRunTinyFaultFreeScenario exercises the full binary path on the
+// smallest viable scenario: no faults, two slots, a written report.
+func TestRunTinyFaultFreeScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a live in-process stack")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "chaos.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-seed", "1", "-slots", "2", "-slot", "200ms", "-rate", "20", "-users", "2",
+		"-crashes", "0", "-hangs", "0", "-latency-spikes", "0", "-error-bursts", "0",
+		"-slownets", "0", "-min-availability", "0.99", "-out", path,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	rep, err := faults.ReadReportFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 || rep.Availability < 0.99 {
+		t.Fatalf("report = %d requests, availability %.4f", rep.Requests, rep.Availability)
+	}
+	if !strings.Contains(out.String(), "availability=") {
+		t.Fatalf("summary missing: %q", out.String())
+	}
+}

@@ -8,11 +8,16 @@
 //	     -backend 1=http://127.0.0.1:9101 \
 //	     -backend 2=http://127.0.0.1:9102 \
 //	     -policy p2c \
+//	     -probe 250ms \
 //	     -trace /tmp/requests.csv
 //
 // -policy selects the routing pick policy (rr, least-inflight, p2c);
 // request logging runs through an async batching sink so the routing
-// hot path never blocks on trace persistence.
+// hot path never blocks on trace persistence. -probe enables the
+// failure detector (internal/health): backends failing consecutive
+// heartbeats — or bursting errors on the data path — are ejected from
+// rotation and reinstated when they recover, so a killed surrogate
+// stops blackholing its group within a few probe intervals.
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"accelcloud/internal/health"
 	"accelcloud/internal/router"
 	"accelcloud/internal/sdn"
 	"accelcloud/internal/trace"
@@ -69,6 +75,12 @@ func run(args []string) error {
 	tracePath := fs.String("trace", "", "write the request log as CSV to this path on shutdown")
 	delay := fs.Duration("overhead", 0, "artificial routing delay (e.g. 150ms to mimic the paper)")
 	policyName := fs.String("policy", "rr", "pick policy: rr|least-inflight|p2c")
+	probe := fs.Duration("probe", 0, "failure-detector heartbeat period (0 disables health probing)")
+	probeTimeout := fs.Duration("probe-timeout", 0, "heartbeat deadline (0 = probe period)")
+	probeFail := fs.Int("probe-fail", 2, "consecutive failed probes before ejection")
+	probeSucc := fs.Int("probe-succ", 2, "consecutive clean probes before reinstatement")
+	passiveErrors := fs.Int("passive-errors", 5, "consecutive data-path errors before passive ejection")
+	backendTimeout := fs.Duration("backend-timeout", 0, "surrogate hop deadline (0 = rpc default 30s)")
 	var backends backendFlags
 	fs.Var(&backends, "backend", "group=url surrogate registration (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -92,15 +104,37 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *backendTimeout > 0 {
+		fe.SetBackendTimeout(*backendTimeout)
+	}
 	for _, b := range backends {
 		if err := fe.Register(b.group, b.url); err != nil {
 			return err
 		}
 	}
+	probing := ""
+	hctx, hcancel := context.WithCancel(context.Background())
+	defer hcancel()
+	if *probe > 0 {
+		mgr, err := health.NewManager(health.Config{
+			CP:            fe,
+			ProbeInterval: *probe,
+			ProbeTimeout:  *probeTimeout,
+			FailThreshold: *probeFail,
+			SuccThreshold: *probeSucc,
+			PassiveErrors: *passiveErrors,
+		})
+		if err != nil {
+			return err
+		}
+		fe.SetObserver(mgr.Observe)
+		go mgr.Run(hctx)
+		probing = fmt.Sprintf(", probing every %v", *probe)
+	}
 	srv := &http.Server{Addr: *listen, Handler: fe.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Printf("sdnd: front-end on %s policy %s with backends %v\n", *listen, policy.Name(), fe.Backends())
+	fmt.Printf("sdnd: front-end on %s policy %s with backends %v%s\n", *listen, policy.Name(), fe.Backends(), probing)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

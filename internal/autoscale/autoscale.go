@@ -25,9 +25,12 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"accelcloud/internal/allocate"
+	"accelcloud/internal/cloud"
 	"accelcloud/internal/predict"
 	"accelcloud/internal/sdn"
 	"accelcloud/internal/sim"
@@ -99,7 +102,71 @@ type Config struct {
 	// RNG roots any randomness (currently instance-id salting); nil
 	// selects sim.NewRNG(1). Substream-derived so runs are reproducible.
 	RNG *sim.RNG
+	// Health, when non-nil, feeds the self-healing repair path: on each
+	// Step, backends the detector has confirmed Down (probe-dead, not
+	// merely degraded) are evicted and replaced from the warm pool
+	// before any scaling decision — a repair Decision in the audit log.
+	// internal/health's Manager implements it.
+	Health HealthView
 }
+
+// HealthView is the slice of the failure detector the repair path
+// consumes: the probe-confirmed-dead backends of a group (sorted, so
+// repairs replay deterministically), and an acknowledgement hook that
+// clears a backend's health state once it has been evicted and
+// replaced.
+type HealthView interface {
+	Down(group int) []string
+	Forget(group int, url string)
+}
+
+// ParseGroupSpec resolves a "g=type:capacity[:min]" flag value (the
+// repeated -group flag of cmd/autoscaled and cmd/chaosbench) against
+// the instance catalog. defaultMin floors the pool when the :min
+// suffix is absent (0 keeps the controller's default of 1).
+func ParseGroupSpec(v string, defaultMin int) (GroupSpec, error) {
+	eq := strings.SplitN(v, "=", 2)
+	if len(eq) != 2 {
+		return GroupSpec{}, fmt.Errorf("group %q: want g=type:capacity[:min]", v)
+	}
+	id, err := strconv.Atoi(strings.TrimSpace(eq[0]))
+	if err != nil {
+		return GroupSpec{}, fmt.Errorf("group %q: bad index: %w", v, err)
+	}
+	parts := strings.Split(eq[1], ":")
+	if len(parts) != 2 && len(parts) != 3 {
+		return GroupSpec{}, fmt.Errorf("group %q: want g=type:capacity[:min]", v)
+	}
+	capacity, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		return GroupSpec{}, fmt.Errorf("group %q: bad capacity: %w", v, err)
+	}
+	min := defaultMin
+	if len(parts) == 3 {
+		if min, err = strconv.Atoi(parts[2]); err != nil {
+			return GroupSpec{}, fmt.Errorf("group %q: bad min: %w", v, err)
+		}
+	}
+	typ, err := cloud.DefaultCatalog().ByName(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return GroupSpec{}, fmt.Errorf("group %q: %w", v, err)
+	}
+	return GroupSpec{
+		Group:       id,
+		TypeName:    typ.Name,
+		CostPerHour: typ.PricePerHour,
+		Capacity:    capacity,
+		Min:         min,
+	}, nil
+}
+
+// Decision kinds.
+const (
+	// DecisionReconcile is a plain control cycle.
+	DecisionReconcile = "reconcile"
+	// DecisionRepair marks a cycle that replaced dead capacity.
+	DecisionRepair = "repair"
+)
 
 // managed is one surrogate under reconciler control.
 type managed struct {
@@ -111,6 +178,10 @@ type managed struct {
 // Decision is one slot's control-cycle outcome — the audit log entry
 // the decision digest hashes.
 type Decision struct {
+	// Kind classifies the decision: "reconcile" for a plain control
+	// cycle, "repair" when the cycle also replaced probe-confirmed-dead
+	// backends from the warm pool.
+	Kind string `json:"kind"`
 	// Slot is the 0-based slot index.
 	Slot int `json:"slot"`
 	// Observed is the per-managed-group demand of the slot that just
@@ -122,6 +193,8 @@ type Decision struct {
 	Desired []int `json:"desired"`
 	// Applied is the active pool size per group after reconciling.
 	Applied []int `json:"applied"`
+	// Repaired counts the dead backends replaced per group this slot.
+	Repaired []int `json:"repaired,omitempty"`
 	// Warm and Draining count the off-rotation surrogates.
 	Warm     int `json:"warm"`
 	Draining int `json:"draining"`
@@ -413,11 +486,55 @@ func (c *Controller) observedDemands(slot trace.Slot) []int {
 	return out
 }
 
-// Step runs one control cycle for a just-completed slot: reap drained
-// surrogates, feed the slot to the predictor, allocate for the
-// prediction, reconcile the pools, refill the warm pool, and record the
-// decision.
+// repair evicts probe-confirmed-dead backends and replaces each from
+// the warm pool — capacity restoration BEFORE the scaling decision, so
+// the allocator plans against pools that actually serve. Only backends
+// this controller manages as active are repaired: a dead draining
+// backend quiesces through reap, and warm spares are not registered
+// anywhere a prober could watch. Returns per-managed-group repair
+// counts in sorted group order.
+func (c *Controller) repair(ctx context.Context) ([]int, error) {
+	repaired := make([]int, len(c.groups))
+	if c.cfg.Health == nil {
+		return repaired, nil
+	}
+	for i, g := range c.groups {
+		for _, url := range c.cfg.Health.Down(g.Group) {
+			idx := -1
+			for j, m := range c.active[g.Group] {
+				if m.backend.URL() == url {
+					idx = j
+					break
+				}
+			}
+			if idx < 0 {
+				continue
+			}
+			m := c.active[g.Group][idx]
+			c.active[g.Group] = append(c.active[g.Group][:idx], c.active[g.Group][idx+1:]...)
+			if err := c.cfg.FrontEnd.Evict(g.Group, url); err != nil && !errors.Is(err, sdn.ErrUnknownBackend) {
+				return nil, fmt.Errorf("autoscale: evict dead %s: %w", m.id, err)
+			}
+			_ = m.backend.Close()
+			c.cfg.Health.Forget(g.Group, url)
+			if err := c.scaleUp(ctx, g.Group, 1); err != nil {
+				return nil, fmt.Errorf("autoscale: repair group %d: %w", g.Group, err)
+			}
+			repaired[i]++
+		}
+	}
+	return repaired, nil
+}
+
+// Step runs one control cycle for a just-completed slot: repair dead
+// capacity, reap drained surrogates, feed the slot to the predictor,
+// allocate for the prediction, reconcile the pools, refill the warm
+// pool, and record the decision.
 func (c *Controller) Step(ctx context.Context, slot trace.Slot) (Decision, error) {
+	repaired, err := c.repair(ctx)
+	if err != nil {
+		return Decision{}, err
+	}
 	if err := c.reap(); err != nil {
 		return Decision{}, err
 	}
@@ -438,12 +555,20 @@ func (c *Controller) Step(ctx context.Context, slot trace.Slot) (Decision, error
 	}
 
 	dec := Decision{
+		Kind:      DecisionReconcile,
 		Slot:      c.slotIdx,
 		Observed:  observed,
 		Predicted: predicted,
 		Desired:   make([]int, len(c.groups)),
 		Applied:   make([]int, len(c.groups)),
+		Repaired:  repaired,
 		Feasible:  plan.Feasible,
+	}
+	for _, n := range repaired {
+		if n > 0 {
+			dec.Kind = DecisionRepair
+			break
+		}
 	}
 	for i, g := range c.groups {
 		cur := len(c.active[g.Group])
@@ -552,6 +677,14 @@ func (c *Controller) Digest() string {
 			writeInt(int64(d.Predicted[i]))
 			writeInt(int64(d.Desired[i]))
 			writeInt(int64(d.Applied[i]))
+			// Repair decisions are part of the audited behaviour: a
+			// same-seed run must replace the same dead backends in the
+			// same slots.
+			if len(d.Repaired) > 0 {
+				writeInt(int64(d.Repaired[i]))
+			} else {
+				writeInt(0)
+			}
 		}
 		writeInt(int64(d.Warm))
 		writeInt(int64(d.Draining))

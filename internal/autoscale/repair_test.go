@@ -1,0 +1,197 @@
+package autoscale
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"accelcloud/internal/sdn"
+)
+
+// fakeHealth is a scriptable HealthView: mark backends down, observe
+// Forget acknowledgements.
+type fakeHealth struct {
+	mu     sync.Mutex
+	down   map[int][]string
+	forgot []string
+}
+
+func (f *fakeHealth) markDown(group int, url string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.down == nil {
+		f.down = map[int][]string{}
+	}
+	f.down[group] = append(f.down[group], url)
+}
+
+func (f *fakeHealth) Down(group int) []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.down[group]...)
+}
+
+func (f *fakeHealth) Forget(group int, url string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := f.down[group][:0]
+	for _, u := range f.down[group] {
+		if u != url {
+			out = append(out, u)
+		}
+	}
+	f.down[group] = out
+	f.forgot = append(f.forgot, url)
+}
+
+func TestRepairReplacesDeadBackend(t *testing.T) {
+	fe, err := sdn.NewFrontEnd(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hv := &fakeHealth{}
+	ctrl, err := New(Config{
+		FrontEnd:    fe,
+		Provisioner: &HermeticProvisioner{},
+		Groups:      testGroups(),
+		SlotLen:     time.Second,
+		WarmPool:    2,
+		Health:      hv,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Shutdown()
+	ctx := context.Background()
+	if err := ctrl.Prime(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// A clean cycle is a reconcile decision with zero repairs.
+	dec, err := ctrl.Step(ctx, slotWith(0, map[int]int{1: 2, 2: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Kind != DecisionReconcile || dec.Repaired[0] != 0 || dec.Repaired[1] != 0 {
+		t.Fatalf("clean decision = %+v", dec)
+	}
+
+	// Kill group 1's only backend (from the controller's perspective).
+	victim := fe.Pool(1)[0].URL
+	hv.markDown(1, victim)
+	dec, err = ctrl.Step(ctx, slotWith(1, map[int]int{1: 2, 2: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Kind != DecisionRepair {
+		t.Fatalf("kind = %q, want repair", dec.Kind)
+	}
+	if dec.Repaired[0] != 1 || dec.Repaired[1] != 0 {
+		t.Fatalf("repaired = %v", dec.Repaired)
+	}
+	// The dead backend is gone from the front-end, capacity restored.
+	for _, info := range fe.Pool(1) {
+		if info.URL == victim {
+			t.Fatalf("dead backend %s still registered", victim)
+		}
+	}
+	if got := fe.ActiveCount(1); got != 1 {
+		t.Fatalf("active after repair = %d, want 1", got)
+	}
+	if got := ctrl.PoolSizes()[1]; got != 1 {
+		t.Fatalf("controller pool after repair = %d, want 1", got)
+	}
+	// The detector was told to forget the evicted backend.
+	if len(hv.forgot) != 1 || hv.forgot[0] != victim {
+		t.Fatalf("forgot = %v, want [%s]", hv.forgot, victim)
+	}
+
+	// The repair drew from the warm pool and the refill restored it.
+	if got := ctrl.WarmSize(); got != 2 {
+		t.Fatalf("warm after repair = %d, want 2", got)
+	}
+}
+
+// TestRepairIgnoresUnmanagedURLs proves a Down report for a URL the
+// controller does not manage as active (already repaired, draining, or
+// foreign) is skipped without side effects.
+func TestRepairIgnoresUnmanagedURLs(t *testing.T) {
+	fe, err := sdn.NewFrontEnd(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hv := &fakeHealth{}
+	hv.markDown(1, "http://nobody-home")
+	ctrl, err := New(Config{
+		FrontEnd:    fe,
+		Provisioner: &HermeticProvisioner{},
+		Groups:      testGroups(),
+		SlotLen:     time.Second,
+		Health:      hv,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Shutdown()
+	ctx := context.Background()
+	if err := ctrl.Prime(ctx); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := ctrl.Step(ctx, slotWith(0, map[int]int{1: 1, 2: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Kind != DecisionReconcile || dec.Repaired[0] != 0 {
+		t.Fatalf("decision = %+v, want no repair for unmanaged URL", dec)
+	}
+	if len(hv.forgot) != 0 {
+		t.Fatalf("forgot = %v, want none", hv.forgot)
+	}
+}
+
+// TestRepairDigestCoversRepairs proves two equal-demand runs differing
+// only in a repair produce different decision digests — repair is part
+// of the audited behaviour.
+func TestRepairDigestCoversRepairs(t *testing.T) {
+	run := func(kill bool) string {
+		fe, err := sdn.NewFrontEnd(nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hv := &fakeHealth{}
+		ctrl, err := New(Config{
+			FrontEnd:    fe,
+			Provisioner: &HermeticProvisioner{},
+			Groups:      testGroups(),
+			SlotLen:     time.Second,
+			WarmPool:    1,
+			Health:      hv,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ctrl.Shutdown()
+		ctx := context.Background()
+		if err := ctrl.Prime(ctx); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			if kill && i == 1 {
+				hv.markDown(1, fe.Pool(1)[0].URL)
+			}
+			if _, err := ctrl.Step(ctx, slotWith(i, map[int]int{1: 2, 2: 2})); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return ctrl.Digest()
+	}
+	clean, repaired := run(false), run(true)
+	if clean == repaired {
+		t.Fatalf("digest ignores repairs: %s", clean)
+	}
+	// And same-behaviour runs still agree.
+	if a, b := run(true), run(true); a != b {
+		t.Fatalf("repair digests diverge: %s vs %s", a, b)
+	}
+}

@@ -1,0 +1,280 @@
+package faults
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"accelcloud/internal/sim"
+)
+
+func testScheduleConfig() ScheduleConfig {
+	return ScheduleConfig{
+		Slots:         8,
+		Groups:        []int{1, 2},
+		Crashes:       2,
+		Hangs:         1,
+		LatencySpikes: 1,
+		ErrorBursts:   1,
+		SlowNets:      1,
+	}
+}
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	a, err := Generate(sim.NewRNG(7), testScheduleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(sim.NewRNG(7), testScheduleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest() != b.Digest() {
+		t.Fatalf("same-seed digests differ: %s vs %s", a.Digest(), b.Digest())
+	}
+	if len(a.Events) != 6 {
+		t.Fatalf("events = %d, want 6", len(a.Events))
+	}
+	c, err := Generate(sim.NewRNG(8), testScheduleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest() == c.Digest() {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	for _, ev := range a.Events {
+		if ev.Slot < 1 || ev.Slot >= 8 {
+			t.Fatalf("event slot %d outside [1,7]", ev.Slot)
+		}
+		if ev.Group != 1 && ev.Group != 2 {
+			t.Fatalf("event group %d", ev.Group)
+		}
+		if ev.Slots < 1 {
+			t.Fatalf("event duration %d", ev.Slots)
+		}
+	}
+}
+
+// TestGenerateKindIsolation proves adding events of one kind never
+// perturbs another kind's draws — the substream-per-(kind,index)
+// contract.
+func TestGenerateKindIsolation(t *testing.T) {
+	base, err := Generate(sim.NewRNG(3), ScheduleConfig{Slots: 8, Groups: []int{1}, Crashes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	more, err := Generate(sim.NewRNG(3), ScheduleConfig{Slots: 8, Groups: []int{1}, Crashes: 2, Hangs: 3, SlowNets: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashes := func(s *Schedule) []Event {
+		var out []Event
+		for _, ev := range s.Events {
+			if ev.Kind == KindCrash {
+				out = append(out, ev)
+			}
+		}
+		return out
+	}
+	a, b := crashes(base), crashes(more)
+	if len(a) != len(b) {
+		t.Fatalf("crash counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("crash %d perturbed by other kinds: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(sim.NewRNG(1), ScheduleConfig{Slots: 1, Groups: []int{1}}); err == nil {
+		t.Fatal("1 slot should fail")
+	}
+	if _, err := Generate(sim.NewRNG(1), ScheduleConfig{Slots: 4}); err == nil {
+		t.Fatal("no groups should fail")
+	}
+	if _, err := Generate(sim.NewRNG(1), ScheduleConfig{Slots: 4, Groups: []int{1}, Crashes: -1}); err == nil {
+		t.Fatal("negative count should fail")
+	}
+}
+
+// okHandler answers 200 on every path.
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte(`{"ok":true}`))
+	})
+}
+
+func get(t *testing.T, url string, timeout time.Duration) (int, error) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer func() { _, _ = io.Copy(io.Discard, resp.Body); _ = resp.Body.Close() }()
+	return resp.StatusCode, nil
+}
+
+func TestProxyCrashKillsListener(t *testing.T) {
+	p := NewProxy("victim", okHandler())
+	p.Start()
+	defer func() { _ = p.Close() }()
+	if code, err := get(t, p.URL()+"/execute", time.Second); err != nil || code != 200 {
+		t.Fatalf("healthy proxy: code=%d err=%v", code, err)
+	}
+	p.Crash()
+	if !p.Crashed() {
+		t.Fatal("Crashed() = false after Crash")
+	}
+	if _, err := get(t, p.URL()+"/execute", time.Second); err == nil {
+		t.Fatal("crashed proxy still answers")
+	}
+}
+
+func TestProxyErrorBurstSparesHealthz(t *testing.T) {
+	p := NewProxy("sick", okHandler())
+	p.Start()
+	defer func() { _ = p.Close() }()
+	if err := p.Apply(Event{Kind: KindErrorBurst, Param: 1.0}, sim.NewRNG(1)); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := get(t, p.URL()+"/execute", time.Second); code != 500 {
+		t.Fatalf("data path code = %d, want 500", code)
+	}
+	if code, err := get(t, p.URL()+"/healthz", time.Second); err != nil || code != 200 {
+		t.Fatalf("health path code=%d err=%v, must stay green", code, err)
+	}
+	p.Clear()
+	if code, _ := get(t, p.URL()+"/execute", time.Second); code != 200 {
+		t.Fatalf("cleared proxy code = %d", code)
+	}
+}
+
+func TestProxyHangSwallowsProbesUntilCleared(t *testing.T) {
+	p := NewProxy("hung", okHandler())
+	p.Start()
+	defer func() { _ = p.Close() }()
+	if err := p.Apply(Event{Kind: KindHang}, sim.NewRNG(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := get(t, p.URL()+"/healthz", 100*time.Millisecond); err == nil {
+		t.Fatal("hung proxy answered a probe")
+	}
+	p.Clear()
+	if code, err := get(t, p.URL()+"/healthz", time.Second); err != nil || code != 200 {
+		t.Fatalf("cleared proxy probe code=%d err=%v", code, err)
+	}
+}
+
+func TestProxyLatencyDelaysDataPath(t *testing.T) {
+	p := NewProxy("slow", okHandler())
+	p.Start()
+	defer func() { _ = p.Close() }()
+	if err := p.Apply(Event{Kind: KindLatency, Param: 200}, sim.NewRNG(1)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if code, err := get(t, p.URL()+"/execute", 5*time.Second); err != nil || code != 200 {
+		t.Fatalf("latency proxy code=%d err=%v", code, err)
+	}
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Fatalf("data path answered in %v, want >= 100ms injected delay", elapsed)
+	}
+	// Probes stay fast: the passive detector, not the prober, must
+	// catch latency faults.
+	start = time.Now()
+	if code, err := get(t, p.URL()+"/healthz", time.Second); err != nil || code != 200 {
+		t.Fatalf("probe code=%d err=%v", code, err)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("probe took %v, must bypass the latency fault", elapsed)
+	}
+}
+
+func TestInjectorExpiry(t *testing.T) {
+	in := NewInjector(sim.NewRNG(1))
+	p := NewProxy("target", okHandler())
+	p.Start()
+	defer func() { _ = p.Close() }()
+	in.Track(p)
+	ev := Event{Slot: 2, Kind: KindErrorBurst, Slots: 1, Param: 1.0}
+	if err := in.Inject(ev, p.URL()); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := get(t, p.URL()+"/execute", time.Second); code != 500 {
+		t.Fatalf("armed fault code = %d", code)
+	}
+	in.ExpireUpTo(2) // fault runs [2,3); boundary 2 keeps it
+	if code, _ := get(t, p.URL()+"/execute", time.Second); code != 500 {
+		t.Fatalf("fault expired early: code = %d", code)
+	}
+	in.ExpireUpTo(3)
+	if code, _ := get(t, p.URL()+"/execute", time.Second); code != 200 {
+		t.Fatalf("fault survived expiry: code = %d", code)
+	}
+	if got := len(in.Injections()); got != 1 {
+		t.Fatalf("injection log = %d entries", got)
+	}
+	if err := in.Inject(ev, "http://untracked"); err == nil {
+		t.Fatal("injecting into an untracked URL should fail")
+	}
+}
+
+// TestInjectorExpiryOfSupersededFault pins the overlap semantics: when
+// a newer fault supersedes an older one on the same backend, the older
+// record's expiry must NOT disarm the newer fault.
+func TestInjectorExpiryOfSupersededFault(t *testing.T) {
+	in := NewInjector(sim.NewRNG(1))
+	p := NewProxy("target", okHandler())
+	p.Start()
+	defer func() { _ = p.Close() }()
+	in.Track(p)
+	// Older latency fault [1,2), then an error burst [2,4) replaces it.
+	if err := in.Inject(Event{Slot: 1, Kind: KindLatency, Slots: 1, Param: 1}, p.URL()); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Inject(Event{Slot: 2, Kind: KindErrorBurst, Slots: 2, Param: 1.0}, p.URL()); err != nil {
+		t.Fatal(err)
+	}
+	// The latency fault expires at slot 2 — the error burst must stay.
+	in.ExpireUpTo(2)
+	if code, _ := get(t, p.URL()+"/execute", time.Second); code != 500 {
+		t.Fatalf("superseding fault disarmed by stale expiry: code = %d, want 500", code)
+	}
+	in.ExpireUpTo(4)
+	if code, _ := get(t, p.URL()+"/execute", time.Second); code != 200 {
+		t.Fatalf("fault survived its own expiry: code = %d", code)
+	}
+}
+
+func TestProxyCloseReleasesHungRequests(t *testing.T) {
+	p := NewProxy("hung", okHandler())
+	p.Start()
+	if err := p.Apply(Event{Kind: KindHang}, sim.NewRNG(1)); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = get(t, p.URL()+"/execute", 10*time.Second)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close left a request hung")
+	}
+}

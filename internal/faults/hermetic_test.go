@@ -1,0 +1,75 @@
+package faults
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+
+	"accelcloud/internal/loadgen"
+	"accelcloud/internal/sim"
+)
+
+// TestClusterWrapBackendInjection proves the chaos proxy composes with
+// loadgen's hermetic cluster via the WrapBackend hook: an error burst
+// injected into one surrogate surfaces as loadgen errors, and clearing
+// it restores a clean run.
+func TestClusterWrapBackendInjection(t *testing.T) {
+	var proxies []*Proxy
+	cluster, err := loadgen.StartCluster(loadgen.ClusterConfig{
+		Groups:             1,
+		SurrogatesPerGroup: 1,
+		WrapBackend: func(id string, h http.Handler) http.Handler {
+			p := NewProxy(id, h)
+			proxies = append(proxies, p)
+			return p
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if len(proxies) != 1 {
+		t.Fatalf("wrapped %d backends, want 1", len(proxies))
+	}
+	// Proxies built through WrapBackend don't own a listener; track
+	// them under the front-end-facing URL of the pool entry.
+	url := cluster.FrontEnd().Pool(1)[0].URL
+
+	cfg := loadgen.Config{
+		Users:     2,
+		Duration:  200 * time.Millisecond,
+		RateHz:    10,
+		Seed:      1,
+		Groups:    []int{1},
+		FixedTask: "sieve",
+		Timeout:   2 * time.Second,
+	}
+	rep, err := loadgen.Run(context.Background(), cluster.URL(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("clean cluster errors = %d", rep.Errors)
+	}
+
+	if err := proxies[0].Apply(Event{Kind: KindErrorBurst, Param: 1.0}, sim.NewRNG(2)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = loadgen.Run(context.Background(), cluster.URL(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != rep.Requests {
+		t.Fatalf("error burst: %d/%d requests failed, want all (url %s)", rep.Errors, rep.Requests, url)
+	}
+
+	proxies[0].Clear()
+	rep, err = loadgen.Run(context.Background(), cluster.URL(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("cleared cluster errors = %d", rep.Errors)
+	}
+}

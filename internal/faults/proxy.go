@@ -1,0 +1,338 @@
+package faults
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"accelcloud/internal/autoscale"
+	"accelcloud/internal/dalvik"
+	"accelcloud/internal/netsim"
+	"accelcloud/internal/rpc"
+	"accelcloud/internal/sim"
+	"accelcloud/internal/tasks"
+)
+
+// faultState is one active fault on a proxy, published atomically so
+// the request path reads it lock-free. nil means healthy.
+type faultState struct {
+	kind  Kind
+	param float64
+	// hang is closed to release hung requests (fault cleared or proxy
+	// closing).
+	hang chan struct{}
+	// delay samples the injected latency (latency / slownet kinds).
+	delay func() time.Duration
+	// rnd draws error-burst rolls, seeded per event.
+	mu  sync.Mutex
+	rnd *rand.Rand
+}
+
+// Proxy wraps a backend handler with injectable faults and owns its
+// loopback listener — the hermetic stand-in for a cloud surrogate the
+// chaos engine can kill. It implements autoscale.Backend.
+type Proxy struct {
+	id    string
+	inner http.Handler
+	srv   *httptest.Server
+
+	state   atomic.Pointer[faultState]
+	crashed atomic.Bool
+	closed  sync.Once
+}
+
+// NewProxy wraps a handler; call Start before use.
+func NewProxy(id string, inner http.Handler) *Proxy {
+	return &Proxy{id: id, inner: inner}
+}
+
+// Start opens the loopback listener.
+func (p *Proxy) Start() {
+	p.srv = httptest.NewServer(p)
+}
+
+// ID reports the wrapped backend's identity.
+func (p *Proxy) ID() string { return p.id }
+
+// URL implements autoscale.Backend.
+func (p *Proxy) URL() string { return p.srv.URL }
+
+// Close implements autoscale.Backend: releases any hung requests, then
+// tears the listener down.
+func (p *Proxy) Close() error {
+	p.closed.Do(func() {
+		p.Clear()
+		p.srv.CloseClientConnections()
+		p.srv.Close()
+	})
+	return nil
+}
+
+// Crash hard-kills the listener: established connections are severed
+// and new ones refused — indistinguishable from the surrogate's host
+// dying. Permanent; only Close releases the remaining resources.
+func (p *Proxy) Crash() {
+	p.crashed.Store(true)
+	p.Clear() // release hung handlers so they can observe the dead conn
+	_ = p.srv.Listener.Close()
+	p.srv.CloseClientConnections()
+}
+
+// Crashed reports whether the listener was hard-killed.
+func (p *Proxy) Crashed() bool { return p.crashed.Load() }
+
+// Apply arms a recoverable fault (replacing any active one). The rng
+// seeds the fault's internal randomness (error rolls, delay jitter) so
+// the corruption itself is reproducible.
+func (p *Proxy) Apply(ev Event, rng *sim.RNG) error {
+	_, err := p.apply(ev, rng)
+	return err
+}
+
+// apply arms the fault and returns the armed state, so the injector's
+// expiry can later clear exactly this fault and no other — an expiring
+// older fault must never disarm a newer one that superseded it on the
+// same backend.
+func (p *Proxy) apply(ev Event, rng *sim.RNG) (*faultState, error) {
+	st := &faultState{kind: ev.Kind, param: ev.Param}
+	//nolint:gosec // deterministic chaos, not cryptography.
+	st.rnd = rand.New(rand.NewSource(rng.Seed()))
+	switch ev.Kind {
+	case KindCrash:
+		p.Crash()
+		return nil, nil
+	case KindHang:
+		st.hang = make(chan struct{})
+	case KindLatency:
+		base := time.Duration(ev.Param * float64(time.Millisecond))
+		st.delay = func() time.Duration {
+			st.mu.Lock()
+			f := st.rnd.Float64()
+			st.mu.Unlock()
+			return base/2 + time.Duration(f*float64(base))
+		}
+	case KindErrorBurst:
+		// rolls drawn per request under st.mu
+	case KindSlowNet:
+		ops, err := netsim.DefaultOperators()
+		if err != nil {
+			return nil, fmt.Errorf("faults: slownet model: %w", err)
+		}
+		// The congested cell: the paper's 3G model, inflated.
+		model := ops[0].RTT[netsim.Tech3G].Inflate(ev.Param)
+		start := time.Now()
+		st.delay = func() time.Duration {
+			st.mu.Lock()
+			defer st.mu.Unlock()
+			return model.Sample(st.rnd, start)
+		}
+	default:
+		return nil, fmt.Errorf("faults: unknown kind %q", ev.Kind)
+	}
+	if old := p.state.Swap(st); old != nil && old.hang != nil {
+		close(old.hang)
+	}
+	return st, nil
+}
+
+// Clear removes the active fault and releases hung requests.
+func (p *Proxy) Clear() {
+	if old := p.state.Swap(nil); old != nil && old.hang != nil {
+		close(old.hang)
+	}
+}
+
+// clearState removes exactly the given fault: a no-op when another
+// fault has superseded it (the superseding Apply already released any
+// hung requests of the old state).
+func (p *Proxy) clearState(st *faultState) {
+	if st == nil {
+		return
+	}
+	if p.state.CompareAndSwap(st, nil) && st.hang != nil {
+		close(st.hang)
+	}
+}
+
+// ServeHTTP applies the active fault, then delegates to the wrapped
+// handler. Data-path corruption (latency, errors, slownet) spares the
+// health endpoint — those failures are for the passive detector to
+// find; hangs swallow probes too, because a hung process answers
+// nothing.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	st := p.state.Load()
+	if st == nil {
+		p.inner.ServeHTTP(w, r)
+		return
+	}
+	if r.URL.Path == rpc.PathHealth && st.kind != KindHang {
+		p.inner.ServeHTTP(w, r)
+		return
+	}
+	switch st.kind {
+	case KindHang:
+		select {
+		case <-st.hang:
+			// Fault cleared while we were hung; answer late.
+		case <-r.Context().Done():
+			return
+		}
+	case KindErrorBurst:
+		st.mu.Lock()
+		roll := st.rnd.Float64()
+		st.mu.Unlock()
+		if roll < st.param {
+			http.Error(w, "faults: injected error burst", http.StatusInternalServerError)
+			return
+		}
+	case KindLatency, KindSlowNet:
+		select {
+		case <-time.After(st.delay()):
+		case <-r.Context().Done():
+			return
+		}
+	}
+	p.inner.ServeHTTP(w, r)
+}
+
+// Injection is one applied event, resolved to its live target.
+type Injection struct {
+	Event Event
+	URL   string
+	At    time.Time
+	// st is the armed fault state, so expiry clears exactly this fault
+	// and never a newer one that superseded it on the same backend.
+	st *faultState
+}
+
+// Injector tracks every chaos-capable backend and applies scheduled
+// events to them.
+type Injector struct {
+	rng *sim.RNG
+
+	mu      sync.Mutex
+	proxies map[string]*Proxy // by URL
+	active  []Injection       // recoverable faults currently armed
+	log     []Injection
+	seq     int
+}
+
+// NewInjector builds an injector whose per-event fault randomness is
+// derived from rng substreams (nil selects seed 1).
+func NewInjector(rng *sim.RNG) *Injector {
+	if rng == nil {
+		rng = sim.NewRNG(1)
+	}
+	return &Injector{rng: rng, proxies: make(map[string]*Proxy)}
+}
+
+// Track registers a started proxy as a chaos target.
+func (in *Injector) Track(p *Proxy) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.proxies[p.URL()] = p
+}
+
+// Proxy resolves a tracked proxy by URL (nil when unknown).
+func (in *Injector) Proxy(url string) *Proxy {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.proxies[url]
+}
+
+// Inject applies one event to the backend at url.
+func (in *Injector) Inject(ev Event, url string) error {
+	in.mu.Lock()
+	p := in.proxies[url]
+	seq := in.seq
+	in.seq++
+	in.mu.Unlock()
+	if p == nil {
+		return fmt.Errorf("faults: no tracked backend at %s", url)
+	}
+	st, err := p.apply(ev, in.rng.Sub("inject").SubN("event", seq))
+	if err != nil {
+		return err
+	}
+	rec := Injection{Event: ev, URL: url, At: time.Now(), st: st}
+	in.mu.Lock()
+	in.log = append(in.log, rec)
+	if ev.Kind != KindCrash {
+		in.active = append(in.active, rec)
+	}
+	in.mu.Unlock()
+	return nil
+}
+
+// ExpireUpTo clears recoverable faults whose duration ended at or
+// before the given slot boundary.
+func (in *Injector) ExpireUpTo(slot int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	remaining := in.active[:0]
+	for _, rec := range in.active {
+		if rec.Event.Slot+rec.Event.Slots <= slot {
+			if p := in.proxies[rec.URL]; p != nil {
+				p.clearState(rec.st)
+			}
+			continue
+		}
+		remaining = append(remaining, rec)
+	}
+	in.active = remaining
+}
+
+// Injections snapshots the applied-event log.
+func (in *Injector) Injections() []Injection {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]Injection, len(in.log))
+	copy(out, in.log)
+	return out
+}
+
+// ChaosProvisioner boots real dalvik surrogates behind chaos proxies —
+// the hermetic provisioner of the fault-tolerance scenarios. Every
+// booted backend (warm spares and repair replacements included) is
+// automatically tracked as an injection target.
+type ChaosProvisioner struct {
+	// Injector tracks the booted proxies. Required.
+	Injector *Injector
+	// Pool is the task registry (nil selects tasks.DefaultPool()).
+	Pool *tasks.Pool
+	// MaxProcs bounds each surrogate's worker slots
+	// (0 = dalvik.DefaultMaxProcs).
+	MaxProcs int
+}
+
+var _ autoscale.Provisioner = (*ChaosProvisioner)(nil)
+
+// Boot implements autoscale.Provisioner.
+func (p *ChaosProvisioner) Boot(ctx context.Context, id string) (autoscale.Backend, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if p.Injector == nil {
+		return nil, fmt.Errorf("faults: provisioner without injector")
+	}
+	sur, err := dalvik.NewSurrogate(id, p.MaxProcs)
+	if err != nil {
+		return nil, err
+	}
+	pool := p.Pool
+	if pool == nil {
+		pool = tasks.DefaultPool()
+	}
+	if err := sur.PushPool(pool); err != nil {
+		return nil, err
+	}
+	proxy := NewProxy(id, sur.Handler())
+	proxy.Start()
+	p.Injector.Track(proxy)
+	return proxy, nil
+}

@@ -1,0 +1,262 @@
+package faults
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"accelcloud/internal/autoscale"
+	"accelcloud/internal/health"
+	"accelcloud/internal/loadgen"
+	"accelcloud/internal/rpc"
+	"accelcloud/internal/stats"
+)
+
+// ReportSchema identifies the BENCH_chaos.json wire format.
+const ReportSchema = "accelcloud/chaos-report/v1"
+
+// SlotReport is one slot's measured traffic, injected faults, and
+// control-cycle decision.
+type SlotReport struct {
+	Slot     int                    `json:"slot"`
+	Requests int                    `json:"requests"`
+	Errors   int                    `json:"errors"`
+	Faults   []string               `json:"faults,omitempty"`
+	Latency  loadgen.LatencySummary `json:"latency"`
+	Decision autoscale.Decision     `json:"decision"`
+}
+
+// Report is the machine-readable outcome of one chaos run (the
+// BENCH_chaos.json schema consumed by cmd/benchdiff).
+type Report struct {
+	Schema      string  `json:"schema"`
+	Seed        int64   `json:"seed"`
+	Policy      string  `json:"policy"`
+	RateHz      float64 `json:"rateHz"`
+	Slots       int     `json:"slots"`
+	SlotLenMs   float64 `json:"slotLenMs"`
+	WallClockMs float64 `json:"wallClockMs"`
+
+	// Faults summarizes the injected schedule by kind.
+	Faults map[string]int `json:"faults"`
+
+	Requests  int     `json:"requests"`
+	Completed int     `json:"completed"`
+	Errors    int     `json:"errors"`
+	ErrorRate float64 `json:"errorRate"`
+	// Availability is the completed fraction after retries and hedging
+	// — the headline the chaos gate holds at >= 0.99.
+	Availability float64 `json:"availability"`
+
+	// Latency covers the whole run; FaultLatency only the slots with a
+	// fault in force (the p99-during-fault column).
+	Latency      loadgen.LatencySummary `json:"latency"`
+	FaultLatency loadgen.LatencySummary `json:"faultLatency"`
+
+	// Detection and repair.
+	Ejections        int     `json:"ejections"`
+	MaxProbesToEject int     `json:"maxProbesToEject"`
+	MeanTimeToEject  float64 `json:"meanTimeToEjectMs"`
+	MaxTimeToEject   float64 `json:"maxTimeToEjectMs"`
+	Repairs          int     `json:"repairs"`
+	MeanTimeToRepair float64 `json:"meanTimeToRepairMs"`
+	MaxTimeToRepair  float64 `json:"maxTimeToRepairMs"`
+
+	// Client resilience.
+	Retries      int64   `json:"retries"`
+	Hedges       int64   `json:"hedges"`
+	HedgeWins    int64   `json:"hedgeWins"`
+	HedgeWinRate float64 `json:"hedgeWinRate"`
+
+	// Determinism proofs: the request schedule, the fault timeline, and
+	// the control cycle (repairs included) each hash to a seed-stable
+	// digest.
+	ScheduleDigest string `json:"scheduleDigest"`
+	FaultDigest    string `json:"faultDigest"`
+	DecisionDigest string `json:"decisionDigest"`
+
+	Slots2 []SlotReport       `json:"slotReports"`
+	SLO    *loadgen.SLOResult `json:"slo,omitempty"`
+}
+
+// reportInputs carries Run's measurements into buildReport.
+type reportInputs struct {
+	overall     *stats.LogHist
+	faultHist   *stats.LogHist
+	totalErrs   int
+	totalReqs   int
+	wall        time.Duration
+	slotReports []SlotReport
+}
+
+func buildReport(cfg Config, plan *loadgen.Plan, sched *Schedule, injector *Injector,
+	mgr *health.Manager, hv *timedHealth, ctrl *autoscale.Controller, client *rpc.Client,
+	in reportInputs) (*Report, error) {
+	rep := &Report{
+		Schema:         ReportSchema,
+		Seed:           cfg.Seed,
+		Policy:         cfg.Policy,
+		RateHz:         cfg.RateHz,
+		Slots:          cfg.Slots,
+		SlotLenMs:      float64(cfg.SlotLen) / float64(time.Millisecond),
+		WallClockMs:    float64(in.wall) / float64(time.Millisecond),
+		Faults:         map[string]int{},
+		Requests:       in.totalReqs,
+		Completed:      in.totalReqs - in.totalErrs,
+		Errors:         in.totalErrs,
+		Latency:        loadgen.Summarize(in.overall),
+		FaultLatency:   loadgen.Summarize(in.faultHist),
+		ScheduleDigest: plan.Digest(),
+		FaultDigest:    sched.Digest(),
+		DecisionDigest: ctrl.Digest(),
+		Slots2:         in.slotReports,
+	}
+	if rep.Policy == "" {
+		rep.Policy = "rr"
+	}
+	for _, ev := range sched.Events {
+		rep.Faults[string(ev.Kind)]++
+	}
+	if in.totalReqs > 0 {
+		rep.ErrorRate = float64(in.totalErrs) / float64(in.totalReqs)
+		rep.Availability = float64(rep.Completed) / float64(in.totalReqs)
+	}
+
+	// Detection latency: match each Down-kind injection to the first
+	// ejection of its URL at or after the injection instant.
+	ejections := mgr.Ejections()
+	rep.Ejections = len(ejections)
+	for _, e := range ejections {
+		if e.Cause == "probe" && e.ProbeFails > rep.MaxProbesToEject {
+			rep.MaxProbesToEject = e.ProbeFails
+		}
+	}
+	var ejectSum, repairSum float64
+	ejectN, repairN := 0, 0
+	for _, inj := range injector.Injections() {
+		if inj.Event.Kind != KindCrash && inj.Event.Kind != KindHang {
+			continue
+		}
+		for _, e := range ejections {
+			if e.URL == inj.URL && !e.At.Before(inj.At) {
+				d := float64(e.At.Sub(inj.At)) / float64(time.Millisecond)
+				ejectSum += d
+				ejectN++
+				if d > rep.MaxTimeToEject {
+					rep.MaxTimeToEject = d
+				}
+				break
+			}
+		}
+		if at, ok := hv.forgetTime(inj.URL); ok && !at.Before(inj.At) {
+			d := float64(at.Sub(inj.At)) / float64(time.Millisecond)
+			repairSum += d
+			repairN++
+			if d > rep.MaxTimeToRepair {
+				rep.MaxTimeToRepair = d
+			}
+		}
+	}
+	if ejectN > 0 {
+		rep.MeanTimeToEject = ejectSum / float64(ejectN)
+	}
+	if repairN > 0 {
+		rep.MeanTimeToRepair = repairSum / float64(repairN)
+	}
+	rep.Repairs = int(mgr.Repairs())
+
+	st := client.Stats()
+	rep.Retries = st.Retries
+	rep.Hedges = st.Hedges
+	rep.HedgeWins = st.HedgeWins
+	if st.Hedges > 0 {
+		rep.HedgeWinRate = float64(st.HedgeWins) / float64(st.Hedges)
+	}
+	if cfg.SLO != nil {
+		throughput := 0.0
+		if in.wall > 0 {
+			throughput = float64(rep.Completed) / in.wall.Seconds()
+		}
+		rep.SLO = cfg.SLO.Check(rep.Latency, rep.ErrorRate, throughput)
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the report, indented, to w.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the report to path.
+func (r *Report) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("faults: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+	return r.WriteJSON(f)
+}
+
+// ReadReport parses a report and verifies its schema.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(rd).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("faults: decode report: %w", err)
+	}
+	if rep.Schema != ReportSchema {
+		return nil, fmt.Errorf("faults: schema %q, want %q", rep.Schema, ReportSchema)
+	}
+	return &rep, nil
+}
+
+// ReadReportFile parses a report file.
+func ReadReportFile(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("faults: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+	return ReadReport(f)
+}
+
+// Summary renders the human-readable digest the CLI prints: the fault
+// mix, one line per slot showing detection and repair at work, then
+// the availability verdict.
+func (r *Report) Summary() string {
+	kinds := make([]string, 0, len(r.Faults))
+	for k, n := range r.Faults {
+		kinds = append(kinds, fmt.Sprintf("%s×%d", k, n))
+	}
+	out := fmt.Sprintf("chaos run seed=%d policy=%s rate=%.0fHz slots=%d slot=%.0fms faults=[%s]\n",
+		r.Seed, r.Policy, r.RateHz, r.Slots, r.SlotLenMs, strings.Join(kinds, " "))
+	out += fmt.Sprintf("schedule=%s faults=%s decisions=%s\n",
+		r.ScheduleDigest, r.FaultDigest, r.DecisionDigest)
+	out += "slot  reqs  errs  p99_ms   faults                kind       repaired\n"
+	for _, s := range r.Slots2 {
+		out += fmt.Sprintf("%-4d  %-4d  %-4d  %-7.1f  %-20s  %-9s  %v\n",
+			s.Slot, s.Requests, s.Errors, s.Latency.P99Ms,
+			strings.Join(s.Faults, ","), s.Decision.Kind, s.Decision.Repaired)
+	}
+	out += fmt.Sprintf("availability=%.4f (%d/%d, %d errors) p99=%.1fms p99-during-fault=%.1fms\n",
+		r.Availability, r.Completed, r.Requests, r.Errors, r.Latency.P99Ms, r.FaultLatency.P99Ms)
+	out += fmt.Sprintf("ejections=%d (max %d failed probes, mean %.0fms) repairs=%d (mean %.0fms)\n",
+		r.Ejections, r.MaxProbesToEject, r.MeanTimeToEject, r.Repairs, r.MeanTimeToRepair)
+	out += fmt.Sprintf("retries=%d hedges=%d hedge-wins=%d (%.0f%%)\n",
+		r.Retries, r.Hedges, r.HedgeWins, 100*r.HedgeWinRate)
+	if r.SLO != nil {
+		if r.SLO.Pass {
+			out += "SLO: PASS\n"
+		} else {
+			out += "SLO: FAIL\n"
+			for _, v := range r.SLO.Violations {
+				out += "  " + v + "\n"
+			}
+		}
+	}
+	return out
+}

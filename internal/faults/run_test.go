@@ -1,0 +1,118 @@
+package faults
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"accelcloud/internal/autoscale"
+)
+
+func chaosTestConfig(maxInFlight int) Config {
+	return Config{
+		Seed:    11,
+		RateHz:  30,
+		Users:   6,
+		Slots:   4,
+		SlotLen: 300 * time.Millisecond,
+		Groups: []autoscale.GroupSpec{
+			{Group: 1, TypeName: "t2.nano", CostPerHour: 0.0063, Capacity: 8, Min: 2},
+			{Group: 2, TypeName: "t2.large", CostPerHour: 0.101, Capacity: 8, Min: 2},
+		},
+		FixedTask:   "sieve",
+		Crashes:     1,
+		ErrorBursts: 1,
+		MaxInFlight: maxInFlight,
+	}
+}
+
+// TestRunSurvivesCrashAndRepairs is the end-to-end proof: a seeded
+// crash plus an error burst under live load, and the stack ejects,
+// reroutes, and self-heals while availability holds.
+func TestRunSurvivesCrashAndRepairs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run is a multi-second live-stack scenario")
+	}
+	rep, err := Run(context.Background(), chaosTestConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no requests replayed")
+	}
+	if rep.Availability < 0.98 {
+		t.Fatalf("availability = %.4f, want >= 0.98 with retries and repair", rep.Availability)
+	}
+	if rep.Ejections < 1 {
+		t.Fatalf("ejections = %d, want >= 1 (the crash must be detected)", rep.Ejections)
+	}
+	if rep.Repairs < 1 {
+		t.Fatalf("repairs = %d, want >= 1 (the crash must be repaired)", rep.Repairs)
+	}
+	if rep.MaxProbesToEject > 2 {
+		t.Fatalf("ejection took %d failed probes, want before the 3rd", rep.MaxProbesToEject)
+	}
+	repairSeen := false
+	for _, s := range rep.Slots2 {
+		if s.Decision.Kind == autoscale.DecisionRepair {
+			repairSeen = true
+		}
+	}
+	if !repairSeen {
+		t.Fatal("no repair decision in the audit log")
+	}
+	// Capacity is restored: the final slot's applied pools meet Min.
+	last := rep.Slots2[len(rep.Slots2)-1].Decision
+	for i, n := range last.Applied {
+		if n < 2 {
+			t.Fatalf("final applied[%d] = %d, want >= Min 2 after self-healing", i, n)
+		}
+	}
+}
+
+// TestRunDigestsAreConcurrencyIndependent is the determinism
+// acceptance bar: the fault-schedule digest and the decision digest
+// (repairs included) reproduce across runs and request-concurrency
+// levels; only measured latencies differ.
+func TestRunDigestsAreConcurrencyIndependent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run is a multi-second live-stack scenario")
+	}
+	a, err := Run(context.Background(), chaosTestConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(context.Background(), chaosTestConfig(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ScheduleDigest != b.ScheduleDigest {
+		t.Fatalf("schedule digests differ: %s vs %s", a.ScheduleDigest, b.ScheduleDigest)
+	}
+	if a.FaultDigest != b.FaultDigest {
+		t.Fatalf("fault digests differ: %s vs %s", a.FaultDigest, b.FaultDigest)
+	}
+	if a.DecisionDigest != b.DecisionDigest {
+		t.Fatalf("decision digests differ across worker counts: %s vs %s",
+			a.DecisionDigest, b.DecisionDigest)
+	}
+	if a.Repairs != b.Repairs {
+		t.Fatalf("repair counts differ: %d vs %d", a.Repairs, b.Repairs)
+	}
+}
+
+func TestRunConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Groups = nil },
+		func(c *Config) { c.Slots = 1 },
+		func(c *Config) { c.RateHz = -1 },
+		func(c *Config) { c.MaxInFlight = -1 },
+	}
+	for i, mut := range bad {
+		cfg := chaosTestConfig(0)
+		mut(&cfg)
+		if _, err := Run(context.Background(), cfg); err == nil {
+			t.Fatalf("case %d should fail validation", i)
+		}
+	}
+}

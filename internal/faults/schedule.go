@@ -1,0 +1,209 @@
+// Package faults is the deterministic chaos engine of the serving
+// stack: a seeded Schedule of failure events (surrogate crash, hang,
+// latency spike, error burst, slow network via netsim RTT inflation),
+// an Injector that applies them to live in-process backends by
+// hard-killing listeners and corrupting handlers, and a Run harness
+// that replays a seeded fault timeline under load against the full
+// resilient stack — front-end, failure detector, self-healing
+// reconciler — and reports availability, ejection latency, repair
+// latency, and hedge win rate (BENCH_chaos.json).
+//
+// Determinism contract: a Schedule is a pure function of (seed,
+// ScheduleConfig) — every event draws from sim.RNG substreams keyed by
+// fault kind and event index, so adding a kind never perturbs another
+// kind's draws — and Digest proves it. Run's fault timeline and the
+// reconciler's repair decisions reproduce bit-identically for a seed
+// at any request concurrency; only measured latencies differ.
+package faults
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"accelcloud/internal/sim"
+)
+
+// Kind is a fault category.
+type Kind string
+
+// Fault kinds, in deterministic generation order.
+const (
+	// KindCrash hard-kills the backend's listener: connections refuse,
+	// in-flight requests die. Unrecoverable — only a repair replaces
+	// the capacity.
+	KindCrash Kind = "crash"
+	// KindHang makes the backend accept and never answer (health
+	// probes included) until the fault expires — the failure mode
+	// timeouts and hedges exist for.
+	KindHang Kind = "hang"
+	// KindLatency delays data-path requests by Param milliseconds
+	// (uniformly jittered ±50%); health probes stay fast, so only the
+	// passive latency-quantile detector can catch it.
+	KindLatency Kind = "latency"
+	// KindErrorBurst fails data-path requests with HTTP 500 at
+	// probability Param; health probes stay green, so only the passive
+	// consecutive-error detector can catch it.
+	KindErrorBurst Kind = "errors"
+	// KindSlowNet inflates the backend's network RTT by factor Param
+	// using the netsim cellular latency model — heavy-tailed slowness,
+	// not a clean constant delay.
+	KindSlowNet Kind = "slownet"
+)
+
+// kinds lists every kind in generation order. The order is part of the
+// digest contract.
+func kinds() []Kind {
+	return []Kind{KindCrash, KindHang, KindLatency, KindErrorBurst, KindSlowNet}
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	// Slot is the slot index at whose boundary the fault is injected.
+	Slot int `json:"slot"`
+	// Kind is the fault category.
+	Kind Kind `json:"kind"`
+	// Group is the targeted acceleration group.
+	Group int `json:"group"`
+	// Backend indexes the group's non-draining registered backends at
+	// injection time (modulo the pool size), so the schedule stays
+	// meaningful while pools scale and repair.
+	Backend int `json:"backend"`
+	// Slots is the fault duration for recoverable kinds; crashes are
+	// permanent until repaired.
+	Slots int `json:"slots"`
+	// Param is the kind-specific magnitude: delay ms (latency), error
+	// probability (errors), RTT inflation factor (slownet).
+	Param float64 `json:"param,omitempty"`
+}
+
+// Schedule is a deterministic fault timeline.
+type Schedule struct {
+	// Seed echoes the generating seed.
+	Seed int64 `json:"seed"`
+	// Events holds the timeline sorted by (slot, kind, group, backend).
+	Events []Event `json:"events"`
+}
+
+// ScheduleConfig parameterizes Generate.
+type ScheduleConfig struct {
+	// Slots is the run length events are drawn inside; events land in
+	// [1, Slots-1] so slot 0 establishes a healthy baseline.
+	Slots int
+	// Groups are the target acceleration groups.
+	Groups []int
+	// Per-kind event counts.
+	Crashes       int
+	Hangs         int
+	LatencySpikes int
+	ErrorBursts   int
+	SlowNets      int
+}
+
+// count reports the configured count for a kind.
+func (c ScheduleConfig) count(k Kind) int {
+	switch k {
+	case KindCrash:
+		return c.Crashes
+	case KindHang:
+		return c.Hangs
+	case KindLatency:
+		return c.LatencySpikes
+	case KindErrorBurst:
+		return c.ErrorBursts
+	case KindSlowNet:
+		return c.SlowNets
+	}
+	return 0
+}
+
+// Generate draws a deterministic fault schedule: each event owns a
+// sim.RNG substream keyed by (kind, index), so the timeline is a pure
+// function of (rng seed, config) — independent of iteration order,
+// worker count, and the counts of other kinds.
+func Generate(rng *sim.RNG, cfg ScheduleConfig) (*Schedule, error) {
+	if rng == nil {
+		rng = sim.NewRNG(1)
+	}
+	if cfg.Slots < 2 {
+		return nil, fmt.Errorf("faults: need at least 2 slots, got %d", cfg.Slots)
+	}
+	if len(cfg.Groups) == 0 {
+		return nil, fmt.Errorf("faults: no target groups")
+	}
+	for _, k := range kinds() {
+		if cfg.count(k) < 0 {
+			return nil, fmt.Errorf("faults: negative %s count", k)
+		}
+	}
+	sched := &Schedule{Seed: rng.Seed()}
+	for _, k := range kinds() {
+		kindRNG := rng.Sub("faults/" + string(k))
+		for i := 0; i < cfg.count(k); i++ {
+			r := kindRNG.SubN("event", i).Stream("draws")
+			ev := Event{
+				Kind:    k,
+				Slot:    1 + r.Intn(cfg.Slots-1),
+				Group:   cfg.Groups[r.Intn(len(cfg.Groups))],
+				Backend: r.Intn(1 << 16),
+				Slots:   1 + r.Intn(2),
+			}
+			switch k {
+			case KindLatency:
+				ev.Param = 200 + 400*r.Float64() // ms
+			case KindErrorBurst:
+				ev.Param = 0.5 + 0.5*r.Float64() // error probability
+			case KindSlowNet:
+				ev.Param = 5 + 10*r.Float64() // RTT inflation factor
+			}
+			sched.Events = append(sched.Events, ev)
+		}
+	}
+	sort.Slice(sched.Events, func(i, j int) bool {
+		a, b := sched.Events[i], sched.Events[j]
+		if a.Slot != b.Slot {
+			return a.Slot < b.Slot
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Group != b.Group {
+			return a.Group < b.Group
+		}
+		return a.Backend < b.Backend
+	})
+	return sched, nil
+}
+
+// BySlot buckets the events by injection slot.
+func (s *Schedule) BySlot() map[int][]Event {
+	out := make(map[int][]Event)
+	for _, ev := range s.Events {
+		out[ev.Slot] = append(out[ev.Slot], ev)
+	}
+	return out
+}
+
+// Digest hashes the fault timeline — slot, kind, group, backend,
+// duration, and magnitude of every event in canonical order — so two
+// runs can prove they injected identical chaos.
+func (s *Schedule) Digest() string {
+	h := fnv.New64a()
+	buf := make([]byte, 8)
+	writeInt := func(v int64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(uint64(v) >> (8 * i))
+		}
+		_, _ = h.Write(buf)
+	}
+	writeInt(s.Seed)
+	for _, ev := range s.Events {
+		writeInt(int64(ev.Slot))
+		_, _ = h.Write([]byte(ev.Kind))
+		writeInt(int64(ev.Group))
+		writeInt(int64(ev.Backend))
+		writeInt(int64(ev.Slots))
+		writeInt(int64(ev.Param * 1e6))
+	}
+	return fmt.Sprintf("fnv1a:%016x", h.Sum64())
+}

@@ -3,6 +3,7 @@ package loadgen
 import (
 	"context"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 
 	"accelcloud/internal/dalvik"
@@ -39,6 +40,12 @@ type ClusterConfig struct {
 	// names; empty selects round-robin) — the knob behind loadgen
 	// policy A/B runs.
 	Policy string
+	// WrapBackend, when non-nil, wraps each surrogate's handler before
+	// it is served — the hermetic injection point the chaos engine
+	// (internal/faults) uses to corrupt, delay, or kill backends inside
+	// an otherwise ordinary loadgen cluster. The id is the surrogate's
+	// name ("surrogate-g<group>-<index>").
+	WrapBackend func(id string, h http.Handler) http.Handler
 }
 
 // StartCluster boots the stack. Callers must Close it.
@@ -73,7 +80,8 @@ func StartClusterContext(ctx context.Context, cfg ClusterConfig) (*Cluster, erro
 				c.Close()
 				return nil, fmt.Errorf("loadgen: cluster boot interrupted: %w", err)
 			}
-			sur, err := dalvik.NewSurrogate(fmt.Sprintf("surrogate-g%d-%d", g, i), cfg.MaxProcs)
+			name := fmt.Sprintf("surrogate-g%d-%d", g, i)
+			sur, err := dalvik.NewSurrogate(name, cfg.MaxProcs)
 			if err != nil {
 				c.Close()
 				return nil, err
@@ -82,7 +90,11 @@ func StartClusterContext(ctx context.Context, cfg ClusterConfig) (*Cluster, erro
 				c.Close()
 				return nil, err
 			}
-			backend := httptest.NewServer(sur.Handler())
+			handler := http.Handler(sur.Handler())
+			if cfg.WrapBackend != nil {
+				handler = cfg.WrapBackend(name, handler)
+			}
+			backend := httptest.NewServer(handler)
 			c.backends = append(c.backends, backend)
 			c.surrogates = append(c.surrogates, sur)
 			if err := fe.Register(g, backend.URL); err != nil {

@@ -86,6 +86,23 @@ func (m RTTModel) MeanMs() float64 {
 	return (1-m.TailWeight)*m.Body.Mean() + m.TailWeight*m.Tail.Mean()
 }
 
+// Inflate returns a copy of the model with every sampled RTT scaled by
+// factor — the slow-network fault of the chaos engine (internal/faults)
+// models congestion as multiplicative RTT inflation, exactly how the
+// diurnal profile already scales samples. Scaling a log-normal is a Mu
+// shift, so the distribution shape (and the calibration to the paper's
+// aggregates) is preserved; the diurnal profile is untouched. Factors
+// <= 0 return the model unchanged.
+func (m RTTModel) Inflate(factor float64) RTTModel {
+	if factor <= 0 {
+		return m
+	}
+	out := m
+	out.Body.Mu += math.Log(factor)
+	out.Tail.Mu += math.Log(factor)
+	return out
+}
+
 // Operator bundles the two technology models of one carrier.
 type Operator struct {
 	Name string

@@ -291,3 +291,35 @@ func TestGenerateDatasetShardedValidation(t *testing.T) {
 		t.Fatal("invalid operator should fail")
 	}
 }
+
+func TestInflateScalesMeanPreservingShape(t *testing.T) {
+	ops, err := DefaultOperators()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ops[0].RTT[Tech3G]
+	inflated := m.Inflate(10)
+	// The analytic mean scales by exactly the factor (a Mu shift is a
+	// multiplicative scale of a log-normal), the shape parameter is
+	// untouched, and the diurnal profile survives.
+	if got, want := inflated.MeanMs(), 10*m.MeanMs(); math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("inflated mean = %.2f, want %.2f", got, want)
+	}
+	if inflated.Body.Sigma != m.Body.Sigma || inflated.Tail.Sigma != m.Tail.Sigma {
+		t.Fatal("inflation changed the distribution shape")
+	}
+	if inflated.Diurnal != m.Diurnal {
+		t.Fatal("inflation changed the diurnal profile")
+	}
+	// Samples scale too: the same stream drawn from both models differs
+	// by exactly the factor.
+	a := m.Sample(sim.NewRNG(1).Stream("rtt"), sim.Epoch)
+	b := inflated.Sample(sim.NewRNG(1).Stream("rtt"), sim.Epoch)
+	if ratio := float64(b) / float64(a); math.Abs(ratio-10) > 0.01 {
+		t.Fatalf("sample ratio = %.3f, want 10", ratio)
+	}
+	// Non-positive factors are a no-op.
+	if got := m.Inflate(0).MeanMs(); got != m.MeanMs() {
+		t.Fatalf("Inflate(0) mean = %.2f, want unchanged", got)
+	}
+}

@@ -1,0 +1,140 @@
+package router
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestEjectReinstateLifecycle(t *testing.T) {
+	r := New(nil)
+	const g = 3
+	for _, u := range []string{"http://a", "http://b"} {
+		if err := r.Register(g, u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Eject(g, "http://a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.ActiveCount(g); got != 1 {
+		t.Fatalf("active = %d after eject, want 1", got)
+	}
+	// The ejected backend stays registered and visible.
+	infos := r.Pool(g)
+	if len(infos) != 2 || infos[0].State != StateEjected {
+		t.Fatalf("pool after eject = %+v", infos)
+	}
+	// Every pick lands on the survivor.
+	for i := 0; i < 8; i++ {
+		p, err := r.Pick(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.URL() != "http://b" {
+			t.Fatalf("pick resolved to ejected backend %s", p.URL())
+		}
+		r.Release(p, true)
+	}
+	// Eject is idempotent; ejecting a draining backend is a no-op.
+	if err := r.Eject(g, "http://a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Drain(g, "http://b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Eject(g, "http://b"); err != nil {
+		t.Fatal(err)
+	}
+	if infos := r.Pool(g); infos[1].State != StateDraining {
+		t.Fatalf("drain decision overwritten by eject: %+v", infos)
+	}
+	// Reinstate returns the ejected backend; draining is untouched.
+	if err := r.Reinstate(g, "http://a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Reinstate(g, "http://b"); err != nil {
+		t.Fatal(err)
+	}
+	infos = r.Pool(g)
+	if infos[0].State != StateActive || infos[1].State != StateDraining {
+		t.Fatalf("states after reinstate = %+v", infos)
+	}
+	if err := r.Eject(g, "http://missing"); !errors.Is(err, ErrUnknownBackend) {
+		t.Fatalf("eject unknown = %v", err)
+	}
+	if err := r.Reinstate(g, "http://missing"); !errors.Is(err, ErrUnknownBackend) {
+		t.Fatalf("reinstate unknown = %v", err)
+	}
+}
+
+func TestEvictIgnoresInflight(t *testing.T) {
+	r := New(nil)
+	const g = 0
+	if err := r.Register(g, "http://a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(g, "http://b"); err != nil {
+		t.Fatal(err)
+	}
+	// Hold a reservation on the backend about to die.
+	var held Picked
+	for {
+		p, err := r.Pick(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.URL() == "http://a" {
+			held = p
+			break
+		}
+		r.Release(p, true)
+	}
+	// Remove refuses while in flight; Evict does not.
+	if err := r.Remove(g, "http://a"); !errors.Is(err, ErrBackendBusy) {
+		t.Fatalf("remove with in-flight = %v, want ErrBackendBusy", err)
+	}
+	if err := r.Evict(g, "http://a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Backends()[g]; got != 1 {
+		t.Fatalf("pool size after evict = %d, want 1", got)
+	}
+	// The orphaned reservation still releases cleanly.
+	r.Release(held, false)
+	if err := r.Evict(g, "http://a"); !errors.Is(err, ErrUnknownBackend) {
+		t.Fatalf("double evict = %v", err)
+	}
+}
+
+func TestSetClientTimeoutAppliesToNewBackends(t *testing.T) {
+	r := New(nil)
+	r.SetClientTimeout(123 * time.Millisecond)
+	if err := r.Register(0, "http://a"); err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Pick(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Release(p, true)
+	if got := p.Client().Timeout; got != 123*time.Millisecond {
+		t.Fatalf("client timeout = %v, want 123ms", got)
+	}
+}
+
+func TestRegisterEjectedURLFails(t *testing.T) {
+	// Reinstate, not Register, is the recovery path for an ejected
+	// backend: re-registering would silently overrule the failure
+	// detector.
+	r := New(nil)
+	if err := r.Register(0, "http://a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Eject(0, "http://a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(0, "http://a"); err == nil {
+		t.Fatal("registering an ejected URL should fail")
+	}
+}

@@ -1,0 +1,91 @@
+package router_test
+
+import (
+	"fmt"
+
+	"accelcloud/internal/router"
+)
+
+// ExampleRoundRobin shows the cheapest policy rotating through a
+// group's active backends with one atomic cursor — and the cursor
+// surviving a control-plane republish (the drain) without restarting.
+func ExampleRoundRobin() {
+	r := router.New(router.RoundRobin{})
+	_ = r.Register(1, "http://a")
+	_ = r.Register(1, "http://b")
+	for i := 0; i < 3; i++ {
+		p, _ := r.Pick(1)
+		fmt.Println(p.URL())
+		r.Release(p, true)
+	}
+	// Draining b republishes the pool; the rotation continues from the
+	// carried cursor instead of resetting to the first backend.
+	_ = r.Drain(1, "http://b")
+	p, _ := r.Pick(1)
+	fmt.Println(p.URL())
+	r.Release(p, true)
+	// Output:
+	// http://a
+	// http://b
+	// http://a
+	// http://a
+}
+
+// ExampleLeastInflight shows load-aware picking: while one backend
+// holds an outstanding request, every new pick prefers the idle one.
+func ExampleLeastInflight() {
+	r := router.New(router.LeastInflight{})
+	_ = r.Register(1, "http://a")
+	_ = r.Register(1, "http://b")
+	// Hold a's reservation open, simulating a slow request in flight.
+	held, _ := r.Pick(1)
+	fmt.Println("held:", held.URL())
+	for i := 0; i < 2; i++ {
+		p, _ := r.Pick(1)
+		fmt.Println("pick:", p.URL())
+		r.Release(p, true)
+	}
+	r.Release(held, true)
+	// Output:
+	// held: http://a
+	// pick: http://b
+	// pick: http://b
+}
+
+// ExamplePowerOfTwo shows the O(1) randomized policy: with two
+// backends both random samples cover the pool, so the less-loaded one
+// always wins even though the sampling itself is random.
+func ExamplePowerOfTwo() {
+	r := router.New(router.PowerOfTwo{})
+	_ = r.Register(1, "http://a")
+	_ = r.Register(1, "http://b")
+	held, _ := r.Pick(1) // load one backend
+	for i := 0; i < 3; i++ {
+		p, _ := r.Pick(1)
+		fmt.Println(p.URL() == held.URL())
+		r.Release(p, true)
+	}
+	r.Release(held, true)
+	// Output:
+	// false
+	// false
+	// false
+}
+
+// ExampleParsePolicy resolves the -policy flag names the binaries
+// accept into policies.
+func ExampleParsePolicy() {
+	for _, name := range []string{"", "rr", "least-inflight", "p2c"} {
+		p, err := router.ParsePolicy(name)
+		if err != nil {
+			fmt.Println(err)
+			continue
+		}
+		fmt.Printf("%q -> %s\n", name, p.Name())
+	}
+	// Output:
+	// "" -> rr
+	// "rr" -> rr
+	// "least-inflight" -> least-inflight
+	// "p2c" -> p2c
+}

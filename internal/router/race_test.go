@@ -168,6 +168,147 @@ func hammerPoolMutation(t *testing.T, policy Policy) {
 	}
 }
 
+// TestEjectFenceUnderLoad mirrors TestPoolMutationUnderLoad for the
+// failure detector's lever: pickers hammer Pick/Release while churners
+// register fresh backends, Eject them (fence), briefly Reinstate and
+// re-Eject (the detector's flap path), then Evict. The fence-counter
+// invariant proved under -race: once Eject returns, no Pick that
+// STARTED after the return resolves to the ejected backend — the
+// guarantee health-driven ejection needs so a crashed surrogate stops
+// receiving traffic the moment it is ejected, not an RCU republish
+// later.
+func TestEjectFenceUnderLoad(t *testing.T) {
+	for _, name := range PolicyNames() {
+		t.Run(name, func(t *testing.T) {
+			policy, err := ParsePolicy(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hammerEjectFence(t, policy)
+		})
+	}
+}
+
+func hammerEjectFence(t *testing.T, policy Policy) {
+	r := New(policy)
+	const group = 9
+	url := func(id int) string { return fmt.Sprintf("http://backend-%d", id) }
+
+	const (
+		maxRounds = 30
+		churners  = 4
+		maxIDs    = 2 + maxRounds*churners
+	)
+	rounds := maxRounds
+	if testing.Short() {
+		rounds = 8
+	}
+	// fenced[id] flips to 1 the moment the backend's FINAL Eject
+	// returns (after the reinstate flap); it never flips back because
+	// churned identities are never reinstated again.
+	var fenced [maxIDs]atomic.Int32
+	var picksAfterFence atomic.Int64
+
+	for i := 0; i < 2; i++ {
+		if err := r.Register(group, url(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	const pickers = 8
+	var picks atomic.Int64
+	for w := 0; w < pickers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var preFenced [maxIDs]int32
+				for i := range preFenced {
+					preFenced[i] = fenced[i].Load()
+				}
+				p, err := r.Pick(group)
+				if err != nil {
+					t.Errorf("pick: %v", err)
+					return
+				}
+				var idx int
+				if _, err := fmt.Sscanf(p.URL(), "http://backend-%d", &idx); err != nil {
+					t.Errorf("picked unknown backend %q", p.URL())
+					return
+				}
+				if preFenced[idx] == 1 {
+					picksAfterFence.Add(1)
+				}
+				r.Release(p, true)
+				picks.Add(1)
+			}
+		}()
+	}
+
+	churn := func(id int) {
+		u := url(id)
+		if err := r.Register(group, u); err != nil {
+			t.Errorf("register %s: %v", u, err)
+			return
+		}
+		time.Sleep(time.Millisecond)
+		// Flap: eject, reinstate (traffic may resume), final eject.
+		if err := r.Eject(group, u); err != nil {
+			t.Errorf("eject %s: %v", u, err)
+			return
+		}
+		if err := r.Reinstate(group, u); err != nil {
+			t.Errorf("reinstate %s: %v", u, err)
+			return
+		}
+		if err := r.Eject(group, u); err != nil {
+			t.Errorf("final eject %s: %v", u, err)
+			return
+		}
+		fenced[id].Store(1)
+		// The repair path: evict regardless of in-flight state.
+		if err := r.Evict(group, u); err != nil {
+			t.Errorf("evict %s: %v", u, err)
+		}
+	}
+	for round := 0; round < rounds; round++ {
+		var cwg sync.WaitGroup
+		for c := 0; c < churners; c++ {
+			id := 2 + round*churners + c
+			cwg.Add(1)
+			go func() {
+				defer cwg.Done()
+				churn(id)
+			}()
+		}
+		cwg.Wait()
+	}
+	close(stop)
+	wg.Wait()
+
+	if n := picksAfterFence.Load(); n != 0 {
+		t.Fatalf("%d picks resolved to a backend after its Eject returned", n)
+	}
+	if picks.Load() == 0 {
+		t.Fatal("no picks completed")
+	}
+	for _, info := range r.Pool(group) {
+		if info.Inflight != 0 {
+			t.Fatalf("backend %s left with %d in flight", info.URL, info.Inflight)
+		}
+	}
+	if got := r.Backends()[group]; got != 2 {
+		t.Fatalf("final pool size = %d, want 2", got)
+	}
+}
+
 // TestConcurrentRegisterDrainSameURL drives the un-drain flap path
 // (Register on a draining backend) concurrently with picks; the
 // invariant is purely that nothing panics, counts stay non-negative,

@@ -6,9 +6,11 @@
 //
 // The request hot path — Pick, Release, the drop counters, and Stats —
 // acquires no mutexes. Control-plane mutations (Register, Drain,
-// Remove, driven by the autoscaling reconciler) build a new snapshot
-// under a small control mutex and publish it with one atomic store, so
-// readers never block writers and writers never block readers.
+// Remove, driven by the autoscaling reconciler; Eject, Reinstate,
+// Evict, driven by the failure detector and its repair path) build a
+// new snapshot under a small control mutex and publish it with one
+// atomic store, so readers never block writers and writers never block
+// readers.
 //
 // Correctness of the publish protocol: Pick reserves an in-flight slot
 // and then re-validates that the snapshot it picked from is still
@@ -27,6 +29,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"accelcloud/internal/rpc"
 )
@@ -40,6 +43,11 @@ const (
 	// StateDraining backends finish their in-flight requests but are
 	// never picked for new ones.
 	StateDraining State = "draining"
+	// StateEjected backends are fenced off by the failure detector
+	// (internal/health): suspected dead or degraded, never picked, but
+	// still registered so a recovery can Reinstate them in place
+	// without losing the warm backend.
+	StateEjected State = "ejected"
 )
 
 // ErrBackendBusy is returned by Remove while a backend still has
@@ -122,8 +130,10 @@ type Router struct {
 	dropped atomic.Int64
 
 	// mu serializes control-plane mutations only; the request path
-	// never takes it.
-	mu sync.Mutex
+	// never takes it. clientTimeout (guarded by mu) is applied to the
+	// rpc clients of subsequently registered backends.
+	mu            sync.Mutex
+	clientTimeout time.Duration
 }
 
 // New builds an empty router. A nil policy selects round-robin.
@@ -138,6 +148,17 @@ func New(policy Policy) *Router {
 
 // Policy reports the configured pick policy.
 func (r *Router) Policy() Policy { return r.policy }
+
+// SetClientTimeout sets the per-request deadline of the rpc clients
+// built for backends registered after the call (0 keeps the rpc
+// default). Configure it before registering backends: the proxy hop to
+// a crashed or hung surrogate must fail within the failure detector's
+// horizon, not the 30 s transport default.
+func (r *Router) SetClientTimeout(d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.clientTimeout = d
+}
 
 // findSlot locates a backend inside a snapshot.
 func (s *snapshot) findSlot(group int, url string) (p *pool, idx int) {
@@ -219,8 +240,10 @@ func (r *Router) Register(group int, baseURL string) error {
 		if p != nil {
 			slots = append(slots, p.slots...)
 		}
+		client := rpc.NewClient(baseURL)
+		client.Timeout = r.clientTimeout
 		slots = append(slots, slot{
-			e:     &entry{url: baseURL, client: rpc.NewClient(baseURL)},
+			e:     &entry{url: baseURL, client: client},
 			state: StateActive,
 		})
 	}
@@ -277,6 +300,71 @@ func (r *Router) Remove(group int, baseURL string) error {
 		r.snap.Store(s)
 		return fmt.Errorf("%w: %s in group %d (%d in flight)", ErrBackendBusy, baseURL, group, n)
 	}
+	return nil
+}
+
+// Eject fences a suspected-unhealthy backend off from new requests,
+// exactly like Drain but reversible in place via Reinstate — the
+// failure detector's lever on the RCU snapshot path. Ejecting an
+// already-ejected or draining backend is a no-op (draining is already
+// fenced, and a drain decision outranks a health suspicion). Once
+// Eject returns, no subsequent Pick resolves to the backend — the same
+// publish-then-revalidate protocol Drain relies on.
+func (r *Router) Eject(group int, baseURL string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.snap.Load()
+	p, idx := s.findSlot(group, baseURL)
+	if idx < 0 {
+		return fmt.Errorf("%w: group %d url %s", ErrUnknownBackend, group, baseURL)
+	}
+	if p.slots[idx].state != StateActive {
+		return nil
+	}
+	slots := append([]slot(nil), p.slots...)
+	slots[idx].state = StateEjected
+	r.snap.Store(s.rebuild(group, slots))
+	return nil
+}
+
+// Reinstate returns an ejected backend to rotation — the failure
+// detector's recovery path. Reinstating a backend in any other state is
+// a no-op: an active backend needs no help, and a draining one was
+// deliberately fenced by the control plane.
+func (r *Router) Reinstate(group int, baseURL string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.snap.Load()
+	p, idx := s.findSlot(group, baseURL)
+	if idx < 0 {
+		return fmt.Errorf("%w: group %d url %s", ErrUnknownBackend, group, baseURL)
+	}
+	if p.slots[idx].state != StateEjected {
+		return nil
+	}
+	slots := append([]slot(nil), p.slots...)
+	slots[idx].state = StateActive
+	r.snap.Store(s.rebuild(group, slots))
+	return nil
+}
+
+// Evict unconditionally deregisters a backend, in-flight requests or
+// not — the repair path for a confirmed-dead backend, whose accepted
+// work is already lost. Outstanding reservations stay safe: each Picked
+// holds its entry directly, so Release still balances the counters; the
+// entry is garbage-collected once the last reservation drops. Once
+// Evict returns, no subsequent Pick resolves to the backend.
+func (r *Router) Evict(group int, baseURL string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.snap.Load()
+	p, idx := s.findSlot(group, baseURL)
+	if idx < 0 {
+		return fmt.Errorf("%w: group %d url %s", ErrUnknownBackend, group, baseURL)
+	}
+	slots := append([]slot(nil), p.slots[:idx]...)
+	slots = append(slots, p.slots[idx+1:]...)
+	r.snap.Store(s.rebuild(group, slots))
 	return nil
 }
 

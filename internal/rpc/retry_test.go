@@ -1,0 +1,174 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyExecute serves /execute failing the first n requests with the
+// given status, then succeeding.
+func flakyExecute(t *testing.T, failures int64, code int) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= failures {
+			WriteJSON(w, code, ExecuteResponse{Error: "injected"})
+			return
+		}
+		WriteJSON(w, http.StatusOK, ExecuteResponse{Server: "ok"})
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &calls
+}
+
+func TestRetryBudgetRecoversFrom5xx(t *testing.T) {
+	srv, calls := flakyExecute(t, 2, http.StatusBadGateway)
+	c := NewClient(srv.URL)
+	c.Retry = NewRetryPolicy(3, time.Millisecond, 10*time.Millisecond, 1)
+	resp, err := c.Execute(context.Background(), ExecuteRequest{})
+	if err != nil {
+		t.Fatalf("execute with retries: %v", err)
+	}
+	if resp.Server != "ok" {
+		t.Fatalf("server = %q", resp.Server)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("attempts = %d, want 3", got)
+	}
+	if st := c.Stats(); st.Retries != 2 {
+		t.Fatalf("retry counter = %d, want 2", st.Retries)
+	}
+}
+
+func TestRetryBudgetExhausts(t *testing.T) {
+	srv, calls := flakyExecute(t, 100, http.StatusServiceUnavailable)
+	c := NewClient(srv.URL)
+	c.Retry = NewRetryPolicy(3, time.Millisecond, 10*time.Millisecond, 1)
+	if _, err := c.Execute(context.Background(), ExecuteRequest{}); err == nil {
+		t.Fatal("want error after budget exhaustion")
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("attempts = %d, want exactly the budget of 3", got)
+	}
+}
+
+func TestClientErrorsAreNotRetried(t *testing.T) {
+	srv, calls := flakyExecute(t, 100, http.StatusBadRequest)
+	c := NewClient(srv.URL)
+	c.Retry = NewRetryPolicy(5, time.Millisecond, 10*time.Millisecond, 1)
+	_, err := c.Execute(context.Background(), ExecuteRequest{})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+		t.Fatalf("want StatusError 400, got %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("attempts = %d, want 1 (4xx must not burn the budget)", got)
+	}
+}
+
+func TestRetryRespectsContext(t *testing.T) {
+	srv, _ := flakyExecute(t, 100, http.StatusBadGateway)
+	c := NewClient(srv.URL)
+	c.Retry = NewRetryPolicy(1000, 50*time.Millisecond, 50*time.Millisecond, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := c.Execute(ctx, ExecuteRequest{}); err == nil {
+		t.Fatal("want error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("retry loop outlived its context by %v", elapsed)
+	}
+}
+
+func TestTimeoutBoundsHungBackend(t *testing.T) {
+	block := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-block:
+		case <-r.Context().Done():
+		}
+	}))
+	defer srv.Close()
+	// LIFO: unblock the handler before srv.Close waits on it.
+	defer close(block)
+	c := NewClient(srv.URL)
+	c.Timeout = 50 * time.Millisecond
+	start := time.Now()
+	_, err := c.Execute(context.Background(), ExecuteRequest{})
+	if err == nil {
+		t.Fatal("hung backend must time out")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout took %v", elapsed)
+	}
+}
+
+func TestHedgeWinsAgainstHungPrimary(t *testing.T) {
+	// The first request hangs; every later one succeeds immediately.
+	// With hedging, the call resolves via the second lane.
+	var calls atomic.Int64
+	block := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			<-block
+			return
+		}
+		WriteJSON(w, http.StatusOK, ExecuteResponse{Server: "hedged"})
+	}))
+	defer srv.Close()
+	// LIFO: unblock the hung handler before srv.Close waits on it.
+	defer close(block)
+	c := NewClient(srv.URL)
+	c.Hedge = &HedgePolicy{Delay: 20 * time.Millisecond}
+	c.Timeout = 5 * time.Second
+	resp, err := c.Execute(context.Background(), ExecuteRequest{})
+	if err != nil {
+		t.Fatalf("hedged execute: %v", err)
+	}
+	if resp.Server != "hedged" {
+		t.Fatalf("server = %q, want the hedge lane's response", resp.Server)
+	}
+	st := c.Stats()
+	if st.Hedges != 1 || st.HedgeWins != 1 {
+		t.Fatalf("stats = %+v, want 1 hedge / 1 win", st)
+	}
+}
+
+func TestHedgeNotLaunchedWhenPrimaryIsFast(t *testing.T) {
+	srv, calls := flakyExecute(t, 0, http.StatusOK)
+	c := NewClient(srv.URL)
+	c.Hedge = &HedgePolicy{Delay: 5 * time.Second}
+	if _, err := c.Execute(context.Background(), ExecuteRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("calls = %d, want 1 (no hedge for a fast primary)", got)
+	}
+	if st := c.Stats(); st.Hedges != 0 {
+		t.Fatalf("hedges = %d, want 0", st.Hedges)
+	}
+}
+
+func TestBackoffIsCappedAndJittered(t *testing.T) {
+	p := NewRetryPolicy(10, 10*time.Millisecond, 80*time.Millisecond, 42)
+	for n := 0; n < 20; n++ {
+		d := p.backoff(n)
+		if d < 5*time.Millisecond || d > 80*time.Millisecond {
+			t.Fatalf("backoff(%d) = %v outside [base/2, cap]", n, d)
+		}
+	}
+	// Same seed, same draw sequence: the jitter is reproducible.
+	a := NewRetryPolicy(10, 10*time.Millisecond, 80*time.Millisecond, 7)
+	b := NewRetryPolicy(10, 10*time.Millisecond, 80*time.Millisecond, 7)
+	for n := 0; n < 8; n++ {
+		if da, db := a.backoff(n), b.backoff(n); da != db {
+			t.Fatalf("seeded backoff diverged at %d: %v vs %v", n, da, db)
+		}
+	}
+}

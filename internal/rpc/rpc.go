@@ -165,8 +165,10 @@ func ReadJSON(r *http.Request, v any) error {
 // each request a fresh connection pool, so nothing was ever reused and
 // every request paid a TCP handshake. Keep-alive limits are sized for
 // hundreds of concurrent simulated users against a handful of hosts.
+// The transport carries no overall timeout: per-request deadlines are
+// context-propagated by Client (Timeout / DefaultTimeout), so a caller
+// with a tighter deadline is never held to a transport-wide constant.
 var defaultHTTPClient = &http.Client{
-	Timeout: 30 * time.Second,
 	Transport: &http.Transport{
 		Proxy: http.ProxyFromEnvironment,
 		DialContext: (&net.Dialer{
@@ -181,13 +183,30 @@ var defaultHTTPClient = &http.Client{
 	},
 }
 
-// Client calls an offloading HTTP endpoint.
+// Client calls an offloading HTTP endpoint. The zero configuration is
+// a plain client with the default deadline; Timeout, Retry, and Hedge
+// opt into the resilience ladder (deadline → retry budget → hedged
+// second request) the chaos scenarios exercise.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
 	// HTTPClient is the underlying transport; nil selects the shared
-	// pooled client with a 30 s timeout.
+	// pooled client.
 	HTTPClient *http.Client
+	// Timeout bounds each call end to end — retries and hedges
+	// included — as a context deadline (0 selects DefaultTimeout). A
+	// caller context with an earlier deadline still wins.
+	Timeout time.Duration
+	// Retry, when non-nil, re-sends failed attempts under a bounded
+	// budget with exponential backoff and seeded jitter.
+	Retry *RetryPolicy
+	// Hedge, when non-nil, races a delayed second request against a
+	// slow primary.
+	Hedge *HedgePolicy
+
+	retries   atomic.Int64
+	hedges    atomic.Int64
+	hedgeWins atomic.Int64
 }
 
 // NewClient builds a client on the shared pooled transport.
@@ -200,6 +219,23 @@ func (c *Client) httpClient() *http.Client {
 		return c.HTTPClient
 	}
 	return defaultHTTPClient
+}
+
+// timeout reports the effective per-call deadline.
+func (c *Client) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return DefaultTimeout
+}
+
+// Stats snapshots the resilience counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		Retries:   c.retries.Load(),
+		Hedges:    c.hedges.Load(),
+		HedgeWins: c.hedgeWins.Load(),
+	}
 }
 
 // pooledPayload is a marshaled request body backed by a pooled encode
@@ -271,7 +307,8 @@ func (c *Client) post(ctx context.Context, path string, in, out any) error {
 	}()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return fmt.Errorf("rpc: %s: status %d: %s", path, resp.StatusCode, bytes.TrimSpace(body))
+		return fmt.Errorf("rpc: %s: %w", path,
+			&StatusError{Code: resp.StatusCode, Body: string(bytes.TrimSpace(body))})
 	}
 	if err := json.NewDecoder(io.LimitReader(resp.Body, maxBodyBytes)).Decode(out); err != nil {
 		return fmt.Errorf("rpc: decode response: %w", err)
@@ -285,7 +322,7 @@ func (c *Client) Offload(ctx context.Context, req OffloadRequest) (OffloadRespon
 		return OffloadResponse{}, err
 	}
 	var resp OffloadResponse
-	if err := c.post(ctx, PathOffload, req, &resp); err != nil {
+	if err := c.call(ctx, PathOffload, req, &resp); err != nil {
 		return OffloadResponse{}, err
 	}
 	if resp.Error != "" {
@@ -297,7 +334,7 @@ func (c *Client) Offload(ctx context.Context, req OffloadRequest) (OffloadRespon
 // Execute sends a state directly to a surrogate.
 func (c *Client) Execute(ctx context.Context, req ExecuteRequest) (ExecuteResponse, error) {
 	var resp ExecuteResponse
-	if err := c.post(ctx, PathExecute, req, &resp); err != nil {
+	if err := c.call(ctx, PathExecute, req, &resp); err != nil {
 		return ExecuteResponse{}, err
 	}
 	if resp.Error != "" {
@@ -306,8 +343,13 @@ func (c *Client) Execute(ctx context.Context, req ExecuteRequest) (ExecuteRespon
 	return resp, nil
 }
 
-// Health checks a server's liveness endpoint.
+// Health checks a server's liveness endpoint. The configured Timeout
+// applies; retries and hedges do not — health probing layers its own
+// failure accounting (internal/health), so a probe must report exactly
+// one attempt's truth.
 func (c *Client) Health(ctx context.Context) error {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout())
+	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+PathHealth, nil)
 	if err != nil {
 		return fmt.Errorf("rpc: build health request: %w", err)

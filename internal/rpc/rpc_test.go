@@ -146,8 +146,17 @@ func TestClientContextCancellation(t *testing.T) {
 
 func TestClientNilHTTPClientDefaults(t *testing.T) {
 	c := &Client{BaseURL: "http://127.0.0.1:1"}
-	if got := c.httpClient(); got == nil || got.Timeout != 30*time.Second {
+	// The pooled transport carries no overall timeout any more: the
+	// deadline is context-propagated per call (Timeout / DefaultTimeout).
+	if got := c.httpClient(); got == nil || got.Timeout != 0 {
 		t.Fatalf("default client = %+v", got)
+	}
+	if got := c.timeout(); got != DefaultTimeout {
+		t.Fatalf("default deadline = %v, want %v", got, DefaultTimeout)
+	}
+	c.Timeout = 5 * time.Second
+	if got := c.timeout(); got != 5*time.Second {
+		t.Fatalf("configured deadline = %v, want 5s", got)
 	}
 }
 

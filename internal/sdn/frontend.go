@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"accelcloud/internal/router"
@@ -22,6 +23,10 @@ const (
 	// never picked for new ones — the scale-down path of the
 	// autoscaling control loop (DESIGN.md §5).
 	BackendDraining = router.StateDraining
+	// BackendEjected backends are fenced off by the failure detector
+	// (internal/health) — suspected dead or degraded, reversible via
+	// Reinstate (DESIGN.md §7).
+	BackendEjected = router.StateEjected
 )
 
 // ErrBackendBusy is returned by Remove while a backend still has
@@ -56,7 +61,17 @@ type FrontEnd struct {
 	processingDelay time.Duration
 
 	rt *router.Router
+
+	// observer, when set, receives every backend hop's outcome — the
+	// passive signal feed of the failure detector. Atomic so the hot
+	// path reads it lock-free.
+	observer atomic.Pointer[Observer]
 }
+
+// Observer is the per-request outcome hook the failure detector
+// subscribes to: the routed group and backend, the hop error (nil on
+// success), and the backend round trip in milliseconds.
+type Observer func(group int, url string, err error, latencyMs float64)
 
 // NewFrontEnd builds an empty front-end routing round-robin. log may be
 // nil to disable request logging; a trace.Store, trace.Window,
@@ -114,6 +129,43 @@ func (f *FrontEnd) Inflight(group int, baseURL string) (int, error) {
 // front-end never abandons accepted work.
 func (f *FrontEnd) Remove(group int, baseURL string) error {
 	return f.rt.Remove(group, baseURL)
+}
+
+// Eject fences a suspected-unhealthy backend off from new requests,
+// reversibly — the failure detector's lever (DESIGN.md §7).
+func (f *FrontEnd) Eject(group int, baseURL string) error {
+	return f.rt.Eject(group, baseURL)
+}
+
+// Reinstate returns an ejected backend to rotation.
+func (f *FrontEnd) Reinstate(group int, baseURL string) error {
+	return f.rt.Reinstate(group, baseURL)
+}
+
+// Evict unconditionally deregisters a backend, in-flight requests or
+// not — the repair path for a confirmed-dead backend whose accepted
+// work is already lost.
+func (f *FrontEnd) Evict(group int, baseURL string) error {
+	return f.rt.Evict(group, baseURL)
+}
+
+// SetBackendTimeout bounds the proxy hop to backends registered after
+// the call (0 keeps the rpc default). Configure it before registering:
+// a crashed or hung surrogate must fail the hop within the failure
+// detector's horizon, not the 30 s default.
+func (f *FrontEnd) SetBackendTimeout(d time.Duration) {
+	f.rt.SetClientTimeout(d)
+}
+
+// SetObserver installs the per-request outcome hook (nil uninstalls).
+// The hook runs on the request path after every backend hop — keep it
+// cheap and non-blocking; internal/health's Manager.Observe qualifies.
+func (f *FrontEnd) SetObserver(ob Observer) {
+	if ob == nil {
+		f.observer.Store(nil)
+		return
+	}
+	f.observer.Store(&ob)
 }
 
 // Backends reports the registered groups and backend counts (active and
@@ -194,6 +246,9 @@ func (f *FrontEnd) handleOffload(w http.ResponseWriter, r *http.Request) {
 	resp, err := picked.Client().Execute(r.Context(), rpc.ExecuteRequest{State: req.State})
 	backendTotalMs := float64(time.Since(backendStart)) / float64(time.Millisecond)
 	f.rt.Release(picked, err == nil)
+	if ob := f.observer.Load(); ob != nil {
+		(*ob)(req.Group, picked.URL(), err, backendTotalMs)
+	}
 	if err != nil {
 		rpc.WriteJSON(w, http.StatusBadGateway, rpc.OffloadResponse{Error: err.Error()})
 		return

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # End-to-end smoke: boot two surrogated back-ends and an sdnd front-end
 # on localhost, run one offload request through the full stack, then a
-# short closed-loop loadgen run. Exits non-zero on any failure. Used by
-# the e2e-smoke CI job; safe to run locally (ports 9100-9102).
+# short closed-loop loadgen run. Finally, kill one surrogate and assert
+# the failure detector ejects it and the front-end keeps serving with
+# zero errors. Exits non-zero on any failure. Used by the e2e-smoke CI
+# job; safe to run locally (ports 9100-9102).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,8 +21,16 @@ go build -o "$BIN" ./cmd/...
 
 "$BIN/surrogated" -listen 127.0.0.1:9101 -name surrogate-1 &
 "$BIN/surrogated" -listen 127.0.0.1:9102 -name surrogate-2 &
+SURROGATE2_PID=$!
+# Both surrogates carry the full task pool, so both serve both groups —
+# the redundancy the kill-one-surrogate step below relies on. -probe
+# enables the failure detector; -backend-timeout keeps a dead hop from
+# stalling a request behind the 30s default.
 "$BIN/sdnd" -listen 127.0.0.1:9100 -policy p2c \
+  -probe 100ms -backend-timeout 2s \
   -backend 1=http://127.0.0.1:9101 \
+  -backend 1=http://127.0.0.1:9102 \
+  -backend 2=http://127.0.0.1:9101 \
   -backend 2=http://127.0.0.1:9102 &
 
 # Wait for the stack to come up: the first offload that succeeds proves
@@ -46,5 +56,28 @@ echo "== 2-second closed-loop load-generation run =="
 "$BIN/loadgen" -frontend http://127.0.0.1:9100 -mode concurrent \
   -users 4 -rate 5 -duration 2s -seed 1 -groups 1,2 \
   -max-error-rate 0 -out "$BIN/e2e_loadgen.json"
+
+echo "== kill surrogate-2, wait for the failure detector to eject it =="
+kill "$SURROGATE2_PID"
+ejected=""
+for _ in $(seq 1 100); do
+  count="$(curl -sf http://127.0.0.1:9100/stats | grep -o '"ejected"' | wc -l || true)"
+  # surrogate-2 serves both groups, so both registrations must eject.
+  if [ "$count" -ge 2 ]; then
+    ejected=1
+    break
+  fi
+  sleep 0.1
+done
+if [ -z "$ejected" ]; then
+  echo "e2e: killed surrogate was never ejected" >&2
+  curl -sf http://127.0.0.1:9100/stats >&2 || true
+  exit 1
+fi
+
+echo "== front-end keeps serving with zero errors after ejection =="
+"$BIN/loadgen" -frontend http://127.0.0.1:9100 -mode concurrent \
+  -users 4 -rate 5 -duration 2s -seed 2 -groups 1,2 \
+  -max-error-rate 0 -out "$BIN/e2e_loadgen_after_kill.json"
 
 echo "e2e smoke OK"
