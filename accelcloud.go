@@ -56,6 +56,7 @@ import (
 	"accelcloud/internal/stats"
 	"accelcloud/internal/tasks"
 	"accelcloud/internal/trace"
+	"accelcloud/internal/wire"
 	"accelcloud/internal/workload"
 )
 
@@ -234,13 +235,30 @@ var Epoch = sim.Epoch
 type (
 	// Surrogate is the Dalvik-x86-like execution server.
 	Surrogate = dalvik.Surrogate
-	// RPCClient calls offloading HTTP endpoints.
+	// RPCClient calls offloading endpoints over JSON/HTTP, or over the
+	// binary framed protocol when built from a bin:// base URL.
 	RPCClient = rpc.Client
 	// OffloadRequest is the client → front-end message.
 	OffloadRequest = rpc.OffloadRequest
 	// OffloadResponse is the front-end's reply.
 	OffloadResponse = rpc.OffloadResponse
+	// WireServer serves the binary framed protocol (DESIGN.md §8).
+	WireServer = wire.Server
+	// RPCBenchConfig sizes a wire-protocol overhead measurement.
+	RPCBenchConfig = loadgen.RPCBenchConfig
+	// RPCBenchReport is the BENCH_rpc.json overhead matrix.
+	RPCBenchReport = loadgen.RPCBenchReport
 )
+
+// BinaryScheme prefixes binary framed-protocol addresses
+// (bin://host:port) anywhere a front-end or backend URL is accepted.
+const BinaryScheme = rpc.BinaryScheme
+
+// RunRPCBench measures the {JSON, binary} × {single, batched}
+// protocol-overhead matrix against hermetic clusters.
+func RunRPCBench(cfg RPCBenchConfig) (*RPCBenchReport, error) {
+	return loadgen.RunRPCBench(cfg)
+}
 
 // NewSurrogate creates an execution server; push tasks before serving.
 func NewSurrogate(name string, maxProcs int) (*Surrogate, error) {

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"accelcloud/internal/loadgen"
+)
+
+func writeRPCReport(t *testing.T, dir, name string, rep *loadgen.RPCBenchReport) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func rpcReport(speedup, chainRatio float64) *loadgen.RPCBenchReport {
+	return &loadgen.RPCBenchReport{
+		Schema:   loadgen.RPCBenchSchema,
+		Requests: 300, ChainLen: 8,
+		JSONSingleOverheadUs: 80, JSONBatchOverheadUs: 60,
+		BinSingleOverheadUs: 25, BinBatchOverheadUs: 80 / speedup,
+		Speedup: speedup, SingleSpeedup: 80.0 / 25,
+		RouteDelayMs: 5, BinSingleMs: 5.5, BinChainMs: 5.5 * chainRatio,
+		ChainRatio: chainRatio, JSONSeqChainMs: 46,
+	}
+}
+
+func TestDiffRPCWithinTolerance(t *testing.T) {
+	dir := t.TempDir()
+	base := writeRPCReport(t, dir, "base.json", rpcReport(6.0, 1.1))
+	cur := writeRPCReport(t, dir, "cur.json", rpcReport(5.5, 1.2))
+	var buf bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur, "-tolerance", "0.2"}, &buf); err != nil {
+		t.Fatalf("within tolerance failed: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "speedup json/bin") {
+		t.Fatalf("missing speedup row:\n%s", buf.String())
+	}
+}
+
+func TestDiffRPCSpeedupFloor(t *testing.T) {
+	dir := t.TempDir()
+	// 4.9x would pass a pure relative gate against a 5.1x baseline, but
+	// the 5x acceptance floor is absolute.
+	base := writeRPCReport(t, dir, "base.json", rpcReport(5.1, 1.1))
+	cur := writeRPCReport(t, dir, "cur.json", rpcReport(4.9, 1.1))
+	var buf bytes.Buffer
+	err := run([]string{"-baseline", base, "-current", cur, "-tolerance", "0.2"}, &buf)
+	if err == nil {
+		t.Fatalf("speedup below floor passed:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "below the 5.0x floor") {
+		t.Fatalf("missing floor failure:\n%s", buf.String())
+	}
+}
+
+func TestDiffRPCSpeedupRelativeRegression(t *testing.T) {
+	dir := t.TempDir()
+	// Above the floor but far below the committed baseline.
+	base := writeRPCReport(t, dir, "base.json", rpcReport(12.0, 1.1))
+	cur := writeRPCReport(t, dir, "cur.json", rpcReport(6.0, 1.1))
+	var buf bytes.Buffer
+	err := run([]string{"-baseline", base, "-current", cur, "-tolerance", "0.2"}, &buf)
+	if err == nil {
+		t.Fatalf("halved speedup passed:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "speedup regressed") {
+		t.Fatalf("missing regression message:\n%s", buf.String())
+	}
+}
+
+func TestDiffRPCChainRatioCeiling(t *testing.T) {
+	dir := t.TempDir()
+	base := writeRPCReport(t, dir, "base.json", rpcReport(6.0, 1.1))
+	cur := writeRPCReport(t, dir, "cur.json", rpcReport(6.0, 2.4))
+	var buf bytes.Buffer
+	err := run([]string{"-baseline", base, "-current", cur, "-tolerance", "0.2"}, &buf)
+	if err == nil {
+		t.Fatalf("chain ratio above ceiling passed:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "above the 2.0x ceiling") {
+		t.Fatalf("missing ceiling failure:\n%s", buf.String())
+	}
+}
+
+func TestDiffRPCChainLenMismatch(t *testing.T) {
+	dir := t.TempDir()
+	base := writeRPCReport(t, dir, "base.json", rpcReport(6.0, 1.1))
+	curRep := rpcReport(6.0, 1.1)
+	curRep.ChainLen = 4
+	cur := writeRPCReport(t, dir, "cur.json", curRep)
+	var buf bytes.Buffer
+	err := run([]string{"-baseline", base, "-current", cur}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "not comparable") {
+		t.Fatalf("chain-length mismatch not rejected: %v", err)
+	}
+}
+
+// TestDiffRPCCommittedBaselineSane keeps the committed baseline itself
+// honest: it must clear its own hard floors, or the CI gate was
+// seeded with a failing run.
+func TestDiffRPCCommittedBaselineSane(t *testing.T) {
+	rep, err := loadgen.ReadRPCBenchReportFile(filepath.Join("..", "..", "BENCH_rpc_baseline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Speedup < minRPCSpeedup {
+		t.Fatalf("committed baseline speedup %.2fx below the %.1fx floor", rep.Speedup, minRPCSpeedup)
+	}
+	if rep.ChainRatio > maxRPCChainRatio {
+		t.Fatalf("committed baseline chain ratio %.2fx above the %.1fx ceiling", rep.ChainRatio, maxRPCChainRatio)
+	}
+	if rep.ChainLen != 8 {
+		t.Fatalf("committed baseline chain length %d, want 8", rep.ChainLen)
+	}
+}

@@ -1,0 +1,62 @@
+// Command rpcbench measures the wire-protocol overhead matrix: the
+// same near-zero-cost task replayed as sequential single calls and as
+// batched call chains, over JSON/HTTP and over the binary framed
+// protocol (internal/wire), each against its own hermetic in-process
+// cluster. Because the routing and execution work is identical on both
+// sides, the difference is pure protocol cost.
+//
+// Usage:
+//
+//	rpcbench -requests 300 -chain 8 -out BENCH_rpc.json
+//
+// The headline column is the per-request overhead speedup of a device
+// that pipelines its call chain into binary batch frames versus one
+// issuing sequential JSON calls. Both sides scale with the host, so
+// the ratio is far more machine-portable than raw microseconds — that
+// is what the CI gate (cmd/benchdiff) compares against
+// BENCH_rpc_baseline.json.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"accelcloud/internal/loadgen"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rpcbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("rpcbench", flag.ContinueOnError)
+	requests := fs.Int("requests", 300, "measured requests per matrix cell")
+	warmup := fs.Int("warmup", 50, "warmup requests per cell before measuring")
+	chain := fs.Int("chain", 8, "batched call-chain length")
+	taskSize := fs.Int("task-size", 1, "fibonacci task size (small isolates protocol overhead)")
+	outPath := fs.String("out", "BENCH_rpc.json", "write the JSON report here (empty disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rep, err := loadgen.RunRPCBench(loadgen.RPCBenchConfig{
+		Requests: *requests,
+		Warmup:   *warmup,
+		ChainLen: *chain,
+		TaskSize: *taskSize,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, rep.Summary())
+	if *outPath != "" {
+		if err := rep.WriteFile(*outPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", *outPath)
+	}
+	return nil
+}

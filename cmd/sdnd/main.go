@@ -6,10 +6,17 @@
 //
 //	sdnd -listen 127.0.0.1:9100 \
 //	     -backend 1=http://127.0.0.1:9101 \
-//	     -backend 2=http://127.0.0.1:9102 \
+//	     -backend 2=bin://127.0.0.1:9201 \
+//	     -proto both -listen-bin 127.0.0.1:9103 \
 //	     -policy p2c \
 //	     -probe 250ms \
 //	     -trace /tmp/requests.csv
+//
+// -proto both additionally serves the binary framed protocol
+// (internal/wire) on -listen-bin; clients select it with a
+// bin://host:port front-end URL. A bin:// -backend URL makes the
+// front-end↔surrogate hop binary too (the surrogate must serve
+// -proto binary|both); health probes follow the backend's protocol.
 //
 // -policy selects the routing pick policy (rr, least-inflight, p2c);
 // request logging runs through an async batching sink so the routing
@@ -24,6 +31,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -71,7 +79,9 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("sdnd", flag.ContinueOnError)
-	listen := fs.String("listen", "127.0.0.1:9100", "listen address")
+	listen := fs.String("listen", "127.0.0.1:9100", "HTTP listen address")
+	listenBin := fs.String("listen-bin", "127.0.0.1:9103", "binary framed-protocol listen address")
+	proto := fs.String("proto", "http", "client-facing protocol: http|binary|both (backends may independently be bin:// URLs)")
 	tracePath := fs.String("trace", "", "write the request log as CSV to this path on shutdown")
 	delay := fs.Duration("overhead", 0, "artificial routing delay (e.g. 150ms to mimic the paper)")
 	policyName := fs.String("policy", "rr", "pick policy: rr|least-inflight|p2c")
@@ -88,6 +98,9 @@ func run(args []string) error {
 	}
 	if len(backends) == 0 {
 		return fmt.Errorf("at least one -backend group=url is required")
+	}
+	if *proto != "http" && *proto != "binary" && *proto != "both" {
+		return fmt.Errorf("unknown -proto %q (want http|binary|both)", *proto)
 	}
 	policy, err := router.ParsePolicy(*policyName)
 	if err != nil {
@@ -133,8 +146,23 @@ func run(args []string) error {
 	}
 	srv := &http.Server{Addr: *listen, Handler: fe.Handler()}
 	errCh := make(chan error, 1)
+	// The HTTP endpoint also carries /stats and /healthz, so it stays up
+	// in every mode; -proto binary|both adds the framed listener.
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Printf("sdnd: front-end on %s policy %s with backends %v%s\n", *listen, policy.Name(), fe.Backends(), probing)
+	binNote := ""
+	if *proto == "binary" || *proto == "both" {
+		binLis, err := net.Listen("tcp", *listenBin)
+		if err != nil {
+			return err
+		}
+		binSrv, err := fe.ServeBinary(binLis)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = binSrv.Close() }()
+		binNote = fmt.Sprintf(", bin://%s", *listenBin)
+	}
+	fmt.Printf("sdnd: front-end on %s%s policy %s with backends %v%s\n", *listen, binNote, policy.Name(), fe.Backends(), probing)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

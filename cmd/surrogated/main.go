@@ -1,15 +1,21 @@
 // Command surrogated runs a Dalvik-x86-like surrogate server: it loads
 // the default task pool (the pushed "APKs") and executes offloading
-// requests over HTTP.
+// requests over HTTP, the binary framed protocol (internal/wire), or
+// both.
 //
 // Usage:
 //
 //	surrogated -listen 127.0.0.1:9101 -name surrogate-1 -procs 64
+//	surrogated -proto both -listen 127.0.0.1:9101 -listen-bin 127.0.0.1:9201
+//
+// A front-end reaches the binary listener by registering the backend
+// as bin://host:port instead of http://host:port.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 
@@ -26,11 +32,16 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("surrogated", flag.ContinueOnError)
-	listen := fs.String("listen", "127.0.0.1:9101", "listen address")
+	listen := fs.String("listen", "127.0.0.1:9101", "HTTP listen address")
+	listenBin := fs.String("listen-bin", "127.0.0.1:9201", "binary framed-protocol listen address")
+	proto := fs.String("proto", "http", "served protocol: http|binary|both")
 	name := fs.String("name", "surrogate-1", "server name reported in responses")
 	procs := fs.Int("procs", dalvik.DefaultMaxProcs, "max concurrent worker processes")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *proto != "http" && *proto != "binary" && *proto != "both" {
+		return fmt.Errorf("unknown -proto %q (want http|binary|both)", *proto)
 	}
 	sur, err := dalvik.NewSurrogate(*name, *procs)
 	if err != nil {
@@ -38,6 +49,25 @@ func run(args []string) error {
 	}
 	if err := sur.PushPool(tasks.DefaultPool()); err != nil {
 		return err
+	}
+	if *proto == "binary" || *proto == "both" {
+		lis, err := net.Listen("tcp", *listenBin)
+		if err != nil {
+			return err
+		}
+		srv := sur.BinaryServer()
+		if *proto == "binary" {
+			fmt.Printf("surrogated: %s serving %d task bundles on bin://%s\n",
+				*name, len(sur.Installed()), *listenBin)
+			return srv.Serve(lis)
+		}
+		go func() {
+			if err := srv.Serve(lis); err != nil {
+				fmt.Fprintln(os.Stderr, "surrogated: binary listener:", err)
+				os.Exit(1)
+			}
+		}()
+		fmt.Printf("surrogated: %s also serving bin://%s\n", *name, *listenBin)
 	}
 	fmt.Printf("surrogated: %s serving %d task bundles on %s\n",
 		*name, len(sur.Installed()), *listen)

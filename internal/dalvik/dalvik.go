@@ -12,8 +12,10 @@
 package dalvik
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"sort"
 	"sync"
@@ -21,6 +23,7 @@ import (
 
 	"accelcloud/internal/rpc"
 	"accelcloud/internal/tasks"
+	"accelcloud/internal/wire"
 )
 
 // DefaultMaxProcs bounds concurrent per-request workers (dalvikvm
@@ -202,4 +205,35 @@ func (s *Surrogate) Handler() http.Handler {
 		rpc.WriteJSON(w, http.StatusOK, payload)
 	})
 	return mux
+}
+
+// executeWire adapts Execute to the framed protocol: failures travel
+// in the response's Error field, exactly like the HTTP handler's
+// 200-with-error contract, so both protocols classify surrogate
+// failures identically.
+func (s *Surrogate) executeWire(_ context.Context, req wire.ExecuteRequest) wire.ExecuteResponse {
+	res, elapsed, err := s.Execute(req.State)
+	if err != nil {
+		return wire.ExecuteResponse{Server: s.name, Error: err.Error()}
+	}
+	return wire.ExecuteResponse{
+		Result:  res,
+		CloudMs: float64(elapsed) / float64(time.Millisecond),
+		Server:  s.name,
+	}
+}
+
+// BinaryServer builds the surrogate's framed-protocol server — the
+// binary counterpart of Handler, serving execute and ping frames over
+// persistent multiplexed connections.
+func (s *Surrogate) BinaryServer() *wire.Server {
+	return &wire.Server{H: wire.Handlers{Execute: s.executeWire}}
+}
+
+// ServeBinary serves the framed protocol on lis until the listener
+// fails or the returned server is Closed.
+func (s *Surrogate) ServeBinary(lis net.Listener) (*wire.Server, error) {
+	srv := s.BinaryServer()
+	go func() { _ = srv.Serve(lis) }()
+	return srv, nil
 }

@@ -2,15 +2,20 @@ package loadgen
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"time"
 
 	"accelcloud/internal/dalvik"
 	"accelcloud/internal/router"
+	"accelcloud/internal/rpc"
 	"accelcloud/internal/sdn"
 	"accelcloud/internal/tasks"
 	"accelcloud/internal/trace"
+	"accelcloud/internal/wire"
 )
 
 // Cluster is a hermetic in-process service stack: a real sdn.FrontEnd
@@ -24,6 +29,11 @@ type Cluster struct {
 	backends   []*httptest.Server
 	surrogates []*dalvik.Surrogate
 	log        *trace.Store
+
+	binLis  net.Listener
+	binSrv  *wire.Server
+	binSrvs []*wire.Server
+	binLiss []net.Listener
 }
 
 // ClusterConfig sizes the hermetic stack.
@@ -46,6 +56,21 @@ type ClusterConfig struct {
 	// an otherwise ordinary loadgen cluster. The id is the surrogate's
 	// name ("surrogate-g<group>-<index>").
 	WrapBackend func(id string, h http.Handler) http.Handler
+	// Binary additionally serves the framed wire protocol on a loopback
+	// listener; BinaryURL then returns the bin:// front-end address so
+	// the same cluster can be driven over either transport.
+	Binary bool
+	// BinaryBackends registers each surrogate with the front-end as a
+	// bin:// address instead of HTTP, exercising the framed protocol on
+	// the front-end→surrogate hop too. Incompatible with WrapBackend,
+	// which wraps http.Handler.
+	BinaryBackends bool
+	// RouteDelay is the front-end's artificial per-request routing
+	// delay (sdnd's -overhead flag), reproducing the paper's fixed SDN
+	// processing cost inside a hermetic cluster. Batched calls traverse
+	// it concurrently, so it is the knob behind chain-amortization
+	// measurements.
+	RouteDelay time.Duration
 }
 
 // StartCluster boots the stack. Callers must Close it.
@@ -64,12 +89,15 @@ func StartClusterContext(ctx context.Context, cfg ClusterConfig) (*Cluster, erro
 	if cfg.SurrogatesPerGroup <= 0 {
 		cfg.SurrogatesPerGroup = 1
 	}
+	if cfg.BinaryBackends && cfg.WrapBackend != nil {
+		return nil, errors.New("loadgen: BinaryBackends and WrapBackend are mutually exclusive")
+	}
 	policy, err := router.ParsePolicy(cfg.Policy)
 	if err != nil {
 		return nil, err
 	}
 	log := trace.NewStore()
-	fe, err := sdn.NewFrontEndWithPolicy(log, 0, policy)
+	fe, err := sdn.NewFrontEndWithPolicy(log, cfg.RouteDelay, policy)
 	if err != nil {
 		return nil, err
 	}
@@ -90,25 +118,66 @@ func StartClusterContext(ctx context.Context, cfg ClusterConfig) (*Cluster, erro
 				c.Close()
 				return nil, err
 			}
-			handler := http.Handler(sur.Handler())
-			if cfg.WrapBackend != nil {
-				handler = cfg.WrapBackend(name, handler)
-			}
-			backend := httptest.NewServer(handler)
-			c.backends = append(c.backends, backend)
 			c.surrogates = append(c.surrogates, sur)
-			if err := fe.Register(g, backend.URL); err != nil {
+			var backendURL string
+			if cfg.BinaryBackends {
+				lis, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					c.Close()
+					return nil, err
+				}
+				srv, err := sur.ServeBinary(lis)
+				if err != nil {
+					c.Close()
+					return nil, err
+				}
+				c.binLiss = append(c.binLiss, lis)
+				c.binSrvs = append(c.binSrvs, srv)
+				backendURL = rpc.BinaryScheme + lis.Addr().String()
+			} else {
+				handler := http.Handler(sur.Handler())
+				if cfg.WrapBackend != nil {
+					handler = cfg.WrapBackend(name, handler)
+				}
+				backend := httptest.NewServer(handler)
+				c.backends = append(c.backends, backend)
+				backendURL = backend.URL
+			}
+			if err := fe.Register(g, backendURL); err != nil {
 				c.Close()
 				return nil, err
 			}
 		}
 	}
 	c.front = httptest.NewServer(fe.Handler())
+	if cfg.Binary {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.binLis = lis
+		srv, err := fe.ServeBinary(lis)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.binSrv = srv
+	}
 	return c, nil
 }
 
 // URL is the front-end base URL to aim the load generator at.
 func (c *Cluster) URL() string { return c.front.URL }
+
+// BinaryURL is the framed-protocol front-end address (bin://host:port).
+// Empty unless the cluster was started with ClusterConfig.Binary.
+func (c *Cluster) BinaryURL() string {
+	if c.binLis == nil {
+		return ""
+	}
+	return rpc.BinaryScheme + c.binLis.Addr().String()
+}
 
 // FrontEnd exposes the front-end for counter assertions.
 func (c *Cluster) FrontEnd() *sdn.FrontEnd { return c.frontEnd }
@@ -121,8 +190,14 @@ func (c *Cluster) TraceLen() int { return c.log.Len() }
 
 // Close shuts the stack down, front-end first.
 func (c *Cluster) Close() {
+	if c.binSrv != nil {
+		c.binSrv.Close()
+	}
 	if c.front != nil {
 		c.front.Close()
+	}
+	for _, s := range c.binSrvs {
+		s.Close()
 	}
 	for _, b := range c.backends {
 		b.Close()

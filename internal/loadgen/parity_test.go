@@ -1,0 +1,209 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"accelcloud/internal/rpc"
+	"accelcloud/internal/tasks"
+)
+
+// TestJSONBinaryParity is the transport-parity half of the conformance
+// suite: the same hermetic loadgen schedule replayed over JSON/HTTP and
+// over the binary framed protocol against the SAME cluster must produce
+// identical results (task, result bytes, ops, group) and identical
+// error classifications. One surrogate per group keeps the responding
+// server deterministic so even Server fields must match.
+func TestJSONBinaryParity(t *testing.T) {
+	cluster, err := StartCluster(ClusterConfig{Groups: 2, SurrogatesPerGroup: 1, Binary: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	cfg := Config{Users: 4, Duration: time.Second, RateHz: 3, Seed: 42, Groups: []int{1, 2}}
+	ncfg, err := cfg.normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := BuildPlan(ncfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("replaying %d planned requests over both transports (schedule %s)", plan.Requests(), plan.Digest())
+
+	jsonClient := rpc.NewClient(cluster.URL())
+	binClient := rpc.NewClient(cluster.BinaryURL())
+	ctx := context.Background()
+
+	checked := 0
+	plan.each(func(pr planned) {
+		req := rpc.OffloadRequest{
+			UserID: pr.User, Group: pr.Group, BatteryLevel: pr.Battery, State: pr.State,
+		}
+		jResp, jErr := jsonClient.Offload(ctx, req)
+		bResp, bErr := binClient.Offload(ctx, req)
+		if (jErr == nil) != (bErr == nil) {
+			t.Fatalf("request %d: transports disagree on success: json=%v binary=%v", checked, jErr, bErr)
+		}
+		if jErr != nil {
+			return
+		}
+		if jResp.Result.Task != bResp.Result.Task ||
+			!bytes.Equal(jResp.Result.Data, bResp.Result.Data) ||
+			jResp.Result.Ops != bResp.Result.Ops {
+			t.Fatalf("request %d: result diverged\n json: %+v\n  bin: %+v", checked, jResp.Result, bResp.Result)
+		}
+		if jResp.Group != bResp.Group || jResp.Server != bResp.Server {
+			t.Fatalf("request %d: routing diverged: json(%s g%d) binary(%s g%d)",
+				checked, jResp.Server, jResp.Group, bResp.Server, bResp.Group)
+		}
+		checked++
+	})
+	if checked == 0 {
+		t.Fatal("no successful requests compared")
+	}
+}
+
+// statusCode unwraps the HTTP-equivalent code from a client error.
+func statusCode(t *testing.T, err error) int {
+	t.Helper()
+	var se *rpc.StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("error carries no status code: %v", err)
+	}
+	return se.Code
+}
+
+// TestErrorClassificationParity proves failures classify identically on
+// both transports: same StatusError codes for routing failures (503)
+// and backend failures (502).
+func TestErrorClassificationParity(t *testing.T) {
+	cluster, err := StartCluster(ClusterConfig{Groups: 1, SurrogatesPerGroup: 1, Binary: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	jsonClient := rpc.NewClient(cluster.URL())
+	binClient := rpc.NewClient(cluster.BinaryURL())
+	ctx := context.Background()
+
+	st, err := tasks.Fibonacci{}.Generate(nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]rpc.OffloadRequest{
+		// No backends registered for group 9 → router drop → 503.
+		"unroutable group": {UserID: 1, Group: 9, BatteryLevel: 0.5, State: st},
+		// Unknown task → surrogate failure → proxied 502.
+		"unknown task": {UserID: 1, Group: 1, BatteryLevel: 0.5,
+			State: tasks.State{Task: "no-such-task", Size: 8, Data: st.Data}},
+	}
+	want := map[string]int{
+		"unroutable group": http.StatusServiceUnavailable,
+		"unknown task":     http.StatusBadGateway,
+	}
+	for name, req := range cases {
+		_, jErr := jsonClient.Offload(ctx, req)
+		_, bErr := binClient.Offload(ctx, req)
+		if jErr == nil || bErr == nil {
+			t.Fatalf("%s: expected failure on both transports, got json=%v binary=%v", name, jErr, bErr)
+		}
+		jCode, bCode := statusCode(t, jErr), statusCode(t, bErr)
+		if jCode != bCode || jCode != want[name] {
+			t.Fatalf("%s: classification diverged: json=%d binary=%d want %d", name, jCode, bCode, want[name])
+		}
+	}
+}
+
+// TestBatchParity proves a mixed success/failure chain produces the
+// same per-call codes and results over both transports.
+func TestBatchParity(t *testing.T) {
+	cluster, err := StartCluster(ClusterConfig{Groups: 1, SurrogatesPerGroup: 1, Binary: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	jsonClient := rpc.NewClient(cluster.URL())
+	binClient := rpc.NewClient(cluster.BinaryURL())
+	ctx := context.Background()
+
+	st, err := tasks.Fibonacci{}.Generate(nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := []rpc.OffloadRequest{
+		{UserID: 0, Group: 1, BatteryLevel: 0.9, State: st},
+		{UserID: 1, Group: 9, BatteryLevel: 0.9, State: st},
+		{UserID: 2, Group: 1, BatteryLevel: 0.9, State: tasks.State{Task: "no-such-task", Size: 10, Data: st.Data}},
+	}
+	jRes, jErr := jsonClient.OffloadBatch(ctx, calls)
+	bRes, bErr := binClient.OffloadBatch(ctx, calls)
+	if jErr != nil || bErr != nil {
+		t.Fatalf("batch transport error: json=%v binary=%v", jErr, bErr)
+	}
+	if len(jRes) != len(calls) || len(bRes) != len(calls) {
+		t.Fatalf("result counts: json=%d binary=%d want %d", len(jRes), len(bRes), len(calls))
+	}
+	wantCodes := []int{http.StatusOK, http.StatusServiceUnavailable, http.StatusBadGateway}
+	for i := range calls {
+		if jRes[i].Code != bRes[i].Code || jRes[i].Code != wantCodes[i] {
+			t.Fatalf("call %d: codes diverged: json=%d binary=%d want %d", i, jRes[i].Code, bRes[i].Code, wantCodes[i])
+		}
+		if jRes[i].Code != http.StatusOK {
+			continue
+		}
+		if jRes[i].Resp.Result.Task != bRes[i].Resp.Result.Task ||
+			!bytes.Equal(jRes[i].Resp.Result.Data, bRes[i].Resp.Result.Data) ||
+			jRes[i].Resp.Result.Ops != bRes[i].Resp.Result.Ops {
+			t.Fatalf("call %d: results diverged\n json: %+v\n  bin: %+v", i, jRes[i].Resp.Result, bRes[i].Resp.Result)
+		}
+	}
+}
+
+// TestBinaryBackendsEndToEnd drives the full loadgen runner with the
+// framed protocol on BOTH hops (client→front-end and
+// front-end→surrogate) and cross-checks request accounting.
+func TestBinaryBackendsEndToEnd(t *testing.T) {
+	cluster, err := StartCluster(ClusterConfig{Groups: 1, SurrogatesPerGroup: 2, Binary: true, BinaryBackends: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	report, err := Run(context.Background(), cluster.BinaryURL(), Config{
+		Users: 4, Duration: time.Second, RateHz: 2, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Requests == 0 || report.Errors != 0 {
+		t.Fatalf("binary-both-hops run: %d requests, %d errors", report.Requests, report.Errors)
+	}
+	var executed int64
+	for _, sur := range cluster.Surrogates() {
+		executed += sur.Stats().Executed
+	}
+	if executed != int64(report.Requests) {
+		t.Fatalf("surrogates executed %d, loadgen issued %d", executed, report.Requests)
+	}
+}
+
+// TestClusterRejectsBinaryBackendsWithChaos pins the config guard.
+func TestClusterRejectsBinaryBackendsWithChaos(t *testing.T) {
+	_, err := StartCluster(ClusterConfig{
+		BinaryBackends: true,
+		WrapBackend:    func(id string, h http.Handler) http.Handler { return h },
+	})
+	if err == nil {
+		t.Fatal("BinaryBackends+WrapBackend accepted")
+	}
+	if want := "mutually exclusive"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not mention %q", err, want)
+	}
+}

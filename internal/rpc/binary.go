@@ -1,0 +1,105 @@
+package rpc
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"accelcloud/internal/wire"
+)
+
+// The binary transport: the same Client surface (Offload, Execute,
+// OffloadBatch, Health) over length-prefixed frames on one persistent
+// multiplexed TCP connection instead of one HTTP request per call. It
+// plugs in underneath post(), so the whole resilience ladder —
+// Timeout, RetryPolicy, HedgePolicy, the counters — composes with it
+// unchanged.
+
+// wireClient lazily builds the framed-protocol client for a bin://
+// BaseURL. The wire.Client redials transparently, so one rpc.Client
+// keeps exactly one persistent connection per peer for its lifetime.
+func (c *Client) wireClient() (*wire.Client, error) {
+	c.binOnce.Do(func() {
+		addr := strings.TrimPrefix(c.BaseURL, BinaryScheme)
+		addr = strings.TrimSuffix(addr, "/")
+		if addr == "" || strings.Contains(addr, "/") {
+			c.binErr = fmt.Errorf("rpc: malformed binary address %q (want %shost:port)", c.BaseURL, BinaryScheme)
+			return
+		}
+		c.bin = wire.NewClient(addr)
+	})
+	return c.bin, c.binErr
+}
+
+// binPost mirrors postJSON over the framed transport: encode the
+// request payload, send one frame, map the answering frame back to the
+// caller's out value. FrameError responses become *StatusError with
+// the same HTTP-equivalent code the JSON compat mode would have
+// produced, so the retry budget and the callers classify failures
+// identically on both transports.
+func (c *Client) binPost(ctx context.Context, path string, in, out any) error {
+	bc, err := c.wireClient()
+	if err != nil {
+		return err
+	}
+	var (
+		ftype, flags byte
+		payload      []byte
+	)
+	switch req := in.(type) {
+	case OffloadRequest:
+		ftype, flags = wire.FrameRequest, wire.MethodOffload
+		payload = wire.AppendOffloadRequest(nil, req)
+	case ExecuteRequest:
+		ftype, flags = wire.FrameRequest, wire.MethodExecute
+		payload = wire.AppendExecuteRequest(nil, req)
+	case BatchRequest:
+		ftype, flags = wire.FrameBatch, 0
+		payload = wire.AppendBatchRequest(nil, req)
+	default:
+		return fmt.Errorf("rpc: no binary encoding for %T (path %s)", in, path)
+	}
+	f, err := bc.Call(ctx, ftype, flags, payload)
+	if err != nil {
+		return fmt.Errorf("rpc: %s: %w", path, err)
+	}
+	switch f.Type {
+	case wire.FrameError:
+		e, derr := wire.DecodeErrorFrame(f.Payload)
+		if derr != nil {
+			return fmt.Errorf("rpc: %s: undecodable error frame: %w", path, derr)
+		}
+		return fmt.Errorf("rpc: %s: %w", path, &StatusError{Code: e.Code, Body: e.Message})
+	case wire.FrameResponse:
+		switch resp := out.(type) {
+		case *OffloadResponse:
+			v, derr := wire.DecodeOffloadResponse(f.Payload)
+			if derr != nil {
+				return fmt.Errorf("rpc: decode response: %w", derr)
+			}
+			*resp = v
+		case *ExecuteResponse:
+			v, derr := wire.DecodeExecuteResponse(f.Payload)
+			if derr != nil {
+				return fmt.Errorf("rpc: decode response: %w", derr)
+			}
+			*resp = v
+		default:
+			return fmt.Errorf("rpc: no binary decoding for %T (path %s)", out, path)
+		}
+		return nil
+	case wire.FrameBatch:
+		resp, ok := out.(*BatchResponse)
+		if !ok {
+			return fmt.Errorf("rpc: batch frame answering non-batch call (path %s)", path)
+		}
+		v, derr := wire.DecodeBatchResponse(f.Payload)
+		if derr != nil {
+			return fmt.Errorf("rpc: decode batch response: %w", derr)
+		}
+		*resp = v
+		return nil
+	default:
+		return fmt.Errorf("rpc: %s: unexpected frame type %d", path, f.Type)
+	}
+}

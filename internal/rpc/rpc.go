@@ -9,24 +9,27 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
-	"math"
+	"math/rand/v2"
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"accelcloud/internal/tasks"
+	"accelcloud/internal/wire"
 )
 
 // Paths of the HTTP endpoints.
 const (
 	// PathOffload is the front-end entry point for mobile clients.
 	PathOffload = "/offload"
+	// PathOffloadBatch executes a chain of offload calls in one round
+	// trip (the JSON compat form of a binary batch frame).
+	PathOffloadBatch = "/offload/batch"
 	// PathExecute is the surrogate's execution endpoint.
 	PathExecute = "/execute"
 	// PathHealth reports liveness.
@@ -35,77 +38,37 @@ const (
 	PathStats = "/stats"
 )
 
+// BinaryScheme prefixes a BaseURL that selects the binary framed
+// transport ("bin://host:port") instead of HTTP/JSON. Everything else
+// about the Client — Timeout, Retry, Hedge, the resilience counters —
+// composes identically over both transports.
+const BinaryScheme = "bin://"
+
 // maxBodyBytes bounds request bodies (application states are small; the
 // homogeneous model ships method parameters, not bulk data).
 const maxBodyBytes = 8 << 20
 
-// OffloadRequest is a mobile client's request to the front-end.
-type OffloadRequest struct {
-	// UserID identifies the device.
-	UserID int `json:"userId"`
-	// Group is the acceleration group the device currently requests.
-	Group int `json:"group"`
-	// BatteryLevel is the device battery in [0, 1] (logged per §IV-A).
-	BatteryLevel float64 `json:"batteryLevel"`
-	// State is the serialized application state to execute.
-	State tasks.State `json:"state"`
-}
-
-// Validate checks the request.
-func (r OffloadRequest) Validate() error {
-	if r.UserID < 0 {
-		return fmt.Errorf("rpc: negative user id %d", r.UserID)
-	}
-	if r.Group < 0 {
-		return fmt.Errorf("rpc: negative group %d", r.Group)
-	}
-	if math.IsNaN(r.BatteryLevel) || r.BatteryLevel < 0 || r.BatteryLevel > 1 {
-		return fmt.Errorf("rpc: battery %v outside [0,1]", r.BatteryLevel)
-	}
-	if r.State.Task == "" {
-		return errors.New("rpc: state without task name")
-	}
-	return nil
-}
-
-// Timings is the Fig 7a component breakdown, in milliseconds.
-type Timings struct {
-	// RoutingMs is the SDN-accelerator's processing overhead (≈150 ms
-	// in the paper, Fig 8a).
-	RoutingMs float64 `json:"routingMs"`
-	// BackendMs is T2: front-end ↔ back-end communication.
-	BackendMs float64 `json:"backendMs"`
-	// CloudMs is Tcloud: code execution on the surrogate.
-	CloudMs float64 `json:"cloudMs"`
-}
-
-// OffloadResponse is the front-end's reply.
-type OffloadResponse struct {
-	// Result is the execution outcome.
-	Result tasks.Result `json:"result"`
-	// Server identifies the surrogate that executed the request.
-	Server string `json:"server"`
-	// Group is the acceleration group that served the request.
-	Group int `json:"group"`
-	// Timings is the component breakdown.
-	Timings Timings `json:"timings"`
-	// Error carries a failure message ("" on success).
-	Error string `json:"error,omitempty"`
-}
-
-// ExecuteRequest is the front-end → surrogate call.
-type ExecuteRequest struct {
-	State tasks.State `json:"state"`
-}
-
-// ExecuteResponse is the surrogate's reply.
-type ExecuteResponse struct {
-	Result tasks.Result `json:"result"`
-	// CloudMs is the measured execution time on the surrogate.
-	CloudMs float64 `json:"cloudMs"`
-	Server  string  `json:"server"`
-	Error   string  `json:"error,omitempty"`
-}
+// The protocol DTOs live in internal/wire so the binary framing and
+// the JSON compat mode share one set of structs; the historical rpc
+// names remain as aliases.
+type (
+	// OffloadRequest is a mobile client's request to the front-end.
+	OffloadRequest = wire.OffloadRequest
+	// OffloadResponse is the front-end's reply.
+	OffloadResponse = wire.OffloadResponse
+	// Timings is the Fig 7a component breakdown, in milliseconds.
+	Timings = wire.Timings
+	// ExecuteRequest is the front-end → surrogate call.
+	ExecuteRequest = wire.ExecuteRequest
+	// ExecuteResponse is the surrogate's reply.
+	ExecuteResponse = wire.ExecuteResponse
+	// BatchRequest is a chain of offload calls executed in one round trip.
+	BatchRequest = wire.BatchRequest
+	// BatchResponse answers a BatchRequest, one result per call.
+	BatchResponse = wire.BatchResponse
+	// BatchResult is one call's outcome (HTTP-equivalent code + response).
+	BatchResult = wire.BatchResult
+)
 
 // encodeBufPool recycles encode buffers across requests. The front-end
 // marshals twice per proxied request (the surrogate hop and the client
@@ -117,14 +80,38 @@ var encodeBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 // application state doesn't pin its buffer forever.
 const maxPooledBufBytes = 1 << 20
 
-func getEncodeBuf() *bytes.Buffer { return encodeBufPool.Get().(*bytes.Buffer) }
+// Pool accounting: every Get must eventually be matched by a Put (or a
+// deliberate over-cap Discard), error paths included — a buffer that
+// misses its return leaks under sustained 5xx bursts, where every
+// request takes an error path. The counters make the invariant
+// testable (see TestEncodeBufPoolBalanced); they are monotonic, so
+// balance is gets == puts + discards at quiescence.
+var (
+	poolGets     atomic.Int64
+	poolPuts     atomic.Int64
+	poolDiscards atomic.Int64
+)
+
+// PoolCounters snapshots the encode-buffer pool accounting
+// (gets, puts, discards) — the observability hook behind the
+// buffer-leak regression test.
+func PoolCounters() (gets, puts, discards int64) {
+	return poolGets.Load(), poolPuts.Load(), poolDiscards.Load()
+}
+
+func getEncodeBuf() *bytes.Buffer {
+	poolGets.Add(1)
+	return encodeBufPool.Get().(*bytes.Buffer)
+}
 
 func putEncodeBuf(b *bytes.Buffer) {
 	if b.Cap() > maxPooledBufBytes {
+		poolDiscards.Add(1)
 		return
 	}
 	b.Reset()
 	encodeBufPool.Put(b)
+	poolPuts.Add(1)
 }
 
 // WriteJSON writes v with the given status code. The body is staged in
@@ -207,6 +194,12 @@ type Client struct {
 	retries   atomic.Int64
 	hedges    atomic.Int64
 	hedgeWins atomic.Int64
+
+	// binOnce/bin lazily build the persistent multiplexed connection
+	// behind a bin:// BaseURL; binErr remembers an unusable address.
+	binOnce sync.Once
+	bin     *wire.Client
+	binErr  error
 }
 
 // NewClient builds a client on the shared pooled transport.
@@ -273,11 +266,22 @@ func (r *payloadReader) Close() error {
 	return nil
 }
 
-// post sends a JSON request and decodes the JSON response. The request
-// body is marshaled into a pooled buffer that is recycled once the
-// transport releases it — on the front-end's proxy hop this runs once
-// per offloaded request.
+// post sends one request over the configured transport. A bin://
+// BaseURL routes through the binary framed protocol (binary.go);
+// otherwise the request is marshaled as JSON into a pooled buffer that
+// is recycled once the HTTP transport releases it — on the front-end's
+// proxy hop this runs once per offloaded request.
 func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	if c.binary() {
+		return c.binPost(ctx, path, in, out)
+	}
+	return c.postJSON(ctx, path, in, out)
+}
+
+// binary reports whether the client speaks the framed protocol.
+func (c *Client) binary() bool { return strings.HasPrefix(c.BaseURL, BinaryScheme) }
+
+func (c *Client) postJSON(ctx context.Context, path string, in, out any) error {
 	buf := getEncodeBuf()
 	payload := &pooledPayload{buf: buf}
 	payload.refs.Store(1) // post's own reference, released on return
@@ -316,11 +320,16 @@ func (c *Client) post(ctx context.Context, path string, in, out any) error {
 	return nil
 }
 
-// Offload sends an offloading request to a front-end.
+// Offload sends an offloading request to a front-end. Under a retry or
+// hedge policy the request is stamped with an idempotency key (unless
+// the caller set one), so a re-sent or raced duplicate is served from
+// the front-end's idempotency cache instead of executing the task
+// twice.
 func (c *Client) Offload(ctx context.Context, req OffloadRequest) (OffloadResponse, error) {
 	if err := req.Validate(); err != nil {
 		return OffloadResponse{}, err
 	}
+	c.stampIdemKey(&req)
 	var resp OffloadResponse
 	if err := c.call(ctx, PathOffload, req, &resp); err != nil {
 		return OffloadResponse{}, err
@@ -329,6 +338,55 @@ func (c *Client) Offload(ctx context.Context, req OffloadRequest) (OffloadRespon
 		return resp, fmt.Errorf("rpc: remote: %s", resp.Error)
 	}
 	return resp, nil
+}
+
+// OffloadBatch executes a chain of offload calls in one round trip
+// (one binary batch frame, or one JSON POST in compat mode). Results
+// arrive in call order, each carrying the HTTP-equivalent status the
+// call would have received alone; the returned error covers
+// whole-batch failures only. Idempotency keys are stamped per call
+// under a retry or hedge policy — a hedged batch must never
+// double-execute side-effecting tasks.
+func (c *Client) OffloadBatch(ctx context.Context, calls []OffloadRequest) ([]BatchResult, error) {
+	if len(calls) == 0 {
+		return nil, nil
+	}
+	if len(calls) > wire.MaxBatchCalls {
+		return nil, fmt.Errorf("rpc: batch of %d calls exceeds cap %d", len(calls), wire.MaxBatchCalls)
+	}
+	batch := BatchRequest{Calls: make([]OffloadRequest, len(calls))}
+	copy(batch.Calls, calls)
+	for i := range batch.Calls {
+		if err := batch.Calls[i].Validate(); err != nil {
+			return nil, fmt.Errorf("rpc: batch call %d: %w", i, err)
+		}
+		c.stampIdemKey(&batch.Calls[i])
+	}
+	var resp BatchResponse
+	if err := c.call(ctx, PathOffloadBatch, batch, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(calls) {
+		return nil, fmt.Errorf("rpc: batch of %d calls answered with %d results", len(calls), len(resp.Results))
+	}
+	return resp.Results, nil
+}
+
+// idemSeq disambiguates keys within one process; the random prefix
+// keeps keys from colliding across processes.
+var (
+	idemPrefix = rand.Uint64()
+	idemSeq    atomic.Uint64
+)
+
+// stampIdemKey assigns an idempotency key when a retry or hedge policy
+// could re-send the call. Plain clients stay key-free so the
+// front-end's dedup cache sees no traffic from them.
+func (c *Client) stampIdemKey(req *OffloadRequest) {
+	if req.IdemKey != "" || (c.Retry == nil && c.Hedge == nil) {
+		return
+	}
+	req.IdemKey = fmt.Sprintf("%x-%x", idemPrefix, idemSeq.Add(1))
 }
 
 // Execute sends a state directly to a surrogate.
@@ -350,6 +408,19 @@ func (c *Client) Execute(ctx context.Context, req ExecuteRequest) (ExecuteRespon
 func (c *Client) Health(ctx context.Context) error {
 	ctx, cancel := context.WithTimeout(ctx, c.timeout())
 	defer cancel()
+	if c.binary() {
+		// The binary liveness probe is a ping frame on the persistent
+		// connection (re-dialed if broken) — one attempt's truth, like
+		// the HTTP probe.
+		bc, err := c.wireClient()
+		if err != nil {
+			return fmt.Errorf("rpc: health: %w", err)
+		}
+		if err := bc.Ping(ctx); err != nil {
+			return fmt.Errorf("rpc: health: %w", err)
+		}
+		return nil
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+PathHealth, nil)
 	if err != nil {
 		return fmt.Errorf("rpc: build health request: %w", err)

@@ -3,14 +3,17 @@ package sdn
 import (
 	"context"
 	"fmt"
+	"net"
 	"net/http"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"accelcloud/internal/router"
 	"accelcloud/internal/rpc"
 	"accelcloud/internal/trace"
+	"accelcloud/internal/wire"
 )
 
 // BackendState is the lifecycle state of one registered surrogate.
@@ -66,6 +69,11 @@ type FrontEnd struct {
 	// passive signal feed of the failure detector. Atomic so the hot
 	// path reads it lock-free.
 	observer atomic.Pointer[Observer]
+
+	// idem deduplicates retried and hedged re-sends of keyed requests,
+	// so a side-effecting task never executes twice for one logical
+	// call (keyless requests bypass it entirely).
+	idem idemCache
 }
 
 // Observer is the per-request outcome hook the failure detector
@@ -180,12 +188,14 @@ func (f *FrontEnd) ActiveCount(group int) int { return f.rt.ActiveCount(group) }
 
 // Handler serves the front-end protocol:
 //
-//	POST /offload  — route a client request to its acceleration group
-//	GET  /healthz  — liveness
-//	GET  /stats    — counters, backend registry, and per-backend states
+//	POST /offload        — route a client request to its acceleration group
+//	POST /offload/batch  — execute a chain of calls in one round trip
+//	GET  /healthz        — liveness
+//	GET  /stats          — counters, backend registry, and per-backend states
 func (f *FrontEnd) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc(rpc.PathOffload, f.handleOffload)
+	mux.HandleFunc(rpc.PathOffloadBatch, f.handleOffloadBatch)
 	mux.HandleFunc(rpc.PathHealth, func(w http.ResponseWriter, r *http.Request) {
 		rpc.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -226,10 +236,67 @@ func (f *FrontEnd) handleOffload(w http.ResponseWriter, r *http.Request) {
 		rpc.WriteJSON(w, http.StatusBadRequest, rpc.OffloadResponse{Error: err.Error()})
 		return
 	}
-	if err := req.Validate(); err != nil {
-		rpc.WriteJSON(w, http.StatusBadRequest, rpc.OffloadResponse{Error: err.Error()})
+	resp, code := f.Offload(r.Context(), req)
+	rpc.WriteJSON(w, code, resp)
+}
+
+// handleOffloadBatch executes a chain of calls in one HTTP round trip —
+// the JSON compat form of a binary batch frame, with the same per-call
+// fan-out through the router.
+func (f *FrontEnd) handleOffloadBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		rpc.WriteJSON(w, http.StatusMethodNotAllowed, rpc.BatchResponse{})
 		return
 	}
+	var batch rpc.BatchRequest
+	if err := rpc.ReadJSON(r, &batch); err != nil {
+		rpc.WriteJSON(w, http.StatusBadRequest, rpc.BatchResponse{})
+		return
+	}
+	if len(batch.Calls) == 0 || len(batch.Calls) > wire.MaxBatchCalls {
+		rpc.WriteJSON(w, http.StatusBadRequest, rpc.BatchResponse{})
+		return
+	}
+	rpc.WriteJSON(w, http.StatusOK, f.offloadBatch(r.Context(), batch))
+}
+
+// offloadBatch fans a chain out per call, so the data plane's
+// accounting (picks, in-flight counters, health observations, chaos
+// injection) is identical whether calls arrive alone or chained.
+func (f *FrontEnd) offloadBatch(ctx context.Context, batch rpc.BatchRequest) rpc.BatchResponse {
+	results := make([]rpc.BatchResult, len(batch.Calls))
+	var wg sync.WaitGroup
+	for i, call := range batch.Calls {
+		wg.Add(1)
+		go func(i int, call rpc.OffloadRequest) {
+			defer wg.Done()
+			resp, code := f.Offload(ctx, call)
+			results[i] = rpc.BatchResult{Code: code, Resp: resp}
+		}(i, call)
+	}
+	wg.Wait()
+	return rpc.BatchResponse{Results: results}
+}
+
+// Offload routes one request end to end — validation, idempotency
+// dedup, pick, proxy hop, release, observation, trace logging — and
+// returns the response plus its HTTP-equivalent status code. It is the
+// protocol-neutral core both the JSON handler and the binary frame
+// server dispatch into.
+func (f *FrontEnd) Offload(ctx context.Context, req rpc.OffloadRequest) (rpc.OffloadResponse, int) {
+	if err := req.Validate(); err != nil {
+		return rpc.OffloadResponse{Error: err.Error()}, http.StatusBadRequest
+	}
+	if req.IdemKey != "" {
+		return f.idem.do(ctx, req.IdemKey, func() (rpc.OffloadResponse, int) {
+			return f.offloadOnce(ctx, req)
+		})
+	}
+	return f.offloadOnce(ctx, req)
+}
+
+// offloadOnce is one actual trip through the router and the backend.
+func (f *FrontEnd) offloadOnce(ctx context.Context, req rpc.OffloadRequest) (rpc.OffloadResponse, int) {
 	routeStart := time.Now()
 	if f.processingDelay > 0 {
 		time.Sleep(f.processingDelay)
@@ -237,21 +304,19 @@ func (f *FrontEnd) handleOffload(w http.ResponseWriter, r *http.Request) {
 	picked, err := f.rt.Pick(req.Group)
 	if err != nil {
 		f.rt.CountDrop()
-		rpc.WriteJSON(w, http.StatusServiceUnavailable, rpc.OffloadResponse{Error: err.Error()})
-		return
+		return rpc.OffloadResponse{Error: err.Error()}, http.StatusServiceUnavailable
 	}
 	routingMs := float64(time.Since(routeStart)) / float64(time.Millisecond)
 
 	backendStart := time.Now()
-	resp, err := picked.Client().Execute(r.Context(), rpc.ExecuteRequest{State: req.State})
+	resp, err := picked.Client().Execute(ctx, rpc.ExecuteRequest{State: req.State})
 	backendTotalMs := float64(time.Since(backendStart)) / float64(time.Millisecond)
 	f.rt.Release(picked, err == nil)
 	if ob := f.observer.Load(); ob != nil {
 		(*ob)(req.Group, picked.URL(), err, backendTotalMs)
 	}
 	if err != nil {
-		rpc.WriteJSON(w, http.StatusBadGateway, rpc.OffloadResponse{Error: err.Error()})
-		return
+		return rpc.OffloadResponse{Error: err.Error()}, http.StatusBadGateway
 	}
 	// T2 is the backend round trip minus the execution itself.
 	t2Ms := backendTotalMs - resp.CloudMs
@@ -270,7 +335,7 @@ func (f *FrontEnd) handleOffload(w http.ResponseWriter, r *http.Request) {
 			RTT:          now.Sub(routeStart),
 		})
 	}
-	rpc.WriteJSON(w, http.StatusOK, rpc.OffloadResponse{
+	return rpc.OffloadResponse{
 		Result: resp.Result,
 		Server: resp.Server,
 		Group:  req.Group,
@@ -279,7 +344,22 @@ func (f *FrontEnd) handleOffload(w http.ResponseWriter, r *http.Request) {
 			BackendMs: t2Ms,
 			CloudMs:   resp.CloudMs,
 		},
-	})
+	}, http.StatusOK
+}
+
+// BinaryServer builds the framed-protocol front door: the same
+// Offload core behind binary frames on a raw TCP listener, with batch
+// frames fanned out per call by the wire server.
+func (f *FrontEnd) BinaryServer() *wire.Server {
+	return &wire.Server{H: wire.Handlers{Offload: f.Offload}}
+}
+
+// ServeBinary serves the framed protocol on lis until the listener
+// fails or the returned server is Closed.
+func (f *FrontEnd) ServeBinary(lis net.Listener) (*wire.Server, error) {
+	srv := f.BinaryServer()
+	go func() { _ = srv.Serve(lis) }()
+	return srv, nil
 }
 
 // WaitHealthy polls a server's health endpoint until it responds or the

@@ -1,0 +1,86 @@
+package sdn
+
+import (
+	"context"
+	"net/http"
+	"sync"
+
+	"accelcloud/internal/rpc"
+)
+
+// idemCacheCap bounds the completed-call cache; beyond it the oldest
+// keys are evicted FIFO. Sized for the retry/hedge window, not for
+// history: a duplicate arrives within its call's deadline, so entries
+// only need to outlive one resilience ladder.
+const idemCacheCap = 8192
+
+// idemEntry is one keyed call: in flight until done closes, then a
+// cached outcome.
+type idemEntry struct {
+	done chan struct{}
+	resp rpc.OffloadResponse
+	code int
+	ok   bool // success — entry stays cached; failures are forgotten
+}
+
+// idemCache is a singleflight-plus-cache keyed by idempotency key:
+// the first request with a key executes ("leader"), concurrent
+// duplicates wait for the leader's outcome, and later duplicates of a
+// successful call are served from cache. Failed calls are evicted on
+// completion so a genuine retry re-executes instead of replaying the
+// failure forever. The zero value is ready to use.
+type idemCache struct {
+	mu    sync.Mutex
+	m     map[string]*idemEntry
+	order []string // FIFO eviction of cached keys
+}
+
+// do runs fn under the key's singleflight. The leader's outcome is
+// returned to every waiter; a waiter whose context expires first gets
+// a 504 without disturbing the leader.
+func (c *idemCache) do(ctx context.Context, key string, fn func() (rpc.OffloadResponse, int)) (rpc.OffloadResponse, int) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[string]*idemEntry)
+	}
+	if e, ok := c.m[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-e.done:
+			return e.resp, e.code
+		case <-ctx.Done():
+			return rpc.OffloadResponse{Error: "sdn: idempotent duplicate timed out waiting for the original call"},
+				http.StatusGatewayTimeout
+		}
+	}
+	e := &idemEntry{done: make(chan struct{})}
+	c.m[key] = e
+	c.mu.Unlock()
+
+	e.resp, e.code = fn()
+	e.ok = e.code == http.StatusOK && e.resp.Error == ""
+
+	c.mu.Lock()
+	if !e.ok {
+		// Forget failures: the next duplicate is a real retry and must
+		// re-execute.
+		delete(c.m, key)
+	} else {
+		c.order = append(c.order, key)
+		for len(c.order) > idemCacheCap {
+			evict := c.order[0]
+			c.order = c.order[1:]
+			delete(c.m, evict)
+		}
+	}
+	c.mu.Unlock()
+	close(e.done)
+	return e.resp, e.code
+}
+
+// len reports the cached (completed) plus in-flight entry count.
+func (c *idemCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

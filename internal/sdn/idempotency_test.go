@@ -1,0 +1,275 @@
+package sdn
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"accelcloud/internal/dalvik"
+	"accelcloud/internal/rpc"
+	"accelcloud/internal/sim"
+	"accelcloud/internal/tasks"
+)
+
+func TestIdemCacheSingleflight(t *testing.T) {
+	var c idemCache
+	var executions atomic.Int64
+	release := make(chan struct{})
+	const waiters = 16
+	var wg sync.WaitGroup
+	results := make([]int, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, code := c.do(context.Background(), "k", func() (rpc.OffloadResponse, int) {
+				executions.Add(1)
+				<-release
+				return rpc.OffloadResponse{Server: "s"}, http.StatusOK
+			})
+			results[i] = code
+		}(i)
+	}
+	// Let every goroutine reach the cache before the leader finishes.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if n := executions.Load(); n != 1 {
+		t.Fatalf("%d executions for one key, want 1", n)
+	}
+	for i, code := range results {
+		if code != http.StatusOK {
+			t.Fatalf("waiter %d got code %d", i, code)
+		}
+	}
+	// Later duplicates of the cached success never re-execute.
+	_, code := c.do(context.Background(), "k", func() (rpc.OffloadResponse, int) {
+		executions.Add(1)
+		return rpc.OffloadResponse{}, http.StatusOK
+	})
+	if code != http.StatusOK || executions.Load() != 1 {
+		t.Fatalf("cached key re-executed (code %d, executions %d)", code, executions.Load())
+	}
+}
+
+func TestIdemCacheForgetsFailures(t *testing.T) {
+	var c idemCache
+	calls := 0
+	fail := func() (rpc.OffloadResponse, int) {
+		calls++
+		return rpc.OffloadResponse{Error: "boom"}, http.StatusBadGateway
+	}
+	if _, code := c.do(context.Background(), "k", fail); code != http.StatusBadGateway {
+		t.Fatalf("code %d", code)
+	}
+	// The failure must not be cached: a genuine retry re-executes.
+	if _, code := c.do(context.Background(), "k", fail); code != http.StatusBadGateway {
+		t.Fatalf("code %d", code)
+	}
+	if calls != 2 {
+		t.Fatalf("failed call executed %d times, want 2 (failures are not cached)", calls)
+	}
+	if got := c.len(); got != 0 {
+		t.Fatalf("%d entries cached after failures, want 0", got)
+	}
+}
+
+func TestIdemCacheWaiterTimeout(t *testing.T) {
+	var c idemCache
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go c.do(context.Background(), "k", func() (rpc.OffloadResponse, int) {
+		close(started)
+		<-release
+		return rpc.OffloadResponse{}, http.StatusOK
+	})
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	resp, code := c.do(ctx, "k", func() (rpc.OffloadResponse, int) {
+		t.Error("duplicate executed while leader in flight")
+		return rpc.OffloadResponse{}, http.StatusOK
+	})
+	if code != http.StatusGatewayTimeout || resp.Error == "" {
+		t.Fatalf("timed-out waiter got code %d resp %+v", code, resp)
+	}
+	close(release)
+}
+
+func TestIdemCacheEvictsFIFO(t *testing.T) {
+	var c idemCache
+	ok := func() (rpc.OffloadResponse, int) { return rpc.OffloadResponse{}, http.StatusOK }
+	for i := 0; i < idemCacheCap+10; i++ {
+		c.do(context.Background(), fmt.Sprintf("k%d", i), ok)
+	}
+	if got := c.len(); got != idemCacheCap {
+		t.Fatalf("cache holds %d entries, want cap %d", got, idemCacheCap)
+	}
+}
+
+// countingCluster builds a front-end over one real surrogate whose
+// /execute hits are counted — the ground truth for "did the task run
+// twice".
+func countingCluster(t *testing.T, delay time.Duration) (*httptest.Server, *atomic.Int64, *dalvik.Surrogate) {
+	t.Helper()
+	fe, err := NewFrontEnd(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sur, err := dalvik.NewSurrogate("surrogate-1", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sur.PushPool(tasks.DefaultPool()); err != nil {
+		t.Fatal(err)
+	}
+	var executes atomic.Int64
+	base := sur.Handler()
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == rpc.PathExecute {
+			executes.Add(1)
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+		}
+		base.ServeHTTP(w, r)
+	}))
+	t.Cleanup(backend.Close)
+	if err := fe.Register(1, backend.URL); err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(fe.Handler())
+	t.Cleanup(front.Close)
+	return front, &executes, sur
+}
+
+// TestHedgedOffloadExecutesOnce proves the satellite contract for
+// single calls: a hedge racing a slow primary reaches the front-end
+// twice, but the side-effecting task runs exactly once — the hedge
+// lane is absorbed by the idempotency cache.
+func TestHedgedOffloadExecutesOnce(t *testing.T) {
+	front, executes, _ := countingCluster(t, 60*time.Millisecond)
+	client := rpc.NewClient(front.URL)
+	client.Hedge = &rpc.HedgePolicy{Delay: 10 * time.Millisecond}
+
+	st, err := tasks.Minimax{}.Generate(sim.NewRNG(7).Stream("gen"), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Offload(context.Background(), rpc.OffloadRequest{
+		UserID: 1, Group: 1, BatteryLevel: 0.8, State: st,
+	})
+	if err != nil {
+		t.Fatalf("offload: %v", err)
+	}
+	if resp.Result.Task != "minimax" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if hedges := client.Stats().Hedges; hedges == 0 {
+		t.Fatal("hedge never launched; the test proved nothing")
+	}
+	if n := executes.Load(); n != 1 {
+		t.Fatalf("task executed %d times under hedging, want 1", n)
+	}
+}
+
+// TestHedgedBatchExecutesOnce is the batch form: a hedged 4-call chain
+// re-sends the whole batch, and every call still executes exactly once.
+func TestHedgedBatchExecutesOnce(t *testing.T) {
+	front, executes, _ := countingCluster(t, 60*time.Millisecond)
+	client := rpc.NewClient(front.URL)
+	client.Hedge = &rpc.HedgePolicy{Delay: 10 * time.Millisecond}
+
+	const chain = 4
+	calls := make([]rpc.OffloadRequest, chain)
+	gen := sim.NewRNG(11).Stream("gen")
+	for i := range calls {
+		st, err := tasks.Minimax{}.Generate(gen, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		calls[i] = rpc.OffloadRequest{UserID: i, Group: 1, BatteryLevel: 0.8, State: st}
+	}
+	results, err := client.OffloadBatch(context.Background(), calls)
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	if len(results) != chain {
+		t.Fatalf("%d results for %d calls", len(results), chain)
+	}
+	for i, res := range results {
+		if res.Code != http.StatusOK || res.Resp.Result.Task != "minimax" {
+			t.Fatalf("call %d: code %d resp %+v", i, res.Code, res.Resp)
+		}
+	}
+	if hedges := client.Stats().Hedges; hedges == 0 {
+		t.Fatal("hedge never launched; the test proved nothing")
+	}
+	if n := executes.Load(); n != chain {
+		t.Fatalf("chain of %d executed %d backend calls under hedging, want exactly %d", chain, n, chain)
+	}
+}
+
+// TestRetriedOffloadAfterFailureReExecutes pins the other half of the
+// idempotency contract: failures are NOT cached, so a retry after a
+// 5xx gets a fresh execution instead of a replayed failure.
+func TestRetriedOffloadAfterFailureReExecutes(t *testing.T) {
+	fe, err := NewFrontEnd(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sur, err := dalvik.NewSurrogate("surrogate-1", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sur.PushPool(tasks.DefaultPool()); err != nil {
+		t.Fatal(err)
+	}
+	var hits atomic.Int64
+	base := sur.Handler()
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == rpc.PathExecute && hits.Add(1) == 1 {
+			// First attempt dies mid-flight: a transport-level failure
+			// the client classifies as retryable.
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Error("no hijacker")
+				return
+			}
+			conn, _, _ := hj.Hijack()
+			_ = conn.Close()
+			return
+		}
+		base.ServeHTTP(w, r)
+	}))
+	t.Cleanup(backend.Close)
+	if err := fe.Register(1, backend.URL); err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(fe.Handler())
+	t.Cleanup(front.Close)
+
+	client := rpc.NewClient(front.URL)
+	client.Retry = rpc.NewRetryPolicy(3, time.Millisecond, 10*time.Millisecond, 1)
+	st, err := tasks.Minimax{}.Generate(sim.NewRNG(3).Stream("gen"), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Offload(context.Background(), rpc.OffloadRequest{
+		UserID: 1, Group: 1, BatteryLevel: 0.8, State: st,
+	})
+	if err != nil {
+		t.Fatalf("offload after retry: %v", err)
+	}
+	if resp.Result.Task != "minimax" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if n := hits.Load(); n != 2 {
+		t.Fatalf("backend hit %d times, want 2 (fail, then fresh retry)", n)
+	}
+}

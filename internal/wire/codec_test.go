@@ -1,0 +1,191 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"accelcloud/internal/tasks"
+)
+
+// canonical messages shared by the round-trip and golden-vector tests.
+// Float fields use values exact in binary so encodings are stable.
+func canonicalOffloadRequest() OffloadRequest {
+	return OffloadRequest{
+		UserID:       7,
+		Group:        2,
+		BatteryLevel: 0.75,
+		IdemKey:      "k-1",
+		State:        tasks.State{Task: "sieve", Size: 1000, Data: []byte{0x01, 0x02, 0x03}},
+	}
+}
+
+func canonicalOffloadResponse() OffloadResponse {
+	return OffloadResponse{
+		Result:  tasks.Result{Task: "sieve", Data: []byte{0xaa, 0xbb}, Ops: 168},
+		Server:  "surrogate-g2-0",
+		Group:   2,
+		Timings: Timings{RoutingMs: 1.5, BackendMs: 2.25, CloudMs: 0.5},
+	}
+}
+
+func TestOffloadRequestRoundTrip(t *testing.T) {
+	in := canonicalOffloadRequest()
+	out, err := DecodeOffloadRequest(AppendOffloadRequest(nil, in))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestOffloadResponseRoundTrip(t *testing.T) {
+	in := canonicalOffloadResponse()
+	out, err := DecodeOffloadResponse(AppendOffloadResponse(nil, in))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestExecuteRoundTrips(t *testing.T) {
+	req := ExecuteRequest{State: tasks.State{Task: "matmul", Size: 64, Data: []byte("abc")}}
+	gotReq, err := DecodeExecuteRequest(AppendExecuteRequest(nil, req))
+	if err != nil {
+		t.Fatalf("decode request: %v", err)
+	}
+	if !reflect.DeepEqual(req, gotReq) {
+		t.Fatalf("request mismatch: %+v != %+v", req, gotReq)
+	}
+	resp := ExecuteResponse{
+		Result:  tasks.Result{Task: "matmul", Ops: -3},
+		CloudMs: 12.5,
+		Server:  "s1",
+		Error:   "boom",
+	}
+	gotResp, err := DecodeExecuteResponse(AppendExecuteResponse(nil, resp))
+	if err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	if !reflect.DeepEqual(resp, gotResp) {
+		t.Fatalf("response mismatch: %+v != %+v", resp, gotResp)
+	}
+}
+
+func TestBatchRoundTrips(t *testing.T) {
+	req := BatchRequest{Calls: []OffloadRequest{
+		canonicalOffloadRequest(),
+		{UserID: 1, Group: 1, BatteryLevel: 0.5, State: tasks.State{Task: "fib", Size: 10}},
+	}}
+	gotReq, err := DecodeBatchRequest(AppendBatchRequest(nil, req))
+	if err != nil {
+		t.Fatalf("decode batch request: %v", err)
+	}
+	if !reflect.DeepEqual(req, gotReq) {
+		t.Fatalf("batch request mismatch:\n in: %+v\nout: %+v", req, gotReq)
+	}
+	resp := BatchResponse{Results: []BatchResult{
+		{Code: 200, Resp: canonicalOffloadResponse()},
+		{Code: 502, Resp: OffloadResponse{Error: "dalvik: boom"}},
+	}}
+	gotResp, err := DecodeBatchResponse(AppendBatchResponse(nil, resp))
+	if err != nil {
+		t.Fatalf("decode batch response: %v", err)
+	}
+	if !reflect.DeepEqual(resp, gotResp) {
+		t.Fatalf("batch response mismatch:\n in: %+v\nout: %+v", resp, gotResp)
+	}
+}
+
+func TestErrorFrameRoundTrip(t *testing.T) {
+	in := ErrorFrame{Code: 503, Message: "router: no backend for group 9"}
+	out, err := DecodeErrorFrame(AppendErrorFrame(nil, in))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out != in {
+		t.Fatalf("round trip mismatch: %+v != %+v", out, in)
+	}
+}
+
+func TestNegativeIntsRoundTrip(t *testing.T) {
+	// The zigzag varint path must survive the full signed range.
+	for _, v := range []int{0, -1, 1, math.MinInt32, math.MaxInt32, math.MinInt64, math.MaxInt64} {
+		b := appendInt(nil, v)
+		c := &cur{b: b}
+		got, err := c.sint()
+		if err != nil {
+			t.Fatalf("sint(%d): %v", v, err)
+		}
+		if got != v {
+			t.Fatalf("sint(%d) = %d", v, got)
+		}
+	}
+}
+
+func TestDecodeRejectsTrailingGarbage(t *testing.T) {
+	b := AppendOffloadRequest(nil, canonicalOffloadRequest())
+	if _, err := DecodeOffloadRequest(append(b, 0x00)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("trailing byte accepted: %v", err)
+	}
+}
+
+func TestDecodeRejectsOverlongBlob(t *testing.T) {
+	// A blob declaring more bytes than the payload holds must be
+	// rejected before any allocation happens.
+	b := appendString(nil, "sieve")
+	b = appendInt(b, 1)
+	// Declared 1 GiB of data, zero bytes present.
+	b = append(b, 0x80, 0x80, 0x80, 0x80, 0x04)
+	c := &cur{b: b}
+	if _, err := decodeState(c); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("overlong blob accepted: %v", err)
+	}
+}
+
+func TestDecodeTruncatedMessages(t *testing.T) {
+	// Every proper prefix of a valid message must fail cleanly, never
+	// panic or succeed.
+	full := AppendOffloadResponse(nil, canonicalOffloadResponse())
+	for i := 0; i < len(full); i++ {
+		if _, err := DecodeOffloadResponse(full[:i]); err == nil {
+			t.Fatalf("truncation at %d/%d accepted", i, len(full))
+		}
+	}
+}
+
+func TestBatchCountCapped(t *testing.T) {
+	// Declared count above MaxBatchCalls.
+	huge := []byte{0x81, 0x10} // uvarint 2049 > MaxBatchCalls
+	if _, err := DecodeBatchRequest(huge); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("oversized batch count accepted: %v", err)
+	}
+	// Declared count within the cap but exceeding the bytes present:
+	// rejected before the per-call slice is allocated.
+	short := []byte{0xff, 0x07} // uvarint 1023, no call bytes follow
+	if _, err := DecodeBatchRequest(short); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("lying batch count accepted: %v", err)
+	}
+}
+
+func TestNilAndEmptyBlobsCanonical(t *testing.T) {
+	// nil and empty data encode identically and decode as nil, so
+	// round-tripped messages compare equal however they were built.
+	withNil := AppendExecuteRequest(nil, ExecuteRequest{State: tasks.State{Task: "t"}})
+	withEmpty := AppendExecuteRequest(nil, ExecuteRequest{State: tasks.State{Task: "t", Data: []byte{}}})
+	if !bytes.Equal(withNil, withEmpty) {
+		t.Fatalf("nil and empty data encode differently: %x vs %x", withNil, withEmpty)
+	}
+	got, err := DecodeExecuteRequest(withEmpty)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.State.Data != nil {
+		t.Fatalf("empty blob decoded non-nil: %#v", got.State.Data)
+	}
+}

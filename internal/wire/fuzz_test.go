@@ -1,0 +1,118 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"accelcloud/internal/tasks"
+)
+
+// FuzzDecodeFrame is the decoder-robustness half of the conformance
+// contract: for arbitrary bytes the decoder must never panic and never
+// allocate past its cap, and anything it does accept must re-encode to
+// a frame it decodes identically (decode∘encode = id on the accepted
+// set). The seed corpus under testdata/fuzz/FuzzDecodeFrame holds one
+// valid encoding per frame kind plus known-tricky headers; run with
+// `go test -fuzz=FuzzDecodeFrame ./internal/wire/` to explore further.
+func FuzzDecodeFrame(f *testing.F) {
+	for _, fr := range goldenFrames() {
+		f.Add(AppendFrame(nil, fr))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x05, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fr, n, err := DecodeFrame(b, 1<<20)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(b) {
+			t.Fatalf("consumed %d of %d bytes", n, len(b))
+		}
+		// Accepted frames must survive a re-encode byte-identically up
+		// to re-decode (the encoder always emits minimal varints, so
+		// byte equality is only guaranteed after one normalization).
+		re := AppendFrame(nil, fr)
+		fr2, n2, err := DecodeFrame(re, 1<<20)
+		if err != nil {
+			t.Fatalf("re-encoded frame rejected: %v", err)
+		}
+		if n2 != len(re) || !reflect.DeepEqual(fr, fr2) {
+			t.Fatalf("decode∘encode not identity:\n got %+v\nwant %+v", fr2, fr)
+		}
+		// The payload decoders must be panic-free on whatever payload a
+		// valid header smuggles in.
+		switch fr.Type {
+		case FrameRequest:
+			switch fr.Flags & methodMask {
+			case MethodOffload:
+				_, _ = DecodeOffloadRequest(fr.Payload)
+			case MethodExecute:
+				_, _ = DecodeExecuteRequest(fr.Payload)
+			}
+		case FrameResponse:
+			_, _ = DecodeOffloadResponse(fr.Payload)
+			_, _ = DecodeExecuteResponse(fr.Payload)
+		case FrameBatch:
+			if fr.Flags&FlagBatchResponse != 0 {
+				_, _ = DecodeBatchResponse(fr.Payload)
+			} else {
+				_, _ = DecodeBatchRequest(fr.Payload)
+			}
+		case FrameError:
+			_, _ = DecodeErrorFrame(fr.Payload)
+		}
+	})
+}
+
+// FuzzRoundTrip drives the structured half: any OffloadRequest the
+// client could build must survive encode → frame → decode bit-exactly.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(7, 2, 0.75, "k-1", "sieve", 1000, []byte{1, 2, 3}, uint64(1))
+	f.Add(0, 0, 0.0, "", "", 0, []byte(nil), uint64(0))
+	f.Add(-5, -9, math.Inf(1), "idem", "x", -40, []byte("data"), uint64(1)<<63)
+	f.Add(math.MaxInt, math.MinInt, math.NaN(), "\x00\xff", "üñî", math.MaxInt32, bytes.Repeat([]byte{0xab}, 300), uint64(42))
+	f.Fuzz(func(t *testing.T, userID, group int, battery float64, idemKey, task string, size int, data []byte, streamID uint64) {
+		req := OffloadRequest{
+			UserID: userID, Group: group, BatteryLevel: battery, IdemKey: idemKey,
+			State: tasks.State{Task: task, Size: size, Data: data},
+		}
+		frame := AppendFrame(nil, Frame{
+			Type: FrameRequest, Flags: MethodOffload, StreamID: streamID,
+			Payload: AppendOffloadRequest(nil, req),
+		})
+		fr, n, err := DecodeFrame(frame, 0)
+		if err != nil {
+			t.Fatalf("own encoding rejected: %v", err)
+		}
+		if n != len(frame) {
+			t.Fatalf("consumed %d of %d bytes", n, len(frame))
+		}
+		if fr.StreamID != streamID || fr.Type != FrameRequest || fr.Flags != MethodOffload {
+			t.Fatalf("header mangled: %+v", fr)
+		}
+		got, err := DecodeOffloadRequest(fr.Payload)
+		if err != nil {
+			t.Fatalf("own payload rejected: %v", err)
+		}
+		if got.UserID != userID || got.Group != group || got.IdemKey != idemKey ||
+			got.State.Task != task || got.State.Size != size {
+			t.Fatalf("round trip mismatch:\n got %+v\nsent %+v", got, req)
+		}
+		// Bit-level float equality: NaN payloads must survive too.
+		if math.Float64bits(got.BatteryLevel) != math.Float64bits(battery) {
+			t.Fatalf("battery bits changed: %x -> %x", math.Float64bits(battery), math.Float64bits(got.BatteryLevel))
+		}
+		// nil and empty are canonically nil after a round trip.
+		if len(data) == 0 {
+			if got.State.Data != nil {
+				t.Fatalf("empty data decoded non-nil: %#v", got.State.Data)
+			}
+		} else if !bytes.Equal(got.State.Data, data) {
+			t.Fatalf("data changed: %x -> %x", data, got.State.Data)
+		}
+	})
+}

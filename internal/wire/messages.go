@@ -1,0 +1,119 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"accelcloud/internal/tasks"
+)
+
+// The message types are the protocol's DTOs, shared verbatim by the
+// JSON compat mode and the binary framing: internal/rpc aliases them,
+// so one struct definition serves both encodings and the parity suite
+// can compare transports field by field. JSON tags drive the compat
+// mode; the binary codec (codec.go) encodes fields positionally.
+
+// OffloadRequest is a mobile client's request to the front-end.
+type OffloadRequest struct {
+	// UserID identifies the device.
+	UserID int `json:"userId"`
+	// Group is the acceleration group the device currently requests.
+	Group int `json:"group"`
+	// BatteryLevel is the device battery in [0, 1] (logged per §IV-A).
+	BatteryLevel float64 `json:"batteryLevel"`
+	// IdemKey, when non-empty, deduplicates re-sends of the same call:
+	// the front-end serves a retried or hedged duplicate from its
+	// idempotency cache instead of executing the task again. Clients
+	// with a retry or hedge policy assign keys automatically.
+	IdemKey string `json:"idemKey,omitempty"`
+	// State is the serialized application state to execute.
+	State tasks.State `json:"state"`
+}
+
+// Validate checks the request.
+func (r OffloadRequest) Validate() error {
+	if r.UserID < 0 {
+		return fmt.Errorf("rpc: negative user id %d", r.UserID)
+	}
+	if r.Group < 0 {
+		return fmt.Errorf("rpc: negative group %d", r.Group)
+	}
+	if math.IsNaN(r.BatteryLevel) || r.BatteryLevel < 0 || r.BatteryLevel > 1 {
+		return fmt.Errorf("rpc: battery %v outside [0,1]", r.BatteryLevel)
+	}
+	if r.State.Task == "" {
+		return errors.New("rpc: state without task name")
+	}
+	return nil
+}
+
+// Timings is the Fig 7a component breakdown, in milliseconds.
+type Timings struct {
+	// RoutingMs is the SDN-accelerator's processing overhead (≈150 ms
+	// in the paper, Fig 8a).
+	RoutingMs float64 `json:"routingMs"`
+	// BackendMs is T2: front-end ↔ back-end communication.
+	BackendMs float64 `json:"backendMs"`
+	// CloudMs is Tcloud: code execution on the surrogate.
+	CloudMs float64 `json:"cloudMs"`
+}
+
+// OffloadResponse is the front-end's reply.
+type OffloadResponse struct {
+	// Result is the execution outcome.
+	Result tasks.Result `json:"result"`
+	// Server identifies the surrogate that executed the request.
+	Server string `json:"server"`
+	// Group is the acceleration group that served the request.
+	Group int `json:"group"`
+	// Timings is the component breakdown.
+	Timings Timings `json:"timings"`
+	// Error carries a failure message ("" on success).
+	Error string `json:"error,omitempty"`
+}
+
+// ExecuteRequest is the front-end → surrogate call.
+type ExecuteRequest struct {
+	State tasks.State `json:"state"`
+}
+
+// ExecuteResponse is the surrogate's reply.
+type ExecuteResponse struct {
+	Result tasks.Result `json:"result"`
+	// CloudMs is the measured execution time on the surrogate.
+	CloudMs float64 `json:"cloudMs"`
+	Server  string  `json:"server"`
+	Error   string  `json:"error,omitempty"`
+}
+
+// BatchRequest is a chain of offload calls executed server-side in one
+// round trip — the device pipelines a whole call chain instead of
+// paying one round trip per call.
+type BatchRequest struct {
+	Calls []OffloadRequest `json:"calls"`
+}
+
+// BatchResult is one call's outcome inside a batch response. Code is
+// the HTTP-equivalent status the call would have received as a single
+// request (200 on success), so error classification is identical
+// whether a call traveled alone or in a chain.
+type BatchResult struct {
+	Code int             `json:"code"`
+	Resp OffloadResponse `json:"resp"`
+}
+
+// BatchResponse answers a BatchRequest, one result per call, in call
+// order.
+type BatchResponse struct {
+	Results []BatchResult `json:"results"`
+}
+
+// ErrorFrame is the decoded payload of a FrameError: an
+// HTTP-equivalent status code plus a message, so the binary mode
+// classifies failures exactly like the JSON compat mode's non-200
+// responses.
+type ErrorFrame struct {
+	Code    int
+	Message string
+}

@@ -1,0 +1,238 @@
+package wire
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+)
+
+// Handlers are the application callbacks a Server dispatches to.
+type Handlers struct {
+	// Offload serves one offload call, returning the response and its
+	// HTTP-equivalent status code (200 on success) — the same pair the
+	// JSON compat handler produces, so both protocols classify
+	// failures identically. Batch frames fan out through this handler
+	// one call at a time, which is what keeps pick policies, in-flight
+	// counters, health observation, and chaos injection seeing
+	// individual calls.
+	Offload func(ctx context.Context, req OffloadRequest) (OffloadResponse, int)
+	// Execute serves one direct surrogate execution (errors travel in
+	// the response's Error field, mirroring the HTTP surrogate).
+	Execute func(ctx context.Context, req ExecuteRequest) ExecuteResponse
+}
+
+// Server accepts binary protocol connections and dispatches frames.
+// Each request frame is served on its own goroutine, so slow calls
+// never block other streams on the same connection; responses are
+// written under a per-connection mutex.
+type Server struct {
+	// H holds the application callbacks; a nil callback rejects the
+	// corresponding method with a 501 error frame.
+	H Handlers
+	// MaxFrame caps inbound frames (0 selects DefaultMaxFrame).
+	MaxFrame int
+
+	mu     sync.Mutex
+	lis    []net.Listener
+	conns  map[net.Conn]context.CancelFunc
+	closed bool
+}
+
+// Serve accepts connections until the listener fails or Close is
+// called (which returns nil).
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = lis.Close()
+		return ErrClosed
+	}
+	s.lis = append(s.lis, lis)
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]context.CancelFunc)
+	}
+	s.mu.Unlock()
+	for {
+		nc, err := lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			cancel()
+			_ = nc.Close()
+			return nil
+		}
+		s.conns[nc] = cancel
+		s.mu.Unlock()
+		go s.serveConn(ctx, nc)
+	}
+}
+
+// Close stops the listeners and tears down live connections;
+// in-flight handlers see their contexts cancelled.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	lis := s.lis
+	s.lis = nil
+	conns := s.conns
+	s.conns = nil
+	s.mu.Unlock()
+	for _, l := range lis {
+		_ = l.Close()
+	}
+	for nc, cancel := range conns {
+		cancel()
+		_ = nc.Close()
+	}
+	return nil
+}
+
+// connWriter serializes response frames onto one connection.
+type connWriter struct {
+	mu   sync.Mutex
+	nc   net.Conn
+	wbuf []byte
+}
+
+func (w *connWriter) write(f Frame) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var err error
+	w.wbuf, err = WriteFrame(w.nc, w.wbuf, f)
+	return err
+}
+
+func (s *Server) serveConn(ctx context.Context, nc net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		if cancel, ok := s.conns[nc]; ok {
+			cancel()
+			delete(s.conns, nc)
+		}
+		s.mu.Unlock()
+		_ = nc.Close()
+	}()
+	if tc, ok := nc.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	br := bufio.NewReaderSize(nc, 64<<10)
+	w := &connWriter{nc: nc}
+	for {
+		f, err := ReadFrame(br, s.MaxFrame)
+		if err != nil {
+			// An undecodable or oversized frame leaves the stream
+			// position unknowable; report on stream 0 and drop the
+			// connection. A clean EOF or cancelled context just ends.
+			if ctx.Err() == nil && err != io.EOF &&
+				(errors.Is(err, ErrBadFrame) || errors.Is(err, ErrFrameTooLarge)) {
+				_ = w.write(errorFrame(0, http.StatusBadRequest, err.Error()))
+			}
+			return
+		}
+		go s.dispatch(ctx, w, f)
+	}
+}
+
+// errorFrame builds a FrameError response.
+func errorFrame(stream uint64, code int, msg string) Frame {
+	return Frame{
+		Type:     FrameError,
+		StreamID: stream,
+		Payload:  AppendErrorFrame(nil, ErrorFrame{Code: code, Message: msg}),
+	}
+}
+
+// dispatch serves one inbound frame. Write errors are ignored: the
+// read loop will observe the broken connection and tear it down.
+func (s *Server) dispatch(ctx context.Context, w *connWriter, f Frame) {
+	switch f.Type {
+	case FrameRequest:
+		switch f.Flags & methodMask {
+		case MethodPing:
+			_ = w.write(Frame{Type: FrameResponse, StreamID: f.StreamID})
+		case MethodOffload:
+			if s.H.Offload == nil {
+				_ = w.write(errorFrame(f.StreamID, http.StatusNotImplemented, "wire: offload not served here"))
+				return
+			}
+			req, err := DecodeOffloadRequest(f.Payload)
+			if err != nil {
+				_ = w.write(errorFrame(f.StreamID, http.StatusBadRequest, err.Error()))
+				return
+			}
+			resp, code := s.H.Offload(ctx, req)
+			if code != 0 && code != http.StatusOK {
+				_ = w.write(errorFrame(f.StreamID, code, resp.Error))
+				return
+			}
+			_ = w.write(Frame{Type: FrameResponse, StreamID: f.StreamID, Payload: AppendOffloadResponse(nil, resp)})
+		case MethodExecute:
+			if s.H.Execute == nil {
+				_ = w.write(errorFrame(f.StreamID, http.StatusNotImplemented, "wire: execute not served here"))
+				return
+			}
+			req, err := DecodeExecuteRequest(f.Payload)
+			if err != nil {
+				_ = w.write(errorFrame(f.StreamID, http.StatusBadRequest, err.Error()))
+				return
+			}
+			resp := s.H.Execute(ctx, req)
+			_ = w.write(Frame{Type: FrameResponse, StreamID: f.StreamID, Payload: AppendExecuteResponse(nil, resp)})
+		}
+	case FrameBatch:
+		if f.Flags&FlagBatchResponse != 0 {
+			_ = w.write(errorFrame(f.StreamID, http.StatusBadRequest, "wire: batch response frame sent to server"))
+			return
+		}
+		if s.H.Offload == nil {
+			_ = w.write(errorFrame(f.StreamID, http.StatusNotImplemented, "wire: offload not served here"))
+			return
+		}
+		batch, err := DecodeBatchRequest(f.Payload)
+		if err != nil {
+			_ = w.write(errorFrame(f.StreamID, http.StatusBadRequest, err.Error()))
+			return
+		}
+		// Fan the chain out per call: every call takes its own trip
+		// through the router, so the data plane's accounting is
+		// identical whether calls arrive alone or chained.
+		results := make([]BatchResult, len(batch.Calls))
+		var wg sync.WaitGroup
+		for i, call := range batch.Calls {
+			wg.Add(1)
+			go func(i int, call OffloadRequest) {
+				defer wg.Done()
+				resp, code := s.H.Offload(ctx, call)
+				if code == 0 {
+					code = http.StatusOK
+				}
+				results[i] = BatchResult{Code: code, Resp: resp}
+			}(i, call)
+		}
+		wg.Wait()
+		_ = w.write(Frame{
+			Type:     FrameBatch,
+			Flags:    FlagBatchResponse,
+			StreamID: f.StreamID,
+			Payload:  AppendBatchResponse(nil, BatchResponse{Results: results}),
+		})
+	default:
+		// FrameResponse / FrameError have no meaning inbound on a
+		// server; answer with a protocol error on the same stream.
+		_ = w.write(errorFrame(f.StreamID, http.StatusBadRequest, "wire: unexpected frame type from client"))
+	}
+}

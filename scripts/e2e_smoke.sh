@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # End-to-end smoke: boot two surrogated back-ends and an sdnd front-end
 # on localhost, run one offload request through the full stack, then a
-# short closed-loop loadgen run. Finally, kill one surrogate and assert
-# the failure detector ejects it and the front-end keeps serving with
-# zero errors. Exits non-zero on any failure. Used by the e2e-smoke CI
-# job; safe to run locally (ports 9100-9102).
+# short closed-loop loadgen run — over JSON/HTTP and over the binary
+# framed protocol (surrogate-2 registers as bin://, the front-end also
+# listens on bin://). Finally, kill one surrogate and assert the
+# failure detector ejects it (probing surrogate-2 over the binary
+# protocol) and the front-end keeps serving with zero errors on both
+# transports. Exits non-zero on any failure. Used by the e2e-smoke CI
+# job; safe to run locally (ports 9100-9104).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,18 +23,22 @@ trap cleanup EXIT
 go build -o "$BIN" ./cmd/...
 
 "$BIN/surrogated" -listen 127.0.0.1:9101 -name surrogate-1 &
-"$BIN/surrogated" -listen 127.0.0.1:9102 -name surrogate-2 &
+"$BIN/surrogated" -listen 127.0.0.1:9102 -name surrogate-2 \
+  -proto both -listen-bin 127.0.0.1:9104 &
 SURROGATE2_PID=$!
 # Both surrogates carry the full task pool, so both serve both groups —
-# the redundancy the kill-one-surrogate step below relies on. -probe
+# the redundancy the kill-one-surrogate step below relies on.
+# Surrogate-2 registers by its binary framed address, so one hop of
+# every pair — and its health probes — runs the wire protocol. -probe
 # enables the failure detector; -backend-timeout keeps a dead hop from
 # stalling a request behind the 30s default.
 "$BIN/sdnd" -listen 127.0.0.1:9100 -policy p2c \
+  -proto both -listen-bin 127.0.0.1:9103 \
   -probe 100ms -backend-timeout 2s \
   -backend 1=http://127.0.0.1:9101 \
-  -backend 1=http://127.0.0.1:9102 \
+  -backend 1=bin://127.0.0.1:9104 \
   -backend 2=http://127.0.0.1:9101 \
-  -backend 2=http://127.0.0.1:9102 &
+  -backend 2=bin://127.0.0.1:9104 &
 
 # Wait for the stack to come up: the first offload that succeeds proves
 # front-end routing and surrogate execution end to end.
@@ -52,12 +59,22 @@ fi
 echo "== one offload request through the full stack =="
 "$BIN/offload" -frontend http://127.0.0.1:9100 -task minimax -size 6 -group 2
 
+echo "== one offload request over the binary framed protocol =="
+"$BIN/offload" -frontend bin://127.0.0.1:9103 -task minimax -size 6 -group 2
+
 echo "== 2-second closed-loop load-generation run =="
 "$BIN/loadgen" -frontend http://127.0.0.1:9100 -mode concurrent \
   -users 4 -rate 5 -duration 2s -seed 1 -groups 1,2 \
   -max-error-rate 0 -out "$BIN/e2e_loadgen.json"
 
+echo "== 2-second loadgen run over the binary framed protocol =="
+"$BIN/loadgen" -frontend bin://127.0.0.1:9103 -mode concurrent \
+  -users 4 -rate 5 -duration 2s -seed 1 -groups 1,2 \
+  -max-error-rate 0 -out "$BIN/e2e_loadgen_bin.json"
+
 echo "== kill surrogate-2, wait for the failure detector to eject it =="
+# Surrogate-2 is registered as bin://, so the detector notices over
+# binary-protocol health probes.
 kill "$SURROGATE2_PID"
 ejected=""
 for _ in $(seq 1 100); do
@@ -79,5 +96,10 @@ echo "== front-end keeps serving with zero errors after ejection =="
 "$BIN/loadgen" -frontend http://127.0.0.1:9100 -mode concurrent \
   -users 4 -rate 5 -duration 2s -seed 2 -groups 1,2 \
   -max-error-rate 0 -out "$BIN/e2e_loadgen_after_kill.json"
+
+echo "== binary front-end keeps serving with zero errors too =="
+"$BIN/loadgen" -frontend bin://127.0.0.1:9103 -mode concurrent \
+  -users 4 -rate 5 -duration 2s -seed 2 -groups 1,2 \
+  -max-error-rate 0 -out "$BIN/e2e_loadgen_bin_after_kill.json"
 
 echo "e2e smoke OK"
