@@ -265,8 +265,29 @@ func NewSurrogate(name string, maxProcs int) (*Surrogate, error) {
 	return dalvik.NewSurrogate(name, maxProcs)
 }
 
+// RPCClientOption configures NewRPCClient; see the RPCWith*
+// constructors below.
+type RPCClientOption = rpc.ClientOption
+
 // NewRPCClient builds a client for a front-end or surrogate base URL.
-func NewRPCClient(baseURL string) *RPCClient { return rpc.NewClient(baseURL) }
+// Options replace the historical field pokes:
+//
+//	c.Timeout = d       → NewRPCClient(url, RPCWithTimeout(d))
+//	c.Retry = &policy   → NewRPCClient(url, RPCWithRetry(policy))
+//	c.Hedge = &policy   → NewRPCClient(url, RPCWithHedge(policy))
+func NewRPCClient(baseURL string, opts ...RPCClientOption) *RPCClient {
+	return rpc.NewClient(baseURL, opts...)
+}
+
+// Functional options for NewRPCClient.
+var (
+	// RPCWithTimeout sets the per-call deadline.
+	RPCWithTimeout = rpc.WithTimeout
+	// RPCWithRetry installs the bounded retry budget.
+	RPCWithRetry = rpc.WithRetry
+	// RPCWithHedge installs the straggler-hedging policy.
+	RPCWithHedge = rpc.WithHedge
+)
 
 // WaitHealthy polls a server's health endpoint until it responds.
 func WaitHealthy(ctx context.Context, baseURL string) error {
@@ -324,10 +345,65 @@ type (
 	QueueConfig = qsim.Config
 )
 
+// FrontEndOption configures NewSDNFrontEnd; see the With* constructors
+// below.
+type FrontEndOption = sdn.Option
+
+// ObserverRef late-binds a front-end observer, resolving the
+// front-end↔health-manager construction cycle without mutators: build
+// the front-end with WithObserver(ref.Observe), then ref.Set the
+// manager's hook.
+type ObserverRef = sdn.ObserverRef
+
+// NewSDNFrontEnd builds an HTTP front-end from functional options.
+// Zero options give a round-robin router with no trace sink — the
+// historical NewFrontEnd(nil, 0) behaviour.
+//
+// Migration from the positional constructors and mutators:
+//
+//	NewFrontEnd(log, delay)                 → NewSDNFrontEnd(WithTrace(log), WithRouteDelay(delay))
+//	NewFrontEndWithPolicy(log, delay, pol)  → NewSDNFrontEnd(WithTrace(log), WithRouteDelay(delay), WithPolicy(pol))
+//	fe.SetBackendTimeout(d)                 → WithBackendTimeout(d)
+//	fe.SetObserver(mgr.Observe)             → WithObserver(ref.Observe) + ref.Set(mgr.Observe)
+//
+// New serving knobs have no legacy equivalent: WithQueue (bounded
+// per-backend admission), WithBatching (server-side dynamic batching),
+// WithColdPool (scale-to-zero).
+func NewSDNFrontEnd(opts ...FrontEndOption) (*FrontEnd, error) {
+	return sdn.New(opts...)
+}
+
+// Functional options for NewSDNFrontEnd.
+var (
+	// WithTrace installs the request trace sink (nil disables logging).
+	WithTrace = sdn.WithTrace
+	// WithRouteDelay adds the paper's fixed SDN processing overhead.
+	WithRouteDelay = sdn.WithRouteDelay
+	// WithPolicy selects the pick policy (ParseRouterPolicy resolves
+	// names, including "canary:<version>=<weight>").
+	WithPolicy = sdn.WithPolicy
+	// WithObserver installs the per-request outcome hook the failure
+	// detector subscribes to.
+	WithObserver = sdn.WithObserver
+	// WithBackendTimeout bounds the proxy hop to each backend.
+	WithBackendTimeout = sdn.WithBackendTimeout
+	// WithQueue puts a bounded admission queue in front of every
+	// backend (limit concurrent dispatches, depth waiting).
+	WithQueue = sdn.WithQueue
+	// WithBatching coalesces queued same-task calls into one batch
+	// execution per dispatch; requires WithQueue.
+	WithBatching = sdn.WithBatching
+	// WithColdPool enables scale-to-zero with a simulated cold-start
+	// latency.
+	WithColdPool = sdn.WithColdPool
+)
+
 // NewFrontEnd builds an HTTP front-end; processingDelay optionally
-// reproduces the paper's ≈150 ms routing overhead. See sdn.NewFrontEnd.
+// reproduces the paper's ≈150 ms routing overhead.
+//
+// Deprecated: use NewSDNFrontEnd(WithTrace(log), WithRouteDelay(processingDelay)).
 func NewFrontEnd(log *TraceStore, processingDelay time.Duration) (*FrontEnd, error) {
-	return sdn.NewFrontEnd(log, processingDelay)
+	return sdn.New(sdn.WithTrace(log), sdn.WithRouteDelay(processingDelay))
 }
 
 // Lock-free routing data plane (DESIGN.md §6).
@@ -347,9 +423,12 @@ type (
 func ParseRouterPolicy(name string) (RouterPolicy, error) { return router.ParsePolicy(name) }
 
 // NewFrontEndWithPolicy builds an HTTP front-end with an explicit pick
-// policy. See sdn.NewFrontEndWithPolicy.
+// policy.
+//
+// Deprecated: use NewSDNFrontEnd(WithTrace(log),
+// WithRouteDelay(processingDelay), WithPolicy(policy)).
 func NewFrontEndWithPolicy(log trace.Sink, processingDelay time.Duration, policy RouterPolicy) (*FrontEnd, error) {
-	return sdn.NewFrontEndWithPolicy(log, processingDelay, policy)
+	return sdn.New(sdn.WithTrace(log), sdn.WithRouteDelay(processingDelay), sdn.WithPolicy(policy))
 }
 
 // NewTraceAsync wraps a trace sink in the async batching pipeline

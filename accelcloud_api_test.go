@@ -135,7 +135,7 @@ func TestFacadeNetworkedPlane(t *testing.T) {
 	}
 	backend := httptest.NewServer(sur.Handler())
 	defer backend.Close()
-	fe, err := accelcloud.NewFrontEnd(accelcloud.NewTraceStore(), 0)
+	fe, err := accelcloud.NewSDNFrontEnd(accelcloud.WithTrace(accelcloud.NewTraceStore()))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -180,7 +180,7 @@ func serve(ctx context.Context, out io.Writer, groups []autoscale.GroupSpec, lis
 	if err != nil {
 		return err
 	}
-	fe, err := sdn.NewFrontEndWithPolicy(async, 0, pol)
+	fe, err := sdn.New(sdn.WithTrace(async), sdn.WithPolicy(pol))
 	if err != nil {
 		return err
 	}

@@ -13,7 +13,11 @@
 // per-policy p99 pick latency; rpc reports (BENCH_rpc.json) gate on
 // the json-vs-binary overhead speedup (hard floor 5×) and the batched
 // chain-amortization ratio (hard ceiling 2×), both ratios measured
-// within one run so they stay machine-portable.
+// within one run so they stay machine-portable; serve reports
+// (BENCH_serve.json) gate on the dynamic-batching throughput speedup
+// (hard floor 2×), the saturated hold ratio (hard ceiling 1.2), a
+// non-zero queue-full rejection count, and exact reproduction of the
+// scale-to-zero activation count and decision digest.
 //
 // A regression is: current p99 latency above baseline × (1 + tolerance),
 // current throughput below baseline × (1 − tolerance) (loadgen),
@@ -40,6 +44,7 @@ import (
 	"accelcloud/internal/faults"
 	"accelcloud/internal/loadgen"
 	"accelcloud/internal/router"
+	"accelcloud/internal/servebench"
 )
 
 func main() {
@@ -96,6 +101,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if baseSchema == loadgen.RPCBenchSchema {
 		return diffRPC(out, *basePath, *curPath, *tolerance)
+	}
+	if baseSchema == servebench.Schema {
+		return diffServe(out, *basePath, *curPath, *tolerance)
 	}
 	base, err := loadgen.ReadReportFile(*basePath)
 	if err != nil {
@@ -284,6 +292,80 @@ func diffRPC(out io.Writer, basePath, curPath string, tolerance float64) error {
 	}
 	if cur.ChainRatio > maxRPCChainRatio {
 		failures = append(failures, fmt.Sprintf("chain ratio %.2fx above the %.1fx ceiling", cur.ChainRatio, maxRPCChainRatio))
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(out, "  REGRESSION: %s\n", f)
+		}
+		return fmt.Errorf("%d regression(s) beyond %.0f%% tolerance", len(failures), 100*tolerance)
+	}
+	fmt.Fprintln(out, "  OK: within tolerance")
+	return nil
+}
+
+// Hard bars every servebench report must clear regardless of the
+// baseline — the acceptance criteria of the serving layer: dynamic
+// batching at least doubles homogeneous closed-loop throughput, and a
+// saturated backend's presence moves the healthy backend's p99 by at
+// most 20% of the healthy-only baseline.
+const (
+	minBatchSpeedup = 2.0
+	maxHoldRatio    = 1.2
+)
+
+// diffServe gates a servebench report. The batching speedup and the
+// saturation hold ratio are within-run ratios (machine-portable), each
+// gated against its hard bar; the speedup is additionally gated
+// against the committed baseline with the relative tolerance. The
+// scale-to-zero scenario is deterministic, so its activation count and
+// decision digest must reproduce the baseline exactly, and the run
+// must have shed at least one request through the typed queue-full
+// rejection path. Raw rps and millisecond columns are printed for
+// context only — they move with host speed.
+func diffServe(out io.Writer, basePath, curPath string, tolerance float64) error {
+	base, err := servebench.ReadReportFile(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := servebench.ReadReportFile(curPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "benchdiff: serve baseline %s vs current %s (tolerance %.0f%%)\n",
+		basePath, curPath, 100*tolerance)
+	fmt.Fprintf(out, "  %-26s %12s %12s %10s\n", "metric", "baseline", "current", "change")
+	fmt.Fprintf(out, "  %-26s %12.0f %12.0f %10s\n", "unbatched rps", base.UnbatchedThroughputRps, cur.UnbatchedThroughputRps, pct(base.UnbatchedThroughputRps, cur.UnbatchedThroughputRps))
+	fmt.Fprintf(out, "  %-26s %12.0f %12.0f %10s\n", "batched rps", base.BatchedThroughputRps, cur.BatchedThroughputRps, pct(base.BatchedThroughputRps, cur.BatchedThroughputRps))
+	fmt.Fprintf(out, "  %-26s %12.2f %12.2f %10s\n", "batch speedup", base.BatchSpeedup, cur.BatchSpeedup, pct(base.BatchSpeedup, cur.BatchSpeedup))
+	fmt.Fprintf(out, "  %-26s %12.2f %12.2f %10s\n", "saturated hold ratio", base.SaturatedHoldRatio, cur.SaturatedHoldRatio, pct(base.SaturatedHoldRatio, cur.SaturatedHoldRatio))
+	fmt.Fprintf(out, "  %-26s %12d %12d %10s\n", "queue-full rejections", base.QueueFullRejections, cur.QueueFullRejections, pct(float64(base.QueueFullRejections), float64(cur.QueueFullRejections)))
+	fmt.Fprintf(out, "  %-26s %12d %12d\n", "cold activations", base.ColdActivations, cur.ColdActivations)
+	fmt.Fprintf(out, "  %-26s %25s\n", "decision digest", cur.DecisionDigest)
+
+	var failures []string
+	if cur.BatchSpeedup < minBatchSpeedup {
+		failures = append(failures, fmt.Sprintf("batch speedup %.2fx below the %.1fx floor", cur.BatchSpeedup, minBatchSpeedup))
+	}
+	if base.BatchSpeedup > 0 && cur.BatchSpeedup < base.BatchSpeedup*(1-tolerance) {
+		failures = append(failures, fmt.Sprintf("batch speedup regressed %s (%.2fx -> %.2fx)",
+			pct(base.BatchSpeedup, cur.BatchSpeedup), base.BatchSpeedup, cur.BatchSpeedup))
+	}
+	if cur.SaturatedHoldRatio > maxHoldRatio {
+		failures = append(failures, fmt.Sprintf("saturated hold ratio %.2f above the %.1f ceiling: the crippled backend degraded its healthy peer", cur.SaturatedHoldRatio, maxHoldRatio))
+	}
+	if cur.QueueFullRejections == 0 {
+		failures = append(failures, "no queue-full rejections: the saturated backend never backpressured")
+	}
+	if cur.ColdActivations < 1 {
+		failures = append(failures, "no cold-pool activation: scale-to-zero never reactivated the parked backend")
+	}
+	if cur.ColdActivations != base.ColdActivations {
+		failures = append(failures, fmt.Sprintf("cold activations changed (%d -> %d): the deterministic scenario diverged",
+			base.ColdActivations, cur.ColdActivations))
+	}
+	if cur.DecisionDigest != base.DecisionDigest {
+		failures = append(failures, fmt.Sprintf("decision digest changed (%s -> %s): the scale-to-zero control cycle is not reproducing",
+			base.DecisionDigest, cur.DecisionDigest))
 	}
 	if len(failures) > 0 {
 		for _, f := range failures {

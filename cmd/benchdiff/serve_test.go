@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"accelcloud/internal/servebench"
+)
+
+func writeServeReport(t *testing.T, dir, name string, rep *servebench.Report) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func serveReport(speedup, holdRatio float64) *servebench.Report {
+	return &servebench.Report{
+		Schema:   servebench.Schema,
+		Requests: 400, Workers: 32,
+		UnbatchedThroughputRps: 150,
+		BatchedThroughputRps:   150 * speedup,
+		BatchSpeedup:           speedup,
+		UnbatchedP99Ms:         160, BatchedP99Ms: 40,
+		BaselineP99Ms:        50,
+		SaturatedStableP99Ms: 50 * holdRatio,
+		SaturatedHoldRatio:   holdRatio,
+		QueueFullRejections:  120,
+		ColdActivations:      1,
+		ColdStartMs:          25, ColdRequestMs: 27,
+		DecisionDigest: "fnv1a:00000000deadbeef",
+	}
+}
+
+func TestDiffServeWithinTolerance(t *testing.T) {
+	dir := t.TempDir()
+	base := writeServeReport(t, dir, "base.json", serveReport(6.0, 0.9))
+	cur := writeServeReport(t, dir, "cur.json", serveReport(5.2, 1.1))
+	var buf bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur, "-tolerance", "0.2"}, &buf); err != nil {
+		t.Fatalf("within tolerance failed: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "batch speedup") {
+		t.Fatalf("missing speedup row:\n%s", buf.String())
+	}
+}
+
+func TestDiffServeSpeedupFloor(t *testing.T) {
+	dir := t.TempDir()
+	// 1.9x would pass a pure relative gate against a 2.1x baseline, but
+	// the 2x acceptance floor is absolute.
+	base := writeServeReport(t, dir, "base.json", serveReport(2.1, 0.9))
+	cur := writeServeReport(t, dir, "cur.json", serveReport(1.9, 0.9))
+	var buf bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur, "-tolerance", "0.2"}, &buf); err == nil {
+		t.Fatalf("speedup below floor passed:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "below the 2.0x floor") {
+		t.Fatalf("missing floor failure:\n%s", buf.String())
+	}
+}
+
+func TestDiffServeSpeedupRegression(t *testing.T) {
+	dir := t.TempDir()
+	// Above the floor, but a >20% drop against the baseline still fails.
+	base := writeServeReport(t, dir, "base.json", serveReport(8.0, 0.9))
+	cur := writeServeReport(t, dir, "cur.json", serveReport(4.0, 0.9))
+	var buf bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur, "-tolerance", "0.2"}, &buf); err == nil {
+		t.Fatalf("50%% speedup regression passed:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "batch speedup regressed") {
+		t.Fatalf("missing regression failure:\n%s", buf.String())
+	}
+}
+
+func TestDiffServeHoldRatioCeiling(t *testing.T) {
+	dir := t.TempDir()
+	base := writeServeReport(t, dir, "base.json", serveReport(6.0, 0.9))
+	cur := writeServeReport(t, dir, "cur.json", serveReport(6.0, 1.3))
+	var buf bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur, "-tolerance", "0.2"}, &buf); err == nil {
+		t.Fatalf("hold ratio above ceiling passed:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "above the 1.2 ceiling") {
+		t.Fatalf("missing ceiling failure:\n%s", buf.String())
+	}
+}
+
+func TestDiffServeNoRejections(t *testing.T) {
+	dir := t.TempDir()
+	base := writeServeReport(t, dir, "base.json", serveReport(6.0, 0.9))
+	rep := serveReport(6.0, 0.9)
+	rep.QueueFullRejections = 0
+	cur := writeServeReport(t, dir, "cur.json", rep)
+	var buf bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur, "-tolerance", "0.2"}, &buf); err == nil {
+		t.Fatalf("rejection-free saturation scenario passed:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "never backpressured") {
+		t.Fatalf("missing rejection failure:\n%s", buf.String())
+	}
+}
+
+func TestDiffServeDigestDrift(t *testing.T) {
+	dir := t.TempDir()
+	base := writeServeReport(t, dir, "base.json", serveReport(6.0, 0.9))
+	rep := serveReport(6.0, 0.9)
+	rep.DecisionDigest = "fnv1a:0000000000000bad"
+	cur := writeServeReport(t, dir, "cur.json", rep)
+	var buf bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur, "-tolerance", "0.2"}, &buf); err == nil {
+		t.Fatalf("digest drift passed:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "decision digest changed") {
+		t.Fatalf("missing digest failure:\n%s", buf.String())
+	}
+}
+
+func TestDiffServeActivationDrift(t *testing.T) {
+	dir := t.TempDir()
+	base := writeServeReport(t, dir, "base.json", serveReport(6.0, 0.9))
+	rep := serveReport(6.0, 0.9)
+	rep.ColdActivations = 0
+	cur := writeServeReport(t, dir, "cur.json", rep)
+	var buf bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur, "-tolerance", "0.2"}, &buf); err == nil {
+		t.Fatalf("activation-free scale-to-zero scenario passed:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "no cold-pool activation") {
+		t.Fatalf("missing activation failure:\n%s", buf.String())
+	}
+}

@@ -46,10 +46,13 @@ import (
 	"accelcloud/internal/trace"
 )
 
-// backendFlags collects repeated -backend group=url pairs.
+// backendFlags collects repeated -backend group=url[@version] pairs.
+// The optional @version suffix labels the backend for the canary pick
+// policy ("-canary v2=0.05" routes 5% of picks to @v2 backends).
 type backendFlags []struct {
-	group int
-	url   string
+	group   int
+	url     string
+	version string
 }
 
 func (b *backendFlags) String() string { return fmt.Sprintf("%d backends", len(*b)) }
@@ -57,16 +60,23 @@ func (b *backendFlags) String() string { return fmt.Sprintf("%d backends", len(*
 func (b *backendFlags) Set(v string) error {
 	parts := strings.SplitN(v, "=", 2)
 	if len(parts) != 2 {
-		return fmt.Errorf("backend %q: want group=url", v)
+		return fmt.Errorf("backend %q: want group=url[@version]", v)
 	}
 	group, err := strconv.Atoi(parts[0])
 	if err != nil {
 		return fmt.Errorf("backend %q: bad group: %w", v, err)
 	}
+	url, version := parts[1], ""
+	// Split the version label off the right so bin://host:port@v2
+	// parses; URLs here never carry userinfo.
+	if at := strings.LastIndex(url, "@"); at >= 0 {
+		url, version = url[:at], url[at+1:]
+	}
 	*b = append(*b, struct {
-		group int
-		url   string
-	}{group, parts[1]})
+		group   int
+		url     string
+		version string
+	}{group, url, version})
 	return nil
 }
 
@@ -91,8 +101,15 @@ func run(args []string) error {
 	probeSucc := fs.Int("probe-succ", 2, "consecutive clean probes before reinstatement")
 	passiveErrors := fs.Int("passive-errors", 5, "consecutive data-path errors before passive ejection")
 	backendTimeout := fs.Duration("backend-timeout", 0, "surrogate hop deadline (0 = rpc default 30s)")
+	queueLimit := fs.Int("queue-limit", 0, "per-backend concurrency limit (0 disables admission queues)")
+	queueDepth := fs.Int("queue-depth", 0, "per-backend admission queue depth (0 = default 64; needs -queue-limit)")
+	maxBatch := fs.Int("max-batch", 0, "coalesce up to this many queued same-method calls per dispatch (needs -queue-limit)")
+	linger := fs.Duration("linger", 0, "max wait to fill a batch (0 = default 2ms; needs -max-batch)")
+	coldAfter := fs.Duration("cold-after", 0, "park idle backends in the cold pool after this long (0 disables scale-to-zero)")
+	coldStart := fs.Duration("cold-start", 0, "simulated activation latency charged to the first request hitting a cold backend")
+	canary := fs.String("canary", "", "canary split version=weight (e.g. v2=0.05); shorthand for -policy canary:version=weight")
 	var backends backendFlags
-	fs.Var(&backends, "backend", "group=url surrogate registration (repeatable)")
+	fs.Var(&backends, "backend", "group=url[@version] surrogate registration (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -101,6 +118,12 @@ func run(args []string) error {
 	}
 	if *proto != "http" && *proto != "binary" && *proto != "both" {
 		return fmt.Errorf("unknown -proto %q (want http|binary|both)", *proto)
+	}
+	if *canary != "" {
+		if *policyName != "rr" {
+			return fmt.Errorf("-canary and -policy are mutually exclusive")
+		}
+		*policyName = router.PolicyCanaryPrefix + *canary
 	}
 	policy, err := router.ParsePolicy(*policyName)
 	if err != nil {
@@ -113,15 +136,33 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	fe, err := sdn.NewFrontEndWithPolicy(async, *delay, policy)
+	// The observer is bound after the health manager exists; the ref
+	// breaks the front-end↔manager construction cycle.
+	var obs sdn.ObserverRef
+	opts := []sdn.Option{
+		sdn.WithTrace(async),
+		sdn.WithRouteDelay(*delay),
+		sdn.WithPolicy(policy),
+		sdn.WithObserver(obs.Observe),
+	}
+	if *backendTimeout > 0 {
+		opts = append(opts, sdn.WithBackendTimeout(*backendTimeout))
+	}
+	if *queueLimit > 0 {
+		opts = append(opts, sdn.WithQueue(*queueLimit, *queueDepth))
+	}
+	if *maxBatch > 1 {
+		opts = append(opts, sdn.WithBatching(*maxBatch, *linger))
+	}
+	if *coldAfter > 0 {
+		opts = append(opts, sdn.WithColdPool(*coldAfter, *coldStart))
+	}
+	fe, err := sdn.New(opts...)
 	if err != nil {
 		return err
 	}
-	if *backendTimeout > 0 {
-		fe.SetBackendTimeout(*backendTimeout)
-	}
 	for _, b := range backends {
-		if err := fe.Register(b.group, b.url); err != nil {
+		if err := fe.RegisterVersion(b.group, b.url, b.version); err != nil {
 			return err
 		}
 	}
@@ -140,9 +181,30 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		fe.SetObserver(mgr.Observe)
+		obs.Set(mgr.Observe)
 		go mgr.Run(hctx)
 		probing = fmt.Sprintf(", probing every %v", *probe)
+	}
+	if *coldAfter > 0 {
+		// Janitor: sweep idle backends into the cold pool at a fraction
+		// of the idle threshold so parking lags -cold-after by at most
+		// one tick.
+		go func() {
+			tick := *coldAfter / 4
+			if tick < 100*time.Millisecond {
+				tick = 100 * time.Millisecond
+			}
+			t := time.NewTicker(tick)
+			defer t.Stop()
+			for {
+				select {
+				case <-hctx.Done():
+					return
+				case now := <-t.C:
+					fe.SweepCold(now)
+				}
+			}
+		}()
 	}
 	srv := &http.Server{Addr: *listen, Handler: fe.Handler()}
 	errCh := make(chan error, 1)

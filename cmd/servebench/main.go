@@ -1,0 +1,65 @@
+// Command servebench measures the serving layer end to end against
+// hermetic clusters: the dynamic-batching throughput A/B, the
+// backpressure hold of a healthy backend next to a saturated one, and
+// the deterministic scale-to-zero activation with its cold-start
+// charge in the autoscale decision digest.
+//
+// Usage:
+//
+//	servebench -requests 400 -workers 32 -out BENCH_serve.json
+//
+// The gated columns (cmd/benchdiff vs BENCH_serve_baseline.json) are
+// the batching speedup (hard floor 2.0x), the saturated hold ratio
+// (hard ceiling 1.2), and the exact activation count and decision
+// digest of the scale-to-zero scenario. The wall-clock scenarios gate
+// on within-run ratios, so the report stays machine-portable.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"accelcloud/internal/servebench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "servebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("servebench", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "RNG seed for the deterministic task streams")
+	requests := fs.Int("requests", 400, "measured requests per cell")
+	workers := fs.Int("workers", 32, "closed-loop client concurrency")
+	size := fs.Int("task-size", 8, "matmul dimension (small isolates serving overhead)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request client timeout")
+	outPath := fs.String("out", "BENCH_serve.json", "write the JSON report here (empty disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rep, err := servebench.Run(context.Background(), servebench.Config{
+		Seed:       *seed,
+		Requests:   *requests,
+		Workers:    *workers,
+		MatMulSize: *size,
+		Timeout:    *timeout,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, rep.Summary())
+	if *outPath != "" {
+		if err := rep.WriteFile(*outPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", *outPath)
+	}
+	return nil
+}

@@ -195,6 +195,11 @@ type Decision struct {
 	Applied []int `json:"applied"`
 	// Repaired counts the dead backends replaced per group this slot.
 	Repaired []int `json:"repaired,omitempty"`
+	// Activated counts the scale-to-zero cold starts per group this
+	// slot (front-end cold-pool reactivations). Nil when no backend was
+	// activated — absent entirely in digests of cold-pool-free runs, so
+	// historical digests are unaffected.
+	Activated []int `json:"activated,omitempty"`
 	// Warm and Draining count the off-rotation surrogates.
 	Warm     int `json:"warm"`
 	Draining int `json:"draining"`
@@ -570,6 +575,15 @@ func (c *Controller) Step(ctx context.Context, slot trace.Slot) (Decision, error
 			break
 		}
 	}
+	// Scale-to-zero reactivations since the last cycle: each cold start
+	// stalled a request for the activation latency, billed below at the
+	// group's instance rate.
+	if acts := c.cfg.FrontEnd.TakeActivations(); len(acts) > 0 {
+		dec.Activated = make([]int, len(c.groups))
+		for i, g := range c.groups {
+			dec.Activated[i] = int(acts[g.Group])
+		}
+	}
 	for i, g := range c.groups {
 		cur := len(c.active[g.Group])
 		desired := cur // infeasible plans hold the current deployment
@@ -604,6 +618,14 @@ func (c *Controller) Step(ctx context.Context, slot trace.Slot) (Decision, error
 	dec.Warm = len(c.warm)
 	dec.Draining = len(c.draining)
 	dec.CostUSD = c.slotCost()
+	if dec.Activated != nil {
+		// Cold starts are not free capacity: bill each activation's
+		// stall at the group's instance rate for the activation window.
+		coldHours := c.cfg.FrontEnd.ColdStartLatency().Hours()
+		for i, g := range c.groups {
+			dec.CostUSD += float64(dec.Activated[i]) * coldHours * g.CostPerHour
+		}
+	}
 	c.decisions = append(c.decisions, dec)
 	c.slotIdx++
 	return dec, nil
@@ -684,6 +706,11 @@ func (c *Controller) Digest() string {
 				writeInt(int64(d.Repaired[i]))
 			} else {
 				writeInt(0)
+			}
+			// Cold-pool activations hash only when present: runs
+			// without scale-to-zero keep their historical digests.
+			if len(d.Activated) > 0 {
+				writeInt(int64(d.Activated[i]))
 			}
 		}
 		writeInt(int64(d.Warm))

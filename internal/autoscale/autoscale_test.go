@@ -6,8 +6,10 @@ import (
 	"time"
 
 	"accelcloud/internal/loadgen"
+	"accelcloud/internal/rpc"
 	"accelcloud/internal/sdn"
 	"accelcloud/internal/sim"
+	"accelcloud/internal/tasks"
 	"accelcloud/internal/trace"
 )
 
@@ -36,7 +38,7 @@ func testSweepConfig(seed int64) SweepConfig {
 }
 
 func TestNewValidation(t *testing.T) {
-	fe, err := sdn.NewFrontEnd(nil, 0)
+	fe, err := sdn.New()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +89,7 @@ func slotWith(idx int, counts map[int]int) trace.Slot {
 // synthetic demand ramp and verifies pool growth, hysteresis-gated
 // drain, and warm-pool reuse against the live front-end registry.
 func TestControllerScalesUpAndDown(t *testing.T) {
-	fe, err := sdn.NewFrontEnd(nil, 0)
+	fe, err := sdn.New()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +151,7 @@ func TestControllerScalesUpAndDown(t *testing.T) {
 // scale-up in slot t forbids a scale-down in slot t+1 when
 // CooldownSlots is 2.
 func TestControllerCooldownBlocksImmediateDrain(t *testing.T) {
-	fe, err := sdn.NewFrontEnd(nil, 0)
+	fe, err := sdn.New()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +211,7 @@ func (p *countingProvisioner) Boot(ctx context.Context, id string) (Backend, err
 // scale back up in slot t+1 — must reuse the just-drained instances
 // (via the end-of-cycle warm trim) instead of booting fresh ones.
 func TestFlapReusesDrainedInstances(t *testing.T) {
-	fe, err := sdn.NewFrontEnd(nil, 0)
+	fe, err := sdn.New()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -356,5 +358,81 @@ func TestReportRoundTripAndSummary(t *testing.T) {
 	}
 	if got.Summary() == "" {
 		t.Fatal("empty summary")
+	}
+}
+
+// TestColdStartActivationsBilledAndDigested pins the scale-to-zero
+// integration: activations drained from the front-end land in
+// Decision.Activated, bill their cold-start stall into CostUSD, and
+// hash into the digest — while activation-free runs keep byte-for-byte
+// the digest they had before the Activated field existed (it only
+// hashes when present).
+func TestColdStartActivationsBilledAndDigested(t *testing.T) {
+	run := func(coldPool bool) (*Controller, Decision) {
+		var opts []sdn.Option
+		if coldPool {
+			opts = append(opts, sdn.WithColdPool(time.Millisecond, 36*time.Millisecond)) // 1e-5 h
+		}
+		fe, err := sdn.New(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctrl, err := New(Config{
+			FrontEnd:    fe,
+			Provisioner: &HermeticProvisioner{},
+			Groups:      testGroups(),
+			SlotLen:     time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(ctrl.Shutdown)
+		ctx := context.Background()
+		if err := ctrl.Prime(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if coldPool {
+			// Park group 1's backend, then reactivate it the way a
+			// request would, so the front-end accrues one activation.
+			if n := fe.SweepCold(time.Now().Add(time.Hour)); n == 0 {
+				t.Fatal("sweep parked nothing")
+			}
+			st, err := tasks.Sieve{}.Generate(sim.NewRNG(1).Stream("gen"), 100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, code := fe.Offload(ctx, rpc.OffloadRequest{UserID: 1, Group: 1, BatteryLevel: 0.9, State: st}); code != 200 {
+				t.Fatalf("reactivating offload code %d", code)
+			}
+		}
+		dec, err := ctrl.Step(ctx, slotWith(0, map[int]int{1: 2, 2: 0}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ctrl, dec
+	}
+
+	plainCtrl, plainDec := run(false)
+	coldCtrl, coldDec := run(true)
+
+	if plainDec.Activated != nil {
+		t.Fatalf("activation-free decision has Activated = %v", plainDec.Activated)
+	}
+	if len(coldDec.Activated) == 0 || coldDec.Activated[0] != 1 {
+		t.Fatalf("cold decision Activated = %v, want one group-1 activation", coldDec.Activated)
+	}
+	// The 36 ms cold start at group 1's rate must surface in the bill.
+	wantExtra := 1e-5 * testGroups()[0].CostPerHour
+	if diff := coldDec.CostUSD - plainDec.CostUSD; diff < wantExtra*0.99 {
+		t.Fatalf("cold run billed %.6f over plain, want >= %.6f activation charge", diff, wantExtra)
+	}
+	if plainCtrl.Digest() == coldCtrl.Digest() {
+		t.Fatal("activation did not change the decision digest")
+	}
+	// And a second activation-free run reproduces the plain digest:
+	// the Activated field is invisible when absent.
+	repeatCtrl, _ := run(false)
+	if repeatCtrl.Digest() != plainCtrl.Digest() {
+		t.Fatalf("activation-free digests diverged: %s vs %s", repeatCtrl.Digest(), plainCtrl.Digest())
 	}
 }

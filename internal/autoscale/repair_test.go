@@ -46,7 +46,7 @@ func (f *fakeHealth) Forget(group int, url string) {
 }
 
 func TestRepairReplacesDeadBackend(t *testing.T) {
-	fe, err := sdn.NewFrontEnd(nil, 0)
+	fe, err := sdn.New()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func TestRepairReplacesDeadBackend(t *testing.T) {
 // controller does not manage as active (already repaired, draining, or
 // foreign) is skipped without side effects.
 func TestRepairIgnoresUnmanagedURLs(t *testing.T) {
-	fe, err := sdn.NewFrontEnd(nil, 0)
+	fe, err := sdn.New()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +155,7 @@ func TestRepairIgnoresUnmanagedURLs(t *testing.T) {
 // of the audited behaviour.
 func TestRepairDigestCoversRepairs(t *testing.T) {
 	run := func(kill bool) string {
-		fe, err := sdn.NewFrontEnd(nil, 0)
+		fe, err := sdn.New()
 		if err != nil {
 			t.Fatal(err)
 		}

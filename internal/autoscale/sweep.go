@@ -212,7 +212,7 @@ func RunSweep(ctx context.Context, cfg SweepConfig) (*Report, error) {
 	// The live stack: front-end over a real loopback socket. The
 	// control loop reads the virtual-time window fed at issue time, so
 	// the front-end itself needs no wall-clock log here.
-	fe, err := sdn.NewFrontEndWithPolicy(nil, 0, policy)
+	fe, err := sdn.New(sdn.WithPolicy(policy))
 	if err != nil {
 		return nil, err
 	}

@@ -159,11 +159,42 @@ func (s *Surrogate) Execute(st tasks.State) (tasks.Result, time.Duration, error)
 	return res, elapsed, nil
 }
 
+// ExecuteBatch runs a batch of states concurrently, one worker slot
+// each — the serving layer's dynamic batcher lands here, so a batch
+// of parallelizable tasks (ParMatMul rows, MatMul calls) spreads
+// across the surrogate's slots the way the paper's per-request
+// dalvikvm processes would. Results come back in call order; per-call
+// failures (including slot saturation) stay inside each result's
+// Error field so one bad call does not fail its batchmates.
+func (s *Surrogate) ExecuteBatch(sts []tasks.State) []rpc.ExecuteResponse {
+	out := make([]rpc.ExecuteResponse, len(sts))
+	var wg sync.WaitGroup
+	wg.Add(len(sts))
+	for i := range sts {
+		go func(i int) {
+			defer wg.Done()
+			res, elapsed, err := s.Execute(sts[i])
+			if err != nil {
+				out[i] = rpc.ExecuteResponse{Server: s.name, Error: err.Error()}
+				return
+			}
+			out[i] = rpc.ExecuteResponse{
+				Result:  res,
+				CloudMs: float64(elapsed) / float64(time.Millisecond),
+				Server:  s.name,
+			}
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
 // Handler serves the surrogate protocol:
 //
-//	POST /execute  — run a state
-//	GET  /healthz  — liveness
-//	GET  /stats    — counters + installed bundles
+//	POST /execute        — run a state
+//	POST /execute/batch  — run a batch of states across worker slots
+//	GET  /healthz        — liveness
+//	GET  /stats          — counters + installed bundles
 func (s *Surrogate) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc(rpc.PathExecute, func(w http.ResponseWriter, r *http.Request) {
@@ -189,6 +220,26 @@ func (s *Surrogate) Handler() http.Handler {
 			CloudMs: float64(elapsed) / float64(time.Millisecond),
 			Server:  s.name,
 		})
+	})
+	mux.HandleFunc(rpc.PathExecuteBatch, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			rpc.WriteJSON(w, http.StatusMethodNotAllowed, rpc.ExecuteBatchResponse{})
+			return
+		}
+		var req rpc.ExecuteBatchRequest
+		if err := rpc.ReadJSON(r, &req); err != nil {
+			rpc.WriteJSON(w, http.StatusBadRequest, rpc.ExecuteBatchResponse{})
+			return
+		}
+		if len(req.Calls) > wire.MaxBatchCalls {
+			rpc.WriteJSON(w, http.StatusBadRequest, rpc.ExecuteBatchResponse{})
+			return
+		}
+		sts := make([]tasks.State, len(req.Calls))
+		for i, c := range req.Calls {
+			sts[i] = c.State
+		}
+		rpc.WriteJSON(w, http.StatusOK, rpc.ExecuteBatchResponse{Results: s.ExecuteBatch(sts)})
 	})
 	mux.HandleFunc(rpc.PathHealth, func(w http.ResponseWriter, r *http.Request) {
 		rpc.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok", "server": s.name})

@@ -250,12 +250,18 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		return nil, err
 	}
 
-	// The live resilient stack.
-	fe, err := sdn.NewFrontEndWithPolicy(nil, 0, policy)
+	// The live resilient stack. The observer is late-bound through an
+	// ObserverRef: the failure detector needs the front-end as its
+	// control plane, so it cannot exist before sdn.New runs.
+	var obs sdn.ObserverRef
+	fe, err := sdn.New(
+		sdn.WithPolicy(policy),
+		sdn.WithBackendTimeout(cfg.BackendTimeout),
+		sdn.WithObserver(obs.Observe),
+	)
 	if err != nil {
 		return nil, err
 	}
-	fe.SetBackendTimeout(cfg.BackendTimeout)
 	injector := NewInjector(root.Sub("fault-params"))
 	mgr, err := health.NewManager(health.Config{
 		CP:             fe,
@@ -269,7 +275,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	fe.SetObserver(mgr.Observe)
+	obs.Set(mgr.Observe)
 	hv := &timedHealth{m: mgr, forgotten: make(map[string]time.Time)}
 	ctrl, err := autoscale.New(autoscale.Config{
 		FrontEnd:    fe,
@@ -308,15 +314,16 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		window.Observe(sim.Epoch.Add(pr.Offset), pr.User, pr.Group)
 	}
 
-	client := rpc.NewClient(front.URL)
-	client.Timeout = cfg.RequestTimeout
+	copts := []rpc.ClientOption{rpc.WithTimeout(cfg.RequestTimeout)}
 	if cfg.RetryAttempts > 1 {
-		client.Retry = rpc.NewRetryPolicy(cfg.RetryAttempts, cfg.RetryBase, cfg.RetryMax,
-			root.Sub("retry-jitter").Seed())
+		copts = append(copts, rpc.WithRetry(rpc.NewRetryPolicy(
+			cfg.RetryAttempts, cfg.RetryBase, cfg.RetryMax,
+			root.Sub("retry-jitter").Seed())))
 	}
 	if cfg.HedgeDelay > 0 {
-		client.Hedge = &rpc.HedgePolicy{Delay: cfg.HedgeDelay}
+		copts = append(copts, rpc.WithHedge(&rpc.HedgePolicy{Delay: cfg.HedgeDelay}))
 	}
+	client := rpc.NewClient(front.URL, copts...)
 
 	// faultSlots marks slots with any scheduled fault in force, for the
 	// p99-during-fault breakdown.

@@ -279,8 +279,7 @@ func (m *Manager) probe(ctx context.Context, url string) error {
 	}
 	v, ok := m.clients.Load(url)
 	if !ok {
-		c := rpc.NewClient(url)
-		c.Timeout = m.cfg.ProbeTimeout
+		c := rpc.NewClient(url, rpc.WithTimeout(m.cfg.ProbeTimeout))
 		v, _ = m.clients.LoadOrStore(url, c)
 	}
 	return v.(*rpc.Client).Health(ctx)

@@ -29,6 +29,7 @@ type Cluster struct {
 	backends   []*httptest.Server
 	surrogates []*dalvik.Surrogate
 	log        *trace.Store
+	versions   map[string]string
 
 	binLis  net.Listener
 	binSrv  *wire.Server
@@ -71,6 +72,25 @@ type ClusterConfig struct {
 	// it concurrently, so it is the knob behind chain-amortization
 	// measurements.
 	RouteDelay time.Duration
+	// QueueLimit/QueueDepth put a bounded admission queue in front of
+	// every backend (sdn.WithQueue): QueueLimit concurrent dispatches,
+	// QueueDepth waiting. 0 disables the queue layer.
+	QueueLimit int
+	QueueDepth int
+	// MaxBatch/Linger enable dynamic batching of queued same-task
+	// calls (sdn.WithBatching); requires QueueLimit > 0.
+	MaxBatch int
+	Linger   time.Duration
+	// ColdAfter/ColdStart enable scale-to-zero (sdn.WithColdPool):
+	// FrontEnd().SweepCold parks backends idle for ColdAfter, and a
+	// reactivating request pays ColdStart.
+	ColdAfter time.Duration
+	ColdStart time.Duration
+	// CanaryPerGroup registers the last N surrogates of each group
+	// under the CanaryVersion label, so a "canary:<ver>=<w>" Policy
+	// can split traffic and reports can slice latency per version.
+	CanaryPerGroup int
+	CanaryVersion  string
 }
 
 // StartCluster boots the stack. Callers must Close it.
@@ -97,11 +117,25 @@ func StartClusterContext(ctx context.Context, cfg ClusterConfig) (*Cluster, erro
 		return nil, err
 	}
 	log := trace.NewStore()
-	fe, err := sdn.NewFrontEndWithPolicy(log, cfg.RouteDelay, policy)
+	opts := []sdn.Option{
+		sdn.WithTrace(log),
+		sdn.WithRouteDelay(cfg.RouteDelay),
+		sdn.WithPolicy(policy),
+	}
+	if cfg.QueueLimit > 0 {
+		opts = append(opts, sdn.WithQueue(cfg.QueueLimit, cfg.QueueDepth))
+	}
+	if cfg.MaxBatch > 1 {
+		opts = append(opts, sdn.WithBatching(cfg.MaxBatch, cfg.Linger))
+	}
+	if cfg.ColdAfter > 0 {
+		opts = append(opts, sdn.WithColdPool(cfg.ColdAfter, cfg.ColdStart))
+	}
+	fe, err := sdn.New(opts...)
 	if err != nil {
 		return nil, err
 	}
-	c := &Cluster{frontEnd: fe, log: log}
+	c := &Cluster{frontEnd: fe, log: log, versions: map[string]string{}}
 	for g := 1; g <= cfg.Groups; g++ {
 		for i := 0; i < cfg.SurrogatesPerGroup; i++ {
 			if err := ctx.Err(); err != nil {
@@ -143,7 +177,12 @@ func StartClusterContext(ctx context.Context, cfg ClusterConfig) (*Cluster, erro
 				c.backends = append(c.backends, backend)
 				backendURL = backend.URL
 			}
-			if err := fe.Register(g, backendURL); err != nil {
+			version := ""
+			if cfg.CanaryPerGroup > 0 && i >= cfg.SurrogatesPerGroup-cfg.CanaryPerGroup {
+				version = cfg.CanaryVersion
+			}
+			c.versions[name] = version
+			if err := fe.RegisterVersion(g, backendURL, version); err != nil {
 				c.Close()
 				return nil, err
 			}
@@ -184,6 +223,11 @@ func (c *Cluster) FrontEnd() *sdn.FrontEnd { return c.frontEnd }
 
 // Surrogates exposes the back-ends for counter assertions.
 func (c *Cluster) Surrogates() []*dalvik.Surrogate { return c.surrogates }
+
+// Versions maps each surrogate name to its registered version label
+// ("" = stable) — the table Config.Versions consumes so reports can
+// slice latency per version.
+func (c *Cluster) Versions() map[string]string { return c.versions }
 
 // TraceLen reports how many requests the front-end logged.
 func (c *Cluster) TraceLen() int { return c.log.Len() }

@@ -93,6 +93,11 @@ type Config struct {
 	SlotLen time.Duration
 	// SLO, when non-nil, is evaluated into the report.
 	SLO *SLO
+	// Versions, when non-nil, maps backend server names to version
+	// labels ("" = stable); the report then carries per-version
+	// latency slices (Report.Versions) — the observability half of a
+	// canary rollout. Servers missing from the map count as stable.
+	Versions map[string]string
 }
 
 // normalized returns a copy with defaults applied, or an error for

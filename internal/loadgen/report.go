@@ -92,20 +92,26 @@ type SlotSection struct {
 // Report is the machine-readable outcome of one load-generation run
 // (the BENCH_loadgen.json schema).
 type Report struct {
-	Schema         string                 `json:"schema"`
-	Mode           string                 `json:"mode"`
-	Users          int                    `json:"users"`
-	Seed           int64                  `json:"seed"`
-	RateHz         float64                `json:"rateHz"`
-	DurationMs     float64                `json:"durationMs"`
-	WallClockMs    float64                `json:"wallClockMs"`
-	Requests       int                    `json:"requests"`
-	Completed      int                    `json:"completed"`
-	Errors         int                    `json:"errors"`
-	ErrorRate      float64                `json:"errorRate"`
-	ThroughputRps  float64                `json:"throughputRps"`
-	Latency        LatencySummary         `json:"latency"`
-	Groups         map[string]GroupReport `json:"groups"`
+	Schema        string                 `json:"schema"`
+	Mode          string                 `json:"mode"`
+	Users         int                    `json:"users"`
+	Seed          int64                  `json:"seed"`
+	RateHz        float64                `json:"rateHz"`
+	DurationMs    float64                `json:"durationMs"`
+	WallClockMs   float64                `json:"wallClockMs"`
+	Requests      int                    `json:"requests"`
+	Completed     int                    `json:"completed"`
+	Errors        int                    `json:"errors"`
+	ErrorRate     float64                `json:"errorRate"`
+	ThroughputRps float64                `json:"throughputRps"`
+	Latency       LatencySummary         `json:"latency"`
+	Groups        map[string]GroupReport `json:"groups"`
+	// Versions slices latency by backend version label when the run
+	// was configured with a server→version map — the canary rollout's
+	// per-version latency comparison ("stable" is the unlabeled
+	// fleet). Error records carry no server, so version slices count
+	// successes only.
+	Versions       map[string]GroupReport `json:"versions,omitempty"`
 	Slots          []SlotSection          `json:"slots,omitempty"`
 	ScheduleDigest string                 `json:"scheduleDigest"`
 	SLO            *SLOResult             `json:"slo,omitempty"`
@@ -198,7 +204,38 @@ func buildReport(cfg Config, plan *Plan, recs []record, wall time.Duration) *Rep
 	if cfg.SLO != nil {
 		rep.SLO = cfg.SLO.Check(rep.Latency, rep.ErrorRate, rep.ThroughputRps)
 	}
+	if cfg.Versions != nil {
+		rep.Versions = buildVersionSlices(cfg.Versions, recs)
+	}
 	return rep
+}
+
+// buildVersionSlices aggregates successful records per backend version
+// label. Unlabeled (and unmapped) servers report as "stable".
+func buildVersionSlices(versions map[string]string, recs []record) map[string]GroupReport {
+	counts := map[string]int{}
+	hists := map[string]*stats.LogHist{}
+	for _, r := range recs {
+		if r.err != nil || r.server == "" {
+			continue
+		}
+		label := versions[r.server]
+		if label == "" {
+			label = "stable"
+		}
+		counts[label]++
+		h := hists[label]
+		if h == nil {
+			h = stats.NewLatencyHist()
+			hists[label] = h
+		}
+		h.Add(r.latencyMs)
+	}
+	out := make(map[string]GroupReport, len(counts))
+	for label, n := range counts {
+		out[label] = GroupReport{Requests: n, Latency: Summarize(hists[label])}
+	}
+	return out
 }
 
 // buildSlotSections buckets open-loop records into SlotLen-sized slots

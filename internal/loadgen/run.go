@@ -18,7 +18,10 @@ type record struct {
 	// records into per-slot report sections.
 	offset    time.Duration
 	latencyMs float64
-	err       error
+	// server is the backend that answered (empty on error) — the key
+	// the per-version report slices map through Config.Versions.
+	server string
+	err    error
 }
 
 // doOne issues one planned request and measures the client-perceived
@@ -28,7 +31,7 @@ func doOne(ctx context.Context, client *rpc.Client, pr planned, timeout time.Dur
 	rctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 	start := time.Now()
-	_, err := client.Offload(rctx, rpc.OffloadRequest{
+	resp, err := client.Offload(rctx, rpc.OffloadRequest{
 		UserID:       pr.User,
 		Group:        pr.Group,
 		BatteryLevel: pr.Battery,
@@ -38,6 +41,7 @@ func doOne(ctx context.Context, client *rpc.Client, pr planned, timeout time.Dur
 		group:     pr.Group,
 		offset:    pr.Offset,
 		latencyMs: float64(time.Since(start)) / float64(time.Millisecond),
+		server:    resp.Server,
 		err:       err,
 	}
 }

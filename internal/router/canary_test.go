@@ -1,0 +1,134 @@
+package router
+
+import (
+	"testing"
+)
+
+func TestParseCanaryPolicy(t *testing.T) {
+	p, err := ParsePolicy("canary:v2=0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := p.(*Canary)
+	if !ok {
+		t.Fatalf("parsed %T, want *Canary", p)
+	}
+	if c.Version() != "v2" || c.Weight() != 0.05 {
+		t.Fatalf("canary = %s/%g", c.Version(), c.Weight())
+	}
+	if c.Name() != "canary:v2=0.05" {
+		t.Fatalf("Name() = %q, does not round-trip", c.Name())
+	}
+	for _, bad := range []string{
+		"canary:",         // no spec
+		"canary:v2",       // no weight
+		"canary:=0.1",     // no version
+		"canary:v2=x",     // non-numeric weight
+		"canary:v2=1.5",   // weight out of range
+		"canary:v2=-0.01", // negative weight
+	} {
+		if _, err := ParsePolicy(bad); err == nil {
+			t.Fatalf("ParsePolicy(%q) accepted a bad spec", bad)
+		}
+	}
+}
+
+// TestCanarySplitDeterministic registers a stable and a canary backend
+// and proves the 10% stripe: exactly weight*N of N picks land on the
+// canary, spread (not bursty — every window of 10 consecutive picks
+// holds exactly one canary pick), and a re-run reproduces the same
+// sequence.
+func TestCanarySplitDeterministic(t *testing.T) {
+	sequence := func() []string {
+		pol, err := ParsePolicy("canary:v2=0.1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := New(pol)
+		if err := r.RegisterVersion(1, "http://stable", ""); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.RegisterVersion(1, "http://canary", "v2"); err != nil {
+			t.Fatal(err)
+		}
+		urls := make([]string, 1000)
+		for i := range urls {
+			p, err := r.Pick(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			urls[i] = p.URL()
+			r.Release(p, true)
+		}
+		return urls
+	}
+
+	first := sequence()
+	canary := 0
+	for _, u := range first {
+		if u == "http://canary" {
+			canary++
+		}
+	}
+	if canary != 100 {
+		t.Fatalf("canary picks = %d/1000, want exactly 100 at weight 0.1", canary)
+	}
+	for w := 0; w+10 <= len(first); w += 10 {
+		n := 0
+		for _, u := range first[w : w+10] {
+			if u == "http://canary" {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Fatalf("window [%d,%d) holds %d canary picks, want 1 (stripe is bursty)", w, w+10, n)
+		}
+	}
+	second := sequence()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("pick %d diverged across same-seed runs: %s vs %s", i, first[i], second[i])
+		}
+	}
+}
+
+// TestCanaryFallsThroughWhenSideEmpty proves a canary weight never
+// blackholes traffic: with no canary-labeled backend every pick serves
+// from the stable side, and with only canary backends the stable picks
+// fall through to the canary.
+func TestCanaryFallsThroughWhenSideEmpty(t *testing.T) {
+	pol, err := ParsePolicy("canary:v2=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(pol)
+	if err := r.Register(1, "http://stable"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		p, err := r.Pick(1)
+		if err != nil {
+			t.Fatalf("pick %d with empty canary side: %v", i, err)
+		}
+		if p.URL() != "http://stable" {
+			t.Fatalf("pick %d = %s", i, p.URL())
+		}
+		r.Release(p, true)
+	}
+
+	pol2, err := ParsePolicy("canary:v2=0.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := New(pol2)
+	if err := r2.RegisterVersion(1, "http://canary", "v2"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		p, err := r2.Pick(1)
+		if err != nil {
+			t.Fatalf("pick %d with empty stable side: %v", i, err)
+		}
+		r2.Release(p, true)
+	}
+}

@@ -3,7 +3,9 @@ package router
 import (
 	"fmt"
 	"math/rand/v2"
+	"strconv"
 	"strings"
+	"sync/atomic"
 )
 
 // Policy chooses among a group's active backends. Implementations must
@@ -24,15 +26,20 @@ const (
 	PolicyRoundRobin    = "rr"
 	PolicyLeastInflight = "least-inflight"
 	PolicyPowerOfTwo    = "p2c"
+	// PolicyCanaryPrefix heads weighted canary specs:
+	// "canary:<version>=<weight>" (e.g. "canary:v2=0.05").
+	PolicyCanaryPrefix = "canary:"
 )
 
-// PolicyNames lists the accepted policy names.
+// PolicyNames lists the fixed policy names. ParsePolicy additionally
+// accepts parameterized canary specs ("canary:<version>=<weight>"),
+// which are unbounded and therefore not enumerated here.
 func PolicyNames() []string {
 	return []string{PolicyRoundRobin, PolicyLeastInflight, PolicyPowerOfTwo}
 }
 
-// ParsePolicy resolves a policy name ("rr", "least-inflight", "p2c").
-// The empty string selects round-robin.
+// ParsePolicy resolves a policy name ("rr", "least-inflight", "p2c",
+// "canary:v2=0.05"). The empty string selects round-robin.
 func ParsePolicy(name string) (Policy, error) {
 	switch name {
 	case "", PolicyRoundRobin, "round-robin":
@@ -42,7 +49,18 @@ func ParsePolicy(name string) (Policy, error) {
 	case PolicyPowerOfTwo, "power-of-two", "power-of-two-choices":
 		return PowerOfTwo{}, nil
 	}
-	return nil, fmt.Errorf("router: unknown policy %q (want %s)",
+	if spec, ok := strings.CutPrefix(name, PolicyCanaryPrefix); ok {
+		version, weightStr, ok := strings.Cut(spec, "=")
+		if !ok || version == "" {
+			return nil, fmt.Errorf("router: canary policy %q: want canary:<version>=<weight>", name)
+		}
+		w, err := strconv.ParseFloat(weightStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("router: canary policy %q: bad weight: %w", name, err)
+		}
+		return NewCanary(version, w)
+	}
+	return nil, fmt.Errorf("router: unknown policy %q (want %s|canary:<version>=<weight>)",
 		name, strings.Join(PolicyNames(), "|"))
 }
 
@@ -91,6 +109,62 @@ type PowerOfTwo struct{}
 
 // Name implements Policy.
 func (PowerOfTwo) Name() string { return PolicyPowerOfTwo }
+
+// Canary splits traffic by backend version label: Weight of the picks
+// go to backends registered (RegisterVersion) with the canary Version,
+// the rest to everything else — the rollout lever for a new surrogate
+// build. The split is a deterministic low-discrepancy stripe over an
+// atomic counter (every 1/Weight-th pick is a canary pick, to
+// basis-point resolution), so hermetic runs reproduce exactly; within
+// each side of the split the picks round-robin off the pool cursor.
+// When the wanted side has no backends the pick falls through to the
+// whole active set, so a canary weight never turns routable traffic
+// into errors.
+type Canary struct {
+	version string
+	weight  float64
+	bp      uint64 // weight in basis points of 10_000
+	n       atomic.Uint64
+}
+
+// NewCanary builds a canary policy sending weight (0..1) of traffic to
+// backends labeled version.
+func NewCanary(version string, weight float64) (*Canary, error) {
+	if version == "" {
+		return nil, fmt.Errorf("router: canary needs a version label")
+	}
+	if weight < 0 || weight > 1 {
+		return nil, fmt.Errorf("router: canary weight %g outside [0,1]", weight)
+	}
+	return &Canary{version: version, weight: weight, bp: uint64(weight*10000 + 0.5)}, nil
+}
+
+// Name implements Policy, round-tripping through ParsePolicy.
+func (c *Canary) Name() string {
+	return fmt.Sprintf("%s%s=%g", PolicyCanaryPrefix, c.version, c.weight)
+}
+
+// Version and Weight expose the canary split parameters.
+func (c *Canary) Version() string { return c.version }
+func (c *Canary) Weight() float64 { return c.weight }
+
+func (c *Canary) pick(p *pool) *entry {
+	n := c.n.Add(1) - 1
+	// Low-discrepancy stripe: pick n is a canary pick when the
+	// accumulated weight crosses an integer at n, spreading canary
+	// picks evenly instead of in bursts.
+	wantCanary := (n*c.bp)%10000 < c.bp && c.bp > 0
+	start := p.rr.Add(1) - 1
+	m := uint64(len(p.active))
+	for i := uint64(0); i < m; i++ {
+		e := p.active[(start+i)%m]
+		if (e.version == c.version) == wantCanary {
+			return e
+		}
+	}
+	// No backend on the wanted side of the split; serve from the other.
+	return p.active[start%m]
+}
 
 func (PowerOfTwo) pick(p *pool) *entry {
 	n := len(p.active)

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"accelcloud/internal/rpc"
+	"accelcloud/internal/serve"
 )
 
 // State is the lifecycle state of one registered backend.
@@ -48,6 +49,12 @@ const (
 	// still registered so a recovery can Reinstate them in place
 	// without losing the warm backend.
 	StateEjected State = "ejected"
+	// StateCold backends were scaled to zero after sitting idle
+	// (MarkIdleCold): still registered, never picked, but eligible for
+	// in-place activation — the first Pick of a group whose active set
+	// is empty promotes a cold backend and flags the request as the
+	// cold start (DESIGN.md §9).
+	StateCold State = "cold"
 )
 
 // ErrBackendBusy is returned by Remove while a backend still has
@@ -62,22 +69,47 @@ var ErrUnknownBackend = errors.New("router: unknown backend")
 // accepting new work.
 var ErrNoActiveBackend = errors.New("router: no active backend")
 
+// ErrGroupSaturated is returned by Pick when every active backend's
+// admission queue is full. It wraps serve.ErrQueueFull, so
+// errors.Is(err, serve.ErrQueueFull) classifies it and the front-end's
+// 503 body carries the rpc.MsgQueueFull marker for client-side
+// queue-aware retry.
+var ErrGroupSaturated = fmt.Errorf("router: every active backend saturated: %w", serve.ErrQueueFull)
+
 // BackendInfo is a point-in-time view of one backend, exposed by Pool
 // and the front-end's /stats endpoint.
 type BackendInfo struct {
-	URL      string `json:"url"`
-	State    State  `json:"state"`
-	Inflight int    `json:"inflight"`
+	URL     string `json:"url"`
+	State   State  `json:"state"`
+	Version string `json:"version,omitempty"`
+	// Inflight counts picked-and-unreleased requests (queued ones
+	// included); Queued is the admitted-but-undispatched subset and
+	// ConcurrencyLimit its dispatch bound (0 = no admission queue).
+	Inflight         int  `json:"inflight"`
+	Queued           int  `json:"queued"`
+	ConcurrencyLimit int  `json:"concurrency_limit"`
+	Cold             bool `json:"cold"`
 }
 
-// entry is one registered backend. Everything but the in-flight counter
-// is immutable; the counter is shared by every snapshot that references
-// the entry, so reservations survive republishes.
+// entry is one registered backend. Everything but the counters is
+// immutable; the counters (and the admission queue) are shared by
+// every snapshot that references the entry, so reservations survive
+// republishes.
 type entry struct {
-	url      string
-	client   *rpc.Client
+	url     string
+	version string
+	client  *rpc.Client
+	// q is the backend's admission queue; nil when the router was not
+	// configured with a serve.Config.
+	q        *serve.Queue
 	inflight atomic.Int64
+	// lastUsed is the unix-nano stamp of the entry's registration or
+	// most recent Release — the idleness clock MarkIdleCold reads.
+	lastUsed atomic.Int64
 }
+
+// saturated reports whether the entry's admission queue is full.
+func (e *entry) saturated() bool { return e.q != nil && e.q.Saturated() }
 
 // slot pairs an entry with its lifecycle state in one snapshot. The
 // state lives in the snapshot (not the entry) so publishing a drain is
@@ -130,10 +162,14 @@ type Router struct {
 	dropped atomic.Int64
 
 	// mu serializes control-plane mutations only; the request path
-	// never takes it. clientTimeout (guarded by mu) is applied to the
-	// rpc clients of subsequently registered backends.
+	// never takes it. clientTimeout and serveCfg (guarded by mu) are
+	// applied to the rpc clients and admission queues of subsequently
+	// registered backends; activations counts cold-start promotions
+	// per group until TakeActivations drains it.
 	mu            sync.Mutex
 	clientTimeout time.Duration
+	serveCfg      serve.Config
+	activations   map[int]int64
 }
 
 // New builds an empty router. A nil policy selects round-robin.
@@ -158,6 +194,28 @@ func (r *Router) SetClientTimeout(d time.Duration) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.clientTimeout = d
+}
+
+// SetServeConfig installs the admission-queue shape (concurrency
+// limit, queue depth, batching knobs) applied to backends registered
+// after the call. Like SetClientTimeout, configure it before
+// registering backends. A zero config (Limit 0) disables the queue
+// layer — the pre-serving behaviour.
+func (r *Router) SetServeConfig(cfg serve.Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.serveCfg = cfg
+	return nil
+}
+
+// ServeConfig reports the configured admission-queue shape.
+func (r *Router) ServeConfig() serve.Config {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.serveCfg
 }
 
 // findSlot locates a backend inside a snapshot.
@@ -212,10 +270,17 @@ func (s *snapshot) rebuild(group int, slots []slot) *snapshot {
 }
 
 // Register adds a surrogate base URL under an acceleration group. A URL
-// currently draining in the same group is re-activated in place (the
-// un-drain path: a scale-up arriving before the drain completed), so
-// flapping never loses a warm backend.
+// currently draining (or cold) in the same group is re-activated in
+// place (the un-drain path: a scale-up arriving before the drain
+// completed), so flapping never loses a warm backend.
 func (r *Router) Register(group int, baseURL string) error {
+	return r.RegisterVersion(group, baseURL, "")
+}
+
+// RegisterVersion registers a backend carrying a version label — the
+// selector the canary pick policy splits traffic on ("" is the stable
+// fleet). Everything else matches Register.
+func (r *Router) RegisterVersion(group int, baseURL, version string) error {
 	if group < 0 {
 		return fmt.Errorf("router: negative group %d", group)
 	}
@@ -231,7 +296,7 @@ func (r *Router) Register(group int, baseURL string) error {
 	p, idx := s.findSlot(group, baseURL)
 	var slots []slot
 	switch {
-	case idx >= 0 && p.slots[idx].state == StateDraining:
+	case idx >= 0 && (p.slots[idx].state == StateDraining || p.slots[idx].state == StateCold):
 		slots = append([]slot(nil), p.slots...)
 		slots[idx].state = StateActive
 	case idx >= 0:
@@ -240,12 +305,14 @@ func (r *Router) Register(group int, baseURL string) error {
 		if p != nil {
 			slots = append(slots, p.slots...)
 		}
-		client := rpc.NewClient(baseURL)
-		client.Timeout = r.clientTimeout
-		slots = append(slots, slot{
-			e:     &entry{url: baseURL, client: client},
-			state: StateActive,
-		})
+		client := rpc.NewClient(baseURL, rpc.WithTimeout(r.clientTimeout))
+		q, err := serve.New(r.serveCfg, client)
+		if err != nil {
+			return err
+		}
+		e := &entry{url: baseURL, version: version, client: client, q: q}
+		e.lastUsed.Store(time.Now().UnixNano())
+		slots = append(slots, slot{e: e, state: StateActive})
 	}
 	r.snap.Store(s.rebuild(group, slots))
 	return nil
@@ -300,6 +367,9 @@ func (r *Router) Remove(group int, baseURL string) error {
 		r.snap.Store(s)
 		return fmt.Errorf("%w: %s in group %d (%d in flight)", ErrBackendBusy, baseURL, group, n)
 	}
+	// Asynchronous: Close waits out in-flight dispatches, and the
+	// control plane must not block behind a slow backend call.
+	go e.q.Close()
 	return nil
 }
 
@@ -362,16 +432,22 @@ func (r *Router) Evict(group int, baseURL string) error {
 	if idx < 0 {
 		return fmt.Errorf("%w: group %d url %s", ErrUnknownBackend, group, baseURL)
 	}
+	e := p.slots[idx].e
 	slots := append([]slot(nil), p.slots[:idx]...)
 	slots = append(slots, p.slots[idx+1:]...)
 	r.snap.Store(s.rebuild(group, slots))
+	// Asynchronous: the queue's still-queued jobs fail with ErrClosed —
+	// a confirmed-dead backend's accepted work is already lost — and
+	// the control plane must not block waiting for them.
+	go e.q.Close()
 	return nil
 }
 
 // Picked is a reserved routing decision: the chosen backend with one
 // in-flight slot held. Pass it to Release exactly once.
 type Picked struct {
-	e *entry
+	e    *entry
+	cold bool
 }
 
 // URL reports the picked backend's base URL.
@@ -379,6 +455,18 @@ func (p Picked) URL() string { return p.e.url }
 
 // Client reports the picked backend's RPC client.
 func (p Picked) Client() *rpc.Client { return p.e.client }
+
+// Version reports the picked backend's version label ("" = stable).
+func (p Picked) Version() string { return p.e.version }
+
+// Queue reports the picked backend's admission queue; nil when the
+// router has no serve.Config, in which case the caller dispatches
+// through Client directly.
+func (p Picked) Queue() *serve.Queue { return p.e.q }
+
+// ColdStarted reports whether this pick promoted a cold backend — the
+// triggering request pays the configured cold-start latency.
+func (p Picked) ColdStarted() bool { return p.cold }
 
 // Pick selects a backend for the group under the configured policy and
 // reserves an in-flight slot on it. Lock-free: one snapshot load, the
@@ -391,10 +479,33 @@ func (p Picked) Client() *rpc.Client { return p.e.client }
 func (r *Router) Pick(group int) (Picked, error) {
 	for {
 		p := r.snap.Load().pool(group)
-		if p == nil || len(p.active) == 0 {
+		if p == nil {
+			return Picked{}, fmt.Errorf("%w for group %d", ErrNoActiveBackend, group)
+		}
+		if len(p.active) == 0 {
+			// Scale-to-zero path: an empty active set with a cold
+			// backend means the group is parked, not gone — promote one
+			// and charge this request with the cold start.
+			e, changed := r.activateCold(group, p)
+			if e != nil {
+				e.inflight.Add(1)
+				return Picked{e: e, cold: true}, nil
+			}
+			if changed {
+				continue
+			}
 			return Picked{}, fmt.Errorf("%w for group %d", ErrNoActiveBackend, group)
 		}
 		e := r.policy.pick(p)
+		if e.saturated() {
+			// The policy's choice is backpressuring; steer around it.
+			// Saturated() is a racy gauge read — serve.Queue.Submit is
+			// the hard gate — but under sustained overload the signal
+			// is stable, which is when steering matters.
+			if e = firstUnsaturated(p); e == nil {
+				return Picked{}, fmt.Errorf("group %d: %w", group, ErrGroupSaturated)
+			}
+		}
 		e.inflight.Add(1)
 		if r.snap.Load().pool(group) == p {
 			return Picked{e: e}, nil
@@ -406,10 +517,114 @@ func (r *Router) Pick(group int) (Picked, error) {
 	}
 }
 
+// firstUnsaturated scans the active set from a rotating start for a
+// backend whose admission queue has room.
+func firstUnsaturated(p *pool) *entry {
+	n := uint64(len(p.active))
+	start := p.rr.Add(1) - 1
+	for i := uint64(0); i < n; i++ {
+		if e := p.active[(start+i)%n]; !e.saturated() {
+			return e
+		}
+	}
+	return nil
+}
+
+// activateCold promotes one cold backend of the group to active under
+// the control mutex, counting the activation. seen is the pool the
+// caller observed empty; if the group changed in the meantime the
+// caller retries instead of activating (changed=true, nil entry).
+func (r *Router) activateCold(group int, seen *pool) (e *entry, changed bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.snap.Load()
+	p := s.pool(group)
+	if p == nil {
+		return nil, p != seen
+	}
+	if p != seen && len(p.active) > 0 {
+		return nil, true
+	}
+	for i := range p.slots {
+		if p.slots[i].state != StateCold {
+			continue
+		}
+		slots := append([]slot(nil), p.slots...)
+		slots[i].state = StateActive
+		r.snap.Store(s.rebuild(group, slots))
+		if r.activations == nil {
+			r.activations = make(map[int]int64)
+		}
+		r.activations[group]++
+		return p.slots[i].e, true
+	}
+	return nil, p != seen
+}
+
+// MarkIdleCold sweeps every group and parks backends that have been
+// active, idle (no in-flight or queued work), and unused for at least
+// idleFor — the scale-to-zero janitor. Daemons call it on a ticker;
+// hermetic benches call it with virtual time. Returns the number of
+// backends parked.
+func (r *Router) MarkIdleCold(idleFor time.Duration, now time.Time) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.snap.Load()
+	cur := s
+	cooled := 0
+	cutoff := now.Add(-idleFor).UnixNano()
+	for g, p := range s.groups {
+		if p == nil {
+			continue
+		}
+		var slots []slot
+		for i := range p.slots {
+			sl := p.slots[i]
+			if sl.state != StateActive {
+				continue
+			}
+			if sl.e.inflight.Load() > 0 || sl.e.lastUsed.Load() > cutoff {
+				continue
+			}
+			if sl.e.q != nil && sl.e.q.Queued() > 0 {
+				continue
+			}
+			if slots == nil {
+				slots = append([]slot(nil), p.slots...)
+			}
+			slots[i].state = StateCold
+			cooled++
+		}
+		if slots != nil {
+			cur = cur.rebuild(g, slots)
+		}
+	}
+	if cooled > 0 {
+		// One publish for the whole sweep; Picks in the window
+		// revalidate against the new pools and retry.
+		r.snap.Store(cur)
+	}
+	return cooled
+}
+
+// TakeActivations drains and returns the per-group cold-start
+// activation counts accumulated since the previous call — the
+// autoscale controller folds them into its Decision (and their
+// cold-start time into the cost model) once per slot. Returns nil
+// when nothing activated.
+func (r *Router) TakeActivations() map[int]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := r.activations
+	r.activations = nil
+	return out
+}
+
 // Release returns a picked backend's in-flight slot and folds the
 // request's fate into the routed/dropped counters — all atomics, no
 // critical section.
 func (r *Router) Release(p Picked, ok bool) {
+	p.e.lastUsed.Store(time.Now().UnixNano())
 	p.e.inflight.Add(-1)
 	if ok {
 		r.routed.Add(1)
@@ -462,11 +677,18 @@ func (r *Router) Pool(group int) []BackendInfo {
 func poolInfos(p *pool) []BackendInfo {
 	out := make([]BackendInfo, 0, len(p.slots))
 	for _, sl := range p.slots {
-		out = append(out, BackendInfo{
+		info := BackendInfo{
 			URL:      sl.e.url,
 			State:    sl.state,
+			Version:  sl.e.version,
 			Inflight: int(sl.e.inflight.Load()),
-		})
+			Cold:     sl.state == StateCold,
+		}
+		if sl.e.q != nil {
+			info.Queued = sl.e.q.Queued()
+			info.ConcurrencyLimit = sl.e.q.Config().Limit
+		}
+		out = append(out, info)
 	}
 	return out
 }

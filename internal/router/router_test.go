@@ -244,10 +244,10 @@ func TestStatsSnapshot(t *testing.T) {
 	if st.Dropped != 1 || st.Routed != 0 {
 		t.Fatalf("stats counters = %+v", st)
 	}
-	if got := fmt.Sprint(st.Pools[1]); got != "[{http://a active 1}]" {
+	if got := fmt.Sprint(st.Pools[1]); got != "[{http://a active  1 0 0 false}]" {
 		t.Fatalf("pool 1 = %s", got)
 	}
-	if got := fmt.Sprint(st.Pools[2]); got != "[{http://b draining 0}]" {
+	if got := fmt.Sprint(st.Pools[2]); got != "[{http://b draining  0 0 0 false}]" {
 		t.Fatalf("pool 2 = %s", got)
 	}
 	r.Release(p, true)

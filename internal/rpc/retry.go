@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"reflect"
+	"strings"
 	"sync"
 	"time"
 )
@@ -126,6 +128,28 @@ func retryable(err error) bool {
 	return true
 }
 
+// IsQueueFull reports whether an error is admission-queue
+// backpressure: a 503 whose body carries the MsgQueueFull marker (the
+// front-end's rendering of serve.ErrQueueFull), or any error whose
+// chain mentions it. Queue-full rejections mean "this backend is
+// busy, others may not be", so the retry path re-routes after a
+// token wait instead of the full crash-backoff.
+func IsQueueFull(err error) bool {
+	if err == nil {
+		return false
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Code == http.StatusServiceUnavailable && strings.Contains(se.Body, MsgQueueFull)
+	}
+	return strings.Contains(err.Error(), MsgQueueFull)
+}
+
+// queueFullBackoff is the short wait before retrying a queue-full
+// rejection: long enough to let a dispatcher drain one slot, short
+// enough that the retry lands while the re-route window is open.
+const queueFullBackoff = time.Millisecond
+
 // attempts runs post under the client's retry budget. out is only
 // written by a successful decode, so a failed attempt never leaves a
 // half-decoded response behind.
@@ -138,10 +162,17 @@ func (c *Client) attempts(ctx context.Context, path string, in, out any) error {
 	var err error
 	for attempt := 0; attempt < budget; attempt++ {
 		if attempt > 0 {
+			wait := p.backoff(attempt - 1)
+			if IsQueueFull(err) {
+				// Backpressure, not a crash: the next attempt re-picks
+				// and lands on a non-saturated backend, so waiting the
+				// full exponential backoff wastes the re-route window.
+				wait = queueFullBackoff
+			}
 			select {
 			case <-ctx.Done():
 				return err
-			case <-time.After(p.backoff(attempt - 1)):
+			case <-time.After(wait):
 			}
 			// Counted only once the backoff survives the context: a
 			// call cancelled mid-wait never re-sent anything.

@@ -32,11 +32,22 @@ const (
 	PathOffloadBatch = "/offload/batch"
 	// PathExecute is the surrogate's execution endpoint.
 	PathExecute = "/execute"
+	// PathExecuteBatch executes a batch of homogeneous states in one
+	// round trip — the surrogate-side hop the serving layer's dynamic
+	// batcher dispatches through.
+	PathExecuteBatch = "/execute/batch"
 	// PathHealth reports liveness.
 	PathHealth = "/healthz"
 	// PathStats reports counters.
 	PathStats = "/stats"
 )
+
+// MsgQueueFull is the wire-visible marker of admission-queue
+// backpressure. serve.ErrQueueFull embeds it, the front-end's 503
+// body carries it, and IsQueueFull recognizes it client-side so the
+// retry budget can re-route immediately instead of backing off as if
+// the backend had crashed.
+const MsgQueueFull = "admission queue full"
 
 // BinaryScheme prefixes a BaseURL that selects the binary framed
 // transport ("bin://host:port") instead of HTTP/JSON. Everything else
@@ -68,6 +79,10 @@ type (
 	BatchResponse = wire.BatchResponse
 	// BatchResult is one call's outcome (HTTP-equivalent code + response).
 	BatchResult = wire.BatchResult
+	// ExecuteBatchRequest is a batch of homogeneous surrogate calls.
+	ExecuteBatchRequest = wire.ExecuteBatchRequest
+	// ExecuteBatchResponse answers an ExecuteBatchRequest in call order.
+	ExecuteBatchResponse = wire.ExecuteBatchResponse
 )
 
 // encodeBufPool recycles encode buffers across requests. The front-end
@@ -202,9 +217,40 @@ type Client struct {
 	binErr  error
 }
 
-// NewClient builds a client on the shared pooled transport.
-func NewClient(baseURL string) *Client {
-	return &Client{BaseURL: baseURL}
+// ClientOption configures a Client at construction. Options replace
+// the historical post-hoc field pokes (c.Timeout = ...), so a built
+// client is fully configured before its first call.
+type ClientOption func(*Client)
+
+// WithTimeout bounds each call end to end — retries and hedges
+// included (0 keeps DefaultTimeout).
+func WithTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.Timeout = d }
+}
+
+// WithRetry installs a bounded retry budget.
+func WithRetry(p *RetryPolicy) ClientOption {
+	return func(c *Client) { c.Retry = p }
+}
+
+// WithHedge installs a hedged-request policy.
+func WithHedge(p *HedgePolicy) ClientOption {
+	return func(c *Client) { c.Hedge = p }
+}
+
+// WithHTTPClient overrides the shared pooled transport.
+func WithHTTPClient(hc *http.Client) ClientOption {
+	return func(c *Client) { c.HTTPClient = hc }
+}
+
+// NewClient builds a client on the shared pooled transport, applying
+// options in order.
+func NewClient(baseURL string, opts ...ClientOption) *Client {
+	c := &Client{BaseURL: baseURL}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -399,6 +445,45 @@ func (c *Client) Execute(ctx context.Context, req ExecuteRequest) (ExecuteRespon
 		return resp, fmt.Errorf("rpc: remote: %s", resp.Error)
 	}
 	return resp, nil
+}
+
+// ExecuteBatch sends a batch of states to a surrogate in one round
+// trip. Results arrive in call order; per-call failures travel inside
+// each result's Error field, so the returned error is transport-level
+// only. Over the binary transport the calls fan out concurrently on
+// the multiplexed connection — same amortization, no extra sockets.
+func (c *Client) ExecuteBatch(ctx context.Context, reqs []ExecuteRequest) ([]ExecuteResponse, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	if len(reqs) > wire.MaxBatchCalls {
+		return nil, fmt.Errorf("rpc: batch of %d calls exceeds cap %d", len(reqs), wire.MaxBatchCalls)
+	}
+	if c.binary() {
+		resps := make([]ExecuteResponse, len(reqs))
+		var wg sync.WaitGroup
+		wg.Add(len(reqs))
+		for i := range reqs {
+			go func(i int) {
+				defer wg.Done()
+				resp, err := c.Execute(ctx, reqs[i])
+				if err != nil && resp.Error == "" {
+					resp.Error = err.Error()
+				}
+				resps[i] = resp
+			}(i)
+		}
+		wg.Wait()
+		return resps, nil
+	}
+	var out ExecuteBatchResponse
+	if err := c.call(ctx, PathExecuteBatch, ExecuteBatchRequest{Calls: reqs}, &out); err != nil {
+		return nil, err
+	}
+	if len(out.Results) != len(reqs) {
+		return nil, fmt.Errorf("rpc: batch returned %d results for %d calls", len(out.Results), len(reqs))
+	}
+	return out.Results, nil
 }
 
 // Health checks a server's liveness endpoint. The configured Timeout

@@ -2,6 +2,7 @@ package sdn
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -12,6 +13,7 @@ import (
 
 	"accelcloud/internal/router"
 	"accelcloud/internal/rpc"
+	"accelcloud/internal/serve"
 	"accelcloud/internal/trace"
 	"accelcloud/internal/wire"
 )
@@ -30,6 +32,10 @@ const (
 	// (internal/health) — suspected dead or degraded, reversible via
 	// Reinstate (DESIGN.md §7).
 	BackendEjected = router.StateEjected
+	// BackendCold backends were scaled to zero after sitting idle;
+	// the first request of an all-cold group reactivates one, paying
+	// the configured cold-start latency (DESIGN.md §9).
+	BackendCold = router.StateCold
 )
 
 // ErrBackendBusy is returned by Remove while a backend still has
@@ -65,6 +71,12 @@ type FrontEnd struct {
 
 	rt *router.Router
 
+	// coldAfter/coldStart are the scale-to-zero knobs (WithColdPool):
+	// SweepCold parks backends idle longer than coldAfter, and the
+	// request that reactivates a parked backend sleeps coldStart.
+	coldAfter time.Duration
+	coldStart time.Duration
+
 	// observer, when set, receives every backend hop's outcome — the
 	// passive signal feed of the failure detector. Atomic so the hot
 	// path reads it lock-free.
@@ -81,35 +93,6 @@ type FrontEnd struct {
 // success), and the backend round trip in milliseconds.
 type Observer func(group int, url string, err error, latencyMs float64)
 
-// NewFrontEnd builds an empty front-end routing round-robin. log may be
-// nil to disable request logging; a trace.Store, trace.Window,
-// trace.Async, or trace.Tee all fit.
-func NewFrontEnd(log trace.Sink, processingDelay time.Duration) (*FrontEnd, error) {
-	return NewFrontEndWithPolicy(log, processingDelay, nil)
-}
-
-// NewFrontEndWithPolicy builds an empty front-end with an explicit pick
-// policy (router.ParsePolicy resolves the -policy flag names); nil
-// selects round-robin.
-func NewFrontEndWithPolicy(log trace.Sink, processingDelay time.Duration, policy router.Policy) (*FrontEnd, error) {
-	if processingDelay < 0 {
-		return nil, fmt.Errorf("sdn: negative processing delay %v", processingDelay)
-	}
-	// A typed-nil *trace.Store (the historical signature) must behave
-	// like "logging disabled", not panic on first append.
-	if s, ok := log.(*trace.Store); ok && s == nil {
-		log = nil
-	}
-	if w, ok := log.(*trace.Window); ok && w == nil {
-		log = nil
-	}
-	return &FrontEnd{
-		log:             log,
-		processingDelay: processingDelay,
-		rt:              router.New(policy),
-	}, nil
-}
-
 // Policy reports the front-end's pick policy.
 func (f *FrontEnd) Policy() router.Policy { return f.rt.Policy() }
 
@@ -119,6 +102,13 @@ func (f *FrontEnd) Policy() router.Policy { return f.rt.Policy() }
 // flapping never loses a warm backend.
 func (f *FrontEnd) Register(group int, baseURL string) error {
 	return f.rt.Register(group, baseURL)
+}
+
+// RegisterVersion registers a backend carrying a version label — the
+// selector the canary pick policy ("canary:v2=0.05") splits traffic
+// on. Everything else matches Register.
+func (f *FrontEnd) RegisterVersion(group int, baseURL, version string) error {
+	return f.rt.RegisterVersion(group, baseURL, version)
 }
 
 // Drain fences a backend off from new requests; in-flight requests
@@ -158,16 +148,20 @@ func (f *FrontEnd) Evict(group int, baseURL string) error {
 }
 
 // SetBackendTimeout bounds the proxy hop to backends registered after
-// the call (0 keeps the rpc default). Configure it before registering:
-// a crashed or hung surrogate must fail the hop within the failure
-// detector's horizon, not the 30 s default.
+// the call (0 keeps the rpc default).
+//
+// Deprecated: pass WithBackendTimeout to New instead — a front-end
+// should be fully configured before it serves traffic. Kept for the
+// accelcloud façade's compatibility surface only.
 func (f *FrontEnd) SetBackendTimeout(d time.Duration) {
 	f.rt.SetClientTimeout(d)
 }
 
 // SetObserver installs the per-request outcome hook (nil uninstalls).
-// The hook runs on the request path after every backend hop — keep it
-// cheap and non-blocking; internal/health's Manager.Observe qualifies.
+//
+// Deprecated: pass WithObserver to New — with an ObserverRef when the
+// observer is constructed after the front-end. Kept for the accelcloud
+// façade's compatibility surface only.
 func (f *FrontEnd) SetObserver(ob Observer) {
 	if ob == nil {
 		f.observer.Store(nil)
@@ -175,6 +169,31 @@ func (f *FrontEnd) SetObserver(ob Observer) {
 	}
 	f.observer.Store(&ob)
 }
+
+// SweepCold parks every backend that has been idle (no in-flight or
+// queued work, no Release) for at least the WithColdPool threshold —
+// the scale-to-zero janitor. Daemons call it on a ticker; hermetic
+// benches call it with virtual now. A no-op (returning 0) unless the
+// front-end was built WithColdPool. Returns the number of backends
+// parked.
+func (f *FrontEnd) SweepCold(now time.Time) int {
+	if f.coldAfter <= 0 {
+		return 0
+	}
+	return f.rt.MarkIdleCold(f.coldAfter, now)
+}
+
+// TakeActivations drains the per-group cold-start activation counts
+// accumulated since the previous call — the autoscale controller reads
+// them once per slot into Decision.Activated. Nil when nothing
+// activated.
+func (f *FrontEnd) TakeActivations() map[int]int64 {
+	return f.rt.TakeActivations()
+}
+
+// ColdStartLatency reports the configured per-activation latency (the
+// cost the autoscale model charges per activation).
+func (f *FrontEnd) ColdStartLatency() time.Duration { return f.coldStart }
 
 // Backends reports the registered groups and backend counts (active and
 // draining alike — they are all still serving or finishing work).
@@ -303,15 +322,38 @@ func (f *FrontEnd) offloadOnce(ctx context.Context, req rpc.OffloadRequest) (rpc
 	}
 	picked, err := f.rt.Pick(req.Group)
 	if err != nil {
+		// Saturation (every queue full) and no-backend alike are 503s;
+		// the body carries the queue-full marker when it applies, so
+		// rpc.IsQueueFull classifies the rejection client-side.
 		f.rt.CountDrop()
 		return rpc.OffloadResponse{Error: err.Error()}, http.StatusServiceUnavailable
+	}
+	if picked.ColdStarted() && f.coldStart > 0 {
+		// This request woke a parked backend; charge it the cold start
+		// (the activation count reaches the autoscale cost model via
+		// TakeActivations).
+		select {
+		case <-time.After(f.coldStart):
+		case <-ctx.Done():
+		}
 	}
 	routingMs := float64(time.Since(routeStart)) / float64(time.Millisecond)
 
 	backendStart := time.Now()
-	resp, err := picked.Client().Execute(ctx, rpc.ExecuteRequest{State: req.State})
+	var resp rpc.ExecuteResponse
+	if q := picked.Queue(); q != nil {
+		resp, err = q.Submit(ctx, rpc.ExecuteRequest{State: req.State})
+	} else {
+		resp, err = picked.Client().Execute(ctx, rpc.ExecuteRequest{State: req.State})
+	}
 	backendTotalMs := float64(time.Since(backendStart)) / float64(time.Millisecond)
 	f.rt.Release(picked, err == nil)
+	if errors.Is(err, serve.ErrQueueFull) {
+		// Lost the Submit race after an unsaturated Pick: backpressure,
+		// not a backend fault — no observer signal, plain 503 with the
+		// queue-full marker for the client's re-route retry.
+		return rpc.OffloadResponse{Error: err.Error()}, http.StatusServiceUnavailable
+	}
 	if ob := f.observer.Load(); ob != nil {
 		(*ob)(req.Group, picked.URL(), err, backendTotalMs)
 	}

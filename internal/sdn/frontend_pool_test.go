@@ -45,7 +45,7 @@ func newCountingBackend(t *testing.T, name string) *countingBackend {
 }
 
 func TestFrontEndPoolLifecycle(t *testing.T) {
-	fe, err := NewFrontEnd(nil, 0)
+	fe, err := New()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +84,7 @@ func TestFrontEndPoolLifecycle(t *testing.T) {
 }
 
 func TestFrontEndRemoveRefusesInFlight(t *testing.T) {
-	fe, err := NewFrontEnd(nil, 0)
+	fe, err := New()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +149,7 @@ func TestFrontEndRemoveRefusesInFlight(t *testing.T) {
 // and once a drained backend quiesces it never receives another
 // request.
 func TestFrontEndPoolMutationUnderLoad(t *testing.T) {
-	fe, err := NewFrontEnd(nil, 0)
+	fe, err := New()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -21,7 +21,7 @@ import (
 // real sockets.
 func newCluster(t *testing.T, log *trace.Store) (*httptest.Server, *FrontEnd) {
 	t.Helper()
-	fe, err := NewFrontEnd(log, 0)
+	fe, err := New(WithTrace(log))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +123,7 @@ func TestFrontEndValidatesRequests(t *testing.T) {
 }
 
 func TestFrontEndRoundRobin(t *testing.T) {
-	fe, err := NewFrontEnd(nil, 0)
+	fe, err := New()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,11 +171,11 @@ func TestFrontEndRoundRobin(t *testing.T) {
 	}
 }
 
-func TestNewFrontEndValidation(t *testing.T) {
-	if _, err := NewFrontEnd(nil, -time.Second); err == nil {
+func TestNewValidation(t *testing.T) {
+	if _, err := New(WithRouteDelay(-time.Second)); err == nil {
 		t.Fatal("negative delay should fail")
 	}
-	fe, err := NewFrontEnd(nil, 0)
+	fe, err := New()
 	if err != nil {
 		t.Fatal(err)
 	}

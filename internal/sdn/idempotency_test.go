@@ -117,7 +117,7 @@ func TestIdemCacheEvictsFIFO(t *testing.T) {
 // twice".
 func countingCluster(t *testing.T, delay time.Duration) (*httptest.Server, *atomic.Int64, *dalvik.Surrogate) {
 	t.Helper()
-	fe, err := NewFrontEnd(nil, 0)
+	fe, err := New()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,8 +154,7 @@ func countingCluster(t *testing.T, delay time.Duration) (*httptest.Server, *atom
 // lane is absorbed by the idempotency cache.
 func TestHedgedOffloadExecutesOnce(t *testing.T) {
 	front, executes, _ := countingCluster(t, 60*time.Millisecond)
-	client := rpc.NewClient(front.URL)
-	client.Hedge = &rpc.HedgePolicy{Delay: 10 * time.Millisecond}
+	client := rpc.NewClient(front.URL, rpc.WithHedge(&rpc.HedgePolicy{Delay: 10 * time.Millisecond}))
 
 	st, err := tasks.Minimax{}.Generate(sim.NewRNG(7).Stream("gen"), 6)
 	if err != nil {
@@ -182,8 +181,7 @@ func TestHedgedOffloadExecutesOnce(t *testing.T) {
 // re-sends the whole batch, and every call still executes exactly once.
 func TestHedgedBatchExecutesOnce(t *testing.T) {
 	front, executes, _ := countingCluster(t, 60*time.Millisecond)
-	client := rpc.NewClient(front.URL)
-	client.Hedge = &rpc.HedgePolicy{Delay: 10 * time.Millisecond}
+	client := rpc.NewClient(front.URL, rpc.WithHedge(&rpc.HedgePolicy{Delay: 10 * time.Millisecond}))
 
 	const chain = 4
 	calls := make([]rpc.OffloadRequest, chain)
@@ -219,7 +217,7 @@ func TestHedgedBatchExecutesOnce(t *testing.T) {
 // idempotency contract: failures are NOT cached, so a retry after a
 // 5xx gets a fresh execution instead of a replayed failure.
 func TestRetriedOffloadAfterFailureReExecutes(t *testing.T) {
-	fe, err := NewFrontEnd(nil, 0)
+	fe, err := New()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,8 +252,7 @@ func TestRetriedOffloadAfterFailureReExecutes(t *testing.T) {
 	front := httptest.NewServer(fe.Handler())
 	t.Cleanup(front.Close)
 
-	client := rpc.NewClient(front.URL)
-	client.Retry = rpc.NewRetryPolicy(3, time.Millisecond, 10*time.Millisecond, 1)
+	client := rpc.NewClient(front.URL, rpc.WithRetry(rpc.NewRetryPolicy(3, time.Millisecond, 10*time.Millisecond, 1)))
 	st, err := tasks.Minimax{}.Generate(sim.NewRNG(3).Stream("gen"), 5)
 	if err != nil {
 		t.Fatal(err)
@@ -271,5 +268,83 @@ func TestRetriedOffloadAfterFailureReExecutes(t *testing.T) {
 	}
 	if n := hits.Load(); n != 2 {
 		t.Fatalf("backend hit %d times, want 2 (fail, then fresh retry)", n)
+	}
+}
+
+// TestHedgedOffloadAgainstQueuedBackendExecutesOnce is the serving-
+// layer extension of the hedging contract: the backend sits behind a
+// single-slot admission queue occupied by a plug request, so the
+// hedged request's primary lane waits *queued* — not executing — when
+// the hedge fires. The idempotency cache must still absorb the hedge:
+// the plug and the hedged request each execute exactly once.
+func TestHedgedOffloadAgainstQueuedBackendExecutesOnce(t *testing.T) {
+	fe, err := New(WithQueue(1, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sur, err := dalvik.NewSurrogate("surrogate-1", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sur.PushPool(tasks.DefaultPool()); err != nil {
+		t.Fatal(err)
+	}
+	var executes atomic.Int64
+	base := sur.Handler()
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == rpc.PathExecute {
+			executes.Add(1)
+			time.Sleep(60 * time.Millisecond)
+		}
+		base.ServeHTTP(w, r)
+	}))
+	t.Cleanup(backend.Close)
+	if err := fe.Register(1, backend.URL); err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(fe.Handler())
+	t.Cleanup(front.Close)
+
+	gen := sim.NewRNG(13).Stream("gen")
+	plugState, err := tasks.Minimax{}.Generate(gen, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hedgedState, err := tasks.Minimax{}.Generate(gen, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Occupy the backend's only dispatch slot with the plug request.
+	plugDone := make(chan error, 1)
+	go func() {
+		plain := rpc.NewClient(front.URL)
+		_, err := plain.Offload(context.Background(), rpc.OffloadRequest{
+			UserID: 99, Group: 1, BatteryLevel: 0.9, State: plugState,
+		})
+		plugDone <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // plug reaches the dispatcher
+
+	client := rpc.NewClient(front.URL, rpc.WithHedge(&rpc.HedgePolicy{Delay: 10 * time.Millisecond}))
+	resp, err := client.Offload(context.Background(), rpc.OffloadRequest{
+		UserID: 1, Group: 1, BatteryLevel: 0.8, State: hedgedState,
+	})
+	if err != nil {
+		t.Fatalf("hedged offload: %v", err)
+	}
+	if resp.Result.Task != "minimax" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if err := <-plugDone; err != nil {
+		t.Fatalf("plug offload: %v", err)
+	}
+	if hedges := client.Stats().Hedges; hedges == 0 {
+		t.Fatal("hedge never launched; the test proved nothing")
+	}
+	// Plug + hedged request = exactly 2 backend executions: the hedge
+	// lane was absorbed while its primary was still queued.
+	if n := executes.Load(); n != 2 {
+		t.Fatalf("backend executed %d times, want 2 (plug + hedged primary)", n)
 	}
 }

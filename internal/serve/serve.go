@@ -1,0 +1,315 @@
+// Package serve is the per-backend admission layer of the serving
+// stack: a bounded queue in front of each surrogate (kserve's
+// queue-proxy shape) that enforces a concurrency limit, sheds load
+// with a typed ErrQueueFull once the queue is full, and dynamically
+// batches homogeneous queued tasks into one batch execution so the
+// per-call protocol overhead amortizes across the batch.
+//
+// The router owns one Queue per backend entry. Pick consults
+// Queue.Saturated to steer around full backends; the frontend submits
+// picked work through Queue.Submit instead of calling the backend
+// client directly. Everything is in-process and allocation-light: the
+// queue is a buffered channel, dispatchers are Limit standing
+// goroutines, and the gauges are atomics read by /stats.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"accelcloud/internal/rpc"
+)
+
+// Config sizes one backend's admission queue.
+type Config struct {
+	// Limit is the number of concurrent dispatches to the backend
+	// (standing dispatcher goroutines). 0 disables the queue layer
+	// entirely — calls go straight to the client, as before PR 7.
+	Limit int
+	// Depth is the number of admitted-but-not-yet-dispatched requests
+	// the queue holds before Submit rejects with ErrQueueFull. 0
+	// selects DefaultDepth when Limit > 0.
+	Depth int
+	// MaxBatch > 1 enables dynamic batching: a dispatcher that pulls a
+	// job keeps pulling queued jobs for the same task (up to MaxBatch)
+	// and executes them as one ExecuteBatch round trip. A job for a
+	// different task closes the batch and leads the next one.
+	MaxBatch int
+	// Linger bounds how long a dispatcher waits for the queue to yield
+	// more same-task jobs before executing a short batch. 0 selects
+	// DefaultLinger when MaxBatch > 1. Linger only costs latency when
+	// the queue is empty; with a backlog the batch fills immediately.
+	Linger time.Duration
+}
+
+// Defaults applied by New.
+const (
+	DefaultDepth  = 64
+	DefaultLinger = 2 * time.Millisecond
+)
+
+// Enabled reports whether the config asks for an admission queue.
+func (c Config) Enabled() bool { return c.Limit > 0 }
+
+// Validate rejects unusable shapes.
+func (c Config) Validate() error {
+	if c.Limit < 0 {
+		return fmt.Errorf("serve: concurrency limit %d < 0", c.Limit)
+	}
+	if c.Depth < 0 {
+		return fmt.Errorf("serve: queue depth %d < 0", c.Depth)
+	}
+	if c.Linger < 0 {
+		return fmt.Errorf("serve: linger %v < 0", c.Linger)
+	}
+	if c.MaxBatch > 1 && c.Limit == 0 {
+		return errors.New("serve: batching requires a concurrency limit (set Limit > 0)")
+	}
+	return nil
+}
+
+// ErrQueueFull is the typed backpressure signal: the backend's
+// admission queue is at capacity, so the caller should try another
+// backend (the router's Pick already skips saturated ones) rather
+// than pile on. The message embeds rpc.MsgQueueFull so the rejection
+// survives an HTTP 503 hop and rpc.IsQueueFull still classifies it
+// client-side.
+var ErrQueueFull = fmt.Errorf("serve: %s", rpc.MsgQueueFull)
+
+// ErrClosed reports a Submit against a closed queue.
+var ErrClosed = errors.New("serve: queue closed")
+
+// Executor is the downstream the queue dispatches to — in production
+// an *rpc.Client aimed at the backend.
+type Executor interface {
+	Execute(ctx context.Context, req rpc.ExecuteRequest) (rpc.ExecuteResponse, error)
+	ExecuteBatch(ctx context.Context, reqs []rpc.ExecuteRequest) ([]rpc.ExecuteResponse, error)
+}
+
+type result struct {
+	resp rpc.ExecuteResponse
+	err  error
+}
+
+type job struct {
+	ctx  context.Context
+	req  rpc.ExecuteRequest
+	done chan result // buffered 1: dispatchers never block on delivery
+}
+
+// Queue is one backend's bounded admission queue plus its dispatcher
+// pool. Submit is safe for concurrent use; Close is idempotent.
+type Queue struct {
+	cfg  Config
+	exec Executor
+
+	jobs   chan *job
+	queued atomic.Int64 // jobs admitted, not yet pulled by a dispatcher
+
+	executing atomic.Int64 // dispatches in flight (a batch counts once)
+	batches   atomic.Int64 // multi-job dispatches executed
+	coalesced atomic.Int64 // jobs that rode inside multi-job dispatches
+	rejected  atomic.Int64 // Submits refused with ErrQueueFull
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// New builds a queue and starts its cfg.Limit dispatchers. Returns nil
+// when the config does not enable the queue layer.
+func New(cfg Config, exec Executor) (*Queue, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.Enabled() {
+		return nil, nil
+	}
+	if cfg.Depth == 0 {
+		cfg.Depth = DefaultDepth
+	}
+	if cfg.MaxBatch > 1 && cfg.Linger == 0 {
+		cfg.Linger = DefaultLinger
+	}
+	q := &Queue{
+		cfg:    cfg,
+		exec:   exec,
+		jobs:   make(chan *job, cfg.Depth),
+		closed: make(chan struct{}),
+	}
+	q.wg.Add(cfg.Limit)
+	for i := 0; i < cfg.Limit; i++ {
+		go q.dispatch()
+	}
+	return q, nil
+}
+
+// Config echoes the effective (default-filled) configuration.
+func (q *Queue) Config() Config { return q.cfg }
+
+// Queued is the current number of admitted-but-undispatched jobs.
+func (q *Queue) Queued() int { return int(q.queued.Load()) }
+
+// Executing is the current number of in-flight dispatches.
+func (q *Queue) Executing() int { return int(q.executing.Load()) }
+
+// Rejected counts Submits refused with ErrQueueFull.
+func (q *Queue) Rejected() int64 { return q.rejected.Load() }
+
+// Batches and Coalesced count multi-job dispatches and the jobs that
+// rode in them — the batching efficiency numerator and denominator.
+func (q *Queue) Batches() int64   { return q.batches.Load() }
+func (q *Queue) Coalesced() int64 { return q.coalesced.Load() }
+
+// Saturated reports whether the queue is at capacity — the router's
+// Pick skips backends for which this is true. It is a racy read by
+// design (Submit is the hard gate); the steady state under overload
+// keeps the queue full, so the signal is stable when it matters.
+func (q *Queue) Saturated() bool {
+	return int(q.queued.Load()) >= q.cfg.Depth
+}
+
+// Submit admits one request and blocks until a dispatcher executes it
+// (possibly inside a batch) or ctx is done. A full queue rejects
+// immediately with ErrQueueFull.
+func (q *Queue) Submit(ctx context.Context, req rpc.ExecuteRequest) (rpc.ExecuteResponse, error) {
+	select {
+	case <-q.closed:
+		return rpc.ExecuteResponse{}, ErrClosed
+	default:
+	}
+	j := &job{ctx: ctx, req: req, done: make(chan result, 1)}
+	q.queued.Add(1)
+	select {
+	case q.jobs <- j:
+	default:
+		q.queued.Add(-1)
+		q.rejected.Add(1)
+		return rpc.ExecuteResponse{}, ErrQueueFull
+	}
+	select {
+	case r := <-j.done:
+		return r.resp, r.err
+	case <-ctx.Done():
+		// The job stays queued; its dispatcher will run it against the
+		// already-cancelled ctx and fail fast.
+		return rpc.ExecuteResponse{}, ctx.Err()
+	case <-q.closed:
+		// Close drains leftover jobs, so either the drain or a late
+		// dispatcher delivers; prefer the delivered result if racing.
+		select {
+		case r := <-j.done:
+			return r.resp, r.err
+		case <-time.After(10 * time.Millisecond):
+			return rpc.ExecuteResponse{}, ErrClosed
+		}
+	}
+}
+
+// Close stops the dispatchers and fails any still-queued jobs with
+// ErrClosed. In-flight dispatches finish.
+func (q *Queue) Close() {
+	if q == nil {
+		return
+	}
+	q.closeOnce.Do(func() { close(q.closed) })
+	q.wg.Wait()
+	for {
+		select {
+		case j := <-q.jobs:
+			q.queued.Add(-1)
+			j.done <- result{err: ErrClosed}
+		default:
+			return
+		}
+	}
+}
+
+// dispatch is one standing dispatcher: pull a job, optionally coalesce
+// same-task followers up to MaxBatch within Linger, execute.
+func (q *Queue) dispatch() {
+	defer q.wg.Done()
+	var carry *job // heterogeneous job that closed the previous batch
+	for {
+		var lead *job
+		if carry != nil {
+			lead, carry = carry, nil
+		} else {
+			select {
+			case lead = <-q.jobs:
+				q.queued.Add(-1)
+			case <-q.closed:
+				return
+			}
+		}
+		batch := []*job{lead}
+		if q.cfg.MaxBatch > 1 {
+			batch, carry = q.fill(batch)
+		}
+		q.run(batch)
+	}
+}
+
+// fill coalesces queued jobs for lead's task until the batch is full,
+// the linger expires, the queue yields a different task (returned as
+// carry), or the queue closes.
+func (q *Queue) fill(batch []*job) (full []*job, carry *job) {
+	lead := batch[0]
+	linger := time.NewTimer(q.cfg.Linger)
+	defer linger.Stop()
+	for len(batch) < q.cfg.MaxBatch {
+		select {
+		case next := <-q.jobs:
+			q.queued.Add(-1)
+			if next.req.State.Task != lead.req.State.Task {
+				return batch, next
+			}
+			batch = append(batch, next)
+		case <-linger.C:
+			return batch, nil
+		case <-q.closed:
+			return batch, nil
+		}
+	}
+	return batch, nil
+}
+
+// run executes a batch: singletons via Execute, larger batches via one
+// ExecuteBatch round trip whose responses fan back out in order.
+func (q *Queue) run(batch []*job) {
+	q.executing.Add(1)
+	defer q.executing.Add(-1)
+	if len(batch) == 1 {
+		j := batch[0]
+		resp, err := q.exec.Execute(j.ctx, j.req)
+		j.done <- result{resp: resp, err: err}
+		return
+	}
+	q.batches.Add(1)
+	q.coalesced.Add(int64(len(batch)))
+	reqs := make([]rpc.ExecuteRequest, len(batch))
+	for i, j := range batch {
+		reqs[i] = j.req
+	}
+	// The batch rides the lead job's context: its deadline covers the
+	// whole dispatch. Followers whose own ctx died still get a result
+	// (their Submit already returned ctx.Err()); done is buffered so
+	// delivery never blocks.
+	resps, err := q.exec.ExecuteBatch(batch[0].ctx, reqs)
+	if err != nil || len(resps) != len(batch) {
+		if err == nil {
+			err = fmt.Errorf("serve: batch returned %d results for %d calls", len(resps), len(batch))
+		}
+		for _, j := range batch {
+			j.done <- result{err: err}
+		}
+		return
+	}
+	for i, j := range batch {
+		j.done <- result{resp: resps[i]}
+	}
+}

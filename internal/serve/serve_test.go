@@ -1,0 +1,313 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"accelcloud/internal/rpc"
+	"accelcloud/internal/tasks"
+)
+
+// fakeExec is a controllable Executor: Execute blocks until release is
+// closed (when set), and every call is counted.
+type fakeExec struct {
+	mu       sync.Mutex
+	release  chan struct{}
+	execs    atomic.Int64
+	batches  atomic.Int64
+	batchLen []int
+}
+
+func (f *fakeExec) Execute(ctx context.Context, req rpc.ExecuteRequest) (rpc.ExecuteResponse, error) {
+	f.execs.Add(1)
+	if f.release != nil {
+		select {
+		case <-f.release:
+		case <-ctx.Done():
+			return rpc.ExecuteResponse{}, ctx.Err()
+		}
+	}
+	return rpc.ExecuteResponse{Server: "fake", Result: tasks.Result{Task: req.State.Task}}, nil
+}
+
+func (f *fakeExec) ExecuteBatch(ctx context.Context, reqs []rpc.ExecuteRequest) ([]rpc.ExecuteResponse, error) {
+	f.batches.Add(1)
+	f.mu.Lock()
+	f.batchLen = append(f.batchLen, len(reqs))
+	f.mu.Unlock()
+	if f.release != nil {
+		select {
+		case <-f.release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	out := make([]rpc.ExecuteResponse, len(reqs))
+	for i, r := range reqs {
+		out[i] = rpc.ExecuteResponse{Server: "fake", Result: tasks.Result{Task: r.State.Task}}
+	}
+	return out, nil
+}
+
+func req(task string) rpc.ExecuteRequest {
+	return rpc.ExecuteRequest{State: tasks.State{Task: task, Size: 1}}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Limit: -1},
+		{Limit: 1, Depth: -1},
+		{Limit: 1, Linger: -time.Millisecond},
+		{MaxBatch: 4}, // batching without a limit
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("Validate(%+v) accepted an unusable config", c)
+		}
+	}
+	if err := (Config{Limit: 2, Depth: 8, MaxBatch: 4, Linger: time.Millisecond}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisabledConfigReturnsNilQueue(t *testing.T) {
+	q, err := New(Config{}, &fakeExec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != nil {
+		t.Fatal("Limit 0 should disable the queue layer")
+	}
+	// The nil queue must be Close-safe: the router closes queues
+	// unconditionally on Remove/Evict.
+	q.Close()
+}
+
+func TestSubmitExecutes(t *testing.T) {
+	ex := &fakeExec{}
+	q, err := New(Config{Limit: 2, Depth: 4}, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	resp, err := q.Submit(context.Background(), req("minimax"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Server != "fake" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if got := ex.execs.Load(); got != 1 {
+		t.Fatalf("executes = %d", got)
+	}
+}
+
+// TestQueueFullRejects fills the limit with blocked executions and the
+// depth with waiting jobs, then proves the next Submit sheds with
+// ErrQueueFull instead of blocking, and that the queue recovers after
+// the backlog drains.
+func TestQueueFullRejects(t *testing.T) {
+	release := make(chan struct{})
+	ex := &fakeExec{release: release}
+	const limit, depth = 2, 3
+	q, err := New(Config{Limit: limit, Depth: depth}, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+
+	var wg sync.WaitGroup
+	errs := make([]error, limit+depth)
+	for i := 0; i < limit+depth; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = q.Submit(context.Background(), req("minimax"))
+		}(i)
+	}
+	// Wait until the dispatchers hold `limit` jobs and `depth` more wait.
+	deadline := time.Now().Add(2 * time.Second)
+	for q.Queued() < depth || q.Executing() < limit {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never saturated: queued=%d executing=%d", q.Queued(), q.Executing())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !q.Saturated() {
+		t.Fatal("Saturated() = false at full depth")
+	}
+	if _, err := q.Submit(context.Background(), req("minimax")); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow Submit err = %v, want ErrQueueFull", err)
+	}
+	if q.Rejected() != 1 {
+		t.Fatalf("rejected = %d", q.Rejected())
+	}
+
+	close(release)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if q.Saturated() {
+		t.Fatal("still saturated after drain")
+	}
+	if _, err := q.Submit(context.Background(), req("minimax")); err != nil {
+		t.Fatalf("post-drain submit: %v", err)
+	}
+}
+
+// TestBatchCoalesces backlogs 8 same-task jobs behind one blocked
+// dispatcher and proves they execute as one ExecuteBatch round trip.
+func TestBatchCoalesces(t *testing.T) {
+	release := make(chan struct{})
+	ex := &fakeExec{release: release}
+	q, err := New(Config{Limit: 1, Depth: 16, MaxBatch: 8, Linger: 50 * time.Millisecond}, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+
+	// Plug the single dispatcher with one job...
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); _, _ = q.Submit(context.Background(), req("plug")) }()
+	for q.Executing() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	// ...then backlog 8 homogeneous jobs while it is busy.
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); _, _ = q.Submit(context.Background(), req("minimax")) }()
+	}
+	for q.Queued() < 8 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := ex.batches.Load(); got != 1 {
+		t.Fatalf("batches = %d, want 1 (batch lens %v)", got, ex.batchLen)
+	}
+	if len(ex.batchLen) != 1 || ex.batchLen[0] != 8 {
+		t.Fatalf("batch lens = %v, want [8]", ex.batchLen)
+	}
+	if q.Batches() != 1 || q.Coalesced() != 8 {
+		t.Fatalf("gauges: batches=%d coalesced=%d", q.Batches(), q.Coalesced())
+	}
+}
+
+// TestBatchBreaksOnTaskChange backlogs a heterogeneous run and proves
+// the dispatcher never mixes tasks in one batch: the odd task carries
+// over into its own dispatch.
+func TestBatchBreaksOnTaskChange(t *testing.T) {
+	release := make(chan struct{})
+	ex := &fakeExec{release: release}
+	q, err := New(Config{Limit: 1, Depth: 16, MaxBatch: 8, Linger: 50 * time.Millisecond}, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); _, _ = q.Submit(context.Background(), req("plug")) }()
+	for q.Executing() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	// Backlog must land in order: 3×matmul, then 1×minimax.
+	submit := func(task string) {
+		wg.Add(1)
+		go func() { defer wg.Done(); _, _ = q.Submit(context.Background(), req(task)) }()
+		want := q.Queued() + 1
+		for q.Queued() < want {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	submit("matmul")
+	submit("matmul")
+	submit("matmul")
+	submit("minimax")
+	close(release)
+	wg.Wait()
+
+	ex.mu.Lock()
+	lens := append([]int(nil), ex.batchLen...)
+	ex.mu.Unlock()
+	// One 3-job matmul batch; plug and minimax ran as singletons.
+	if len(lens) != 1 || lens[0] != 3 {
+		t.Fatalf("batch lens = %v, want [3]", lens)
+	}
+	if got := ex.execs.Load(); got != 2 {
+		t.Fatalf("singleton executes = %d, want 2", got)
+	}
+}
+
+func TestLingerFlushesShortBatch(t *testing.T) {
+	ex := &fakeExec{}
+	q, err := New(Config{Limit: 1, Depth: 16, MaxBatch: 8, Linger: 5 * time.Millisecond}, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	// A lone job must not wait for a full batch: the linger expires and
+	// it executes as a singleton well before any 8-job batch could form.
+	start := time.Now()
+	if _, err := q.Submit(context.Background(), req("minimax")); err != nil {
+		t.Fatal(err)
+	}
+	if wait := time.Since(start); wait > time.Second {
+		t.Fatalf("lone submit waited %v", wait)
+	}
+	if ex.batches.Load() != 0 {
+		t.Fatal("lone job rode a batch")
+	}
+}
+
+func TestSubmitAfterCloseFails(t *testing.T) {
+	q, err := New(Config{Limit: 1, Depth: 2}, &fakeExec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+	q.Close() // idempotent
+	if _, err := q.Submit(context.Background(), req("minimax")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestSubmitHonorsContext(t *testing.T) {
+	release := make(chan struct{})
+	ex := &fakeExec{release: release}
+	q, err := New(Config{Limit: 1, Depth: 4}, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	// Registered after q.Close so it runs first: the dispatcher must
+	// unblock before Close waits on it.
+	defer close(release)
+	// Plug the dispatcher, then submit with an already-cancelled ctx.
+	go func() { _, _ = q.Submit(context.Background(), req("plug")) }()
+	for q.Executing() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := q.Submit(ctx, req("minimax")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled submit = %v, want context.Canceled", err)
+	}
+}
+
+func TestErrQueueFullClassifiesClientSide(t *testing.T) {
+	// The serving contract: the typed rejection must survive rpc's
+	// queue-full classifier so retries pick the short backoff.
+	if !rpc.IsQueueFull(ErrQueueFull) {
+		t.Fatal("rpc.IsQueueFull(ErrQueueFull) = false")
+	}
+}

@@ -1,0 +1,479 @@
+// Package servebench measures the serving layer (internal/serve) end
+// to end against hermetic clusters and emits the BENCH_serve.json
+// artifact cmd/benchdiff gates:
+//
+//   - Batching A/B: a closed loop of homogeneous matmul offloads
+//     against the same single-backend cluster with and without dynamic
+//     batching. Every backend HTTP call pays an injected fixed RTT
+//     (loopback round trips are free; the injection models the
+//     cloud-internal hop that batching actually amortizes), so the
+//     gated speedup — one ExecuteBatch round trip carrying MaxBatch
+//     states versus one round trip each — is a wide, machine-portable
+//     ratio that must clear a 2× floor.
+//   - Backpressure hold: a healthy backend next to one crippled with
+//     an injected per-execute delay, both behind small admission
+//     queues. The crippled backend saturates and sheds; the gate is
+//     that the healthy backend's p99 (sliced per server) holds within
+//     20% of a healthy-only baseline run of the same load, and that at
+//     least one request was rejected with the typed queue-full signal
+//     instead of melting the stack.
+//   - Scale-to-zero: a front-end with a cold pool under an autoscale
+//     controller. The sole backend is parked, one request reactivates
+//     it (paying the configured cold start), and the controller's next
+//     decision must show exactly one activation whose cost lands in
+//     the decision digest — gated for exact reproduction.
+//
+// Scenarios A and B are wall-clock measurements (machine-dependent, so
+// the gates are ratios measured within one run); scenario C is
+// deterministic and gated exactly.
+package servebench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"accelcloud/internal/autoscale"
+	"accelcloud/internal/loadgen"
+	"accelcloud/internal/rpc"
+	"accelcloud/internal/sdn"
+	"accelcloud/internal/sim"
+	"accelcloud/internal/stats"
+	"accelcloud/internal/tasks"
+	"accelcloud/internal/trace"
+)
+
+// Schema versions the servebench report format for cmd/benchdiff.
+const Schema = "accelcloud/servebench/v1"
+
+// Config sizes one servebench run.
+type Config struct {
+	// Seed roots the deterministic task-state streams.
+	Seed int64
+	// Requests per measured cell (0 selects 400).
+	Requests int
+	// Workers is the closed-loop concurrency (0 selects 32).
+	Workers int
+	// MatMulSize is the n of the homogeneous n×n matmul workload (0
+	// selects 8 — small enough that protocol overhead, not arithmetic,
+	// dominates, which is the regime batching accelerates).
+	MatMulSize int
+	// Timeout bounds each request (0 selects 30s).
+	Timeout time.Duration
+}
+
+func (c Config) normalized() Config {
+	if c.Requests <= 0 {
+		c.Requests = 400
+	}
+	if c.Workers <= 0 {
+		c.Workers = 32
+	}
+	if c.MatMulSize <= 0 {
+		c.MatMulSize = 8
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	return c
+}
+
+// Report is the BENCH_serve.json artifact.
+type Report struct {
+	Schema   string `json:"schema"`
+	Seed     int64  `json:"seed"`
+	Requests int    `json:"requests"`
+	Workers  int    `json:"workers"`
+
+	// Batching A/B (scenario A).
+	UnbatchedThroughputRps float64 `json:"unbatchedThroughputRps"`
+	BatchedThroughputRps   float64 `json:"batchedThroughputRps"`
+	BatchSpeedup           float64 `json:"batchSpeedup"`
+	UnbatchedP99Ms         float64 `json:"unbatchedP99Ms"`
+	BatchedP99Ms           float64 `json:"batchedP99Ms"`
+
+	// Backpressure hold (scenario B).
+	BaselineP99Ms        float64 `json:"baselineP99Ms"`
+	SaturatedStableP99Ms float64 `json:"saturatedStableP99Ms"`
+	SaturatedHoldRatio   float64 `json:"saturatedHoldRatio"`
+	QueueFullRejections  int64   `json:"queueFullRejections"`
+
+	// Scale-to-zero (scenario C) — deterministic.
+	ColdActivations int     `json:"coldActivations"`
+	ColdStartMs     float64 `json:"coldStartMs"`
+	ColdRequestMs   float64 `json:"coldRequestMs"`
+	DecisionDigest  string  `json:"decisionDigest"`
+}
+
+// Summary renders the human-readable table.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "servebench: %d requests per cell, %d workers\n", r.Requests, r.Workers)
+	fmt.Fprintf(&b, "  batching A/B (homogeneous matmul, single backend):\n")
+	fmt.Fprintf(&b, "    unbatched  %9.0f rps  p99 %8.2f ms\n", r.UnbatchedThroughputRps, r.UnbatchedP99Ms)
+	fmt.Fprintf(&b, "    batched    %9.0f rps  p99 %8.2f ms  (%.2fx throughput)\n", r.BatchedThroughputRps, r.BatchedP99Ms, r.BatchSpeedup)
+	fmt.Fprintf(&b, "  backpressure hold (one crippled backend):\n")
+	fmt.Fprintf(&b, "    healthy-backend p99 %8.2f ms vs baseline %8.2f ms (hold ratio %.2f)\n",
+		r.SaturatedStableP99Ms, r.BaselineP99Ms, r.SaturatedHoldRatio)
+	fmt.Fprintf(&b, "    queue-full rejections %d\n", r.QueueFullRejections)
+	fmt.Fprintf(&b, "  scale-to-zero: %d activation(s), cold start %.0f ms, activating request %.2f ms\n",
+		r.ColdActivations, r.ColdStartMs, r.ColdRequestMs)
+	fmt.Fprintf(&b, "    decision digest %s\n", r.DecisionDigest)
+	return b.String()
+}
+
+// WriteFile writes the JSON report.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadReport parses a report and verifies its schema.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(rd).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("servebench: decode report: %w", err)
+	}
+	if rep.Schema != Schema {
+		return nil, fmt.Errorf("servebench: schema %q, want %q", rep.Schema, Schema)
+	}
+	return &rep, nil
+}
+
+// ReadReportFile parses a report file.
+func ReadReportFile(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = f.Close() }()
+	return ReadReport(f)
+}
+
+// states pre-generates n deterministic matmul states so the measured
+// loop does no generation work.
+func states(seed int64, n, size int) ([]tasks.State, error) {
+	gen := sim.NewRNG(seed).Stream("servebench-gen")
+	out := make([]tasks.State, n)
+	for i := range out {
+		st, err := tasks.MatMul{}.Generate(gen, size)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = st
+	}
+	return out, nil
+}
+
+// drive replays sts against baseURL with a closed loop of workers and
+// returns wall time, the latency histogram of successful requests, the
+// per-server success histograms, and the queue-full rejection count.
+// Any other error aborts the run — these scenarios are supposed to be
+// error-free apart from intentional backpressure.
+func drive(ctx context.Context, baseURL string, workers int, timeout time.Duration, sts []tasks.State) (time.Duration, *stats.LogHist, map[string]*stats.LogHist, int64, error) {
+	client := rpc.NewClient(baseURL, rpc.WithTimeout(timeout))
+	var (
+		next      atomic.Int64
+		rejected  atomic.Int64
+		mu        sync.Mutex
+		hist      = stats.NewLatencyHist()
+		byServer  = map[string]*stats.LogHist{}
+		wg        sync.WaitGroup
+		runErr    error
+		wallStart = time.Now()
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(sts) || ctx.Err() != nil {
+					return
+				}
+				start := time.Now()
+				resp, err := client.Offload(ctx, rpc.OffloadRequest{
+					UserID: w, Group: 1, BatteryLevel: 0.9, State: sts[i],
+				})
+				ms := float64(time.Since(start)) / float64(time.Millisecond)
+				switch {
+				case err == nil:
+					mu.Lock()
+					hist.Add(ms)
+					sh := byServer[resp.Server]
+					if sh == nil {
+						sh = stats.NewLatencyHist()
+						byServer[resp.Server] = sh
+					}
+					sh.Add(ms)
+					mu.Unlock()
+				case rpc.IsQueueFull(err):
+					rejected.Add(1)
+				default:
+					mu.Lock()
+					if runErr == nil {
+						runErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(wallStart)
+	if runErr != nil {
+		return 0, nil, nil, 0, runErr
+	}
+	return wall, hist, byServer, rejected.Load(), nil
+}
+
+func p99(h *stats.LogHist) float64 {
+	if h == nil || h.Total() == 0 {
+		return 0
+	}
+	v, err := h.Quantile(0.99)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// delayWrap injects a fixed per-call delay into the execute endpoints
+// of each named surrogate — the stand-in for network RTT (scenario A)
+// and for a crippled backend (scenario B). The delay is per HTTP call,
+// so a batch round trip pays it once for the whole batch, exactly like
+// a real network hop.
+func delayWrap(delays map[string]time.Duration) func(string, http.Handler) http.Handler {
+	return func(id string, h http.Handler) http.Handler {
+		delay := delays[id]
+		if delay <= 0 {
+			return h
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == rpc.PathExecute || r.URL.Path == rpc.PathExecuteBatch {
+				time.Sleep(delay)
+			}
+			h.ServeHTTP(w, r)
+		})
+	}
+}
+
+// backendRTT is the injected front-end→surrogate round-trip cost of
+// scenario A. Loopback calls are nearly free, which would reduce the
+// A/B to a CPU-overhead contest; a fixed wall-clock RTT restores the
+// regime the serving layer is built for, where the per-call hop
+// dominates and coalescing MaxBatch states into one round trip pays
+// off proportionally.
+const backendRTT = 5 * time.Millisecond
+
+// runBatchingAB measures scenario A: the same cluster shape, queue-only
+// versus queue+batching, same deterministic workload.
+func runBatchingAB(ctx context.Context, cfg Config, rep *Report) error {
+	sts, err := states(cfg.Seed, cfg.Requests, cfg.MatMulSize)
+	if err != nil {
+		return err
+	}
+	// Both cells run one admission slot (QueueLimit 1) so the closed
+	// loop builds a real backlog; the only difference is whether the
+	// dispatcher may coalesce that backlog into ExecuteBatch calls.
+	cell := func(maxBatch int) (float64, float64, error) {
+		cluster, err := loadgen.StartClusterContext(ctx, loadgen.ClusterConfig{
+			Groups:             1,
+			SurrogatesPerGroup: 1,
+			MaxProcs:           cfg.Workers,
+			QueueLimit:         1,
+			QueueDepth:         256,
+			MaxBatch:           maxBatch,
+			Linger:             2 * time.Millisecond,
+			WrapBackend:        delayWrap(map[string]time.Duration{"surrogate-g1-0": backendRTT}),
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		defer cluster.Close()
+		// Warmup fills connection pools outside the measured window.
+		warm := sts[:min(len(sts), cfg.Workers)]
+		if _, _, _, _, err := drive(ctx, cluster.URL(), cfg.Workers, cfg.Timeout, warm); err != nil {
+			return 0, 0, err
+		}
+		wall, hist, _, _, err := drive(ctx, cluster.URL(), cfg.Workers, cfg.Timeout, sts)
+		if err != nil {
+			return 0, 0, err
+		}
+		return float64(len(sts)) / wall.Seconds(), p99(hist), nil
+	}
+	if rep.UnbatchedThroughputRps, rep.UnbatchedP99Ms, err = cell(0); err != nil {
+		return fmt.Errorf("unbatched cell: %w", err)
+	}
+	if rep.BatchedThroughputRps, rep.BatchedP99Ms, err = cell(8); err != nil {
+		return fmt.Errorf("batched cell: %w", err)
+	}
+	if rep.UnbatchedThroughputRps > 0 {
+		rep.BatchSpeedup = rep.BatchedThroughputRps / rep.UnbatchedThroughputRps
+	}
+	return nil
+}
+
+// runBackpressure measures scenario B. The baseline is one healthy
+// backend serving the full load; the measured run adds a crippled
+// backend next to it. Because the crippled backend saturates its
+// admission queue and gets fenced out of Pick, the healthy backend
+// should see essentially the baseline's load — its p99 must hold
+// within the gate's 20% of the healthy-only run, and the shed traffic
+// must surface as typed queue-full rejections, not as timeouts or
+// errors. Both cells inject the same base service delay so the
+// latencies are queue-and-sleep dominated rather than scheduler noise.
+func runBackpressure(ctx context.Context, cfg Config, rep *Report) error {
+	sts, err := states(cfg.Seed+1, cfg.Requests, cfg.MatMulSize)
+	if err != nil {
+		return err
+	}
+	const (
+		healthyName = "surrogate-g1-0"
+		slowName    = "surrogate-g1-1"
+		baseDelay   = 10 * time.Millisecond
+		crippleBy   = 40 * time.Millisecond
+		queueLimit  = 2
+		queueDepth  = 4
+	)
+	// Saturation requires the offered concurrency to exceed the whole
+	// cell's admission capacity (backends × (limit + depth)), or the
+	// queues never fill and the scenario measures nothing.
+	workers := max(cfg.Workers, 2*(queueLimit+queueDepth)+4)
+	cell := func(surrogates int, delays map[string]time.Duration) (map[string]*stats.LogHist, int64, error) {
+		cluster, err := loadgen.StartClusterContext(ctx, loadgen.ClusterConfig{
+			Groups:             1,
+			SurrogatesPerGroup: surrogates,
+			MaxProcs:           workers,
+			QueueLimit:         queueLimit,
+			QueueDepth:         queueDepth,
+			WrapBackend:        delayWrap(delays),
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		defer cluster.Close()
+		warm := sts[:min(len(sts), workers)]
+		if _, _, _, _, err := drive(ctx, cluster.URL(), workers, cfg.Timeout, warm); err != nil {
+			return nil, 0, err
+		}
+		_, _, byServer, rejected, err := drive(ctx, cluster.URL(), workers, cfg.Timeout, sts)
+		return byServer, rejected, err
+	}
+
+	baseServers, _, err := cell(1, map[string]time.Duration{healthyName: baseDelay})
+	if err != nil {
+		return fmt.Errorf("baseline cell: %w", err)
+	}
+	rep.BaselineP99Ms = p99(baseServers[healthyName])
+
+	slowServers, rejected, err := cell(2, map[string]time.Duration{
+		healthyName: baseDelay,
+		slowName:    baseDelay + crippleBy,
+	})
+	if err != nil {
+		return fmt.Errorf("saturated cell: %w", err)
+	}
+	rep.SaturatedStableP99Ms = p99(slowServers[healthyName])
+	rep.QueueFullRejections = rejected
+	if rep.BaselineP99Ms > 0 {
+		rep.SaturatedHoldRatio = rep.SaturatedStableP99Ms / rep.BaselineP99Ms
+	}
+	return nil
+}
+
+// runScaleToZero measures scenario C: park the sole backend, let one
+// request reactivate it, and capture the controller decision that
+// bills the activation. Everything here is deterministic: same seed,
+// same activation count, same digest.
+func runScaleToZero(ctx context.Context, cfg Config, rep *Report) error {
+	const coldStart = 25 * time.Millisecond
+	fe, err := sdn.New(
+		sdn.WithColdPool(50*time.Millisecond, coldStart),
+		sdn.WithQueue(2, 16),
+	)
+	if err != nil {
+		return err
+	}
+	ctrl, err := autoscale.New(autoscale.Config{
+		FrontEnd:    fe,
+		Provisioner: &autoscale.HermeticProvisioner{},
+		Groups: []autoscale.GroupSpec{
+			{Group: 1, TypeName: "t2.nano", CostPerHour: 0.0063, Capacity: 8},
+		},
+		SlotLen: time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	defer ctrl.Shutdown()
+	if err := ctrl.Prime(ctx); err != nil {
+		return err
+	}
+	sts, err := states(cfg.Seed+2, 4, cfg.MatMulSize)
+	if err != nil {
+		return err
+	}
+	offload := func(st tasks.State) (time.Duration, error) {
+		start := time.Now()
+		resp, code := fe.Offload(ctx, rpc.OffloadRequest{UserID: 1, Group: 1, BatteryLevel: 0.9, State: st})
+		if code != http.StatusOK {
+			return 0, fmt.Errorf("offload code %d: %s", code, resp.Error)
+		}
+		return time.Since(start), nil
+	}
+	// Warm use, then park, then the measured reactivating request.
+	if _, err := offload(sts[0]); err != nil {
+		return err
+	}
+	if n := fe.SweepCold(time.Now().Add(time.Hour)); n != 1 {
+		return fmt.Errorf("sweep parked %d backends, want 1", n)
+	}
+	coldTook, err := offload(sts[1])
+	if err != nil {
+		return err
+	}
+	dec, err := ctrl.Step(ctx, trace.Slot{Start: sim.Epoch, Groups: [][]int{nil, {1}}})
+	if err != nil {
+		return err
+	}
+	if len(dec.Activated) > 0 {
+		rep.ColdActivations = dec.Activated[0]
+	}
+	rep.ColdStartMs = float64(coldStart) / float64(time.Millisecond)
+	rep.ColdRequestMs = float64(coldTook) / float64(time.Millisecond)
+	rep.DecisionDigest = ctrl.Digest()
+	return nil
+}
+
+// Run executes all three scenarios and assembles the report.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg = cfg.normalized()
+	rep := &Report{
+		Schema:   Schema,
+		Seed:     cfg.Seed,
+		Requests: cfg.Requests,
+		Workers:  cfg.Workers,
+	}
+	if err := runBatchingAB(ctx, cfg, rep); err != nil {
+		return nil, fmt.Errorf("servebench: batching: %w", err)
+	}
+	if err := runBackpressure(ctx, cfg, rep); err != nil {
+		return nil, fmt.Errorf("servebench: backpressure: %w", err)
+	}
+	if err := runScaleToZero(ctx, cfg, rep); err != nil {
+		return nil, fmt.Errorf("servebench: scale-to-zero: %w", err)
+	}
+	return rep, nil
+}

@@ -1,0 +1,87 @@
+package servebench
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke drives a downsized run of all three scenarios and pins
+// the report invariants the benchdiff gates build on: batching beats
+// unbatched, saturation sheds with typed rejections while the healthy
+// backend's latency stays bounded, and the scale-to-zero scenario is
+// exactly reproducible — same activation count, same decision digest —
+// across runs.
+func TestRunSmoke(t *testing.T) {
+	cfg := Config{Seed: 7, Requests: 40, Workers: 8}
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != Schema {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if rep.BatchSpeedup <= 1 {
+		t.Fatalf("batch speedup = %.2f, batching did not help", rep.BatchSpeedup)
+	}
+	if rep.UnbatchedP99Ms <= 0 || rep.BatchedP99Ms <= 0 {
+		t.Fatalf("missing p99s: %+v", rep)
+	}
+	if rep.QueueFullRejections == 0 {
+		t.Fatal("saturated cell shed nothing — the admission queue never backpressured")
+	}
+	if rep.SaturatedHoldRatio <= 0 {
+		t.Fatalf("hold ratio = %.2f", rep.SaturatedHoldRatio)
+	}
+	if rep.ColdActivations != 1 {
+		t.Fatalf("cold activations = %d, want exactly 1", rep.ColdActivations)
+	}
+	if rep.ColdRequestMs < rep.ColdStartMs {
+		t.Fatalf("activating request took %.2f ms, below the %.0f ms cold start",
+			rep.ColdRequestMs, rep.ColdStartMs)
+	}
+	if !strings.HasPrefix(rep.DecisionDigest, "fnv1a:") {
+		t.Fatalf("decision digest = %q", rep.DecisionDigest)
+	}
+	for _, want := range []string{"batching A/B", "hold ratio", "scale-to-zero", rep.DecisionDigest} {
+		if !strings.Contains(rep.Summary(), want) {
+			t.Fatalf("summary missing %q:\n%s", want, rep.Summary())
+		}
+	}
+
+	rep2, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.DecisionDigest != rep.DecisionDigest {
+		t.Fatalf("scale-to-zero digests diverged across same-seed runs: %s vs %s",
+			rep2.DecisionDigest, rep.DecisionDigest)
+	}
+	if rep2.ColdActivations != rep.ColdActivations {
+		t.Fatalf("activation counts diverged: %d vs %d", rep2.ColdActivations, rep.ColdActivations)
+	}
+
+	path := filepath.Join(t.TempDir(), "serve.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReportFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *back != *rep {
+		t.Fatalf("round trip mutated the report:\n%+v\n%+v", back, rep)
+	}
+}
+
+// TestReadReportRejectsForeignSchema keeps benchdiff's dispatch honest:
+// a servebench reader must refuse other benchmark artifacts.
+func TestReadReportRejectsForeignSchema(t *testing.T) {
+	if _, err := ReadReport(strings.NewReader(`{"schema":"accelcloud/rpcbench/v1"}`)); err == nil {
+		t.Fatal("foreign schema accepted")
+	}
+	if _, err := ReadReport(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

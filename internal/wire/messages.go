@@ -109,6 +109,22 @@ type BatchResponse struct {
 	Results []BatchResult `json:"results"`
 }
 
+// ExecuteBatchRequest carries a batch of homogeneous states for one
+// surrogate — the serving layer's dynamic batcher coalesces queued
+// same-task calls into one of these so the per-call protocol overhead
+// amortizes and the surrogate can spread the batch across its worker
+// slots.
+type ExecuteBatchRequest struct {
+	Calls []ExecuteRequest `json:"calls"`
+}
+
+// ExecuteBatchResponse answers an ExecuteBatchRequest, one result per
+// call, in call order. Per-call failures travel inside each result's
+// Error field so one bad state does not fail its batchmates.
+type ExecuteBatchResponse struct {
+	Results []ExecuteResponse `json:"results"`
+}
+
 // ErrorFrame is the decoded payload of a FrameError: an
 // HTTP-equivalent status code plus a message, so the binary mode
 // classifies failures exactly like the JSON compat mode's non-200

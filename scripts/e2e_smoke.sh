@@ -35,6 +35,7 @@ SURROGATE2_PID=$!
 "$BIN/sdnd" -listen 127.0.0.1:9100 -policy p2c \
   -proto both -listen-bin 127.0.0.1:9103 \
   -probe 100ms -backend-timeout 2s \
+  -queue-limit 4 -queue-depth 64 \
   -backend 1=http://127.0.0.1:9101 \
   -backend 1=bin://127.0.0.1:9104 \
   -backend 2=http://127.0.0.1:9101 \
@@ -71,6 +72,53 @@ echo "== 2-second loadgen run over the binary framed protocol =="
 "$BIN/loadgen" -frontend bin://127.0.0.1:9103 -mode concurrent \
   -users 4 -rate 5 -duration 2s -seed 1 -groups 1,2 \
   -max-error-rate 0 -out "$BIN/e2e_loadgen_bin.json"
+
+echo "== admission queues drain to zero once the load stops =="
+drained=""
+for _ in $(seq 1 50); do
+  stats_json="$(curl -sf http://127.0.0.1:9100/stats || true)"
+  if grep -q '"queued"' <<<"$stats_json" \
+      && ! grep -o '"queued":[0-9]*' <<<"$stats_json" | grep -qv '"queued":0'; then
+    drained=1
+    break
+  fi
+  sleep 0.1
+done
+if [ -z "$drained" ]; then
+  echo "e2e: admission queues never drained" >&2
+  curl -sf http://127.0.0.1:9100/stats >&2 || true
+  exit 1
+fi
+
+echo "== canary-weighted front-end: 25% of picks to the v2 backend =="
+# Surrogate-2's HTTP listener doubles as the v2 canary next to
+# surrogate-1's stable registration; the canary policy stripes picks
+# deterministically at the configured weight.
+"$BIN/sdnd" -listen 127.0.0.1:9105 -canary v2=0.25 \
+  -backend-timeout 2s \
+  -backend 1=http://127.0.0.1:9101 \
+  -backend 1=http://127.0.0.1:9102@v2 &
+canary_ok=""
+for _ in $(seq 1 50); do
+  if "$BIN/offload" -frontend http://127.0.0.1:9105 -task sieve -size 1 \
+      -group 1 -timeout 2s >/dev/null 2>&1; then
+    canary_ok=1
+    break
+  fi
+  sleep 0.2
+done
+if [ -z "$canary_ok" ]; then
+  echo "e2e: canary front-end never became healthy" >&2
+  exit 1
+fi
+curl -sf http://127.0.0.1:9105/stats | grep -q '"version":"v2"' || {
+  echo "e2e: canary front-end lost the v2 version label" >&2
+  curl -sf http://127.0.0.1:9105/stats >&2 || true
+  exit 1
+}
+"$BIN/loadgen" -frontend http://127.0.0.1:9105 -mode concurrent \
+  -users 4 -rate 5 -duration 2s -seed 3 -groups 1 \
+  -max-error-rate 0 -out "$BIN/e2e_loadgen_canary.json"
 
 echo "== kill surrogate-2, wait for the failure detector to eject it =="
 # Surrogate-2 is registered as bin://, so the detector notices over
