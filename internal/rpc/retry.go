@@ -130,10 +130,13 @@ func retryable(err error) bool {
 
 // IsQueueFull reports whether an error is admission-queue
 // backpressure: a 503 whose body carries the MsgQueueFull marker (the
-// front-end's rendering of serve.ErrQueueFull), or any error whose
-// chain mentions it. Queue-full rejections mean "this backend is
-// busy, others may not be", so the retry path re-routes after a
-// token wait instead of the full crash-backoff.
+// front-end's rendering of serve.ErrQueueFull), or an in-process
+// error wrapping the ErrQueueFull sentinel. Queue-full rejections
+// mean "this backend is busy, others may not be", so the retry path
+// re-routes after a token wait instead of the full crash-backoff.
+// Classification is structural (typed status + sentinel), never
+// free-text over arbitrary error strings, so unrelated errors that
+// happen to mention the marker cannot ride the fast-retry path.
 func IsQueueFull(err error) bool {
 	if err == nil {
 		return false
@@ -142,7 +145,7 @@ func IsQueueFull(err error) bool {
 	if errors.As(err, &se) {
 		return se.Code == http.StatusServiceUnavailable && strings.Contains(se.Body, MsgQueueFull)
 	}
-	return strings.Contains(err.Error(), MsgQueueFull)
+	return errors.Is(err, ErrQueueFull)
 }
 
 // queueFullBackoff is the short wait before retrying a queue-full

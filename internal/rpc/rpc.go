@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand/v2"
@@ -48,6 +49,11 @@ const (
 // retry budget can re-route immediately instead of backing off as if
 // the backend had crashed.
 const MsgQueueFull = "admission queue full"
+
+// ErrQueueFull is the in-process sentinel behind the marker:
+// serve.ErrQueueFull wraps it, so IsQueueFull classifies local
+// rejections with errors.Is instead of free-text matching.
+var ErrQueueFull = errors.New(MsgQueueFull)
 
 // BinaryScheme prefixes a BaseURL that selects the binary framed
 // transport ("bin://host:port") instead of HTTP/JSON. Everything else

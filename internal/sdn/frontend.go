@@ -38,6 +38,11 @@ const (
 	BackendCold = router.StateCold
 )
 
+// statusClientClosedRequest is nginx's 499: the client abandoned the
+// request before the backend hop ran. A 4xx-class code, so the rpc
+// retry budget never re-sends it.
+const statusClientClosedRequest = 499
+
 // ErrBackendBusy is returned by Remove while a backend still has
 // in-flight requests; drain first and retry once Inflight reports 0.
 var ErrBackendBusy = router.ErrBackendBusy
@@ -335,6 +340,12 @@ func (f *FrontEnd) offloadOnce(ctx context.Context, req rpc.OffloadRequest) (rpc
 		select {
 		case <-time.After(f.coldStart):
 		case <-ctx.Done():
+			// The client hung up during the activation wait: drop
+			// without charging the backend path — no dispatch on a dead
+			// context, no observer signal that could push the failure
+			// detector toward ejecting a healthy backend.
+			f.rt.Release(picked, false)
+			return rpc.OffloadResponse{Error: ctx.Err().Error()}, statusClientClosedRequest
 		}
 	}
 	routingMs := float64(time.Since(routeStart)) / float64(time.Millisecond)

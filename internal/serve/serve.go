@@ -75,10 +75,11 @@ func (c Config) Validate() error {
 // ErrQueueFull is the typed backpressure signal: the backend's
 // admission queue is at capacity, so the caller should try another
 // backend (the router's Pick already skips saturated ones) rather
-// than pile on. The message embeds rpc.MsgQueueFull so the rejection
-// survives an HTTP 503 hop and rpc.IsQueueFull still classifies it
-// client-side.
-var ErrQueueFull = fmt.Errorf("serve: %s", rpc.MsgQueueFull)
+// than pile on. It wraps rpc.ErrQueueFull so errors.Is classifies it
+// in-process, and the message embeds rpc.MsgQueueFull so the
+// rejection survives an HTTP 503 hop and rpc.IsQueueFull still
+// classifies it client-side.
+var ErrQueueFull = fmt.Errorf("serve: %w", rpc.ErrQueueFull)
 
 // ErrClosed reports a Submit against a closed queue.
 var ErrClosed = errors.New("serve: queue closed")
@@ -115,6 +116,11 @@ type Queue struct {
 	coalesced atomic.Int64 // jobs that rode inside multi-job dispatches
 	rejected  atomic.Int64 // Submits refused with ErrQueueFull
 
+	// mu makes the closed-check + enqueue in Submit atomic with the
+	// drain in Close: Submits enqueue under the read lock, the drain
+	// runs under the write lock, so no job can slip into the channel
+	// after the drain has already emptied it.
+	mu        sync.RWMutex
 	closed    chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
@@ -177,16 +183,20 @@ func (q *Queue) Saturated() bool {
 // (possibly inside a batch) or ctx is done. A full queue rejects
 // immediately with ErrQueueFull.
 func (q *Queue) Submit(ctx context.Context, req rpc.ExecuteRequest) (rpc.ExecuteResponse, error) {
+	j := &job{ctx: ctx, req: req, done: make(chan result, 1)}
+	q.mu.RLock()
 	select {
 	case <-q.closed:
+		q.mu.RUnlock()
 		return rpc.ExecuteResponse{}, ErrClosed
 	default:
 	}
-	j := &job{ctx: ctx, req: req, done: make(chan result, 1)}
 	q.queued.Add(1)
 	select {
 	case q.jobs <- j:
+		q.mu.RUnlock()
 	default:
+		q.mu.RUnlock()
 		q.queued.Add(-1)
 		q.rejected.Add(1)
 		return rpc.ExecuteResponse{}, ErrQueueFull
@@ -195,18 +205,15 @@ func (q *Queue) Submit(ctx context.Context, req rpc.ExecuteRequest) (rpc.Execute
 	case r := <-j.done:
 		return r.resp, r.err
 	case <-ctx.Done():
-		// The job stays queued; its dispatcher will run it against the
-		// already-cancelled ctx and fail fast.
+		// The job stays queued; its dispatcher drops it with ctx.Err()
+		// instead of executing it.
 		return rpc.ExecuteResponse{}, ctx.Err()
 	case <-q.closed:
-		// Close drains leftover jobs, so either the drain or a late
-		// dispatcher delivers; prefer the delivered result if racing.
-		select {
-		case r := <-j.done:
-			return r.resp, r.err
-		case <-time.After(10 * time.Millisecond):
-			return rpc.ExecuteResponse{}, ErrClosed
-		}
+		// Once enqueued, delivery is guaranteed: a dispatcher runs the
+		// job, or Close's drain (serialized against this enqueue by mu)
+		// fails it with ErrClosed.
+		r := <-j.done
+		return r.resp, r.err
 	}
 }
 
@@ -218,6 +225,11 @@ func (q *Queue) Close() {
 	}
 	q.closeOnce.Do(func() { close(q.closed) })
 	q.wg.Wait()
+	// The write lock excludes in-flight enqueues, so when the drain
+	// sees an empty channel it stays empty: any later Submit observes
+	// closed (it closed before the lock was taken) and never enqueues.
+	q.mu.Lock()
+	defer q.mu.Unlock()
 	for {
 		select {
 		case j := <-q.jobs:
@@ -281,35 +293,55 @@ func (q *Queue) fill(batch []*job) (full []*job, carry *job) {
 // run executes a batch: singletons via Execute, larger batches via one
 // ExecuteBatch round trip whose responses fan back out in order.
 func (q *Queue) run(batch []*job) {
+	// Drop members whose caller already gave up (their Submit returned
+	// ctx.Err()): executing them wastes a backend slot, and a dead job
+	// elected batch lead would sink the whole batch with its cancelled
+	// context — live followers would see spurious backend failures from
+	// one client hang-up. done is buffered, so delivery never blocks.
+	live := batch[:0]
+	for _, j := range batch {
+		if err := j.ctx.Err(); err != nil {
+			j.done <- result{err: err}
+			continue
+		}
+		live = append(live, j)
+	}
+	if len(live) == 0 {
+		return
+	}
 	q.executing.Add(1)
 	defer q.executing.Add(-1)
-	if len(batch) == 1 {
-		j := batch[0]
+	if len(live) == 1 {
+		j := live[0]
 		resp, err := q.exec.Execute(j.ctx, j.req)
 		j.done <- result{resp: resp, err: err}
 		return
 	}
 	q.batches.Add(1)
-	q.coalesced.Add(int64(len(batch)))
-	reqs := make([]rpc.ExecuteRequest, len(batch))
-	for i, j := range batch {
+	q.coalesced.Add(int64(len(live)))
+	reqs := make([]rpc.ExecuteRequest, len(live))
+	for i, j := range live {
 		reqs[i] = j.req
 	}
-	// The batch rides the lead job's context: its deadline covers the
-	// whole dispatch. Followers whose own ctx died still get a result
-	// (their Submit already returned ctx.Err()); done is buffered so
-	// delivery never blocks.
-	resps, err := q.exec.ExecuteBatch(batch[0].ctx, reqs)
-	if err != nil || len(resps) != len(batch) {
+	// The batch rides the (live) lead job's context: its deadline
+	// covers the whole dispatch.
+	resps, err := q.exec.ExecuteBatch(live[0].ctx, reqs)
+	if err != nil || len(resps) != len(live) {
 		if err == nil {
-			err = fmt.Errorf("serve: batch returned %d results for %d calls", len(resps), len(batch))
+			err = fmt.Errorf("serve: batch returned %d results for %d calls", len(resps), len(live))
 		}
-		for _, j := range batch {
+		for _, j := range live {
 			j.done <- result{err: err}
 		}
 		return
 	}
-	for i, j := range batch {
-		j.done <- result{resp: resps[i]}
+	for i, j := range live {
+		r := result{resp: resps[i]}
+		if resps[i].Error != "" {
+			// Mirror Execute's contract: a per-call Error inside the
+			// batch is a failed call, not a success with a zero Result.
+			r.err = fmt.Errorf("rpc: remote: %s", resps[i].Error)
+		}
+		j.done <- r
 	}
 }

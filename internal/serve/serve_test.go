@@ -13,10 +13,13 @@ import (
 )
 
 // fakeExec is a controllable Executor: Execute blocks until release is
-// closed (when set), and every call is counted.
+// closed (when set), every call is counted, and requests whose Size
+// equals failSize come back with a per-call Error (the in-band failure
+// shape a surrogate uses for e.g. dalvik slot saturation).
 type fakeExec struct {
 	mu       sync.Mutex
 	release  chan struct{}
+	failSize int
 	execs    atomic.Int64
 	batches  atomic.Int64
 	batchLen []int
@@ -48,6 +51,10 @@ func (f *fakeExec) ExecuteBatch(ctx context.Context, reqs []rpc.ExecuteRequest) 
 	}
 	out := make([]rpc.ExecuteResponse, len(reqs))
 	for i, r := range reqs {
+		if f.failSize != 0 && r.State.Size == f.failSize {
+			out[i] = rpc.ExecuteResponse{Server: "fake", Error: "task failed"}
+			continue
+		}
 		out[i] = rpc.ExecuteResponse{Server: "fake", Result: tasks.Result{Task: r.State.Task}}
 	}
 	return out, nil
@@ -301,6 +308,97 @@ func TestSubmitHonorsContext(t *testing.T) {
 	cancel()
 	if _, err := q.Submit(ctx, req("minimax")); !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled submit = %v, want context.Canceled", err)
+	}
+}
+
+// TestBatchPropagatesPerCallErrors proves a failed execution inside a
+// batch surfaces as a Submit error, mirroring Execute's contract — not
+// as a silent success with a zero Result.
+func TestBatchPropagatesPerCallErrors(t *testing.T) {
+	release := make(chan struct{})
+	ex := &fakeExec{release: release, failSize: 99}
+	q, err := New(Config{Limit: 1, Depth: 16, MaxBatch: 8, Linger: 50 * time.Millisecond}, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); _, _ = q.Submit(context.Background(), req("plug")) }()
+	for q.Executing() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	// Backlog one healthy and one poisoned job; they ride one batch.
+	var okErr, badErr error
+	wg.Add(2)
+	go func() { defer wg.Done(); _, okErr = q.Submit(context.Background(), req("minimax")) }()
+	go func() {
+		defer wg.Done()
+		bad := req("minimax")
+		bad.State.Size = 99
+		_, badErr = q.Submit(context.Background(), bad)
+	}()
+	for q.Queued() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := ex.batches.Load(); got != 1 {
+		t.Fatalf("batches = %d, want 1 (batch lens %v)", got, ex.batchLen)
+	}
+	if okErr != nil {
+		t.Fatalf("healthy batch member: %v", okErr)
+	}
+	if badErr == nil {
+		t.Fatal("failed batch member returned err = nil (silent empty success)")
+	}
+}
+
+// TestCancelledJobDoesNotPoisonBatch enqueues a job, cancels it, then
+// backlogs live followers behind it: the dead job must be dropped with
+// its own ctx.Err() instead of leading the batch on a cancelled
+// context and sinking every follower.
+func TestCancelledJobDoesNotPoisonBatch(t *testing.T) {
+	release := make(chan struct{})
+	ex := &fakeExec{release: release}
+	q, err := New(Config{Limit: 1, Depth: 16, MaxBatch: 8, Linger: 50 * time.Millisecond}, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); _, _ = q.Submit(context.Background(), req("plug")) }()
+	for q.Executing() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	// First in the queue — the would-be batch lead — then cancelled.
+	cctx, cancel := context.WithCancel(context.Background())
+	wg.Add(1)
+	go func() { defer wg.Done(); _, _ = q.Submit(cctx, req("minimax")) }()
+	for q.Queued() < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	// Live followers stuck behind the dead lead.
+	errs := make([]error, 3)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) { defer wg.Done(); _, errs[i] = q.Submit(context.Background(), req("minimax")) }(i)
+	}
+	for q.Queued() < 4 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("follower %d behind cancelled lead: %v", i, err)
+		}
 	}
 }
 
