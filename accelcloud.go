@@ -43,6 +43,7 @@ import (
 	"accelcloud/internal/dalvik"
 	"accelcloud/internal/device"
 	"accelcloud/internal/faults"
+	"accelcloud/internal/geo"
 	"accelcloud/internal/groups"
 	"accelcloud/internal/health"
 	"accelcloud/internal/loadgen"
@@ -567,3 +568,39 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
 
 // TeeTrace fans one request-log stream into several sinks.
 func TeeTrace(sinks ...TraceSink) TraceSink { return trace.Tee(sinks...) }
+
+// Geo distribution (DESIGN.md §11): N front-ends as named regions, a
+// device-side nearest-region selector ranked by the netsim RTT models,
+// and cross-region spillover + failover above the transport split.
+type (
+	// GeoRegion names one region: its front-end URL and its device→region
+	// network path.
+	GeoRegion = geo.Region
+	// GeoClient is the device-side geo router.
+	GeoClient = geo.Client
+	// GeoOption configures a GeoClient.
+	GeoOption = geo.Option
+	// GeoDecision is one call's routing outcome (region, spill/failover
+	// classification, attempts, charged RTT).
+	GeoDecision = geo.Decision
+	// NetPath is a device→region path: an RTT model plus a propagation
+	// term; its mean ranks the region preference order.
+	NetPath = netsim.Path
+	// RegionMonitor heartbeats regional front-ends and fences dead
+	// regions out of the preference order.
+	RegionMonitor = health.RegionMonitor
+	// RegionMonitorConfig parameterizes a RegionMonitor.
+	RegionMonitorConfig = health.RegionMonitorConfig
+)
+
+// NewGeoClient builds the device-side geo router over named regions;
+// the preference order is RTT-ranked, nearest first.
+func NewGeoClient(regions []GeoRegion, opts ...GeoOption) (*GeoClient, error) {
+	return geo.New(regions, opts...)
+}
+
+// PathTo builds a device→region path from an operator's model for one
+// technology plus a propagation distance.
+func PathTo(op NetOperator, tech NetTech, propagationMs float64) (NetPath, error) {
+	return netsim.PathTo(op, tech, propagationMs)
+}

@@ -17,7 +17,12 @@
 // (BENCH_serve.json) gate on the dynamic-batching throughput speedup
 // (hard floor 2×), the saturated hold ratio (hard ceiling 1.2), a
 // non-zero queue-full rejection count, and exact reproduction of the
-// scale-to-zero activation count and decision digest.
+// scale-to-zero activation count and decision digest; geo reports
+// (BENCH_geo.json) gate on exact reproduction of the sweep decision,
+// outage schedule, and failover-event digests, per-region p99 within
+// the relative tolerance, a non-zero spillover rate under a hard
+// ceiling, zero lost in-flight calls, and the failover time-to-recover
+// under its hard ceiling.
 //
 // A regression is: current p99 latency above baseline × (1 + tolerance),
 // current throughput below baseline × (1 − tolerance) (loadgen),
@@ -39,9 +44,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"accelcloud/internal/autoscale"
 	"accelcloud/internal/faults"
+	"accelcloud/internal/geobench"
 	"accelcloud/internal/loadgen"
 	"accelcloud/internal/router"
 	"accelcloud/internal/servebench"
@@ -104,6 +111,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if baseSchema == servebench.Schema {
 		return diffServe(out, *basePath, *curPath, *tolerance)
+	}
+	if baseSchema == geobench.Schema {
+		return diffGeo(out, *basePath, *curPath, *tolerance, *ignoreSchedule)
 	}
 	base, err := loadgen.ReadReportFile(*basePath)
 	if err != nil {
@@ -366,6 +376,99 @@ func diffServe(out io.Writer, basePath, curPath string, tolerance float64) error
 	if cur.DecisionDigest != base.DecisionDigest {
 		failures = append(failures, fmt.Sprintf("decision digest changed (%s -> %s): the scale-to-zero control cycle is not reproducing",
 			base.DecisionDigest, cur.DecisionDigest))
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(out, "  REGRESSION: %s\n", f)
+		}
+		return fmt.Errorf("%d regression(s) beyond %.0f%% tolerance", len(failures), 100*tolerance)
+	}
+	fmt.Fprintln(out, "  OK: within tolerance")
+	return nil
+}
+
+// Hard bars every geobench report must clear regardless of the
+// baseline — the acceptance criteria of the multi-region tier:
+// spillover must happen under saturation but stay the exception, a
+// region kill may lose nothing, and the monitor must fence a killed
+// region within the recover ceiling.
+const (
+	maxSpilloverRate     = 0.90
+	maxFailoverRecoverMs = 5000.0
+)
+
+// diffGeo gates a geobench report. The sweep's routing decisions, the
+// faults schedule, and the failover-event log are deterministic per
+// seed, so their digests must reproduce the baseline exactly; the
+// per-region p99s are sleep-dominated (simulated RTT) and get the
+// relative tolerance, with every baseline region required in the
+// current report; the spillover rate must be non-zero and under its
+// hard ceiling; and the failover scenario must lose zero in-flight
+// calls and recover within the hard bound.
+func diffGeo(out io.Writer, basePath, curPath string, tolerance float64, ignoreSchedule bool) error {
+	base, err := geobench.ReadReportFile(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := geobench.ReadReportFile(curPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "benchdiff: geo baseline %s vs current %s (tolerance %.0f%%)\n",
+		basePath, curPath, 100*tolerance)
+	if base.ScheduleDigest != cur.ScheduleDigest {
+		msg := fmt.Sprintf("schedule digests differ (%s vs %s): runs replay different outage schedules",
+			base.ScheduleDigest, cur.ScheduleDigest)
+		if !ignoreSchedule {
+			return fmt.Errorf("%s (use -ignore-schedule to compare anyway)", msg)
+		}
+		fmt.Fprintf(out, "  warning: %s\n", msg)
+	}
+	fmt.Fprintf(out, "  %-26s %12s %12s %10s\n", "metric", "baseline", "current", "change")
+	var failures []string
+	names := make([]string, 0, len(base.Regions))
+	for name := range base.Regions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base.Regions[name]
+		c, ok := cur.Regions[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("region %s is in the baseline but missing from the current sweep", name))
+			continue
+		}
+		fmt.Fprintf(out, "  %-26s %12.2f %12.2f %10s\n", name+" p99 ms", b.P99Ms, c.P99Ms, pct(b.P99Ms, c.P99Ms))
+		if b.P99Ms > 0 && c.P99Ms > b.P99Ms*(1+tolerance) {
+			failures = append(failures, fmt.Sprintf("%s p99 regressed %s (%.2f -> %.2f ms)",
+				name, pct(b.P99Ms, c.P99Ms), b.P99Ms, c.P99Ms))
+		}
+	}
+	fmt.Fprintf(out, "  %-26s %12.2f %12.2f %10s\n", "spillover rate", base.SpilloverRate, cur.SpilloverRate, pct(base.SpilloverRate, cur.SpilloverRate))
+	fmt.Fprintf(out, "  %-26s %12d %12d\n", "lost in flight", base.LostInFlight, cur.LostInFlight)
+	fmt.Fprintf(out, "  %-26s %12.1f %12.1f %10s\n", "failover recover ms", base.FailoverRecoverMs, cur.FailoverRecoverMs, pct(base.FailoverRecoverMs, cur.FailoverRecoverMs))
+	fmt.Fprintf(out, "  %-26s %25s\n", "decision digest", cur.DecisionDigest)
+	fmt.Fprintf(out, "  %-26s %25s\n", "failover digest", cur.FailoverDigest)
+
+	if base.ScheduleDigest == cur.ScheduleDigest && base.DecisionDigest != cur.DecisionDigest {
+		failures = append(failures, fmt.Sprintf("sweep decision digest changed (%s -> %s): the geo tier routes differently",
+			base.DecisionDigest, cur.DecisionDigest))
+	}
+	if base.ScheduleDigest == cur.ScheduleDigest && base.FailoverDigest != cur.FailoverDigest {
+		failures = append(failures, fmt.Sprintf("failover-event digest changed (%s -> %s): outage detection behaves differently",
+			base.FailoverDigest, cur.FailoverDigest))
+	}
+	if cur.SpillCalls == 0 {
+		failures = append(failures, "no spillover: the saturated home region never pushed a call to its neighbour")
+	}
+	if cur.SpilloverRate > maxSpilloverRate {
+		failures = append(failures, fmt.Sprintf("spillover rate %.2f above the %.2f ceiling: the home region absorbed almost nothing", cur.SpilloverRate, maxSpilloverRate))
+	}
+	if cur.LostInFlight > 0 {
+		failures = append(failures, fmt.Sprintf("%d in-flight calls lost across the region kill", cur.LostInFlight))
+	}
+	if cur.FailoverRecoverMs > maxFailoverRecoverMs {
+		failures = append(failures, fmt.Sprintf("failover time-to-recover %.1f ms above the %.0f ms ceiling", cur.FailoverRecoverMs, maxFailoverRecoverMs))
 	}
 	if len(failures) > 0 {
 		for _, f := range failures {

@@ -1,0 +1,65 @@
+// Command geobench measures the multi-region geo tier end to end
+// against hermetic deployments: a deterministic three-region sweep with
+// the simulated device→region RTT charged into every call, the
+// saturation spillover path, and the seeded region-kill failover with
+// its detection loop.
+//
+// Usage:
+//
+//	geobench -requests 48 -workers 8 -out BENCH_geo.json
+//
+// The gated columns (cmd/benchdiff vs BENCH_geo_baseline.json) are the
+// exact sweep decision digest, the exact faults schedule and
+// failover-event digests, the per-region p99s (relative tolerance), the
+// spillover rate (non-zero, under a hard ceiling), zero lost in-flight
+// calls, and the failover time-to-recover under its hard ceiling.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"accelcloud/internal/geobench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "geobench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("geobench", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "RNG seed for the schedule and RTT streams")
+	requests := fs.Int("requests", 48, "sweep schedule length (rounded up to a multiple of 4)")
+	workers := fs.Int("workers", 8, "spillover burst concurrency")
+	size := fs.Int("task-size", 8, "matmul dimension")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request client timeout")
+	outPath := fs.String("out", "BENCH_geo.json", "write the JSON report here (empty disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rep, err := geobench.Run(context.Background(), geobench.Config{
+		Seed:       *seed,
+		Requests:   *requests,
+		Workers:    *workers,
+		MatMulSize: *size,
+		Timeout:    *timeout,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, rep.Summary())
+	if *outPath != "" {
+		if err := rep.WriteFile(*outPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", *outPath)
+	}
+	return nil
+}

@@ -11,6 +11,12 @@
 //	# Hermetic: boot an in-process front-end + surrogates, no ports:
 //	loadgen -frontend self -users 4 -duration 2s
 //
+//	# Multi-region: route via the geo tier, nearest region first; the
+//	# first entry is the home region, later ones absorb spillover and
+//	# failover (the report grows per-region latency slices):
+//	loadgen -regions eu=http://127.0.0.1:9100,us=http://127.0.0.1:9110 \
+//	        -users 8 -duration 5s
+//
 // Two runs with the same -seed replay identical request schedules
 // (same per-request user/task/size/group sequence); -print-schedule
 // dumps the schedule for diffing.
@@ -28,7 +34,10 @@ import (
 	"syscall"
 	"time"
 
+	"accelcloud/internal/geo"
+	"accelcloud/internal/health"
 	"accelcloud/internal/loadgen"
+	"accelcloud/internal/netsim"
 	"accelcloud/internal/sdn"
 )
 
@@ -37,6 +46,33 @@ func main() {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
+}
+
+// regionSpacingMs is the propagation step charged per -regions
+// position: the flag's order is the distance order (nearest first), and
+// each later region sits one step further out.
+const regionSpacingMs = 80
+
+// parseRegions parses the -regions flag: comma-separated name=url
+// pairs, nearest region first.
+func parseRegions(s string) ([]geo.Region, error) {
+	ops, err := netsim.DefaultOperators()
+	if err != nil {
+		return nil, err
+	}
+	var out []geo.Region
+	for i, part := range strings.Split(s, ",") {
+		name, url, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("bad region %q (want name=url)", part)
+		}
+		path, err := netsim.PathTo(ops[0], netsim.TechLTE, float64(i)*regionSpacingMs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, geo.Region{Name: name, URL: url, Path: path})
+	}
+	return out, nil
 }
 
 // parseGroups parses a comma-separated group list.
@@ -59,6 +95,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
 	fs.SetOutput(out)
 	frontend := fs.String("frontend", "self", `sdnd base URL, or "self" for an in-process hermetic cluster`)
+	regionsFlag := fs.String("regions", "", "comma-separated name=url multi-region front-ends, nearest first (overrides -frontend; first entry is the home region)")
 	users := fs.Int("users", 8, "simulated users (sweep mode synthesizes one id per request and ignores this)")
 	duration := fs.Duration("duration", 5*time.Second, "nominal run length")
 	rate := fs.Float64("rate", 1, "per-user request rate in Hz (sweep: starting aggregate rate)")
@@ -120,28 +157,67 @@ func run(args []string, out io.Writer) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	baseURL := *frontend
-	if baseURL == "self" {
-		cluster, err := loadgen.StartClusterContext(ctx, loadgen.ClusterConfig{
-			Groups:             *selfGroups,
-			SurrogatesPerGroup: *selfBackends,
-			Policy:             *selfPolicy,
-		})
+	var report *loadgen.Report
+	if *regionsFlag != "" {
+		regions, err := parseRegions(*regionsFlag)
 		if err != nil {
 			return err
 		}
-		defer cluster.Close()
-		baseURL = cluster.URL()
-		fmt.Fprintf(out, "loadgen: hermetic cluster: %d groups x %d surrogates, policy %s, at %s\n",
-			*selfGroups, *selfBackends, *selfPolicy, baseURL)
-	}
-
-	if err := sdn.WaitHealthy(ctx, baseURL); err != nil {
-		return err
-	}
-	report, err := loadgen.Run(ctx, baseURL, cfg)
-	if err != nil {
-		return err
+		gc, err := geo.New(regions)
+		if err != nil {
+			return err
+		}
+		// The monitor fences dead regions out of the preference order so
+		// the replay stops paying a connect attempt per call to them.
+		mon, err := gc.Monitor(health.RegionMonitorConfig{ProbeInterval: 250 * time.Millisecond})
+		if err != nil {
+			return err
+		}
+		go mon.Run(ctx)
+		// At least one region must answer before the replay starts; dead
+		// regions are tolerated — absorbing them is what failover is for.
+		healthy := 0
+		for _, r := range regions {
+			wctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+			err := sdn.WaitHealthy(wctx, r.URL)
+			cancel()
+			if err != nil {
+				fmt.Fprintf(out, "loadgen: region %s unreachable at start: %v\n", r.Name, err)
+				continue
+			}
+			healthy++
+		}
+		if healthy == 0 {
+			return fmt.Errorf("no region in -regions is healthy")
+		}
+		if report, err = loadgen.RunWith(ctx, gc, cfg); err != nil {
+			return err
+		}
+		stats := gc.Counters()
+		fmt.Fprintf(out, "loadgen: geo: home %s, %d spills, %d failovers\n",
+			gc.Home(), stats.Spills, stats.Failovers)
+	} else {
+		baseURL := *frontend
+		if baseURL == "self" {
+			cluster, err := loadgen.StartClusterContext(ctx, loadgen.ClusterConfig{
+				Groups:             *selfGroups,
+				SurrogatesPerGroup: *selfBackends,
+				Policy:             *selfPolicy,
+			})
+			if err != nil {
+				return err
+			}
+			defer cluster.Close()
+			baseURL = cluster.URL()
+			fmt.Fprintf(out, "loadgen: hermetic cluster: %d groups x %d surrogates, policy %s, at %s\n",
+				*selfGroups, *selfBackends, *selfPolicy, baseURL)
+		}
+		if err := sdn.WaitHealthy(ctx, baseURL); err != nil {
+			return err
+		}
+		if report, err = loadgen.Run(ctx, baseURL, cfg); err != nil {
+			return err
+		}
 	}
 	fmt.Fprint(out, report.Summary())
 	if *outPath != "" {

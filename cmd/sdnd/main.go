@@ -25,6 +25,12 @@
 // heartbeats — or bursting errors on the data path — are ejected from
 // rotation and reinstated when they recover, so a killed surrogate
 // stops blackholing its group within a few probe intervals.
+//
+// -region names the region this front-end serves in a multi-region
+// deployment: /stats reports the region label and a spilled counter of
+// calls whose origin stamp names another home region (cross-region
+// spillover absorbed here). Devices route across regions with the
+// loadgen -regions flag (or internal/geo directly).
 package main
 
 import (
@@ -108,6 +114,7 @@ func run(args []string) error {
 	coldAfter := fs.Duration("cold-after", 0, "park idle backends in the cold pool after this long (0 disables scale-to-zero)")
 	coldStart := fs.Duration("cold-start", 0, "simulated activation latency charged to the first request hitting a cold backend")
 	canary := fs.String("canary", "", "canary split version=weight (e.g. v2=0.05); shorthand for -policy canary:version=weight")
+	region := fs.String("region", "", "region name this front-end serves (labels /stats and counts spilled-over calls)")
 	var backends backendFlags
 	fs.Var(&backends, "backend", "group=url[@version] surrogate registration (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -156,6 +163,9 @@ func run(args []string) error {
 	}
 	if *coldAfter > 0 {
 		opts = append(opts, sdn.WithColdPool(*coldAfter, *coldStart))
+	}
+	if *region != "" {
+		opts = append(opts, sdn.WithRegion(*region))
 	}
 	fe, err := sdn.New(opts...)
 	if err != nil {

@@ -49,12 +49,22 @@ const (
 	// using the netsim cellular latency model — heavy-tailed slowness,
 	// not a clean constant delay.
 	KindSlowNet Kind = "slownet"
+	// KindRegionOutage takes a whole region offline: every front-end in
+	// the targeted region stops answering (health probes included) until
+	// the fault expires. Backend indexes the deployment's region list
+	// (modulo its size); Group is drawn but ignored — outages fence the
+	// region for all groups. The geo tier's failover path (DESIGN.md
+	// §11) is what recovers from these.
+	KindRegionOutage Kind = "regionoutage"
 )
 
 // kinds lists every kind in generation order. The order is part of the
-// digest contract.
+// digest contract: each kind draws from its own substream, so appending
+// a kind (region outages arrived after slownet) leaves every earlier
+// kind's events — and any schedule not requesting the new kind —
+// bit-identical.
 func kinds() []Kind {
-	return []Kind{KindCrash, KindHang, KindLatency, KindErrorBurst, KindSlowNet}
+	return []Kind{KindCrash, KindHang, KindLatency, KindErrorBurst, KindSlowNet, KindRegionOutage}
 }
 
 // Event is one scheduled fault.
@@ -98,6 +108,9 @@ type ScheduleConfig struct {
 	LatencySpikes int
 	ErrorBursts   int
 	SlowNets      int
+	// RegionOutages are whole-region kills; only meaningful for
+	// multi-region runs (internal/geo).
+	RegionOutages int
 }
 
 // count reports the configured count for a kind.
@@ -113,6 +126,8 @@ func (c ScheduleConfig) count(k Kind) int {
 		return c.ErrorBursts
 	case KindSlowNet:
 		return c.SlowNets
+	case KindRegionOutage:
+		return c.RegionOutages
 	}
 	return 0
 }

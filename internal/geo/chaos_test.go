@@ -1,0 +1,167 @@
+package geo
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"accelcloud/internal/faults"
+	"accelcloud/internal/health"
+	"accelcloud/internal/netsim"
+	"accelcloud/internal/rpc"
+	"accelcloud/internal/sim"
+)
+
+// maxFailoverRecover bounds the region failover time-to-recover: the
+// wall time from the kill to the monitor fencing the region. Probes run
+// every few milliseconds here, so even a loaded CI box clears the bound
+// with two orders of magnitude of headroom.
+const maxFailoverRecover = 5 * time.Second
+
+// TestRegionFailoverDeterministic is the seeded region-kill chaos test:
+// a faults schedule with one KindRegionOutage event (pinned digest)
+// selects the victim region, the kill lands while calls are in flight,
+// and the suite asserts (1) zero lost in-flight calls — every call
+// issued around the kill completes, via failover if needed, (2) the
+// region monitor detects the outage within the bounded time-to-recover,
+// and (3) the monitor's failover-event log hashes to an exact fnv1a
+// digest, proving the observed outage sequence reproduces bit-for-bit.
+func TestRegionFailoverDeterministic(t *testing.T) {
+	const seed = 11
+	sched, err := faults.Generate(sim.NewRNG(seed), faults.ScheduleConfig{
+		Slots:         8,
+		Groups:        []int{1},
+		RegionOutages: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The schedule is a pure function of (seed, config); the pinned
+	// digest fails the test if region-outage generation ever drifts.
+	const wantScheduleDigest = "fnv1a:23eb352bc37e1665"
+	if d := sched.Digest(); d != wantScheduleDigest {
+		t.Fatalf("schedule digest = %s, want %s", d, wantScheduleDigest)
+	}
+	if len(sched.Events) != 1 || sched.Events[0].Kind != faults.KindRegionOutage {
+		t.Fatalf("schedule events = %+v, want one region outage", sched.Events)
+	}
+	regionNames := []string{"alpha", "beta"}
+	victim := regionNames[sched.Events[0].Backend%len(regionNames)]
+	other := regionNames[0]
+	if other == victim {
+		other = regionNames[1]
+	}
+
+	// The victim is made the device's home region (propagation 0), so
+	// the kill exercises the home-failover path, not a no-op.
+	dep, err := StartDeployment(context.Background(), []RegionSpec{
+		{Name: victim, PropagationMs: 0},
+		{Name: other, PropagationMs: 80},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+
+	regions, err := dep.Regions(testAccess(t), netsim.TechLTE, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(regions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Home() != victim {
+		t.Fatalf("home = %q, want victim %q", c.Home(), victim)
+	}
+	mon, err := c.Monitor(health.RegionMonitorConfig{
+		ProbeTimeout: 250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	st := testState(t)
+
+	// Healthy baseline: a probe round and a served call, no events.
+	mon.ProbeOnce(ctx)
+	if _, d, err := c.OffloadRoute(ctx, rpc.OffloadRequest{UserID: 1, Group: 1, State: st}); err != nil || d.Region != victim {
+		t.Fatalf("baseline call: decision=%+v err=%v", d, err)
+	}
+
+	// In-flight calls race the kill; none may be lost — each either
+	// completes on the victim or fails over to the survivor.
+	const callers = 16
+	callErrs := make([]error, callers)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			cctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+			defer cancel()
+			_, _, callErrs[i] = c.OffloadRoute(cctx, rpc.OffloadRequest{UserID: i, Group: 1, State: st})
+		}(i)
+	}
+	close(start)
+	time.Sleep(2 * time.Millisecond)
+	killedAt := time.Now()
+	if err := dep.Kill(victim); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i, err := range callErrs {
+		if err != nil {
+			t.Fatalf("in-flight call %d lost across the region kill: %v", i, err)
+		}
+	}
+
+	// Detection: step the monitor until the victim is fenced; the wall
+	// time from kill to fence is the time-to-recover under test.
+	detected := false
+	for i := 0; i < 100 && !detected; i++ {
+		mon.ProbeOnce(ctx)
+		for _, down := range mon.Down() {
+			if down == victim {
+				detected = true
+			}
+		}
+	}
+	if !detected {
+		t.Fatalf("monitor never fenced the killed region %q", victim)
+	}
+	ttr := time.Since(killedAt)
+	if ttr > maxFailoverRecover {
+		t.Fatalf("time-to-recover %v exceeds bound %v", ttr, maxFailoverRecover)
+	}
+	if st, _ := c.Regions().State(victim); st.String() != "down" {
+		t.Fatalf("victim state = %s after detection, want down", st)
+	}
+
+	// Post-detection steady state: the fenced region costs nothing —
+	// one attempt, straight to the survivor, classified failover.
+	resp, d, err := c.OffloadRoute(ctx, rpc.OffloadRequest{UserID: 99, Group: 1, State: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Region != other || !d.Failover || d.Attempts != 1 {
+		t.Fatalf("post-detection decision = %+v, want 1-attempt failover to %q", d, other)
+	}
+	if resp.Server == "" {
+		t.Fatal("post-detection response without server")
+	}
+
+	// Exact failover-event digest: the observed outage sequence is
+	// [victim down], bit-identical run over run.
+	events := mon.Events()
+	if len(events) != 1 || events[0].Region != victim || events[0].Status != "down" {
+		t.Fatalf("events = %+v, want [{%s down}]", events, victim)
+	}
+	const wantEventsDigest = "fnv1a:fc37d7cf0a4f3f33"
+	if d := mon.EventsDigest(); d != wantEventsDigest {
+		t.Fatalf("failover-event digest = %s, want %s", d, wantEventsDigest)
+	}
+}

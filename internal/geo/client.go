@@ -1,0 +1,356 @@
+package geo
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"accelcloud/internal/health"
+	"accelcloud/internal/netsim"
+	"accelcloud/internal/router"
+	"accelcloud/internal/rpc"
+	"accelcloud/internal/sim"
+)
+
+// Option configures a Client at construction.
+type Option func(*config) error
+
+type config struct {
+	rpcOpts []rpc.ClientOption
+	simSeed int64
+	simOn   bool
+	simAt   time.Time
+}
+
+// WithClientOptions applies rpc client options (timeout, retry, hedge)
+// to every per-region transport client.
+func WithClientOptions(opts ...rpc.ClientOption) Option {
+	return func(c *config) error {
+		c.rpcOpts = append(c.rpcOpts, opts...)
+		return nil
+	}
+}
+
+// WithRTTSimulation makes the client charge a sampled device→region RTT
+// before every attempt — the geographic penalty a loopback test rig
+// otherwise hides. Draws come from a seeded stream evaluated at the
+// simulation epoch, so the RTT sequence is a pure function of the seed.
+func WithRTTSimulation(seed int64) Option {
+	return func(c *config) error {
+		c.simOn = true
+		c.simSeed = seed
+		c.simAt = sim.Epoch
+		return nil
+	}
+}
+
+// Decision is the routing outcome of one offload call — what the geo
+// parity suite compares across transports.
+type Decision struct {
+	// Region is the region that served the call (or the last one tried).
+	Region string `json:"region"`
+	// Home is the device's nearest region at decision time.
+	Home string `json:"home"`
+	// Spilled marks a call served off-home because the home region (or
+	// a nearer one) answered with queue-full backpressure.
+	Spilled bool `json:"spilled,omitempty"`
+	// Failover marks a call served off-home because a nearer region was
+	// fenced Down or unreachable.
+	Failover bool `json:"failover,omitempty"`
+	// Attempts counts the regions tried (1 = served by the first pick).
+	Attempts int `json:"attempts"`
+	// RTTMs is the simulated device→region round-trip time charged
+	// across attempts (0 with simulation off).
+	RTTMs float64 `json:"rttMs,omitempty"`
+}
+
+// Stats are the client's cross-region counters.
+type Stats struct {
+	// Spills counts calls served off-home after queue-full backpressure.
+	Spills int64
+	// Failovers counts calls served off-home after a region was Down or
+	// unreachable.
+	Failovers int64
+	// PenaltyMs accumulates the simulated RTT charged to all calls.
+	PenaltyMs float64
+}
+
+// Client is the device-side geo router. It holds the region registry,
+// the RTT-ranked preference order, and the region-level routing state,
+// and re-routes calls across regions above the transport split. Safe
+// for concurrent use.
+type Client struct {
+	regions map[string]Region      // immutable identity: name → URL
+	clients map[string]*rpc.Client // per-region transport clients
+
+	rs    *router.Regions
+	order atomic.Pointer[[]string] // RTT-ranked preference, nearest first
+
+	mu    sync.Mutex // guards paths across UpdatePaths
+	paths map[string]netsim.Path
+
+	simOn bool
+	simMu sync.Mutex
+	simR  *rand.Rand
+	simAt time.Time
+
+	spills    atomic.Int64
+	failovers atomic.Int64
+	penaltyUs atomic.Int64
+}
+
+// New builds a geo client over the given regions. The preference order
+// is computed from each region's Path; regions start Up.
+func New(regions []Region, opts ...Option) (*Client, error) {
+	if len(regions) == 0 {
+		return nil, fmt.Errorf("geo: no regions")
+	}
+	var cfg config
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	c := &Client{
+		regions: make(map[string]Region, len(regions)),
+		clients: make(map[string]*rpc.Client, len(regions)),
+		paths:   make(map[string]netsim.Path, len(regions)),
+		simOn:   cfg.simOn,
+		simAt:   cfg.simAt,
+	}
+	rs, err := router.NewRegions()
+	if err != nil {
+		return nil, err
+	}
+	c.rs = rs
+	for _, r := range regions {
+		if err := r.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := c.regions[r.Name]; dup {
+			return nil, fmt.Errorf("geo: duplicate region %q", r.Name)
+		}
+		c.regions[r.Name] = r
+		c.clients[r.Name] = rpc.NewClient(r.URL, cfg.rpcOpts...)
+		c.paths[r.Name] = r.Path
+		if err := c.rs.Add(r.Name); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.simOn {
+		//nolint:gosec // deterministic simulation, not cryptography.
+		c.simR = rand.New(rand.NewSource(cfg.simSeed))
+	}
+	order := rank(c.paths)
+	c.order.Store(&order)
+	return c, nil
+}
+
+// UpdatePaths applies a mid-session access-model switch — the device
+// roamed to another operator or dropped from LTE to 3G — by replacing
+// the named regions' paths and re-ranking the preference order
+// atomically. Calls in flight finish under the old order; the next
+// call sees the new one.
+func (c *Client) UpdatePaths(paths map[string]netsim.Path) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for name, p := range paths {
+		if _, ok := c.regions[name]; !ok {
+			return fmt.Errorf("geo: unknown region %q", name)
+		}
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("geo: region %q: %w", name, err)
+		}
+	}
+	for name, p := range paths {
+		c.paths[name] = p
+	}
+	order := rank(c.paths)
+	c.order.Store(&order)
+	return nil
+}
+
+// Order snapshots the current preference order, nearest first.
+func (c *Client) Order() []string {
+	o := *c.order.Load()
+	out := make([]string, len(o))
+	copy(out, o)
+	return out
+}
+
+// Home is the device's current nearest region.
+func (c *Client) Home() string { return (*c.order.Load())[0] }
+
+// Regions exposes the region-level routing state — the control plane a
+// RegionMonitor (or a chaos harness) fences regions through.
+func (c *Client) Regions() *router.Regions { return c.rs }
+
+// ProbeTargets maps region name → front-end URL, the heartbeat set for
+// a health.RegionMonitor.
+func (c *Client) ProbeTargets() map[string]string {
+	out := make(map[string]string, len(c.regions))
+	for name, r := range c.regions {
+		out[name] = r.URL
+	}
+	return out
+}
+
+// Monitor builds a region health monitor wired to this client: it
+// heartbeats every region's front-end and drives the MarkDown/MarkUp
+// fence on the client's routing state.
+func (c *Client) Monitor(cfg health.RegionMonitorConfig) (*health.RegionMonitor, error) {
+	cfg.Control = c.rs
+	if cfg.Regions == nil {
+		cfg.Regions = c.ProbeTargets()
+	}
+	return health.NewRegionMonitor(cfg)
+}
+
+// Counters snapshots the cross-region counters.
+func (c *Client) Counters() Stats {
+	return Stats{
+		Spills:    c.spills.Load(),
+		Failovers: c.failovers.Load(),
+		PenaltyMs: float64(c.penaltyUs.Load()) / 1e3,
+	}
+}
+
+// chargeRTT sleeps one sampled device→region RTT and returns it in
+// milliseconds (0 with simulation off). The sleep is what lands the
+// geographic penalty in the caller's measured latency.
+func (c *Client) chargeRTT(ctx context.Context, name string) float64 {
+	if !c.simOn {
+		return 0
+	}
+	c.mu.Lock()
+	path := c.paths[name]
+	c.mu.Unlock()
+	c.simMu.Lock()
+	d := path.Sample(c.simR, c.simAt)
+	c.simMu.Unlock()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+	ms := float64(d) / float64(time.Millisecond)
+	c.penaltyUs.Add(int64(ms * 1e3))
+	return ms
+}
+
+// after drops order entries up to and including name.
+func after(order []string, name string) []string {
+	for i, n := range order {
+		if n == name {
+			return order[i+1:]
+		}
+	}
+	return nil
+}
+
+// OffloadRoute issues one call through the geo tier and reports the
+// routing decision alongside the response. The loop walks the RTT
+// preference order: PickFirst resolves the nearest Up region (fenced
+// regions are skipped — that is failover), queue-full backpressure
+// spills to the next region, transport-level failures and 5xx fail
+// over likewise, and application-level errors return without
+// re-routing. Every attempt is charged its device→region RTT when
+// simulation is on.
+func (c *Client) OffloadRoute(ctx context.Context, req rpc.OffloadRequest) (rpc.OffloadResponse, Decision, error) {
+	order := *c.order.Load()
+	home := order[0]
+	// Stamp the home region so the absorbing front-end can count the
+	// call as spilled-over when it lands off-home.
+	req.Origin = home
+	d := Decision{Home: home}
+	rest := order
+	sawQueueFull := false
+	var lastErr error
+	for len(rest) > 0 {
+		pick, err := c.rs.PickFirst(rest)
+		if err != nil {
+			// Every remaining region is fenced.
+			break
+		}
+		name := pick.Name()
+		d.Attempts++
+		d.Region = name
+		d.RTTMs += c.chargeRTT(ctx, name)
+		resp, err := c.clients[name].Offload(ctx, req)
+		c.rs.Release(pick)
+		if err == nil {
+			if name != home {
+				// Served off-home: classify by why the home side was
+				// left. Backpressure anywhere nearer means spillover;
+				// otherwise the nearer regions were Down or unreachable.
+				if sawQueueFull {
+					d.Spilled = true
+					c.spills.Add(1)
+				} else {
+					d.Failover = true
+					c.failovers.Add(1)
+				}
+			}
+			return resp, d, nil
+		}
+		lastErr = err
+		switch {
+		case rpc.IsQueueFull(err):
+			sawQueueFull = true
+		case rpc.IsUnavailable(err):
+			// Region gone: fall through to the next one.
+		default:
+			// The device's own mistake (4xx, cancelled context): no
+			// other region would answer differently.
+			return resp, d, err
+		}
+		if ctx.Err() != nil {
+			return resp, d, err
+		}
+		rest = after(rest, name)
+	}
+	if lastErr == nil {
+		lastErr = router.ErrNoRegion
+	}
+	return rpc.OffloadResponse{}, d, lastErr
+}
+
+// Offload is the plain Offloader entry point (loadgen.Offloader).
+func (c *Client) Offload(ctx context.Context, req rpc.OffloadRequest) (rpc.OffloadResponse, error) {
+	resp, _, err := c.OffloadRoute(ctx, req)
+	return resp, err
+}
+
+// OffloadRegion reports the serving region alongside the response
+// (loadgen.RegionOffloader), feeding per-region report slices.
+func (c *Client) OffloadRegion(ctx context.Context, req rpc.OffloadRequest) (rpc.OffloadResponse, string, error) {
+	resp, d, err := c.OffloadRoute(ctx, req)
+	if err != nil {
+		return resp, "", err
+	}
+	return resp, d.Region, err
+}
+
+// DigestDecisions hashes a replayed schedule's routing decisions —
+// region, spill and failover flags per call, in call order — so two
+// replays (e.g. JSON vs binary transport) can prove they routed
+// identically.
+func DigestDecisions(ds []Decision) string {
+	h := fnv.New64a()
+	flag := func(b bool) byte {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	for _, d := range ds {
+		_, _ = h.Write([]byte(d.Region))
+		_, _ = h.Write([]byte{0, flag(d.Spilled), flag(d.Failover), 0})
+	}
+	return fmt.Sprintf("fnv1a:%016x", h.Sum64())
+}

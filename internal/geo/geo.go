@@ -1,0 +1,67 @@
+// Package geo is the multi-region tier of the accelerator: a registry
+// of named regions (each one an sdn front-end deployment), a
+// device-side nearest-region selector driven by the netsim RTT models
+// (per-operator, per-technology, with mid-session model switches), and
+// the cross-region spillover/failover path — when the home region is
+// saturated (typed rpc.ErrQueueFull backpressure) or chaos-killed
+// (faults.KindRegionOutage), calls re-route to the next-nearest region,
+// with the extra device→region RTT charged into the measured latency.
+//
+// The selector and the re-route loop live above the transport split:
+// a region's URL may be http:// or bin://, and the routing decisions
+// are identical either way (the geo parity suite proves it). The
+// region-level routing state is router.Regions — the same RCU
+// snapshot discipline as the backend pools, so the MarkDown fence
+// guarantee holds one tier up.
+package geo
+
+import (
+	"fmt"
+	"sort"
+
+	"accelcloud/internal/netsim"
+)
+
+// Region is one named deployment of the accelerator.
+type Region struct {
+	// Name identifies the region (e.g. "eu-north").
+	Name string
+	// URL is the region front-end's base URL — http://host:port for the
+	// JSON compat mode or bin://host:port for the framed wire protocol.
+	URL string
+	// Path is the device→region network path under the device's current
+	// access model: the operator/technology RTT model plus the
+	// propagation to the region. The selector ranks regions by its mean.
+	Path netsim.Path
+}
+
+// Validate checks one region entry.
+func (r Region) Validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("geo: region with empty name")
+	}
+	if r.URL == "" {
+		return fmt.Errorf("geo: region %q without URL", r.Name)
+	}
+	if err := r.Path.Validate(); err != nil {
+		return fmt.Errorf("geo: region %q: %w", r.Name, err)
+	}
+	return nil
+}
+
+// rank orders region names by expected device→region RTT, nearest
+// first; ties break by name so the order is total and deterministic.
+func rank(paths map[string]netsim.Path) []string {
+	names := make([]string, 0, len(paths))
+	for name := range paths {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		mi, mj := paths[names[i]].MeanMs(), paths[names[j]].MeanMs()
+		if mi != mj {
+			return mi < mj
+		}
+		return names[i] < names[j]
+	})
+	return names
+}

@@ -1,0 +1,255 @@
+package geo
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"accelcloud/internal/loadgen"
+	"accelcloud/internal/netsim"
+	"accelcloud/internal/router"
+	"accelcloud/internal/rpc"
+	"accelcloud/internal/sim"
+	"accelcloud/internal/tasks"
+)
+
+// testAccess returns the default operator's access models used across
+// the geo tests.
+func testAccess(t *testing.T) netsim.Operator {
+	t.Helper()
+	ops, err := netsim.DefaultOperators()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ops[0]
+}
+
+// testState generates one deterministic small task state.
+func testState(t *testing.T) tasks.State {
+	t.Helper()
+	st, err := tasks.MatMul{}.Generate(sim.NewRNG(7).Stream("geo-test"), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestSelectorRanksByRTT(t *testing.T) {
+	op := testAccess(t)
+	mk := func(name string, prop float64) Region {
+		path, err := netsim.PathTo(op, netsim.TechLTE, prop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Region{Name: name, URL: "http://" + name + ".invalid", Path: path}
+	}
+	c, err := New([]Region{mk("us-east", 90), mk("eu-north", 0), mk("ap-south", 180)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"eu-north", "us-east", "ap-south"}
+	got := c.Order()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if c.Home() != "eu-north" {
+		t.Fatalf("home = %q, want eu-north", c.Home())
+	}
+
+	// Mid-session model switch: the device roams so us-east becomes the
+	// cheapest path; the order re-ranks atomically.
+	newPaths := map[string]netsim.Path{}
+	for name, prop := range map[string]float64{"us-east": 0, "eu-north": 90, "ap-south": 180} {
+		p, err := netsim.PathTo(op, netsim.Tech3G, prop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		newPaths[name] = p
+	}
+	if err := c.UpdatePaths(newPaths); err != nil {
+		t.Fatal(err)
+	}
+	if c.Home() != "us-east" {
+		t.Fatalf("home after switch = %q, want us-east", c.Home())
+	}
+	if err := c.UpdatePaths(map[string]netsim.Path{"mars": newPaths["us-east"]}); err == nil {
+		t.Fatal("UpdatePaths accepted an unknown region")
+	}
+}
+
+// TestSpilloverOnSaturation saturates the home region's single
+// admission slot and asserts calls spill to the next-nearest region,
+// classified as Spilled, with the absorbing front-end counting them.
+func TestSpilloverOnSaturation(t *testing.T) {
+	slow := func(id string, h http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			time.Sleep(30 * time.Millisecond)
+			h.ServeHTTP(w, r)
+		})
+	}
+	dep, err := StartDeployment(context.Background(), []RegionSpec{
+		{Name: "near", PropagationMs: 0, Cluster: loadgen.ClusterConfig{
+			QueueLimit: 1, QueueDepth: 1, WrapBackend: slow,
+		}},
+		{Name: "far", PropagationMs: 80},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+
+	regions, err := dep.Regions(testAccess(t), netsim.TechLTE, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(regions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := testState(t)
+
+	const workers, perWorker = 8, 4
+	var mu sync.Mutex
+	var decisions []Decision
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(user int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				_, d, err := c.OffloadRoute(ctx, rpc.OffloadRequest{UserID: user, Group: 1, State: st})
+				cancel()
+				if err != nil {
+					t.Errorf("offload: %v", err)
+					return
+				}
+				mu.Lock()
+				decisions = append(decisions, d)
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	spilled := 0
+	for _, d := range decisions {
+		if d.Home != "near" {
+			t.Fatalf("home = %q, want near", d.Home)
+		}
+		if d.Spilled {
+			if d.Region != "far" {
+				t.Fatalf("spilled decision served by %q, want far", d.Region)
+			}
+			spilled++
+		}
+	}
+	if spilled == 0 {
+		t.Fatal("no call spilled over despite a saturated home region")
+	}
+	if got := c.Counters().Spills; got != int64(spilled) {
+		t.Fatalf("Counters().Spills = %d, want %d", got, spilled)
+	}
+	if got := dep.FrontEnd("far").Spilled(); got < int64(spilled) {
+		t.Fatalf("far front-end counted %d spilled, want >= %d", got, spilled)
+	}
+}
+
+// TestFailoverOnRegionDown fences the home region and asserts calls
+// fail over, classified as Failover — and that an application-level
+// error never re-routes.
+func TestFailoverOnRegionDown(t *testing.T) {
+	dep, err := StartDeployment(context.Background(), []RegionSpec{
+		{Name: "near", PropagationMs: 0},
+		{Name: "far", PropagationMs: 80},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+
+	regions, err := dep.Regions(testAccess(t), netsim.TechLTE, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(regions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Regions().MarkDown("near"); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	resp, d, err := c.OffloadRoute(ctx, rpc.OffloadRequest{UserID: 1, Group: 1, State: testState(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Region != "far" || !d.Failover || d.Spilled {
+		t.Fatalf("decision = %+v, want failover to far", d)
+	}
+	if resp.Server == "" {
+		t.Fatal("response without server")
+	}
+	if got := c.Counters().Failovers; got != 1 {
+		t.Fatalf("Counters().Failovers = %d, want 1", got)
+	}
+
+	// A 400 is the device's own problem: one attempt, no re-route.
+	_, d, err = c.OffloadRoute(ctx, rpc.OffloadRequest{UserID: 1, Group: 1, State: tasks.State{}})
+	if err == nil {
+		t.Fatal("invalid request succeeded")
+	}
+	if d.Attempts != 1 {
+		t.Fatalf("invalid request took %d attempts, want 1", d.Attempts)
+	}
+
+	// With every region fenced, the call fails with ErrNoRegion.
+	if err := c.Regions().MarkDown("far"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.OffloadRoute(ctx, rpc.OffloadRequest{UserID: 1, Group: 1, State: testState(t)}); !errors.Is(err, router.ErrNoRegion) {
+		t.Fatalf("all-down error = %v, want ErrNoRegion", err)
+	}
+}
+
+// TestRTTSimulationChargesPenalty proves the geographic term lands in
+// the measured latency: with simulation on, a call to a far region
+// takes at least its propagation delay.
+func TestRTTSimulationChargesPenalty(t *testing.T) {
+	dep, err := StartDeployment(context.Background(), []RegionSpec{
+		{Name: "only", PropagationMs: 40},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+
+	regions, err := dep.Regions(testAccess(t), netsim.TechLTE, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(regions, WithRTTSimulation(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, d, err := c.OffloadRoute(context.Background(), rpc.OffloadRequest{UserID: 1, Group: 1, State: testState(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall := time.Since(start)
+	if d.RTTMs < 40 {
+		t.Fatalf("charged RTT %.1f ms < 40 ms propagation", d.RTTMs)
+	}
+	if wall < 40*time.Millisecond {
+		t.Fatalf("wall %v < the 40ms propagation the call must pay", wall)
+	}
+	if got := c.Counters().PenaltyMs; got < 40 {
+		t.Fatalf("PenaltyMs = %.1f, want >= 40", got)
+	}
+}

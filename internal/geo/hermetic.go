@@ -1,0 +1,164 @@
+package geo
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"accelcloud/internal/loadgen"
+	"accelcloud/internal/netsim"
+	"accelcloud/internal/sdn"
+)
+
+// RegionSpec describes one region of a hermetic multi-region
+// deployment: a name, the device→region propagation distance, and the
+// per-region serving stack configuration.
+type RegionSpec struct {
+	// Name is the region name; it becomes the front-end's region label.
+	Name string
+	// PropagationMs is the extra round-trip propagation a device pays to
+	// reach this region (the geographic term of its Path).
+	PropagationMs float64
+	// Cluster sizes the region's serving stack (groups, surrogates,
+	// queues, chaos wrap); its Region field is overwritten with Name.
+	Cluster loadgen.ClusterConfig
+}
+
+// Deployment is a hermetic multi-region deployment: N loadgen clusters
+// — each a real sdn front-end plus surrogates on loopback listeners —
+// registered as named regions. It is the test and bench double of a
+// geographically distributed fleet, with Kill as the region-outage
+// chaos lever.
+type Deployment struct {
+	specs []RegionSpec
+
+	mu       sync.Mutex
+	clusters map[string]*loadgen.Cluster
+	killed   map[string]bool
+}
+
+// StartDeployment boots every region's cluster. Callers must Close the
+// deployment.
+func StartDeployment(ctx context.Context, specs []RegionSpec) (*Deployment, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("geo: deployment without regions")
+	}
+	d := &Deployment{
+		specs:    specs,
+		clusters: make(map[string]*loadgen.Cluster, len(specs)),
+		killed:   make(map[string]bool, len(specs)),
+	}
+	for _, spec := range specs {
+		if spec.Name == "" {
+			d.Close()
+			return nil, fmt.Errorf("geo: region spec with empty name")
+		}
+		if _, dup := d.clusters[spec.Name]; dup {
+			d.Close()
+			return nil, fmt.Errorf("geo: duplicate region %q", spec.Name)
+		}
+		cfg := spec.Cluster
+		cfg.Region = spec.Name
+		cluster, err := loadgen.StartClusterContext(ctx, cfg)
+		if err != nil {
+			d.Close()
+			return nil, fmt.Errorf("geo: start region %q: %w", spec.Name, err)
+		}
+		d.clusters[spec.Name] = cluster
+	}
+	return d, nil
+}
+
+// Cluster returns one region's cluster (nil for unknown or killed
+// regions).
+func (d *Deployment) Cluster(name string) *loadgen.Cluster {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.killed[name] {
+		return nil
+	}
+	return d.clusters[name]
+}
+
+// FrontEnd returns one region's front-end (nil for unknown or killed
+// regions).
+func (d *Deployment) FrontEnd(name string) *sdn.FrontEnd {
+	if c := d.Cluster(name); c != nil {
+		return c.FrontEnd()
+	}
+	return nil
+}
+
+// Regions builds the device-side region registry for a device on the
+// given operator and technology: every region's URL (binary selects
+// the bin:// listener, which requires Cluster.Binary) plus its Path
+// under that access model.
+func (d *Deployment) Regions(op netsim.Operator, tech netsim.Tech, binary bool) ([]Region, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]Region, 0, len(d.specs))
+	for _, spec := range d.specs {
+		cluster := d.clusters[spec.Name]
+		if cluster == nil {
+			return nil, fmt.Errorf("geo: region %q not running", spec.Name)
+		}
+		url := cluster.URL()
+		if binary {
+			if url = cluster.BinaryURL(); url == "" {
+				return nil, fmt.Errorf("geo: region %q has no binary listener", spec.Name)
+			}
+		}
+		path, err := netsim.PathTo(op, tech, spec.PropagationMs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Region{Name: spec.Name, URL: url, Path: path})
+	}
+	return out, nil
+}
+
+// Paths recomputes every region's Path for a new access model — the
+// map UpdatePaths wants when the device switches operator or drops
+// from LTE to 3G mid-session.
+func (d *Deployment) Paths(op netsim.Operator, tech netsim.Tech) (map[string]netsim.Path, error) {
+	out := make(map[string]netsim.Path, len(d.specs))
+	for _, spec := range d.specs {
+		path, err := netsim.PathTo(op, tech, spec.PropagationMs)
+		if err != nil {
+			return nil, err
+		}
+		out[spec.Name] = path
+	}
+	return out, nil
+}
+
+// Kill chaos-kills a region: its listeners close, so every connection
+// refuses and health probes fail — the hermetic rendering of
+// faults.KindRegionOutage. Killed regions stay dead (repairing a
+// region is a redeploy, not a reconnect).
+func (d *Deployment) Kill(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cluster := d.clusters[name]
+	if cluster == nil {
+		return fmt.Errorf("geo: unknown region %q", name)
+	}
+	if d.killed[name] {
+		return nil
+	}
+	d.killed[name] = true
+	cluster.Close()
+	return nil
+}
+
+// Close shuts every still-running region down.
+func (d *Deployment) Close() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for name, cluster := range d.clusters {
+		if cluster != nil && !d.killed[name] {
+			d.killed[name] = true
+			cluster.Close()
+		}
+	}
+}

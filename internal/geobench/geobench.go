@@ -1,0 +1,463 @@
+// Package geobench measures the multi-region geo tier (internal/geo)
+// end to end against hermetic deployments and emits the BENCH_geo.json
+// artifact cmd/benchdiff gates:
+//
+//   - Geo sweep: a deterministic serial schedule replayed against a
+//     three-region deployment with RTT simulation on, fencing regions
+//     mid-schedule so every region serves a segment. The routing
+//     decision sequence is a pure function of the schedule and the
+//     fence slots, so its digest is gated exactly; the per-region p99
+//     columns are sleep-dominated (the simulated device→region RTT is
+//     charged into every call) and get the relative tolerance.
+//   - Spillover: the home region's single admission slot saturates
+//     under a concurrent burst and calls spill to the next-nearest
+//     region with queue-full backpressure as the trigger. The gate is
+//     a non-zero spillover rate under a hard ceiling — spillover must
+//     happen and must stay the exception, not the rule.
+//   - Failover: a seeded faults schedule with one region-outage event
+//     (digest gated exactly) picks the victim region; the kill lands
+//     while calls are in flight. The gates are zero lost in-flight
+//     calls, a bounded kill→fence time-to-recover, and exact
+//     reproduction of the region monitor's failover-event digest.
+package geobench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"accelcloud/internal/faults"
+	"accelcloud/internal/geo"
+	"accelcloud/internal/health"
+	"accelcloud/internal/loadgen"
+	"accelcloud/internal/netsim"
+	"accelcloud/internal/rpc"
+	"accelcloud/internal/sim"
+	"accelcloud/internal/stats"
+	"accelcloud/internal/tasks"
+)
+
+// Schema versions the geobench report format for cmd/benchdiff.
+const Schema = "accelcloud/geobench/v1"
+
+// Config sizes one geobench run.
+type Config struct {
+	// Seed roots the deterministic schedule and RTT streams.
+	Seed int64
+	// Requests is the sweep's schedule length; it is rounded up to a
+	// multiple of the four sweep segments (0 selects 48).
+	Requests int
+	// Workers is the spillover burst concurrency (0 selects 8).
+	Workers int
+	// MatMulSize is the n of the n×n matmul task states (0 selects 8).
+	MatMulSize int
+	// Timeout bounds each request (0 selects 30s).
+	Timeout time.Duration
+}
+
+func (c Config) normalized() Config {
+	if c.Requests <= 0 {
+		c.Requests = 48
+	}
+	if r := c.Requests % 4; r != 0 {
+		c.Requests += 4 - r
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.MatMulSize <= 0 {
+		c.MatMulSize = 8
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	return c
+}
+
+// RegionStats is one region's slice of the sweep.
+type RegionStats struct {
+	Requests int     `json:"requests"`
+	P99Ms    float64 `json:"p99Ms"`
+}
+
+// Report is the BENCH_geo.json artifact.
+type Report struct {
+	Schema   string `json:"schema"`
+	Seed     int64  `json:"seed"`
+	Requests int    `json:"requests"`
+	Workers  int    `json:"workers"`
+
+	// Geo sweep (scenario A): per-region latency plus the exact routing
+	// decision digest.
+	Regions        map[string]RegionStats `json:"regions"`
+	DecisionDigest string                 `json:"decisionDigest"`
+
+	// Spillover (scenario B).
+	SpillCalls    int64   `json:"spillCalls"`
+	SpillTotal    int64   `json:"spillTotal"`
+	SpilloverRate float64 `json:"spilloverRate"`
+
+	// Failover (scenario C) — seeded region kill.
+	ScheduleDigest    string  `json:"scheduleDigest"`
+	VictimRegion      string  `json:"victimRegion"`
+	LostInFlight      int     `json:"lostInFlight"`
+	FailoverRecoverMs float64 `json:"failoverRecoverMs"`
+	FailoverDigest    string  `json:"failoverDigest"`
+}
+
+// Summary renders the human-readable table.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "geobench: %d sweep requests, %d burst workers\n", r.Requests, r.Workers)
+	fmt.Fprintf(&b, "  geo sweep (three regions, RTT simulation on):\n")
+	names := make([]string, 0, len(r.Regions))
+	for name := range r.Regions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rs := r.Regions[name]
+		fmt.Fprintf(&b, "    %-10s %4d requests  p99 %8.2f ms\n", name, rs.Requests, rs.P99Ms)
+	}
+	fmt.Fprintf(&b, "    decision digest %s\n", r.DecisionDigest)
+	fmt.Fprintf(&b, "  spillover: %d/%d calls spilled (rate %.2f)\n", r.SpillCalls, r.SpillTotal, r.SpilloverRate)
+	fmt.Fprintf(&b, "  failover: victim %s, %d lost in flight, recover %.1f ms\n",
+		r.VictimRegion, r.LostInFlight, r.FailoverRecoverMs)
+	fmt.Fprintf(&b, "    schedule digest %s\n", r.ScheduleDigest)
+	fmt.Fprintf(&b, "    failover digest %s\n", r.FailoverDigest)
+	return b.String()
+}
+
+// WriteFile writes the JSON report.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadReport parses a report and verifies its schema.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(rd).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("geobench: decode report: %w", err)
+	}
+	if rep.Schema != Schema {
+		return nil, fmt.Errorf("geobench: schema %q, want %q", rep.Schema, Schema)
+	}
+	return &rep, nil
+}
+
+// ReadReportFile parses a report file.
+func ReadReportFile(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = f.Close() }()
+	return ReadReport(f)
+}
+
+// operator returns the default operator the whole bench runs on.
+func operator() (netsim.Operator, error) {
+	ops, err := netsim.DefaultOperators()
+	if err != nil {
+		return netsim.Operator{}, err
+	}
+	return ops[0], nil
+}
+
+// states pre-generates n deterministic matmul states.
+func states(seed int64, n, size int) ([]tasks.State, error) {
+	gen := sim.NewRNG(seed).Stream("geobench-gen")
+	out := make([]tasks.State, n)
+	for i := range out {
+		st, err := tasks.MatMul{}.Generate(gen, size)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = st
+	}
+	return out, nil
+}
+
+// runSweep measures scenario A: a serial replay across three regions,
+// fencing the nearer regions segment by segment so each region serves a
+// quarter of the schedule (the last quarter returns home), with the
+// simulated device→region RTT charged into every call's latency.
+func runSweep(ctx context.Context, cfg Config, rep *Report) error {
+	op, err := operator()
+	if err != nil {
+		return err
+	}
+	dep, err := geo.StartDeployment(ctx, []geo.RegionSpec{
+		{Name: "eu-north", PropagationMs: 0},
+		{Name: "us-east", PropagationMs: 90},
+		{Name: "ap-south", PropagationMs: 180},
+	})
+	if err != nil {
+		return err
+	}
+	defer dep.Close()
+	regions, err := dep.Regions(op, netsim.TechLTE, false)
+	if err != nil {
+		return err
+	}
+	c, err := geo.New(regions,
+		geo.WithRTTSimulation(cfg.Seed),
+		geo.WithClientOptions(rpc.WithTimeout(cfg.Timeout)))
+	if err != nil {
+		return err
+	}
+	sts, err := states(cfg.Seed, cfg.Requests, cfg.MatMulSize)
+	if err != nil {
+		return err
+	}
+	// Segment boundaries: home → eu fenced → eu+us fenced → recovered.
+	seg := cfg.Requests / 4
+	hists := map[string]*stats.LogHist{}
+	counts := map[string]int{}
+	decisions := make([]geo.Decision, 0, cfg.Requests)
+	for i, st := range sts {
+		switch i {
+		case seg:
+			if err := c.Regions().MarkDown("eu-north"); err != nil {
+				return err
+			}
+		case 2 * seg:
+			if err := c.Regions().MarkDown("us-east"); err != nil {
+				return err
+			}
+		case 3 * seg:
+			if err := c.Regions().MarkUp("eu-north"); err != nil {
+				return err
+			}
+			if err := c.Regions().MarkUp("us-east"); err != nil {
+				return err
+			}
+		}
+		start := time.Now()
+		_, d, err := c.OffloadRoute(ctx, rpc.OffloadRequest{
+			UserID: i % 4, Group: 1, BatteryLevel: 0.9, State: st,
+		})
+		if err != nil {
+			return fmt.Errorf("sweep request %d: %w", i, err)
+		}
+		ms := float64(time.Since(start)) / float64(time.Millisecond)
+		h := hists[d.Region]
+		if h == nil {
+			h = stats.NewLatencyHist()
+			hists[d.Region] = h
+		}
+		h.Add(ms)
+		counts[d.Region]++
+		decisions = append(decisions, d)
+	}
+	rep.Regions = make(map[string]RegionStats, len(hists))
+	for name, h := range hists {
+		p99, err := h.Quantile(0.99)
+		if err != nil {
+			return err
+		}
+		rep.Regions[name] = RegionStats{Requests: counts[name], P99Ms: p99}
+	}
+	rep.DecisionDigest = geo.DigestDecisions(decisions)
+	return nil
+}
+
+// runSpillover measures scenario B: the home region gets one slow
+// admission slot, a concurrent burst saturates it, and the overflow is
+// served by the far region under queue-full backpressure.
+func runSpillover(ctx context.Context, cfg Config, rep *Report) error {
+	op, err := operator()
+	if err != nil {
+		return err
+	}
+	slow := func(id string, h http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			time.Sleep(20 * time.Millisecond)
+			h.ServeHTTP(w, r)
+		})
+	}
+	dep, err := geo.StartDeployment(ctx, []geo.RegionSpec{
+		{Name: "near", PropagationMs: 0, Cluster: loadgen.ClusterConfig{
+			QueueLimit: 1, QueueDepth: 1, WrapBackend: slow,
+		}},
+		{Name: "far", PropagationMs: 80},
+	})
+	if err != nil {
+		return err
+	}
+	defer dep.Close()
+	regions, err := dep.Regions(op, netsim.TechLTE, false)
+	if err != nil {
+		return err
+	}
+	c, err := geo.New(regions, geo.WithClientOptions(rpc.WithTimeout(cfg.Timeout)))
+	if err != nil {
+		return err
+	}
+	const perWorker = 4
+	sts, err := states(cfg.Seed+1, cfg.Workers*perWorker, cfg.MatMulSize)
+	if err != nil {
+		return err
+	}
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		runErr error
+	)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				_, _, err := c.OffloadRoute(ctx, rpc.OffloadRequest{
+					UserID: w, Group: 1, BatteryLevel: 0.9, State: sts[w*perWorker+i],
+				})
+				if err != nil {
+					mu.Lock()
+					if runErr == nil {
+						runErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if runErr != nil {
+		return runErr
+	}
+	rep.SpillTotal = int64(cfg.Workers * perWorker)
+	rep.SpillCalls = c.Counters().Spills
+	rep.SpilloverRate = float64(rep.SpillCalls) / float64(rep.SpillTotal)
+	return nil
+}
+
+// runFailover measures scenario C: a seeded faults schedule selects the
+// victim region, the kill lands under in-flight load, and the region
+// monitor's detection closes the loop.
+func runFailover(ctx context.Context, cfg Config, rep *Report) error {
+	op, err := operator()
+	if err != nil {
+		return err
+	}
+	sched, err := faults.Generate(sim.NewRNG(cfg.Seed), faults.ScheduleConfig{
+		Slots:         8,
+		Groups:        []int{1},
+		RegionOutages: 1,
+	})
+	if err != nil {
+		return err
+	}
+	rep.ScheduleDigest = sched.Digest()
+	if len(sched.Events) != 1 || sched.Events[0].Kind != faults.KindRegionOutage {
+		return fmt.Errorf("geobench: schedule %+v, want one region outage", sched.Events)
+	}
+	names := []string{"alpha", "beta"}
+	victim := names[sched.Events[0].Backend%len(names)]
+	other := names[0]
+	if other == victim {
+		other = names[1]
+	}
+	rep.VictimRegion = victim
+	dep, err := geo.StartDeployment(ctx, []geo.RegionSpec{
+		{Name: victim, PropagationMs: 0},
+		{Name: other, PropagationMs: 80},
+	})
+	if err != nil {
+		return err
+	}
+	defer dep.Close()
+	regions, err := dep.Regions(op, netsim.TechLTE, false)
+	if err != nil {
+		return err
+	}
+	c, err := geo.New(regions, geo.WithClientOptions(rpc.WithTimeout(cfg.Timeout)))
+	if err != nil {
+		return err
+	}
+	mon, err := c.Monitor(health.RegionMonitorConfig{ProbeTimeout: 250 * time.Millisecond})
+	if err != nil {
+		return err
+	}
+	sts, err := states(cfg.Seed+2, 16, cfg.MatMulSize)
+	if err != nil {
+		return err
+	}
+	// In-flight calls race the kill: each must complete, on the victim
+	// or via failover — an error is a lost call.
+	callErrs := make([]error, len(sts))
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := range sts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			_, _, callErrs[i] = c.OffloadRoute(ctx, rpc.OffloadRequest{
+				UserID: i, Group: 1, BatteryLevel: 0.9, State: sts[i],
+			})
+		}(i)
+	}
+	close(start)
+	time.Sleep(2 * time.Millisecond)
+	killedAt := time.Now()
+	if err := dep.Kill(victim); err != nil {
+		return err
+	}
+	wg.Wait()
+	for _, err := range callErrs {
+		if err != nil {
+			rep.LostInFlight++
+		}
+	}
+	// Detection: probe until the victim is fenced; kill→fence wall time
+	// is the time-to-recover.
+	detected := false
+	for i := 0; i < 100 && !detected; i++ {
+		mon.ProbeOnce(ctx)
+		for _, down := range mon.Down() {
+			if down == victim {
+				detected = true
+			}
+		}
+	}
+	if !detected {
+		return fmt.Errorf("geobench: monitor never fenced killed region %q", victim)
+	}
+	rep.FailoverRecoverMs = float64(time.Since(killedAt)) / float64(time.Millisecond)
+	rep.FailoverDigest = mon.EventsDigest()
+	return nil
+}
+
+// Run executes all three scenarios and assembles the report.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg = cfg.normalized()
+	rep := &Report{
+		Schema:   Schema,
+		Seed:     cfg.Seed,
+		Requests: cfg.Requests,
+		Workers:  cfg.Workers,
+	}
+	if err := runSweep(ctx, cfg, rep); err != nil {
+		return nil, fmt.Errorf("geobench: sweep: %w", err)
+	}
+	if err := runSpillover(ctx, cfg, rep); err != nil {
+		return nil, fmt.Errorf("geobench: spillover: %w", err)
+	}
+	if err := runFailover(ctx, cfg, rep); err != nil {
+		return nil, fmt.Errorf("geobench: failover: %w", err)
+	}
+	return rep, nil
+}

@@ -1,0 +1,92 @@
+package geobench
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke drives a downsized run of all three scenarios and pins
+// the report invariants the diffGeo gates build on: every region serves
+// a sweep segment with the far regions paying their RTT, the decision
+// digest reproduces across same-seed runs, saturation spills without
+// losing calls, and the seeded region kill loses nothing and is
+// detected within the bound.
+func TestRunSmoke(t *testing.T) {
+	cfg := Config{Seed: 7, Requests: 16, Workers: 4}
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != Schema {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	for _, name := range []string{"eu-north", "us-east", "ap-south"} {
+		rs, ok := rep.Regions[name]
+		if !ok || rs.Requests == 0 || rs.P99Ms <= 0 {
+			t.Fatalf("region %s missing from the sweep: %+v", name, rep.Regions)
+		}
+	}
+	// The far regions' p99 must carry their propagation penalty.
+	if rep.Regions["ap-south"].P99Ms < 180 {
+		t.Fatalf("ap-south p99 %.1f ms below its 180 ms propagation", rep.Regions["ap-south"].P99Ms)
+	}
+	if !strings.HasPrefix(rep.DecisionDigest, "fnv1a:") {
+		t.Fatalf("decision digest = %q", rep.DecisionDigest)
+	}
+	if rep.SpillCalls == 0 || rep.SpilloverRate <= 0 {
+		t.Fatalf("no spillover measured: %+v", rep)
+	}
+	if rep.LostInFlight != 0 {
+		t.Fatalf("%d in-flight calls lost across the region kill", rep.LostInFlight)
+	}
+	if rep.FailoverRecoverMs <= 0 || rep.FailoverRecoverMs > 5000 {
+		t.Fatalf("failover recover %.1f ms out of bounds", rep.FailoverRecoverMs)
+	}
+	if rep.VictimRegion != "alpha" && rep.VictimRegion != "beta" {
+		t.Fatalf("victim = %q", rep.VictimRegion)
+	}
+	for _, want := range []string{"geo sweep", "spillover", "failover", rep.DecisionDigest} {
+		if !strings.Contains(rep.Summary(), want) {
+			t.Fatalf("summary missing %q:\n%s", want, rep.Summary())
+		}
+	}
+
+	rep2, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.DecisionDigest != rep.DecisionDigest {
+		t.Fatalf("sweep decision digests diverged across same-seed runs: %s vs %s",
+			rep2.DecisionDigest, rep.DecisionDigest)
+	}
+	if rep2.ScheduleDigest != rep.ScheduleDigest || rep2.FailoverDigest != rep.FailoverDigest {
+		t.Fatalf("failover digests diverged: %s/%s vs %s/%s",
+			rep2.ScheduleDigest, rep2.FailoverDigest, rep.ScheduleDigest, rep.FailoverDigest)
+	}
+
+	path := filepath.Join(t.TempDir(), "geo.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReportFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, rep) {
+		t.Fatalf("round trip mutated the report:\n%+v\n%+v", back, rep)
+	}
+}
+
+// TestReadReportRejectsForeignSchema keeps benchdiff's dispatch honest:
+// a geobench reader must refuse other benchmark artifacts.
+func TestReadReportRejectsForeignSchema(t *testing.T) {
+	if _, err := ReadReport(strings.NewReader(`{"schema":"accelcloud/servebench/v1"}`)); err == nil {
+		t.Fatal("foreign schema accepted")
+	}
+	if _, err := ReadReport(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

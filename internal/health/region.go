@@ -1,0 +1,203 @@
+package health
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"accelcloud/internal/rpc"
+)
+
+// The region monitor is the failure detector one tier up: where Manager
+// watches surrogates inside one region, RegionMonitor heartbeats whole
+// region front-ends and drives the geo routing tier's MarkDown/MarkUp
+// fence (router.Regions). Same hysteresis discipline — consecutive
+// failed probes eject, consecutive clean probes reinstate — and the
+// probe follows the front-end URL's protocol, so bin:// regions are
+// watched over the wire protocol exactly like JSON ones.
+
+// RegionControl is the slice of the region routing tier the monitor
+// drives; *router.Regions implements it.
+type RegionControl interface {
+	MarkDown(name string) error
+	MarkUp(name string) error
+}
+
+// RegionEvent is one entry of the monitor's audit log: a region
+// crossing its Down or Up threshold. The log is the input of the
+// failover-event digest the chaos suite asserts on.
+type RegionEvent struct {
+	// Region is the region name.
+	Region string `json:"region"`
+	// Status is the new state: "down" or "up".
+	Status string `json:"status"`
+}
+
+// RegionMonitorConfig parameterizes NewRegionMonitor.
+type RegionMonitorConfig struct {
+	// Control receives MarkDown/MarkUp transitions. Required.
+	Control RegionControl
+	// Regions maps region name → front-end base URL to heartbeat
+	// (http:// or bin://). Required, non-empty.
+	Regions map[string]string
+	// ProbeInterval is Run's heartbeat period (default 250ms).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe (default: the probe interval).
+	ProbeTimeout time.Duration
+	// FailThreshold is the consecutive failed probes before a region is
+	// marked Down (default 2).
+	FailThreshold int
+	// SuccThreshold is the consecutive clean probes before a Down
+	// region is marked Up again (default 2).
+	SuccThreshold int
+	// Probe overrides the health check (tests inject deterministic
+	// outcomes). Default: rpc.Client.Health against the region URL.
+	Probe func(ctx context.Context, url string) error
+}
+
+// regionProbe is one region's hysteresis counters.
+type regionProbe struct {
+	url   string
+	fails int
+	succs int
+	down  bool
+}
+
+// RegionMonitor heartbeats region front-ends and fences the ones that
+// stop answering. Safe for one Run loop plus concurrent readers.
+type RegionMonitor struct {
+	cfg   RegionMonitorConfig
+	names []string // deterministic probe order
+
+	mu     sync.Mutex
+	probes map[string]*regionProbe
+	events []RegionEvent
+}
+
+// NewRegionMonitor validates the config and builds a monitor.
+func NewRegionMonitor(cfg RegionMonitorConfig) (*RegionMonitor, error) {
+	if cfg.Control == nil {
+		return nil, fmt.Errorf("health: region monitor needs a Control")
+	}
+	if len(cfg.Regions) == 0 {
+		return nil, fmt.Errorf("health: region monitor needs at least one region")
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 250 * time.Millisecond
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = cfg.ProbeInterval
+	}
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = 2
+	}
+	if cfg.SuccThreshold <= 0 {
+		cfg.SuccThreshold = 2
+	}
+	if cfg.Probe == nil {
+		cfg.Probe = func(ctx context.Context, url string) error {
+			return rpc.NewClient(url, rpc.WithTimeout(cfg.ProbeTimeout)).Health(ctx)
+		}
+	}
+	m := &RegionMonitor{cfg: cfg, probes: make(map[string]*regionProbe, len(cfg.Regions))}
+	for name, url := range cfg.Regions {
+		m.names = append(m.names, name)
+		m.probes[name] = &regionProbe{url: url}
+	}
+	// Sorted order makes the event log — and its digest — a pure
+	// function of probe outcomes, independent of map iteration.
+	sort.Strings(m.names)
+	return m, nil
+}
+
+// ProbeOnce heartbeats every region once, in sorted name order, and
+// applies threshold crossings to the control plane. Exported so tests
+// and deterministic harnesses step the detector instead of racing a
+// ticker.
+func (m *RegionMonitor) ProbeOnce(ctx context.Context) {
+	for _, name := range m.names {
+		pctx, cancel := context.WithTimeout(ctx, m.cfg.ProbeTimeout)
+		err := m.cfg.Probe(pctx, m.probes[name].url)
+		cancel()
+		m.observe(name, err)
+	}
+}
+
+// observe folds one probe outcome into the region's hysteresis state.
+func (m *RegionMonitor) observe(name string, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := m.probes[name]
+	if err != nil {
+		p.succs, p.fails = 0, p.fails+1
+		if !p.down && p.fails >= m.cfg.FailThreshold {
+			// Fence first, log second: when the event is visible the
+			// routing tier is already refusing picks into the region.
+			if err := m.cfg.Control.MarkDown(name); err == nil {
+				p.down = true
+				m.events = append(m.events, RegionEvent{Region: name, Status: "down"})
+			}
+		}
+		return
+	}
+	p.fails, p.succs = 0, p.succs+1
+	if p.down && p.succs >= m.cfg.SuccThreshold {
+		if err := m.cfg.Control.MarkUp(name); err == nil {
+			p.down = false
+			m.events = append(m.events, RegionEvent{Region: name, Status: "up"})
+		}
+	}
+}
+
+// Run heartbeats until ctx is done.
+func (m *RegionMonitor) Run(ctx context.Context) {
+	t := time.NewTicker(m.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			m.ProbeOnce(ctx)
+		}
+	}
+}
+
+// Down lists the regions currently held Down, sorted.
+func (m *RegionMonitor) Down() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []string
+	for _, name := range m.names {
+		if m.probes[name].down {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// Events snapshots the transition log in occurrence order.
+func (m *RegionMonitor) Events() []RegionEvent {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]RegionEvent, len(m.events))
+	copy(out, m.events)
+	return out
+}
+
+// EventsDigest hashes the transition log — the exact fnv1a
+// failover-event digest two chaos runs compare to prove they observed
+// identical region failures and recoveries in identical order.
+func (m *RegionMonitor) EventsDigest() string {
+	h := fnv.New64a()
+	for _, ev := range m.Events() {
+		_, _ = h.Write([]byte(ev.Region))
+		_, _ = h.Write([]byte{0})
+		_, _ = h.Write([]byte(ev.Status))
+		_, _ = h.Write([]byte{0})
+	}
+	return fmt.Sprintf("fnv1a:%016x", h.Sum64())
+}

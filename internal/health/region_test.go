@@ -1,0 +1,100 @@
+package health
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"accelcloud/internal/router"
+)
+
+// TestRegionMonitorDownUp steps the monitor deterministically through a
+// region outage and recovery: FailThreshold consecutive failed probes
+// fence the region in the routing tier, SuccThreshold clean probes
+// reinstate it, and the transition log (and its digest) records exactly
+// one down and one up event.
+func TestRegionMonitorDownUp(t *testing.T) {
+	rs, err := router.NewRegions("eu", "us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var euDead atomic.Bool
+	m, err := NewRegionMonitor(RegionMonitorConfig{
+		Control: rs,
+		Regions: map[string]string{"eu": "http://eu.invalid", "us": "http://us.invalid"},
+		Probe: func(_ context.Context, url string) error {
+			if url == "http://eu.invalid" && euDead.Load() {
+				return errors.New("connection refused")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Healthy baseline: no transitions.
+	m.ProbeOnce(ctx)
+	if got := m.Down(); len(got) != 0 {
+		t.Fatalf("down after healthy probe: %v", got)
+	}
+
+	// Kill eu: the default FailThreshold (2) fences it on the second
+	// failed probe, not the first.
+	euDead.Store(true)
+	m.ProbeOnce(ctx)
+	if st, _ := rs.State("eu"); st != router.RegionUp {
+		t.Fatal("eu fenced after a single failed probe")
+	}
+	m.ProbeOnce(ctx)
+	if st, _ := rs.State("eu"); st != router.RegionDown {
+		t.Fatal("eu not fenced after crossing FailThreshold")
+	}
+	if got := m.Down(); len(got) != 1 || got[0] != "eu" {
+		t.Fatalf("Down() = %v, want [eu]", got)
+	}
+	// Spillover order now resolves past the fenced home region.
+	p, err := rs.PickFirst([]string{"eu", "us"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "us" {
+		t.Fatalf("picked %q with eu down, want us", p.Name())
+	}
+	rs.Release(p)
+
+	// Recovery: two clean probes reinstate.
+	euDead.Store(false)
+	m.ProbeOnce(ctx)
+	m.ProbeOnce(ctx)
+	if st, _ := rs.State("eu"); st != router.RegionUp {
+		t.Fatal("eu not reinstated after crossing SuccThreshold")
+	}
+
+	want := []RegionEvent{{Region: "eu", Status: "down"}, {Region: "eu", Status: "up"}}
+	got := m.Events()
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("events = %v, want %v", got, want)
+	}
+	// The digest is a pure function of the transition log; the pinned
+	// constant is the fnv1a of [eu down, eu up].
+	const wantDigest = "fnv1a:9cbade63d89ac3aa"
+	if d := m.EventsDigest(); d != wantDigest {
+		t.Fatalf("events digest = %s, want %s", d, wantDigest)
+	}
+}
+
+func TestRegionMonitorConfigValidation(t *testing.T) {
+	rs, err := router.NewRegions("eu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRegionMonitor(RegionMonitorConfig{Regions: map[string]string{"eu": "x"}}); err == nil {
+		t.Fatal("nil Control accepted")
+	}
+	if _, err := NewRegionMonitor(RegionMonitorConfig{Control: rs}); err == nil {
+		t.Fatal("empty region set accepted")
+	}
+}

@@ -91,6 +91,10 @@ type ClusterConfig struct {
 	// can split traffic and reports can slice latency per version.
 	CanaryPerGroup int
 	CanaryVersion  string
+	// Region names the front-end's region (sdn.WithRegion), so a
+	// hermetic multi-region deployment (internal/geo) counts spillover
+	// like a real one. Empty leaves the front-end unregioned.
+	Region string
 }
 
 // StartCluster boots the stack. Callers must Close it.
@@ -130,6 +134,9 @@ func StartClusterContext(ctx context.Context, cfg ClusterConfig) (*Cluster, erro
 	}
 	if cfg.ColdAfter > 0 {
 		opts = append(opts, sdn.WithColdPool(cfg.ColdAfter, cfg.ColdStart))
+	}
+	if cfg.Region != "" {
+		opts = append(opts, sdn.WithRegion(cfg.Region))
 	}
 	fe, err := sdn.New(opts...)
 	if err != nil {

@@ -111,7 +111,12 @@ type Report struct {
 	// per-version latency comparison ("stable" is the unlabeled
 	// fleet). Error records carry no server, so version slices count
 	// successes only.
-	Versions       map[string]GroupReport `json:"versions,omitempty"`
+	Versions map[string]GroupReport `json:"versions,omitempty"`
+	// Regions slices latency by serving region when the run was driven
+	// through a RegionOffloader (the geo client) — the per-region view
+	// of a multi-region sweep. Like version slices, error records carry
+	// no region, so region slices count successes only.
+	Regions        map[string]GroupReport `json:"regions,omitempty"`
 	Slots          []SlotSection          `json:"slots,omitempty"`
 	ScheduleDigest string                 `json:"scheduleDigest"`
 	SLO            *SLOResult             `json:"slo,omitempty"`
@@ -207,7 +212,34 @@ func buildReport(cfg Config, plan *Plan, recs []record, wall time.Duration) *Rep
 	if cfg.Versions != nil {
 		rep.Versions = buildVersionSlices(cfg.Versions, recs)
 	}
+	if regions := buildRegionSlices(recs); len(regions) > 0 {
+		rep.Regions = regions
+	}
 	return rep
+}
+
+// buildRegionSlices aggregates successful records per serving region.
+// Single-region runs tag no records, yielding no slices.
+func buildRegionSlices(recs []record) map[string]GroupReport {
+	counts := map[string]int{}
+	hists := map[string]*stats.LogHist{}
+	for _, r := range recs {
+		if r.err != nil || r.region == "" {
+			continue
+		}
+		counts[r.region]++
+		h := hists[r.region]
+		if h == nil {
+			h = stats.NewLatencyHist()
+			hists[r.region] = h
+		}
+		h.Add(r.latencyMs)
+	}
+	out := make(map[string]GroupReport, len(counts))
+	for region, n := range counts {
+		out[region] = GroupReport{Requests: n, Latency: Summarize(hists[region])}
+	}
+	return out
 }
 
 // buildVersionSlices aggregates successful records per backend version

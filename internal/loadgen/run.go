@@ -10,6 +10,21 @@ import (
 	"accelcloud/internal/sim"
 )
 
+// Offloader issues one offload call. *rpc.Client satisfies it; so does
+// the geo client, which picks a region before the transport hop — the
+// runner neither knows nor cares which tier it is driving.
+type Offloader interface {
+	Offload(ctx context.Context, req rpc.OffloadRequest) (rpc.OffloadResponse, error)
+}
+
+// RegionOffloader is an Offloader that also reports which region served
+// each call (the geo client). When the runner's client implements it,
+// the report grows per-region latency slices.
+type RegionOffloader interface {
+	Offloader
+	OffloadRegion(ctx context.Context, req rpc.OffloadRequest) (rpc.OffloadResponse, string, error)
+}
+
 // record is one executed request's outcome. Records live in
 // per-request slots so the replay goroutines never share state.
 type record struct {
@@ -21,27 +36,41 @@ type record struct {
 	// server is the backend that answered (empty on error) — the key
 	// the per-version report slices map through Config.Versions.
 	server string
+	// region is the region that served (empty for single-region runs) —
+	// the key of the per-region report slices.
+	region string
 	err    error
 }
 
 // doOne issues one planned request and measures the client-perceived
 // latency, errors included (an error's latency still counts toward the
 // histogram: a timed-out request was a slow request).
-func doOne(ctx context.Context, client *rpc.Client, pr planned, timeout time.Duration) record {
+func doOne(ctx context.Context, client Offloader, pr planned, timeout time.Duration) record {
 	rctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
-	start := time.Now()
-	resp, err := client.Offload(rctx, rpc.OffloadRequest{
+	req := rpc.OffloadRequest{
 		UserID:       pr.User,
 		Group:        pr.Group,
 		BatteryLevel: pr.Battery,
 		State:        pr.State,
-	})
+	}
+	start := time.Now()
+	var (
+		resp   rpc.OffloadResponse
+		region string
+		err    error
+	)
+	if ro, ok := client.(RegionOffloader); ok {
+		resp, region, err = ro.OffloadRegion(rctx, req)
+	} else {
+		resp, err = client.Offload(rctx, req)
+	}
 	return record{
 		group:     pr.Group,
 		offset:    pr.Offset,
 		latencyMs: float64(time.Since(start)) / float64(time.Millisecond),
 		server:    resp.Server,
+		region:    region,
 		err:       err,
 	}
 }
@@ -51,6 +80,14 @@ func doOne(ctx context.Context, client *rpc.Client, pr planned, timeout time.Dur
 // the run early; already-issued requests finish, unissued ones are
 // recorded as errors.
 func Run(ctx context.Context, baseURL string, cfg Config) (*Report, error) {
+	return RunWith(ctx, rpc.NewClient(baseURL), cfg)
+}
+
+// RunWith is Run with a caller-supplied client — the entry point for
+// drivers that route above the transport, like the multi-region geo
+// client. A RegionOffloader additionally yields per-region report
+// slices.
+func RunWith(ctx context.Context, client Offloader, cfg Config) (*Report, error) {
 	ncfg, err := cfg.normalized()
 	if err != nil {
 		return nil, err
@@ -61,7 +98,6 @@ func Run(ctx context.Context, baseURL string, cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	client := rpc.NewClient(baseURL)
 	start := time.Now()
 	var recs []record
 	switch ncfg.Mode {
@@ -82,7 +118,7 @@ var errSkipped = errors.New("loadgen: request skipped (run cancelled)")
 // concurrent up to MaxInFlight, via the shared FanOut pool. Each user
 // writes only its own record slots, so the replay is race-free by
 // construction.
-func runClosedLoop(ctx context.Context, client *rpc.Client, plan *Plan, cfg Config) []record {
+func runClosedLoop(ctx context.Context, client Offloader, plan *Plan, cfg Config) []record {
 	perUser := make([][]record, len(plan.PerUser))
 	sim.FanOut(len(plan.PerUser), cfg.MaxInFlight, func(u int) {
 		seq := plan.PerUser[u]
@@ -107,7 +143,7 @@ func runClosedLoop(ctx context.Context, client *rpc.Client, plan *Plan, cfg Conf
 // regardless of completions, bounded by a MaxInFlight semaphore so a
 // saturated back-end degrades into queueing instead of unbounded
 // goroutine growth.
-func runOpenLoop(ctx context.Context, client *rpc.Client, plan *Plan, cfg Config) []record {
+func runOpenLoop(ctx context.Context, client Offloader, plan *Plan, cfg Config) []record {
 	recs := make([]record, len(plan.Timeline))
 	sem := make(chan struct{}, cfg.MaxInFlight)
 	var wg sync.WaitGroup

@@ -1,0 +1,60 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Path models one device→region network path: the cellular access leg
+// (the per-operator, per-technology RTTModel measured in §V) plus a
+// fixed wide-area propagation delay for the geographic distance between
+// the operator's gateway and the region's front-end. The access model
+// captures jitter, diurnal load and heavy tails; the propagation term
+// is what actually separates regions — a device in Helsinki pays ~0 ms
+// extra to eu-north but ~90 ms to us-east on every round trip.
+type Path struct {
+	// Model is the access-network RTT model.
+	Model RTTModel
+	// PropagationMs is the extra round-trip propagation delay to the
+	// region, in milliseconds (>= 0; 0 means the region is co-located
+	// with the operator's gateway).
+	PropagationMs float64
+}
+
+// Validate checks the path's parameters.
+func (p Path) Validate() error {
+	if err := p.Model.Validate(); err != nil {
+		return err
+	}
+	if p.PropagationMs < 0 {
+		return fmt.Errorf("netsim: negative propagation %.1fms", p.PropagationMs)
+	}
+	return nil
+}
+
+// Sample draws one device→region RTT: an access-leg draw from the
+// cellular model plus the fixed propagation to the region.
+func (p Path) Sample(r *rand.Rand, at time.Time) time.Duration {
+	return p.Model.Sample(r, at) + time.Duration(p.PropagationMs*float64(time.Millisecond))
+}
+
+// MeanMs is the expected RTT over the path in milliseconds — the
+// quantity the nearest-region selector orders regions by.
+func (p Path) MeanMs() float64 {
+	return p.Model.MeanMs() + p.PropagationMs
+}
+
+// PathTo builds the path from an operator/technology access model to a
+// region at the given propagation distance.
+func PathTo(op Operator, tech Tech, propagationMs float64) (Path, error) {
+	m, ok := op.RTT[tech]
+	if !ok {
+		return Path{}, fmt.Errorf("netsim: operator %q has no %s model", op.Name, tech)
+	}
+	p := Path{Model: m, PropagationMs: propagationMs}
+	if err := p.Validate(); err != nil {
+		return Path{}, err
+	}
+	return p, nil
+}

@@ -1,0 +1,166 @@
+package router
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRegionFenceUnderLoad mirrors TestEjectFenceUnderLoad one tier up:
+// pickers hammer PickFirst/Release while churners add fresh regions,
+// MarkDown them (fence), briefly MarkUp and re-MarkDown (the region
+// monitor's flap path), then Remove. The fence-counter invariant proved
+// under -race: once MarkDown returns, no PickFirst that STARTED after
+// the return resolves into the downed region — the guarantee the
+// cross-region spillover path needs so a chaos-killed region stops
+// absorbing traffic the moment it is fenced.
+func TestRegionFenceUnderLoad(t *testing.T) {
+	r, err := NewRegions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := func(id int) string { return fmt.Sprintf("region-%d", id) }
+
+	const (
+		maxRounds = 30
+		churners  = 4
+		maxIDs    = 2 + maxRounds*churners
+	)
+	rounds := maxRounds
+	if testing.Short() {
+		rounds = 8
+	}
+	// fenced[id] flips to 1 the moment the region's FINAL MarkDown
+	// returns (after the reinstate flap); it never flips back because
+	// churned identities are never marked Up again.
+	var fenced [maxIDs]atomic.Int32
+	var picksAfterFence atomic.Int64
+
+	// Two stable regions (ids 0, 1) guarantee a pick always lands; they
+	// sit LAST in the preference order so live churned regions — the
+	// fenced ones — are always preferred, maximizing fence pressure.
+	for i := 0; i < 2; i++ {
+		if err := r.Add(name(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	order := make([]string, 0, maxIDs)
+	for id := 2; id < maxIDs; id++ {
+		order = append(order, name(id))
+	}
+	order = append(order, name(0), name(1))
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	const pickers = 8
+	var picks atomic.Int64
+	for w := 0; w < pickers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Sample every fence flag BEFORE picking: if a region was
+				// already fenced when the pick started and the pick still
+				// resolved into it, the snapshot protocol is broken.
+				var preFenced [maxIDs]int32
+				for i := range preFenced {
+					preFenced[i] = fenced[i].Load()
+				}
+				p, err := r.PickFirst(order)
+				if err != nil {
+					// Two stable always-Up regions make no-region windows
+					// impossible, so any error is a bug.
+					t.Errorf("pick: %v", err)
+					return
+				}
+				var idx int
+				if _, err := fmt.Sscanf(p.Name(), "region-%d", &idx); err != nil {
+					t.Errorf("picked unknown region %q", p.Name())
+					return
+				}
+				if preFenced[idx] == 1 {
+					picksAfterFence.Add(1)
+				}
+				if n := r.Inflight(p.Name()); n < 1 {
+					t.Errorf("in-flight count %d < 1 while holding a reservation", n)
+				}
+				r.Release(p)
+				picks.Add(1)
+			}
+		}()
+	}
+
+	churn := func(id int) {
+		n := name(id)
+		if err := r.Add(n); err != nil {
+			t.Errorf("add %s: %v", n, err)
+			return
+		}
+		time.Sleep(time.Millisecond)
+		// Flap: down, up (traffic may resume), final down.
+		if err := r.MarkDown(n); err != nil {
+			t.Errorf("mark down %s: %v", n, err)
+			return
+		}
+		if err := r.MarkUp(n); err != nil {
+			t.Errorf("mark up %s: %v", n, err)
+			return
+		}
+		if err := r.MarkDown(n); err != nil {
+			t.Errorf("final mark down %s: %v", n, err)
+			return
+		}
+		fenced[id].Store(1)
+		// Remove may transiently report in-flight stragglers that
+		// reserved before the fence; retrying until they drain is the
+		// reconciler's reap path.
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if err := r.Remove(n); err == nil {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Errorf("remove %s never succeeded (%d in flight)", n, r.Inflight(n))
+				return
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	for round := 0; round < rounds; round++ {
+		var cwg sync.WaitGroup
+		for c := 0; c < churners; c++ {
+			id := 2 + round*churners + c
+			cwg.Add(1)
+			go func() {
+				defer cwg.Done()
+				churn(id)
+			}()
+		}
+		cwg.Wait()
+	}
+	close(stop)
+	wg.Wait()
+
+	if n := picksAfterFence.Load(); n != 0 {
+		t.Fatalf("%d picks resolved into a region after its MarkDown returned", n)
+	}
+	if picks.Load() == 0 {
+		t.Fatal("no picks completed")
+	}
+	// All reservations released and only the two stable regions remain.
+	if got := len(r.Names()); got != 2 {
+		t.Fatalf("final region count = %d, want 2", got)
+	}
+	for _, n := range r.Names() {
+		if in := r.Inflight(n); in != 0 {
+			t.Fatalf("region %s left with %d in flight", n, in)
+		}
+	}
+}

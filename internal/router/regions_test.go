@@ -1,0 +1,142 @@
+package router
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRegionsPickFirstOrder(t *testing.T) {
+	r, err := NewRegions("eu", "us", "ap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := []string{"eu", "us", "ap"}
+
+	p, err := r.PickFirst(order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "eu" {
+		t.Fatalf("picked %q, want home region eu", p.Name())
+	}
+	if n := r.Inflight("eu"); n != 1 {
+		t.Fatalf("inflight(eu) = %d, want 1", n)
+	}
+	r.Release(p)
+	if n := r.Inflight("eu"); n != 0 {
+		t.Fatalf("inflight(eu) = %d after release, want 0", n)
+	}
+
+	// Home Down → spillover to next-nearest.
+	if err := r.MarkDown("eu"); err != nil {
+		t.Fatal(err)
+	}
+	p, err = r.PickFirst(order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "us" {
+		t.Fatalf("picked %q with eu down, want us", p.Name())
+	}
+	r.Release(p)
+
+	// All Down → ErrNoRegion.
+	if err := r.MarkDown("us"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.MarkDown("ap"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.PickFirst(order); !errors.Is(err, ErrNoRegion) {
+		t.Fatalf("all-down pick error = %v, want ErrNoRegion", err)
+	}
+
+	// Recovery restores the preference order.
+	if err := r.MarkUp("ap"); err != nil {
+		t.Fatal(err)
+	}
+	p, err = r.PickFirst(order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "ap" {
+		t.Fatalf("picked %q with only ap up, want ap", p.Name())
+	}
+	r.Release(p)
+}
+
+func TestRegionsUnknownNamesSkipped(t *testing.T) {
+	r, err := NewRegions("us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A preference order naming unregistered regions skips them instead
+	// of failing: a device's selector may know regions this deployment
+	// does not run.
+	p, err := r.PickFirst([]string{"eu", "us"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "us" {
+		t.Fatalf("picked %q, want us", p.Name())
+	}
+	r.Release(p)
+	if _, err := r.PickFirst([]string{"mars"}); !errors.Is(err, ErrNoRegion) {
+		t.Fatalf("unknown-only order error = %v, want ErrNoRegion", err)
+	}
+}
+
+func TestRegionsAddRemoveErrors(t *testing.T) {
+	r, err := NewRegions("eu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(""); err == nil {
+		t.Fatal("empty region name accepted")
+	}
+	if err := r.Add("eu"); err == nil {
+		t.Fatal("duplicate region accepted")
+	}
+	if err := r.MarkDown("nope"); err == nil {
+		t.Fatal("MarkDown on unknown region accepted")
+	}
+	if err := r.Remove("nope"); err == nil {
+		t.Fatal("Remove on unknown region accepted")
+	}
+
+	// Remove refuses while a reservation is held, then succeeds.
+	p, err := r.PickFirst([]string{"eu"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Remove("eu"); err == nil {
+		t.Fatal("Remove succeeded with a call in flight")
+	}
+	if _, ok := r.State("eu"); !ok {
+		t.Fatal("failed Remove did not roll the region back")
+	}
+	r.Release(p)
+	if err := r.Remove("eu"); err != nil {
+		t.Fatalf("Remove after drain: %v", err)
+	}
+	if got := len(r.Names()); got != 0 {
+		t.Fatalf("%d regions after removal, want 0", got)
+	}
+}
+
+func TestRegionsView(t *testing.T) {
+	r, err := NewRegions("eu", "us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.MarkDown("us"); err != nil {
+		t.Fatal(err)
+	}
+	v := r.View()
+	if v["eu"] != "up" || v["us"] != "down" {
+		t.Fatalf("view = %v, want eu up / us down", v)
+	}
+	if st, ok := r.State("us"); !ok || st != RegionDown {
+		t.Fatalf("State(us) = %v/%v, want down/true", st, ok)
+	}
+}

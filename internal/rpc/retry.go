@@ -148,6 +148,26 @@ func IsQueueFull(err error) bool {
 	return errors.Is(err, ErrQueueFull)
 }
 
+// IsUnavailable reports whether an error means the target front-end
+// cannot serve the call at all right now: transport-level failures
+// (connection refused or reset, dial and hop timeouts — the signature
+// of a crashed or chaos-killed region) and 5xx responses. The geo
+// failover path treats these as "this region is gone, try the next
+// one in the preference order"; 4xx responses and a caller-cancelled
+// context are the device's own problem and never re-route. Queue-full
+// backpressure is also unavailable in this sense — IsQueueFull
+// distinguishes spillover from failover when the caller cares which.
+func IsUnavailable(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) {
+		return false
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Code >= 500
+	}
+	return true
+}
+
 // queueFullBackoff is the short wait before retrying a queue-full
 // rejection: long enough to let a dispatcher drain one slot, short
 // enough that the retry lands while the re-route window is open.

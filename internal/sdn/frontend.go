@@ -91,6 +91,12 @@ type FrontEnd struct {
 	// so a side-effecting task never executes twice for one logical
 	// call (keyless requests bypass it entirely).
 	idem idemCache
+
+	// region names the geographic region this front-end serves
+	// (WithRegion); spilled counts absorbed cross-region requests —
+	// arrivals whose Origin names a different home region.
+	region  string
+	spilled atomic.Int64
 }
 
 // Observer is the per-request outcome hook the failure detector
@@ -200,6 +206,14 @@ func (f *FrontEnd) TakeActivations() map[int]int64 {
 // cost the autoscale model charges per activation).
 func (f *FrontEnd) ColdStartLatency() time.Duration { return f.coldStart }
 
+// Region reports the front-end's configured region name ("" when
+// unregioned).
+func (f *FrontEnd) Region() string { return f.region }
+
+// Spilled reports how many cross-region requests this front-end has
+// absorbed: arrivals whose Origin named a different home region.
+func (f *FrontEnd) Spilled() int64 { return f.spilled.Load() }
+
 // Backends reports the registered groups and backend counts (active and
 // draining alike — they are all still serving or finishing work).
 func (f *FrontEnd) Backends() map[int]int { return f.rt.Backends() }
@@ -237,10 +251,13 @@ func (f *FrontEnd) Handler() http.Handler {
 			Routed   int64                 `json:"routed"`
 			Dropped  int64                 `json:"dropped"`
 			Policy   string                `json:"policy"`
+			Region   string                `json:"region,omitempty"`
+			Spilled  int64                 `json:"spilled"`
 			Groups   []int                 `json:"groups"`
 			Backends map[int]int           `json:"backends"`
 			Pools    map[int][]BackendInfo `json:"pools"`
 		}{Routed: st.Routed, Dropped: st.Dropped, Policy: f.rt.Policy().Name(),
+			Region: f.region, Spilled: f.spilled.Load(),
 			Groups: groups, Backends: map[int]int{}, Pools: st.Pools}
 		for g, infos := range st.Pools {
 			payload.Backends[g] = len(infos)
@@ -310,6 +327,12 @@ func (f *FrontEnd) offloadBatch(ctx context.Context, batch rpc.BatchRequest) rpc
 func (f *FrontEnd) Offload(ctx context.Context, req rpc.OffloadRequest) (rpc.OffloadResponse, int) {
 	if err := req.Validate(); err != nil {
 		return rpc.OffloadResponse{Error: err.Error()}, http.StatusBadRequest
+	}
+	if f.region != "" && req.Origin != "" && req.Origin != f.region {
+		// A device homed elsewhere spilled (or failed) over into this
+		// region; the counter is the /stats evidence the geo smoke and
+		// chaos suites assert on.
+		f.spilled.Add(1)
 	}
 	if req.IdemKey != "" {
 		return f.idem.do(ctx, req.IdemKey, func() (rpc.OffloadResponse, int) {

@@ -28,6 +28,7 @@ type config struct {
 	serve          serve.Config
 	coldAfter      time.Duration
 	coldStart      time.Duration
+	region         string
 }
 
 // WithTrace installs the request trace sink (a trace.Store,
@@ -138,6 +139,18 @@ func WithColdPool(after, coldStart time.Duration) Option {
 	}
 }
 
+// WithRegion names the geographic region this front-end serves (e.g.
+// "eu-north"). A regioned front-end counts requests whose Origin names
+// a different home region as spilled-over — the /stats signal that
+// cross-region traffic is landing here (DESIGN.md §11). Empty (the
+// default) disables the accounting.
+func WithRegion(name string) Option {
+	return func(c *config) error {
+		c.region = name
+		return nil
+	}
+}
+
 // New builds a front-end from functional options. Zero options give a
 // round-robin router with no trace sink, no queueing, and no cold
 // pool — the historical NewFrontEnd(nil, 0) behaviour.
@@ -162,6 +175,7 @@ func New(opts ...Option) (*FrontEnd, error) {
 		rt:              rt,
 		coldAfter:       c.coldAfter,
 		coldStart:       c.coldStart,
+		region:          c.region,
 	}
 	if c.observer != nil {
 		f.observer.Store(&c.observer)

@@ -170,6 +170,7 @@ func AppendOffloadRequest(dst []byte, r OffloadRequest) []byte {
 	dst = appendInt(dst, r.Group)
 	dst = appendF64(dst, r.BatteryLevel)
 	dst = appendString(dst, r.IdemKey)
+	dst = appendString(dst, r.Origin)
 	return appendState(dst, r.State)
 }
 
@@ -186,6 +187,9 @@ func decodeOffloadRequest(c *cur) (OffloadRequest, error) {
 		return r, err
 	}
 	if r.IdemKey, err = c.str(); err != nil {
+		return r, err
+	}
+	if r.Origin, err = c.str(); err != nil {
 		return r, err
 	}
 	if r.State, err = decodeState(c); err != nil {

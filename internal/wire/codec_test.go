@@ -18,6 +18,7 @@ func canonicalOffloadRequest() OffloadRequest {
 		Group:        2,
 		BatteryLevel: 0.75,
 		IdemKey:      "k-1",
+		Origin:       "eu-north",
 		State:        tasks.State{Task: "sieve", Size: 1000, Data: []byte{0x01, 0x02, 0x03}},
 	}
 }

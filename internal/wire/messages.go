@@ -27,6 +27,11 @@ type OffloadRequest struct {
 	// idempotency cache instead of executing the task again. Clients
 	// with a retry or hedge policy assign keys automatically.
 	IdemKey string `json:"idemKey,omitempty"`
+	// Origin, when non-empty, names the device's home region: the
+	// region its geo selector ranked nearest. A front-end whose own
+	// region differs counts the request as spilled-over, so cross-region
+	// traffic shows up in /stats on whichever region absorbed it.
+	Origin string `json:"origin,omitempty"`
 	// State is the serialized application state to execute.
 	State tasks.State `json:"state"`
 }

@@ -6,8 +6,11 @@
 # listens on bin://). Finally, kill one surrogate and assert the
 # failure detector ejects it (probing surrogate-2 over the binary
 # protocol) and the front-end keeps serving with zero errors on both
-# transports. Exits non-zero on any failure. Used by the e2e-smoke CI
-# job; safe to run locally (ports 9100-9104).
+# transports. A final two-region section boots region-labelled
+# front-ends, kills the home region, and asserts the geo tier serves
+# with zero errors through the surviving region while its /stats counts
+# the absorbed cross-region traffic. Exits non-zero on any failure.
+# Used by the e2e-smoke CI job; safe to run locally (ports 9100-9107).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -149,5 +152,51 @@ echo "== binary front-end keeps serving with zero errors too =="
 "$BIN/loadgen" -frontend bin://127.0.0.1:9103 -mode concurrent \
   -users 4 -rate 5 -duration 2s -seed 2 -groups 1,2 \
   -max-error-rate 0 -out "$BIN/e2e_loadgen_bin_after_kill.json"
+
+echo "== two-region deployment: region-a (home) and region-b =="
+# Both regional front-ends route to surrogate-1; -region labels each
+# one so /stats can attribute absorbed cross-region traffic.
+"$BIN/sdnd" -listen 127.0.0.1:9106 -region region-a \
+  -backend-timeout 2s -backend 1=http://127.0.0.1:9101 &
+REGION_A_PID=$!
+"$BIN/sdnd" -listen 127.0.0.1:9107 -region region-b \
+  -backend-timeout 2s -backend 1=http://127.0.0.1:9101 &
+geo_ok=""
+for _ in $(seq 1 50); do
+  if curl -sf http://127.0.0.1:9106/healthz >/dev/null 2>&1 \
+      && curl -sf http://127.0.0.1:9107/healthz >/dev/null 2>&1; then
+    geo_ok=1
+    break
+  fi
+  sleep 0.2
+done
+if [ -z "$geo_ok" ]; then
+  echo "e2e: regional front-ends never became healthy" >&2
+  exit 1
+fi
+curl -sf http://127.0.0.1:9106/stats | grep -q '"region":"region-a"' || {
+  echo "e2e: region-a front-end lost its region label" >&2
+  curl -sf http://127.0.0.1:9106/stats >&2 || true
+  exit 1
+}
+
+echo "== kill the home region; geo loadgen must serve via region-b =="
+kill "$REGION_A_PID"
+"$BIN/loadgen" \
+  -regions region-a=http://127.0.0.1:9106,region-b=http://127.0.0.1:9107 \
+  -mode concurrent -users 4 -rate 5 -duration 2s -seed 4 -groups 1 \
+  -max-error-rate 0 -out "$BIN/e2e_loadgen_geo.json"
+grep -q '"region-b"' "$BIN/e2e_loadgen_geo.json" || {
+  echo "e2e: geo report has no region-b slice" >&2
+  cat "$BIN/e2e_loadgen_geo.json" >&2 || true
+  exit 1
+}
+# Every call carried the region-a origin stamp, so the surviving
+# front-end must have counted the absorbed traffic as spilled.
+curl -sf http://127.0.0.1:9107/stats | grep -o '"spilled":[0-9]*' | grep -qv '"spilled":0' || {
+  echo "e2e: region-b front-end counted no spilled-over calls" >&2
+  curl -sf http://127.0.0.1:9107/stats >&2 || true
+  exit 1
+}
 
 echo "e2e smoke OK"
