@@ -189,6 +189,11 @@ type (
 // DefaultTaskPool returns the paper's 10-task pool.
 func DefaultTaskPool() *TaskPool { return tasks.DefaultPool() }
 
+// InferenceTaskPool returns the 10-task pool extended with the
+// session-amortized ML-inference family (infer-mobilenet,
+// infer-inception, infer-lstm).
+func InferenceTaskPool() *TaskPool { return tasks.InferencePool() }
+
 // Workload generation (§V, §VI-C1).
 type (
 	// WorkloadRequest is one offloading event.
@@ -219,6 +224,48 @@ func GenerateInterArrival(r *rand.Rand, start time.Time, cfg InterArrivalConfig)
 func GenerateConcurrent(r *rand.Rand, start time.Time, cfg ConcurrentConfig) ([]WorkloadRequest, error) {
 	return workload.GenerateConcurrent(r, start, cfg)
 }
+
+// Population-scale scenario engine: lazy per-block request streams with
+// diurnal rate curves and flash crowds, merged in time order at
+// O(shards) resident memory. The schedule digest is invariant to the
+// shard count, so a parallel consumer replays the identical workload.
+type (
+	// WorkloadStream lazily yields a time-ordered request schedule.
+	WorkloadStream = workload.Stream
+	// ScenarioConfig parameterizes the population-scale scenario mode.
+	ScenarioConfig = workload.ScenarioConfig
+	// FlashCrowd is one bounded demand surge over a user cohort.
+	FlashCrowd = workload.FlashCrowd
+)
+
+// NewScenarioStream builds the full scenario schedule as one stream.
+func NewScenarioStream(root *RNG, cfg ScenarioConfig) (WorkloadStream, error) {
+	return workload.NewScenarioStream(root, cfg)
+}
+
+// ScenarioShards splits the scenario population into shard streams;
+// merging them (MergeStreams) reproduces the single-stream schedule
+// bit-for-bit.
+func ScenarioShards(root *RNG, cfg ScenarioConfig, shards int) ([]WorkloadStream, error) {
+	return workload.ScenarioShards(root, cfg, shards)
+}
+
+// MergeStreams interleaves time-ordered streams into one.
+func MergeStreams(streams ...WorkloadStream) WorkloadStream {
+	return workload.NewMerge(streams...)
+}
+
+// StreamDigest drains a stream into its fnv1a schedule digest and
+// request count.
+func StreamDigest(s WorkloadStream, start time.Time) (string, int) {
+	return workload.StreamDigest(s, start)
+}
+
+// ScenarioStart is the virtual origin scenario digests are taken from.
+func ScenarioStart() time.Time { return workload.ScenarioStart() }
+
+// DefaultDiurnal is the 24-point diurnal rate curve.
+func DefaultDiurnal() []float64 { return workload.DefaultDiurnal() }
 
 // Deterministic randomness.
 type (

@@ -22,7 +22,12 @@
 // outage schedule, and failover-event digests, per-region p99 within
 // the relative tolerance, a non-zero spillover rate under a hard
 // ceiling, zero lost in-flight calls, and the failover time-to-recover
-// under its hard ceiling.
+// under its hard ceiling; scenario reports (BENCH_scenario.json) gate
+// on exact reproduction of the stream and replay digests and request
+// counts (the schedule is deterministic per seed), shard-count
+// invariance, the flash-crowd rate ratio against its hard floor, the
+// streaming pass's peak heap against its hard ceiling, and — within
+// one machine class — generation throughput against the baseline.
 //
 // A regression is: current p99 latency above baseline × (1 + tolerance),
 // current throughput below baseline × (1 − tolerance) (loadgen),
@@ -51,6 +56,7 @@ import (
 	"accelcloud/internal/geobench"
 	"accelcloud/internal/loadgen"
 	"accelcloud/internal/router"
+	"accelcloud/internal/scenariobench"
 	"accelcloud/internal/servebench"
 )
 
@@ -114,6 +120,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if baseSchema == geobench.Schema {
 		return diffGeo(out, *basePath, *curPath, *tolerance, *ignoreSchedule)
+	}
+	if baseSchema == scenariobench.Schema {
+		return diffScenario(out, *basePath, *curPath, *tolerance, *ignoreSchedule)
 	}
 	base, err := loadgen.ReadReportFile(*basePath)
 	if err != nil {
@@ -469,6 +478,102 @@ func diffGeo(out io.Writer, basePath, curPath string, tolerance float64, ignoreS
 	}
 	if cur.FailoverRecoverMs > maxFailoverRecoverMs {
 		failures = append(failures, fmt.Sprintf("failover time-to-recover %.1f ms above the %.0f ms ceiling", cur.FailoverRecoverMs, maxFailoverRecoverMs))
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(out, "  REGRESSION: %s\n", f)
+		}
+		return fmt.Errorf("%d regression(s) beyond %.0f%% tolerance", len(failures), 100*tolerance)
+	}
+	fmt.Fprintln(out, "  OK: within tolerance")
+	return nil
+}
+
+// Hard bars every scenariobench report must clear regardless of the
+// baseline — the acceptance criteria of the scenario engine: the
+// flash crowds must at least double the request rate of the calm
+// phase, and the million-user streaming pass must stay in O(shards)
+// memory — orders of magnitude under what a materialized schedule
+// would need.
+const (
+	minCrowdRateRatio = 2.0
+	maxScenarioHeapMB = 256.0
+)
+
+// diffScenario gates a scenariobench report. The schedule is a pure
+// function of (seed, config), so the stream digest, request count,
+// and replay digest must reproduce the baseline exactly, and the
+// shard-invariance sweep must hold; the crowd-vs-calm rate ratio is a
+// within-run ratio gated against its hard floor; peak heap during the
+// streaming pass is gated against its hard ceiling (it depends on the
+// block size, not the host); generation throughput moves with the
+// host CPU, so it is gated against the baseline only within one
+// machine class (same NumCPU and GOMAXPROCS). Replay p99 columns are
+// printed for context only — they are sleep-dominated.
+func diffScenario(out io.Writer, basePath, curPath string, tolerance float64, ignoreSchedule bool) error {
+	base, err := scenariobench.ReadReportFile(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := scenariobench.ReadReportFile(curPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "benchdiff: scenario baseline %s vs current %s (tolerance %.0f%%)\n",
+		basePath, curPath, 100*tolerance)
+	if base.Seed != cur.Seed || base.Users != cur.Users ||
+		base.VirtualSeconds != cur.VirtualSeconds || base.ReplayUsers != cur.ReplayUsers {
+		return fmt.Errorf("configurations differ (baseline seed %d / %d users / %.0fs / %d replay users, current %d / %d / %.0fs / %d): reports are not comparable",
+			base.Seed, base.Users, base.VirtualSeconds, base.ReplayUsers,
+			cur.Seed, cur.Users, cur.VirtualSeconds, cur.ReplayUsers)
+	}
+	if base.StreamDigest != cur.StreamDigest {
+		msg := fmt.Sprintf("stream digests differ (%s vs %s): runs generate different schedules",
+			base.StreamDigest, cur.StreamDigest)
+		if !ignoreSchedule {
+			return fmt.Errorf("%s (use -ignore-schedule to compare anyway)", msg)
+		}
+		fmt.Fprintf(out, "  warning: %s\n", msg)
+	}
+	fmt.Fprintf(out, "  %-26s %12s %12s %10s\n", "metric", "baseline", "current", "change")
+	fmt.Fprintf(out, "  %-26s %12d %12d\n", "requests", base.Requests, cur.Requests)
+	fmt.Fprintf(out, "  %-26s %12.0f %12.0f %10s\n", "gen req/s", base.GenRequestsPerSec, cur.GenRequestsPerSec, pct(base.GenRequestsPerSec, cur.GenRequestsPerSec))
+	fmt.Fprintf(out, "  %-26s %12.1f %12.1f %10s\n", "peak heap MB", base.PeakHeapMB, cur.PeakHeapMB, pct(base.PeakHeapMB, cur.PeakHeapMB))
+	fmt.Fprintf(out, "  %-26s %12v %12v\n", "shards invariant", base.ShardsInvariant, cur.ShardsInvariant)
+	fmt.Fprintf(out, "  %-26s %12d %12d\n", "replay requests", base.ReplayRequests, cur.ReplayRequests)
+	fmt.Fprintf(out, "  %-26s %12.2f %12.2f %10s\n", "crowd rate ratio", base.CrowdRateRatio, cur.CrowdRateRatio, pct(base.CrowdRateRatio, cur.CrowdRateRatio))
+	fmt.Fprintf(out, "  %-26s %12.1f %12.1f %10s\n", "crowd p99 ms", base.CrowdP99Ms, cur.CrowdP99Ms, pct(base.CrowdP99Ms, cur.CrowdP99Ms))
+	fmt.Fprintf(out, "  %-26s %12.1f %12.1f %10s\n", "calm p99 ms", base.CalmP99Ms, cur.CalmP99Ms, pct(base.CalmP99Ms, cur.CalmP99Ms))
+	fmt.Fprintf(out, "  %-26s %25s\n", "stream digest", cur.StreamDigest)
+	fmt.Fprintf(out, "  %-26s %25s\n", "replay digest", cur.ReplayDigest)
+
+	var failures []string
+	sameSchedule := base.StreamDigest == cur.StreamDigest
+	if sameSchedule && base.Requests != cur.Requests {
+		failures = append(failures, fmt.Sprintf("request count changed (%d -> %d) under the same stream digest: the generator is inconsistent",
+			base.Requests, cur.Requests))
+	}
+	if !cur.ShardsInvariant {
+		failures = append(failures, "schedule digest varies with shard count: sharding changes the workload")
+	}
+	if sameSchedule && base.ReplayDigest != cur.ReplayDigest {
+		failures = append(failures, fmt.Sprintf("replay digest changed (%s -> %s): scenario replay materializes different requests",
+			base.ReplayDigest, cur.ReplayDigest))
+	}
+	if cur.CrowdRateRatio < minCrowdRateRatio {
+		failures = append(failures, fmt.Sprintf("crowd rate ratio %.2fx below the %.1fx floor: the flash crowd never materialized", cur.CrowdRateRatio, minCrowdRateRatio))
+	}
+	if cur.PeakHeapMB > maxScenarioHeapMB {
+		failures = append(failures, fmt.Sprintf("peak heap %.1f MB above the %.0f MB ceiling: generation is no longer streaming", cur.PeakHeapMB, maxScenarioHeapMB))
+	}
+	sameClass := base.NumCPU == cur.NumCPU && base.GoMaxProcs == cur.GoMaxProcs
+	switch {
+	case !sameClass:
+		fmt.Fprintf(out, "  warning: machine class differs (baseline %d CPU / GOMAXPROCS %d, current %d / %d): skipping the generation-throughput gate\n",
+			base.NumCPU, base.GoMaxProcs, cur.NumCPU, cur.GoMaxProcs)
+	case base.GenRequestsPerSec > 0 && cur.GenRequestsPerSec < base.GenRequestsPerSec*(1-tolerance):
+		failures = append(failures, fmt.Sprintf("generation throughput regressed %s (%.0f -> %.0f req/s)",
+			pct(base.GenRequestsPerSec, cur.GenRequestsPerSec), base.GenRequestsPerSec, cur.GenRequestsPerSec))
 	}
 	if len(failures) > 0 {
 		for _, f := range failures {

@@ -1,0 +1,178 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"accelcloud/internal/scenariobench"
+)
+
+func writeScenarioReport(t *testing.T, dir, name string, rep *scenariobench.Report) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func scenarioReport() *scenariobench.Report {
+	return &scenariobench.Report{
+		Schema: scenariobench.Schema,
+		Seed:   1, NumCPU: 8, GoMaxProcs: 8,
+		Users: 1_000_000, VirtualSeconds: 30,
+		Requests: 2_400_000, GenWallMs: 1500, GenRequestsPerSec: 1_600_000,
+		PeakHeapMB:     4.0,
+		StreamDigest:   "fnv1a:00000000cafef00d",
+		ParallelShards: 8, ParallelRequests: 2_400_000, ParallelRequestsPerSec: 4_000_000,
+		InvarianceUsers: 50_000,
+		ShardDigests:    map[string]string{"1": "fnv1a:1", "4": "fnv1a:1", "8": "fnv1a:1"},
+		ShardsInvariant: true,
+		ReplayUsers:     240, ReplayRequests: 2500, ReplaySessions: 1200,
+		ReplayDigest: "fnv1a:00000000deadbeef",
+		CrowdRateRps: 2500, CalmRateRps: 900, CrowdRateRatio: 2.7,
+		CrowdP99Ms: 220, CalmP99Ms: 120,
+	}
+}
+
+func TestDiffScenarioWithinTolerance(t *testing.T) {
+	dir := t.TempDir()
+	base := writeScenarioReport(t, dir, "base.json", scenarioReport())
+	rep := scenarioReport()
+	rep.GenRequestsPerSec = 1_500_000 // -6%, inside the 20% tolerance
+	rep.CrowdRateRatio = 2.4
+	cur := writeScenarioReport(t, dir, "cur.json", rep)
+	var buf bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur, "-tolerance", "0.2"}, &buf); err != nil {
+		t.Fatalf("within tolerance failed: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "crowd rate ratio") {
+		t.Fatalf("missing ratio row:\n%s", buf.String())
+	}
+}
+
+func TestDiffScenarioStreamDigestDrift(t *testing.T) {
+	dir := t.TempDir()
+	base := writeScenarioReport(t, dir, "base.json", scenarioReport())
+	rep := scenarioReport()
+	rep.StreamDigest = "fnv1a:0000000000000bad"
+	cur := writeScenarioReport(t, dir, "cur.json", rep)
+	var buf bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur, "-tolerance", "0.2"}, &buf); err == nil {
+		t.Fatalf("stream digest drift passed:\n%s", buf.String())
+	} else if !strings.Contains(err.Error(), "stream digests differ") {
+		t.Fatalf("wrong error: %v", err)
+	}
+	// -ignore-schedule downgrades the mismatch to a warning.
+	buf.Reset()
+	if err := run([]string{"-baseline", base, "-current", cur, "-tolerance", "0.2", "-ignore-schedule"}, &buf); err != nil {
+		t.Fatalf("-ignore-schedule still failed: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "warning: stream digests differ") {
+		t.Fatalf("missing warning:\n%s", buf.String())
+	}
+}
+
+func TestDiffScenarioReplayDigestDrift(t *testing.T) {
+	dir := t.TempDir()
+	base := writeScenarioReport(t, dir, "base.json", scenarioReport())
+	rep := scenarioReport()
+	rep.ReplayDigest = "fnv1a:0000000000000bad"
+	cur := writeScenarioReport(t, dir, "cur.json", rep)
+	var buf bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur, "-tolerance", "0.2"}, &buf); err == nil {
+		t.Fatalf("replay digest drift passed:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "replay digest changed") {
+		t.Fatalf("missing digest failure:\n%s", buf.String())
+	}
+}
+
+func TestDiffScenarioShardVariance(t *testing.T) {
+	dir := t.TempDir()
+	base := writeScenarioReport(t, dir, "base.json", scenarioReport())
+	rep := scenarioReport()
+	rep.ShardsInvariant = false
+	cur := writeScenarioReport(t, dir, "cur.json", rep)
+	var buf bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur, "-tolerance", "0.2"}, &buf); err == nil {
+		t.Fatalf("shard variance passed:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "varies with shard count") {
+		t.Fatalf("missing invariance failure:\n%s", buf.String())
+	}
+}
+
+func TestDiffScenarioCrowdRatioFloor(t *testing.T) {
+	dir := t.TempDir()
+	base := writeScenarioReport(t, dir, "base.json", scenarioReport())
+	rep := scenarioReport()
+	rep.CrowdRateRatio = 1.4
+	cur := writeScenarioReport(t, dir, "cur.json", rep)
+	var buf bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur, "-tolerance", "0.2"}, &buf); err == nil {
+		t.Fatalf("crowd ratio below floor passed:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "below the 2.0x floor") {
+		t.Fatalf("missing floor failure:\n%s", buf.String())
+	}
+}
+
+func TestDiffScenarioHeapCeiling(t *testing.T) {
+	dir := t.TempDir()
+	base := writeScenarioReport(t, dir, "base.json", scenarioReport())
+	rep := scenarioReport()
+	rep.PeakHeapMB = 512
+	cur := writeScenarioReport(t, dir, "cur.json", rep)
+	var buf bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur, "-tolerance", "0.2"}, &buf); err == nil {
+		t.Fatalf("heap above ceiling passed:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "above the 256 MB ceiling") {
+		t.Fatalf("missing ceiling failure:\n%s", buf.String())
+	}
+}
+
+func TestDiffScenarioThroughputMachineClass(t *testing.T) {
+	dir := t.TempDir()
+	base := writeScenarioReport(t, dir, "base.json", scenarioReport())
+
+	// Same machine class: a 50% throughput drop fails.
+	rep := scenarioReport()
+	rep.GenRequestsPerSec = 800_000
+	cur := writeScenarioReport(t, dir, "cur.json", rep)
+	var buf bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur, "-tolerance", "0.2"}, &buf); err == nil {
+		t.Fatalf("throughput regression passed:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "generation throughput regressed") {
+		t.Fatalf("missing throughput failure:\n%s", buf.String())
+	}
+
+	// Different machine class: the same drop is skipped with a warning.
+	rep.NumCPU = 2
+	rep.GoMaxProcs = 2
+	cur2 := writeScenarioReport(t, dir, "cur2.json", rep)
+	buf.Reset()
+	if err := run([]string{"-baseline", base, "-current", cur2, "-tolerance", "0.2"}, &buf); err != nil {
+		t.Fatalf("cross-class run failed: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "machine class differs") {
+		t.Fatalf("missing class warning:\n%s", buf.String())
+	}
+}
+
+func TestDiffScenarioConfigMismatch(t *testing.T) {
+	dir := t.TempDir()
+	base := writeScenarioReport(t, dir, "base.json", scenarioReport())
+	rep := scenarioReport()
+	rep.Users = 10_000
+	cur := writeScenarioReport(t, dir, "cur.json", rep)
+	var buf bytes.Buffer
+	err := run([]string{"-baseline", base, "-current", cur, "-tolerance", "0.2"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "not comparable") {
+		t.Fatalf("config mismatch not rejected: %v\n%s", err, buf.String())
+	}
+}

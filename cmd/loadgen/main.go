@@ -29,6 +29,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"syscall"
@@ -39,6 +41,8 @@ import (
 	"accelcloud/internal/loadgen"
 	"accelcloud/internal/netsim"
 	"accelcloud/internal/sdn"
+	"accelcloud/internal/tasks"
+	"accelcloud/internal/workload"
 )
 
 func main() {
@@ -75,6 +79,66 @@ func parseRegions(s string) ([]geo.Region, error) {
 	return out, nil
 }
 
+// parseCrowds parses the -crowd flag: semicolon-separated events, each
+// start:duration:userLo:userHi:multiplier (e.g. "10s:5s:0:1000:4").
+func parseCrowds(s string) ([]workload.FlashCrowd, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []workload.FlashCrowd
+	for _, part := range strings.Split(s, ";") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("bad crowd %q (want start:dur:lo:hi:mult)", part)
+		}
+		start, err := time.ParseDuration(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad crowd start %q: %w", fields[0], err)
+		}
+		dur, err := time.ParseDuration(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("bad crowd duration %q: %w", fields[1], err)
+		}
+		lo, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("bad crowd user lo %q: %w", fields[2], err)
+		}
+		hi, err := strconv.Atoi(fields[3])
+		if err != nil {
+			return nil, fmt.Errorf("bad crowd user hi %q: %w", fields[3], err)
+		}
+		mult, err := strconv.ParseFloat(fields[4], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad crowd multiplier %q: %w", fields[4], err)
+		}
+		out = append(out, workload.FlashCrowd{
+			Start: start, Duration: dur, UserLo: lo, UserHi: hi, Multiplier: mult,
+		})
+	}
+	return out, nil
+}
+
+// parseTaskMix parses the -task-mix flag: comma-separated name=weight
+// pairs (e.g. "fibonacci=3,infer-mobilenet=1").
+func parseTaskMix(s string) (map[string]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]float64{}
+	for _, part := range strings.Split(s, ",") {
+		name, ws, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad task-mix entry %q (want name=weight)", part)
+		}
+		w, err := strconv.ParseFloat(ws, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad task-mix weight %q: %w", ws, err)
+		}
+		out[name] = w
+	}
+	return out, nil
+}
+
 // parseGroups parses a comma-separated group list.
 func parseGroups(s string) ([]int, error) {
 	if s == "" {
@@ -99,7 +163,7 @@ func run(args []string, out io.Writer) error {
 	users := fs.Int("users", 8, "simulated users (sweep mode synthesizes one id per request and ignores this)")
 	duration := fs.Duration("duration", 5*time.Second, "nominal run length")
 	rate := fs.Float64("rate", 1, "per-user request rate in Hz (sweep: starting aggregate rate)")
-	mode := fs.String("mode", "concurrent", "replay discipline: concurrent|interarrival|sweep")
+	mode := fs.String("mode", "concurrent", "replay discipline: concurrent|interarrival|sweep|scenario")
 	seed := fs.Int64("seed", 1, "root seed; same seed = same schedule")
 	outPath := fs.String("out", "", "write the JSON report to this path")
 	task := fs.String("task", "", "pin every request to one pool task (empty = random)")
@@ -115,14 +179,55 @@ func run(args []string, out io.Writer) error {
 	selfGroups := fs.Int("self-groups", 2, `groups in the "self" hermetic cluster`)
 	selfBackends := fs.Int("self-backends", 2, `surrogates per group in the "self" cluster`)
 	selfPolicy := fs.String("self-policy", "rr", `pick policy of the "self" cluster front-end: rr|least-inflight|p2c`)
+	sessionGap := fs.Duration("session-gap", 0, "scenario: idle gap that starts a new session (0 = 30s)")
+	diurnalPeriod := fs.Duration("diurnal-period", 0, "scenario: virtual day length the diurnal curve spans (0 = 24h)")
+	blockSize := fs.Int("block", 0, "scenario: users per generation block (0 = 4096)")
+	crowdFlag := fs.String("crowd", "", `scenario: flash crowds as start:dur:lo:hi:mult, ";"-separated`)
+	taskMixFlag := fs.String("task-mix", "", "scenario: weighted task mix as name=weight pairs, comma-separated")
+	inference := fs.Bool("inference", false, "serve and draw from the pool extended with the ML-inference task family")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this path")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this path on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = f.Close() }()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(out, "loadgen: memprofile:", err)
+				return
+			}
+			defer func() { _ = f.Close() }()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(out, "loadgen: memprofile:", err)
+			}
+		}()
 	}
 	m, err := loadgen.ParseMode(*mode)
 	if err != nil {
 		return err
 	}
 	groups, err := parseGroups(*groupsFlag)
+	if err != nil {
+		return err
+	}
+	crowds, err := parseCrowds(*crowdFlag)
+	if err != nil {
+		return err
+	}
+	taskMix, err := parseTaskMix(*taskMixFlag)
 	if err != nil {
 		return err
 	}
@@ -138,6 +243,22 @@ func run(args []string, out io.Writer) error {
 		FixedTask:   *task,
 		SweepSteps:  *sweepSteps,
 		SlotLen:     *slotLen,
+	}
+	var pool *tasks.Pool
+	if *inference {
+		pool = tasks.InferencePool()
+		cfg.Pool = pool
+	}
+	if m == loadgen.ModeScenario {
+		cfg.Scenario = &loadgen.ScenarioSpec{
+			DiurnalPeriod: *diurnalPeriod,
+			Crowds:        crowds,
+			SessionGap:    *sessionGap,
+			TaskMix:       taskMix,
+			BlockSize:     *blockSize,
+		}
+	} else if crowds != nil || taskMix != nil || *sessionGap != 0 || *diurnalPeriod != 0 || *blockSize != 0 {
+		return fmt.Errorf("-crowd/-task-mix/-session-gap/-diurnal-period/-block require -mode scenario")
 	}
 	if *sloP99 > 0 || *sloTput > 0 {
 		cfg.SLO = &loadgen.SLO{P99Ms: *sloP99, MinThroughputRps: *sloTput, MaxErrorRate: *maxErrorRate}
@@ -203,6 +324,7 @@ func run(args []string, out io.Writer) error {
 				Groups:             *selfGroups,
 				SurrogatesPerGroup: *selfBackends,
 				Policy:             *selfPolicy,
+				Pool:               pool,
 			})
 			if err != nil {
 				return err

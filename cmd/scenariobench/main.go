@@ -1,0 +1,101 @@
+// Command scenariobench measures the population-scale scenario engine
+// and emits the BENCH_scenario.json artifact cmd/benchdiff gates: a
+// million-user streaming generation pass (throughput, peak heap, exact
+// stream digest), a parallel shard scan, shard-count invariance of the
+// schedule digest, and a scaled-down flash-crowd replay against a
+// hermetic cluster.
+//
+// Usage:
+//
+//	scenariobench -out BENCH_scenario.json
+//	scenariobench -users 100000 -virtual 10s -cpuprofile cpu.out
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"runtime"
+	"runtime/pprof"
+	"syscall"
+	"time"
+
+	"accelcloud/internal/scenariobench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "scenariobench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("scenariobench", flag.ContinueOnError)
+	fs.SetOutput(out)
+	seed := fs.Int64("seed", 1, "root seed; same seed = same schedule digest")
+	users := fs.Int("users", 0, "generated population (0 = 1,000,000)")
+	virtual := fs.Duration("virtual", 0, "virtual schedule length (0 = 30s)")
+	rate := fs.Float64("rate", 0, "per-user base arrival rate in Hz (0 = 0.08)")
+	invarianceUsers := fs.Int("invariance-users", 0, "population of the shard-invariance sweep (0 = 50,000)")
+	replayUsers := fs.Int("replay-users", 0, "population of the hermetic crowd replay (0 = 240)")
+	outPath := fs.String("out", "", "write the JSON report to this path")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this path")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this path on exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = f.Close() }()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(out, "scenariobench: memprofile:", err)
+				return
+			}
+			defer func() { _ = f.Close() }()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(out, "scenariobench: memprofile:", err)
+			}
+		}()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	start := time.Now()
+	rep, err := scenariobench.Run(ctx, scenariobench.Config{
+		Seed:            *seed,
+		Users:           *users,
+		Duration:        *virtual,
+		BaseRateHz:      *rate,
+		InvarianceUsers: *invarianceUsers,
+		ReplayUsers:     *replayUsers,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, rep.Summary())
+	fmt.Fprintf(out, "scenariobench: done in %.1fs\n", time.Since(start).Seconds())
+	if *outPath != "" {
+		if err := rep.WriteFile(*outPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "scenariobench: wrote %s\n", *outPath)
+	}
+	return nil
+}

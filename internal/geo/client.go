@@ -174,6 +174,19 @@ func (c *Client) UpdatePaths(paths map[string]netsim.Path) error {
 	return nil
 }
 
+// Paths snapshots the current device→region paths — the base a
+// mobility schedule rewrites access legs onto while keeping each
+// region's propagation distance.
+func (c *Client) Paths() map[string]netsim.Path {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]netsim.Path, len(c.paths))
+	for name, p := range c.paths {
+		out[name] = p
+	}
+	return out
+}
+
 // Order snapshots the current preference order, nearest first.
 func (c *Client) Order() []string {
 	o := *c.order.Load()

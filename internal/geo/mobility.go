@@ -1,0 +1,125 @@
+package geo
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"accelcloud/internal/netsim"
+)
+
+// MobilityEvent is one scheduled access-model switch: at offset At from
+// the start of the run, the device roams onto Operator's Tech network
+// (an LTE→3G drop, an operator handover, or both at once). The switch
+// replaces the access leg of every region's path; each region keeps its
+// propagation distance — roaming moves the device, not the datacenters.
+type MobilityEvent struct {
+	At       time.Duration
+	Operator string
+	Tech     netsim.Tech
+}
+
+// Mobility replays a schedule of access-model switches against a geo
+// client. Every event is resolved to concrete per-region paths at
+// construction, so an invalid schedule (unknown operator, missing
+// technology model) fails before the run starts, and Run itself cannot
+// fail mid-flight. Events apply through Client.UpdatePaths, which
+// re-ranks the region preference order atomically — in-flight calls
+// finish under the old order, the next call sees the new one.
+type Mobility struct {
+	client  *Client
+	events  []MobilityEvent
+	paths   []map[string]netsim.Path
+	applied atomic.Int64
+}
+
+// NewMobility resolves the schedule against the client's current
+// regions. Events are applied in At order (stable for ties).
+func NewMobility(c *Client, ops []netsim.Operator, events []MobilityEvent) (*Mobility, error) {
+	if c == nil {
+		return nil, fmt.Errorf("geo: nil client")
+	}
+	if len(events) == 0 {
+		return nil, fmt.Errorf("geo: empty mobility schedule")
+	}
+	sorted := make([]MobilityEvent, len(events))
+	copy(sorted, events)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+	base := c.Paths()
+	m := &Mobility{client: c, events: sorted, paths: make([]map[string]netsim.Path, len(sorted))}
+	for i, ev := range sorted {
+		if ev.At < 0 {
+			return nil, fmt.Errorf("geo: mobility event %d at negative offset %v", i, ev.At)
+		}
+		op, err := netsim.OperatorByName(ops, ev.Operator)
+		if err != nil {
+			return nil, fmt.Errorf("geo: mobility event %d: %w", i, err)
+		}
+		next := make(map[string]netsim.Path, len(base))
+		for name, p := range base {
+			np, err := netsim.PathTo(op, ev.Tech, p.PropagationMs)
+			if err != nil {
+				return nil, fmt.Errorf("geo: mobility event %d, region %q: %w", i, name, err)
+			}
+			next[name] = np
+		}
+		m.paths[i] = next
+	}
+	return m, nil
+}
+
+// Events returns the resolved schedule in application order.
+func (m *Mobility) Events() []MobilityEvent {
+	out := make([]MobilityEvent, len(m.events))
+	copy(out, m.events)
+	return out
+}
+
+// Applied counts the events applied so far.
+func (m *Mobility) Applied() int { return int(m.applied.Load()) }
+
+// Apply applies event i immediately, regardless of its offset — the
+// deterministic entry point simulations and tests drive directly.
+func (m *Mobility) Apply(i int) error {
+	if i < 0 || i >= len(m.events) {
+		return fmt.Errorf("geo: mobility event %d out of range [0,%d)", i, len(m.events))
+	}
+	if err := m.client.UpdatePaths(m.paths[i]); err != nil {
+		return err
+	}
+	m.applied.Add(1)
+	return nil
+}
+
+// Run replays the schedule on the wall clock: each event is applied at
+// its offset from the moment Run is called. It returns after the last
+// event, or early with ctx.Err() on cancellation. Paths were validated
+// at construction, and UpdatePaths only rejects invalid input, so a run
+// that is not cancelled always applies the whole schedule.
+func (m *Mobility) Run(ctx context.Context) error {
+	start := time.Now()
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	for i, ev := range m.events {
+		if wait := ev.At - time.Since(start); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-ctx.Done():
+				if !timer.Stop() {
+					<-timer.C
+				}
+				return ctx.Err()
+			case <-timer.C:
+			}
+		}
+		if err := m.Apply(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}

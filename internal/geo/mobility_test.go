@@ -1,0 +1,167 @@
+package geo
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"accelcloud/internal/netsim"
+)
+
+// mobilityClient builds a client over three regions under alpha/LTE.
+func mobilityClient(t *testing.T, ops []netsim.Operator) *Client {
+	t.Helper()
+	op, err := netsim.OperatorByName(ops, "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(name string, prop float64) Region {
+		path, err := netsim.PathTo(op, netsim.TechLTE, prop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Region{Name: name, URL: "http://" + name + ".invalid", Path: path}
+	}
+	c, err := New([]Region{mk("eu-north", 0), mk("us-east", 90), mk("ap-south", 180)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestMobilityApply(t *testing.T) {
+	ops, err := netsim.DefaultOperators()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := mobilityClient(t, ops)
+	before := c.Paths()
+
+	m, err := NewMobility(c, ops, []MobilityEvent{
+		{At: 20 * time.Millisecond, Operator: "beta", Tech: netsim.Tech3G},
+		{At: 10 * time.Millisecond, Operator: "gamma", Tech: netsim.TechLTE},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Events sort by offset: gamma/LTE first.
+	evs := m.Events()
+	if evs[0].Operator != "gamma" || evs[1].Operator != "beta" {
+		t.Fatalf("events = %+v", evs)
+	}
+	if m.Applied() != 0 {
+		t.Fatalf("applied = %d before any Apply", m.Applied())
+	}
+
+	if err := m.Apply(1); err != nil { // beta/3G
+		t.Fatal(err)
+	}
+	after := c.Paths()
+	beta, err := netsim.OperatorByName(ops, "beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, p := range after {
+		// The access leg switched to beta's 3G model...
+		if p.Model.MeanMs() != beta.RTT[netsim.Tech3G].MeanMs() {
+			t.Fatalf("region %s access mean %.1f, want beta/3G %.1f",
+				name, p.Model.MeanMs(), beta.RTT[netsim.Tech3G].MeanMs())
+		}
+		// ...while each region kept its propagation distance.
+		if p.PropagationMs != before[name].PropagationMs {
+			t.Fatalf("region %s propagation changed %.1f -> %.1f",
+				name, before[name].PropagationMs, p.PropagationMs)
+		}
+	}
+	// Propagation still dominates region spacing: order is unchanged.
+	if home := c.Home(); home != "eu-north" {
+		t.Fatalf("home = %s after switch", home)
+	}
+	if m.Applied() != 1 {
+		t.Fatalf("applied = %d", m.Applied())
+	}
+	if err := m.Apply(5); err == nil {
+		t.Fatal("out-of-range Apply should fail")
+	}
+}
+
+func TestMobilityRun(t *testing.T) {
+	ops, err := netsim.DefaultOperators()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := mobilityClient(t, ops)
+	m, err := NewMobility(c, ops, []MobilityEvent{
+		{At: time.Millisecond, Operator: "beta", Tech: netsim.TechLTE},
+		{At: 2 * time.Millisecond, Operator: "beta", Tech: netsim.Tech3G},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if m.Applied() != 2 {
+		t.Fatalf("applied = %d, want 2", m.Applied())
+	}
+
+	// A cancelled run stops before applying pending events.
+	c2 := mobilityClient(t, ops)
+	m2, err := NewMobility(c2, ops, []MobilityEvent{
+		{At: time.Hour, Operator: "beta", Tech: netsim.Tech3G},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := m2.Run(ctx); err == nil {
+		t.Fatal("cancelled run should return the context error")
+	}
+	if m2.Applied() != 0 {
+		t.Fatalf("applied = %d after cancellation", m2.Applied())
+	}
+}
+
+func TestMobilityValidation(t *testing.T) {
+	ops, err := netsim.DefaultOperators()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := mobilityClient(t, ops)
+	cases := []struct {
+		name   string
+		events []MobilityEvent
+	}{
+		{"empty schedule", nil},
+		{"unknown operator", []MobilityEvent{{Operator: "nokia", Tech: netsim.TechLTE}}},
+		{"unknown tech", []MobilityEvent{{Operator: "alpha", Tech: netsim.Tech(99)}}},
+		{"negative offset", []MobilityEvent{{At: -time.Second, Operator: "alpha", Tech: netsim.TechLTE}}},
+	}
+	for _, tc := range cases {
+		if _, err := NewMobility(c, ops, tc.events); err == nil {
+			t.Fatalf("%s should fail", tc.name)
+		}
+	}
+	if _, err := NewMobility(nil, ops, []MobilityEvent{{Operator: "alpha", Tech: netsim.TechLTE}}); err == nil {
+		t.Fatal("nil client should fail")
+	}
+}
+
+func TestParseTech(t *testing.T) {
+	good := map[string]netsim.Tech{
+		"3g": netsim.Tech3G, "3G": netsim.Tech3G, " lte ": netsim.TechLTE,
+		"LTE": netsim.TechLTE, "4g": netsim.TechLTE,
+	}
+	for in, want := range good {
+		got, err := netsim.ParseTech(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseTech(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"", "5g", "wifi"} {
+		if _, err := netsim.ParseTech(in); err == nil {
+			t.Fatalf("ParseTech(%q) should fail", in)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package loadgen
+
+import (
+	"time"
+
+	"accelcloud/internal/stats"
+)
+
+// accumulator folds request outcomes into mergeable aggregates as they
+// complete. Replay used to buffer one record per request and aggregate
+// at the end, which put an O(requests) slice between a run and its
+// report; accumulators make aggregation O(1) per request and O(workers)
+// resident — each replay worker owns one, and the report is built from
+// their merge. That is what lets the scenario mode replay schedules
+// that are never materialized.
+type accumulator struct {
+	n       int
+	errs    int
+	session int
+	overall *stats.LogHist
+	groups  map[int]*histCell
+	// slots buckets by planned arrival offset when SlotLen > 0.
+	slots   map[int]*histCell
+	maxSlot int
+	// versions and regions hold success-only latency slices, keyed by
+	// resolved version label / serving region.
+	versions map[string]*histCell
+	regions  map[string]*histCell
+
+	slotLen    time.Duration
+	labelOf    map[string]string // server → version label; nil disables
+	trackSlots bool
+}
+
+// histCell is one breakdown bucket: request/error counts plus the
+// latency histogram of its issued requests.
+type histCell struct {
+	requests int
+	errors   int
+	hist     *stats.LogHist
+}
+
+func newCell() *histCell {
+	return &histCell{hist: stats.NewLatencyHist()}
+}
+
+func newAccumulator(cfg Config) *accumulator {
+	a := &accumulator{
+		overall: stats.NewLatencyHist(),
+		groups:  map[int]*histCell{},
+		maxSlot: -1,
+		slotLen: cfg.SlotLen,
+		labelOf: cfg.Versions,
+	}
+	a.trackSlots = cfg.SlotLen > 0 && cfg.Mode != ModeConcurrent
+	if a.trackSlots {
+		a.slots = map[int]*histCell{}
+	}
+	if cfg.Versions != nil {
+		a.versions = map[string]*histCell{}
+	}
+	a.regions = map[string]*histCell{}
+	return a
+}
+
+func (a *accumulator) cell(m map[int]*histCell, k int) *histCell {
+	c := m[k]
+	if c == nil {
+		c = newCell()
+		m[k] = c
+	}
+	return c
+}
+
+func (a *accumulator) slotCell(offset time.Duration) *histCell {
+	idx := int(offset / a.slotLen)
+	if idx > a.maxSlot {
+		a.maxSlot = idx
+	}
+	return a.cell(a.slots, idx)
+}
+
+// addRecord folds one issued request. Errors still contribute latency
+// to the overall/group/slot histograms (a timed-out request was a slow
+// request); version and region slices count successes only.
+func (a *accumulator) addRecord(rec record) {
+	a.n++
+	if rec.session {
+		a.session++
+	}
+	g := a.cell(a.groups, rec.group)
+	g.requests++
+	if rec.err != nil {
+		a.errs++
+		g.errors++
+	}
+	var slot *histCell
+	if a.trackSlots {
+		slot = a.slotCell(rec.offset)
+		slot.requests++
+		if rec.err != nil {
+			slot.errors++
+		}
+	}
+	a.overall.Add(rec.latencyMs)
+	g.hist.Add(rec.latencyMs)
+	if slot != nil {
+		slot.hist.Add(rec.latencyMs)
+	}
+	if rec.err == nil {
+		if a.versions != nil && rec.server != "" {
+			label := a.labelOf[rec.server]
+			if label == "" {
+				label = "stable"
+			}
+			c := a.versions[label]
+			if c == nil {
+				c = newCell()
+				a.versions[label] = c
+			}
+			c.requests++
+			c.hist.Add(rec.latencyMs)
+		}
+		if rec.region != "" {
+			c := a.regions[rec.region]
+			if c == nil {
+				c = newCell()
+				a.regions[rec.region] = c
+			}
+			c.requests++
+			c.hist.Add(rec.latencyMs)
+		}
+	}
+}
+
+// addSkipped folds one request the run never issued (cancellation):
+// it counts toward totals and error counts but has no latency.
+func (a *accumulator) addSkipped(pr planned) {
+	a.n++
+	a.errs++
+	g := a.cell(a.groups, pr.Group)
+	g.requests++
+	g.errors++
+	if a.trackSlots {
+		slot := a.slotCell(pr.Offset)
+		slot.requests++
+		slot.errors++
+	}
+}
+
+// merge folds another accumulator into this one. The other accumulator
+// must have been built from the same config (same slot length and
+// version map).
+func (a *accumulator) merge(b *accumulator) {
+	a.n += b.n
+	a.errs += b.errs
+	a.session += b.session
+	_ = a.overall.Merge(b.overall)
+	mergeCells := func(dst, src map[int]*histCell) {
+		for k, c := range src {
+			d := dst[k]
+			if d == nil {
+				dst[k] = c
+				continue
+			}
+			d.requests += c.requests
+			d.errors += c.errors
+			_ = d.hist.Merge(c.hist)
+		}
+	}
+	mergeCells(a.groups, b.groups)
+	if a.trackSlots {
+		mergeCells(a.slots, b.slots)
+		if b.maxSlot > a.maxSlot {
+			a.maxSlot = b.maxSlot
+		}
+	}
+	mergeLabeled := func(dst, src map[string]*histCell) {
+		for k, c := range src {
+			d := dst[k]
+			if d == nil {
+				dst[k] = c
+				continue
+			}
+			d.requests += c.requests
+			d.errors += c.errors
+			_ = d.hist.Merge(c.hist)
+		}
+	}
+	if a.versions != nil && b.versions != nil {
+		mergeLabeled(a.versions, b.versions)
+	}
+	mergeLabeled(a.regions, b.regions)
+}

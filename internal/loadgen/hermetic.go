@@ -95,6 +95,10 @@ type ClusterConfig struct {
 	// hermetic multi-region deployment (internal/geo) counts spillover
 	// like a real one. Empty leaves the front-end unregioned.
 	Region string
+	// Pool is the task pool every surrogate serves; nil selects
+	// tasks.DefaultPool(). Scenario runs that mix in the inference
+	// family pass tasks.InferencePool() here.
+	Pool *tasks.Pool
 }
 
 // StartCluster boots the stack. Callers must Close it.
@@ -142,6 +146,10 @@ func StartClusterContext(ctx context.Context, cfg ClusterConfig) (*Cluster, erro
 	if err != nil {
 		return nil, err
 	}
+	pool := cfg.Pool
+	if pool == nil {
+		pool = tasks.DefaultPool()
+	}
 	c := &Cluster{frontEnd: fe, log: log, versions: map[string]string{}}
 	for g := 1; g <= cfg.Groups; g++ {
 		for i := 0; i < cfg.SurrogatesPerGroup; i++ {
@@ -155,7 +163,7 @@ func StartClusterContext(ctx context.Context, cfg ClusterConfig) (*Cluster, erro
 				c.Close()
 				return nil, err
 			}
-			if err := sur.PushPool(tasks.DefaultPool()); err != nil {
+			if err := sur.PushPool(pool); err != nil {
 				c.Close()
 				return nil, err
 			}

@@ -43,15 +43,20 @@ const (
 	// ModeSweep is the open-loop doubling-rate stress sweep of Fig 8:
 	// the arrival rate doubles every step until the back-end saturates.
 	ModeSweep Mode = "sweep"
+	// ModeScenario is the population-scale open loop: the schedule is a
+	// sharded stream (diurnal curves, flash crowds, sessions) replayed
+	// without ever being materialized — O(blocks) resident memory at
+	// any population size. Tuned by Config.Scenario.
+	ModeScenario Mode = "scenario"
 )
 
 // ParseMode validates a mode string.
 func ParseMode(s string) (Mode, error) {
 	switch Mode(s) {
-	case ModeConcurrent, ModeInterArrival, ModeSweep:
+	case ModeConcurrent, ModeInterArrival, ModeSweep, ModeScenario:
 		return Mode(s), nil
 	}
-	return "", fmt.Errorf("loadgen: unknown mode %q (want concurrent|interarrival|sweep)", s)
+	return "", fmt.Errorf("loadgen: unknown mode %q (want concurrent|interarrival|sweep|scenario)", s)
 }
 
 // Config parameterizes one load-generation run.
@@ -98,6 +103,55 @@ type Config struct {
 	// latency slices (Report.Versions) — the observability half of a
 	// canary rollout. Servers missing from the map count as stable.
 	Versions map[string]string
+	// Scenario tunes ModeScenario (nil = defaults: the DefaultDiurnal
+	// curve over a 24h day, no crowds, 30s sessions, 4096-user
+	// blocks). Ignored by other modes.
+	Scenario *ScenarioSpec
+}
+
+// ScenarioSpec is the scenario-mode half of a Config: everything the
+// population-scale generator needs beyond the shared Users / Duration /
+// RateHz / Pool / Sizer fields. Field semantics match
+// workload.ScenarioConfig.
+type ScenarioSpec struct {
+	// Diurnal is the 24-entry day curve (nil = workload.DefaultDiurnal).
+	Diurnal []float64
+	// DiurnalPeriod compresses the virtual day (0 = 24h).
+	DiurnalPeriod time.Duration
+	// Crowds are flash-crowd events.
+	Crowds []workload.FlashCrowd
+	// SessionGap is the idle gap starting a new session (0 = 30s).
+	SessionGap time.Duration
+	// TaskMix weights task draws by name (nil = uniform pool draw).
+	TaskMix map[string]float64
+	// BlockSize is the users-per-block generation unit (0 = 4096).
+	BlockSize int
+}
+
+// workloadConfig assembles the workload-level scenario config from the
+// shared Config fields and the spec.
+func (c Config) workloadConfig() workload.ScenarioConfig {
+	spec := c.Scenario
+	if spec == nil {
+		spec = &ScenarioSpec{}
+	}
+	diurnal := spec.Diurnal
+	if diurnal == nil {
+		diurnal = workload.DefaultDiurnal()
+	}
+	return workload.ScenarioConfig{
+		Users:         c.Users,
+		Duration:      c.Duration,
+		BaseRateHz:    c.RateHz,
+		Diurnal:       diurnal,
+		DiurnalPeriod: spec.DiurnalPeriod,
+		Crowds:        spec.Crowds,
+		SessionGap:    spec.SessionGap,
+		Pool:          c.Pool,
+		Sizer:         c.Sizer,
+		TaskMix:       spec.TaskMix,
+		BlockSize:     spec.BlockSize,
+	}
 }
 
 // normalized returns a copy with defaults applied, or an error for
@@ -182,6 +236,8 @@ type planned struct {
 	// TaskName and Size identify the drawn work.
 	TaskName string
 	Size     int
+	// Session marks a session-start request (scenario mode only).
+	Session bool
 	// State is the serialized application state.
 	State tasks.State
 }
@@ -305,7 +361,10 @@ func BuildPlan(cfg Config) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	root := sim.NewRNG(cfg.Seed).Sub("loadgen")
+	if cfg.Mode == ModeScenario {
+		return nil, errors.New("loadgen: scenario schedules stream and are never materialized into a Plan; use Run/RunWith (or workload.NewScenarioStream directly)")
+	}
+	root := newRootRNG(cfg.Seed)
 	plan := &Plan{Mode: cfg.Mode, Seed: cfg.Seed}
 	switch cfg.Mode {
 	case ModeConcurrent:

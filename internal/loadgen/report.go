@@ -116,10 +116,13 @@ type Report struct {
 	// through a RegionOffloader (the geo client) — the per-region view
 	// of a multi-region sweep. Like version slices, error records carry
 	// no region, so region slices count successes only.
-	Regions        map[string]GroupReport `json:"regions,omitempty"`
-	Slots          []SlotSection          `json:"slots,omitempty"`
-	ScheduleDigest string                 `json:"scheduleDigest"`
-	SLO            *SLOResult             `json:"slo,omitempty"`
+	Regions map[string]GroupReport `json:"regions,omitempty"`
+	Slots   []SlotSection          `json:"slots,omitempty"`
+	// Sessions counts session-start requests (scenario mode; 0
+	// elsewhere — other modes have no session notion).
+	Sessions       int        `json:"sessions,omitempty"`
+	ScheduleDigest string     `json:"scheduleDigest"`
+	SLO            *SLOResult `json:"slo,omitempty"`
 }
 
 // Summarize folds a latency histogram into the percentile digest (the
@@ -145,33 +148,9 @@ func Summarize(h *stats.LogHist) LatencySummary {
 	}
 }
 
-// buildReport aggregates records into the report.
-func buildReport(cfg Config, plan *Plan, recs []record, wall time.Duration) *Report {
-	overall := stats.NewLatencyHist()
-	perGroup := map[int]*stats.LogHist{}
-	groupReqs := map[int]int{}
-	groupErrs := map[int]int{}
-	errs := 0
-	for _, r := range recs {
-		groupReqs[r.group]++
-		if r.err != nil {
-			errs++
-			groupErrs[r.group]++
-		}
-		if r.err == errSkipped {
-			// Never-issued requests have no latency to record.
-			continue
-		}
-		overall.Add(r.latencyMs)
-		gh := perGroup[r.group]
-		if gh == nil {
-			gh = stats.NewLatencyHist()
-			perGroup[r.group] = gh
-		}
-		gh.Add(r.latencyMs)
-	}
-	slots := buildSlotSections(cfg, recs)
-	completed := len(recs) - errs
+// buildReport renders the merged accumulator of a finished run.
+func buildReport(cfg Config, digest string, acc *accumulator, wall time.Duration) *Report {
+	completed := acc.n - acc.errs
 	rep := &Report{
 		Schema:         Schema,
 		Mode:           string(cfg.Mode),
@@ -180,141 +159,73 @@ func buildReport(cfg Config, plan *Plan, recs []record, wall time.Duration) *Rep
 		RateHz:         cfg.RateHz,
 		DurationMs:     float64(cfg.Duration) / float64(time.Millisecond),
 		WallClockMs:    float64(wall) / float64(time.Millisecond),
-		Requests:       len(recs),
+		Requests:       acc.n,
 		Completed:      completed,
-		Errors:         errs,
-		Latency:        Summarize(overall),
+		Errors:         acc.errs,
+		Latency:        Summarize(acc.overall),
 		Groups:         map[string]GroupReport{},
-		Slots:          slots,
-		ScheduleDigest: plan.Digest(),
+		Sessions:       acc.session,
+		ScheduleDigest: digest,
 	}
-	if len(recs) > 0 {
-		rep.ErrorRate = float64(errs) / float64(len(recs))
+	if acc.n > 0 {
+		rep.ErrorRate = float64(acc.errs) / float64(acc.n)
 	}
 	if wall > 0 {
 		rep.ThroughputRps = float64(completed) / wall.Seconds()
 	}
-	groups := make([]int, 0, len(groupReqs))
-	for g := range groupReqs {
+	groups := make([]int, 0, len(acc.groups))
+	for g := range acc.groups {
 		groups = append(groups, g)
 	}
 	sort.Ints(groups)
 	for _, g := range groups {
-		gr := GroupReport{Requests: groupReqs[g], Errors: groupErrs[g]}
-		if h := perGroup[g]; h != nil {
-			gr.Latency = Summarize(h)
+		c := acc.groups[g]
+		rep.Groups[strconv.Itoa(g)] = GroupReport{
+			Requests: c.requests,
+			Errors:   c.errors,
+			Latency:  Summarize(c.hist),
 		}
-		rep.Groups[strconv.Itoa(g)] = gr
+	}
+	if acc.trackSlots {
+		rep.Slots = buildSlotSections(cfg, acc)
 	}
 	if cfg.SLO != nil {
 		rep.SLO = cfg.SLO.Check(rep.Latency, rep.ErrorRate, rep.ThroughputRps)
 	}
-	if cfg.Versions != nil {
-		rep.Versions = buildVersionSlices(cfg.Versions, recs)
+	if acc.versions != nil && len(acc.versions) > 0 {
+		rep.Versions = cellsToGroups(acc.versions)
 	}
-	if regions := buildRegionSlices(recs); len(regions) > 0 {
-		rep.Regions = regions
+	if len(acc.regions) > 0 {
+		rep.Regions = cellsToGroups(acc.regions)
 	}
 	return rep
 }
 
-// buildRegionSlices aggregates successful records per serving region.
-// Single-region runs tag no records, yielding no slices.
-func buildRegionSlices(recs []record) map[string]GroupReport {
-	counts := map[string]int{}
-	hists := map[string]*stats.LogHist{}
-	for _, r := range recs {
-		if r.err != nil || r.region == "" {
-			continue
-		}
-		counts[r.region]++
-		h := hists[r.region]
-		if h == nil {
-			h = stats.NewLatencyHist()
-			hists[r.region] = h
-		}
-		h.Add(r.latencyMs)
-	}
-	out := make(map[string]GroupReport, len(counts))
-	for region, n := range counts {
-		out[region] = GroupReport{Requests: n, Latency: Summarize(hists[region])}
+// cellsToGroups renders labeled accumulator cells (version or region
+// slices) into report sections.
+func cellsToGroups(cells map[string]*histCell) map[string]GroupReport {
+	out := make(map[string]GroupReport, len(cells))
+	for label, c := range cells {
+		out[label] = GroupReport{Requests: c.requests, Latency: Summarize(c.hist)}
 	}
 	return out
 }
 
-// buildVersionSlices aggregates successful records per backend version
-// label. Unlabeled (and unmapped) servers report as "stable".
-func buildVersionSlices(versions map[string]string, recs []record) map[string]GroupReport {
-	counts := map[string]int{}
-	hists := map[string]*stats.LogHist{}
-	for _, r := range recs {
-		if r.err != nil || r.server == "" {
-			continue
+// buildSlotSections renders the accumulator's slot cells, filling idle
+// slots with empty sections so gaps stay visible.
+func buildSlotSections(cfg Config, acc *accumulator) []SlotSection {
+	out := make([]SlotSection, 0, acc.maxSlot+1)
+	for idx := 0; idx <= acc.maxSlot; idx++ {
+		sec := SlotSection{
+			Slot:    idx,
+			StartMs: float64(time.Duration(idx)*cfg.SlotLen) / float64(time.Millisecond),
 		}
-		label := versions[r.server]
-		if label == "" {
-			label = "stable"
+		if c := acc.slots[idx]; c != nil {
+			sec.Requests = c.requests
+			sec.Errors = c.errors
+			sec.Latency = Summarize(c.hist)
 		}
-		counts[label]++
-		h := hists[label]
-		if h == nil {
-			h = stats.NewLatencyHist()
-			hists[label] = h
-		}
-		h.Add(r.latencyMs)
-	}
-	out := make(map[string]GroupReport, len(counts))
-	for label, n := range counts {
-		out[label] = GroupReport{Requests: n, Latency: Summarize(hists[label])}
-	}
-	return out
-}
-
-// buildSlotSections buckets open-loop records into SlotLen-sized slots
-// by planned arrival offset. Closed-loop runs have no meaningful
-// offsets, so slot sections apply to timeline modes only.
-func buildSlotSections(cfg Config, recs []record) []SlotSection {
-	if cfg.SlotLen <= 0 || cfg.Mode == ModeConcurrent {
-		return nil
-	}
-	perSlot := map[int]*SlotSection{}
-	hists := map[int]*stats.LogHist{}
-	maxSlot := -1
-	for _, r := range recs {
-		idx := int(r.offset / cfg.SlotLen)
-		sec := perSlot[idx]
-		if sec == nil {
-			sec = &SlotSection{
-				Slot:    idx,
-				StartMs: float64(time.Duration(idx)*cfg.SlotLen) / float64(time.Millisecond),
-			}
-			perSlot[idx] = sec
-			hists[idx] = stats.NewLatencyHist()
-		}
-		sec.Requests++
-		if r.err != nil {
-			sec.Errors++
-		}
-		if r.err != errSkipped {
-			hists[idx].Add(r.latencyMs)
-		}
-		if idx > maxSlot {
-			maxSlot = idx
-		}
-	}
-	out := make([]SlotSection, 0, len(perSlot))
-	for idx := 0; idx <= maxSlot; idx++ {
-		sec := perSlot[idx]
-		if sec == nil {
-			// Idle slot: report it empty so gaps stay visible.
-			sec = &SlotSection{
-				Slot:    idx,
-				StartMs: float64(time.Duration(idx)*cfg.SlotLen) / float64(time.Millisecond),
-			}
-		} else {
-			sec.Latency = Summarize(hists[idx])
-		}
-		out = append(out, *sec)
+		out = append(out, sec)
 	}
 	return out
 }

@@ -2,7 +2,6 @@ package loadgen
 
 import (
 	"context"
-	"errors"
 	"sync"
 	"time"
 
@@ -25,8 +24,8 @@ type RegionOffloader interface {
 	OffloadRegion(ctx context.Context, req rpc.OffloadRequest) (rpc.OffloadResponse, string, error)
 }
 
-// record is one executed request's outcome. Records live in
-// per-request slots so the replay goroutines never share state.
+// record is one executed request's outcome, folded into a worker's
+// accumulator the moment it completes — records are never buffered.
 type record struct {
 	group int
 	// offset is the planned arrival offset (open loop), used to bucket
@@ -39,7 +38,9 @@ type record struct {
 	// region is the region that served (empty for single-region runs) —
 	// the key of the per-region report slices.
 	region string
-	err    error
+	// session marks a session-start request (scenario mode).
+	session bool
+	err     error
 }
 
 // doOne issues one planned request and measures the client-perceived
@@ -71,6 +72,7 @@ func doOne(ctx context.Context, client Offloader, pr planned, timeout time.Durat
 		latencyMs: float64(time.Since(start)) / float64(time.Millisecond),
 		server:    resp.Server,
 		region:    region,
+		session:   pr.Session,
 		err:       err,
 	}
 }
@@ -92,6 +94,11 @@ func RunWith(ctx context.Context, client Offloader, cfg Config) (*Report, error)
 	if err != nil {
 		return nil, err
 	}
+	if ncfg.Mode == ModeScenario {
+		// Scenario schedules stream — they are never materialized into
+		// a Plan (see scenario.go).
+		return runScenario(ctx, client, ncfg)
+	}
 	// Build from the normalized copy so the plan and the replay share one
 	// set of effective defaults.
 	plan, err := BuildPlan(ncfg)
@@ -99,84 +106,126 @@ func RunWith(ctx context.Context, client Offloader, cfg Config) (*Report, error)
 		return nil, err
 	}
 	start := time.Now()
-	var recs []record
+	var acc *accumulator
 	switch ncfg.Mode {
 	case ModeConcurrent:
-		recs = runClosedLoop(ctx, client, plan, ncfg)
+		acc = runClosedLoop(ctx, client, plan, ncfg)
 	default:
-		recs = runOpenLoop(ctx, client, plan, ncfg)
+		acc = runOpenLoop(ctx, client, &sliceSource{items: plan.Timeline}, ncfg)
 	}
 	wall := time.Since(start)
-	report := buildReport(ncfg, plan, recs, wall)
-	return report, nil
+	return buildReport(ncfg, plan.Digest(), acc, wall), nil
 }
-
-// errSkipped marks requests the run never issued (cancellation).
-var errSkipped = errors.New("loadgen: request skipped (run cancelled)")
 
 // runClosedLoop replays each user's sequence serially, all users
 // concurrent up to MaxInFlight, via the shared FanOut pool. Each user
-// writes only its own record slots, so the replay is race-free by
+// folds into its own accumulator, so the replay is race-free by
 // construction.
-func runClosedLoop(ctx context.Context, client Offloader, plan *Plan, cfg Config) []record {
-	perUser := make([][]record, len(plan.PerUser))
+func runClosedLoop(ctx context.Context, client Offloader, plan *Plan, cfg Config) *accumulator {
+	perUser := make([]*accumulator, len(plan.PerUser))
 	sim.FanOut(len(plan.PerUser), cfg.MaxInFlight, func(u int) {
-		seq := plan.PerUser[u]
-		out := make([]record, len(seq))
-		for j, pr := range seq {
+		acc := newAccumulator(cfg)
+		for _, pr := range plan.PerUser[u] {
 			if ctx.Err() != nil {
-				out[j] = record{group: pr.Group, err: errSkipped}
+				acc.addSkipped(pr)
 				continue
 			}
-			out[j] = doOne(ctx, client, pr, cfg.Timeout)
+			acc.addRecord(doOne(ctx, client, pr, cfg.Timeout))
 		}
-		perUser[u] = out
+		perUser[u] = acc
 	})
-	var recs []record
-	for _, rs := range perUser {
-		recs = append(recs, rs...)
+	merged := newAccumulator(cfg)
+	for _, acc := range perUser {
+		merged.merge(acc)
 	}
-	return recs
+	return merged
 }
 
-// runOpenLoop fires timeline requests at their planned offsets,
-// regardless of completions, bounded by a MaxInFlight semaphore so a
-// saturated back-end degrades into queueing instead of unbounded
-// goroutine growth.
-func runOpenLoop(ctx context.Context, client Offloader, plan *Plan, cfg Config) []record {
-	recs := make([]record, len(plan.Timeline))
-	sem := make(chan struct{}, cfg.MaxInFlight)
+// planSource feeds the open-loop dispatcher one planned request at a
+// time in arrival order. Materialized plans use sliceSource; scenario
+// mode plugs in its lazy generator so the schedule never exists as a
+// slice.
+type planSource interface {
+	next(pr *planned) bool
+}
+
+// sliceSource replays a materialized timeline.
+type sliceSource struct {
+	items []planned
+	i     int
+}
+
+func (s *sliceSource) next(pr *planned) bool {
+	if s.i >= len(s.items) {
+		return false
+	}
+	*pr = s.items[s.i]
+	s.i++
+	return true
+}
+
+// runOpenLoop fires requests at their planned offsets, regardless of
+// completions, through a pool of MaxInFlight workers — a saturated
+// back-end degrades into queueing (the dispatcher blocks handing off)
+// instead of unbounded goroutine growth. Pacing reuses one timer for
+// the whole run, and each worker folds outcomes into its own
+// accumulator, so steady-state dispatch allocates nothing per request.
+func runOpenLoop(ctx context.Context, client Offloader, src planSource, cfg Config) *accumulator {
+	work := make(chan planned)
+	accs := make([]*accumulator, cfg.MaxInFlight)
 	var wg sync.WaitGroup
+	for w := 0; w < cfg.MaxInFlight; w++ {
+		acc := newAccumulator(cfg)
+		accs[w] = acc
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pr := range work {
+				acc.addRecord(doOne(ctx, client, pr, cfg.Timeout))
+			}
+		}()
+	}
+
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+
+	dispatched := newAccumulator(cfg) // holds only skipped requests
 	start := time.Now()
-loop:
-	for i, pr := range plan.Timeline {
+	var pr planned
+	for src.next(&pr) {
 		if wait := pr.Offset - time.Since(start); wait > 0 {
+			timer.Reset(wait)
 			select {
 			case <-ctx.Done():
-			case <-time.After(wait):
+				if !timer.Stop() {
+					<-timer.C
+				}
+			case <-timer.C:
 			}
 		}
 		if ctx.Err() != nil {
-			for j := i; j < len(plan.Timeline); j++ {
-				recs[j] = record{group: plan.Timeline[j].Group, offset: plan.Timeline[j].Offset, err: errSkipped}
+			dispatched.addSkipped(pr)
+			for src.next(&pr) {
+				dispatched.addSkipped(pr)
 			}
-			break loop
+			break
 		}
 		select {
-		case sem <- struct{}{}:
+		case work <- pr:
 		case <-ctx.Done():
-			for j := i; j < len(plan.Timeline); j++ {
-				recs[j] = record{group: plan.Timeline[j].Group, offset: plan.Timeline[j].Offset, err: errSkipped}
+			dispatched.addSkipped(pr)
+			for src.next(&pr) {
+				dispatched.addSkipped(pr)
 			}
-			break loop
 		}
-		wg.Add(1)
-		go func(i int, pr planned) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			recs[i] = doOne(ctx, client, pr, cfg.Timeout)
-		}(i, pr)
 	}
+	close(work)
 	wg.Wait()
-	return recs
+	for _, acc := range accs {
+		dispatched.merge(acc)
+	}
+	return dispatched
 }

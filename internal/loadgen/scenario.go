@@ -1,0 +1,153 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/fnv"
+	"time"
+
+	"accelcloud/internal/sim"
+	"accelcloud/internal/tasks"
+	"accelcloud/internal/workload"
+)
+
+// Scenario mode replays population-scale schedules without ever
+// materializing them: the workload layer's block-sharded stream
+// (workload/scenario.go) feeds the open-loop dispatcher one request at
+// a time, states are generated lazily per request from substreams that
+// are pure functions of (seed, user, arrival offset), and the schedule
+// digest folds incrementally as requests are emitted. Resident memory
+// is O(blocks + workers) at any population size.
+
+// scenarioSource adapts a workload.Stream into the open-loop
+// dispatcher's planSource: each emitted request is materialized on the
+// spot (group, battery, application state) and folded into the running
+// schedule digest. A materialization failure parks the error and ends
+// the stream; runScenario surfaces it after the dispatcher drains.
+type scenarioSource struct {
+	stream workload.Stream
+	root   *sim.RNG
+	cfg    Config
+	h      hash.Hash64
+	buf    [8]byte
+	n      int
+	err    error
+}
+
+// newRootRNG derives the run's root substream — the same root
+// BuildPlan uses, so scenario and materialized modes key their draws
+// identically.
+func newRootRNG(seed int64) *sim.RNG { return sim.NewRNG(seed).Sub("loadgen") }
+
+func newScenarioSource(cfg Config) (*scenarioSource, error) {
+	root := newRootRNG(cfg.Seed)
+	stream, err := workload.NewScenarioStream(root, cfg.workloadConfig())
+	if err != nil {
+		return nil, err
+	}
+	s := &scenarioSource{stream: stream, root: root, cfg: cfg, h: fnv.New64a()}
+	// Same digest header as Plan.Digest: seed, then mode.
+	s.writeInt(cfg.Seed)
+	_, _ = s.h.Write([]byte(cfg.Mode))
+	return s, nil
+}
+
+func (s *scenarioSource) writeInt(v int64) {
+	u := uint64(v)
+	for i := 0; i < 8; i++ {
+		s.buf[i] = byte(u >> (8 * i))
+	}
+	_, _ = s.h.Write(s.buf[:])
+}
+
+// next implements planSource.
+func (s *scenarioSource) next(pr *planned) bool {
+	if s.err != nil {
+		return false
+	}
+	var req workload.Request
+	if !s.stream.Next(&req) {
+		return false
+	}
+	offset := req.At.Sub(workload.ScenarioStart())
+	task, err := s.cfg.Pool.ByName(req.TaskName)
+	if err != nil {
+		s.err = err
+		return false
+	}
+	// State and battery substreams are light (one machine word each)
+	// and keyed so a request's materialization is a pure function of
+	// (seed, user, arrival offset) — no per-user state survives between
+	// requests, which is what keeps replay O(blocks) resident.
+	stateRNG := s.root.SubN("state", req.UserID).LightN("at", int(offset))
+	st, err := task.Generate(stateRNG, req.Size)
+	if err != nil {
+		s.err = fmt.Errorf("loadgen: generate %s(%d): %w", req.TaskName, req.Size, err)
+		return false
+	}
+	if _, ok := task.(tasks.Inference); ok {
+		// Inference sessions amortize the model load: only the
+		// session's first request pays it.
+		if req.SessionStart {
+			err = tasks.MarkSessionStart(&st)
+		} else {
+			err = tasks.ClearSessionStart(&st)
+		}
+		if err != nil {
+			s.err = err
+			return false
+		}
+	}
+	bat := 0.2 + 0.8*s.root.SubN("battery", req.UserID).Light("draw").Float64()
+	*pr = planned{
+		Offset:   offset,
+		User:     req.UserID,
+		Group:    group(s.cfg.Groups, req.UserID),
+		Battery:  bat,
+		TaskName: req.TaskName,
+		Size:     req.Size,
+		Session:  req.SessionStart,
+		State:    st,
+	}
+	// Fold the same fields Plan.Digest hashes for materialized modes,
+	// plus the session flag, in the same canonical (arrival) order.
+	s.writeInt(int64(pr.Offset))
+	s.writeInt(int64(pr.User))
+	s.writeInt(int64(pr.Group))
+	s.writeInt(int64(pr.Battery * 1e6))
+	_, _ = s.h.Write([]byte(pr.TaskName))
+	s.writeInt(int64(pr.Size))
+	if pr.Session {
+		_, _ = s.h.Write([]byte{1})
+	} else {
+		_, _ = s.h.Write([]byte{0})
+	}
+	s.n++
+	return true
+}
+
+// digest renders the running schedule digest in the repository's
+// fnv1a:%016x convention.
+func (s *scenarioSource) digest() string {
+	return fmt.Sprintf("fnv1a:%016x", s.h.Sum64())
+}
+
+// runScenario replays a scenario config end to end.
+func runScenario(ctx context.Context, client Offloader, cfg Config) (*Report, error) {
+	src, err := newScenarioSource(cfg)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	acc := runOpenLoop(ctx, client, src, cfg)
+	wall := time.Since(start)
+	if src.err != nil {
+		return nil, src.err
+	}
+	if acc.n == 0 {
+		return nil, errors.New("loadgen: empty scenario schedule (duration too short for the rate)")
+	}
+	return buildReport(cfg, src.digest(), acc, wall), nil
+}

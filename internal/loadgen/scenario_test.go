@@ -1,0 +1,249 @@
+package loadgen
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"accelcloud/internal/tasks"
+	"accelcloud/internal/workload"
+)
+
+// scenarioTestConfig is a small-but-busy scenario: a compressed virtual
+// day so every diurnal phase is exercised inside a short wall window.
+func scenarioTestConfig() Config {
+	return Config{
+		Mode:     ModeScenario,
+		Users:    300,
+		Duration: 2 * time.Second,
+		RateHz:   6,
+		Seed:     42,
+		Groups:   []int{1, 2},
+		Scenario: &ScenarioSpec{
+			DiurnalPeriod: time.Second,
+			SessionGap:    50 * time.Millisecond,
+			BlockSize:     64,
+			Crowds: []workload.FlashCrowd{
+				{Start: 500 * time.Millisecond, Duration: 300 * time.Millisecond, UserLo: 0, UserHi: 100, Multiplier: 4},
+			},
+		},
+	}
+}
+
+// drain runs a scenarioSource to exhaustion, returning its emitted
+// sequence.
+func drainScenario(t *testing.T, cfg Config) ([]planned, *scenarioSource) {
+	t.Helper()
+	ncfg, err := cfg.normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := newScenarioSource(ncfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []planned
+	var pr planned
+	for src.next(&pr) {
+		out = append(out, pr)
+	}
+	if src.err != nil {
+		t.Fatal(src.err)
+	}
+	return out, src
+}
+
+func TestScenarioSourceDeterministic(t *testing.T) {
+	a, srcA := drainScenario(t, scenarioTestConfig())
+	b, srcB := drainScenario(t, scenarioTestConfig())
+	if len(a) == 0 {
+		t.Fatal("scenario emitted nothing")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Offset != b[i].Offset || a[i].User != b[i].User ||
+			a[i].TaskName != b[i].TaskName || a[i].Size != b[i].Size ||
+			a[i].Session != b[i].Session || a[i].Battery != b[i].Battery ||
+			a[i].Group != b[i].Group || string(a[i].State.Data) != string(b[i].State.Data) {
+			t.Fatalf("request %d differs:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+	if srcA.digest() != srcB.digest() {
+		t.Fatalf("digests differ: %s vs %s", srcA.digest(), srcB.digest())
+	}
+	if !strings.HasPrefix(srcA.digest(), "fnv1a:") {
+		t.Fatalf("digest = %q", srcA.digest())
+	}
+
+	other := scenarioTestConfig()
+	other.Seed = 43
+	c, srcC := drainScenario(t, other)
+	if len(c) == 0 {
+		t.Fatal("reseeded scenario emitted nothing")
+	}
+	if srcC.digest() == srcA.digest() {
+		t.Fatal("different seeds produced identical digests")
+	}
+}
+
+// TestScenarioSourceMatchesWorkloadStream pins the loadgen adapter to
+// the workload layer: same schedule keys, in the same order, with
+// groups derived the same round-robin way materialized modes use.
+func TestScenarioSourceMatchesWorkloadStream(t *testing.T) {
+	cfg := scenarioTestConfig()
+	got, _ := drainScenario(t, cfg)
+
+	ncfg, err := cfg.normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := newRootRNG(ncfg.Seed)
+	stream, err := workload.NewScenarioStream(root, ncfg.workloadConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := workload.Collect(stream)
+	if len(got) != len(want) {
+		t.Fatalf("lengths differ: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		off := want[i].At.Sub(workload.ScenarioStart())
+		if got[i].Offset != off || got[i].User != want[i].UserID ||
+			got[i].TaskName != want[i].TaskName || got[i].Size != want[i].Size ||
+			got[i].Session != want[i].SessionStart {
+			t.Fatalf("request %d: loadgen %+v vs workload %+v", i, got[i], want[i])
+		}
+		if got[i].Group != group(ncfg.Groups, want[i].UserID) {
+			t.Fatalf("request %d: group %d for user %d", i, got[i].Group, want[i].UserID)
+		}
+		if got[i].Battery < 0.2 || got[i].Battery > 1 {
+			t.Fatalf("request %d: battery %v out of range", i, got[i].Battery)
+		}
+		if got[i].State.Task != want[i].TaskName || len(got[i].State.Data) == 0 {
+			t.Fatalf("request %d: state %+v", i, got[i].State)
+		}
+	}
+}
+
+func TestRunScenarioHermetic(t *testing.T) {
+	pool := tasks.InferencePool()
+	cluster, err := StartCluster(ClusterConfig{Groups: 2, SurrogatesPerGroup: 2, Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Close)
+
+	cfg := scenarioTestConfig()
+	cfg.Users = 120
+	cfg.Pool = pool
+	cfg.Scenario.TaskMix = map[string]float64{
+		"fibonacci":       1,
+		"infer-mobilenet": 1,
+	}
+	cfg.SLO = &SLO{P99Ms: 60_000, MaxErrorRate: 0}
+	rep, err := Run(context.Background(), cluster.URL(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != string(ModeScenario) {
+		t.Fatalf("mode = %q", rep.Mode)
+	}
+	if rep.Requests == 0 || rep.Errors != 0 {
+		t.Fatalf("requests=%d errors=%d", rep.Requests, rep.Errors)
+	}
+	if rep.Sessions <= 0 || rep.Sessions > rep.Requests {
+		t.Fatalf("sessions=%d of %d requests", rep.Sessions, rep.Requests)
+	}
+	if rep.Latency.N != rep.Requests || rep.Latency.P50Ms <= 0 {
+		t.Fatalf("latency = %+v", rep.Latency)
+	}
+	if len(rep.Groups) != 2 {
+		t.Fatalf("groups = %v", rep.Groups)
+	}
+	if rep.SLO == nil || !rep.SLO.Pass {
+		t.Fatalf("SLO should pass: %+v", rep.SLO)
+	}
+	if !strings.HasPrefix(rep.ScheduleDigest, "fnv1a:") {
+		t.Fatalf("digest = %q", rep.ScheduleDigest)
+	}
+
+	// The report digest is the generator digest: a re-run replays the
+	// byte-identical schedule.
+	rep2, err := Run(context.Background(), cluster.URL(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.ScheduleDigest != rep.ScheduleDigest || rep2.Requests != rep.Requests ||
+		rep2.Sessions != rep.Sessions {
+		t.Fatalf("re-run drifted: %s/%d/%d vs %s/%d/%d",
+			rep2.ScheduleDigest, rep2.Requests, rep2.Sessions,
+			rep.ScheduleDigest, rep.Requests, rep.Sessions)
+	}
+}
+
+func TestBuildPlanRejectsScenario(t *testing.T) {
+	cfg := scenarioTestConfig()
+	if _, err := BuildPlan(cfg); err == nil {
+		t.Fatal("BuildPlan should reject scenario mode")
+	}
+}
+
+func TestRunScenarioInvalidSpec(t *testing.T) {
+	cfg := scenarioTestConfig()
+	cfg.Scenario.TaskMix = map[string]float64{"no-such-task": 1}
+	if _, err := Run(context.Background(), "http://127.0.0.1:0", cfg); err == nil {
+		t.Fatal("unknown task in mix should fail before any request is issued")
+	}
+}
+
+// TestScenarioStreamAllocs guards the replay hot path: after warm-up,
+// pulling a request out of the sharded generator must not allocate —
+// that is the property that keeps memory O(shards) no matter how long
+// the schedule runs.
+func TestScenarioStreamAllocs(t *testing.T) {
+	cfg := scenarioTestConfig()
+	cfg.Users = 2048
+	cfg.Duration = time.Hour // never exhausted during the measurement
+	ncfg, err := cfg.normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := workload.NewScenarioStream(newRootRNG(ncfg.Seed), ncfg.workloadConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var req workload.Request
+	for i := 0; i < 64; i++ { // warm the merge tree
+		if !stream.Next(&req) {
+			t.Fatal("stream exhausted during warm-up")
+		}
+	}
+	avg := testing.AllocsPerRun(512, func() {
+		if !stream.Next(&req) {
+			t.Fatal("stream exhausted during measurement")
+		}
+	})
+	if avg > 0 {
+		t.Fatalf("stream.Next allocates %.2f objects per request, want 0", avg)
+	}
+}
+
+// TestAccumulatorAllocs guards the other half of the hot path: folding
+// a completed request into a warm accumulator must not allocate.
+func TestAccumulatorAllocs(t *testing.T) {
+	cfg, err := scenarioTestConfig().normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.SlotLen = 100 * time.Millisecond
+	acc := newAccumulator(cfg)
+	rec := record{group: 1, offset: 250 * time.Millisecond, latencyMs: 3.5, region: "eu", session: true}
+	acc.addRecord(rec) // warm the cells
+	avg := testing.AllocsPerRun(512, func() { acc.addRecord(rec) })
+	if avg > 0 {
+		t.Fatalf("addRecord allocates %.2f objects per record, want 0", avg)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 	"time"
 
 	"accelcloud/internal/sim"
@@ -39,6 +40,19 @@ func (t Tech) String() string {
 		return "LTE"
 	default:
 		return fmt.Sprintf("Tech(%d)", int(t))
+	}
+}
+
+// ParseTech parses a technology name, case-insensitively — the inverse
+// of String, for flag values and mobility schedules ("3g", "LTE").
+func ParseTech(s string) (Tech, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "3G":
+		return Tech3G, nil
+	case "LTE", "4G":
+		return TechLTE, nil
+	default:
+		return 0, fmt.Errorf("netsim: unknown technology %q (want 3g or lte)", s)
 	}
 }
 

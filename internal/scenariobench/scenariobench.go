@@ -1,0 +1,425 @@
+// Package scenariobench measures the population-scale scenario engine
+// (internal/workload's sharded streaming generator plus loadgen's
+// scenario replay mode) and emits the BENCH_scenario.json artifact
+// cmd/benchdiff gates:
+//
+//   - Generation: a million-user diurnal schedule with flash crowds is
+//     streamed end to end — counted, digested, and heap-sampled, never
+//     materialized. The gates are the exact stream digest (the schedule
+//     is a pure function of the seed), the exact request count, and a
+//     hard peak-heap ceiling: resident memory must stay O(blocks), not
+//     O(requests). Generation throughput is gated against the baseline
+//     only within one machine class.
+//   - Shard invariance: the same scaled-down config is generated at 1,
+//     4, and NumCPU shards; all digests must be bit-identical — the
+//     merge order is a pure function of the emitted keys, so shard
+//     count can never change a schedule.
+//   - Flash-crowd replay: a scaled-down scenario with one crowd event
+//     replays against a hermetic cluster. The crowd-vs-calm arrival
+//     rate ratio is a schedule property and gets a hard floor; the
+//     per-phase p99 columns are machine-dependent context.
+package scenariobench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"accelcloud/internal/loadgen"
+	"accelcloud/internal/sim"
+	"accelcloud/internal/tasks"
+	"accelcloud/internal/workload"
+)
+
+// Schema versions the scenariobench report format for cmd/benchdiff.
+const Schema = "accelcloud/scenariobench/v1"
+
+// Config sizes one scenariobench run.
+type Config struct {
+	// Seed roots every substream.
+	Seed int64
+	// Users is the generated population (0 selects 1,000,000).
+	Users int
+	// Duration is the virtual schedule length (0 selects 30s).
+	Duration time.Duration
+	// BaseRateHz is the per-user base arrival rate (0 selects 0.08).
+	BaseRateHz float64
+	// InvarianceUsers sizes the shard-invariance sweep (0 selects
+	// 50,000) — smaller than Users because the schedule is generated
+	// once per shard count.
+	InvarianceUsers int
+	// ReplayUsers sizes the hermetic flash-crowd replay (0 selects 240).
+	ReplayUsers int
+}
+
+func (c Config) normalized() Config {
+	if c.Users <= 0 {
+		c.Users = 1_000_000
+	}
+	if c.Duration <= 0 {
+		c.Duration = 30 * time.Second
+	}
+	if c.BaseRateHz <= 0 {
+		c.BaseRateHz = 0.08
+	}
+	if c.InvarianceUsers <= 0 {
+		c.InvarianceUsers = 50_000
+	}
+	if c.ReplayUsers <= 0 {
+		c.ReplayUsers = 240
+	}
+	return c
+}
+
+// Report is the BENCH_scenario.json artifact.
+type Report struct {
+	Schema     string `json:"schema"`
+	Seed       int64  `json:"seed"`
+	NumCPU     int    `json:"numCPU"`
+	GoMaxProcs int    `json:"goMaxProcs"`
+
+	// Generation: the million-user streaming pass.
+	Users             int     `json:"users"`
+	VirtualSeconds    float64 `json:"virtualSeconds"`
+	Requests          int     `json:"requests"`
+	GenWallMs         float64 `json:"genWallMs"`
+	GenRequestsPerSec float64 `json:"genRequestsPerSec"`
+	PeakHeapMB        float64 `json:"peakHeapMB"`
+	StreamDigest      string  `json:"streamDigest"`
+
+	// Parallel shard scan: the same schedule partitioned over NumCPU
+	// shards, each consumed concurrently. The summed count must equal
+	// Requests — the shards partition the schedule exactly.
+	ParallelShards         int     `json:"parallelShards"`
+	ParallelRequests       int     `json:"parallelRequests"`
+	ParallelRequestsPerSec float64 `json:"parallelRequestsPerSec"`
+
+	// Shard invariance: one scaled config generated at each shard
+	// count; all digests must match.
+	InvarianceUsers int               `json:"invarianceUsers"`
+	ShardDigests    map[string]string `json:"shardDigests"`
+	ShardsInvariant bool              `json:"shardsInvariant"`
+
+	// Flash-crowd replay against a hermetic cluster.
+	ReplayUsers    int     `json:"replayUsers"`
+	ReplayRequests int     `json:"replayRequests"`
+	ReplaySessions int     `json:"replaySessions"`
+	ReplayDigest   string  `json:"replayDigest"`
+	CrowdRateRps   float64 `json:"crowdRateRps"`
+	CalmRateRps    float64 `json:"calmRateRps"`
+	CrowdRateRatio float64 `json:"crowdRateRatio"`
+	CrowdP99Ms     float64 `json:"crowdP99Ms"`
+	CalmP99Ms      float64 `json:"calmP99Ms"`
+}
+
+// genConfig is the million-user generation schedule: the default
+// diurnal day compressed into the virtual duration, two overlapping
+// flash crowds, the inference-extended pool, and the default block
+// size.
+func genConfig(cfg Config) workload.ScenarioConfig {
+	return workload.ScenarioConfig{
+		Users:         cfg.Users,
+		Duration:      cfg.Duration,
+		BaseRateHz:    cfg.BaseRateHz,
+		Pool:          tasks.InferencePool(),
+		Sizer:         workload.DefaultSizer(),
+		Diurnal:       workload.DefaultDiurnal(),
+		DiurnalPeriod: cfg.Duration, // one full virtual day
+		Crowds: []workload.FlashCrowd{
+			{Start: cfg.Duration / 4, Duration: cfg.Duration / 8, UserLo: 0, UserHi: cfg.Users / 10, Multiplier: 5},
+			{Start: cfg.Duration / 2, Duration: cfg.Duration / 10, UserLo: cfg.Users / 2, UserHi: cfg.Users/2 + cfg.Users/20, Multiplier: 8},
+		},
+	}
+}
+
+// Run executes the three scenarios and assembles the report.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg = cfg.normalized()
+	rep := &Report{
+		Schema:     Schema,
+		Seed:       cfg.Seed,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Users:      cfg.Users,
+	}
+	if err := runGeneration(ctx, cfg, rep); err != nil {
+		return nil, fmt.Errorf("scenariobench: generation: %w", err)
+	}
+	if err := runParallelScan(ctx, cfg, rep); err != nil {
+		return nil, fmt.Errorf("scenariobench: parallel scan: %w", err)
+	}
+	if err := runInvariance(ctx, cfg, rep); err != nil {
+		return nil, fmt.Errorf("scenariobench: shard invariance: %w", err)
+	}
+	if err := runCrowdReplay(ctx, cfg, rep); err != nil {
+		return nil, fmt.Errorf("scenariobench: crowd replay: %w", err)
+	}
+	return rep, nil
+}
+
+// heapSampleEvery is how many requests pass between heap size samples
+// during the generation scan.
+const heapSampleEvery = 1 << 16
+
+// runGeneration streams the full million-user schedule through one
+// merged stream, digesting on the fly and sampling the heap.
+func runGeneration(ctx context.Context, cfg Config, rep *Report) error {
+	root := sim.NewRNG(cfg.Seed).Sub("scenariobench")
+	stream, err := workload.NewScenarioStream(root, genConfig(cfg))
+	if err != nil {
+		return err
+	}
+	dig := workload.NewDigester(workload.ScenarioStart())
+	var ms runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+	peak := ms.HeapAlloc
+	start := time.Now()
+	var req workload.Request
+	for stream.Next(&req) {
+		dig.Add(&req)
+		if dig.Requests()%heapSampleEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > peak {
+				peak = ms.HeapAlloc
+			}
+		}
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > peak {
+		peak = ms.HeapAlloc
+	}
+	if dig.Requests() == 0 {
+		return fmt.Errorf("empty schedule")
+	}
+	rep.VirtualSeconds = cfg.Duration.Seconds()
+	rep.Requests = dig.Requests()
+	rep.GenWallMs = float64(wall) / float64(time.Millisecond)
+	if wall > 0 {
+		rep.GenRequestsPerSec = float64(dig.Requests()) / wall.Seconds()
+	}
+	rep.PeakHeapMB = float64(peak) / (1 << 20)
+	rep.StreamDigest = dig.Sum()
+	return nil
+}
+
+// runParallelScan partitions the same schedule over NumCPU shards and
+// consumes them concurrently — the fan-out path a parallel replay or a
+// distributed worker pool would drive. The shard streams are
+// time-ordered within themselves; the summed count proves they
+// partition the global schedule exactly.
+func runParallelScan(ctx context.Context, cfg Config, rep *Report) error {
+	shards := runtime.NumCPU()
+	root := sim.NewRNG(cfg.Seed).Sub("scenariobench")
+	streams, err := workload.ScenarioShards(root, genConfig(cfg), shards)
+	if err != nil {
+		return err
+	}
+	counts := make([]int, len(streams))
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, s := range streams {
+		wg.Add(1)
+		go func(i int, s workload.Stream) {
+			defer wg.Done()
+			var req workload.Request
+			for s.Next(&req) {
+				counts[i]++
+			}
+		}(i, s)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	rep.ParallelShards = len(streams)
+	rep.ParallelRequests = total
+	if wall > 0 {
+		rep.ParallelRequestsPerSec = float64(total) / wall.Seconds()
+	}
+	if total != rep.Requests {
+		return fmt.Errorf("parallel shards emitted %d requests, merged stream %d: shards do not partition the schedule", total, rep.Requests)
+	}
+	return nil
+}
+
+// runInvariance generates one scaled-down config at 1, 4, and NumCPU
+// shards, merging each sharding back into global order; the digests
+// must be bit-identical.
+func runInvariance(ctx context.Context, cfg Config, rep *Report) error {
+	scaled := genConfig(cfg)
+	scaled.Users = cfg.InvarianceUsers
+	scaled.Crowds = []workload.FlashCrowd{
+		{Start: cfg.Duration / 4, Duration: cfg.Duration / 8, UserLo: 0, UserHi: cfg.InvarianceUsers / 10, Multiplier: 5},
+	}
+	counts := []int{1, 4, runtime.NumCPU()}
+	rep.InvarianceUsers = cfg.InvarianceUsers
+	rep.ShardDigests = make(map[string]string, len(counts))
+	rep.ShardsInvariant = true
+	var first string
+	for _, k := range counts {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		root := sim.NewRNG(cfg.Seed).Sub("scenariobench")
+		streams, err := workload.ScenarioShards(root, scaled, k)
+		if err != nil {
+			return err
+		}
+		digest, n := workload.StreamDigest(workload.NewMerge(streams...), workload.ScenarioStart())
+		if n == 0 {
+			return fmt.Errorf("empty schedule at %d shards", k)
+		}
+		rep.ShardDigests[fmt.Sprintf("%d", k)] = digest
+		if first == "" {
+			first = digest
+		} else if digest != first {
+			rep.ShardsInvariant = false
+		}
+	}
+	if !rep.ShardsInvariant {
+		return fmt.Errorf("shard digests diverge: %v", rep.ShardDigests)
+	}
+	return nil
+}
+
+// Crowd replay shape: a flat day (no diurnal modulation, so the crowd
+// is the only rate change), one crowd covering a third of the
+// population for crowdDur in the middle of the run.
+const (
+	replayDuration = 2 * time.Second
+	crowdStart     = 800 * time.Millisecond
+	crowdDur       = 400 * time.Millisecond
+	crowdMult      = 6
+	replaySlotLen  = 200 * time.Millisecond
+)
+
+// runCrowdReplay replays a scaled-down crowd scenario against a
+// hermetic cluster and splits the per-slot report sections into the
+// crowd window and the calm remainder.
+func runCrowdReplay(ctx context.Context, cfg Config, rep *Report) error {
+	cluster, err := loadgen.StartClusterContext(ctx, loadgen.ClusterConfig{Groups: 2, SurrogatesPerGroup: 2})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+	flat := make([]float64, 24)
+	for i := range flat {
+		flat[i] = 1
+	}
+	lcfg := loadgen.Config{
+		Mode:     loadgen.ModeScenario,
+		Users:    cfg.ReplayUsers,
+		Duration: replayDuration,
+		RateHz:   4,
+		Seed:     cfg.Seed,
+		Groups:   []int{1, 2},
+		SlotLen:  replaySlotLen,
+		Scenario: &loadgen.ScenarioSpec{
+			Diurnal:       flat,
+			DiurnalPeriod: replayDuration,
+			SessionGap:    100 * time.Millisecond,
+			BlockSize:     64,
+			Crowds: []workload.FlashCrowd{
+				{Start: crowdStart, Duration: crowdDur, UserLo: 0, UserHi: cfg.ReplayUsers / 3, Multiplier: crowdMult},
+			},
+		},
+	}
+	lrep, err := loadgen.Run(ctx, cluster.URL(), lcfg)
+	if err != nil {
+		return err
+	}
+	rep.ReplayUsers = cfg.ReplayUsers
+	rep.ReplayRequests = lrep.Requests
+	rep.ReplaySessions = lrep.Sessions
+	rep.ReplayDigest = lrep.ScheduleDigest
+	crowdReqs, calmReqs := 0, 0
+	for _, slot := range lrep.Slots {
+		at := time.Duration(slot.StartMs * float64(time.Millisecond))
+		inCrowd := at >= crowdStart && at < crowdStart+crowdDur
+		if inCrowd {
+			crowdReqs += slot.Requests
+			if slot.Latency.P99Ms > rep.CrowdP99Ms {
+				rep.CrowdP99Ms = slot.Latency.P99Ms
+			}
+		} else {
+			calmReqs += slot.Requests
+			if slot.Latency.P99Ms > rep.CalmP99Ms {
+				rep.CalmP99Ms = slot.Latency.P99Ms
+			}
+		}
+	}
+	if calmReqs == 0 || crowdReqs == 0 {
+		return fmt.Errorf("degenerate replay: %d crowd / %d calm requests", crowdReqs, calmReqs)
+	}
+	rep.CrowdRateRps = float64(crowdReqs) / crowdDur.Seconds()
+	rep.CalmRateRps = float64(calmReqs) / (replayDuration - crowdDur).Seconds()
+	rep.CrowdRateRatio = rep.CrowdRateRps / rep.CalmRateRps
+	return nil
+}
+
+// Summary renders the human-readable table.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenariobench: %d users over %.0fs virtual (seed %d)\n", r.Users, r.VirtualSeconds, r.Seed)
+	fmt.Fprintf(&b, "  generation: %d requests in %.0f ms (%.0f req/s), peak heap %.1f MB\n",
+		r.Requests, r.GenWallMs, r.GenRequestsPerSec, r.PeakHeapMB)
+	fmt.Fprintf(&b, "    stream digest %s\n", r.StreamDigest)
+	fmt.Fprintf(&b, "  parallel scan: %d shards, %d requests (%.0f req/s)\n",
+		r.ParallelShards, r.ParallelRequests, r.ParallelRequestsPerSec)
+	fmt.Fprintf(&b, "  shard invariance (%d users): invariant=%v across %d shardings\n",
+		r.InvarianceUsers, r.ShardsInvariant, len(r.ShardDigests))
+	fmt.Fprintf(&b, "  crowd replay (%d users): %d requests, %d sessions\n",
+		r.ReplayUsers, r.ReplayRequests, r.ReplaySessions)
+	fmt.Fprintf(&b, "    rate %.0f rps in crowd vs %.0f rps calm (ratio %.1fx)\n",
+		r.CrowdRateRps, r.CalmRateRps, r.CrowdRateRatio)
+	fmt.Fprintf(&b, "    p99 %.1f ms in crowd vs %.1f ms calm\n", r.CrowdP99Ms, r.CalmP99Ms)
+	fmt.Fprintf(&b, "    replay digest %s\n", r.ReplayDigest)
+	return b.String()
+}
+
+// WriteFile writes the JSON report.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadReport parses a report and verifies its schema.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(rd).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("scenariobench: decode report: %w", err)
+	}
+	if rep.Schema != Schema {
+		return nil, fmt.Errorf("scenariobench: schema %q, want %q", rep.Schema, Schema)
+	}
+	return &rep, nil
+}
+
+// ReadReportFile parses a report file.
+func ReadReportFile(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = f.Close() }()
+	return ReadReport(f)
+}

@@ -1,0 +1,122 @@
+package scenariobench
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunSmoke drives a downsized run of all four passes and pins the
+// report invariants the diffScenario gates build on: the streaming
+// generation pass emits a digest and a non-zero request count, the
+// parallel scan partitions the schedule exactly, the shard-invariance
+// sweep holds, and the hermetic flash-crowd replay shows the crowd
+// outpacing the calm phase — all reproducing across same-seed runs.
+func TestRunSmoke(t *testing.T) {
+	cfg := Config{
+		Seed:            7,
+		Users:           4000,
+		Duration:        10 * time.Second,
+		BaseRateHz:      0.2,
+		InvarianceUsers: 500,
+		ReplayUsers:     120,
+	}
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != Schema {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if rep.Requests == 0 || !strings.HasPrefix(rep.StreamDigest, "fnv1a:") {
+		t.Fatalf("generation pass empty: %d requests, digest %q", rep.Requests, rep.StreamDigest)
+	}
+	if rep.PeakHeapMB <= 0 || rep.PeakHeapMB > maxTestHeapMB {
+		t.Fatalf("peak heap %.1f MB out of bounds", rep.PeakHeapMB)
+	}
+	if rep.ParallelRequests != rep.Requests {
+		t.Fatalf("parallel scan counted %d requests, generation %d: shards do not partition the schedule",
+			rep.ParallelRequests, rep.Requests)
+	}
+	if !rep.ShardsInvariant || len(rep.ShardDigests) == 0 {
+		t.Fatalf("shard invariance failed: %+v", rep.ShardDigests)
+	}
+	if rep.ReplayRequests == 0 || rep.ReplaySessions == 0 || rep.ReplaySessions > rep.ReplayRequests {
+		t.Fatalf("replay pass degenerate: %d requests, %d sessions", rep.ReplayRequests, rep.ReplaySessions)
+	}
+	if !strings.HasPrefix(rep.ReplayDigest, "fnv1a:") {
+		t.Fatalf("replay digest = %q", rep.ReplayDigest)
+	}
+	if rep.CrowdRateRatio <= 1 {
+		t.Fatalf("crowd rate ratio %.2f: the flash crowd never outpaced the calm phase", rep.CrowdRateRatio)
+	}
+	for _, want := range []string{"generation", "shard invariance", "crowd replay", rep.StreamDigest, rep.ReplayDigest} {
+		if !strings.Contains(rep.Summary(), want) {
+			t.Fatalf("summary missing %q:\n%s", want, rep.Summary())
+		}
+	}
+
+	rep2, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.StreamDigest != rep.StreamDigest || rep2.Requests != rep.Requests {
+		t.Fatalf("generation diverged across same-seed runs: %s/%d vs %s/%d",
+			rep2.StreamDigest, rep2.Requests, rep.StreamDigest, rep.Requests)
+	}
+	if rep2.ReplayDigest != rep.ReplayDigest || rep2.ReplaySessions != rep.ReplaySessions {
+		t.Fatalf("replay diverged: %s/%d vs %s/%d",
+			rep2.ReplayDigest, rep2.ReplaySessions, rep.ReplayDigest, rep.ReplaySessions)
+	}
+
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReportFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, rep) {
+		t.Fatalf("round trip mutated the report:\n%+v\n%+v", back, rep)
+	}
+}
+
+// maxTestHeapMB bounds the downsized generation pass — far below the
+// gate's 256 MB ceiling, but enough slack for test-harness overhead.
+const maxTestHeapMB = 128.0
+
+// TestSeedChangesDigest pins that the seed actually feeds the schedule.
+func TestSeedChangesDigest(t *testing.T) {
+	mk := func(seed int64) *Report {
+		rep, err := Run(context.Background(), Config{
+			Seed: seed, Users: 800, Duration: 5 * time.Second,
+			BaseRateHz: 0.3, InvarianceUsers: 200, ReplayUsers: 60,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := mk(1), mk(2)
+	if a.StreamDigest == b.StreamDigest {
+		t.Fatalf("seeds 1 and 2 share stream digest %s", a.StreamDigest)
+	}
+	if a.ReplayDigest == b.ReplayDigest {
+		t.Fatalf("seeds 1 and 2 share replay digest %s", a.ReplayDigest)
+	}
+}
+
+// TestReadReportRejectsForeignSchema keeps benchdiff's dispatch honest:
+// a scenariobench reader must refuse other benchmark artifacts.
+func TestReadReportRejectsForeignSchema(t *testing.T) {
+	if _, err := ReadReport(strings.NewReader(`{"schema":"accelcloud/geobench/v1"}`)); err == nil {
+		t.Fatal("foreign schema accepted")
+	}
+	if _, err := ReadReport(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

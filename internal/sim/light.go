@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"hash/fnv"
+	"math/rand"
+)
+
+// The scenario engine keeps thousands of generator substreams alive at
+// once (one per user block of a million-user schedule). The standard
+// Go1 rand source behind Stream/StreamN carries 607 words of state —
+// ~5 KiB per stream — which would turn O(blocks) resident memory into
+// hundreds of megabytes. LightSource is the small-state alternative: a
+// splitmix64 generator whose whole state is one uint64, seeded through
+// the same fnv1a derivation as Sub/SubN so light streams inherit the
+// hierarchy's determinism guarantees (same (seed, name, index) → same
+// sequence, independent of sibling streams).
+//
+// Light streams are a separate family from Stream/StreamN: the two
+// generators produce unrelated sequences, so switching a call site
+// between them is a schedule change. Existing digest-pinned code keeps
+// the Go1 source; new large-scale generators use light streams.
+
+// LightSource is a splitmix64 rand.Source64. The zero value is a valid
+// generator seeded at 0; use Seed or NewLightSource to position it.
+type LightSource struct {
+	state uint64
+}
+
+var _ rand.Source64 = (*LightSource)(nil)
+
+// NewLightSource returns a splitmix64 source at the given seed.
+func NewLightSource(seed int64) *LightSource {
+	return &LightSource{state: uint64(seed)}
+}
+
+// Uint64 implements rand.Source64 (splitmix64, Steele et al.).
+func (s *LightSource) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Int63 implements rand.Source.
+func (s *LightSource) Int63() int64 {
+	return int64(s.Uint64() >> 1)
+}
+
+// Seed implements rand.Source.
+func (s *LightSource) Seed(seed int64) { s.state = uint64(seed) }
+
+// Light returns a small-state rand.Rand for the named stream — the
+// same (seed, name) determinism contract as Stream, but backed by a
+// splitmix64 source of one machine word instead of the Go1 source's
+// 607. Use for generators that must hold many streams resident.
+func (g *RNG) Light(name string) *rand.Rand {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	derived := g.seed ^ int64(h.Sum64())
+	return rand.New(NewLightSource(derived))
+}
+
+// LightN is the indexed variant of Light (per-entity light streams).
+func (g *RNG) LightN(name string, n int) *rand.Rand {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	var buf [8]byte
+	v := uint64(n)
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+	_, _ = h.Write(buf[:])
+	derived := g.seed ^ int64(h.Sum64())
+	return rand.New(NewLightSource(derived))
+}

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"testing"
+	"unsafe"
+)
+
+func TestLightSourceDeterministic(t *testing.T) {
+	a := NewLightSource(42)
+	b := NewLightSource(42)
+	for i := 0; i < 100; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("draw %d: %x != %x", i, av, bv)
+		}
+	}
+}
+
+func TestLightSourceSeedsDiverge(t *testing.T) {
+	a := NewLightSource(1)
+	b := NewLightSource(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same != 0 {
+		t.Fatalf("%d/64 draws collided across seeds", same)
+	}
+}
+
+func TestLightSourceUniformity(t *testing.T) {
+	// Coarse sanity: high bit should be set about half the time.
+	s := NewLightSource(7)
+	ones := 0
+	const n = 4096
+	for i := 0; i < n; i++ {
+		if s.Uint64()>>63 == 1 {
+			ones++
+		}
+	}
+	if ones < n*4/10 || ones > n*6/10 {
+		t.Fatalf("high bit set %d/%d times, expected ~%d", ones, n, n/2)
+	}
+}
+
+func TestLightStreamsIndependent(t *testing.T) {
+	root := NewRNG(99)
+	// Same (seed, name, index) → same sequence.
+	a := root.LightN("block", 3)
+	b := root.LightN("block", 3)
+	for i := 0; i < 32; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("draw %d: %x != %x", i, av, bv)
+		}
+	}
+	// Different index → different sequence.
+	c := root.LightN("block", 4)
+	d := root.LightN("block", 3)
+	diverged := false
+	for i := 0; i < 32; i++ {
+		if c.Uint64() != d.Uint64() {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("LightN(3) and LightN(4) emitted identical prefixes")
+	}
+	// Named variant follows the same contract.
+	if root.Light("x").Uint64() != root.Light("x").Uint64() {
+		t.Fatal("Light(name) not reproducible")
+	}
+	if root.Light("x").Uint64() == root.Light("y").Uint64() {
+		t.Fatal("Light streams for different names collided on first draw")
+	}
+}
+
+func TestLightStateSize(t *testing.T) {
+	// The point of LightSource is small per-stream state; pin it so a
+	// refactor doesn't quietly reintroduce the 607-word Go1 source.
+	if got := unsafe.Sizeof(LightSource{}); got != 8 {
+		t.Fatalf("LightSource state = %d bytes, want 8", got)
+	}
+}

@@ -1,0 +1,203 @@
+package tasks
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+func TestInferencePoolExtendsDefault(t *testing.T) {
+	def := DefaultPool()
+	inf := InferencePool()
+	if inf.Len() != def.Len()+len(DefaultModels()) {
+		t.Fatalf("inference pool has %d tasks, want %d", inf.Len(), def.Len()+len(DefaultModels()))
+	}
+	// The classic prefix must be unchanged, in order: Pool.Random
+	// draws by index, so a changed prefix would shift every pinned
+	// schedule digest built on DefaultPool.
+	defNames, infNames := def.Names(), inf.Names()
+	for i, name := range defNames {
+		if infNames[i] != name {
+			t.Fatalf("inference pool reordered classic task %d: %q vs %q", i, infNames[i], name)
+		}
+	}
+	for _, m := range DefaultModels() {
+		if _, err := inf.ByName("infer-" + m.Model); err != nil {
+			t.Fatalf("missing inference task for %q: %v", m.Model, err)
+		}
+	}
+}
+
+func TestInferenceRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for _, task := range InferenceTasks() {
+		task := task.(Inference)
+		t.Run(task.Name(), func(t *testing.T) {
+			st, err := task.Generate(r, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wire, err := json.Marshal(st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back State
+			if err := json.Unmarshal(wire, &back); err != nil {
+				t.Fatal(err)
+			}
+			res, err := task.Execute(back)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out inferenceResult
+			if err := json.Unmarshal(res.Data, &out); err != nil {
+				t.Fatal(err)
+			}
+			if len(out.Scores) != 4 {
+				t.Fatalf("%d scores for batch 4", len(out.Scores))
+			}
+			if out.Loaded != task.Params() {
+				t.Fatalf("session start loaded %d params, want %d", out.Loaded, task.Params())
+			}
+			if res.Ops <= 0 {
+				t.Fatal("no ops counted")
+			}
+		})
+	}
+}
+
+func TestInferenceDeterministicAcrossSurrogates(t *testing.T) {
+	// The same state must produce identical scores and ops on any
+	// executor — weights derive from the model name, not from process
+	// state or cache warmth.
+	task := Inference{Model: DefaultModels()[0]}
+	st, err := task.Generate(rand.New(rand.NewSource(7)), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := task.Execute(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modelCache.Range(func(k, _ any) bool { // simulate a cold surrogate
+		modelCache.Delete(k)
+		return true
+	})
+	b, err := task.Execute(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a.Data) != string(b.Data) || a.Ops != b.Ops {
+		t.Fatalf("execution depends on cache warmth: %s/%d vs %s/%d", a.Data, a.Ops, b.Data, b.Ops)
+	}
+}
+
+func TestInferenceSessionAmortization(t *testing.T) {
+	task := Inference{Model: DefaultModels()[0]}
+	st, err := task.Generate(rand.New(rand.NewSource(9)), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := task.Execute(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steady := st
+	if err := ClearSessionStart(&steady); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := task.Execute(steady)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadOps := int64(float64(task.Params()) * task.Model.LoadFactor)
+	if loaded.Ops != warm.Ops+loadOps {
+		t.Fatalf("session-start ops %d, steady %d, want load delta %d", loaded.Ops, warm.Ops, loadOps)
+	}
+	// Scores must not depend on the load flag.
+	var a, b inferenceResult
+	if err := json.Unmarshal(loaded.Data, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(warm.Data, &b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Scores {
+		if a.Scores[i] != b.Scores[i] {
+			t.Fatalf("score %d differs across load flag: %v vs %v", i, a.Scores[i], b.Scores[i])
+		}
+	}
+	if b.Loaded != 0 {
+		t.Fatalf("steady request reported %d loaded params", b.Loaded)
+	}
+	// Re-marking restores the load billing.
+	remarked := steady
+	if err := MarkSessionStart(&remarked); err != nil {
+		t.Fatal(err)
+	}
+	again, err := task.Execute(remarked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Ops != loaded.Ops {
+		t.Fatalf("re-marked ops %d, want %d", again.Ops, loaded.Ops)
+	}
+}
+
+func TestInferenceWorkModel(t *testing.T) {
+	for _, task := range InferenceTasks() {
+		task := task.(Inference)
+		// Work must scale linearly in batch size (homogeneous
+		// batchable compute) and Execute's measured ops must track it
+		// within a constant factor across sizes.
+		w1, w4 := task.Work(1), task.Work(4)
+		if w4 != 4*w1 {
+			t.Fatalf("%s: Work(4)=%v, want 4×Work(1)=%v", task.Name(), w4, 4*w1)
+		}
+		r := rand.New(rand.NewSource(3))
+		var ratios []float64
+		for _, batch := range []int{1, 4, 16} {
+			st, err := task.Generate(r, batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ClearSessionStart(&st); err != nil {
+				t.Fatal(err)
+			}
+			res, err := task.Execute(st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ratios = append(ratios, float64(res.Ops)/task.Work(batch))
+		}
+		for _, ratio := range ratios[1:] {
+			if ratio != ratios[0] {
+				t.Fatalf("%s: ops/Work ratio drifts across batch sizes: %v", task.Name(), ratios)
+			}
+		}
+		if task.MemoryBytes() != task.Params()*8 {
+			t.Fatalf("%s: memory %d for %d params", task.Name(), task.MemoryBytes(), task.Params())
+		}
+		if task.LoadWork() <= 0 {
+			t.Fatalf("%s: non-positive load work", task.Name())
+		}
+	}
+}
+
+func TestInferenceValidation(t *testing.T) {
+	task := Inference{Model: DefaultModels()[0]}
+	// Wrong model routed to this task.
+	data, _ := json.Marshal(inferenceState{Model: "other", Batch: 1, In: make([]float64, 16)})
+	if _, err := task.Execute(State{Task: task.Name(), Data: data}); err == nil {
+		t.Fatal("wrong model accepted")
+	}
+	// Batch / feature length mismatch.
+	data, _ = json.Marshal(inferenceState{Model: "mobilenet", Batch: 2, In: make([]float64, 16)})
+	if _, err := task.Execute(State{Task: task.Name(), Data: data}); err == nil {
+		t.Fatal("short feature vector accepted")
+	}
+	// Wrong task name entirely.
+	if _, err := task.Execute(State{Task: "quicksort", Data: data}); err == nil {
+		t.Fatal("foreign state accepted")
+	}
+}

@@ -1,0 +1,493 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"accelcloud/internal/sim"
+	"accelcloud/internal/tasks"
+)
+
+// The scenario engine models population-scale traffic (ROADMAP item 3,
+// the paper's §VI-C1 usage study scaled up): a million users with
+// diurnal rate curves, correlated flash crowds, and session structure.
+// At that scale nothing per-user can stay resident, so generation is
+// organized around fixed-size user *blocks*: each block runs one
+// aggregated non-homogeneous Poisson process for its users (Lewis-
+// Shedler thinning against the block's peak rate) and lazily emits a
+// time-ordered Stream; blocks merge through the loser tree in
+// stream.go. Resident state is O(blocks), independent of how many
+// requests the schedule contains.
+//
+// Determinism: block b draws exclusively from
+// root.Sub("scenario").LightN("block", b), and the block partition
+// depends only on (Users, BlockSize) — never on shard or worker
+// count. Shards regroup whole blocks, and the merge order is a pure
+// function of (At, UserID) keys, so the emitted global sequence — and
+// its fnv1a digest — is bit-identical at any shard fan-in.
+
+// FlashCrowd multiplies the arrival rate of a contiguous user cohort
+// for a time window — the correlated-load event (a release, an
+// outage elsewhere, a broadcast) layered on the diurnal baseline.
+type FlashCrowd struct {
+	// Start is the window's offset from scenario start.
+	Start time.Duration
+	// Duration is the window length.
+	Duration time.Duration
+	// UserLo and UserHi bound the affected cohort, [UserLo, UserHi).
+	UserLo, UserHi int
+	// Multiplier scales the cohort's rate inside the window (>= 1).
+	Multiplier float64
+}
+
+// ScenarioConfig parameterizes the population-scale generator.
+type ScenarioConfig struct {
+	// Users is the modeled population size.
+	Users int
+	// Duration is the scenario length in virtual time.
+	Duration time.Duration
+	// BaseRateHz is one user's mean request rate at diurnal
+	// multiplier 1.
+	BaseRateHz float64
+	// Diurnal is a 24-entry multiplier curve indexed by virtual hour
+	// (nil = flat 1.0; see DefaultDiurnal).
+	Diurnal []float64
+	// DiurnalPeriod is the virtual length of one "day" (0 = 24h).
+	// Compressing it lets short benches exercise the full curve.
+	DiurnalPeriod time.Duration
+	// Crowds are flash-crowd events layered on the baseline.
+	Crowds []FlashCrowd
+	// SessionGap is the idle gap that starts a new user session
+	// (0 = 30s virtual). Session starts are marked probabilistically:
+	// for a Poisson user at rate λ the chance the preceding arrival
+	// was more than G ago is e^(-λG), so the flag is drawn Bernoulli
+	// with that probability instead of tracking per-user last-arrival
+	// state (which would be O(users), not O(blocks)).
+	SessionGap time.Duration
+	// Pool and Sizer supply the task draws, as everywhere else in the
+	// package.
+	Pool  *tasks.Pool
+	Sizer Sizer
+	// TaskMix weights task draws by name (nil = uniform pool draw).
+	TaskMix map[string]float64
+	// BlockSize is the users-per-block generation unit (0 = 4096).
+	// It is part of the schedule identity: changing it re-partitions
+	// the RNG substreams and produces a different (equally valid)
+	// schedule. Shard count is NOT part of the identity.
+	BlockSize int
+}
+
+// DefaultBlockSize is the users-per-block generation unit when
+// ScenarioConfig.BlockSize is zero.
+const DefaultBlockSize = 4096
+
+// DefaultDiurnal returns the scenario baseline day curve: quiet nights
+// (~0.2x), a morning ramp, a midday plateau and an evening peak
+// (~1.8x) — the shape of the usage study's in-session activity with a
+// nonzero night floor so the process never fully stops.
+func DefaultDiurnal() []float64 {
+	return []float64{
+		0.30, 0.22, 0.18, 0.15, 0.15, 0.20, // 00-05
+		0.35, 0.60, 0.90, 1.10, 1.20, 1.30, // 06-11
+		1.35, 1.30, 1.20, 1.15, 1.20, 1.35, // 12-17
+		1.55, 1.75, 1.80, 1.60, 1.10, 0.60, // 18-23
+	}
+}
+
+// scenarioState is the normalized, validated scenario shared by all of
+// its block streams.
+type scenarioState struct {
+	cfg        ScenarioConfig
+	curve      []float64
+	curveMax   float64
+	period     time.Duration
+	sessionSec float64
+	mix        []mixEntry // nil → uniform pool draw
+	mixTotal   float64
+}
+
+type mixEntry struct {
+	task tasks.Task
+	cum  float64
+}
+
+func newScenarioState(cfg ScenarioConfig) (*scenarioState, error) {
+	if cfg.Users <= 0 {
+		return nil, fmt.Errorf("workload: users %d <= 0", cfg.Users)
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("workload: duration %v <= 0", cfg.Duration)
+	}
+	if cfg.BaseRateHz <= 0 {
+		return nil, fmt.Errorf("workload: base rate %v <= 0", cfg.BaseRateHz)
+	}
+	if cfg.Pool == nil {
+		return nil, errors.New("workload: nil pool")
+	}
+	if cfg.Sizer == nil {
+		return nil, errors.New("workload: nil sizer")
+	}
+	if cfg.BlockSize == 0 {
+		cfg.BlockSize = DefaultBlockSize
+	}
+	if cfg.BlockSize < 0 {
+		return nil, fmt.Errorf("workload: block size %d < 0", cfg.BlockSize)
+	}
+	st := &scenarioState{cfg: cfg}
+
+	st.curve = cfg.Diurnal
+	if st.curve == nil {
+		st.curve = []float64{1}
+	}
+	for i, v := range st.curve {
+		if v < 0 {
+			return nil, fmt.Errorf("workload: diurnal[%d] = %v < 0", i, v)
+		}
+		if v > st.curveMax {
+			st.curveMax = v
+		}
+	}
+	if st.curveMax == 0 {
+		return nil, errors.New("workload: diurnal curve is all zero")
+	}
+	st.period = cfg.DiurnalPeriod
+	if st.period <= 0 {
+		st.period = 24 * time.Hour
+	}
+
+	for i, c := range cfg.Crowds {
+		if c.Multiplier < 1 {
+			return nil, fmt.Errorf("workload: crowd %d multiplier %v < 1", i, c.Multiplier)
+		}
+		if c.UserLo < 0 || c.UserHi > cfg.Users || c.UserLo >= c.UserHi {
+			return nil, fmt.Errorf("workload: crowd %d cohort [%d,%d) outside [0,%d)", i, c.UserLo, c.UserHi, cfg.Users)
+		}
+		if c.Start < 0 || c.Duration <= 0 {
+			return nil, fmt.Errorf("workload: crowd %d window start %v duration %v invalid", i, c.Start, c.Duration)
+		}
+	}
+
+	gap := cfg.SessionGap
+	if gap <= 0 {
+		gap = 30 * time.Second
+	}
+	st.sessionSec = gap.Seconds()
+
+	if cfg.TaskMix != nil {
+		// Deterministic cumulative-weight table in pool order.
+		for _, name := range cfg.Pool.Names() {
+			w, ok := cfg.TaskMix[name]
+			if !ok {
+				continue
+			}
+			if w < 0 {
+				return nil, fmt.Errorf("workload: task mix weight %q = %v < 0", name, w)
+			}
+			if w == 0 {
+				continue
+			}
+			t, err := cfg.Pool.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			st.mixTotal += w
+			st.mix = append(st.mix, mixEntry{task: t, cum: st.mixTotal})
+		}
+		if len(st.mix) != len(cfg.TaskMix) {
+			for name := range cfg.TaskMix {
+				if _, err := cfg.Pool.ByName(name); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if st.mixTotal <= 0 {
+			return nil, errors.New("workload: task mix has no positive weight")
+		}
+	}
+	return st, nil
+}
+
+// diurnalAt evaluates the day-curve multiplier at offset t.
+func (st *scenarioState) diurnalAt(t time.Duration) float64 {
+	phase := t % st.period
+	idx := int(int64(phase) * int64(len(st.curve)) / int64(st.period))
+	if idx >= len(st.curve) {
+		idx = len(st.curve) - 1
+	}
+	return st.curve[idx]
+}
+
+// drawTask picks a task from the mix (or uniformly from the pool) and
+// fills the (task, size, work) triple.
+func (st *scenarioState) drawTask(r *rand.Rand, req *Request) {
+	var t tasks.Task
+	if st.mix == nil {
+		t = st.cfg.Pool.Random(r)
+	} else {
+		v := r.Float64() * st.mixTotal
+		t = st.mix[len(st.mix)-1].task
+		for i := range st.mix {
+			if v < st.mix[i].cum {
+				t = st.mix[i].task
+				break
+			}
+		}
+	}
+	req.TaskName = t.Name()
+	req.Size = st.cfg.Sizer.Draw(r, req.TaskName)
+	req.Work = t.Work(req.Size)
+}
+
+// crowdSpan is a flash crowd clipped to one block's user range.
+type crowdSpan struct {
+	lo, hi     int
+	start, end time.Duration
+	mult       float64
+}
+
+// blockStream runs the aggregated arrival process of users [lo, hi):
+// a thinned Poisson stream at the block's peak rate, accepted with
+// probability λ(t)/λmax where λ(t) folds the diurnal curve and every
+// crowd active over the block at t. Accepted arrivals pick a user by
+// weight (crowd users count at their multiplier), then draw task,
+// size, and the session-start flag. All randomness comes from the
+// block's own light substream, so the block's sequence is a pure
+// function of (root seed, block index, config).
+type blockStream struct {
+	st     *scenarioState
+	rng    *rand.Rand
+	lo, hi int
+	crowds []crowdSpan
+	t      time.Duration
+	lmax   float64 // peak aggregate rate, arrivals/sec
+	done   bool
+}
+
+var _ Stream = (*blockStream)(nil)
+
+func newBlockStream(root *sim.RNG, st *scenarioState, b int) *blockStream {
+	lo := b * st.cfg.BlockSize
+	hi := lo + st.cfg.BlockSize
+	if hi > st.cfg.Users {
+		hi = st.cfg.Users
+	}
+	s := &blockStream{
+		st:  st,
+		rng: root.Sub("scenario").LightN("block", b),
+		lo:  lo,
+		hi:  hi,
+	}
+	// Peak weight: every block user at the curve max, plus each
+	// crowd's extra weight over its intersection with the block —
+	// summed over all crowds as a safe (if loose) simultaneous bound.
+	peakWeight := float64(hi - lo)
+	for _, c := range st.cfg.Crowds {
+		clo, chi := c.UserLo, c.UserHi
+		if clo < lo {
+			clo = lo
+		}
+		if chi > hi {
+			chi = hi
+		}
+		if clo >= chi {
+			continue
+		}
+		s.crowds = append(s.crowds, crowdSpan{
+			lo:    clo,
+			hi:    chi,
+			start: c.Start,
+			end:   c.Start + c.Duration,
+			mult:  c.Multiplier,
+		})
+		peakWeight += float64(chi-clo) * (c.Multiplier - 1)
+	}
+	s.lmax = st.cfg.BaseRateHz * st.curveMax * peakWeight
+	return s
+}
+
+// weightAt returns the block's aggregate user weight at t (base users
+// at 1, crowd users at their multiplier while their window is active).
+func (s *blockStream) weightAt(t time.Duration) float64 {
+	w := float64(s.hi - s.lo)
+	for i := range s.crowds {
+		c := &s.crowds[i]
+		if t >= c.start && t < c.end {
+			w += float64(c.hi-c.lo) * (c.mult - 1)
+		}
+	}
+	return w
+}
+
+// pickUser maps v ∈ [0, weightAt(t)) to a user id: the first
+// (hi-lo)-sized slab is the whole block at base weight, each active
+// crowd appends an extra slab of (users × (mult-1)). Returns the user
+// and that user's total rate multiplier at t.
+func (s *blockStream) pickUser(v float64, t time.Duration) (int, float64) {
+	n := s.hi - s.lo
+	if v < float64(n) {
+		u := s.lo + int(v)
+		if u >= s.hi {
+			u = s.hi - 1
+		}
+		return u, s.userMult(u, t)
+	}
+	v -= float64(n)
+	for i := range s.crowds {
+		c := &s.crowds[i]
+		if t < c.start || t >= c.end {
+			continue
+		}
+		extra := float64(c.hi-c.lo) * (c.mult - 1)
+		if v < extra {
+			u := c.lo + int(v/(c.mult-1))
+			if u >= c.hi {
+				u = c.hi - 1
+			}
+			return u, s.userMult(u, t)
+		}
+		v -= extra
+	}
+	// Float rounding spilled past the last slab; clamp to the block end.
+	return s.hi - 1, s.userMult(s.hi-1, t)
+}
+
+// userMult is user u's rate multiplier at t across active crowds.
+func (s *blockStream) userMult(u int, t time.Duration) float64 {
+	m := 1.0
+	for i := range s.crowds {
+		c := &s.crowds[i]
+		if u >= c.lo && u < c.hi && t >= c.start && t < c.end {
+			m += c.mult - 1
+		}
+	}
+	return m
+}
+
+// Next implements Stream.
+func (s *blockStream) Next(req *Request) bool {
+	if s.done {
+		return false
+	}
+	st := s.st
+	for {
+		gap := time.Duration(s.rng.ExpFloat64() / s.lmax * float64(time.Second))
+		if gap <= 0 {
+			gap = time.Nanosecond
+		}
+		s.t += gap
+		if s.t >= st.cfg.Duration {
+			s.done = true
+			return false
+		}
+		d := st.diurnalAt(s.t)
+		w := s.weightAt(s.t)
+		lambda := st.cfg.BaseRateHz * d * w
+		if s.rng.Float64()*s.lmax >= lambda {
+			continue // thinned out
+		}
+		user, mult := s.pickUser(s.rng.Float64()*w, s.t)
+		*req = Request{At: scenarioEpoch.Add(s.t), UserID: user}
+		st.drawTask(s.rng, req)
+		userRate := st.cfg.BaseRateHz * d * mult
+		req.SessionStart = s.rng.Float64() < math.Exp(-userRate*st.sessionSec)
+		return true
+	}
+}
+
+// scenarioEpoch anchors scenario arrival times; replay and digests use
+// offsets from ScenarioStart, so the absolute value is arbitrary but
+// must be fixed for schedule identity.
+var scenarioEpoch = time.Unix(0, 0).UTC()
+
+// ScenarioStart is the virtual start time of every scenario schedule;
+// request offsets (and the schedule digest) are measured from it.
+func ScenarioStart() time.Time { return scenarioEpoch }
+
+// ScenarioBlocks reports how many generation blocks the config
+// partitions into.
+func ScenarioBlocks(cfg ScenarioConfig) int {
+	bs := cfg.BlockSize
+	if bs <= 0 {
+		bs = DefaultBlockSize
+	}
+	return (cfg.Users + bs - 1) / bs
+}
+
+// ScenarioShards builds the scenario's block streams grouped into
+// `shards` contiguous shard streams, each already merged into (At,
+// UserID) order. Shards can be drained concurrently (one goroutine
+// each) and merged with NewMerge; because shard boundaries only
+// regroup whole blocks and never change any block's substream, the
+// final merged sequence is identical for every shard count.
+func ScenarioShards(root *sim.RNG, cfg ScenarioConfig, shards int) ([]Stream, error) {
+	if root == nil {
+		return nil, errors.New("workload: nil rng root")
+	}
+	if shards <= 0 {
+		return nil, fmt.Errorf("workload: shards %d <= 0", shards)
+	}
+	st, err := newScenarioState(cfg)
+	if err != nil {
+		return nil, err
+	}
+	blocks := ScenarioBlocks(st.cfg)
+	if shards > blocks {
+		shards = blocks
+	}
+	out := make([]Stream, 0, shards)
+	for sh := 0; sh < shards; sh++ {
+		lo := sh * blocks / shards
+		hi := (sh + 1) * blocks / shards
+		members := make([]Stream, 0, hi-lo)
+		for b := lo; b < hi; b++ {
+			members = append(members, newBlockStream(root, st, b))
+		}
+		out = append(out, NewMerge(members...))
+	}
+	return out, nil
+}
+
+// NewScenarioStream builds the full scenario as one global stream
+// (a merge over every block). Equivalent to merging ScenarioShards at
+// any shard count.
+func NewScenarioStream(root *sim.RNG, cfg ScenarioConfig) (Stream, error) {
+	shards, err := ScenarioShards(root, cfg, 1)
+	if err != nil {
+		return nil, err
+	}
+	if len(shards) == 1 {
+		return shards[0], nil
+	}
+	return NewMerge(shards...), nil
+}
+
+// ExpectedRequests estimates the schedule's request count: base
+// population at the diurnal mean plus each crowd's extra arrivals.
+// It is an estimate (the realized count is a Poisson draw), used for
+// sizing and throughput reporting.
+func ExpectedRequests(cfg ScenarioConfig) float64 {
+	curve := cfg.Diurnal
+	if curve == nil {
+		curve = []float64{1}
+	}
+	mean := 0.0
+	for _, v := range curve {
+		mean += v
+	}
+	mean /= float64(len(curve))
+	total := float64(cfg.Users) * cfg.BaseRateHz * cfg.Duration.Seconds() * mean
+	for _, c := range cfg.Crowds {
+		dur := c.Duration
+		if c.Start+dur > cfg.Duration {
+			dur = cfg.Duration - c.Start
+		}
+		if dur <= 0 {
+			continue
+		}
+		total += float64(c.UserHi-c.UserLo) * (c.Multiplier - 1) * cfg.BaseRateHz * dur.Seconds() * mean
+	}
+	return total
+}

@@ -1,0 +1,314 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"time"
+
+	"accelcloud/internal/sim"
+	"accelcloud/internal/tasks"
+)
+
+// This file is the streaming half of the workload package: request
+// schedules as lazily-evaluated, time-ordered streams instead of
+// materialized slices. A Stream yields one Request at a time; the
+// loser-tree Merge combines any number of time-ordered streams into one
+// global arrival order; StreamDigest folds a stream into the fnv1a
+// schedule digest without ever holding more than one request resident.
+// Together they turn schedule generation from O(total requests) memory
+// (build everything, sort.Slice the lot) into O(streams): the property
+// that lets the scenario engine (scenario.go) model a million users.
+
+// Stream lazily emits a time-ordered request sequence. Next fills req
+// and reports whether a request was produced; after the first false it
+// keeps returning false. Implementations write every field they own and
+// must emit non-decreasing (At, UserID) keys.
+type Stream interface {
+	Next(req *Request) bool
+}
+
+// drawInto is the allocation-free variant of draw: it writes the
+// (task, size, work) triple into req. The task set is resolved by the
+// caller (fixed task validated at stream construction), so drawing
+// cannot fail mid-stream.
+func drawInto(r *rand.Rand, pool *tasks.Pool, sizer Sizer, fixed tasks.Task, req *Request) {
+	t := fixed
+	if t == nil {
+		t = pool.Random(r)
+	}
+	req.TaskName = t.Name()
+	req.Size = sizer.Draw(r, req.TaskName)
+	req.Work = t.Work(req.Size)
+}
+
+// resolveFixed validates a FixedTask name against the pool once, so
+// streams never hit the unknown-task error mid-iteration.
+func resolveFixed(pool *tasks.Pool, name string) (tasks.Task, error) {
+	if name == "" {
+		return nil, nil
+	}
+	return pool.ByName(name)
+}
+
+// userStream replays one user's open-loop arrival process lazily — the
+// identical draws GenerateUserStreams makes for that user, in the
+// identical order, so a Merge over all users reproduces the
+// materialized generator's output request-for-request.
+type userStream struct {
+	r     *rand.Rand
+	cfg   InterArrivalConfig
+	fixed tasks.Task
+	start time.Time
+	at    time.Time
+	user  int
+	done  bool
+}
+
+// Next implements Stream.
+func (s *userStream) Next(req *Request) bool {
+	if s.done {
+		return false
+	}
+	gapMs := s.cfg.InterArrival.Sample(s.r)
+	if gapMs < 1 {
+		gapMs = 1
+	}
+	s.at = s.at.Add(time.Duration(gapMs * float64(time.Millisecond)))
+	if s.at.Sub(s.start) >= s.cfg.Duration {
+		s.done = true
+		return false
+	}
+	*req = Request{At: s.at, UserID: s.user}
+	drawInto(s.r, s.cfg.Pool, s.cfg.Sizer, s.fixed, req)
+	return true
+}
+
+// InterArrivalStream is the streaming equivalent of
+// GenerateUserStreams: one lazy arrival stream per user (drawing from
+// root.SubN("user", u), exactly like the materialized generator),
+// merged into global (At, UserID) order. Resident memory is O(users),
+// never O(requests); the emitted sequence — and therefore its digest —
+// is bit-identical to sorting GenerateUserStreams' output.
+func InterArrivalStream(root *sim.RNG, start time.Time, cfg InterArrivalConfig) (Stream, error) {
+	if root == nil {
+		return nil, errors.New("workload: nil rng root")
+	}
+	if cfg.Users <= 0 {
+		return nil, fmt.Errorf("workload: users %d <= 0", cfg.Users)
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("workload: duration %v <= 0", cfg.Duration)
+	}
+	if cfg.InterArrival == nil {
+		return nil, errors.New("workload: nil inter-arrival distribution")
+	}
+	if cfg.Pool == nil {
+		return nil, errors.New("workload: nil pool")
+	}
+	if cfg.Sizer == nil {
+		return nil, errors.New("workload: nil sizer")
+	}
+	fixed, err := resolveFixed(cfg.Pool, cfg.FixedTask)
+	if err != nil {
+		return nil, err
+	}
+	streams := make([]Stream, cfg.Users)
+	for u := 0; u < cfg.Users; u++ {
+		streams[u] = &userStream{
+			r:     root.SubN("user", u).Stream("arrivals"),
+			cfg:   cfg,
+			fixed: fixed,
+			start: start,
+			at:    start,
+			user:  u,
+		}
+	}
+	return NewMerge(streams...), nil
+}
+
+// Merge is a loser-tree k-way merge of time-ordered streams. Each call
+// to Next emits the globally smallest pending (At, UserID) key and
+// refills that leaf from its stream, so merging k streams costs
+// O(log k) comparisons per request with k requests resident — the
+// merge never buffers beyond one head per input.
+//
+// The output order is a pure function of the emitted keys: ties
+// between different streams break on UserID, and a single stream's own
+// requests keep their emission order. Because the key order never
+// consults stream indices, regrouping the same leaves into intermediate
+// Merges (sharded generation at any fan-in) produces a bit-identical
+// global sequence.
+type Merge struct {
+	streams []Stream
+	heads   []Request
+	alive   []bool
+	node    []int // node[0] = winner; node[1..k-1] = losers on the path
+	k       int
+	primed  bool
+}
+
+var _ Stream = (*Merge)(nil)
+
+// NewMerge builds the merge over the given streams.
+func NewMerge(streams ...Stream) *Merge {
+	k := len(streams)
+	m := &Merge{
+		streams: streams,
+		heads:   make([]Request, k),
+		alive:   make([]bool, k),
+		node:    make([]int, k),
+		k:       k,
+	}
+	return m
+}
+
+// less orders leaf a's head strictly before leaf b's; exhausted leaves
+// order after everything.
+func (m *Merge) less(a, b int) bool {
+	if !m.alive[a] {
+		return false
+	}
+	if !m.alive[b] {
+		return true
+	}
+	ha, hb := &m.heads[a], &m.heads[b]
+	if !ha.At.Equal(hb.At) {
+		return ha.At.Before(hb.At)
+	}
+	return ha.UserID < hb.UserID
+}
+
+// adjust replays leaf i from its node up to the root, swapping with
+// stored losers it does not beat, and records the overall winner.
+// During construction a climbing leaf that reaches an empty (-1) slot
+// has no opponent yet: it parks there and stops — each internal node
+// hosts exactly one match, so after all k leaves have climbed, every
+// internal node holds its match's loser and node[0] the champion.
+func (m *Merge) adjust(i int) {
+	w := i
+	for n := (m.k + i) / 2; n >= 1; n /= 2 {
+		if m.node[n] == -1 {
+			m.node[n] = w
+			return
+		}
+		if !m.less(w, m.node[n]) {
+			w, m.node[n] = m.node[n], w
+		}
+	}
+	m.node[0] = w
+}
+
+// prime pulls the first head of every stream and builds the tree.
+func (m *Merge) prime() {
+	m.primed = true
+	for i := range m.node {
+		m.node[i] = -1
+	}
+	for i := 0; i < m.k; i++ {
+		m.alive[i] = m.streams[i].Next(&m.heads[i])
+	}
+	for i := 0; i < m.k; i++ {
+		m.adjust(i)
+	}
+}
+
+// Next implements Stream.
+func (m *Merge) Next(req *Request) bool {
+	if m.k == 0 {
+		return false
+	}
+	if !m.primed {
+		m.prime()
+	}
+	w := m.node[0]
+	if w == -1 || !m.alive[w] {
+		return false
+	}
+	*req = m.heads[w]
+	m.alive[w] = m.streams[w].Next(&m.heads[w])
+	m.adjust(w)
+	return true
+}
+
+// Collect drains a stream into a slice — the bridge back to the
+// materialized API for small configs and tests.
+func Collect(s Stream) []Request {
+	var out []Request
+	var req Request
+	for s.Next(&req) {
+		out = append(out, req)
+	}
+	return out
+}
+
+// Digester folds requests into the workload-level fnv1a schedule
+// digest incrementally: offset-from-start, user, task, size, and the
+// session-start flag of every request in stream order. Feeding it from
+// a Stream digests a schedule that is never materialized; feeding it a
+// generated slice digests the equivalent materialized schedule — the
+// parity suite pins that the two agree bit-for-bit.
+type Digester struct {
+	h     interface{ Sum64() uint64 }
+	w     interface{ Write([]byte) (int, error) }
+	start time.Time
+	buf   [8]byte
+	n     int
+}
+
+// NewDigester starts a digest with arrival offsets measured from start.
+func NewDigester(start time.Time) *Digester {
+	h := fnv.New64a()
+	return &Digester{h: h, w: h, start: start}
+}
+
+// Add folds one request.
+func (d *Digester) Add(req *Request) {
+	d.n++
+	d.writeInt(int64(req.At.Sub(d.start)))
+	d.writeInt(int64(req.UserID))
+	_, _ = d.w.Write([]byte(req.TaskName))
+	d.writeInt(int64(req.Size))
+	if req.SessionStart {
+		_, _ = d.w.Write([]byte{1})
+	} else {
+		_, _ = d.w.Write([]byte{0})
+	}
+}
+
+// Requests reports how many requests were folded in.
+func (d *Digester) Requests() int { return d.n }
+
+// Sum renders the digest in the repository's fnv1a:%016x convention.
+func (d *Digester) Sum() string {
+	return fmt.Sprintf("fnv1a:%016x", d.h.Sum64())
+}
+
+func (d *Digester) writeInt(v int64) {
+	for i := 0; i < 8; i++ {
+		d.buf[i] = byte(uint64(v) >> (8 * i))
+	}
+	_, _ = d.w.Write(d.buf[:])
+}
+
+// StreamDigest drains a stream into its schedule digest and request
+// count without materializing it.
+func StreamDigest(s Stream, start time.Time) (string, int) {
+	d := NewDigester(start)
+	var req Request
+	for s.Next(&req) {
+		d.Add(&req)
+	}
+	return d.Sum(), d.Requests()
+}
+
+// DigestRequests digests an already-materialized schedule with the same
+// fold as StreamDigest — the parity anchor between the two APIs.
+func DigestRequests(reqs []Request, start time.Time) string {
+	d := NewDigester(start)
+	for i := range reqs {
+		d.Add(&reqs[i])
+	}
+	return d.Sum()
+}

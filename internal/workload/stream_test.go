@@ -1,0 +1,503 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"accelcloud/internal/sim"
+	"accelcloud/internal/stats"
+	"accelcloud/internal/tasks"
+)
+
+func interArrivalCfg(users int) InterArrivalConfig {
+	return InterArrivalConfig{
+		Users:        users,
+		InterArrival: stats.Exponential{Rate: 1.0 / 400}, // mean 400ms
+		Duration:     20 * time.Second,
+		Pool:         tasks.DefaultPool(),
+		Sizer:        DefaultSizer(),
+	}
+}
+
+// The streaming generator must be bit-identical to the materialized
+// per-user-substream generator: same requests, same order, same digest.
+func TestInterArrivalStreamMatchesUserStreams(t *testing.T) {
+	root := sim.NewRNG(1234)
+	start := time.Unix(0, 0).UTC()
+	cfg := interArrivalCfg(16)
+
+	want, err := GenerateUserStreams(root, start, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := InterArrivalStream(root, start, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Collect(s)
+	if len(got) != len(want) {
+		t.Fatalf("stream emitted %d requests, materialized %d", len(got), len(want))
+	}
+	if !reflect.DeepEqual(got, want) {
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("first divergence at %d: stream %+v, materialized %+v", i, got[i], want[i])
+			}
+		}
+	}
+
+	s2, err := InterArrivalStream(root, start, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamDigest, n := StreamDigest(s2, start)
+	if matDigest := DigestRequests(want, start); streamDigest != matDigest {
+		t.Fatalf("stream digest %s != materialized digest %s", streamDigest, matDigest)
+	}
+	if n != len(want) {
+		t.Fatalf("StreamDigest counted %d requests, want %d", n, len(want))
+	}
+}
+
+// GenerateInterArrival draws every user from one shared rand in
+// user-major order, which no merge-order lazy consumer can replicate
+// for multiple users; for a single user the shared rand IS the user's
+// stream, so feeding the same substream must reproduce its output and
+// digest exactly.
+func TestInterArrivalStreamMatchesGenerateInterArrival(t *testing.T) {
+	root := sim.NewRNG(777)
+	start := time.Unix(0, 0).UTC()
+	cfg := interArrivalCfg(1)
+
+	r := root.SubN("user", 0).Stream("arrivals")
+	want, err := GenerateInterArrival(r, start, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("empty materialized schedule")
+	}
+	s, err := InterArrivalStream(root, start, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Collect(s)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("stream diverged from GenerateInterArrival: %d vs %d requests", len(got), len(want))
+	}
+	s2, _ := InterArrivalStream(root, start, cfg)
+	d, _ := StreamDigest(s2, start)
+	if want := DigestRequests(want, start); d != want {
+		t.Fatalf("digest %s != %s", d, want)
+	}
+}
+
+func TestInterArrivalStreamFixedTask(t *testing.T) {
+	root := sim.NewRNG(5)
+	start := time.Unix(0, 0).UTC()
+	cfg := interArrivalCfg(4)
+	cfg.FixedTask = "minimax"
+
+	want, err := GenerateUserStreams(root, start, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := InterArrivalStream(root, start, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Collect(s)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("fixed-task stream diverged from materialized generator")
+	}
+	for i := range got {
+		if got[i].TaskName != "minimax" {
+			t.Fatalf("request %d task %q, want minimax", i, got[i].TaskName)
+		}
+	}
+
+	cfg.FixedTask = "no-such-task"
+	if _, err := InterArrivalStream(root, start, cfg); err == nil {
+		t.Fatal("unknown fixed task accepted")
+	}
+}
+
+// sliceStream replays a fixed schedule — test scaffolding for the merge.
+type sliceStream struct {
+	reqs []Request
+	i    int
+}
+
+func (s *sliceStream) Next(req *Request) bool {
+	if s.i >= len(s.reqs) {
+		return false
+	}
+	*req = s.reqs[s.i]
+	s.i++
+	return true
+}
+
+// Regrouping the same leaves into intermediate merges at any fan-in
+// must not change the emitted sequence.
+func TestMergeShardInvariance(t *testing.T) {
+	root := sim.NewRNG(42)
+	start := time.Unix(0, 0).UTC()
+	cfg := interArrivalCfg(12)
+
+	flat, err := GenerateUserStreams(root, start, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perUser := make([][]Request, cfg.Users)
+	for _, req := range flat {
+		perUser[req.UserID] = append(perUser[req.UserID], req)
+	}
+	wantDigest := DigestRequests(flat, start)
+
+	for _, shards := range []int{1, 2, 3, 5, 12} {
+		groups := make([]Stream, 0, shards)
+		for sh := 0; sh < shards; sh++ {
+			lo := sh * cfg.Users / shards
+			hi := (sh + 1) * cfg.Users / shards
+			members := make([]Stream, 0, hi-lo)
+			for u := lo; u < hi; u++ {
+				members = append(members, &sliceStream{reqs: perUser[u]})
+			}
+			groups = append(groups, NewMerge(members...))
+		}
+		d, n := StreamDigest(NewMerge(groups...), start)
+		if d != wantDigest {
+			t.Fatalf("%d shards: digest %s, want %s", shards, d, wantDigest)
+		}
+		if n != len(flat) {
+			t.Fatalf("%d shards: %d requests, want %d", shards, n, len(flat))
+		}
+	}
+}
+
+func TestMergeOrderingAndEdgeCases(t *testing.T) {
+	if got := Collect(NewMerge()); got != nil {
+		t.Fatalf("empty merge emitted %d requests", len(got))
+	}
+	if got := Collect(NewMerge(&sliceStream{})); got != nil {
+		t.Fatalf("merge of one empty stream emitted %d requests", len(got))
+	}
+
+	base := time.Unix(0, 0).UTC()
+	a := &sliceStream{reqs: []Request{
+		{At: base.Add(1 * time.Millisecond), UserID: 0},
+		{At: base.Add(5 * time.Millisecond), UserID: 0},
+	}}
+	b := &sliceStream{reqs: []Request{
+		{At: base.Add(1 * time.Millisecond), UserID: 1},
+		{At: base.Add(2 * time.Millisecond), UserID: 1},
+	}}
+	c := &sliceStream{} // exhausted from the start
+	got := Collect(NewMerge(a, c, b))
+	if len(got) != 4 {
+		t.Fatalf("merged %d requests, want 4", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool {
+		if !got[i].At.Equal(got[j].At) {
+			return got[i].At.Before(got[j].At)
+		}
+		return got[i].UserID < got[j].UserID
+	}) {
+		t.Fatalf("merge output not in (At, UserID) order: %+v", got)
+	}
+	// Tie at 1ms must break on UserID.
+	if got[0].UserID != 0 || got[1].UserID != 1 {
+		t.Fatalf("tie-break wrong: users %d, %d", got[0].UserID, got[1].UserID)
+	}
+}
+
+func scenarioCfg(users int) ScenarioConfig {
+	return ScenarioConfig{
+		Users:         users,
+		Duration:      2 * time.Minute,
+		BaseRateHz:    0.05,
+		Diurnal:       DefaultDiurnal(),
+		DiurnalPeriod: time.Minute, // compressed day
+		Pool:          tasks.DefaultPool(),
+		Sizer:         DefaultSizer(),
+		BlockSize:     128,
+	}
+}
+
+func TestScenarioDeterministicAndShardInvariant(t *testing.T) {
+	cfg := scenarioCfg(1500)
+	start := ScenarioStart()
+
+	s, err := NewScenarioStream(sim.NewRNG(9), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDigest, wantN := StreamDigest(s, start)
+	if wantN == 0 {
+		t.Fatal("scenario emitted no requests")
+	}
+
+	for _, shards := range []int{1, 2, 4, 7, 64} {
+		shardStreams, err := ScenarioShards(sim.NewRNG(9), cfg, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, n := StreamDigest(NewMerge(shardStreams...), start)
+		if d != wantDigest || n != wantN {
+			t.Fatalf("%d shards: (%s, %d), want (%s, %d)", shards, d, n, wantDigest, wantN)
+		}
+	}
+
+	other, err := NewScenarioStream(sim.NewRNG(10), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := StreamDigest(other, start); d == wantDigest {
+		t.Fatal("different seeds produced identical scenario digests")
+	}
+}
+
+func TestScenarioOrderedAndInPopulation(t *testing.T) {
+	cfg := scenarioCfg(700)
+	s, err := NewScenarioStream(sim.NewRNG(3), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev Request
+	first := true
+	var req Request
+	n := 0
+	for s.Next(&req) {
+		n++
+		if req.UserID < 0 || req.UserID >= cfg.Users {
+			t.Fatalf("user %d outside [0,%d)", req.UserID, cfg.Users)
+		}
+		off := req.At.Sub(ScenarioStart())
+		if off < 0 || off >= cfg.Duration {
+			t.Fatalf("arrival offset %v outside [0,%v)", off, cfg.Duration)
+		}
+		if req.TaskName == "" || req.Work <= 0 {
+			t.Fatalf("unfilled draw: %+v", req)
+		}
+		if !first {
+			if req.At.Before(prev.At) || (req.At.Equal(prev.At) && req.UserID < prev.UserID) {
+				t.Fatalf("out of order: %v/%d after %v/%d", req.At, req.UserID, prev.At, prev.UserID)
+			}
+		}
+		prev, first = req, false
+	}
+	if n == 0 {
+		t.Fatal("no requests")
+	}
+}
+
+// A flash crowd must lift its cohort's share of traffic during the
+// window and leave it untouched outside.
+func TestScenarioFlashCrowd(t *testing.T) {
+	cfg := scenarioCfg(1000)
+	cfg.Diurnal = nil // flat baseline isolates the crowd effect
+	crowd := FlashCrowd{
+		Start:      30 * time.Second,
+		Duration:   30 * time.Second,
+		UserLo:     0,
+		UserHi:     100,
+		Multiplier: 8,
+	}
+	cfg.Crowds = []FlashCrowd{crowd}
+
+	s, err := NewScenarioStream(sim.NewRNG(21), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inWindow, inWindowCohort, outside, outsideCohort int
+	var req Request
+	for s.Next(&req) {
+		off := req.At.Sub(ScenarioStart())
+		cohort := req.UserID >= crowd.UserLo && req.UserID < crowd.UserHi
+		if off >= crowd.Start && off < crowd.Start+crowd.Duration {
+			inWindow++
+			if cohort {
+				inWindowCohort++
+			}
+		} else {
+			outside++
+			if cohort {
+				outsideCohort++
+			}
+		}
+	}
+	if inWindow == 0 || outside == 0 {
+		t.Fatalf("degenerate split: %d in window, %d outside", inWindow, outside)
+	}
+	// Cohort is 10% of users; at 8x it should carry
+	// 100*8/(900+800) ≈ 47% of in-window traffic vs ~10% outside.
+	inShare := float64(inWindowCohort) / float64(inWindow)
+	outShare := float64(outsideCohort) / float64(outside)
+	if inShare < 0.35 {
+		t.Fatalf("cohort share during crowd %.2f, want ≥ 0.35", inShare)
+	}
+	if outShare > 0.15 {
+		t.Fatalf("cohort share outside crowd %.2f, want ≤ 0.15", outShare)
+	}
+}
+
+// Zero-weight diurnal hours must emit nothing; peak hours must emit
+// more than off-peak.
+func TestScenarioDiurnalShape(t *testing.T) {
+	cfg := scenarioCfg(800)
+	curve := make([]float64, 24)
+	for h := 0; h < 12; h++ {
+		curve[h] = 0 // silent first half-day
+	}
+	for h := 12; h < 24; h++ {
+		curve[h] = 1
+	}
+	cfg.Diurnal = curve
+	cfg.DiurnalPeriod = time.Minute
+	cfg.Duration = 3 * time.Minute
+
+	s, err := NewScenarioStream(sim.NewRNG(17), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var silent, active int
+	var req Request
+	for s.Next(&req) {
+		phase := req.At.Sub(ScenarioStart()) % cfg.DiurnalPeriod
+		if phase < cfg.DiurnalPeriod/2 {
+			silent++
+		} else {
+			active++
+		}
+	}
+	if silent != 0 {
+		t.Fatalf("%d requests during zero-weight hours", silent)
+	}
+	if active == 0 {
+		t.Fatal("no requests during active hours")
+	}
+}
+
+func TestScenarioSessionStarts(t *testing.T) {
+	cfg := scenarioCfg(500)
+	countStarts := func(gap time.Duration) (starts, total int) {
+		c := cfg
+		c.SessionGap = gap
+		s, err := NewScenarioStream(sim.NewRNG(8), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var req Request
+		for s.Next(&req) {
+			total++
+			if req.SessionStart {
+				starts++
+			}
+		}
+		return
+	}
+	// Tiny gap → almost every request starts a session; huge gap →
+	// almost none. λ≈0.05/s, so e^(-λG) ≈ 1 at G=1ms and ≈0 at G=1h.
+	shortStarts, shortTotal := countStarts(time.Millisecond)
+	longStarts, longTotal := countStarts(time.Hour)
+	if shortTotal == 0 || longTotal == 0 {
+		t.Fatal("no requests generated")
+	}
+	if frac := float64(shortStarts) / float64(shortTotal); frac < 0.9 {
+		t.Fatalf("short-gap session-start fraction %.2f, want ≥ 0.9", frac)
+	}
+	if frac := float64(longStarts) / float64(longTotal); frac > 0.1 {
+		t.Fatalf("long-gap session-start fraction %.2f, want ≤ 0.1", frac)
+	}
+}
+
+func TestScenarioTaskMix(t *testing.T) {
+	cfg := scenarioCfg(400)
+	cfg.TaskMix = map[string]float64{"minimax": 3, "fft": 1}
+	s, err := NewScenarioStream(sim.NewRNG(4), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	var req Request
+	total := 0
+	for s.Next(&req) {
+		counts[req.TaskName]++
+		total++
+	}
+	if len(counts) != 2 || counts["minimax"] == 0 || counts["fft"] == 0 {
+		t.Fatalf("task mix drew %v, want only minimax+fft", counts)
+	}
+	ratio := float64(counts["minimax"]) / float64(total)
+	if math.Abs(ratio-0.75) > 0.08 {
+		t.Fatalf("minimax share %.2f, want ≈ 0.75", ratio)
+	}
+
+	cfg.TaskMix = map[string]float64{"no-such": 1}
+	if _, err := NewScenarioStream(sim.NewRNG(4), cfg); err == nil {
+		t.Fatal("unknown task-mix name accepted")
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	base := scenarioCfg(100)
+	cases := []struct {
+		name   string
+		mutate func(*ScenarioConfig)
+	}{
+		{"zero users", func(c *ScenarioConfig) { c.Users = 0 }},
+		{"zero duration", func(c *ScenarioConfig) { c.Duration = 0 }},
+		{"zero rate", func(c *ScenarioConfig) { c.BaseRateHz = 0 }},
+		{"nil pool", func(c *ScenarioConfig) { c.Pool = nil }},
+		{"nil sizer", func(c *ScenarioConfig) { c.Sizer = nil }},
+		{"negative diurnal", func(c *ScenarioConfig) { c.Diurnal = []float64{1, -1} }},
+		{"all-zero diurnal", func(c *ScenarioConfig) { c.Diurnal = []float64{0, 0} }},
+		{"crowd multiplier < 1", func(c *ScenarioConfig) {
+			c.Crowds = []FlashCrowd{{Duration: time.Second, UserHi: 10, Multiplier: 0.5}}
+		}},
+		{"crowd cohort out of range", func(c *ScenarioConfig) {
+			c.Crowds = []FlashCrowd{{Duration: time.Second, UserLo: 50, UserHi: 500, Multiplier: 2}}
+		}},
+		{"crowd empty window", func(c *ScenarioConfig) {
+			c.Crowds = []FlashCrowd{{UserHi: 10, Multiplier: 2}}
+		}},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mutate(&cfg)
+		if _, err := NewScenarioStream(sim.NewRNG(1), cfg); err == nil {
+			t.Errorf("%s: config accepted", tc.name)
+		}
+	}
+	if _, err := ScenarioShards(sim.NewRNG(1), base, 0); err == nil {
+		t.Error("zero shards accepted")
+	}
+	if _, err := ScenarioShards(nil, base, 1); err == nil {
+		t.Error("nil root accepted")
+	}
+}
+
+func TestScenarioBlocksAndExpectedRequests(t *testing.T) {
+	cfg := ScenarioConfig{Users: 1000, BlockSize: 128}
+	if got := ScenarioBlocks(cfg); got != 8 {
+		t.Fatalf("ScenarioBlocks = %d, want 8", got)
+	}
+	cfg.BlockSize = 0
+	if got := ScenarioBlocks(cfg); got != 1 {
+		t.Fatalf("ScenarioBlocks default = %d, want 1", got)
+	}
+
+	gen := scenarioCfg(2000)
+	want := ExpectedRequests(gen)
+	s, err := NewScenarioStream(sim.NewRNG(6), gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, n := StreamDigest(s, ScenarioStart())
+	if lo, hi := want*0.8, want*1.2; float64(n) < lo || float64(n) > hi {
+		t.Fatalf("realized %d requests, expected ≈ %.0f (±20%%)", n, want)
+	}
+}

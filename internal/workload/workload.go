@@ -30,6 +30,11 @@ type Request struct {
 	Size int
 	// Work is the task's work-unit cost at that size.
 	Work float64
+	// SessionStart marks the first request of a user session. Session
+	// boundaries let replay amortize per-session costs (e.g. the
+	// inference model load); generators without a session notion leave
+	// it false.
+	SessionStart bool
 }
 
 // Sizer draws a task size for a given pool task so that the heterogeneous
@@ -252,17 +257,27 @@ func GenerateArrivalSweep(r *rand.Rand, start time.Time, cfg ArrivalRateConfig) 
 	uid := 0
 	for s := 0; s < cfg.Steps; s++ {
 		rate := cfg.StartHz * float64(int(1)<<uint(s))
-		interval := time.Duration(float64(time.Second) / rate)
-		if interval <= 0 {
-			interval = time.Nanosecond
+		// Phase arithmetic: the k-th arrival sits at k/rate from the
+		// window start. Computing each offset from k instead of adding a
+		// truncated per-tick interval keeps the realized rate exact —
+		// repeated addition of time.Duration(1s/rate) accumulates the
+		// truncation, drifting the high-rate windows measurably fast
+		// (1024 Hz gained a whole extra request per 10 s window).
+		perTick := float64(time.Second) / rate
+		if perTick < 1 {
+			perTick = 1 // ≥1 ns so offsets keep strictly increasing
 		}
 		windowStart := start.Add(time.Duration(s) * cfg.Step)
-		for at := windowStart; at.Before(windowStart.Add(cfg.Step)); at = at.Add(interval) {
+		for k := 0; ; k++ {
+			offset := time.Duration(float64(k) * perTick)
+			if offset >= cfg.Step {
+				break
+			}
 			req, err := draw(r, cfg.Pool, cfg.Sizer, cfg.FixedTask)
 			if err != nil {
 				return nil, err
 			}
-			req.At = at
+			req.At = windowStart.Add(offset)
 			req.UserID = uid
 			uid++
 			out = append(out, req)

@@ -32,6 +32,40 @@ func TestRangeSizer(t *testing.T) {
 	}
 }
 
+// TestRangeSizerEdgeCases covers the degenerate shapes TestRangeSizer
+// leaves out: an inverted Default range, the zero value (every draw hits
+// the collapsed default [0,0]), and that an inclusive range is actually
+// covered end to end rather than clipped at either bound.
+func TestRangeSizerEdgeCases(t *testing.T) {
+	r := sim.NewRNG(2).Stream("sizer-edge")
+
+	inv := RangeSizer{Default: [2]int{7, 3}}
+	for i := 0; i < 100; i++ {
+		if got := inv.Draw(r, "anything"); got < 3 || got > 7 {
+			t.Fatalf("inverted default Draw = %d out of [3,7]", got)
+		}
+	}
+
+	var zero RangeSizer
+	if got := zero.Draw(r, "anything"); got != 0 {
+		t.Fatalf("zero-value Draw = %d, want 0", got)
+	}
+
+	s := RangeSizer{Ranges: map[string][2]int{"a": {5, 9}}}
+	seen := map[int]bool{}
+	for i := 0; i < 500; i++ {
+		seen[s.Draw(r, "a")] = true
+	}
+	for v := 5; v <= 9; v++ {
+		if !seen[v] {
+			t.Fatalf("value %d in [5,9] never drawn; seen %v", v, seen)
+		}
+	}
+	if len(seen) != 5 {
+		t.Fatalf("drew outside [5,9]: %v", seen)
+	}
+}
+
 func TestFixedSizer(t *testing.T) {
 	if got := (FixedSizer{Size: 9}).Draw(nil, "anything"); got != 9 {
 		t.Fatalf("FixedSizer = %d, want 9", got)
@@ -240,6 +274,37 @@ func TestGenerateArrivalSweep(t *testing.T) {
 			t.Fatal("duplicate user id in sweep")
 		}
 		seen[req.UserID] = true
+	}
+}
+
+// TestGenerateArrivalSweepExactRates pins the realized per-window
+// counts at rates whose tick is not a whole nanosecond count. The old
+// generator advanced by a truncated interval, so truncation accumulated
+// over a window: 1024 Hz (tick 976562.5 ns) emitted 1025 requests per
+// second instead of 1024. Phase arithmetic makes every window exact.
+func TestGenerateArrivalSweepExactRates(t *testing.T) {
+	pool := tasks.DefaultPool()
+	r := sim.NewRNG(7).Stream("sweep-hi")
+	reqs, err := GenerateArrivalSweep(r, sim.Epoch, ArrivalRateConfig{
+		StartHz: 128, Steps: 4, Step: time.Second,
+		Pool: pool, Sizer: DefaultSizer(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := [4]int{}
+	last := time.Duration(-1)
+	for _, req := range reqs {
+		off := req.At.Sub(sim.Epoch)
+		if off <= last {
+			t.Fatalf("arrivals not strictly increasing at %v", off)
+		}
+		last = off
+		counts[int(off/time.Second)]++
+	}
+	// Exactly rate×window requests per window — no truncation drift.
+	if counts != [4]int{128, 256, 512, 1024} {
+		t.Fatalf("per-window counts = %v, want [128 256 512 1024]", counts)
 	}
 }
 
