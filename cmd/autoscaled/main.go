@@ -18,6 +18,12 @@
 // clock — aim cmd/loadgen at it to watch the pools follow the load:
 //
 //	autoscaled -mode serve -listen 127.0.0.1:9103 -slot 5s
+//
+// In serve mode GET /metrics exposes the front-end's hot-path series
+// plus the control loop's pool/warm/slot gauges in Prometheus text
+// exposition; -pprof additionally mounts net/http/pprof under
+// /debug/pprof/ (off by default — the profiling endpoints expose heap
+// contents).
 package main
 
 import (
@@ -33,8 +39,11 @@ import (
 	"syscall"
 	"time"
 
+	"net/http/pprof"
+
 	"accelcloud/internal/autoscale"
 	"accelcloud/internal/loadgen"
+	"accelcloud/internal/obs"
 	"accelcloud/internal/router"
 	"accelcloud/internal/sdn"
 	"accelcloud/internal/sim"
@@ -84,6 +93,7 @@ func run(args []string, out io.Writer) error {
 	maxErrorRate := fs.Float64("max-error-rate", 0, "SLO: allowed error fraction")
 	outPath := fs.String("out", "", "write the JSON report to this path (hermetic mode)")
 	listen := fs.String("listen", "127.0.0.1:9103", "serve mode: front-end listen address")
+	pprofOn := fs.Bool("pprof", false, "serve mode: mount net/http/pprof under /debug/pprof/")
 	var groups groupFlags
 	fs.Var(&groups, "group", "g=type:capacity managed group (repeatable; default 1=t2.nano:4, 2=t2.large:8)")
 	if err := fs.Parse(args); err != nil {
@@ -140,7 +150,7 @@ func run(args []string, out io.Writer) error {
 	case "serve":
 		return serve(ctx, out, groups, *listen, *slot, serveKnobs{
 			cc: *cc, warm: *warm, margin: *margin, cooldown: *cooldown, history: *history,
-			seed: *seed, policy: *policy,
+			seed: *seed, policy: *policy, pprofOn: *pprofOn,
 		})
 	}
 	return fmt.Errorf("unknown mode %q (want hermetic|serve)", *mode)
@@ -150,6 +160,7 @@ type serveKnobs struct {
 	cc, warm, margin, cooldown, history int
 	seed                                int64
 	policy                              string
+	pprofOn                             bool
 }
 
 // serve runs the live control loop: the front-end logs every request
@@ -180,7 +191,15 @@ func serve(ctx context.Context, out io.Writer, groups []autoscale.GroupSpec, lis
 	if err != nil {
 		return err
 	}
-	fe, err := sdn.New(sdn.WithTrace(async), sdn.WithPolicy(pol))
+	// The metrics registry feeds GET /metrics: the front-end registers
+	// its hot-path series, the daemon adds the trace-sink health
+	// counters and (below, once the controller exists) the pool gauges.
+	metrics := obs.NewRegistry()
+	metrics.CounterFunc("accel_trace_dropped_total", "trace records shed by the async sink's full buffer",
+		func() float64 { return float64(async.Dropped()) })
+	metrics.CounterFunc("accel_trace_sink_errors_total", "trace records the downstream sink failed to append",
+		func() float64 { return float64(async.SinkErrors()) })
+	fe, err := sdn.New(sdn.WithTrace(async), sdn.WithPolicy(pol), sdn.WithMetrics(metrics))
 	if err != nil {
 		return err
 	}
@@ -203,7 +222,31 @@ func serve(ctx context.Context, out io.Writer, groups []autoscale.GroupSpec, lis
 	if err := ctrl.Prime(ctx); err != nil {
 		return err
 	}
-	srv := &http.Server{Addr: listen, Handler: fe.Handler()}
+	metrics.GaugeFunc("accel_autoscale_pool_instances", "provisioned surrogate instances across managed groups",
+		func() float64 {
+			total := 0
+			for _, n := range ctrl.PoolSizes() {
+				total += n
+			}
+			return float64(total)
+		})
+	metrics.GaugeFunc("accel_autoscale_warm_instances", "pre-booted spare surrogates in the warm pool",
+		func() float64 { return float64(ctrl.WarmSize()) })
+	metrics.CounterFunc("accel_autoscale_slots_total", "provisioning slots reconciled since start",
+		func() float64 { return float64(len(ctrl.Decisions())) })
+	mux := http.NewServeMux()
+	mux.Handle("/", fe.Handler())
+	mux.Handle("/metrics", metrics.Handler())
+	if k.pprofOn {
+		// Opt-in only: profiling endpoints expose heap contents and must
+		// never be on by default.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	srv := &http.Server{Addr: listen, Handler: mux}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	defer func() { _ = srv.Close() }()

@@ -27,7 +27,12 @@
 // counts (the schedule is deterministic per seed), shard-count
 // invariance, the flash-crowd rate ratio against its hard floor, the
 // streaming pass's peak heap against its hard ceiling, and — within
-// one machine class — generation throughput against the baseline.
+// one machine class — generation throughput against the baseline;
+// obs reports (BENCH_obs.json) gate on the instrumentation on/off p99
+// ratio (hard ceiling 1.5 plus the relative tolerance), exactly zero
+// allocations per metric hot-path operation, exact reproduction of
+// the scraped series count and the span sampling plan (planned count
+// and fnv1a span-ID digest), and full collection of planned spans.
 //
 // A regression is: current p99 latency above baseline × (1 + tolerance),
 // current throughput below baseline × (1 − tolerance) (loadgen),
@@ -48,6 +53,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 
@@ -55,6 +61,7 @@ import (
 	"accelcloud/internal/faults"
 	"accelcloud/internal/geobench"
 	"accelcloud/internal/loadgen"
+	"accelcloud/internal/obsbench"
 	"accelcloud/internal/router"
 	"accelcloud/internal/scenariobench"
 	"accelcloud/internal/servebench"
@@ -123,6 +130,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if baseSchema == scenariobench.Schema {
 		return diffScenario(out, *basePath, *curPath, *tolerance, *ignoreSchedule)
+	}
+	if baseSchema == obsbench.Schema {
+		return diffObs(out, *basePath, *curPath, *tolerance)
 	}
 	base, err := loadgen.ReadReportFile(*basePath)
 	if err != nil {
@@ -574,6 +584,89 @@ func diffScenario(out io.Writer, basePath, curPath string, tolerance float64, ig
 	case base.GenRequestsPerSec > 0 && cur.GenRequestsPerSec < base.GenRequestsPerSec*(1-tolerance):
 		failures = append(failures, fmt.Sprintf("generation throughput regressed %s (%.0f -> %.0f req/s)",
 			pct(base.GenRequestsPerSec, cur.GenRequestsPerSec), base.GenRequestsPerSec, cur.GenRequestsPerSec))
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(out, "  REGRESSION: %s\n", f)
+		}
+		return fmt.Errorf("%d regression(s) beyond %.0f%% tolerance", len(failures), 100*tolerance)
+	}
+	fmt.Fprintln(out, "  OK: within tolerance")
+	return nil
+}
+
+// maxObsOverheadRatio is the hard ceiling every obsbench report must
+// clear regardless of the baseline — the acceptance bar of the
+// observability layer: turning metrics on may move the workload's p99
+// by at most 50% (loopback requests are sub-millisecond, so the
+// ceiling is generous against scheduler noise while still catching a
+// lock or an allocation sneaking onto the hot path).
+const maxObsOverheadRatio = 1.5
+
+// diffObs gates an obsbench report. The overhead ratio is a within-run
+// ratio (machine-portable), gated against its hard ceiling and the
+// committed baseline; the three allocs-per-op guards must be exactly
+// zero; the scraped series count and the span plan — planned count and
+// fnv1a ID digest, pure functions of the seed — must reproduce the
+// baseline exactly; and an error-free run must collect every planned
+// span. The raw p99 columns are printed for context only.
+func diffObs(out io.Writer, basePath, curPath string, tolerance float64) error {
+	base, err := obsbench.ReadReportFile(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := obsbench.ReadReportFile(curPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "benchdiff: obs baseline %s vs current %s (tolerance %.0f%%)\n",
+		basePath, curPath, 100*tolerance)
+	if base.Seed != cur.Seed || base.SpanSampleEvery != cur.SpanSampleEvery {
+		return fmt.Errorf("configurations differ (baseline seed %d / 1-in-%d sampling, current %d / %d): span plans are not comparable",
+			base.Seed, base.SpanSampleEvery, cur.Seed, cur.SpanSampleEvery)
+	}
+	fmt.Fprintf(out, "  %-26s %12s %12s %10s\n", "metric", "baseline", "current", "change")
+	fmt.Fprintf(out, "  %-26s %12.2f %12.2f %10s\n", "metrics-off p99 ms", base.OffP99Ms, cur.OffP99Ms, pct(base.OffP99Ms, cur.OffP99Ms))
+	fmt.Fprintf(out, "  %-26s %12.2f %12.2f %10s\n", "metrics-on p99 ms", base.OnP99Ms, cur.OnP99Ms, pct(base.OnP99Ms, cur.OnP99Ms))
+	fmt.Fprintf(out, "  %-26s %12.3f %12.3f %10s\n", "overhead ratio", base.OverheadRatio, cur.OverheadRatio, pct(base.OverheadRatio, cur.OverheadRatio))
+	fmt.Fprintf(out, "  %-26s %12d %12d\n", "series scraped", base.SeriesCount, cur.SeriesCount)
+	fmt.Fprintf(out, "  %-26s %12.1f %12.1f\n", "counter allocs/op", base.CounterIncAllocs, cur.CounterIncAllocs)
+	fmt.Fprintf(out, "  %-26s %12.1f %12.1f\n", "gauge allocs/op", base.GaugeSetAllocs, cur.GaugeSetAllocs)
+	fmt.Fprintf(out, "  %-26s %12.1f %12.1f\n", "histogram allocs/op", base.HistObserveAllocs, cur.HistObserveAllocs)
+	fmt.Fprintf(out, "  %-26s %12d %12d\n", "spans planned", base.SpansPlanned, cur.SpansPlanned)
+	fmt.Fprintf(out, "  %-26s %12d %12d\n", "spans collected", base.SpansCollected, cur.SpansCollected)
+	fmt.Fprintf(out, "  %-26s %25s\n", "span digest", cur.SpanDigest)
+
+	var failures []string
+	if cur.OverheadRatio > maxObsOverheadRatio {
+		failures = append(failures, fmt.Sprintf("overhead ratio %.3f above the %.1f ceiling: instrumentation moved the tail", cur.OverheadRatio, maxObsOverheadRatio))
+	}
+	// The relative gate floors the baseline at 1.0: a sub-1.0 measured
+	// ratio is scheduler noise around "no overhead", and letting it
+	// tighten the gate below the ceiling would make the gate flaky.
+	if refRatio := math.Max(base.OverheadRatio, 1.0); base.OverheadRatio > 0 && cur.OverheadRatio > refRatio*(1+tolerance) {
+		failures = append(failures, fmt.Sprintf("overhead ratio regressed %s (%.3f -> %.3f)",
+			pct(base.OverheadRatio, cur.OverheadRatio), base.OverheadRatio, cur.OverheadRatio))
+	}
+	if cur.CounterIncAllocs != 0 || cur.GaugeSetAllocs != 0 || cur.HistObserveAllocs != 0 {
+		failures = append(failures, fmt.Sprintf("metric hot path allocates (counter=%.1f gauge=%.1f histogram=%.1f allocs/op): zero-allocation guarantee broken",
+			cur.CounterIncAllocs, cur.GaugeSetAllocs, cur.HistObserveAllocs))
+	}
+	if cur.SeriesCount != base.SeriesCount {
+		failures = append(failures, fmt.Sprintf("scraped series count changed (%d -> %d): the front-end's registration set drifted",
+			base.SeriesCount, cur.SeriesCount))
+	}
+	if cur.SpansPlanned != base.SpansPlanned {
+		failures = append(failures, fmt.Sprintf("planned span count changed (%d -> %d): the sampling decision is not reproducing",
+			base.SpansPlanned, cur.SpansPlanned))
+	}
+	if cur.SpanDigest != base.SpanDigest {
+		failures = append(failures, fmt.Sprintf("span digest changed (%s -> %s): the minted span IDs are not reproducing",
+			base.SpanDigest, cur.SpanDigest))
+	}
+	if cur.SpansCollected != cur.SpansPlanned {
+		failures = append(failures, fmt.Sprintf("collected %d of %d planned spans: breakdowns are being dropped on an error-free run",
+			cur.SpansCollected, cur.SpansPlanned))
 	}
 	if len(failures) > 0 {
 		for _, f := range failures {

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"accelcloud/internal/obsbench"
+)
+
+func writeObsReport(t *testing.T, dir, name string, rep *obsbench.Report) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func obsReport(ratio float64) *obsbench.Report {
+	return &obsbench.Report{
+		Schema:   obsbench.Schema,
+		Seed:     1,
+		Requests: 400, Workers: 16,
+		OffP99Ms: 2.0, OnP99Ms: 2.0 * ratio, OverheadRatio: ratio,
+		SeriesCount:     40,
+		SpanSampleEvery: 4,
+		SpansPlanned:    11, SpansCollected: 11,
+		SpanDigest: "fnv1a:00000000deadbeef",
+	}
+}
+
+func TestDiffObsWithinTolerance(t *testing.T) {
+	dir := t.TempDir()
+	base := writeObsReport(t, dir, "base.json", obsReport(1.02))
+	cur := writeObsReport(t, dir, "cur.json", obsReport(1.05))
+	var buf bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur, "-tolerance", "0.2"}, &buf); err != nil {
+		t.Fatalf("within tolerance failed: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "overhead ratio") {
+		t.Fatalf("missing ratio row:\n%s", buf.String())
+	}
+}
+
+func TestDiffObsOverheadCeiling(t *testing.T) {
+	dir := t.TempDir()
+	// A 1.6x baseline would let 1.6x pass a pure relative gate; the
+	// 1.5x acceptance ceiling is absolute.
+	base := writeObsReport(t, dir, "base.json", obsReport(1.6))
+	cur := writeObsReport(t, dir, "cur.json", obsReport(1.6))
+	var buf bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur, "-tolerance", "0.2"}, &buf); err == nil {
+		t.Fatalf("ratio above ceiling passed:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "above the 1.5 ceiling") {
+		t.Fatalf("missing ceiling failure:\n%s", buf.String())
+	}
+}
+
+func TestDiffObsAllocGuard(t *testing.T) {
+	dir := t.TempDir()
+	base := writeObsReport(t, dir, "base.json", obsReport(1.02))
+	leaky := obsReport(1.02)
+	leaky.HistObserveAllocs = 1
+	cur := writeObsReport(t, dir, "cur.json", leaky)
+	var buf bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur, "-tolerance", "0.2"}, &buf); err == nil {
+		t.Fatalf("allocating hot path passed:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "zero-allocation guarantee broken") {
+		t.Fatalf("missing alloc failure:\n%s", buf.String())
+	}
+}
+
+func TestDiffObsSpanDigestExact(t *testing.T) {
+	dir := t.TempDir()
+	base := writeObsReport(t, dir, "base.json", obsReport(1.02))
+	drifted := obsReport(1.02)
+	drifted.SpanDigest = "fnv1a:00000000cafebabe"
+	cur := writeObsReport(t, dir, "cur.json", drifted)
+	var buf bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur, "-tolerance", "0.2"}, &buf); err == nil {
+		t.Fatalf("drifted span digest passed:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "span digest changed") {
+		t.Fatalf("missing digest failure:\n%s", buf.String())
+	}
+}
+
+func TestDiffObsDroppedSpans(t *testing.T) {
+	dir := t.TempDir()
+	base := writeObsReport(t, dir, "base.json", obsReport(1.02))
+	lossy := obsReport(1.02)
+	lossy.SpansCollected = lossy.SpansPlanned - 2
+	cur := writeObsReport(t, dir, "cur.json", lossy)
+	var buf bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur, "-tolerance", "0.2"}, &buf); err == nil {
+		t.Fatalf("dropped spans passed:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "planned spans") {
+		t.Fatalf("missing collection failure:\n%s", buf.String())
+	}
+}
+
+func TestDiffObsSeedMismatch(t *testing.T) {
+	dir := t.TempDir()
+	base := writeObsReport(t, dir, "base.json", obsReport(1.02))
+	other := obsReport(1.02)
+	other.Seed = 2
+	cur := writeObsReport(t, dir, "cur.json", other)
+	var buf bytes.Buffer
+	err := run([]string{"-baseline", base, "-current", cur}, &buf)
+	if err == nil {
+		t.Fatalf("seed mismatch passed:\n%s", buf.String())
+	}
+	if !strings.Contains(err.Error(), "not comparable") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

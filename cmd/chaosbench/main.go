@@ -77,6 +77,7 @@ func run(args []string, out io.Writer) error {
 	passiveErrors := fs.Int("passive-errors", 4, "consecutive data-path errors before passive ejection")
 	latencyLimit := fs.Float64("latency-limit", 0, "passive ejection latency quantile limit in ms (0 = off)")
 	warm := fs.Int("warm", 2, "warm pool size repairs draw from")
+	spanSample := fs.Int("span-sample", 0, "sample every Nth request as a trace span with per-hop timings (0 = off)")
 	minAvailability := fs.Float64("min-availability", 0, "fail the run below this availability (0 = unchecked)")
 	sloP99 := fs.Float64("slo-p99", 0, "SLO: p99 latency bound in ms (0 = unchecked)")
 	maxErrorRate := fs.Float64("max-error-rate", 0, "SLO: allowed error fraction")
@@ -124,6 +125,7 @@ func run(args []string, out io.Writer) error {
 		PassiveErrors:  *passiveErrors,
 		LatencyLimitMs: *latencyLimit,
 		WarmPool:       *warm,
+		SpanSample:     *spanSample,
 		SLO:            slo,
 	})
 	if err != nil {

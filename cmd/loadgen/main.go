@@ -185,6 +185,7 @@ func run(args []string, out io.Writer) error {
 	crowdFlag := fs.String("crowd", "", `scenario: flash crowds as start:dur:lo:hi:mult, ";"-separated`)
 	taskMixFlag := fs.String("task-mix", "", "scenario: weighted task mix as name=weight pairs, comma-separated")
 	inference := fs.Bool("inference", false, "serve and draw from the pool extended with the ML-inference task family")
+	spanSample := fs.Int("span-sample", 0, "sample every Nth request as a trace span with per-hop timings (0 = off)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this path on exit")
 	if err := fs.Parse(args); err != nil {
@@ -243,6 +244,7 @@ func run(args []string, out io.Writer) error {
 		FixedTask:   *task,
 		SweepSteps:  *sweepSteps,
 		SlotLen:     *slotLen,
+		SpanSample:  *spanSample,
 	}
 	var pool *tasks.Pool
 	if *inference {

@@ -1,0 +1,64 @@
+// Command obsbench measures the observability layer against hermetic
+// clusters: the instrumentation-overhead A/B (the same closed-loop
+// workload with metrics off and on), the zero-allocation guards on the
+// metric hot paths, and the deterministic span-sampling plan.
+//
+// Usage:
+//
+//	obsbench -requests 400 -workers 16 -out BENCH_obs.json
+//
+// The gated columns (cmd/benchdiff vs BENCH_obs_baseline.json) are the
+// on/off p99 overhead ratio (hard ceiling), the three allocs-per-op
+// guards (exactly zero), the scraped series count, and the exact span
+// plan — planned count and fnv1a ID digest — which is a pure function
+// of the seed. The raw p99 columns are machine-dependent context.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"accelcloud/internal/obsbench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "obsbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("obsbench", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "RNG seed for the deterministic task and span streams")
+	requests := fs.Int("requests", 400, "measured requests per A/B arm")
+	workers := fs.Int("workers", 16, "closed-loop client concurrency")
+	spanSample := fs.Int("span-sample", 4, "1/N span sampling rate of the determinism scenario")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request client timeout")
+	outPath := fs.String("out", "BENCH_obs.json", "write the JSON report here (empty disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rep, err := obsbench.Run(context.Background(), obsbench.Config{
+		Seed:       *seed,
+		Requests:   *requests,
+		Workers:    *workers,
+		SpanSample: *spanSample,
+		Timeout:    *timeout,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, rep.Summary())
+	if *outPath != "" {
+		if err := rep.WriteFile(*outPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", *outPath)
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"accelcloud/internal/obsbench"
+)
+
+func TestRunWritesReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_obs.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-requests", "40", "-workers", "8", "-out", out}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"overhead A/B", "zero-alloc guards", "spans", "wrote"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+	rep, err := obsbench.ReadReportFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OverheadRatio <= 0 || rep.SpansPlanned == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-requests", "nope"}, &buf); err == nil {
+		t.Fatal("bad flag should fail")
+	}
+}

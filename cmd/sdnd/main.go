@@ -31,6 +31,12 @@
 // calls whose origin stamp names another home region (cross-region
 // spillover absorbed here). Devices route across regions with the
 // loadgen -regions flag (or internal/geo directly).
+//
+// GET /metrics serves the front-end's counters, gauges, and latency
+// quantiles (request and per-hop) in Prometheus text exposition,
+// including the trace-sink shed/error counters; -pprof additionally
+// mounts net/http/pprof under /debug/pprof/ (off by default — the
+// profiling endpoints expose heap contents).
 package main
 
 import (
@@ -46,7 +52,10 @@ import (
 	"syscall"
 	"time"
 
+	"net/http/pprof"
+
 	"accelcloud/internal/health"
+	"accelcloud/internal/obs"
 	"accelcloud/internal/router"
 	"accelcloud/internal/sdn"
 	"accelcloud/internal/trace"
@@ -115,6 +124,7 @@ func run(args []string) error {
 	coldStart := fs.Duration("cold-start", 0, "simulated activation latency charged to the first request hitting a cold backend")
 	canary := fs.String("canary", "", "canary split version=weight (e.g. v2=0.05); shorthand for -policy canary:version=weight")
 	region := fs.String("region", "", "region name this front-end serves (labels /stats and counts spilled-over calls)")
+	pprofOn := fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the HTTP listener")
 	var backends backendFlags
 	fs.Var(&backends, "backend", "group=url[@version] surrogate registration (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -145,12 +155,20 @@ func run(args []string) error {
 	}
 	// The observer is bound after the health manager exists; the ref
 	// breaks the front-end↔manager construction cycle.
-	var obs sdn.ObserverRef
+	var obsRef sdn.ObserverRef
+	// The metrics registry feeds GET /metrics; the front-end registers
+	// its hot-path series, the daemon adds the trace-sink health gauges.
+	metrics := obs.NewRegistry()
+	metrics.CounterFunc("accel_trace_dropped_total", "trace records shed by the async sink's full buffer",
+		func() float64 { return float64(async.Dropped()) })
+	metrics.CounterFunc("accel_trace_sink_errors_total", "trace records the downstream sink failed to append",
+		func() float64 { return float64(async.SinkErrors()) })
 	opts := []sdn.Option{
 		sdn.WithTrace(async),
 		sdn.WithRouteDelay(*delay),
 		sdn.WithPolicy(policy),
-		sdn.WithObserver(obs.Observe),
+		sdn.WithObserver(obsRef.Observe),
+		sdn.WithMetrics(metrics),
 	}
 	if *backendTimeout > 0 {
 		opts = append(opts, sdn.WithBackendTimeout(*backendTimeout))
@@ -191,7 +209,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		obs.Set(mgr.Observe)
+		obsRef.Set(mgr.Observe)
 		go mgr.Run(hctx)
 		probing = fmt.Sprintf(", probing every %v", *probe)
 	}
@@ -216,7 +234,19 @@ func run(args []string) error {
 			}
 		}()
 	}
-	srv := &http.Server{Addr: *listen, Handler: fe.Handler()}
+	mux := http.NewServeMux()
+	mux.Handle("/", fe.Handler())
+	mux.Handle("/metrics", metrics.Handler())
+	if *pprofOn {
+		// Opt-in only: profiling endpoints expose heap contents and must
+		// never be on by default.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	srv := &http.Server{Addr: *listen, Handler: mux}
 	errCh := make(chan error, 1)
 	// The HTTP endpoint also carries /stats and /healthz, so it stays up
 	// in every mode; -proto binary|both adds the framed listener.

@@ -10,6 +10,11 @@
 //
 // A front-end reaches the binary listener by registering the backend
 // as bin://host:port instead of http://host:port.
+//
+// GET /metrics serves the surrogate's execution counters (executed,
+// failed, rejected, installed bundles) in Prometheus text exposition;
+// -pprof additionally mounts net/http/pprof under /debug/pprof/ (off
+// by default — the profiling endpoints expose heap contents).
 package main
 
 import (
@@ -19,7 +24,10 @@ import (
 	"net/http"
 	"os"
 
+	"net/http/pprof"
+
 	"accelcloud/internal/dalvik"
+	"accelcloud/internal/obs"
 	"accelcloud/internal/tasks"
 )
 
@@ -37,6 +45,7 @@ func run(args []string) error {
 	proto := fs.String("proto", "http", "served protocol: http|binary|both")
 	name := fs.String("name", "surrogate-1", "server name reported in responses")
 	procs := fs.Int("procs", dalvik.DefaultMaxProcs, "max concurrent worker processes")
+	pprofOn := fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the HTTP listener")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -50,6 +59,18 @@ func run(args []string) error {
 	if err := sur.PushPool(tasks.DefaultPool()); err != nil {
 		return err
 	}
+	// Execution counters are mirrored as Prometheus series; the
+	// CounterFuncs read the surrogate's own lifetime stats, so the
+	// execute path carries no extra bookkeeping.
+	metrics := obs.NewRegistry()
+	metrics.CounterFunc("accel_surrogate_executed_total", "offloaded states executed to completion",
+		func() float64 { return float64(sur.Stats().Executed) })
+	metrics.CounterFunc("accel_surrogate_failed_total", "offloaded states whose task returned an error",
+		func() float64 { return float64(sur.Stats().Failed) })
+	metrics.CounterFunc("accel_surrogate_rejected_total", "offloaded states rejected with all worker slots busy",
+		func() float64 { return float64(sur.Stats().Rejected) })
+	metrics.GaugeFunc("accel_surrogate_bundles", "task bundles (APKs) pushed and installed",
+		func() float64 { return float64(len(sur.Installed())) })
 	if *proto == "binary" || *proto == "both" {
 		lis, err := net.Listen("tcp", *listenBin)
 		if err != nil {
@@ -69,7 +90,19 @@ func run(args []string) error {
 		}()
 		fmt.Printf("surrogated: %s also serving bin://%s\n", *name, *listenBin)
 	}
+	mux := http.NewServeMux()
+	mux.Handle("/", sur.Handler())
+	mux.Handle("/metrics", metrics.Handler())
+	if *pprofOn {
+		// Opt-in only: profiling endpoints expose heap contents and must
+		// never be on by default.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	fmt.Printf("surrogated: %s serving %d task bundles on %s\n",
 		*name, len(sur.Installed()), *listen)
-	return http.ListenAndServe(*listen, sur.Handler())
+	return http.ListenAndServe(*listen, mux)
 }

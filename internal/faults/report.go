@@ -78,6 +78,11 @@ type Report struct {
 	FaultDigest    string `json:"faultDigest"`
 	DecisionDigest string `json:"decisionDigest"`
 
+	// Spans is the trace-span section when Config.SpanSample > 0:
+	// seed-exact planned count and digest, plus per-hop latency
+	// percentiles over the spans that survived the chaos.
+	Spans *loadgen.SpanSection `json:"spans,omitempty"`
+
 	Slots2 []SlotReport       `json:"slotReports"`
 	SLO    *loadgen.SLOResult `json:"slo,omitempty"`
 }
@@ -90,6 +95,7 @@ type reportInputs struct {
 	totalReqs   int
 	wall        time.Duration
 	slotReports []SlotReport
+	spans       *loadgen.SpanSection
 }
 
 func buildReport(cfg Config, plan *loadgen.Plan, sched *Schedule, injector *Injector,
@@ -112,6 +118,7 @@ func buildReport(cfg Config, plan *loadgen.Plan, sched *Schedule, injector *Inje
 		ScheduleDigest: plan.Digest(),
 		FaultDigest:    sched.Digest(),
 		DecisionDigest: ctrl.Digest(),
+		Spans:          in.spans,
 		Slots2:         in.slotReports,
 	}
 	if rep.Policy == "" {
@@ -248,6 +255,16 @@ func (r *Report) Summary() string {
 		r.Ejections, r.MaxProbesToEject, r.MeanTimeToEject, r.Repairs, r.MeanTimeToRepair)
 	out += fmt.Sprintf("retries=%d hedges=%d hedge-wins=%d (%.0f%%)\n",
 		r.Retries, r.Hedges, r.HedgeWins, 100*r.HedgeWinRate)
+	if r.Spans != nil {
+		out += fmt.Sprintf("spans: 1/%d planned=%d collected=%d digest=%s\n",
+			r.Spans.SampleEvery, r.Spans.Planned, r.Spans.Collected, r.Spans.Digest)
+		for _, hop := range []string{"queue", "linger", "cold", "network", "exec"} {
+			if s, ok := r.Spans.Hops[hop]; ok {
+				out += fmt.Sprintf("  hop %-7s p50=%.2fms p90=%.2fms p99=%.2fms mean=%.2fms\n",
+					hop, s.P50Ms, s.P90Ms, s.P99Ms, s.MeanMs)
+			}
+		}
+	}
 	if r.SLO != nil {
 		if r.SLO.Pass {
 			out += "SLO: PASS\n"

@@ -18,6 +18,7 @@ import (
 	"accelcloud/internal/sim"
 	"accelcloud/internal/stats"
 	"accelcloud/internal/trace"
+	"accelcloud/internal/wire"
 )
 
 // Config parameterizes one hermetic chaos run: a constant-rate open
@@ -81,6 +82,9 @@ type Config struct {
 	// WarmPool is the pre-booted spare count repairs draw from
 	// (0 selects 2).
 	WarmPool int
+	// SpanSample samples every Nth request as a trace span with
+	// per-hop timings in the report (0 disables sampling).
+	SpanSample int
 	// SLO, when non-nil, is evaluated into the report.
 	SLO *loadgen.SLO
 }
@@ -237,14 +241,15 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		return nil, err
 	}
 	plan, err := loadgen.BuildPlan(loadgen.Config{
-		Mode:      loadgen.ModeInterArrival,
-		Users:     cfg.Users,
-		Duration:  time.Duration(cfg.Slots) * cfg.SlotLen,
-		RateHz:    cfg.RateHz / float64(cfg.Users),
-		Seed:      cfg.Seed,
-		Groups:    groupIDs,
-		FixedTask: cfg.FixedTask,
-		SlotLen:   cfg.SlotLen,
+		Mode:       loadgen.ModeInterArrival,
+		Users:      cfg.Users,
+		Duration:   time.Duration(cfg.Slots) * cfg.SlotLen,
+		RateHz:     cfg.RateHz / float64(cfg.Users),
+		Seed:       cfg.Seed,
+		Groups:     groupIDs,
+		FixedTask:  cfg.FixedTask,
+		SlotLen:    cfg.SlotLen,
+		SpanSample: cfg.SpanSample,
 	})
 	if err != nil {
 		return nil, err
@@ -343,6 +348,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 
 	type rec struct {
 		latencyMs float64
+		span      *wire.Span
 		err       error
 	}
 	recs := make([]rec, len(plan.Timeline))
@@ -399,14 +405,16 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 				defer func() { <-sem }()
 				pr := plan.Timeline[i]
 				start := time.Now()
-				_, err := client.Offload(ctx, rpc.OffloadRequest{
+				resp, err := client.Offload(ctx, rpc.OffloadRequest{
 					UserID:       pr.User,
 					Group:        pr.Group,
 					BatteryLevel: pr.Battery,
 					State:        pr.State,
+					SpanID:       pr.Span,
 				})
 				recs[i] = rec{
 					latencyMs: float64(time.Since(start)) / float64(time.Millisecond),
+					span:      resp.Span,
 					err:       err,
 				}
 			}(i)
@@ -463,6 +471,36 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 	wall := time.Since(runStart)
 
+	// Fold returned per-hop breakdowns into the spans section. Planned
+	// count and digest come from the schedule (seed-exact); collected
+	// spans are whatever survived faults, retries, and timeouts.
+	var spans *loadgen.SpanSection
+	if cfg.SpanSample > 0 {
+		planned, digest := plan.SpanPlan()
+		spans = &loadgen.SpanSection{SampleEvery: cfg.SpanSample, Planned: planned, Digest: digest}
+		hists := map[string]*stats.LogHist{}
+		for _, name := range []string{"queue", "linger", "cold", "network", "exec"} {
+			hists[name] = stats.NewLatencyHist()
+		}
+		for _, r := range recs {
+			if r.span == nil {
+				continue
+			}
+			spans.Collected++
+			hists["queue"].Add(r.span.QueueMs)
+			hists["linger"].Add(r.span.LingerMs)
+			hists["cold"].Add(r.span.ColdMs)
+			hists["network"].Add(r.span.NetworkMs)
+			hists["exec"].Add(r.span.ExecMs)
+		}
+		if spans.Collected > 0 {
+			spans.Hops = make(map[string]loadgen.LatencySummary, len(hists))
+			for name, h := range hists {
+				spans.Hops[name] = loadgen.Summarize(h)
+			}
+		}
+	}
+
 	return buildReport(cfg, plan, sched, injector, mgr, hv, ctrl, client,
 		reportInputs{
 			overall:     overall,
@@ -471,6 +509,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			totalReqs:   len(plan.Timeline),
 			wall:        wall,
 			slotReports: slotReports,
+			spans:       spans,
 		})
 }
 

@@ -33,12 +33,23 @@ func TestRunSurvivesCrashAndRepairs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos run is a multi-second live-stack scenario")
 	}
-	rep, err := Run(context.Background(), chaosTestConfig(0))
+	cfg := chaosTestConfig(0)
+	cfg.SpanSample = 2
+	rep, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.Requests == 0 {
 		t.Fatal("no requests replayed")
+	}
+	if rep.Spans == nil || rep.Spans.Planned == 0 {
+		t.Fatalf("spans section missing with SpanSample set: %+v", rep.Spans)
+	}
+	if rep.Spans.Collected > rep.Spans.Planned {
+		t.Fatalf("collected %d > planned %d", rep.Spans.Collected, rep.Spans.Planned)
+	}
+	if rep.Spans.Collected > 0 && rep.Spans.Hops["exec"].N == 0 {
+		t.Fatalf("no exec hop percentiles despite %d collected spans", rep.Spans.Collected)
 	}
 	if rep.Availability < 0.98 {
 		t.Fatalf("availability = %.4f, want >= 0.98 with retries and repair", rep.Availability)

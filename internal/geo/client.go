@@ -11,6 +11,7 @@ import (
 
 	"accelcloud/internal/health"
 	"accelcloud/internal/netsim"
+	"accelcloud/internal/obs"
 	"accelcloud/internal/router"
 	"accelcloud/internal/rpc"
 	"accelcloud/internal/sim"
@@ -232,6 +233,18 @@ func (c *Client) Counters() Stats {
 	}
 }
 
+// RegisterMetrics exports the cross-region counters through an obs
+// registry as scrape-time funcs — the routing hot path keeps its
+// existing atomics and pays nothing extra.
+func (c *Client) RegisterMetrics(reg *obs.Registry) {
+	reg.CounterFunc("accel_geo_spills_total", "offloads served off-home after queue-full backpressure",
+		func() float64 { return float64(c.spills.Load()) })
+	reg.CounterFunc("accel_geo_failovers_total", "offloads served off-home after region unavailability",
+		func() float64 { return float64(c.failovers.Load()) })
+	reg.CounterFunc("accel_geo_rtt_penalty_ms_total", "cumulative simulated device-to-region RTT charged",
+		func() float64 { return float64(c.penaltyUs.Load()) / 1e3 })
+}
+
 // chargeRTT sleeps one sampled device→region RTT and returns it in
 // milliseconds (0 with simulation off). The sleep is what lands the
 // geographic penalty in the caller's measured latency.
@@ -297,6 +310,12 @@ func (c *Client) OffloadRoute(ctx context.Context, req rpc.OffloadRequest) (rpc.
 		resp, err := c.clients[name].Offload(ctx, req)
 		c.rs.Release(pick)
 		if err == nil {
+			if resp.Span != nil {
+				// A trace-sampled response: record how many regions the
+				// selector walked before this answer (1 = first choice),
+				// so spillover/failover re-routes show up in the span.
+				resp.Span.Hops = d.Attempts
+			}
 			if name != home {
 				// Served off-home: classify by why the home side was
 				// left. Backpressure anywhere nearer means spillover;

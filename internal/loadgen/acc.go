@@ -26,6 +26,9 @@ type accumulator struct {
 	// resolved version label / serving region.
 	versions map[string]*histCell
 	regions  map[string]*histCell
+	// spans folds the per-hop breakdowns of trace-sampled requests
+	// (nil unless SpanSample > 0, so unsampled runs pay nothing).
+	spans *spanCell
 
 	slotLen    time.Duration
 	labelOf    map[string]string // server → version label; nil disables
@@ -44,6 +47,27 @@ func newCell() *histCell {
 	return &histCell{hist: stats.NewLatencyHist()}
 }
 
+// spanCell aggregates the per-hop latency breakdown of sampled spans:
+// one histogram per hop kind, keyed to SpanSection.Hops.
+type spanCell struct {
+	collected int
+	queue     *stats.LogHist
+	linger    *stats.LogHist
+	cold      *stats.LogHist
+	network   *stats.LogHist
+	exec      *stats.LogHist
+}
+
+func newSpanCell() *spanCell {
+	return &spanCell{
+		queue:   stats.NewLatencyHist(),
+		linger:  stats.NewLatencyHist(),
+		cold:    stats.NewLatencyHist(),
+		network: stats.NewLatencyHist(),
+		exec:    stats.NewLatencyHist(),
+	}
+}
+
 func newAccumulator(cfg Config) *accumulator {
 	a := &accumulator{
 		overall: stats.NewLatencyHist(),
@@ -58,6 +82,9 @@ func newAccumulator(cfg Config) *accumulator {
 	}
 	if cfg.Versions != nil {
 		a.versions = map[string]*histCell{}
+	}
+	if cfg.SpanSample > 0 {
+		a.spans = newSpanCell()
 	}
 	a.regions = map[string]*histCell{}
 	return a
@@ -106,6 +133,14 @@ func (a *accumulator) addRecord(rec record) {
 	g.hist.Add(rec.latencyMs)
 	if slot != nil {
 		slot.hist.Add(rec.latencyMs)
+	}
+	if a.spans != nil && rec.span != nil {
+		a.spans.collected++
+		a.spans.queue.Add(rec.span.QueueMs)
+		a.spans.linger.Add(rec.span.LingerMs)
+		a.spans.cold.Add(rec.span.ColdMs)
+		a.spans.network.Add(rec.span.NetworkMs)
+		a.spans.exec.Add(rec.span.ExecMs)
 	}
 	if rec.err == nil {
 		if a.versions != nil && rec.server != "" {
@@ -191,4 +226,12 @@ func (a *accumulator) merge(b *accumulator) {
 		mergeLabeled(a.versions, b.versions)
 	}
 	mergeLabeled(a.regions, b.regions)
+	if a.spans != nil && b.spans != nil {
+		a.spans.collected += b.spans.collected
+		_ = a.spans.queue.Merge(b.spans.queue)
+		_ = a.spans.linger.Merge(b.spans.linger)
+		_ = a.spans.cold.Merge(b.spans.cold)
+		_ = a.spans.network.Merge(b.spans.network)
+		_ = a.spans.exec.Merge(b.spans.exec)
+	}
 }

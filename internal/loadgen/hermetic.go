@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"accelcloud/internal/dalvik"
+	"accelcloud/internal/obs"
 	"accelcloud/internal/router"
 	"accelcloud/internal/rpc"
 	"accelcloud/internal/sdn"
@@ -99,6 +100,11 @@ type ClusterConfig struct {
 	// tasks.DefaultPool(). Scenario runs that mix in the inference
 	// family pass tasks.InferencePool() here.
 	Pool *tasks.Pool
+	// Metrics registers the front-end's hot-path instrumentation
+	// (sdn.WithMetrics) in the given registry — the hermetic analogue
+	// of sdnd's /metrics endpoint, and the "on" arm of obsbench's
+	// overhead A/B. Nil leaves the front-end uninstrumented.
+	Metrics *obs.Registry
 }
 
 // StartCluster boots the stack. Callers must Close it.
@@ -141,6 +147,9 @@ func StartClusterContext(ctx context.Context, cfg ClusterConfig) (*Cluster, erro
 	}
 	if cfg.Region != "" {
 		opts = append(opts, sdn.WithRegion(cfg.Region))
+	}
+	if cfg.Metrics != nil {
+		opts = append(opts, sdn.WithMetrics(cfg.Metrics))
 	}
 	fe, err := sdn.New(opts...)
 	if err != nil {

@@ -107,6 +107,13 @@ type Config struct {
 	// curve over a 24h day, no crowds, 30s sessions, 4096-user
 	// blocks). Ignored by other modes.
 	Scenario *ScenarioSpec
+	// SpanSample enables request-scoped trace spans on roughly 1/N of
+	// the schedule (0 disables). Span IDs are minted from the schedule
+	// RNG — a pure function of (seed, user, sequence) — so which
+	// requests carry a span, and the fnv1a digest of the sampled IDs,
+	// are reproducible per seed. Sampled requests ship SpanID on the
+	// wire and the report grows a per-hop percentile section.
+	SpanSample int
 }
 
 // ScenarioSpec is the scenario-mode half of a Config: everything the
@@ -218,6 +225,9 @@ func (c Config) normalized() (Config, error) {
 	if c.SlotLen < 0 {
 		return c, fmt.Errorf("loadgen: slot length %v < 0", c.SlotLen)
 	}
+	if c.SpanSample < 0 {
+		return c, fmt.Errorf("loadgen: span sample 1/%d < 0", c.SpanSample)
+	}
 	return c, nil
 }
 
@@ -238,6 +248,10 @@ type planned struct {
 	Size     int
 	// Session marks a session-start request (scenario mode only).
 	Session bool
+	// Span is the minted span ID when this request is trace-sampled,
+	// 0 otherwise. Excluded from Plan.Digest — the schedule digest
+	// predates sampling and stays pinned across committed baselines.
+	Span uint64
 	// State is the serialized application state.
 	State tasks.State
 }
@@ -321,6 +335,46 @@ func (p *Plan) Describe() string {
 	return b.String()
 }
 
+// mintSpan draws a request's span ID from the run's span substream —
+// a pure function of (seed, user, seq), so the sampled set replays
+// bit-identically — and returns it when the request falls into the
+// 1/sampleEvery sample, 0 otherwise.
+func mintSpan(root *sim.RNG, sampleEvery, user, seq int) uint64 {
+	if sampleEvery <= 0 {
+		return 0
+	}
+	id := root.SubN("span", user).LightN("seq", seq).Uint64()
+	if id%uint64(sampleEvery) != 0 {
+		return 0
+	}
+	if id == 0 {
+		// 0 means "unsampled" on the wire; the (1-in-2^64) zero draw
+		// still samples, just under a fixed stand-in ID.
+		id = 1
+	}
+	return id
+}
+
+// SpanPlan walks the schedule's sampled spans in canonical order and
+// returns their count and fnv1a digest — the reproducibility anchor
+// BENCH_obs.json pins. IDs are deterministic even though measured hop
+// timings are not, so the digest gates exactly.
+func (p *Plan) SpanPlan() (sampled int, digest string) {
+	h := fnv.New64a()
+	buf := make([]byte, 8)
+	p.each(func(pr planned) {
+		if pr.Span == 0 {
+			return
+		}
+		sampled++
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(pr.Span >> (8 * i))
+		}
+		_, _ = h.Write(buf)
+	})
+	return sampled, fmt.Sprintf("fnv1a:%016x", h.Sum64())
+}
+
 // group maps a user to its acceleration group.
 func group(groups []int, user int) int {
 	return groups[user%len(groups)]
@@ -387,11 +441,12 @@ func BuildPlan(cfg Config) (*Plan, error) {
 			bat := battery(root, u)
 			stateRNG := root.SubN("state", u).Stream("gen")
 			out := make([]planned, 0, len(seq))
-			for _, req := range seq {
+			for i, req := range seq {
 				pr, err := materialize(req, cfg.Groups, bat, stateRNG, cfg.Pool, 0)
 				if err != nil {
 					return nil, err
 				}
+				pr.Span = mintSpan(root, cfg.SpanSample, u, i)
 				out = append(out, pr)
 			}
 			plan.PerUser[u] = out
@@ -444,7 +499,7 @@ func materializeTimeline(reqs []workload.Request, cfg Config, root *sim.RNG) ([]
 	// sorted schedule.
 	stateRNGs := map[int]*rand.Rand{}
 	batteries := map[int]float64{}
-	for _, req := range reqs {
+	for i, req := range reqs {
 		sr, ok := stateRNGs[req.UserID]
 		if !ok {
 			sr = root.SubN("state", req.UserID).Stream("gen")
@@ -455,6 +510,7 @@ func materializeTimeline(reqs []workload.Request, cfg Config, root *sim.RNG) ([]
 		if err != nil {
 			return nil, err
 		}
+		pr.Span = mintSpan(root, cfg.SpanSample, req.UserID, i)
 		out = append(out, pr)
 	}
 	return out, nil

@@ -89,6 +89,26 @@ type SlotSection struct {
 	Latency LatencySummary `json:"latency"`
 }
 
+// SpanSection reports the trace-span sampling outcome of a run: how
+// many requests the schedule sampled (a pure function of the seed),
+// how many per-hop breakdowns actually came back, the fnv1a digest of
+// the sampled span IDs in canonical schedule order (exact across runs
+// and transports — BENCH_obs.json pins it), and the per-hop latency
+// percentiles.
+type SpanSection struct {
+	// SampleEvery is the configured 1/N sampling rate.
+	SampleEvery int `json:"sampleEvery"`
+	// Planned counts schedule-sampled requests; Collected counts the
+	// spans that returned (errors and drops collect nothing).
+	Planned   int `json:"planned"`
+	Collected int `json:"collected"`
+	// Digest is the fnv1a digest of the planned span IDs.
+	Digest string `json:"digest"`
+	// Hops maps hop name (queue, linger, cold, network, exec) to the
+	// hop's latency percentiles across collected spans.
+	Hops map[string]LatencySummary `json:"hops,omitempty"`
+}
+
 // Report is the machine-readable outcome of one load-generation run
 // (the BENCH_loadgen.json schema).
 type Report struct {
@@ -120,9 +140,11 @@ type Report struct {
 	Slots   []SlotSection          `json:"slots,omitempty"`
 	// Sessions counts session-start requests (scenario mode; 0
 	// elsewhere — other modes have no session notion).
-	Sessions       int        `json:"sessions,omitempty"`
-	ScheduleDigest string     `json:"scheduleDigest"`
-	SLO            *SLOResult `json:"slo,omitempty"`
+	Sessions int `json:"sessions,omitempty"`
+	// Spans is the trace-span section when SpanSample > 0.
+	Spans          *SpanSection `json:"spans,omitempty"`
+	ScheduleDigest string       `json:"scheduleDigest"`
+	SLO            *SLOResult   `json:"slo,omitempty"`
 }
 
 // Summarize folds a latency histogram into the percentile digest (the
@@ -148,8 +170,11 @@ func Summarize(h *stats.LogHist) LatencySummary {
 	}
 }
 
-// buildReport renders the merged accumulator of a finished run.
-func buildReport(cfg Config, digest string, acc *accumulator, wall time.Duration) *Report {
+// buildReport renders the merged accumulator of a finished run. The
+// spans argument carries the schedule-side section seed (planned count
+// and ID digest) or nil when sampling is off; buildReport fills in the
+// measured side.
+func buildReport(cfg Config, digest string, spans *SpanSection, acc *accumulator, wall time.Duration) *Report {
 	completed := acc.n - acc.errs
 	rep := &Report{
 		Schema:         Schema,
@@ -197,6 +222,21 @@ func buildReport(cfg Config, digest string, acc *accumulator, wall time.Duration
 	}
 	if len(acc.regions) > 0 {
 		rep.Regions = cellsToGroups(acc.regions)
+	}
+	if spans != nil {
+		if sc := acc.spans; sc != nil {
+			spans.Collected = sc.collected
+			if sc.collected > 0 {
+				spans.Hops = map[string]LatencySummary{
+					"queue":   Summarize(sc.queue),
+					"linger":  Summarize(sc.linger),
+					"cold":    Summarize(sc.cold),
+					"network": Summarize(sc.network),
+					"exec":    Summarize(sc.exec),
+				}
+			}
+		}
+		rep.Spans = spans
 	}
 	return rep
 }
@@ -287,6 +327,16 @@ func (r *Report) Summary() string {
 		g := r.Groups[k]
 		out += fmt.Sprintf("  group %s: n=%d errors=%d p50=%.1f p99=%.1f mean=%.1f\n",
 			k, g.Requests, g.Errors, g.Latency.P50Ms, g.Latency.P99Ms, g.Latency.MeanMs)
+	}
+	if r.Spans != nil {
+		out += fmt.Sprintf("spans: 1/%d planned=%d collected=%d digest=%s\n",
+			r.Spans.SampleEvery, r.Spans.Planned, r.Spans.Collected, r.Spans.Digest)
+		for _, hop := range []string{"queue", "linger", "cold", "network", "exec"} {
+			if h, ok := r.Spans.Hops[hop]; ok {
+				out += fmt.Sprintf("  hop %-7s p50=%.2f p90=%.2f p99=%.2f mean=%.2f\n",
+					hop, h.P50Ms, h.P90Ms, h.P99Ms, h.MeanMs)
+			}
+		}
 	}
 	if r.SLO != nil {
 		if r.SLO.Pass {

@@ -7,6 +7,7 @@ import (
 
 	"accelcloud/internal/rpc"
 	"accelcloud/internal/sim"
+	"accelcloud/internal/wire"
 )
 
 // Offloader issues one offload call. *rpc.Client satisfies it; so does
@@ -40,7 +41,10 @@ type record struct {
 	region string
 	// session marks a session-start request (scenario mode).
 	session bool
-	err     error
+	// span is the per-hop breakdown the front-end returned for a
+	// trace-sampled request (nil when unsampled or errored).
+	span *wire.Span
+	err  error
 }
 
 // doOne issues one planned request and measures the client-perceived
@@ -54,6 +58,7 @@ func doOne(ctx context.Context, client Offloader, pr planned, timeout time.Durat
 		Group:        pr.Group,
 		BatteryLevel: pr.Battery,
 		State:        pr.State,
+		SpanID:       pr.Span,
 	}
 	start := time.Now()
 	var (
@@ -73,6 +78,7 @@ func doOne(ctx context.Context, client Offloader, pr planned, timeout time.Durat
 		server:    resp.Server,
 		region:    region,
 		session:   pr.Session,
+		span:      resp.Span,
 		err:       err,
 	}
 }
@@ -114,7 +120,18 @@ func RunWith(ctx context.Context, client Offloader, cfg Config) (*Report, error)
 		acc = runOpenLoop(ctx, client, &sliceSource{items: plan.Timeline}, ncfg)
 	}
 	wall := time.Since(start)
-	return buildReport(ncfg, plan.Digest(), acc, wall), nil
+	return buildReport(ncfg, plan.Digest(), spanSection(ncfg, plan.SpanPlan), acc, wall), nil
+}
+
+// spanSection seeds the report's span section from the schedule side —
+// planned count and ID digest — when sampling is on; the accumulator
+// side (collected count, hop percentiles) is filled by buildReport.
+func spanSection(cfg Config, plan func() (int, string)) *SpanSection {
+	if cfg.SpanSample <= 0 {
+		return nil
+	}
+	planned, digest := plan()
+	return &SpanSection{SampleEvery: cfg.SpanSample, Planned: planned, Digest: digest}
 }
 
 // runClosedLoop replays each user's sequence serially, all users

@@ -34,6 +34,12 @@ type scenarioSource struct {
 	buf    [8]byte
 	n      int
 	err    error
+	// spanH folds the sampled span IDs in emission order — the same
+	// canonical-order fnv1a digest Plan.SpanPlan computes for
+	// materialized schedules, built incrementally so the stream is
+	// never retained.
+	spanH       hash.Hash64
+	spanSampled int
 }
 
 // newRootRNG derives the run's root substream — the same root
@@ -47,7 +53,7 @@ func newScenarioSource(cfg Config) (*scenarioSource, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &scenarioSource{stream: stream, root: root, cfg: cfg, h: fnv.New64a()}
+	s := &scenarioSource{stream: stream, root: root, cfg: cfg, h: fnv.New64a(), spanH: fnv.New64a()}
 	// Same digest header as Plan.Digest: seed, then mode.
 	s.writeInt(cfg.Seed)
 	_, _ = s.h.Write([]byte(cfg.Mode))
@@ -124,6 +130,18 @@ func (s *scenarioSource) next(pr *planned) bool {
 	} else {
 		_, _ = s.h.Write([]byte{0})
 	}
+	// Span sampling keys off the global emission index — the scenario
+	// analogue of the timeline index materialized modes use — so the
+	// sampled set is a pure function of (seed, schedule).
+	pr.Span = mintSpan(s.root, s.cfg.SpanSample, req.UserID, s.n)
+	if pr.Span != 0 {
+		s.spanSampled++
+		u := pr.Span
+		for i := 0; i < 8; i++ {
+			s.buf[i] = byte(u >> (8 * i))
+		}
+		_, _ = s.spanH.Write(s.buf[:])
+	}
 	s.n++
 	return true
 }
@@ -132,6 +150,11 @@ func (s *scenarioSource) next(pr *planned) bool {
 // fnv1a:%016x convention.
 func (s *scenarioSource) digest() string {
 	return fmt.Sprintf("fnv1a:%016x", s.h.Sum64())
+}
+
+// spanPlan mirrors Plan.SpanPlan for the streamed schedule.
+func (s *scenarioSource) spanPlan() (sampled int, digest string) {
+	return s.spanSampled, fmt.Sprintf("fnv1a:%016x", s.spanH.Sum64())
 }
 
 // runScenario replays a scenario config end to end.
@@ -149,5 +172,5 @@ func runScenario(ctx context.Context, client Offloader, cfg Config) (*Report, er
 	if acc.n == 0 {
 		return nil, errors.New("loadgen: empty scenario schedule (duration too short for the rate)")
 	}
-	return buildReport(cfg, src.digest(), acc, wall), nil
+	return buildReport(cfg, src.digest(), spanSection(cfg, src.spanPlan), acc, wall), nil
 }

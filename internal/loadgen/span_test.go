@@ -1,0 +1,195 @@
+package loadgen
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"accelcloud/internal/rpc"
+	"accelcloud/internal/tasks"
+	"accelcloud/internal/wire"
+)
+
+// spanHopSum adds up the disjoint per-hop components of a span.
+func spanHopSum(sp *wire.Span) float64 {
+	return sp.QueueMs + sp.LingerMs + sp.ColdMs + sp.NetworkMs + sp.ExecMs
+}
+
+// TestSpanHopSumWithinRTT is the per-hop span-math check: against a
+// hermetic cluster with admission queueing and batching enabled, a
+// trace-sampled request's hop components (queue + linger + cold +
+// network + exec) must sum to within tolerance of the client-measured
+// round trip — no hop double-counted, none missing — on the JSON and
+// the binary transport alike.
+func TestSpanHopSumWithinRTT(t *testing.T) {
+	cluster, err := StartCluster(ClusterConfig{
+		Groups: 1, SurrogatesPerGroup: 1, Binary: true,
+		QueueLimit: 2, QueueDepth: 8, MaxBatch: 2, Linger: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	st, err := tasks.Fibonacci{}.Generate(nil, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	transports := map[string]*rpc.Client{
+		"json":   rpc.NewClient(cluster.URL()),
+		"binary": rpc.NewClient(cluster.BinaryURL()),
+	}
+	for name, client := range transports {
+		t.Run(name, func(t *testing.T) {
+			req := rpc.OffloadRequest{
+				UserID: 1, Group: 1, BatteryLevel: 0.8, State: st, SpanID: 0x2a,
+			}
+			start := time.Now()
+			resp, err := client.Offload(context.Background(), req)
+			rttMs := float64(time.Since(start)) / float64(time.Millisecond)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sp := resp.Span
+			if sp == nil {
+				t.Fatal("sampled request returned no span")
+			}
+			if sp.ID != req.SpanID {
+				t.Fatalf("span ID %#x, want %#x", sp.ID, req.SpanID)
+			}
+			if sp.Hops != 1 {
+				t.Fatalf("single-region span hops = %d, want 1", sp.Hops)
+			}
+			// With MaxBatch > 1 a solo request lingers for companions, so
+			// the linger hop must register.
+			if sp.LingerMs <= 0 {
+				t.Fatalf("linger hop empty with batching on: %+v", sp)
+			}
+			sum := spanHopSum(sp)
+			// The hops exclude only client-side transport overhead and the
+			// (zero here) routing delay, so the sum may not exceed the
+			// measured RTT and must come close to it.
+			if sum > rttMs+1 {
+				t.Fatalf("hop sum %.3f ms exceeds measured RTT %.3f ms (%+v)", sum, rttMs, sp)
+			}
+			if slack := rttMs - sum; slack > 50 {
+				t.Fatalf("hop sum %.3f ms leaves %.3f ms of RTT %.3f ms unaccounted (%+v)",
+					sum, slack, rttMs, sp)
+			}
+
+			// An unsampled request must come back bare on the same
+			// transport — span assembly is strictly opt-in per request.
+			plain := req
+			plain.SpanID = 0
+			resp, err = client.Offload(context.Background(), plain)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.Span != nil {
+				t.Fatalf("unsampled request returned span %+v", resp.Span)
+			}
+		})
+	}
+}
+
+// TestSpanReportParityAndDeterminism replays the same sampled schedule
+// over both transports: the report's span section must carry the same
+// planned count and the same ID digest (it is a pure function of the
+// seed), collect every planned span on an error-free run, and surface
+// all five hop percentile sections.
+func TestSpanReportParityAndDeterminism(t *testing.T) {
+	cluster, err := StartCluster(ClusterConfig{
+		Groups: 1, SurrogatesPerGroup: 2, Binary: true,
+		QueueLimit: 4, QueueDepth: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	cfg := Config{Users: 4, Duration: time.Second, RateHz: 4, Seed: 42, SpanSample: 2}
+	jsonRep, err := Run(context.Background(), cluster.URL(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binRep, err := Run(context.Background(), cluster.BinaryURL(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, rep := range map[string]*Report{"json": jsonRep, "binary": binRep} {
+		sec := rep.Spans
+		if sec == nil {
+			t.Fatalf("%s: no span section with SpanSample=2", name)
+		}
+		if sec.SampleEvery != 2 {
+			t.Fatalf("%s: sampleEvery = %d", name, sec.SampleEvery)
+		}
+		if sec.Planned == 0 {
+			t.Fatalf("%s: schedule sampled no spans", name)
+		}
+		if sec.Planned == rep.Requests {
+			t.Fatalf("%s: 1/2 sampling sampled all %d requests", name, rep.Requests)
+		}
+		if rep.Errors == 0 && sec.Collected != sec.Planned {
+			t.Fatalf("%s: collected %d of %d planned spans on an error-free run",
+				name, sec.Collected, sec.Planned)
+		}
+		for _, hop := range []string{"queue", "linger", "cold", "network", "exec"} {
+			h, ok := sec.Hops[hop]
+			if !ok {
+				t.Fatalf("%s: hop %q missing from %v", name, hop, sec.Hops)
+			}
+			if h.N != sec.Collected {
+				t.Fatalf("%s: hop %q has %d observations, want %d", name, hop, h.N, sec.Collected)
+			}
+		}
+	}
+	if jsonRep.Spans.Digest != binRep.Spans.Digest || jsonRep.Spans.Planned != binRep.Spans.Planned {
+		t.Fatalf("span plan diverged across transports:\n json: %d %s\n  bin: %d %s",
+			jsonRep.Spans.Planned, jsonRep.Spans.Digest, binRep.Spans.Planned, binRep.Spans.Digest)
+	}
+	// The digest is the reproducibility anchor BENCH_obs pins: a repeat
+	// run with the same seed must reproduce it bit-for-bit.
+	again, err := Run(context.Background(), cluster.URL(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Spans.Digest != jsonRep.Spans.Digest {
+		t.Fatalf("span digest drifted across runs: %s then %s", jsonRep.Spans.Digest, again.Spans.Digest)
+	}
+}
+
+// countingOffloader records whether any request carried a SpanID.
+type countingOffloader struct {
+	mu      sync.Mutex
+	spanIDs int
+}
+
+func (c *countingOffloader) Offload(_ context.Context, req rpc.OffloadRequest) (rpc.OffloadResponse, error) {
+	c.mu.Lock()
+	if req.SpanID != 0 {
+		c.spanIDs++
+	}
+	c.mu.Unlock()
+	return rpc.OffloadResponse{Server: "fake", Group: req.Group}, nil
+}
+
+// TestSpanSamplingOffByDefault pins the default: without SpanSample the
+// wire never carries a SpanID and the report has no span section — the
+// zero-overhead arm every committed baseline was measured under.
+func TestSpanSamplingOffByDefault(t *testing.T) {
+	client := &countingOffloader{}
+	rep, err := RunWith(context.Background(), client, Config{
+		Users: 2, Duration: time.Second, RateHz: 4, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if client.spanIDs != 0 {
+		t.Fatalf("%d requests carried a SpanID with sampling off", client.spanIDs)
+	}
+	if rep.Spans != nil {
+		t.Fatalf("unexpected span section: %+v", rep.Spans)
+	}
+}

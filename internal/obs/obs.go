@@ -1,0 +1,313 @@
+// Package obs is the serving stack's metrics layer: a zero-allocation
+// registry of atomic counters and gauges plus log-bucketed latency
+// histograms (stats.LogHist), rendered on demand as Prometheus text
+// exposition. Hot paths pay one atomic add (counters/gauges) or one
+// short mutex hold (histograms) per event and never allocate; all
+// string formatting happens at scrape time.
+//
+// Metric names follow prometheus conventions: snake_case, an
+// `accel_` namespace prefix, unit suffixes (`_total` for counters,
+// `_ms` for latency histograms). Labels are baked into the series at
+// registration ("accel_offloads_total{proto=\"json\"}"), so the
+// per-event path carries no label hashing.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"accelcloud/internal/stats"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta (must be >= 0 for prometheus semantics; not enforced
+// on the hot path).
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Value reads the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the value by delta (negative deltas allowed).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value reads the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram wraps a stats.LogHist behind a mutex: Observe is one lock
+// plus one bucket increment, with zero allocations (the bucket slice
+// is preallocated by NewLogHist). Scrapes snapshot quantiles under the
+// same lock.
+type Histogram struct {
+	mu sync.Mutex
+	h  *stats.LogHist
+}
+
+// Observe records one sample (milliseconds by convention).
+func (h *Histogram) Observe(ms float64) {
+	h.mu.Lock()
+	h.h.Add(ms)
+	h.mu.Unlock()
+}
+
+// Snapshot copies the histogram for offline quantile math.
+func (h *Histogram) Snapshot() *stats.LogHist {
+	out := stats.NewLatencyHist()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	// Same NewLatencyHist layout on both sides; Merge cannot fail.
+	_ = out.Merge(h.h)
+	return out
+}
+
+// quantiles the exposition renders per histogram series.
+var histQuantiles = []float64{0.5, 0.9, 0.99}
+
+// metric is one registered series: the exposition lines are assembled
+// from strings precomputed at registration, so scraping is fmt only.
+type metric struct {
+	name string // bare metric name (no labels) for TYPE lines
+	kind string // "counter" | "gauge" | "histogram"
+	help string
+	// series is name{labels} — the full left-hand side of each sample.
+	series string
+	read   func() float64 // counter/gauge value
+	hist   *Histogram     // histogram series
+}
+
+// Registry holds registered metrics and renders them as Prometheus
+// text exposition. Registration is not hot-path; it locks and
+// allocates freely. A nil *Registry is valid and inert: every
+// Register* call on it returns a usable metric that simply is never
+// scraped, so instrumented code needs no nil checks.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	byName  map[string]string // series -> kind, for duplicate rejection
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]string{}}
+}
+
+// seriesName renders name{k="v",...} with labels in the given order.
+func seriesName(name string, labels ...string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	if len(labels)%2 != 0 {
+		panic("obs: odd label list for " + name)
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", labels[i], labels[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (r *Registry) add(m *metric) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if kind, dup := r.byName[m.series]; dup {
+		panic(fmt.Sprintf("obs: duplicate series %s (%s)", m.series, kind))
+	}
+	if kind, ok := r.kindOf(m.name); ok && kind != m.kind {
+		panic(fmt.Sprintf("obs: metric %s registered as both %s and %s", m.name, kind, m.kind))
+	}
+	r.byName[m.series] = m.kind
+	r.metrics = append(r.metrics, m)
+}
+
+// kindOf reports the kind of any series sharing the bare name. Caller
+// holds r.mu.
+func (r *Registry) kindOf(name string) (string, bool) {
+	for _, m := range r.metrics {
+		if m.name == name {
+			return m.kind, true
+		}
+	}
+	return "", false
+}
+
+// Counter registers and returns a counter series. Labels are
+// alternating key/value pairs baked into the series name.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	c := &Counter{}
+	r.add(&metric{
+		name: name, kind: "counter", help: help,
+		series: seriesName(name, labels...),
+		read:   func() float64 { return float64(c.Value()) },
+	})
+	return c
+}
+
+// Gauge registers and returns a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	g := &Gauge{}
+	r.add(&metric{
+		name: name, kind: "gauge", help: help,
+		series: seriesName(name, labels...),
+		read:   func() float64 { return float64(g.Value()) },
+	})
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape
+// time — the zero-hot-path-cost way to export an atomic some other
+// subsystem already maintains (queue depths, drop counters, pool
+// sizes).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	r.add(&metric{
+		name: name, kind: "gauge", help: help,
+		series: seriesName(name, labels...),
+		read:   fn,
+	})
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// scrape time, for monotonic totals another subsystem maintains.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...string) {
+	r.add(&metric{
+		name: name, kind: "counter", help: help,
+		series: seriesName(name, labels...),
+		read:   fn,
+	})
+}
+
+// Histogram registers and returns a latency histogram series rendered
+// as quantile gauges (name{quantile="0.99",...}) plus _count and _sum.
+func (r *Registry) Histogram(name, help string, labels ...string) *Histogram {
+	h := &Histogram{h: stats.NewLatencyHist()}
+	r.add(&metric{
+		name: name, kind: "histogram", help: help,
+		series: seriesName(name, labels...),
+		hist:   h,
+	})
+	return h
+}
+
+// WritePrometheus renders every registered series in Prometheus text
+// exposition format (version 0.0.4), grouped by bare metric name with
+// one HELP/TYPE header per group, series sorted for stable output.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	ms := make([]*metric, len(r.metrics))
+	copy(ms, r.metrics)
+	r.mu.Unlock()
+	sort.SliceStable(ms, func(i, j int) bool {
+		if ms[i].name != ms[j].name {
+			return ms[i].name < ms[j].name
+		}
+		return ms[i].series < ms[j].series
+	})
+	headered := map[string]bool{}
+	for _, m := range ms {
+		if !headered[m.name] {
+			headered[m.name] = true
+			if m.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+					return err
+				}
+			}
+			// LogHist quantile snapshots render as summaries: precomputed
+			// quantiles, not cumulative buckets.
+			kind := m.kind
+			if kind == "histogram" {
+				kind = "summary"
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, kind); err != nil {
+				return err
+			}
+		}
+		if m.hist != nil {
+			if err := writeHist(w, m); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s %g\n", m.series, m.read()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHist renders one histogram series as quantile samples plus
+// _sum/_count, splicing the quantile label into any existing label
+// set.
+func writeHist(w io.Writer, m *metric) error {
+	h := m.hist.Snapshot()
+	base, labels := splitSeries(m.series)
+	for _, q := range histQuantiles {
+		v := 0.0
+		if h.Total() > 0 {
+			v, _ = h.Quantile(q)
+		}
+		qlabel := fmt.Sprintf("quantile=%q", fmt.Sprintf("%g", q))
+		all := qlabel
+		if labels != "" {
+			all = labels + "," + qlabel
+		}
+		if _, err := fmt.Fprintf(w, "%s{%s} %g\n", base, all, v); err != nil {
+			return err
+		}
+	}
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + labels + "}"
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", base, suffix, h.Mean()*float64(h.Total())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", base, suffix, h.Total())
+	return err
+}
+
+// splitSeries splits "name{a=\"b\"}" into ("name", "a=\"b\"").
+func splitSeries(series string) (base, labels string) {
+	i := strings.IndexByte(series, '{')
+	if i < 0 {
+		return series, ""
+	}
+	return series[:i], strings.TrimSuffix(series[i+1:], "}")
+}
+
+// Handler serves GET /metrics-style scrapes of the registry.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("accel_test_total", "test counter")
+	g := r.Gauge("accel_test_depth", "test gauge")
+	h := r.Histogram("accel_test_latency_ms", "test histogram")
+
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i + 1))
+	}
+	snap := h.Snapshot()
+	if snap.Total() != 100 {
+		t.Fatalf("histogram total = %d, want 100", snap.Total())
+	}
+	p50, err := snap.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p50 < 40 || p50 > 60 {
+		t.Fatalf("p50 = %v, want ≈50", p50)
+	}
+}
+
+func TestLabeledSeriesAndFuncs(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("accel_offloads_total", "offloads", "proto", "json").Add(3)
+	r.Counter("accel_offloads_total", "offloads", "proto", "bin").Add(2)
+	backing := 9.0
+	r.GaugeFunc("accel_pool_size", "pool", func() float64 { return backing })
+	r.CounterFunc("accel_drops_total", "drops", func() float64 { return 11 })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`accel_offloads_total{proto="json"} 3`,
+		`accel_offloads_total{proto="bin"} 2`,
+		`accel_pool_size 9`,
+		`accel_drops_total 11`,
+		`# TYPE accel_offloads_total counter`,
+		`# TYPE accel_pool_size gauge`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestDuplicateSeriesPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("accel_dup_total", "dup")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate series did not panic")
+		}
+	}()
+	r.Counter("accel_dup_total", "dup")
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("accel_conflict", "as counter", "a", "1")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind conflict did not panic")
+		}
+	}()
+	r.Gauge("accel_conflict", "as gauge", "a", "2")
+}
+
+// TestExpositionWellFormed mirrors the e2e smoke check: every
+// non-comment line is `series value`, one TYPE per metric name, no
+// duplicate sample lines.
+func TestExpositionWellFormed(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("accel_a_total", "a").Inc()
+	r.Gauge("accel_b", "b").Set(1)
+	h := r.Histogram("accel_c_ms", "c", "hop", "queue")
+	h.Observe(1.5)
+	h.Observe(2.5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	types := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(b.String()), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			if types[fields[2]] {
+				t.Fatalf("duplicate TYPE for %s", fields[2])
+			}
+			types[fields[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i <= 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		series := line[:i]
+		if seen[series] {
+			t.Fatalf("duplicate sample %q", series)
+		}
+		seen[series] = true
+	}
+	if !seen[`accel_c_ms{hop="queue",quantile="0.99"}`] {
+		t.Fatalf("missing labeled quantile sample in:\n%s", b.String())
+	}
+	if !seen[`accel_c_ms_count{hop="queue"}`] {
+		t.Fatalf("missing _count sample in:\n%s", b.String())
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("accel_h_total", "h").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content-type %q", ct)
+	}
+}
+
+// TestNilRegistryInert proves instrumented code needs no nil checks.
+func TestNilRegistryInert(t *testing.T) {
+	var r *Registry
+	r.Counter("accel_nil_total", "nil").Inc()
+	r.Gauge("accel_nil", "nil").Set(1)
+	r.Histogram("accel_nil_ms", "nil").Observe(1)
+	r.GaugeFunc("accel_nil_fn", "nil", func() float64 { return 0 })
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("nil registry rendered %q", b.String())
+	}
+}
+
+// The increment paths must never allocate: they run per request on
+// every hot path in the stack. Pinned here and in obsbench.
+func TestCounterIncAllocs(t *testing.T) {
+	c := NewRegistry().Counter("accel_alloc_total", "alloc")
+	if n := testing.AllocsPerRun(1000, c.Inc); n != 0 {
+		t.Fatalf("Counter.Inc allocates %v/op", n)
+	}
+}
+
+func TestGaugeSetAllocs(t *testing.T) {
+	g := NewRegistry().Gauge("accel_alloc_gauge", "alloc")
+	if n := testing.AllocsPerRun(1000, func() { g.Set(3) }); n != 0 {
+		t.Fatalf("Gauge.Set allocates %v/op", n)
+	}
+}
+
+func TestHistogramObserveAllocs(t *testing.T) {
+	h := NewRegistry().Histogram("accel_alloc_ms", "alloc")
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(1.25) }); n != 0 {
+		t.Fatalf("Histogram.Observe allocates %v/op", n)
+	}
+}

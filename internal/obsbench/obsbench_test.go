@@ -1,0 +1,70 @@
+package obsbench
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke drives a downsized run of all three scenarios and pins
+// the invariants the benchdiff gates build on: zero allocations on the
+// hot-path primitives, a sane overhead ratio, a scraped series set,
+// and an exactly reproducible span plan.
+func TestRunSmoke(t *testing.T) {
+	cfg := Config{Seed: 7, Requests: 60, Workers: 8}
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != Schema {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if rep.CounterIncAllocs != 0 || rep.GaugeSetAllocs != 0 || rep.HistObserveAllocs != 0 {
+		t.Fatalf("hot-path primitives allocate: counter=%.1f gauge=%.1f hist=%.1f",
+			rep.CounterIncAllocs, rep.GaugeSetAllocs, rep.HistObserveAllocs)
+	}
+	if rep.OffP99Ms <= 0 || rep.OnP99Ms <= 0 || rep.OverheadRatio <= 0 {
+		t.Fatalf("A/B arms missing: %+v", rep)
+	}
+	if rep.SeriesCount == 0 {
+		t.Fatal("instrumented run scraped no series")
+	}
+	if rep.SpansPlanned == 0 || rep.SpansCollected != rep.SpansPlanned {
+		t.Fatalf("span capture: planned=%d collected=%d", rep.SpansPlanned, rep.SpansCollected)
+	}
+	if !strings.HasPrefix(rep.SpanDigest, "fnv1a:") {
+		t.Fatalf("span digest %q", rep.SpanDigest)
+	}
+
+	// The span plan is a pure function of the seed: a second run must
+	// reproduce the digest, the planned count, and the series count.
+	again, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.SpanDigest != rep.SpanDigest || again.SpansPlanned != rep.SpansPlanned {
+		t.Fatalf("span plan drifted: %d %s then %d %s",
+			rep.SpansPlanned, rep.SpanDigest, again.SpansPlanned, again.SpanDigest)
+	}
+	if again.SeriesCount != rep.SeriesCount {
+		t.Fatalf("series count drifted: %d then %d", rep.SeriesCount, again.SeriesCount)
+	}
+}
+
+// TestReportRoundTrip pins the schema check on the read path.
+func TestReportRoundTrip(t *testing.T) {
+	rep := &Report{Schema: Schema, SpanDigest: "fnv1a:0000000000000000"}
+	if _, err := ReadReport(strings.NewReader(`{"schema":"bogus"}`)); err == nil {
+		t.Fatal("bogus schema accepted")
+	}
+	var b strings.Builder
+	data := `{"schema":"` + Schema + `","spanDigest":"` + rep.SpanDigest + `"}`
+	b.WriteString(data)
+	got, err := ReadReport(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SpanDigest != rep.SpanDigest {
+		t.Fatalf("round trip lost digest: %q", got.SpanDigest)
+	}
+}

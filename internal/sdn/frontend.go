@@ -97,12 +97,24 @@ type FrontEnd struct {
 	// arrivals whose Origin names a different home region.
 	region  string
 	spilled atomic.Int64
+
+	// metrics is the WithMetrics instrumentation; nil keeps the request
+	// path entirely uninstrumented.
+	metrics *feMetrics
 }
 
 // Observer is the per-request outcome hook the failure detector
 // subscribes to: the routed group and backend, the hop error (nil on
 // success), and the backend round trip in milliseconds.
 type Observer func(group int, url string, err error, latencyMs float64)
+
+// sinkCounters is the shed/error surface a lossy trace sink exposes
+// (trace.Async qualifies); /stats reports it so dropped trace records
+// are visible at runtime.
+type sinkCounters interface {
+	Dropped() int64
+	SinkErrors() int64
+}
 
 // Policy reports the front-end's pick policy.
 func (f *FrontEnd) Policy() router.Policy { return f.rt.Policy() }
@@ -256,11 +268,20 @@ func (f *FrontEnd) Handler() http.Handler {
 			Groups   []int                 `json:"groups"`
 			Backends map[int]int           `json:"backends"`
 			Pools    map[int][]BackendInfo `json:"pools"`
+			// Trace-sink health: records shed by a full async buffer
+			// and sink append failures. Zero unless the sink exposes
+			// counters (trace.Async does).
+			TraceDropped    int64 `json:"traceDropped"`
+			TraceSinkErrors int64 `json:"traceSinkErrors"`
 		}{Routed: st.Routed, Dropped: st.Dropped, Policy: f.rt.Policy().Name(),
 			Region: f.region, Spilled: f.spilled.Load(),
 			Groups: groups, Backends: map[int]int{}, Pools: st.Pools}
 		for g, infos := range st.Pools {
 			payload.Backends[g] = len(infos)
+		}
+		if sc, ok := f.log.(sinkCounters); ok {
+			payload.TraceDropped = sc.Dropped()
+			payload.TraceSinkErrors = sc.SinkErrors()
 		}
 		rpc.WriteJSON(w, http.StatusOK, payload)
 	})
@@ -325,6 +346,29 @@ func (f *FrontEnd) offloadBatch(ctx context.Context, batch rpc.BatchRequest) rpc
 // protocol-neutral core both the JSON handler and the binary frame
 // server dispatch into.
 func (f *FrontEnd) Offload(ctx context.Context, req rpc.OffloadRequest) (rpc.OffloadResponse, int) {
+	m := f.metrics
+	if m == nil {
+		return f.offload(ctx, req)
+	}
+	start := time.Now()
+	resp, code := f.offload(ctx, req)
+	m.offloads.Inc()
+	if code != http.StatusOK {
+		m.errors.Inc()
+	}
+	m.latency.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	if sp := resp.Span; sp != nil {
+		m.sampled.Inc()
+		m.hopQueue.Observe(sp.QueueMs)
+		m.hopLinger.Observe(sp.LingerMs)
+		m.hopCold.Observe(sp.ColdMs)
+		m.hopNet.Observe(sp.NetworkMs)
+		m.hopExec.Observe(sp.ExecMs)
+	}
+	return resp, code
+}
+
+func (f *FrontEnd) offload(ctx context.Context, req rpc.OffloadRequest) (rpc.OffloadResponse, int) {
 	if err := req.Validate(); err != nil {
 		return rpc.OffloadResponse{Error: err.Error()}, http.StatusBadRequest
 	}
@@ -356,12 +400,15 @@ func (f *FrontEnd) offloadOnce(ctx context.Context, req rpc.OffloadRequest) (rpc
 		f.rt.CountDrop()
 		return rpc.OffloadResponse{Error: err.Error()}, http.StatusServiceUnavailable
 	}
+	var coldMs float64
 	if picked.ColdStarted() && f.coldStart > 0 {
 		// This request woke a parked backend; charge it the cold start
 		// (the activation count reaches the autoscale cost model via
 		// TakeActivations).
+		coldWait := time.Now()
 		select {
 		case <-time.After(f.coldStart):
+			coldMs = float64(time.Since(coldWait)) / float64(time.Millisecond)
 		case <-ctx.Done():
 			// The client hung up during the activation wait: drop
 			// without charging the backend path — no dispatch on a dead
@@ -375,8 +422,9 @@ func (f *FrontEnd) offloadOnce(ctx context.Context, req rpc.OffloadRequest) (rpc
 
 	backendStart := time.Now()
 	var resp rpc.ExecuteResponse
+	var queueWait serve.Timing
 	if q := picked.Queue(); q != nil {
-		resp, err = q.Submit(ctx, rpc.ExecuteRequest{State: req.State})
+		resp, queueWait, err = q.SubmitTimed(ctx, rpc.ExecuteRequest{State: req.State})
 	} else {
 		resp, err = picked.Client().Execute(ctx, rpc.ExecuteRequest{State: req.State})
 	}
@@ -399,6 +447,27 @@ func (f *FrontEnd) offloadOnce(ctx context.Context, req rpc.OffloadRequest) (rpc
 	if t2Ms < 0 {
 		t2Ms = 0
 	}
+	// A non-zero SpanID marks a trace-sampled request: assemble the
+	// per-hop breakdown once and share the same *Span between the
+	// response and the trace record. The network hop excludes the
+	// admission waits the queue itself billed, so the hops stay
+	// disjoint and sum to ≈RTT − routing.
+	var span *wire.Span
+	if req.SpanID != 0 {
+		netMs := t2Ms - queueWait.QueueMs - queueWait.LingerMs
+		if netMs < 0 {
+			netMs = 0
+		}
+		span = &wire.Span{
+			ID:        req.SpanID,
+			QueueMs:   queueWait.QueueMs,
+			LingerMs:  queueWait.LingerMs,
+			ColdMs:    coldMs,
+			NetworkMs: netMs,
+			ExecMs:    resp.CloudMs,
+			Hops:      1,
+		}
+	}
 	if f.log != nil {
 		// One clock read serves both the record timestamp and the RTT.
 		now := time.Now()
@@ -409,6 +478,7 @@ func (f *FrontEnd) offloadOnce(ctx context.Context, req rpc.OffloadRequest) (rpc
 			Group:        req.Group,
 			BatteryLevel: req.BatteryLevel,
 			RTT:          now.Sub(routeStart),
+			Span:         span,
 		})
 	}
 	return rpc.OffloadResponse{
@@ -420,6 +490,7 @@ func (f *FrontEnd) offloadOnce(ctx context.Context, req rpc.OffloadRequest) (rpc
 			BackendMs: t2Ms,
 			CloudMs:   resp.CloudMs,
 		},
+		Span: span,
 	}, http.StatusOK
 }
 

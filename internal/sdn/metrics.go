@@ -1,0 +1,48 @@
+package sdn
+
+import (
+	"accelcloud/internal/obs"
+)
+
+// feMetrics is the front-end's hot-path instrumentation, built only
+// when New ran WithMetrics — a nil *feMetrics keeps the request path
+// free of even atomic loads, which is the "off" arm of the
+// instrumentation-overhead A/B.
+type feMetrics struct {
+	offloads  *obs.Counter   // accepted offloads routed to a backend
+	errors    *obs.Counter   // offloads that returned a non-200
+	sampled   *obs.Counter   // trace-sampled offloads (span assembled)
+	latency   *obs.Histogram // end-to-end front-end latency
+	hopQueue  *obs.Histogram
+	hopLinger *obs.Histogram
+	hopCold   *obs.Histogram
+	hopNet    *obs.Histogram
+	hopExec   *obs.Histogram
+}
+
+// newFeMetrics registers the front-end's series. Router totals,
+// spillover, and backend counts export as scrape-time funcs — they
+// read counters the data plane already maintains, so exposing them
+// costs the hot path nothing.
+func newFeMetrics(reg *obs.Registry, f *FrontEnd) *feMetrics {
+	m := &feMetrics{
+		offloads:  reg.Counter("accel_offloads_total", "offload requests routed to a backend"),
+		errors:    reg.Counter("accel_offload_errors_total", "offload requests answered non-200"),
+		sampled:   reg.Counter("accel_spans_sampled_total", "trace-sampled offloads (per-hop span assembled)"),
+		latency:   reg.Histogram("accel_request_latency_ms", "end-to-end front-end latency"),
+		hopQueue:  reg.Histogram("accel_hop_latency_ms", "per-hop latency breakdown", "hop", "queue"),
+		hopLinger: reg.Histogram("accel_hop_latency_ms", "per-hop latency breakdown", "hop", "linger"),
+		hopCold:   reg.Histogram("accel_hop_latency_ms", "per-hop latency breakdown", "hop", "cold"),
+		hopNet:    reg.Histogram("accel_hop_latency_ms", "per-hop latency breakdown", "hop", "network"),
+		hopExec:   reg.Histogram("accel_hop_latency_ms", "per-hop latency breakdown", "hop", "exec"),
+	}
+	reg.CounterFunc("accel_routed_total", "requests the router released successfully",
+		func() float64 { return float64(f.rt.Stats().Routed) })
+	reg.CounterFunc("accel_dropped_total", "requests dropped for want of a backend",
+		func() float64 { return float64(f.rt.Stats().Dropped) })
+	reg.CounterFunc("accel_spilled_total", "cross-region requests absorbed",
+		func() float64 { return float64(f.Spilled()) })
+	reg.GaugeFunc("accel_backend_groups", "registered acceleration groups",
+		func() float64 { return float64(len(f.Backends())) })
+	return m
+}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"accelcloud/internal/obs"
 	"accelcloud/internal/router"
 	"accelcloud/internal/serve"
 	"accelcloud/internal/trace"
@@ -29,6 +30,7 @@ type config struct {
 	coldAfter      time.Duration
 	coldStart      time.Duration
 	region         string
+	metrics        *obs.Registry
 }
 
 // WithTrace installs the request trace sink (a trace.Store,
@@ -151,6 +153,19 @@ func WithRegion(name string) Option {
 	}
 }
 
+// WithMetrics registers the front-end's hot-path metrics (offload
+// counts, error counts, end-to-end and per-hop latency histograms,
+// plus scrape-time router/spillover gauges) in reg, for exposition at
+// GET /metrics. Nil (the default) disables instrumentation entirely —
+// the request path then carries no metric loads at all, which is the
+// "off" arm of obsbench's overhead A/B.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(c *config) error {
+		c.metrics = reg
+		return nil
+	}
+}
+
 // New builds a front-end from functional options. Zero options give a
 // round-robin router with no trace sink, no queueing, and no cold
 // pool — the historical NewFrontEnd(nil, 0) behaviour.
@@ -179,6 +194,9 @@ func New(opts ...Option) (*FrontEnd, error) {
 	}
 	if c.observer != nil {
 		f.observer.Store(&c.observer)
+	}
+	if c.metrics != nil {
+		f.metrics = newFeMetrics(c.metrics, f)
 	}
 	return f, nil
 }

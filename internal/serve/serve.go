@@ -91,15 +91,30 @@ type Executor interface {
 	ExecuteBatch(ctx context.Context, reqs []rpc.ExecuteRequest) ([]rpc.ExecuteResponse, error)
 }
 
+// Timing is the queue's per-job wait breakdown, reported alongside the
+// response so trace-sampled requests can bill admission-queue wait and
+// batch linger as separate span hops.
+type Timing struct {
+	// QueueMs is enqueue → pulled by a dispatcher.
+	QueueMs float64
+	// LingerMs is pulled → dispatch started (time spent held open while
+	// the batcher coalesced batchmates, or parked as a carry job).
+	LingerMs float64
+}
+
 type result struct {
-	resp rpc.ExecuteResponse
-	err  error
+	resp   rpc.ExecuteResponse
+	timing Timing
+	err    error
 }
 
 type job struct {
 	ctx  context.Context
 	req  rpc.ExecuteRequest
 	done chan result // buffered 1: dispatchers never block on delivery
+
+	enq    time.Time // stamped by Submit
+	pulled time.Time // stamped when a dispatcher takes it off the channel
 }
 
 // Queue is one backend's bounded admission queue plus its dispatcher
@@ -183,12 +198,20 @@ func (q *Queue) Saturated() bool {
 // (possibly inside a batch) or ctx is done. A full queue rejects
 // immediately with ErrQueueFull.
 func (q *Queue) Submit(ctx context.Context, req rpc.ExecuteRequest) (rpc.ExecuteResponse, error) {
-	j := &job{ctx: ctx, req: req, done: make(chan result, 1)}
+	resp, _, err := q.SubmitTimed(ctx, req)
+	return resp, err
+}
+
+// SubmitTimed is Submit plus the job's queue-wait/linger breakdown —
+// the serving layer's contribution to a request-scoped trace span.
+// The Timing is zero when the call failed before dispatch.
+func (q *Queue) SubmitTimed(ctx context.Context, req rpc.ExecuteRequest) (rpc.ExecuteResponse, Timing, error) {
+	j := &job{ctx: ctx, req: req, done: make(chan result, 1), enq: time.Now()}
 	q.mu.RLock()
 	select {
 	case <-q.closed:
 		q.mu.RUnlock()
-		return rpc.ExecuteResponse{}, ErrClosed
+		return rpc.ExecuteResponse{}, Timing{}, ErrClosed
 	default:
 	}
 	q.queued.Add(1)
@@ -199,21 +222,21 @@ func (q *Queue) Submit(ctx context.Context, req rpc.ExecuteRequest) (rpc.Execute
 		q.mu.RUnlock()
 		q.queued.Add(-1)
 		q.rejected.Add(1)
-		return rpc.ExecuteResponse{}, ErrQueueFull
+		return rpc.ExecuteResponse{}, Timing{}, ErrQueueFull
 	}
 	select {
 	case r := <-j.done:
-		return r.resp, r.err
+		return r.resp, r.timing, r.err
 	case <-ctx.Done():
 		// The job stays queued; its dispatcher drops it with ctx.Err()
 		// instead of executing it.
-		return rpc.ExecuteResponse{}, ctx.Err()
+		return rpc.ExecuteResponse{}, Timing{}, ctx.Err()
 	case <-q.closed:
 		// Once enqueued, delivery is guaranteed: a dispatcher runs the
 		// job, or Close's drain (serialized against this enqueue by mu)
 		// fails it with ErrClosed.
 		r := <-j.done
-		return r.resp, r.err
+		return r.resp, r.timing, r.err
 	}
 }
 
@@ -254,6 +277,7 @@ func (q *Queue) dispatch() {
 			select {
 			case lead = <-q.jobs:
 				q.queued.Add(-1)
+				lead.pulled = time.Now()
 			case <-q.closed:
 				return
 			}
@@ -277,6 +301,7 @@ func (q *Queue) fill(batch []*job) (full []*job, carry *job) {
 		select {
 		case next := <-q.jobs:
 			q.queued.Add(-1)
+			next.pulled = time.Now()
 			if next.req.State.Task != lead.req.State.Task {
 				return batch, next
 			}
@@ -309,12 +334,22 @@ func (q *Queue) run(batch []*job) {
 	if len(live) == 0 {
 		return
 	}
+	// Bill each job's waits at dispatch start: queue wait is enqueue →
+	// pulled, linger is pulled → here (lead jobs pay the full fill
+	// window, late joiners only their remainder).
+	start := time.Now()
+	timingOf := func(j *job) Timing {
+		return Timing{
+			QueueMs:  float64(j.pulled.Sub(j.enq)) / float64(time.Millisecond),
+			LingerMs: float64(start.Sub(j.pulled)) / float64(time.Millisecond),
+		}
+	}
 	q.executing.Add(1)
 	defer q.executing.Add(-1)
 	if len(live) == 1 {
 		j := live[0]
 		resp, err := q.exec.Execute(j.ctx, j.req)
-		j.done <- result{resp: resp, err: err}
+		j.done <- result{resp: resp, timing: timingOf(j), err: err}
 		return
 	}
 	q.batches.Add(1)
@@ -336,7 +371,7 @@ func (q *Queue) run(batch []*job) {
 		return
 	}
 	for i, j := range live {
-		r := result{resp: resps[i]}
+		r := result{resp: resps[i], timing: timingOf(j)}
 		if resps[i].Error != "" {
 			// Mirror Execute's contract: a per-call Error inside the
 			// batch is a failed call, not a success with a zero Result.

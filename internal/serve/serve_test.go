@@ -409,3 +409,74 @@ func TestErrQueueFullClassifiesClientSide(t *testing.T) {
 		t.Fatal("rpc.IsQueueFull(ErrQueueFull) = false")
 	}
 }
+
+func TestSubmitTimedBreakdown(t *testing.T) {
+	// One busy dispatcher: the second job measurably waits in the
+	// queue; with batching on, the lead also pays the linger window.
+	release := make(chan struct{})
+	fe := &fakeExec{release: release}
+	q, err := New(Config{Limit: 1, Depth: 8, MaxBatch: 4, Linger: 5 * time.Millisecond}, fe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); _, _ = q.Submit(context.Background(), req("plug")) }()
+	for q.Executing() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	var timing Timing
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, timing, _ = q.SubmitTimed(context.Background(), req("sieve"))
+	}()
+	for q.Queued() < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	// Hold the follower queued for a visible interval before release.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if timing.QueueMs < 10 {
+		t.Fatalf("QueueMs = %v, want >= 10 (job waited ~20ms behind a busy dispatcher)", timing.QueueMs)
+	}
+	if timing.LingerMs < 4 {
+		t.Fatalf("LingerMs = %v, want >= 4 (lead pays the 5ms fill window)", timing.LingerMs)
+	}
+	if timing.QueueMs > 5_000 || timing.LingerMs > 5_000 {
+		t.Fatalf("implausible timing %+v", timing)
+	}
+}
+
+func TestSubmitTimedZeroOnReject(t *testing.T) {
+	release := make(chan struct{})
+	q, err := New(Config{Limit: 1, Depth: 1}, &fakeExec{release: release})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); _, _ = q.Submit(context.Background(), req("plug")) }()
+	for q.Executing() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	wg.Add(1)
+	go func() { defer wg.Done(); _, _ = q.Submit(context.Background(), req("plug")) }()
+	for q.Queued() < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	_, timing, err := q.SubmitTimed(context.Background(), req("plug"))
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("expected queue-full rejection, got %v", err)
+	}
+	if timing != (Timing{}) {
+		t.Fatalf("rejected submit reported timing %+v", timing)
+	}
+	close(release)
+	wg.Wait()
+}

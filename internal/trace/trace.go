@@ -18,6 +18,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"accelcloud/internal/wire"
 )
 
 // Record is one logged offloading request.
@@ -32,6 +34,10 @@ type Record struct {
 	BatteryLevel float64 `json:"batteryLevel"`
 	// RTT is the response time observed for the request.
 	RTT time.Duration `json:"rtt"`
+	// Span, when non-nil, carries the per-hop timing breakdown of a
+	// trace-sampled request (wire.Span). It rides the JSON-lines codec
+	// only; the CSV codec keeps the paper's exact 5-tuple schema.
+	Span *wire.Span `json:"span,omitempty"`
 }
 
 // Validate checks record plausibility.

@@ -171,6 +171,7 @@ func AppendOffloadRequest(dst []byte, r OffloadRequest) []byte {
 	dst = appendF64(dst, r.BatteryLevel)
 	dst = appendString(dst, r.IdemKey)
 	dst = appendString(dst, r.Origin)
+	dst = binary.AppendUvarint(dst, r.SpanID)
 	return appendState(dst, r.State)
 }
 
@@ -192,6 +193,9 @@ func decodeOffloadRequest(c *cur) (OffloadRequest, error) {
 	if r.Origin, err = c.str(); err != nil {
 		return r, err
 	}
+	if r.SpanID, err = c.uvarint(); err != nil {
+		return r, err
+	}
 	if r.State, err = decodeState(c); err != nil {
 		return r, err
 	}
@@ -210,7 +214,8 @@ func DecodeOffloadRequest(b []byte) (OffloadRequest, error) {
 
 // --- offload response -----------------------------------------------------
 
-// AppendOffloadResponse encodes r after dst.
+// AppendOffloadResponse encodes r after dst. The span rides as a
+// presence flag plus fields, so unsampled responses pay one byte.
 func AppendOffloadResponse(dst []byte, r OffloadResponse) []byte {
 	dst = appendString(dst, r.Server)
 	dst = appendInt(dst, r.Group)
@@ -218,6 +223,18 @@ func AppendOffloadResponse(dst []byte, r OffloadResponse) []byte {
 	dst = appendF64(dst, r.Timings.BackendMs)
 	dst = appendF64(dst, r.Timings.CloudMs)
 	dst = appendString(dst, r.Error)
+	if r.Span == nil {
+		dst = binary.AppendUvarint(dst, 0)
+	} else {
+		dst = binary.AppendUvarint(dst, 1)
+		dst = binary.AppendUvarint(dst, r.Span.ID)
+		dst = appendF64(dst, r.Span.QueueMs)
+		dst = appendF64(dst, r.Span.LingerMs)
+		dst = appendF64(dst, r.Span.ColdMs)
+		dst = appendF64(dst, r.Span.NetworkMs)
+		dst = appendF64(dst, r.Span.ExecMs)
+		dst = appendInt(dst, r.Span.Hops)
+	}
 	return appendResult(dst, r.Result)
 }
 
@@ -241,6 +258,39 @@ func decodeOffloadResponse(c *cur) (OffloadResponse, error) {
 	}
 	if r.Error, err = c.str(); err != nil {
 		return r, err
+	}
+	present, err := c.uvarint()
+	if err != nil {
+		return r, err
+	}
+	switch present {
+	case 0:
+	case 1:
+		sp := &Span{}
+		if sp.ID, err = c.uvarint(); err != nil {
+			return r, err
+		}
+		if sp.QueueMs, err = c.f64(); err != nil {
+			return r, err
+		}
+		if sp.LingerMs, err = c.f64(); err != nil {
+			return r, err
+		}
+		if sp.ColdMs, err = c.f64(); err != nil {
+			return r, err
+		}
+		if sp.NetworkMs, err = c.f64(); err != nil {
+			return r, err
+		}
+		if sp.ExecMs, err = c.f64(); err != nil {
+			return r, err
+		}
+		if sp.Hops, err = c.sint(); err != nil {
+			return r, err
+		}
+		r.Span = sp
+	default:
+		return r, fmt.Errorf("%w: span presence flag %d", ErrBadFrame, present)
 	}
 	if r.Result, err = decodeResult(c); err != nil {
 		return r, err

@@ -19,6 +19,7 @@ func canonicalOffloadRequest() OffloadRequest {
 		BatteryLevel: 0.75,
 		IdemKey:      "k-1",
 		Origin:       "eu-north",
+		SpanID:       0x2a,
 		State:        tasks.State{Task: "sieve", Size: 1000, Data: []byte{0x01, 0x02, 0x03}},
 	}
 }
@@ -29,6 +30,10 @@ func canonicalOffloadResponse() OffloadResponse {
 		Server:  "surrogate-g2-0",
 		Group:   2,
 		Timings: Timings{RoutingMs: 1.5, BackendMs: 2.25, CloudMs: 0.5},
+		Span: &Span{
+			ID: 0x2a, QueueMs: 0.25, LingerMs: 0.125, ColdMs: 0,
+			NetworkMs: 1.75, ExecMs: 0.5, Hops: 1,
+		},
 	}
 }
 
@@ -100,6 +105,41 @@ func TestBatchRoundTrips(t *testing.T) {
 	}
 	if !reflect.DeepEqual(resp, gotResp) {
 		t.Fatalf("batch response mismatch:\n in: %+v\nout: %+v", resp, gotResp)
+	}
+}
+
+func TestUnsampledResponseRoundTrip(t *testing.T) {
+	// The common case: no span. Presence flag costs one byte and the
+	// decoded message keeps Span nil (not a zero-valued struct).
+	in := canonicalOffloadResponse()
+	in.Span = nil
+	out, err := DecodeOffloadResponse(AppendOffloadResponse(nil, in))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out.Span != nil {
+		t.Fatalf("unsampled response decoded with span: %+v", out.Span)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestBadSpanPresenceFlagRejected(t *testing.T) {
+	in := canonicalOffloadResponse()
+	in.Span = nil
+	b := AppendOffloadResponse(nil, in)
+	// The presence flag sits right before the trailing Result. Find it
+	// by re-encoding up to the flag.
+	head := appendString(nil, in.Server)
+	head = appendInt(head, in.Group)
+	head = appendF64(head, in.Timings.RoutingMs)
+	head = appendF64(head, in.Timings.BackendMs)
+	head = appendF64(head, in.Timings.CloudMs)
+	head = appendString(head, in.Error)
+	b[len(head)] = 0x02 // flag must be 0 or 1
+	if _, err := DecodeOffloadResponse(b); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("bad span presence flag accepted: %v", err)
 	}
 }
 

@@ -32,6 +32,12 @@ type OffloadRequest struct {
 	// region differs counts the request as spilled-over, so cross-region
 	// traffic shows up in /stats on whichever region absorbed it.
 	Origin string `json:"origin,omitempty"`
+	// SpanID, when non-zero, marks the request as trace-sampled: the
+	// front-end assembles a per-hop Span in its response and exports it
+	// through the trace sink. IDs are minted at the device/loadgen edge
+	// from the schedule RNG, so which requests carry one — and their
+	// fnv1a digest — is deterministic per seed.
+	SpanID uint64 `json:"span,omitempty"`
 	// State is the serialized application state to execute.
 	State tasks.State `json:"state"`
 }
@@ -64,6 +70,34 @@ type Timings struct {
 	CloudMs float64 `json:"cloudMs"`
 }
 
+// Span is the request-scoped per-hop timing breakdown a trace-sampled
+// offload accumulates on its way through the stack, in milliseconds.
+// Hops that a request did not traverse stay zero (an unqueued request
+// has QueueMs 0, a warm backend ColdMs 0), so the populated fields sum
+// to within routing overhead of the end-to-end RTT.
+type Span struct {
+	// ID is the sampling identity minted at the device edge (request
+	// SpanID echoed back).
+	ID uint64 `json:"id"`
+	// QueueMs is time spent waiting in the admission queue before
+	// dispatch started.
+	QueueMs float64 `json:"queueMs"`
+	// LingerMs is time the dynamic batcher held the request open
+	// coalescing batchmates.
+	LingerMs float64 `json:"lingerMs"`
+	// ColdMs is scale-to-zero activation wait (cold-start billing).
+	ColdMs float64 `json:"coldMs"`
+	// NetworkMs is the front-end ↔ backend wire time (T2: backend round
+	// trip minus on-surrogate execution).
+	NetworkMs float64 `json:"networkMs"`
+	// ExecMs is on-surrogate execution (Tcloud).
+	ExecMs float64 `json:"execMs"`
+	// Hops counts region attempts the device's geo selector made before
+	// this response (1 = served by the first-choice region; >1 records
+	// spillover/failover re-routes).
+	Hops int `json:"hops"`
+}
+
 // OffloadResponse is the front-end's reply.
 type OffloadResponse struct {
 	// Result is the execution outcome.
@@ -74,6 +108,9 @@ type OffloadResponse struct {
 	Group int `json:"group"`
 	// Timings is the component breakdown.
 	Timings Timings `json:"timings"`
+	// Span is the per-hop breakdown, present only when the request was
+	// trace-sampled (SpanID non-zero).
+	Span *Span `json:"span,omitempty"`
 	// Error carries a failure message ("" on success).
 	Error string `json:"error,omitempty"`
 }

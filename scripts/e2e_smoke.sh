@@ -76,6 +76,48 @@ echo "== 2-second loadgen run over the binary framed protocol =="
   -users 4 -rate 5 -duration 2s -seed 1 -groups 1,2 \
   -max-error-rate 0 -out "$BIN/e2e_loadgen_bin.json"
 
+echo "== scrape /metrics mid-load on the front-end and a surrogate =="
+# Run another loadgen in the background and scrape both exposition
+# endpoints while requests are in flight: the hot-path counters must be
+# non-zero and every line must parse as Prometheus text exposition with
+# no duplicate series.
+"$BIN/loadgen" -frontend http://127.0.0.1:9100 -mode concurrent \
+  -users 4 -rate 5 -duration 2s -seed 5 -groups 1,2 -span-sample 2 \
+  -max-error-rate 0 -out "$BIN/e2e_loadgen_metrics.json" &
+LOADGEN_PID=$!
+sleep 1
+check_metrics() {
+  url="$1"
+  counter="$2"
+  body="$(curl -sf "$url")" || { echo "e2e: $url unreachable" >&2; return 1; }
+  bad="$(grep -v '^#' <<<"$body" | grep -vE '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.eE+-]+$' || true)"
+  if [ -n "$bad" ]; then
+    echo "e2e: malformed exposition lines from $url:" >&2
+    echo "$bad" >&2
+    return 1
+  fi
+  dups="$(grep -v '^#' <<<"$body" | awk '{print $1}' | sort | uniq -d)"
+  if [ -n "$dups" ]; then
+    echo "e2e: duplicate series from $url:" >&2
+    echo "$dups" >&2
+    return 1
+  fi
+  grep -E "^${counter}(\{[^}]*\})? " <<<"$body" \
+    | awk '{ if ($2 + 0 > 0) found = 1 } END { exit !found }' || {
+    echo "e2e: $counter not incremented at $url" >&2
+    echo "$body" >&2
+    return 1
+  }
+}
+check_metrics http://127.0.0.1:9100/metrics accel_offloads_total
+check_metrics http://127.0.0.1:9101/metrics accel_surrogate_executed_total
+wait "$LOADGEN_PID"
+grep -q '"spans"' "$BIN/e2e_loadgen_metrics.json" || {
+  echo "e2e: loadgen report has no spans section despite -span-sample" >&2
+  cat "$BIN/e2e_loadgen_metrics.json" >&2 || true
+  exit 1
+}
+
 echo "== admission queues drain to zero once the load stops =="
 drained=""
 for _ in $(seq 1 50); do
